@@ -1,0 +1,38 @@
+"""Ablation — spatial index used for the expanded-query filter step.
+
+The paper uses an R-tree (and mentions the grid file); this ablation adds a
+linear scan as the no-index floor.  Measured on IPQ with the paper's default
+parameters.  Expected shape: R-tree and grid file are close, the linear scan
+is clearly slower once the dataset is non-trivial.
+"""
+
+import pytest
+
+from repro.core.engine import ImpreciseQueryEngine, PointDatabase
+
+from benchmarks.conftest import issuer_for
+
+INDEX_KINDS = ["rtree", "grid", "linear"]
+
+
+@pytest.fixture(scope="module", params=INDEX_KINDS)
+def point_db_by_kind(request, point_objects):
+    return request.param, PointDatabase.build(point_objects, index_kind=request.param)
+
+
+def test_ipq_by_index_kind(benchmark, point_db_by_kind):
+    """IPQ with the paper's default parameters over the given index kind."""
+    kind, database = point_db_by_kind
+    engine = ImpreciseQueryEngine(point_db=database)
+    issuer, spec = issuer_for(250.0)
+    benchmark.extra_info["index"] = kind
+    result = benchmark(lambda: engine.evaluate_ipq(issuer, spec))
+    assert result[1].candidates_examined >= 0
+
+
+def test_rtree_bulk_load_construction(benchmark, point_objects):
+    """Index-construction cost: STR bulk load over the point dataset."""
+    from repro.index.rtree import RTree
+
+    tree = benchmark(lambda: RTree.bulk_load(point_objects))
+    assert len(tree) == len(point_objects)

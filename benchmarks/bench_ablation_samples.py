@@ -1,0 +1,39 @@
+"""Ablation — Monte-Carlo sample count for non-uniform pdfs (Section 6.2).
+
+The paper's sensitivity analysis settled on 200 samples per C-IPQ probability
+and 250 per C-IUQ probability.  This benchmark measures how the per-query
+cost scales with the sample count (accuracy is covered by
+``repro.experiments.sensitivity.monte_carlo_sample_sweep`` and its tests).
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine
+
+from benchmarks.conftest import issuer_for
+
+SAMPLE_COUNTS = [50, 200, 800]
+
+
+@pytest.mark.parametrize("samples", SAMPLE_COUNTS)
+def test_gaussian_cipq_cost_vs_samples(benchmark, point_db, samples):
+    """C-IPQ with a Gaussian issuer at Qp = 0.3 and the given sample count."""
+    engine = ImpreciseQueryEngine(
+        point_db=point_db,
+        config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=samples),
+    )
+    issuer, spec = issuer_for(250.0, pdf="gaussian", threshold=0.3)
+    result = benchmark(lambda: engine.evaluate_cipq(issuer, spec, 0.3))
+    assert result[1].monte_carlo_samples >= 0
+
+
+@pytest.mark.parametrize("samples", SAMPLE_COUNTS)
+def test_gaussian_ciuq_cost_vs_samples(benchmark, uncertain_db_pti, samples):
+    """C-IUQ with Monte-Carlo probabilities at Qp = 0.3 and the given sample count."""
+    engine = ImpreciseQueryEngine(
+        uncertain_db=uncertain_db_pti,
+        config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=samples),
+    )
+    issuer, spec = issuer_for(250.0, pdf="gaussian", threshold=0.3)
+    result = benchmark(lambda: engine.evaluate_ciuq(issuer, spec, 0.3))
+    assert result[1].monte_carlo_samples >= 0

@@ -1,0 +1,27 @@
+"""Figure 9 — IPQ response time vs uncertainty-region size for several range sizes.
+
+Expected shape: response time grows with both the issuer-region size ``u``
+and the range size ``w`` because the Minkowski-expanded query (and hence the
+candidate set) grows with both.
+"""
+
+import pytest
+
+from repro.core.engine import ImpreciseQueryEngine
+
+from benchmarks.conftest import workload_for
+
+U_VALUES = [100.0, 250.0, 500.0, 1000.0]
+W_VALUES = [500.0, 1000.0, 1500.0]
+
+
+@pytest.mark.parametrize("w", W_VALUES)
+@pytest.mark.parametrize("u", U_VALUES)
+def test_ipq_response_time(benchmark, point_db, u, w):
+    """One point of Figure 9: IPQ at issuer size ``u`` and range size ``w``."""
+    engine = ImpreciseQueryEngine(point_db=point_db)
+    workload = workload_for(u, w)
+    issuer = next(workload.issuers(1))
+    spec = workload.spec
+    result = benchmark(lambda: engine.evaluate_ipq(issuer, spec))
+    assert result[1].candidates_examined >= 0

@@ -1,0 +1,28 @@
+"""Figure 10 — IUQ response time vs uncertainty-region size for several range sizes.
+
+Same sweep as Figure 9 but over the uncertain-object (Long-Beach-like)
+database; expected shape is identical (cost grows with both ``u`` and ``w``),
+with higher absolute values because every candidate needs an Equation-8
+integration instead of a point containment test.
+"""
+
+import pytest
+
+from repro.core.engine import ImpreciseQueryEngine
+
+from benchmarks.conftest import workload_for
+
+U_VALUES = [100.0, 250.0, 500.0, 1000.0]
+W_VALUES = [500.0, 1000.0, 1500.0]
+
+
+@pytest.mark.parametrize("w", W_VALUES)
+@pytest.mark.parametrize("u", U_VALUES)
+def test_iuq_response_time(benchmark, uncertain_db_rtree, u, w):
+    """One point of Figure 10: IUQ at issuer size ``u`` and range size ``w``."""
+    engine = ImpreciseQueryEngine(uncertain_db=uncertain_db_rtree)
+    workload = workload_for(u, w)
+    issuer = next(workload.issuers(1))
+    spec = workload.spec
+    result = benchmark(lambda: engine.evaluate_iuq(issuer, spec))
+    assert result[1].candidates_examined >= 0

@@ -1,0 +1,82 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark works on the TIGER-like stand-in datasets.  The dataset scale
+defaults to 2 % of the paper's cardinality so the whole suite finishes in a
+few minutes; set the environment variable ``REPRO_BENCH_SCALE`` (e.g. to
+``1.0``) to run at full size.  Each benchmark measures the evaluation of a
+single representative query (pytest-benchmark averages over many rounds),
+which corresponds to one point of one series in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.datasets.tiger import california_points, long_beach_uncertain_objects
+from repro.datasets.workload import QueryWorkload
+from repro.uncertainty.catalog import PAPER_CATALOG_LEVELS
+
+
+def bench_scale() -> float:
+    """Dataset scale factor used by all benchmarks."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+
+
+@pytest.fixture(scope="session")
+def point_objects():
+    """California-like point objects at benchmark scale."""
+    return california_points(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def uncertain_objects():
+    """Long-Beach-like uncertain objects at benchmark scale, with U-catalogs."""
+    objects = long_beach_uncertain_objects(scale=bench_scale())
+    return [obj.with_catalog(PAPER_CATALOG_LEVELS) for obj in objects]
+
+
+@pytest.fixture(scope="session")
+def point_db(point_objects) -> PointDatabase:
+    """R-tree-indexed point database."""
+    return PointDatabase.build(point_objects)
+
+
+@pytest.fixture(scope="session")
+def uncertain_db_rtree(uncertain_objects) -> UncertainDatabase:
+    """Plain R-tree-indexed uncertain database."""
+    return UncertainDatabase.build(
+        uncertain_objects, index_kind="rtree", catalog_levels=None
+    )
+
+
+@pytest.fixture(scope="session")
+def uncertain_db_pti(uncertain_objects) -> UncertainDatabase:
+    """PTI-indexed uncertain database."""
+    return UncertainDatabase.build(uncertain_objects, index_kind="pti", catalog_levels=None)
+
+
+def issuer_for(u: float, *, pdf: str = "uniform", threshold: float = 0.0, seed: int = 4711):
+    """A representative query issuer with the paper's workload construction."""
+    workload = QueryWorkload(
+        issuer_half_size=u,
+        range_half_size=500.0,
+        threshold=threshold,
+        issuer_pdf=pdf,  # type: ignore[arg-type]
+        catalog_levels=PAPER_CATALOG_LEVELS,
+        seed=seed,
+    )
+    return next(workload.issuers(1)), workload.spec
+
+
+def workload_for(u: float, w: float, *, pdf: str = "uniform", seed: int = 4711) -> QueryWorkload:
+    """A workload with explicit issuer size and range size."""
+    return QueryWorkload(
+        issuer_half_size=u,
+        range_half_size=w,
+        issuer_pdf=pdf,  # type: ignore[arg-type]
+        catalog_levels=PAPER_CATALOG_LEVELS,
+        seed=seed,
+    )

@@ -1,0 +1,116 @@
+"""The paper's motivating scenario: "find the available cabs within two miles
+of my current location" — at city scale.
+
+A fleet of a few thousand cabs is modelled as uncertain objects (each cab's
+position is only known up to a box derived from its last report), the rider's
+own position is imprecise, and the dispatcher only wants cabs that are within
+range *with high confidence*.  The example contrasts three server-side
+evaluation strategies on the same query:
+
+1. the basic method (direct numerical integration of Equation 4),
+2. the enhanced method (Minkowski expansion + query–data duality), and
+3. the constrained query with a probability threshold (PTI + p-expanded-query),
+
+and prints their answers and costs.  This is Figure 8 / Figure 12 of the
+paper condensed into a single narrative.
+
+Run with::
+
+    python examples/find_nearby_cabs.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    EngineConfig,
+    ImpreciseQueryEngine,
+    Point,
+    RangeQuerySpec,
+    Rect,
+    UncertainDatabase,
+    UncertainObject,
+    UniformPdf,
+)
+from repro.core.basic import BasicEvaluator
+from repro.core.queries import ImpreciseRangeQuery
+from repro.datasets.synthetic import clustered_rectangles
+
+CITY = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+TWO_MILES = 1_000.0  # scaled units
+CONFIDENCE = 0.6
+
+
+def build_fleet(n_cabs: int = 4_000) -> UncertainDatabase:
+    """Cabs with uncertainty boxes of 50–250 units, clustered around hot spots."""
+    cabs = clustered_rectangles(n_cabs, CITY, size_range=(50.0, 250.0), seed=20_070_415)
+    return UncertainDatabase.build(cabs, index_kind="pti")
+
+
+def main() -> None:
+    print("building the cab fleet and its Probability Threshold Index ...")
+    started = time.perf_counter()
+    fleet = build_fleet()
+    print(f"  {len(fleet)} cabs indexed in {time.perf_counter() - started:.2f} s")
+
+    # The rider's phone reports a cloaked location: a 400 x 400 box.
+    rider = UncertainObject(
+        oid=0, pdf=UniformPdf(Rect.from_center(Point(5_200.0, 4_800.0), 200.0, 200.0))
+    ).with_catalog()
+    spec = RangeQuerySpec.square(TWO_MILES)
+
+    # --- 1. basic method (the paper's Section 3.3 baseline) ----------------
+    basic = BasicEvaluator(issuer_samples=400)
+    started = time.perf_counter()
+    basic_result, _ = basic.evaluate_iuq(
+        ImpreciseRangeQuery(issuer=rider, spec=spec), fleet.objects
+    )
+    basic_time = (time.perf_counter() - started) * 1000.0
+
+    # --- 2. enhanced method (Section 4) ------------------------------------
+    engine = ImpreciseQueryEngine(uncertain_db=fleet)
+    started = time.perf_counter()
+    enhanced_result, enhanced_stats = engine.evaluate_iuq(rider, spec)
+    enhanced_time = (time.perf_counter() - started) * 1000.0
+
+    # --- 3. constrained query (Section 5): only confident answers ----------
+    constrained_engine = ImpreciseQueryEngine(
+        uncertain_db=fleet, config=EngineConfig(use_p_expanded_query=True, use_pti_pruning=True)
+    )
+    started = time.perf_counter()
+    confident_result, confident_stats = constrained_engine.evaluate_ciuq(
+        rider, spec, threshold=CONFIDENCE
+    )
+    constrained_time = (time.perf_counter() - started) * 1000.0
+
+    print()
+    print(f"cabs possibly in range        : {len(enhanced_result)}")
+    print(f"cabs in range with p >= {CONFIDENCE:.1f}  : {len(confident_result)}")
+    best = list(confident_result)[:5]
+    for answer in best:
+        print(f"  cab {answer.oid}: probability {answer.probability:.3f}")
+
+    print()
+    print("evaluation cost (one query):")
+    print(f"  basic method (Eq. 4)                : {basic_time:10.1f} ms")
+    print(
+        f"  enhanced method (Eq. 8)              : {enhanced_time:10.1f} ms"
+        f"   [{enhanced_stats.candidates_examined} candidates]"
+    )
+    print(
+        f"  constrained, PTI + p-expanded-query  : {constrained_time:10.1f} ms"
+        f"   [{confident_stats.candidates_examined} candidates]"
+    )
+
+    # Sanity: the enhanced answers agree with the basic ones.
+    basic_probs = basic_result.probabilities()
+    drift = max(
+        (abs(basic_probs.get(a.oid, 0.0) - a.probability) for a in enhanced_result),
+        default=0.0,
+    )
+    print(f"\nmax |basic - enhanced| probability difference: {drift:.4f}")
+
+
+if __name__ == "__main__":
+    main()

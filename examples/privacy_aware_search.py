@@ -1,0 +1,72 @@
+"""Location privacy vs answer quality — the trade-off behind the paper.
+
+The paper motivates imprecise queries partly by privacy: a user can protect
+their location by *deliberately* reporting a larger uncertainty region (a
+"cloaking box").  The price is answer quality: the larger the region, the
+fuzzier the qualification probabilities and the more work the server does.
+
+This example sweeps the cloaking-box size for a fixed user and query range
+over the California-like point dataset and reports, for each size:
+
+* how many objects are possible answers at all (probability > 0),
+* how many are confident answers (probability >= 0.7),
+* the expected number of retrieved objects (sum of probabilities), and
+* the server-side evaluation cost.
+
+Run with::
+
+    python examples/privacy_aware_search.py
+"""
+
+from __future__ import annotations
+
+from repro import ImpreciseQueryEngine, Point, PointDatabase, RangeQuerySpec, Rect
+from repro.datasets.tiger import california_points
+from repro.datasets.workload import QueryWorkload
+
+RANGE_HALF_SIZE = 500.0
+CONFIDENCE = 0.7
+CLOAK_SIZES = [50.0, 125.0, 250.0, 500.0, 1_000.0]
+
+
+def main() -> None:
+    print("building the point-of-interest database (California stand-in, 10%) ...")
+    objects = california_points(scale=0.1)
+    database = PointDatabase.build(objects)
+    engine = ImpreciseQueryEngine(point_db=database)
+    spec = RangeQuerySpec.square(RANGE_HALF_SIZE)
+
+    true_position = Point(5_000.0, 5_000.0)
+    print(f"  {len(database)} points indexed; user's true position: {true_position.as_tuple()}")
+    print()
+    header = (
+        f"{'cloak half-size':>16} {'possible':>9} {'confident':>10} "
+        f"{'expected answers':>17} {'candidates':>11} {'time (ms)':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for cloak in CLOAK_SIZES:
+        workload = QueryWorkload(issuer_half_size=cloak, range_half_size=RANGE_HALF_SIZE)
+        issuer = workload.make_issuer(true_position)
+        result, stats = engine.evaluate_ipq(issuer, spec)
+        confident = result.above_threshold(CONFIDENCE)
+        expected_answers = sum(answer.probability for answer in result)
+        print(
+            f"{cloak:>16.0f} {len(result):>9} {len(confident):>10} "
+            f"{expected_answers:>17.1f} {stats.candidates_examined:>11} "
+            f"{stats.response_time_ms:>10.2f}"
+        )
+
+    print()
+    print(
+        "Reading the table: growing the cloaking box keeps the user's true\n"
+        "position private among more possibilities, but the confident-answer\n"
+        "set shrinks relative to the possible-answer set and the server has to\n"
+        "examine more candidates — exactly the privacy/quality/cost trade-off\n"
+        "the constrained queries of Section 5 are designed to manage."
+    )
+
+
+if __name__ == "__main__":
+    main()

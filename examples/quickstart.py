@@ -1,0 +1,85 @@
+"""Quickstart: evaluate imprecise location-dependent range queries.
+
+This example builds a small database of point objects (e.g. restaurants) and
+uncertain objects (e.g. moving taxis), then issues the paper's two query
+types from a user whose own location is only known up to an uncertainty
+region:
+
+* IPQ  — which restaurants might be within 500 m of me, and how likely?
+* C-IUQ — which taxis are within 500 m of me with probability at least 0.5?
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ImpreciseQueryEngine,
+    Point,
+    PointDatabase,
+    PointObject,
+    RangeQuerySpec,
+    Rect,
+    UncertainDatabase,
+    UncertainObject,
+    UniformPdf,
+)
+
+
+def build_databases() -> tuple[PointDatabase, UncertainDatabase]:
+    """A handful of restaurants (points) and taxis (uncertain regions)."""
+    restaurants = [
+        PointObject.at(1, 1_050.0, 980.0),
+        PointObject.at(2, 1_420.0, 1_100.0),
+        PointObject.at(3, 1_800.0, 1_750.0),
+        PointObject.at(4, 300.0, 2_600.0),
+        PointObject.at(5, 980.0, 1_210.0),
+    ]
+    # Each taxi reports its position infrequently, so the server only knows a
+    # rectangle it must currently be in (last position + maximum speed).
+    taxis = [
+        UncertainObject.uniform(101, Rect(900.0, 900.0, 1_100.0, 1_100.0)),
+        UncertainObject.uniform(102, Rect(1_300.0, 1_200.0, 1_700.0, 1_600.0)),
+        UncertainObject.uniform(103, Rect(2_400.0, 2_400.0, 2_600.0, 2_600.0)),
+        UncertainObject.uniform(104, Rect(700.0, 1_400.0, 1_000.0, 1_700.0)),
+    ]
+    return (
+        PointDatabase.build(restaurants),
+        UncertainDatabase.build(taxis, index_kind="pti"),
+    )
+
+
+def main() -> None:
+    point_db, uncertain_db = build_databases()
+    engine = ImpreciseQueryEngine(point_db=point_db, uncertain_db=uncertain_db)
+
+    # The query issuer's own location is imprecise: somewhere in a
+    # 200 x 200 box centred at (1000, 1000) (GPS error or privacy cloaking).
+    issuer = UncertainObject(
+        oid=0, pdf=UniformPdf(Rect.from_center(Point(1_000.0, 1_000.0), 100.0, 100.0))
+    ).with_catalog()
+
+    # "... within 500 units of my current location."
+    spec = RangeQuerySpec.square(500.0)
+
+    print("IPQ — restaurants possibly within 500 units of me")
+    result, stats = engine.evaluate_ipq(issuer, spec)
+    for answer in result:
+        print(f"  restaurant {answer.oid}: qualification probability {answer.probability:.3f}")
+    print(f"  ({stats.candidates_examined} candidates, {stats.response_time_ms:.2f} ms)")
+
+    print()
+    print("C-IUQ — taxis within 500 units of me with probability >= 0.5")
+    result, stats = engine.evaluate_ciuq(issuer, spec, threshold=0.5)
+    for answer in result:
+        print(f"  taxi {answer.oid}: qualification probability {answer.probability:.3f}")
+    print(
+        f"  ({stats.candidates_examined} candidates, "
+        f"{stats.total_pruned} pruned by threshold rules, {stats.response_time_ms:.2f} ms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

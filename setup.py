@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip versions predate full PEP 660 support
+(``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of "Efficient Evaluation of Imprecise Location-Dependent Queries".
+
+The package implements the query model, evaluation algorithms, spatial
+indexes and experiment harness of Chen & Cheng (ICDE 2007).  The most common
+entry points are re-exported here:
+
+* :class:`~repro.core.engine.ImpreciseQueryEngine` — evaluates IPQ, IUQ,
+  C-IPQ and C-IUQ queries over indexed databases;
+* :class:`~repro.core.queries.RangeQuerySpec` and
+  :class:`~repro.uncertainty.region.UncertainObject` — building blocks for
+  queries and data;
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets and
+  query workloads;
+* :mod:`repro.experiments` — the per-figure experiment harness.
+"""
+
+from repro.geometry import Point, Rect
+from repro.uncertainty import (
+    UniformPdf,
+    TruncatedGaussianPdf,
+    HistogramPdf,
+    UniformCirclePdf,
+    PointObject,
+    UncertainObject,
+    UCatalog,
+)
+from repro.core import (
+    RangeQuerySpec,
+    ImpreciseRangeQuery,
+    QueryAnswer,
+    QueryResult,
+    EngineConfig,
+    ImpreciseQueryEngine,
+    PointDatabase,
+    UncertainDatabase,
+    BasicEvaluator,
+    ImpreciseNearestNeighborEngine,
+)
+from repro.index import RTree, ProbabilityThresholdIndex, GridFile, LinearScanIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "Rect",
+    "UniformPdf",
+    "TruncatedGaussianPdf",
+    "HistogramPdf",
+    "UniformCirclePdf",
+    "PointObject",
+    "UncertainObject",
+    "UCatalog",
+    "RangeQuerySpec",
+    "ImpreciseRangeQuery",
+    "QueryAnswer",
+    "QueryResult",
+    "EngineConfig",
+    "ImpreciseQueryEngine",
+    "PointDatabase",
+    "UncertainDatabase",
+    "BasicEvaluator",
+    "ImpreciseNearestNeighborEngine",
+    "RTree",
+    "ProbabilityThresholdIndex",
+    "GridFile",
+    "LinearScanIndex",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""Core query model and evaluation engines — the paper's contribution.
+
+The package is organised around the paper's structure:
+
+* :mod:`repro.core.queries` — query and answer types (IPQ, IUQ, C-IPQ, C-IUQ).
+* :mod:`repro.core.basic` — the basic evaluation method of Section 3.3
+  (direct numerical integration of Equations 2 and 4).
+* :mod:`repro.core.expansion` — query expansion via the Minkowski sum
+  (Section 4.1) and the p-expanded-query (Section 5.1).
+* :mod:`repro.core.duality` — query–data duality probability computation
+  (Section 4.2, Lemmas 2–4).
+* :mod:`repro.core.pruning` — threshold pruning strategies (Section 5.2).
+* :mod:`repro.core.engine` — the end-to-end engines combining an index, the
+  filters and the probability computations (Sections 4.3 and 5.3).
+* :mod:`repro.core.nearest` — imprecise nearest-neighbour extension
+  (the paper's future work).
+* :mod:`repro.core.quality` — answer-quality metrics (expected cardinality,
+  precision, recall) for reasoning about the privacy/quality trade-off.
+"""
+
+from repro.core.queries import (
+    RangeQuerySpec,
+    ImpreciseRangeQuery,
+    QueryAnswer,
+    QueryResult,
+)
+from repro.core.expansion import (
+    minkowski_expanded_query,
+    p_expanded_query,
+    p_expanded_query_from_catalog,
+)
+from repro.core.duality import (
+    ipq_probability,
+    ipq_probability_monte_carlo,
+    iuq_probability,
+    iuq_probability_exact_uniform,
+    iuq_probability_monte_carlo,
+)
+from repro.core.basic import BasicEvaluator, basic_ipq_probability, basic_iuq_probability
+from repro.core.pruning import CIPQPruner, CIUQPruner, PruneDecision, PruningStrategy
+from repro.core.statistics import EvaluationStatistics, aggregate_statistics
+from repro.core.engine import (
+    PointDatabase,
+    UncertainDatabase,
+    ImpreciseQueryEngine,
+    EngineConfig,
+)
+from repro.core.nearest import ImpreciseNearestNeighborEngine
+from repro.core.quality import (
+    expected_cardinality,
+    expected_precision,
+    expected_recall,
+    certainty_score,
+    f_score,
+    threshold_sweep,
+)
+
+__all__ = [
+    "RangeQuerySpec",
+    "ImpreciseRangeQuery",
+    "QueryAnswer",
+    "QueryResult",
+    "minkowski_expanded_query",
+    "p_expanded_query",
+    "p_expanded_query_from_catalog",
+    "ipq_probability",
+    "ipq_probability_monte_carlo",
+    "iuq_probability",
+    "iuq_probability_exact_uniform",
+    "iuq_probability_monte_carlo",
+    "BasicEvaluator",
+    "basic_ipq_probability",
+    "basic_iuq_probability",
+    "CIPQPruner",
+    "CIUQPruner",
+    "PruneDecision",
+    "PruningStrategy",
+    "EvaluationStatistics",
+    "aggregate_statistics",
+    "PointDatabase",
+    "UncertainDatabase",
+    "ImpreciseQueryEngine",
+    "EngineConfig",
+    "ImpreciseNearestNeighborEngine",
+    "expected_cardinality",
+    "expected_precision",
+    "expected_recall",
+    "certainty_score",
+    "f_score",
+    "threshold_sweep",
+]

@@ -1,0 +1,85 @@
+"""Query expansion (Section 4.1) and the p-expanded-query (Section 5.1).
+
+*Query expansion* turns the imprecise query into a conventional window query:
+the Minkowski sum ``R ⊕ U0`` of the range rectangle and the issuer's
+uncertainty region contains every point at which some possible issuer
+position could see an object; anything outside it has zero qualification
+probability (Lemma 1).
+
+The *p-expanded-query* sharpens this for constrained queries: by Lemma 5 the
+left side of the p-expanded-query sits ``w`` units to the left of the
+issuer's ``l0(p)`` p-bound line (and analogously for the other three sides),
+and any point object outside it has qualification probability below ``p``
+(Definition 7).  The 0-expanded-query coincides with the Minkowski sum.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.rect import Rect
+from repro.core.queries import RangeQuerySpec
+from repro.uncertainty.catalog import UCatalog
+from repro.uncertainty.pbound import compute_pbound
+from repro.uncertainty.pdf import UncertaintyPdf
+
+
+def minkowski_expanded_query(issuer_region: Rect, spec: RangeQuerySpec) -> Rect:
+    """The expanded query range ``R ⊕ U0`` (Lemma 1 / Figure 2).
+
+    For axis-parallel rectangles the sum is ``U0`` grown by the query
+    half-width on the left/right and half-height on the top/bottom.
+    """
+    if issuer_region.is_empty:
+        raise ValueError("issuer uncertainty region must be non-empty")
+    return issuer_region.expand(spec.half_width, spec.half_height)
+
+
+def p_expanded_query(issuer_pdf: UncertaintyPdf, spec: RangeQuerySpec, p: float) -> Rect:
+    """The exact p-expanded-query built from the issuer's pdf (Lemma 5).
+
+    Each side of the Minkowski sum is moved inwards by the distance between
+    the issuer region's boundary and the corresponding p-bound line of the
+    issuer.  For ``p == 0`` the result equals the Minkowski sum; the rectangle
+    shrinks monotonically as ``p`` grows and may become empty for large ``p``
+    (meaning *no* object can reach the threshold).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    bound = compute_pbound(issuer_pdf, p)
+    return Rect(
+        bound.left - spec.half_width,
+        bound.bottom - spec.half_height,
+        bound.right + spec.half_width,
+        bound.top + spec.half_height,
+    )
+
+
+def p_expanded_query_from_catalog(
+    catalog: UCatalog, spec: RangeQuerySpec, p: float
+) -> tuple[Rect, float]:
+    """The p-expanded-query derived from a pre-computed U-catalog.
+
+    Since only a few probability levels are stored, the requested ``p`` is
+    rounded *down* to the largest stored level ``M ≤ p`` (Section 5.1): the
+    ``M``-expanded-query encloses the exact ``p``-expanded-query, so pruning
+    with it remains correct, merely less sharp.  Returns the rectangle and the
+    level actually used.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    level = catalog.largest_level_at_most(p)
+    if level is None:
+        # Rounding *up* would produce a smaller window and could wrongly prune
+        # qualifying objects, so there is no safe answer without the level-0
+        # bound; callers must fall back to the Minkowski sum in that case.
+        raise ValueError(
+            f"no stored catalog level is <= {p}; use the Minkowski sum instead "
+            "(or store level 0 in the U-catalog)"
+        )
+    bound = catalog.bound_at(level)
+    rect = Rect(
+        bound.left - spec.half_width,
+        bound.bottom - spec.half_height,
+        bound.right + spec.half_width,
+        bound.top + spec.half_height,
+    )
+    return rect, level

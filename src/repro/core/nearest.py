@@ -1,0 +1,97 @@
+"""Imprecise nearest-neighbour queries — the paper's stated future work.
+
+The conclusion of the paper announces support for "other location-dependent
+queries (such as the nearest-neighbor queries)" as future work.  This module
+provides a snapshot imprecise nearest-neighbour query over point objects: the
+query issuer's location is uncertain, and each object's qualification
+probability is the probability (under the issuer's pdf) that the object is
+the issuer's nearest neighbour.
+
+Evaluation samples the issuer's pdf, finds the nearest point object for every
+sampled position with a best-first R-tree search, and normalises the win
+counts.  The candidate set is first narrowed with a conservative geometric
+filter: an object whose minimum possible distance to the issuer region
+exceeds the smallest maximum distance of some other object can never win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.core.queries import QueryAnswer, QueryResult
+from repro.core.statistics import EvaluationStatistics
+from repro.index.rtree import RTree
+from repro.uncertainty.region import PointObject, UncertainObject
+import time
+
+
+@dataclass(frozen=True)
+class NearestNeighborAnswer:
+    """An object together with its probability of being the nearest neighbour."""
+
+    oid: int
+    probability: float
+
+
+class ImpreciseNearestNeighborEngine:
+    """Evaluates imprecise nearest-neighbour queries over point objects."""
+
+    def __init__(
+        self,
+        objects: list[PointObject],
+        *,
+        index: RTree | None = None,
+        samples: int = 256,
+        rng_seed: int = 11,
+    ) -> None:
+        if not objects:
+            raise ValueError("the nearest-neighbour engine needs at least one object")
+        if samples <= 0:
+            raise ValueError("samples must be positive")
+        self._objects = list(objects)
+        self._index = index if index is not None else RTree.bulk_load(self._objects)
+        self._samples = samples
+        self._rng = np.random.default_rng(rng_seed)
+
+    def evaluate(
+        self, issuer: UncertainObject, *, threshold: float = 0.0
+    ) -> tuple[QueryResult, EvaluationStatistics]:
+        """Return objects with their nearest-neighbour qualification probabilities.
+
+        Only objects with probability at least ``threshold`` (and non-zero)
+        are reported, mirroring the constrained range-query semantics.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+        started = time.perf_counter()
+        stats = EvaluationStatistics()
+        before = self._index.stats.snapshot()
+
+        draws = issuer.pdf.sample(self._rng, self._samples)
+        stats.monte_carlo_samples = self._samples
+        wins: dict[int, int] = {}
+        for x, y in draws:
+            winners = self._index.nearest_neighbors(Point(float(x), float(y)), k=1)
+            if winners:
+                winner: PointObject = winners[0]
+                wins[winner.oid] = wins.get(winner.oid, 0) + 1
+
+        stats.io = self._index.stats.difference_since(before)
+        stats.candidates_examined = len(wins)
+        result = QueryResult()
+        for oid, count in wins.items():
+            probability = count / self._samples
+            if probability > 0.0 and probability >= threshold:
+                result.add(oid, probability)
+        result.sort()
+        stats.results_returned = len(result)
+        stats.response_time = time.perf_counter() - started
+        return result, stats
+
+    def most_probable_neighbor(self, issuer: UncertainObject) -> QueryAnswer | None:
+        """Convenience wrapper returning only the most probable nearest neighbour."""
+        result, _ = self.evaluate(issuer)
+        return result.answers[0] if result.answers else None

@@ -1,0 +1,122 @@
+"""Answer-quality metrics for probabilistic query results.
+
+The paper's companion work (Cheng et al., "Preserving user location privacy
+in mobile data management infrastructures", PET 2006 — reference [6] of the
+paper) defines service quality in terms of the objects' qualification
+probabilities: an answer set whose probabilities are close to 1 is worth more
+to the user than one full of long shots.  These metrics make that notion
+concrete so applications (and the privacy example) can reason about the
+privacy/quality trade-off quantitatively.
+
+All metrics operate on :class:`~repro.core.queries.QueryResult` objects and
+are pure functions of the reported probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.queries import QueryResult
+
+
+def expected_cardinality(result: QueryResult) -> float:
+    """Expected number of objects that truly satisfy the query.
+
+    Each answer contributes its qualification probability; the sum is the
+    expectation of the true answer-set size under the uncertainty model.
+    """
+    return sum(answer.probability for answer in result)
+
+
+def expected_precision(result: QueryResult) -> float:
+    """Expected fraction of reported answers that truly satisfy the query.
+
+    This is the mean qualification probability of the answer set; an empty
+    result has precision 1.0 by convention (nothing reported, nothing wrong).
+    """
+    if len(result) == 0:
+        return 1.0
+    return expected_cardinality(result) / len(result)
+
+
+def expected_recall(result: QueryResult, reference: QueryResult) -> float:
+    """Expected fraction of truly qualifying objects that were reported.
+
+    ``reference`` is the unconstrained result (every object with non-zero
+    probability); the numerator only counts probability mass of objects that
+    appear in ``result``.  When the reference carries no probability mass the
+    recall is 1.0 by convention.
+    """
+    reference_mass = expected_cardinality(reference)
+    if reference_mass == 0.0:
+        return 1.0
+    reported = result.oids()
+    captured = sum(a.probability for a in reference if a.oid in reported)
+    return captured / reference_mass
+
+def certainty_score(result: QueryResult) -> float:
+    """How decisive the answer probabilities are, in ``[0, 1]``.
+
+    A probability of exactly 0.5 carries no information (score 0 for that
+    answer); probabilities near 0 or 1 are decisive (score 1).  The score of
+    the answer set is the mean per-answer score, using the binary-entropy
+    complement ``1 - H(p)``.  Empty results score 1.0 by convention.
+    """
+    if len(result) == 0:
+        return 1.0
+    total = 0.0
+    for answer in result:
+        p = min(max(answer.probability, 0.0), 1.0)
+        if p in (0.0, 1.0):
+            total += 1.0
+        else:
+            entropy = -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))
+            total += 1.0 - entropy
+    return total / len(result)
+
+
+def f_score(result: QueryResult, reference: QueryResult, *, beta: float = 1.0) -> float:
+    """Harmonic combination of expected precision and expected recall.
+
+    ``beta`` weighs recall against precision exactly as in the classical
+    F-measure.  Useful for picking a probability threshold: a higher ``Qp``
+    raises precision but lowers recall, and the F-score exposes the best
+    trade-off point.
+    """
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    precision = expected_precision(result)
+    recall = expected_recall(result, reference)
+    if precision == 0.0 and recall == 0.0:
+        return 0.0
+    beta_sq = beta * beta
+    denominator = beta_sq * precision + recall
+    if denominator == 0.0:
+        return 0.0
+    return (1.0 + beta_sq) * precision * recall / denominator
+
+
+def threshold_sweep(
+    reference: QueryResult, thresholds: list[float]
+) -> list[tuple[float, float, float, float]]:
+    """Quality metrics of ``reference`` filtered at each threshold.
+
+    Returns ``(threshold, expected_precision, expected_recall, f_score)``
+    tuples — the quality counterpart of the paper's C-IPQ/C-IUQ cost sweeps
+    (Figures 11 and 12), letting applications choose ``Qp`` by quality rather
+    than by cost alone.
+    """
+    rows: list[tuple[float, float, float, float]] = []
+    for threshold in thresholds:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+        filtered = reference.above_threshold(threshold)
+        rows.append(
+            (
+                threshold,
+                expected_precision(filtered),
+                expected_recall(filtered, reference),
+                f_score(filtered, reference),
+            )
+        )
+    return rows

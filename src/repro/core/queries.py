@@ -1,0 +1,130 @@
+"""Query and answer types (Section 3.2 of the paper).
+
+An imprecise location-dependent range query is described by
+
+* the *query issuer* ``O0`` — an uncertain object whose pdf models the
+  imprecision of the issuer's own location,
+* the range rectangle's half-width ``w`` and half-height ``h`` (the range is
+  centred at the issuer's true, unknown position), and
+* an optional *probability threshold* ``Qp``; answers with qualification
+  probability below the threshold are not reported (Definitions 5 and 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.region import UncertainObject
+
+
+@dataclass(frozen=True, slots=True)
+class RangeQuerySpec:
+    """The shape of a location-dependent range query: half-width and half-height."""
+
+    half_width: float
+    half_height: float
+
+    def __post_init__(self) -> None:
+        if self.half_width < 0 or self.half_height < 0:
+            raise ValueError("query half-extents must be non-negative")
+
+    @staticmethod
+    def square(half_size: float) -> "RangeQuerySpec":
+        """A square range, the shape used throughout the paper's experiments."""
+        return RangeQuerySpec(half_size, half_size)
+
+    def region_at(self, center: Point) -> Rect:
+        """The concrete range rectangle ``R(x, y)`` for an issuer located at ``center``."""
+        return Rect.from_center(center, self.half_width, self.half_height)
+
+    @property
+    def area(self) -> float:
+        """Area of the range rectangle."""
+        return (2.0 * self.half_width) * (2.0 * self.half_height)
+
+
+@dataclass(frozen=True)
+class ImpreciseRangeQuery:
+    """A fully specified imprecise location-dependent range query.
+
+    ``threshold == 0`` corresponds to the unconstrained IPQ / IUQ of
+    Definitions 3–4 (return every object with non-zero probability);
+    a positive threshold yields the constrained C-IPQ / C-IUQ of
+    Definitions 5–6.
+    """
+
+    issuer: UncertainObject
+    spec: RangeQuerySpec
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {self.threshold}")
+
+    @property
+    def issuer_region(self) -> Rect:
+        """The issuer's uncertainty region ``U0``."""
+        return self.issuer.region
+
+    @property
+    def is_constrained(self) -> bool:
+        """True when a positive probability threshold applies."""
+        return self.threshold > 0.0
+
+    def range_at(self, center: Point) -> Rect:
+        """Range rectangle for a hypothetical issuer position ``center``."""
+        return self.spec.region_at(center)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryAnswer:
+    """One tuple of a query result: an object identity and its qualification probability."""
+
+    oid: int
+    probability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0 + 1e-9:
+            raise ValueError(f"probability out of range: {self.probability}")
+
+
+@dataclass
+class QueryResult:
+    """An ordered collection of query answers.
+
+    Answers are kept sorted by decreasing probability so that the "most
+    certainly qualifying" objects come first, matching how a location-based
+    service would present them.
+    """
+
+    answers: list[QueryAnswer] = field(default_factory=list)
+
+    def add(self, oid: int, probability: float) -> None:
+        """Append an answer (re-sorting is deferred to :meth:`sort`)."""
+        self.answers.append(QueryAnswer(oid=oid, probability=probability))
+
+    def sort(self) -> None:
+        """Sort answers by decreasing probability, ties broken by object id."""
+        self.answers.sort(key=lambda a: (-a.probability, a.oid))
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __iter__(self) -> Iterator[QueryAnswer]:
+        return iter(self.answers)
+
+    def probabilities(self) -> dict[int, float]:
+        """Return a ``{oid: probability}`` mapping of the answers."""
+        return {answer.oid: answer.probability for answer in self.answers}
+
+    def oids(self) -> set[int]:
+        """Return the set of object identities in the answer."""
+        return {answer.oid for answer in self.answers}
+
+    def above_threshold(self, threshold: float) -> "QueryResult":
+        """Return a new result keeping only answers with probability ≥ threshold."""
+        filtered = [a for a in self.answers if a.probability >= threshold]
+        return QueryResult(answers=filtered)

@@ -1,0 +1,46 @@
+"""Datasets and query workloads for the experiments.
+
+The paper evaluates on two TIGER/Line extracts: *California* (62 K points,
+used as the point-object database) and *Long Beach* (53 K rectangles, used as
+the uncertain-object database), both normalised to a 10 000 × 10 000 space.
+The raw TIGER files are not redistributable here, so
+:mod:`repro.datasets.tiger` generates deterministic synthetic datasets with
+the same cardinality, space and spatial skew (clusters along road-like
+corridors over a sparse background); see DESIGN.md for the substitution
+rationale.  Scaled-down variants keep the test-suite and benchmark runtimes
+reasonable.
+"""
+
+from repro.datasets.synthetic import (
+    uniform_points,
+    clustered_points,
+    uniform_rectangles,
+    clustered_rectangles,
+)
+from repro.datasets.tiger import (
+    DATA_SPACE,
+    california_points,
+    long_beach_uncertain_objects,
+)
+from repro.datasets.workload import QueryWorkload
+from repro.datasets.io import (
+    save_point_objects,
+    load_point_objects,
+    save_uncertain_objects,
+    load_uncertain_objects,
+)
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "uniform_rectangles",
+    "clustered_rectangles",
+    "DATA_SPACE",
+    "california_points",
+    "long_beach_uncertain_objects",
+    "QueryWorkload",
+    "save_point_objects",
+    "load_point_objects",
+    "save_uncertain_objects",
+    "load_uncertain_objects",
+]

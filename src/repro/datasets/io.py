@@ -1,0 +1,90 @@
+"""Plain-text persistence for datasets.
+
+Datasets are saved in small line-oriented text formats so that generated
+stand-ins can be inspected, versioned, or replaced with real TIGER extracts
+converted to the same format:
+
+* point objects: ``oid x y`` per line;
+* uncertain objects (uniform pdf): ``oid xmin ymin xmax ymax`` per line.
+
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import UniformPdf
+from repro.uncertainty.region import PointObject, UncertainObject
+
+
+def save_point_objects(objects: Iterable[PointObject], path: str | Path) -> None:
+    """Write point objects to ``path`` (one ``oid x y`` line per object)."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write("# oid x y\n")
+        for obj in objects:
+            handle.write(f"{obj.oid} {obj.x!r} {obj.y!r}\n")
+
+
+def load_point_objects(path: str | Path) -> list[PointObject]:
+    """Read point objects written by :func:`save_point_objects`."""
+    source = Path(path)
+    objects: list[PointObject] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise ValueError(f"{source}:{line_number}: expected 'oid x y', got {line!r}")
+            oid, x, y = int(parts[0]), float(parts[1]), float(parts[2])
+            objects.append(PointObject.at(oid, x, y))
+    return objects
+
+
+def save_uncertain_objects(objects: Iterable[UncertainObject], path: str | Path) -> None:
+    """Write uncertain objects (uniform pdfs) as ``oid xmin ymin xmax ymax`` lines.
+
+    Only the uncertainty regions are stored; non-uniform pdfs cannot be
+    serialised by this format and raise ``TypeError``.
+    """
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write("# oid xmin ymin xmax ymax\n")
+        for obj in objects:
+            if not isinstance(obj.pdf, UniformPdf):
+                raise TypeError(
+                    f"object {obj.oid}: only uniform pdfs can be saved in this format"
+                )
+            region = obj.region
+            handle.write(
+                f"{obj.oid} {region.xmin!r} {region.ymin!r} {region.xmax!r} {region.ymax!r}\n"
+            )
+
+
+def load_uncertain_objects(
+    path: str | Path, *, with_catalog: bool = False
+) -> list[UncertainObject]:
+    """Read uncertain objects written by :func:`save_uncertain_objects`."""
+    source = Path(path)
+    objects: list[UncertainObject] = []
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(
+                    f"{source}:{line_number}: expected 'oid xmin ymin xmax ymax', got {line!r}"
+                )
+            oid = int(parts[0])
+            region = Rect(float(parts[1]), float(parts[2]), float(parts[3]), float(parts[4]))
+            objects.append(
+                UncertainObject.uniform(oid, region, with_catalog=with_catalog)
+            )
+    return objects

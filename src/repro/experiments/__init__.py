@@ -1,0 +1,51 @@
+"""Experiment harness reproducing the paper's evaluation section.
+
+Each result figure of the paper (Figures 8–13) has a dedicated function in
+:mod:`repro.experiments.figures` that regenerates its data series — same
+workload construction, same parameter sweep, same competing methods.  The
+functions return :class:`~repro.experiments.runner.FigureResult` objects that
+can be printed as text tables, exported to CSV and checked against the
+qualitative shapes reported in the paper (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.config import PAPER_DEFAULTS, ExperimentConfig, PaperDefaults
+from repro.experiments.runner import FigureResult, SeriesPoint, run_query_batch
+from repro.experiments.figures import (
+    figure_08,
+    figure_09,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13,
+    ALL_FIGURES,
+)
+from repro.experiments.reporting import format_figure, figure_to_csv, check_shape
+from repro.experiments.sensitivity import (
+    monte_carlo_sample_sweep,
+    catalog_size_sweep,
+    index_comparison,
+    pruning_strategy_ablation,
+)
+
+__all__ = [
+    "PAPER_DEFAULTS",
+    "PaperDefaults",
+    "ExperimentConfig",
+    "FigureResult",
+    "SeriesPoint",
+    "run_query_batch",
+    "figure_08",
+    "figure_09",
+    "figure_10",
+    "figure_11",
+    "figure_12",
+    "figure_13",
+    "ALL_FIGURES",
+    "format_figure",
+    "figure_to_csv",
+    "check_shape",
+    "monte_carlo_sample_sweep",
+    "catalog_size_sweep",
+    "index_comparison",
+    "pruning_strategy_ablation",
+]

@@ -1,0 +1,80 @@
+"""Command-line entry point regenerating every figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.cli                 # default (reduced) scale
+    python -m repro.experiments.cli --quick         # CI-sized smoke run
+    python -m repro.experiments.cli --scale 1.0 --queries 500 --out results/
+
+For every figure the script prints the measured table, evaluates the
+qualitative shape checks against the paper and (optionally) writes a CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.reporting import (
+    check_shape,
+    figure_to_csv,
+    format_figure,
+    format_shape_checks,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of Chen & Cheng (ICDE 2007).",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="*",
+        default=sorted(ALL_FIGURES),
+        choices=sorted(ALL_FIGURES),
+        help="which figures to run (default: all)",
+    )
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale factor")
+    parser.add_argument("--queries", type=int, default=None, help="queries per data point")
+    parser.add_argument("--quick", action="store_true", help="use the tiny CI configuration")
+    parser.add_argument("--out", type=Path, default=None, help="directory for CSV exports")
+    return parser
+
+
+def make_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Translate CLI arguments into an experiment configuration."""
+    config = ExperimentConfig.quick() if args.quick else ExperimentConfig()
+    overrides = {}
+    if args.scale is not None:
+        overrides["dataset_scale"] = args.scale
+    if args.queries is not None:
+        overrides["queries_per_point"] = args.queries
+    return config.scaled(**overrides) if overrides else config
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested figures and print tables plus shape checks."""
+    args = build_parser().parse_args(argv)
+    config = make_config(args)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    all_passed = True
+    for figure_id in args.figures:
+        result = ALL_FIGURES[figure_id](config)
+        print(format_figure(result))
+        checks = check_shape(result)
+        print(format_shape_checks(checks))
+        print()
+        all_passed = all_passed and all(check.passed for check in checks)
+        if args.out is not None:
+            figure_to_csv(result, args.out / f"{figure_id}.csv")
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    raise SystemExit(main())

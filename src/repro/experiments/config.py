@@ -1,0 +1,113 @@
+"""Experiment configuration.
+
+:class:`PaperDefaults` captures Table 2 of the paper (the baseline parameter
+values); :class:`ExperimentConfig` adds the knobs a reproduction needs —
+dataset scale, number of queries per data point, random seeds — with defaults
+small enough that the whole figure suite runs in minutes on a laptop.  Use
+``ExperimentConfig.paper_scale()`` for a full-size run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.geometry.rect import Rect
+from repro.datasets.tiger import DATA_SPACE
+from repro.uncertainty.catalog import PAPER_CATALOG_LEVELS
+
+
+@dataclass(frozen=True)
+class PaperDefaults:
+    """Baseline parameter values from Table 2 of the paper."""
+
+    #: Half side-length of the issuer's square uncertainty region (``u``).
+    issuer_half_size: float = 250.0
+    #: Half side-length of the square range query (``w``).
+    range_half_size: float = 500.0
+    #: Probability threshold (``Qp``).
+    threshold: float = 0.0
+    #: Number of queries averaged per data point (the paper uses 500).
+    queries_per_point: int = 500
+    #: R-tree node (page) size in bytes.
+    page_size: int = 4096
+    #: The 10,000 × 10,000 data space.
+    data_space: Rect = DATA_SPACE
+    #: U-catalog levels (ten p-bounds for 0, 0.1, ..., 1).
+    catalog_levels: tuple[float, ...] = PAPER_CATALOG_LEVELS
+    #: Monte-Carlo samples per C-IPQ probability evaluation (Section 6.2).
+    cipq_samples: int = 200
+    #: Monte-Carlo samples per C-IUQ probability evaluation (Section 6.2).
+    ciuq_samples: int = 250
+
+
+#: The single shared instance of the paper's defaults.
+PAPER_DEFAULTS = PaperDefaults()
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Controls how faithfully (and how slowly) experiments are run.
+
+    ``dataset_scale`` scales the cardinality of the California / Long Beach
+    stand-ins; ``queries_per_point`` is the number of random queries averaged
+    per plotted point.  The defaults (5 % of the data, 20 queries) keep a full
+    figure-suite run to a few minutes while preserving the qualitative shapes;
+    :meth:`paper_scale` restores the paper's full setting.
+    """
+
+    dataset_scale: float = 0.05
+    queries_per_point: int = 20
+    seed: int = 2007
+    issuer_half_sizes: tuple[float, ...] = (100.0, 250.0, 500.0, 750.0, 1000.0)
+    range_half_sizes: tuple[float, ...] = (500.0, 1000.0, 1500.0)
+    thresholds: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8)
+    catalog_levels: tuple[float, ...] = PAPER_DEFAULTS.catalog_levels
+    basic_issuer_samples: int = 400
+    monte_carlo_samples: int = PAPER_DEFAULTS.cipq_samples
+    defaults: PaperDefaults = field(default_factory=PaperDefaults)
+
+    def __post_init__(self) -> None:
+        if self.dataset_scale <= 0:
+            raise ValueError("dataset_scale must be positive")
+        if self.queries_per_point <= 0:
+            raise ValueError("queries_per_point must be positive")
+
+    @staticmethod
+    def quick() -> "ExperimentConfig":
+        """A configuration sized for unit tests and CI smoke runs."""
+        return ExperimentConfig(
+            dataset_scale=0.01,
+            queries_per_point=5,
+            issuer_half_sizes=(250.0, 1000.0),
+            range_half_sizes=(500.0, 1500.0),
+            thresholds=(0.0, 0.4, 0.8),
+            basic_issuer_samples=100,
+            monte_carlo_samples=64,
+        )
+
+    @staticmethod
+    def paper_scale() -> "ExperimentConfig":
+        """The full-fidelity configuration matching the paper's setup."""
+        return ExperimentConfig(
+            dataset_scale=1.0,
+            queries_per_point=PAPER_DEFAULTS.queries_per_point,
+            issuer_half_sizes=(100.0, 250.0, 500.0, 750.0, 1000.0),
+            range_half_sizes=(500.0, 1000.0, 1500.0),
+            thresholds=(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+            basic_issuer_samples=900,
+            monte_carlo_samples=PAPER_DEFAULTS.cipq_samples,
+        )
+
+    def scaled(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def workload_seed(self, salt: int) -> int:
+        """Derive a per-sweep-point workload seed so runs stay reproducible."""
+        return self.seed * 1_000_003 + salt
+
+
+def default_sweep(values: Sequence[float]) -> tuple[float, ...]:
+    """Normalise a sweep value list into a sorted tuple of floats."""
+    return tuple(sorted(float(v) for v in values))

@@ -1,0 +1,188 @@
+"""Reporting helpers: text tables, CSV export, and qualitative shape checks.
+
+The reproduction cannot match the paper's absolute milliseconds (different
+hardware, language and decade), so EXPERIMENTS.md records *shape* checks:
+orderings between methods, monotonic trends, and approximate speed-up factors.
+:func:`check_shape` encodes those checks so they can be asserted by tests and
+re-evaluated after every run.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.runner import FigureResult
+
+
+def format_figure(result: FigureResult, *, metric: str = "response_time_ms") -> str:
+    """Render a figure's series as a fixed-width text table.
+
+    ``metric`` selects which :class:`SeriesPoint` field is shown; the default
+    matches the paper's y-axis (average response time in milliseconds).
+    """
+    names = result.series_names()
+    xs = result.x_values()
+    buffer = io.StringIO()
+    buffer.write(f"{result.figure_id}: {result.title}\n")
+    if result.notes:
+        buffer.write(f"  note: {result.notes}\n")
+    header = [result.x_label.ljust(28)] + [name.rjust(24) for name in names]
+    buffer.write("".join(header) + "\n")
+    for x in xs:
+        row = [f"{x:<28g}"]
+        for name in names:
+            try:
+                value = getattr(result.value_at(name, x), metric)
+                row.append(f"{value:>24.3f}")
+            except KeyError:
+                row.append(" " * 24)
+        buffer.write("".join(row) + "\n")
+    return buffer.getvalue()
+
+
+def figure_to_csv(result: FigureResult, path: str | Path) -> Path:
+    """Write all series of a figure to a CSV file and return its path."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write(
+            "figure_id,series,x,response_time_ms,candidates,node_accesses,"
+            "results,probability_computations\n"
+        )
+        for name, points in result.series.items():
+            for point in sorted(points, key=lambda p: p.x):
+                handle.write(
+                    f"{result.figure_id},{name},{point.x},{point.response_time_ms},"
+                    f"{point.candidates},{point.node_accesses},{point.results},"
+                    f"{point.probability_computations}\n"
+                )
+    return target
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """Outcome of one qualitative comparison against the paper."""
+
+    description: str
+    passed: bool
+    detail: str = ""
+
+
+def _is_mostly_increasing(values: list[float], *, tolerance: float = 0.25) -> bool:
+    """True when the sequence trends upwards (small local dips are tolerated)."""
+    if len(values) < 2:
+        return True
+    violations = sum(
+        1 for a, b in zip(values, values[1:]) if b < a * (1.0 - tolerance)
+    )
+    return violations == 0 and values[-1] >= values[0] * (1.0 - tolerance)
+
+
+def check_shape(result: FigureResult) -> list[ShapeCheck]:
+    """Evaluate the paper's qualitative claims for one reproduced figure."""
+    checks: list[ShapeCheck] = []
+    figure = result.figure_id
+
+    if figure == "figure_08":
+        ratio = result.mean_ratio("basic", "enhanced")
+        checks.append(
+            ShapeCheck(
+                "basic method is much slower than the enhanced method",
+                ratio > 5.0,
+                f"mean basic/enhanced response-time ratio = {ratio:.1f}x",
+            )
+        )
+        for name in ("basic", "enhanced"):
+            times = result.response_times(name)
+            checks.append(
+                ShapeCheck(
+                    f"{name} response time grows with the uncertainty-region size",
+                    _is_mostly_increasing(times),
+                    f"{name}: {['%.2f' % t for t in times]}",
+                )
+            )
+
+    elif figure in ("figure_09", "figure_10"):
+        for name in result.series_names():
+            times = result.response_times(name)
+            checks.append(
+                ShapeCheck(
+                    f"{name}: response time grows with u",
+                    _is_mostly_increasing(times),
+                    f"{name}: {['%.2f' % t for t in times]}",
+                )
+            )
+        # Larger ranges cost more at the paper's default u = 250.
+        xs = result.x_values()
+        if xs:
+            x_ref = xs[len(xs) // 2]
+            ordered = [result.value_at(name, x_ref).response_time_ms for name in result.series_names()]
+            checks.append(
+                ShapeCheck(
+                    "larger query ranges are more expensive",
+                    all(a <= b * 1.25 for a, b in zip(ordered, ordered[1:])),
+                    f"at u={x_ref:g}: {['%.2f' % value for value in ordered]}",
+                )
+            )
+
+    elif figure in ("figure_11", "figure_12", "figure_13"):
+        fast = "p_expanded_query" if "p_expanded_query" in result.series else "pti_p_expanded_query"
+        slow = "minkowski_sum"
+        xs = [x for x in result.x_values() if x > 0]
+        # At low thresholds the threshold-aware window barely shrinks, so both
+        # the paper's curves and the reproduction sit near parity there; the
+        # strict "must win" requirement only applies from Qp = 0.4 upwards,
+        # while low thresholds must stay within 30 % of the baseline.
+        high_xs = [x for x in xs if x >= 0.4]
+        low_xs = [x for x in xs if x < 0.4]
+        high_wins = sum(
+            1
+            for x in high_xs
+            if result.value_at(fast, x).response_time_ms
+            <= result.value_at(slow, x).response_time_ms * 1.05
+        )
+        checks.append(
+            ShapeCheck(
+                "threshold-aware method wins at every threshold Qp >= 0.4",
+                high_wins == len(high_xs),
+                f"{high_wins}/{len(high_xs)} thresholds",
+            )
+        )
+        if low_xs:
+            near_parity = sum(
+                1
+                for x in low_xs
+                if result.value_at(fast, x).response_time_ms
+                <= result.value_at(slow, x).response_time_ms * 1.3
+            )
+            checks.append(
+                ShapeCheck(
+                    "threshold-aware method stays near parity at low thresholds",
+                    near_parity == len(low_xs),
+                    f"{near_parity}/{len(low_xs)} thresholds within 30%",
+                )
+            )
+        if xs:
+            x_hi = max(xs)
+            gain = (
+                result.value_at(slow, x_hi).response_time_ms
+                / max(result.value_at(fast, x_hi).response_time_ms, 1e-9)
+            )
+            checks.append(
+                ShapeCheck(
+                    "speed-up grows towards high thresholds",
+                    gain >= 1.2,
+                    f"gain at Qp={x_hi:g}: {gain:.2f}x",
+                )
+            )
+    return checks
+
+
+def format_shape_checks(checks: list[ShapeCheck]) -> str:
+    """Render shape-check outcomes as a short text report."""
+    lines = []
+    for check in checks:
+        status = "PASS" if check.passed else "FAIL"
+        lines.append(f"[{status}] {check.description} — {check.detail}")
+    return "\n".join(lines)

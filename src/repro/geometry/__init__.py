@@ -1,0 +1,39 @@
+"""Planar geometry substrate used by the imprecise-query engine.
+
+The paper (Chen & Cheng, ICDE 2007) restricts both query ranges and
+uncertainty regions to axis-parallel rectangles, so the work-horses of this
+package are :class:`~repro.geometry.interval.Interval` and
+:class:`~repro.geometry.rect.Rect`.  Convex-polygon Minkowski sums and circles
+are provided for the non-rectangular extension discussed in the paper's
+conclusion.
+"""
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.circle import Circle
+from repro.geometry.minkowski import (
+    minkowski_sum_rects,
+    minkowski_sum_convex_polygons,
+)
+from repro.geometry.algorithms import (
+    clip_rect,
+    rect_union_bounds,
+    convex_hull,
+    polygon_area,
+    point_in_convex_polygon,
+)
+
+__all__ = [
+    "Interval",
+    "Point",
+    "Rect",
+    "Circle",
+    "minkowski_sum_rects",
+    "minkowski_sum_convex_polygons",
+    "clip_rect",
+    "rect_union_bounds",
+    "convex_hull",
+    "polygon_area",
+    "point_in_convex_polygon",
+]

@@ -1,0 +1,106 @@
+"""General planar-geometry algorithms.
+
+Only a handful of classical algorithms are needed beyond rectangle
+arithmetic: convex hulls and polygon areas (for the convex-polygon Minkowski
+sum used by the non-rectangular extension), and a clipping helper shared by
+the probability-evaluation code.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def clip_rect(subject: Rect, clip: Rect) -> Rect:
+    """Clip ``subject`` against ``clip`` (simple rectangle intersection)."""
+    return subject.intersect(clip)
+
+
+def rect_union_bounds(rects: list[Rect]) -> Rect:
+    """Minimum bounding rectangle of a list of rectangles."""
+    return Rect.bounding(rects)
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    """Z-component of the cross product of vectors OA and OB."""
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: list[Point]) -> list[Point]:
+    """Convex hull of a point set (Andrew's monotone chain, ``O(n log n)``).
+
+    Returns the hull vertices in counter-clockwise order, without repeating
+    the first vertex.  Collinear points on the hull boundary are dropped.
+    """
+    unique = sorted(set((p.x, p.y) for p in points))
+    if len(unique) <= 2:
+        return [Point(x, y) for x, y in unique]
+
+    pts = [Point(x, y) for x, y in unique]
+
+    lower: list[Point] = []
+    for p in pts:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: list[Point] = []
+    for p in reversed(pts):
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    return lower[:-1] + upper[:-1]
+
+
+def polygon_area(vertices: list[Point]) -> float:
+    """Area of a simple polygon via the shoelace formula.
+
+    Vertices may be given in either orientation; the absolute value is
+    returned.
+    """
+    n = len(vertices)
+    if n < 3:
+        return 0.0
+    twice_area = 0.0
+    for i in range(n):
+        j = (i + 1) % n
+        twice_area += vertices[i].x * vertices[j].y - vertices[j].x * vertices[i].y
+    return abs(twice_area) / 2.0
+
+
+def point_in_convex_polygon(point: Point, vertices: list[Point]) -> bool:
+    """True when ``point`` lies inside (or on the boundary of) a convex polygon.
+
+    The polygon must be given in counter-clockwise order, as produced by
+    :func:`convex_hull`.
+    """
+    n = len(vertices)
+    if n == 0:
+        return False
+    if n == 1:
+        return vertices[0].x == point.x and vertices[0].y == point.y
+    if n == 2:
+        a, b = vertices
+        if _cross(a, b, point) != 0:
+            return False
+        return (
+            min(a.x, b.x) <= point.x <= max(a.x, b.x)
+            and min(a.y, b.y) <= point.y <= max(a.y, b.y)
+        )
+    for i in range(n):
+        a = vertices[i]
+        b = vertices[(i + 1) % n]
+        if _cross(a, b, point) < 0:
+            return False
+    return True
+
+
+def polygon_bounding_rect(vertices: list[Point]) -> Rect:
+    """Axis-parallel bounding rectangle of a polygon."""
+    if not vertices:
+        return Rect.empty()
+    xs = [p.x for p in vertices]
+    ys = [p.y for p in vertices]
+    return Rect(min(xs), min(ys), max(xs), max(ys))

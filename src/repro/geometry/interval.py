@@ -1,0 +1,151 @@
+"""Closed one-dimensional intervals.
+
+Axis-parallel rectangle arithmetic (intersection, Minkowski sum, containment)
+decomposes into independent per-axis interval arithmetic, so intervals are the
+smallest building block of the geometry substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``[low, high]`` on the real line.
+
+    The interval is considered *empty* when ``low > high``.  Degenerate
+    intervals (``low == high``) are valid and have zero length; they are used
+    to model point objects as zero-extent rectangles.
+    """
+
+    low: float
+    high: float
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "Interval":
+        """Return a canonical empty interval."""
+        return Interval(1.0, 0.0)
+
+    @staticmethod
+    def from_center(center: float, half_extent: float) -> "Interval":
+        """Build the interval ``[center - half_extent, center + half_extent]``."""
+        if half_extent < 0:
+            raise ValueError(f"half_extent must be non-negative, got {half_extent}")
+        return Interval(center - half_extent, center + half_extent)
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the interval contains no points."""
+        return self.low > self.high
+
+    @property
+    def length(self) -> float:
+        """Length of the interval (0 for empty or degenerate intervals)."""
+        return max(0.0, self.high - self.low)
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the interval."""
+        return (self.low + self.high) / 2.0
+
+    # ------------------------------------------------------------------ #
+    # Predicates
+    # ------------------------------------------------------------------ #
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the closed interval."""
+        return self.low <= value <= self.high
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """True when ``other`` is entirely inside this interval."""
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return self.low <= other.low and other.high <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two closed intervals share at least one point."""
+        if self.is_empty or other.is_empty:
+            return False
+        return self.low <= other.high and other.low <= self.high
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Interval") -> "Interval":
+        """Return the intersection of the two intervals (possibly empty)."""
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return Interval.empty()
+        return Interval(low, high)
+
+    def union_bounds(self, other: "Interval") -> "Interval":
+        """Return the smallest interval covering both operands."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def expand(self, amount: float) -> "Interval":
+        """Grow (or, for negative ``amount``, shrink) the interval on both sides."""
+        if self.is_empty:
+            return self
+        return Interval(self.low - amount, self.high + amount)
+
+    def translate(self, offset: float) -> "Interval":
+        """Shift the interval by ``offset``."""
+        if self.is_empty:
+            return self
+        return Interval(self.low + offset, self.high + offset)
+
+    def minkowski_sum(self, other: "Interval") -> "Interval":
+        """Minkowski sum of two intervals: ``{a + b | a in self, b in other}``."""
+        if self.is_empty or other.is_empty:
+            return Interval.empty()
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def overlap_length(self, other: "Interval") -> float:
+        """Length of the intersection of the two intervals."""
+        return self.intersect(other).length
+
+    def clamp(self, value: float) -> float:
+        """Project ``value`` onto the interval."""
+        if self.is_empty:
+            raise ValueError("cannot clamp onto an empty interval")
+        return min(max(value, self.low), self.high)
+
+    def distance_to(self, value: float) -> float:
+        """Distance from ``value`` to the closest point of the interval."""
+        if self.is_empty:
+            raise ValueError("distance to an empty interval is undefined")
+        if value < self.low:
+            return self.low - value
+        if value > self.high:
+            return value - self.high
+        return 0.0
+
+    def fraction_below(self, x: float) -> float:
+        """Fraction of the interval's length lying strictly to the left of ``x``.
+
+        Used by the uniform-pdf p-bound computation: for a uniform marginal on
+        this interval, ``fraction_below(x)`` is the cumulative probability at
+        ``x``.
+        """
+        if self.is_empty or self.length == 0.0:
+            return 0.0 if x <= self.low else 1.0
+        if x <= self.low:
+            return 0.0
+        if x >= self.high:
+            return 1.0
+        return (x - self.low) / self.length

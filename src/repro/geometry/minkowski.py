@@ -1,0 +1,54 @@
+"""Minkowski sums.
+
+The paper's query-expansion technique (Section 4.1) builds the Minkowski sum
+of the query range ``R`` and the issuer's uncertainty region ``U0`` and uses
+it as a conventional range query: an object that does not touch ``R ⊕ U0``
+cannot have a non-zero qualification probability (Lemma 1).
+
+For the rectangular regions the paper assumes, the sum is obtained in constant
+time by extending ``U0`` by the query half-width ``w`` to the left and right
+and by the half-height ``h`` on the top and bottom.  The general convex-
+polygon sum is provided for the non-rectangular extension.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.algorithms import convex_hull
+
+
+def minkowski_sum_rects(a: Rect, b: Rect) -> Rect:
+    """Minkowski sum of two axis-parallel rectangles.
+
+    The result is again an axis-parallel rectangle whose per-axis interval is
+    the sum of the operands' intervals.
+    """
+    return a.minkowski_sum(b)
+
+
+def expand_query_region(uncertainty_region: Rect, half_width: float, half_height: float) -> Rect:
+    """Expanded query range ``R ⊕ U0`` for a range query of the given half-extents.
+
+    This is Figure 2 of the paper: ``U0`` extended by ``w`` on the left and
+    right and ``h`` on the top and bottom.
+    """
+    if half_width < 0 or half_height < 0:
+        raise ValueError("query half-extents must be non-negative")
+    return uncertainty_region.expand(half_width, half_height)
+
+
+def minkowski_sum_convex_polygons(a: list[Point], b: list[Point]) -> list[Point]:
+    """Minkowski sum of two convex polygons given as vertex lists.
+
+    A brute-force but robust implementation: sum every pair of vertices and
+    take the convex hull.  For an ``m``-gon and ``n``-gon this is
+    ``O(mn log(mn))`` — acceptable for the tiny polygons involved in query
+    expansion — whereas the optimal rotating-sweep algorithm is ``O(m + n)``.
+    The hull of pairwise sums equals the true Minkowski sum for convex
+    operands.
+    """
+    if not a or not b:
+        return []
+    sums = [Point(pa.x + pb.x, pa.y + pb.y) for pa in a for pb in b]
+    return convex_hull(sums)

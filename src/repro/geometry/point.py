@@ -1,0 +1,42 @@
+"""Two-dimensional points."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the plane."""
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return the point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def chebyshev_distance_to(self, other: "Point") -> float:
+        """L∞ distance to ``other`` (the natural metric for square ranges)."""
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Return the midpoint between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)

@@ -1,0 +1,26 @@
+"""Spatial indexes and their I/O cost model.
+
+The paper evaluates its techniques on top of an R-tree (Guttman, 1984) built
+with the Spatial Index Library, plus the Probability Threshold Index (PTI) of
+Cheng et al. (VLDB 2004) for constrained queries over uncertain objects.  A
+grid file (Nievergelt et al., 1984) is mentioned as an alternative.  All three
+are implemented here from scratch, together with a linear-scan baseline and a
+shared node/page-access accounting model so that experiments can report
+machine-independent I/O costs alongside wall-clock times.
+"""
+
+from repro.index.iostats import IOStatistics
+from repro.index.base import SpatialIndex
+from repro.index.rtree import RTree
+from repro.index.pti import ProbabilityThresholdIndex
+from repro.index.gridfile import GridFile
+from repro.index.linear import LinearScanIndex
+
+__all__ = [
+    "IOStatistics",
+    "SpatialIndex",
+    "RTree",
+    "ProbabilityThresholdIndex",
+    "GridFile",
+    "LinearScanIndex",
+]

@@ -1,0 +1,57 @@
+"""Common interface implemented by every spatial index in the package."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.geometry.rect import Rect
+from repro.index.iostats import IOStatistics
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """Protocol shared by :class:`RTree`, :class:`GridFile`, :class:`LinearScanIndex`.
+
+    An index stores arbitrary *items* keyed by their minimum bounding
+    rectangle and answers window (range) queries: return every item whose MBR
+    intersects the query rectangle.  Indexes expose an :class:`IOStatistics`
+    object so callers can attribute page accesses to individual queries.
+    """
+
+    @property
+    def stats(self) -> IOStatistics:
+        """Access counters accumulated by this index."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of stored items."""
+        ...
+
+    def insert(self, mbr: Rect, item: Any) -> None:
+        """Insert one item with the given bounding rectangle."""
+        ...
+
+    def range_search(self, query: Rect) -> list[Any]:
+        """Return all items whose MBR intersects ``query``."""
+        ...
+
+
+def extract_mbr(item: Any) -> Rect:
+    """Best-effort extraction of an item's bounding rectangle.
+
+    Accepts anything exposing an ``mbr`` attribute (the object wrappers in
+    :mod:`repro.uncertainty.region`), a :class:`Rect`, or a 4-tuple.
+    """
+    if isinstance(item, Rect):
+        return item
+    mbr = getattr(item, "mbr", None)
+    if isinstance(mbr, Rect):
+        return mbr
+    if isinstance(item, tuple) and len(item) == 4:
+        return Rect(*item)
+    raise TypeError(f"cannot derive an MBR from {item!r}")
+
+
+def bulk_pairs(items: Iterable[Any]) -> list[tuple[Rect, Any]]:
+    """Pair every item with its extracted MBR, ready for bulk loading."""
+    return [(extract_mbr(item), item) for item in items]

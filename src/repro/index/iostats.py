@@ -1,0 +1,80 @@
+"""I/O accounting shared by all spatial indexes.
+
+Absolute wall-clock timings from the paper's 2007 SunFire server do not
+transfer to a Python reproduction, so every index additionally reports
+machine-independent counters: how many index nodes (pages) were touched and
+how many stored entries were examined while answering a query.  The
+experiment harness reports both the counters and the wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOStatistics:
+    """Mutable access counters for a single index.
+
+    The counters accumulate across queries until :meth:`reset` is called; the
+    evaluation engines snapshot them before and after each query to obtain
+    per-query costs.
+    """
+
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    internal_accesses: int = 0
+    entries_examined: int = 0
+    objects_returned: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.node_accesses = 0
+        self.leaf_accesses = 0
+        self.internal_accesses = 0
+        self.entries_examined = 0
+        self.objects_returned = 0
+
+    def record_node(self, *, is_leaf: bool) -> None:
+        """Record a visit to one index node (page read)."""
+        self.node_accesses += 1
+        if is_leaf:
+            self.leaf_accesses += 1
+        else:
+            self.internal_accesses += 1
+
+    def record_entries(self, count: int) -> None:
+        """Record examination of ``count`` stored entries."""
+        self.entries_examined += count
+
+    def record_results(self, count: int) -> None:
+        """Record ``count`` objects returned to the caller."""
+        self.objects_returned += count
+
+    def snapshot(self) -> "IOStatistics":
+        """Return an immutable-ish copy of the current counter values."""
+        return IOStatistics(
+            node_accesses=self.node_accesses,
+            leaf_accesses=self.leaf_accesses,
+            internal_accesses=self.internal_accesses,
+            entries_examined=self.entries_examined,
+            objects_returned=self.objects_returned,
+        )
+
+    def difference_since(self, before: "IOStatistics") -> "IOStatistics":
+        """Counters accumulated since the ``before`` snapshot."""
+        return IOStatistics(
+            node_accesses=self.node_accesses - before.node_accesses,
+            leaf_accesses=self.leaf_accesses - before.leaf_accesses,
+            internal_accesses=self.internal_accesses - before.internal_accesses,
+            entries_examined=self.entries_examined - before.entries_examined,
+            objects_returned=self.objects_returned - before.objects_returned,
+        )
+
+    def merge(self, other: "IOStatistics") -> None:
+        """Add another counter set into this one (used when combining indexes)."""
+        self.node_accesses += other.node_accesses
+        self.leaf_accesses += other.leaf_accesses
+        self.internal_accesses += other.internal_accesses
+        self.entries_examined += other.entries_examined
+        self.objects_returned += other.objects_returned

@@ -1,0 +1,188 @@
+"""The Probability Threshold Index (PTI) — Section 5.3 of the paper.
+
+The PTI (originally from Cheng et al., VLDB 2004) is an R-tree over uncertain
+objects in which every node additionally summarises the U-catalogs of the
+objects stored beneath it: for each catalog probability level ``m`` the node
+keeps the minimum bounding rectangle of all its descendants' ``m``-bound
+rectangles.  During a constrained query with threshold ``Qp`` an entire
+subtree can be skipped when the (expanded) query region does not intersect
+the subtree's ``m``-bound MBR for the largest stored ``m ≤ Qp``: in that case
+every object in the subtree has at most ``m ≤ Qp`` probability mass inside
+the query region, so by Lemma 4 its qualification probability cannot exceed
+``Qp``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.geometry.rect import Rect
+from repro.index.rtree import _Entry, _Node, RTree
+from repro.uncertainty.region import UncertainObject
+
+
+class ProbabilityThresholdIndex(RTree):
+    """An R-tree whose nodes carry per-probability-level bound rectangles.
+
+    Items stored in a PTI must be :class:`UncertainObject` instances carrying
+    a U-catalog; all objects must share the same catalog levels (the usual
+    situation, since catalogs are built by the data loader with a fixed level
+    set).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        self._levels: tuple[float, ...] | None = None
+        super().__init__(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _require_catalog(self, item: UncertainObject) -> None:
+        if not isinstance(item, UncertainObject):
+            raise TypeError(
+                f"PTI stores UncertainObject instances, got {type(item).__name__}"
+            )
+        if item.catalog is None:
+            raise ValueError(
+                f"object {item.oid} has no U-catalog; build it with "
+                "UncertainObject.with_catalog() before indexing"
+            )
+        levels = item.catalog.levels
+        if self._levels is None:
+            self._levels = levels
+        elif levels != self._levels:
+            raise ValueError(
+                "all objects in a PTI must share the same catalog levels; "
+                f"expected {self._levels}, got {levels}"
+            )
+
+    def insert(self, mbr: Rect, item: UncertainObject) -> None:  # type: ignore[override]
+        self._require_catalog(item)
+        super().insert(mbr, item)
+
+    @classmethod
+    def bulk_load(cls, items: Iterable[UncertainObject], **kwargs) -> "ProbabilityThresholdIndex":  # type: ignore[override]
+        """Build a packed PTI from uncertain objects carrying U-catalogs."""
+        materialised = list(items)
+        tree = cls(
+            max_entries=kwargs.pop("max_entries", None),
+            min_entries=kwargs.pop("min_entries", None),
+            **kwargs,
+        )
+        for item in materialised:
+            tree._require_catalog(item)
+        tree._bulk_load_pairs([(item.mbr, item) for item in materialised])
+        return tree
+
+    # ------------------------------------------------------------------ #
+    # Augmentation maintenance
+    # ------------------------------------------------------------------ #
+    def _entry_level_rect(self, entry: _Entry, level: float) -> Rect:
+        if entry.child is not None:
+            aug = entry.child.aug
+            if aug is None:
+                return entry.child.mbr()
+            return aug.get(level, entry.child.mbr())
+        item: UncertainObject = entry.item
+        assert item.catalog is not None
+        return item.catalog.bound_at(level).rect
+
+    def _on_node_updated(self, node: _Node) -> None:
+        if self._levels is None or not node.entries:
+            node.aug = None
+            return
+        aug: dict[float, Rect] = {}
+        for level in self._levels:
+            aug[level] = Rect.bounding(
+                [self._entry_level_rect(entry, level) for entry in node.entries]
+            )
+        node.aug = aug
+
+    # ------------------------------------------------------------------ #
+    # Threshold-aware search
+    # ------------------------------------------------------------------ #
+    def pruning_level_for(self, threshold: float) -> float | None:
+        """The catalog level used to prune a query with the given threshold.
+
+        Returns the largest stored level that does not exceed ``threshold``,
+        or ``None`` when no useful level exists (empty index or threshold
+        below the smallest positive level).
+        """
+        if self._levels is None:
+            return None
+        candidates = [level for level in self._levels if 0.0 < level <= threshold]
+        return max(candidates) if candidates else None
+
+    def range_search_with_threshold(
+        self,
+        expanded_query: Rect,
+        threshold: float,
+        p_expanded_query: Rect | None = None,
+    ) -> list[UncertainObject]:
+        """Window query with index-level probability-threshold pruning.
+
+        ``expanded_query`` is the Minkowski sum ``R ⊕ U0``; a subtree is
+        pruned when it does not intersect the subtree's ``m``-bound MBR for
+        the largest stored level ``m ≤ threshold`` (the index-level version of
+        pruning Strategy 1).  When ``p_expanded_query`` — the issuer's
+        Qp-expanded-query — is also given, subtrees whose plain MBR misses it
+        are pruned as well (the index-level version of Strategy 2).
+
+        Returns candidate objects whose qualification probability *may* reach
+        ``threshold``; exact probabilities of the survivors still have to be
+        computed by the evaluation engine.  With ``threshold == 0`` (or no
+        usable catalog level) and no ``p_expanded_query`` this degenerates to
+        a plain R-tree window query.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+        level = self.pruning_level_for(threshold)
+        if level is None and p_expanded_query is None:
+            return self.range_search(expanded_query)
+
+        def node_filter(entry: _Entry) -> bool:
+            # entry.mbr is the subtree's bounding box (maintained by the tree),
+            # so the Strategy-2 check needs no recomputation.
+            if p_expanded_query is not None and not entry.mbr.overlaps(p_expanded_query):
+                return False
+            child = entry.child
+            assert child is not None
+            if level is None or child.aug is None:
+                return True
+            return child.aug[level].overlaps(expanded_query)
+
+        def entry_filter(entry: _Entry) -> bool:
+            if p_expanded_query is not None and not entry.mbr.overlaps(p_expanded_query):
+                return False
+            if level is None:
+                return True
+            item: UncertainObject = entry.item
+            assert item.catalog is not None
+            return item.catalog.rect_at(level).overlaps(expanded_query)
+
+        return self.range_search_filtered(
+            expanded_query, node_filter=node_filter, entry_filter=entry_filter
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def check_augmentation(self) -> None:
+        """Verify that every node's level bounds cover its descendants' bounds."""
+        if self._levels is None or len(self) == 0:
+            return
+
+        def visit(node: _Node) -> None:
+            assert node.aug is not None, "non-empty PTI node without augmentation"
+            for level in self._levels or ():
+                node_rect = node.aug[level]
+                for entry in node.entries:
+                    child_rect = self._entry_level_rect(entry, level)
+                    assert node_rect.contains_rect(child_rect), (
+                        f"node {level}-bound does not cover a child's bound"
+                    )
+            for entry in node.entries:
+                if entry.child is not None:
+                    visit(entry.child)
+
+        visit(self._root)

@@ -1,0 +1,551 @@
+"""An R-tree (Guttman, 1984) with quadratic split and STR bulk loading.
+
+The paper uses the Spatial Index Library's R-tree with a 4 KB node size as
+its disk-based index and measures query cost in terms of response time.  This
+implementation mirrors the structure of that index — a height-balanced tree of
+fixed-capacity nodes, capacity derived from a page size and a per-entry byte
+cost — and counts node accesses so that experiments can report I/O costs that
+do not depend on the host machine.
+
+Two construction paths are offered:
+
+* incremental :meth:`RTree.insert` using Guttman's least-enlargement descent
+  and quadratic node split, and
+* :meth:`RTree.bulk_load` using Sort-Tile-Recursive packing, which is what the
+  experiment harness uses to index the 50–60 K object datasets quickly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import bulk_pairs
+from repro.index.iostats import IOStatistics
+
+#: Modelled byte cost of one node entry: a 4-double MBR (32 bytes) plus a
+#: child pointer / record id (8 bytes).  With the paper's 4 KB pages this
+#: yields a fan-out of ~100.
+DEFAULT_ENTRY_BYTES = 40
+DEFAULT_PAGE_BYTES = 4096
+
+
+class _Entry:
+    """One slot of a node: an MBR plus either a child node or a stored item."""
+
+    __slots__ = ("mbr", "child", "item")
+
+    def __init__(self, mbr: Rect, child: "_Node | None" = None, item: Any = None) -> None:
+        self.mbr = mbr
+        self.child = child
+        self.item = item
+
+
+class _Node:
+    """A fixed-capacity R-tree node (leaf or internal)."""
+
+    __slots__ = ("is_leaf", "entries", "aug")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list[_Entry] = []
+        # Optional augmentation payload maintained by subclasses (e.g. the
+        # PTI's per-probability-level bounding rectangles).
+        self.aug: dict[float, Rect] | None = None
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries in this node."""
+        return Rect.bounding([entry.mbr for entry in self.entries])
+
+
+class RTree:
+    """A height-balanced R-tree over arbitrary items keyed by their MBR."""
+
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        min_entries: int | None = None,
+        *,
+        page_size: int = DEFAULT_PAGE_BYTES,
+        entry_size: int = DEFAULT_ENTRY_BYTES,
+        split_algorithm: str = "quadratic",
+    ) -> None:
+        if max_entries is None:
+            max_entries = max(4, page_size // entry_size)
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        if min_entries is None:
+            min_entries = max(2, (max_entries * 2) // 5)
+        if not 1 <= min_entries <= max_entries // 2:
+            raise ValueError(
+                f"min_entries must lie in [1, max_entries // 2]; "
+                f"got min={min_entries}, max={max_entries}"
+            )
+        if split_algorithm not in ("quadratic", "linear"):
+            raise ValueError(
+                f"split_algorithm must be 'quadratic' or 'linear', got {split_algorithm!r}"
+            )
+        self._max_entries = max_entries
+        self._min_entries = min_entries
+        self._split_algorithm = split_algorithm
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+        self._stats = IOStatistics()
+        self._on_node_updated(self._root)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> IOStatistics:
+        """Access counters accumulated by this index."""
+        return self._stats
+
+    @property
+    def max_entries(self) -> int:
+        """Maximum node fan-out."""
+        return self._max_entries
+
+    @property
+    def min_entries(self) -> int:
+        """Minimum fill of non-root nodes."""
+        return self._min_entries
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels in the tree (1 for a lone leaf root)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.entries[0].child  # type: ignore[assignment]
+            height += 1
+        return height
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (pages) in the tree."""
+        return sum(1 for _ in self._iter_nodes())
+
+    def bounds(self) -> Rect:
+        """Bounding rectangle of the entire indexed dataset."""
+        return self._root.mbr()
+
+    def _iter_nodes(self) -> Iterable[_Node]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(entry.child for entry in node.entries)  # type: ignore[misc]
+
+    def items(self) -> Iterable[Any]:
+        """Iterate over every stored item (no particular order)."""
+        for node in self._iter_nodes():
+            if node.is_leaf:
+                for entry in node.entries:
+                    yield entry.item
+
+    # ------------------------------------------------------------------ #
+    # Subclass hook
+    # ------------------------------------------------------------------ #
+    def _on_node_updated(self, node: _Node) -> None:
+        """Called whenever a node's entry list changes.
+
+        The base R-tree keeps no per-node augmentation; the PTI subclass
+        overrides this to maintain per-probability-level bounds.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Insertion (Guttman)
+    # ------------------------------------------------------------------ #
+    def insert(self, mbr: Rect, item: Any) -> None:
+        """Insert ``item`` with bounding rectangle ``mbr``."""
+        if mbr.is_empty:
+            raise ValueError("cannot index an empty rectangle")
+        entry = _Entry(mbr=mbr, item=item)
+        self._insert_entry(entry, target_leaf=True)
+        self._size += 1
+
+    def _insert_entry(self, entry: _Entry, *, target_leaf: bool) -> None:
+        path = self._choose_path(entry.mbr, target_leaf=target_leaf)
+        node = path[-1]
+        node.entries.append(entry)
+        self._on_node_updated(node)
+        self._adjust_path(path)
+
+    def _choose_path(self, mbr: Rect, *, target_leaf: bool) -> list[_Node]:
+        """Descend by least enlargement, returning the root-to-target path."""
+        path = [self._root]
+        node = self._root
+        while not node.is_leaf:
+            if target_leaf is False and self._node_level(node) == 1:
+                break
+            best: _Entry | None = None
+            best_enlargement = math.inf
+            best_area = math.inf
+            for child_entry in node.entries:
+                enlargement = child_entry.mbr.enlargement_to_include(mbr)
+                area = child_entry.mbr.area
+                if enlargement < best_enlargement or (
+                    enlargement == best_enlargement and area < best_area
+                ):
+                    best = child_entry
+                    best_enlargement = enlargement
+                    best_area = area
+            assert best is not None and best.child is not None
+            node = best.child
+            path.append(node)
+        return path
+
+    def _node_level(self, node: _Node) -> int:
+        """Level of ``node`` counted from the leaves (leaves are level 0)."""
+        level = 0
+        current = node
+        while not current.is_leaf:
+            current = current.entries[0].child  # type: ignore[assignment]
+            level += 1
+        return level
+
+    def _adjust_path(self, path: list[_Node]) -> None:
+        """Propagate MBR updates and splits from the insertion node upwards."""
+        for depth in range(len(path) - 1, -1, -1):
+            node = path[depth]
+            overflow: _Node | None = None
+            if len(node.entries) > self._max_entries:
+                overflow = self._split_node(node)
+            if depth == 0:
+                if overflow is not None:
+                    self._grow_root(node, overflow)
+                return
+            parent = path[depth - 1]
+            self._refresh_child_entry(parent, node)
+            if overflow is not None:
+                parent.entries.append(_Entry(mbr=overflow.mbr(), child=overflow))
+            self._on_node_updated(parent)
+
+    def _refresh_child_entry(self, parent: _Node, child: _Node) -> None:
+        for entry in parent.entries:
+            if entry.child is child:
+                entry.mbr = child.mbr()
+                return
+        raise RuntimeError("child node not found in parent during adjustment")
+
+    def _grow_root(self, old_root: _Node, sibling: _Node) -> None:
+        new_root = _Node(is_leaf=False)
+        new_root.entries.append(_Entry(mbr=old_root.mbr(), child=old_root))
+        new_root.entries.append(_Entry(mbr=sibling.mbr(), child=sibling))
+        self._root = new_root
+        self._on_node_updated(new_root)
+
+    def _split_node(self, node: _Node) -> _Node:
+        """Distribute an overflowing node's entries over itself and a new sibling.
+
+        Seed selection follows the configured split algorithm (Guttman's
+        quadratic split by default, the cheaper linear split as an
+        alternative); the remaining entries are then distributed with the
+        standard least-enlargement rule and minimum-fill safeguards.
+        """
+        entries = node.entries
+        if self._split_algorithm == "linear":
+            seed_a, seed_b = self._pick_seeds_linear(entries)
+        else:
+            seed_a, seed_b = self._pick_seeds(entries)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+        mbr_a = group_a[0].mbr
+        mbr_b = group_b[0].mbr
+
+        while remaining:
+            # Force assignment when one group must take all remaining entries
+            # to reach the minimum fill.
+            if len(group_a) + len(remaining) == self._min_entries:
+                group_a.extend(remaining)
+                for e in remaining:
+                    mbr_a = mbr_a.union_bounds(e.mbr)
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min_entries:
+                group_b.extend(remaining)
+                for e in remaining:
+                    mbr_b = mbr_b.union_bounds(e.mbr)
+                remaining = []
+                break
+            index, prefer_a = self._pick_next(remaining, mbr_a, mbr_b)
+            entry = remaining.pop(index)
+            if prefer_a:
+                group_a.append(entry)
+                mbr_a = mbr_a.union_bounds(entry.mbr)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union_bounds(entry.mbr)
+
+        node.entries = group_a
+        sibling = _Node(is_leaf=node.is_leaf)
+        sibling.entries = group_b
+        self._on_node_updated(node)
+        self._on_node_updated(sibling)
+        return sibling
+
+    @staticmethod
+    def _pick_seeds_linear(entries: Sequence[_Entry]) -> tuple[int, int]:
+        """Linear-split seed selection (Guttman's LinearPickSeeds).
+
+        Along each axis, find the entry with the highest low side and the one
+        with the lowest high side; normalise their separation by the extent of
+        all entries along that axis and keep the pair with the greatest
+        normalised separation.
+        """
+        best_pair = (0, 1)
+        best_separation = -math.inf
+        for axis in ("x", "y"):
+            if axis == "x":
+                lows = [entry.mbr.xmin for entry in entries]
+                highs = [entry.mbr.xmax for entry in entries]
+            else:
+                lows = [entry.mbr.ymin for entry in entries]
+                highs = [entry.mbr.ymax for entry in entries]
+            highest_low_index = max(range(len(entries)), key=lambda i: lows[i])
+            lowest_high_index = min(range(len(entries)), key=lambda i: highs[i])
+            if highest_low_index == lowest_high_index:
+                continue
+            extent = max(highs) - min(lows)
+            if extent <= 0.0:
+                continue
+            separation = (lows[highest_low_index] - highs[lowest_high_index]) / extent
+            if separation > best_separation:
+                best_separation = separation
+                best_pair = (
+                    min(highest_low_index, lowest_high_index),
+                    max(highest_low_index, lowest_high_index),
+                )
+        return best_pair
+
+    @staticmethod
+    def _pick_seeds(entries: Sequence[_Entry]) -> tuple[int, int]:
+        """Choose the pair of entries wasting the most area if grouped together."""
+        worst_pair = (0, 1)
+        worst_waste = -math.inf
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                combined = entries[i].mbr.union_bounds(entries[j].mbr)
+                waste = combined.area - entries[i].mbr.area - entries[j].mbr.area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    def _pick_next(
+        self, remaining: Sequence[_Entry], mbr_a: Rect, mbr_b: Rect
+    ) -> tuple[int, bool]:
+        """Choose the entry with the strongest group preference and its group."""
+        best_index = 0
+        best_difference = -1.0
+        prefer_a = True
+        for i, entry in enumerate(remaining):
+            grow_a = mbr_a.enlargement_to_include(entry.mbr)
+            grow_b = mbr_b.enlargement_to_include(entry.mbr)
+            difference = abs(grow_a - grow_b)
+            if difference > best_difference:
+                best_difference = difference
+                best_index = i
+                if grow_a < grow_b:
+                    prefer_a = True
+                elif grow_b < grow_a:
+                    prefer_a = False
+                else:
+                    prefer_a = mbr_a.area <= mbr_b.area
+        return best_index, prefer_a
+
+    # ------------------------------------------------------------------ #
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Iterable[Any],
+        *,
+        max_entries: int | None = None,
+        min_entries: int | None = None,
+        page_size: int = DEFAULT_PAGE_BYTES,
+        entry_size: int = DEFAULT_ENTRY_BYTES,
+    ) -> "RTree":
+        """Build a packed R-tree from items exposing an ``mbr`` attribute."""
+        tree = cls(
+            max_entries=max_entries,
+            min_entries=min_entries,
+            page_size=page_size,
+            entry_size=entry_size,
+        )
+        tree._bulk_load_pairs(bulk_pairs(items))
+        return tree
+
+    def _bulk_load_pairs(self, pairs: list[tuple[Rect, Any]]) -> None:
+        if self._size:
+            raise RuntimeError("bulk loading requires an empty tree")
+        if not pairs:
+            return
+        leaf_entries = [_Entry(mbr=mbr, item=item) for mbr, item in pairs]
+        nodes = self._pack_level(leaf_entries, is_leaf=True)
+        while len(nodes) > 1:
+            upper_entries = [_Entry(mbr=node.mbr(), child=node) for node in nodes]
+            nodes = self._pack_level(upper_entries, is_leaf=False)
+        self._root = nodes[0]
+        self._size = len(pairs)
+
+    def _pack_level(self, entries: list[_Entry], *, is_leaf: bool) -> list[_Node]:
+        """Pack a list of entries into nodes using Sort-Tile-Recursive order."""
+        capacity = self._max_entries
+        n = len(entries)
+        node_estimate = math.ceil(n / capacity)
+        slice_count = max(1, math.ceil(math.sqrt(node_estimate)))
+        slice_size = slice_count * capacity
+
+        by_x = sorted(entries, key=lambda e: (e.mbr.center.x, e.mbr.center.y))
+        nodes: list[_Node] = []
+        for start in range(0, n, slice_size):
+            chunk = sorted(
+                by_x[start : start + slice_size],
+                key=lambda e: (e.mbr.center.y, e.mbr.center.x),
+            )
+            for node_start in range(0, len(chunk), capacity):
+                node = _Node(is_leaf=is_leaf)
+                node.entries = chunk[node_start : node_start + capacity]
+                self._on_node_updated(node)
+                nodes.append(node)
+        return nodes
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def range_search(self, query: Rect) -> list[Any]:
+        """Return every stored item whose MBR intersects ``query``."""
+        results: list[Any] = []
+        if query.is_empty or self._size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self._stats.record_node(is_leaf=node.is_leaf)
+            self._stats.record_entries(len(node.entries))
+            for entry in node.entries:
+                if not entry.mbr.overlaps(query):
+                    continue
+                if node.is_leaf:
+                    results.append(entry.item)
+                else:
+                    stack.append(entry.child)  # type: ignore[arg-type]
+        self._stats.record_results(len(results))
+        return results
+
+    def range_search_filtered(
+        self,
+        query: Rect,
+        *,
+        node_filter: Callable[[_Entry], bool] | None = None,
+        entry_filter: Callable[[_Entry], bool] | None = None,
+    ) -> list[Any]:
+        """Range search with extra subtree/entry pruning predicates.
+
+        ``node_filter`` is consulted with the *internal entry* (whose ``child``
+        is the subtree root and whose ``mbr`` is the subtree's bounding box)
+        before descending, in addition to the MBR overlap test;
+        ``entry_filter`` is consulted with the leaf entry before returning its
+        item.  Both default to accepting everything.  This is the extension
+        point used by the Probability Threshold Index.
+        """
+        results: list[Any] = []
+        if query.is_empty or self._size == 0:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self._stats.record_node(is_leaf=node.is_leaf)
+            self._stats.record_entries(len(node.entries))
+            for entry in node.entries:
+                if not entry.mbr.overlaps(query):
+                    continue
+                if node.is_leaf:
+                    if entry_filter is None or entry_filter(entry):
+                        results.append(entry.item)
+                else:
+                    assert entry.child is not None
+                    if node_filter is None or node_filter(entry):
+                        stack.append(entry.child)
+        self._stats.record_results(len(results))
+        return results
+
+    def nearest_neighbors(self, point: Point, k: int = 1) -> list[Any]:
+        """Best-first k-nearest-neighbour search by MBR distance.
+
+        Provided for the imprecise nearest-neighbour extension; not used by
+        the range-query experiments of the paper.
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if self._size == 0:
+            return []
+        counter = 0
+        heap: list[tuple[float, int, _Node | None, _Entry | None]] = []
+        heapq.heappush(heap, (0.0, counter, self._root, None))
+        results: list[Any] = []
+        while heap and len(results) < k:
+            _, __, node, entry = heapq.heappop(heap)
+            if node is not None:
+                self._stats.record_node(is_leaf=node.is_leaf)
+                self._stats.record_entries(len(node.entries))
+                for child_entry in node.entries:
+                    distance = child_entry.mbr.min_distance_to_point(point)
+                    counter += 1
+                    if node.is_leaf:
+                        heapq.heappush(heap, (distance, counter, None, child_entry))
+                    else:
+                        heapq.heappush(heap, (distance, counter, child_entry.child, None))
+            else:
+                assert entry is not None
+                results.append(entry.item)
+        self._stats.record_results(len(results))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Structural validation (used by the test suite)
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` when any structural invariant is violated.
+
+        Checks performed: every child MBR is contained in its parent entry's
+        MBR, all leaves are at the same depth, and every non-root node holds
+        at least ``min_entries`` entries (bulk-loaded trees are exempted from
+        the minimum-fill check because STR packs greedily).
+        """
+        if self._size == 0:
+            assert self._root.is_leaf and not self._root.entries
+            return
+        leaf_depths: set[int] = set()
+
+        def visit(node: _Node, depth: int, is_root: bool) -> int:
+            count = 0
+            if node.is_leaf:
+                leaf_depths.add(depth)
+                return len(node.entries)
+            assert node.entries, "internal node must have children"
+            for entry in node.entries:
+                child = entry.child
+                assert child is not None, "internal entry without a child"
+                assert entry.mbr.contains_rect(child.mbr()), (
+                    "parent entry MBR does not cover its child node"
+                )
+                count += visit(child, depth + 1, False)
+            if not is_root:
+                assert len(node.entries) <= self._max_entries
+            return count
+
+        total = visit(self._root, 0, True)
+        assert total == self._size, f"item count mismatch: {total} != {self._size}"
+        assert len(leaf_depths) == 1, f"leaves at different depths: {leaf_depths}"

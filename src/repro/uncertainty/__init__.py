@@ -1,0 +1,44 @@
+"""Location-uncertainty model (Section 3.1 of the paper).
+
+An uncertain object is described by a closed *uncertainty region* and a
+probability density function that is zero outside the region.  This package
+provides the pdf implementations (uniform, truncated Gaussian, histogram,
+uniform-over-circle), the object wrappers (point objects and uncertain
+objects), the pre-computed *p-bounds* and *U-catalogs* used by the
+threshold-pruning machinery of Section 5, and Monte-Carlo / grid sampling
+utilities for pdfs without closed-form rectangle probabilities.
+"""
+
+from repro.uncertainty.pdf import (
+    UncertaintyPdf,
+    UniformPdf,
+    TruncatedGaussianPdf,
+    HistogramPdf,
+    UniformCirclePdf,
+)
+from repro.uncertainty.region import PointObject, UncertainObject
+from repro.uncertainty.pbound import PBound, compute_pbound, pbound_rect
+from repro.uncertainty.catalog import UCatalog, DEFAULT_CATALOG_LEVELS
+from repro.uncertainty.sampling import (
+    monte_carlo_rect_probability,
+    grid_rect_probability,
+    sample_points,
+)
+
+__all__ = [
+    "UncertaintyPdf",
+    "UniformPdf",
+    "TruncatedGaussianPdf",
+    "HistogramPdf",
+    "UniformCirclePdf",
+    "PointObject",
+    "UncertainObject",
+    "PBound",
+    "compute_pbound",
+    "pbound_rect",
+    "UCatalog",
+    "DEFAULT_CATALOG_LEVELS",
+    "monte_carlo_rect_probability",
+    "grid_rect_probability",
+    "sample_points",
+]

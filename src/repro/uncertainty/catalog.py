@@ -1,0 +1,154 @@
+"""U-catalogs: pre-computed tables of p-bounds (Section 5.1 of the paper).
+
+Because a p-bound cannot be pre-computed for every possible ``p``, each
+uncertain object carries a small *U-catalog* — a table of
+``{probability level -> p-bound}`` entries at a fixed set of levels.  Query
+pruning then rounds the requested threshold to the nearest stored level in
+the conservative direction:
+
+* when an *upper* bound on the pruned mass is needed (Strategies 1 and 2),
+  the largest stored level ``M <= Qp`` is used;
+* when the Strategy-3 product bound needs the tightest valid level at least
+  ``Qp``, the smallest stored level ``>= Qp`` is used.
+
+The paper's experiments store levels ``0, 0.1, ..., 1``; values above 0.5 are
+clamped by the p-bound computation, so the effective catalog resolution is
+``0 .. 0.5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.pbound import PBound, compute_pbound
+from repro.uncertainty.pdf import UncertaintyPdf
+
+#: Default catalog levels used throughout the reproduction.  Six levels from
+#: 0 to 0.5 match the storage described in Section 5.2 ("we store six
+#: probability values and their p-bounds").
+DEFAULT_CATALOG_LEVELS: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+#: The ten-level catalog mentioned in the experimental setup (Section 6.1).
+PAPER_CATALOG_LEVELS: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(11))
+
+
+@dataclass(frozen=True)
+class UCatalog:
+    """An immutable, sorted table of ``(level, PBound)`` entries."""
+
+    levels: tuple[float, ...]
+    bounds: tuple[PBound, ...] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != len(self.bounds):
+            raise ValueError("levels and bounds must have the same length")
+        if not self.levels:
+            raise ValueError("a U-catalog needs at least one level")
+        if list(self.levels) != sorted(self.levels):
+            raise ValueError("catalog levels must be sorted in increasing order")
+        if len(set(self.levels)) != len(self.levels):
+            raise ValueError("catalog levels must be distinct")
+        for level in self.levels:
+            if not 0.0 <= level <= 1.0:
+                raise ValueError(f"catalog level {level} outside [0, 1]")
+        # Pre-computed lookup structures: catalog lookups sit on the hot path
+        # of index-level and object-level pruning, so avoid linear scans and
+        # repeated Rect construction there.
+        object.__setattr__(
+            self, "_bound_by_level", {level: bound for level, bound in zip(self.levels, self.bounds)}
+        )
+        object.__setattr__(
+            self, "_rect_by_level", {level: bound.rect for level, bound in zip(self.levels, self.bounds)}
+        )
+        object.__setattr__(
+            self,
+            "_level_rects",
+            tuple((level, bound.rect) for level, bound in zip(self.levels, self.bounds)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def build(
+        pdf: UncertaintyPdf,
+        levels: Sequence[float] = DEFAULT_CATALOG_LEVELS,
+    ) -> "UCatalog":
+        """Pre-compute a catalog for ``pdf`` at the given probability levels."""
+        ordered = tuple(sorted(set(float(level) for level in levels)))
+        bounds = tuple(compute_pbound(pdf, level) for level in ordered)
+        return UCatalog(levels=ordered, bounds=bounds)
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __iter__(self) -> Iterator[tuple[float, PBound]]:
+        return iter(zip(self.levels, self.bounds))
+
+    def bound_at(self, level: float) -> PBound:
+        """Return the stored bound for an exact level (raises if absent)."""
+        try:
+            return self._bound_by_level[level]  # type: ignore[attr-defined]
+        except KeyError as exc:
+            raise KeyError(f"level {level} not stored in catalog") from exc
+
+    def rect_at(self, level: float) -> "Rect":
+        """Return the pre-built bound rectangle for an exact level."""
+        try:
+            return self._rect_by_level[level]  # type: ignore[attr-defined]
+        except KeyError as exc:
+            raise KeyError(f"level {level} not stored in catalog") from exc
+
+    def level_rects(self) -> "tuple[tuple[float, Rect], ...]":
+        """All ``(level, bound rectangle)`` pairs in increasing level order.
+
+        The returned tuple is the catalog's pre-built cache; bound rectangles
+        shrink (or stay equal) as the level grows.
+        """
+        return self._level_rects  # type: ignore[attr-defined]
+
+    def largest_level_at_most(self, p: float) -> float | None:
+        """Largest stored level ``M`` with ``M <= p`` (None when none exists)."""
+        candidate: float | None = None
+        for level in self.levels:
+            if level <= p:
+                candidate = level
+            else:
+                break
+        return candidate
+
+    def smallest_level_at_least(self, p: float) -> float | None:
+        """Smallest stored level ``M`` with ``M >= p`` (None when none exists)."""
+        for level in self.levels:
+            if level >= p:
+                return level
+        return None
+
+    def bound_for_threshold(self, p: float) -> PBound | None:
+        """Bound usable for threshold-``p`` pruning (rounded down conservatively).
+
+        Returns the bound at the largest stored level not exceeding ``p``.
+        Pruning with this rounded bound is still correct: a looser (smaller
+        level) bound can only prune *fewer* objects, never a qualifying one.
+        """
+        level = self.largest_level_at_most(p)
+        if level is None:
+            return None
+        return self.bound_at(level)
+
+    def tightest_bound_at_least(self, p: float) -> PBound | None:
+        """Bound at the smallest stored level that is at least ``p``.
+
+        Used by the Strategy-3 product bound, which needs a level that is a
+        valid *upper* bound on the mass beyond the line while being as small
+        as possible.
+        """
+        level = self.smallest_level_at_least(p)
+        if level is None:
+            return None
+        return self.bound_at(level)

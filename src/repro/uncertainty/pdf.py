@@ -1,0 +1,465 @@
+"""Uncertainty probability density functions.
+
+Definition 2 of the paper: the uncertainty pdf ``fi(x, y)`` of object ``Oi``
+is a pdf that is zero outside the object's uncertainty region ``Ui`` and
+integrates to one over it.  The paper's techniques are pdf-agnostic; the
+experiments use the uniform distribution (the "worst case" of knowing nothing
+beyond the region) and a truncated Gaussian (Section 6.2, Figure 13).
+
+Every pdf exposes:
+
+* ``region`` — the uncertainty region (an axis-parallel :class:`Rect`, or the
+  bounding rectangle for non-rectangular supports),
+* ``probability_in_rect(rect)`` — the probability mass inside ``rect``,
+* per-axis marginal CDFs and quantiles (used to compute p-bounds),
+* ``sample(rng, n)`` — draws for Monte-Carlo evaluation,
+* ``density(x, y)`` — the raw density value.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class UncertaintyPdf(abc.ABC):
+    """Abstract base class for two-dimensional location-uncertainty pdfs."""
+
+    #: Whether :meth:`probability_in_rect` is exact (closed form) rather than
+    #: a numerical approximation.  The evaluation engines use this to decide
+    #: between analytic and Monte-Carlo integration paths.
+    has_closed_form: bool = False
+
+    @property
+    @abc.abstractmethod
+    def region(self) -> Rect:
+        """The uncertainty region (bounding rectangle of the support)."""
+
+    @abc.abstractmethod
+    def probability_in_rect(self, rect: Rect) -> float:
+        """Probability mass of the object's location falling inside ``rect``."""
+
+    @abc.abstractmethod
+    def density(self, x: float, y: float) -> float:
+        """Density value at ``(x, y)`` (zero outside the region)."""
+
+    @abc.abstractmethod
+    def marginal_cdf_x(self, x: float) -> float:
+        """Probability that the object's x-coordinate is at most ``x``."""
+
+    @abc.abstractmethod
+    def marginal_cdf_y(self, y: float) -> float:
+        """Probability that the object's y-coordinate is at most ``y``."""
+
+    @abc.abstractmethod
+    def marginal_quantile_x(self, p: float) -> float:
+        """Smallest ``x`` such that ``marginal_cdf_x(x) >= p``."""
+
+    @abc.abstractmethod
+    def marginal_quantile_y(self, p: float) -> float:
+        """Smallest ``y`` such that ``marginal_cdf_y(y) >= p``."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` locations; returns an ``(n, 2)`` array of ``(x, y)`` pairs."""
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers shared by all implementations
+    # ------------------------------------------------------------------ #
+    def mean(self) -> Point:
+        """Mean location (defaults to the region centre; subclasses may refine)."""
+        return self.region.center
+
+    def probability_outside_rect(self, rect: Rect) -> float:
+        """Probability mass outside ``rect`` (clipped to ``[0, 1]``)."""
+        return min(1.0, max(0.0, 1.0 - self.probability_in_rect(rect)))
+
+    def _validate_probability(self, p: float) -> float:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {p}")
+        return p
+
+
+class UniformPdf(UncertaintyPdf):
+    """Uniform distribution over an axis-parallel rectangle.
+
+    This is the paper's "worst-case" pdf (``fi(x, y) = 1 / |Ui|``) and the
+    default in all experiments.  All quantities are closed-form.
+    """
+
+    has_closed_form = True
+
+    def __init__(self, region: Rect) -> None:
+        if region.is_empty:
+            raise ValueError("uncertainty region must be non-empty")
+        if region.area == 0.0:
+            raise ValueError(
+                "uniform pdf requires a region of positive area; "
+                "use PointObject for degenerate locations"
+            )
+        self._region = region
+        self._density = 1.0 / region.area
+
+    @property
+    def region(self) -> Rect:
+        return self._region
+
+    def probability_in_rect(self, rect: Rect) -> float:
+        return self._region.intersection_area(rect) * self._density
+
+    def density(self, x: float, y: float) -> float:
+        if self._region.contains_point(Point(x, y)):
+            return self._density
+        return 0.0
+
+    def marginal_cdf_x(self, x: float) -> float:
+        return self._region.x_interval.fraction_below(x)
+
+    def marginal_cdf_y(self, y: float) -> float:
+        return self._region.y_interval.fraction_below(y)
+
+    def marginal_quantile_x(self, p: float) -> float:
+        self._validate_probability(p)
+        return self._region.xmin + p * self._region.width
+
+    def marginal_quantile_y(self, p: float) -> float:
+        self._validate_probability(p)
+        return self._region.ymin + p * self._region.height
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        xs = rng.uniform(self._region.xmin, self._region.xmax, size=n)
+        ys = rng.uniform(self._region.ymin, self._region.ymax, size=n)
+        return np.column_stack([xs, ys])
+
+
+class TruncatedGaussianPdf(UncertaintyPdf):
+    """Independent per-axis Gaussian truncated to the uncertainty region.
+
+    This matches the paper's non-uniform experiment (Section 6.2): "the mean
+    of the Gaussian distribution is the center of its uncertainty region,
+    while the variance is one-sixth of the size of its uncertainty region".
+    We interpret that as a per-axis standard deviation of ``extent / 6`` so
+    that the region spans ±3σ; the constructor also accepts explicit sigmas.
+
+    Rectangle probabilities are closed-form (products of truncated-normal CDF
+    differences), so the engine can use the analytic path; the experiments
+    nonetheless exercise the Monte-Carlo path against this pdf to reproduce
+    Figure 13, where the paper treats the Gaussian as "no closed form".
+    """
+
+    has_closed_form = True
+
+    def __init__(
+        self,
+        region: Rect,
+        sigma_x: float | None = None,
+        sigma_y: float | None = None,
+    ) -> None:
+        if region.is_empty or region.area == 0.0:
+            raise ValueError("uncertainty region must have positive area")
+        self._region = region
+        self._mu_x = region.center.x
+        self._mu_y = region.center.y
+        self._sigma_x = sigma_x if sigma_x is not None else max(region.width / 6.0, 1e-12)
+        self._sigma_y = sigma_y if sigma_y is not None else max(region.height / 6.0, 1e-12)
+        if self._sigma_x <= 0 or self._sigma_y <= 0:
+            raise ValueError("standard deviations must be positive")
+
+        # Per-axis truncation masses (the Gaussian mass that falls inside the
+        # region); used to renormalise CDFs so that the pdf integrates to one
+        # over the region.
+        self._x_dist = stats.norm(loc=self._mu_x, scale=self._sigma_x)
+        self._y_dist = stats.norm(loc=self._mu_y, scale=self._sigma_y)
+        self._x_lo_cdf = float(self._x_dist.cdf(region.xmin))
+        self._x_hi_cdf = float(self._x_dist.cdf(region.xmax))
+        self._y_lo_cdf = float(self._y_dist.cdf(region.ymin))
+        self._y_hi_cdf = float(self._y_dist.cdf(region.ymax))
+        self._x_mass = self._x_hi_cdf - self._x_lo_cdf
+        self._y_mass = self._y_hi_cdf - self._y_lo_cdf
+        if self._x_mass <= 0 or self._y_mass <= 0:
+            raise ValueError("truncation region carries no Gaussian mass")
+
+    @property
+    def region(self) -> Rect:
+        return self._region
+
+    @property
+    def sigma(self) -> tuple[float, float]:
+        """Per-axis standard deviations of the untruncated Gaussian."""
+        return (self._sigma_x, self._sigma_y)
+
+    def mean(self) -> Point:
+        return Point(self._mu_x, self._mu_y)
+
+    def _axis_prob_x(self, low: float, high: float) -> float:
+        low = max(low, self._region.xmin)
+        high = min(high, self._region.xmax)
+        if high <= low:
+            return 0.0
+        return (float(self._x_dist.cdf(high)) - float(self._x_dist.cdf(low))) / self._x_mass
+
+    def _axis_prob_y(self, low: float, high: float) -> float:
+        low = max(low, self._region.ymin)
+        high = min(high, self._region.ymax)
+        if high <= low:
+            return 0.0
+        return (float(self._y_dist.cdf(high)) - float(self._y_dist.cdf(low))) / self._y_mass
+
+    def probability_in_rect(self, rect: Rect) -> float:
+        if rect.is_empty:
+            return 0.0
+        return self._axis_prob_x(rect.xmin, rect.xmax) * self._axis_prob_y(rect.ymin, rect.ymax)
+
+    def density(self, x: float, y: float) -> float:
+        if not self._region.contains_point(Point(x, y)):
+            return 0.0
+        fx = float(self._x_dist.pdf(x)) / self._x_mass
+        fy = float(self._y_dist.pdf(y)) / self._y_mass
+        return fx * fy
+
+    def marginal_cdf_x(self, x: float) -> float:
+        if x <= self._region.xmin:
+            return 0.0
+        if x >= self._region.xmax:
+            return 1.0
+        return (float(self._x_dist.cdf(x)) - self._x_lo_cdf) / self._x_mass
+
+    def marginal_cdf_y(self, y: float) -> float:
+        if y <= self._region.ymin:
+            return 0.0
+        if y >= self._region.ymax:
+            return 1.0
+        return (float(self._y_dist.cdf(y)) - self._y_lo_cdf) / self._y_mass
+
+    def marginal_quantile_x(self, p: float) -> float:
+        self._validate_probability(p)
+        if p <= 0.0:
+            return self._region.xmin
+        if p >= 1.0:
+            return self._region.xmax
+        target = self._x_lo_cdf + p * self._x_mass
+        return float(self._x_dist.ppf(target))
+
+    def marginal_quantile_y(self, p: float) -> float:
+        self._validate_probability(p)
+        if p <= 0.0:
+            return self._region.ymin
+        if p >= 1.0:
+            return self._region.ymax
+        target = self._y_lo_cdf + p * self._y_mass
+        return float(self._y_dist.ppf(target))
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Inverse-transform sampling on the truncated marginals keeps the draw
+        # count deterministic (rejection sampling would not).
+        ux = rng.uniform(0.0, 1.0, size=n)
+        uy = rng.uniform(0.0, 1.0, size=n)
+        xs = self._x_dist.ppf(self._x_lo_cdf + ux * self._x_mass)
+        ys = self._y_dist.ppf(self._y_lo_cdf + uy * self._y_mass)
+        xs = np.clip(xs, self._region.xmin, self._region.xmax)
+        ys = np.clip(ys, self._region.ymin, self._region.ymax)
+        return np.column_stack([xs, ys])
+
+
+class HistogramPdf(UncertaintyPdf):
+    """Piecewise-constant pdf over a regular grid of bins inside a rectangle.
+
+    The paper stresses that its methods "can deal with any type of probability
+    distribution about the object's location"; a histogram is the standard way
+    such arbitrary distributions are shipped to a query processor.  Bin
+    weights need not be normalised — the constructor normalises them.
+    """
+
+    has_closed_form = True
+
+    def __init__(self, region: Rect, weights: Sequence[Sequence[float]]) -> None:
+        if region.is_empty or region.area == 0.0:
+            raise ValueError("uncertainty region must have positive area")
+        grid = np.asarray(weights, dtype=float)
+        if grid.ndim != 2 or grid.size == 0:
+            raise ValueError("weights must be a non-empty 2-D array (rows = y bins)")
+        if np.any(grid < 0):
+            raise ValueError("bin weights must be non-negative")
+        total = float(grid.sum())
+        if total <= 0:
+            raise ValueError("at least one bin weight must be positive")
+        self._region = region
+        self._grid = grid / total
+        self._ny, self._nx = grid.shape
+        self._bin_w = region.width / self._nx
+        self._bin_h = region.height / self._ny
+
+    @property
+    def region(self) -> Rect:
+        return self._region
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Grid shape as ``(ny, nx)``."""
+        return (self._ny, self._nx)
+
+    def _bin_rect(self, ix: int, iy: int) -> Rect:
+        x0 = self._region.xmin + ix * self._bin_w
+        y0 = self._region.ymin + iy * self._bin_h
+        return Rect(x0, y0, x0 + self._bin_w, y0 + self._bin_h)
+
+    def probability_in_rect(self, rect: Rect) -> float:
+        clipped = rect.intersect(self._region)
+        if clipped.is_empty:
+            return 0.0
+        total = 0.0
+        # Only the bins overlapping the clipped rectangle contribute.
+        ix_lo = max(0, int((clipped.xmin - self._region.xmin) / self._bin_w))
+        ix_hi = min(self._nx - 1, int((clipped.xmax - self._region.xmin) / self._bin_w))
+        iy_lo = max(0, int((clipped.ymin - self._region.ymin) / self._bin_h))
+        iy_hi = min(self._ny - 1, int((clipped.ymax - self._region.ymin) / self._bin_h))
+        for iy in range(iy_lo, iy_hi + 1):
+            for ix in range(ix_lo, ix_hi + 1):
+                weight = self._grid[iy, ix]
+                if weight == 0.0:
+                    continue
+                cell = self._bin_rect(ix, iy)
+                fraction = cell.intersection_area(clipped) / cell.area
+                total += weight * fraction
+        return min(1.0, total)
+
+    def density(self, x: float, y: float) -> float:
+        if not self._region.contains_point(Point(x, y)):
+            return 0.0
+        ix = min(self._nx - 1, int((x - self._region.xmin) / self._bin_w))
+        iy = min(self._ny - 1, int((y - self._region.ymin) / self._bin_h))
+        cell_area = self._bin_w * self._bin_h
+        return self._grid[iy, ix] / cell_area
+
+    def marginal_cdf_x(self, x: float) -> float:
+        return self.probability_in_rect(
+            Rect(self._region.xmin, self._region.ymin, x, self._region.ymax)
+        )
+
+    def marginal_cdf_y(self, y: float) -> float:
+        return self.probability_in_rect(
+            Rect(self._region.xmin, self._region.ymin, self._region.xmax, y)
+        )
+
+    def _invert_monotone(self, cdf, low: float, high: float, p: float) -> float:
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if cdf(mid) < p:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0
+
+    def marginal_quantile_x(self, p: float) -> float:
+        self._validate_probability(p)
+        if p <= 0.0:
+            return self._region.xmin
+        if p >= 1.0:
+            return self._region.xmax
+        return self._invert_monotone(self.marginal_cdf_x, self._region.xmin, self._region.xmax, p)
+
+    def marginal_quantile_y(self, p: float) -> float:
+        self._validate_probability(p)
+        if p <= 0.0:
+            return self._region.ymin
+        if p >= 1.0:
+            return self._region.ymax
+        return self._invert_monotone(self.marginal_cdf_y, self._region.ymin, self._region.ymax, p)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        flat = self._grid.ravel()
+        choices = rng.choice(flat.size, size=n, p=flat)
+        iys, ixs = np.divmod(choices, self._nx)
+        xs = self._region.xmin + (ixs + rng.uniform(0.0, 1.0, size=n)) * self._bin_w
+        ys = self._region.ymin + (iys + rng.uniform(0.0, 1.0, size=n)) * self._bin_h
+        return np.column_stack([xs, ys])
+
+
+class UniformCirclePdf(UncertaintyPdf):
+    """Uniform distribution over a disc — the non-rectangular extension.
+
+    The paper's conclusion mentions supporting non-rectangular uncertainty
+    regions; a uniform disc (the usual privacy "cloaking circle") is the
+    simplest useful case.  Rectangle probabilities use the circle–rectangle
+    intersection area, so they are numerical but deterministic.
+    """
+
+    has_closed_form = False
+
+    def __init__(self, circle: Circle, *, resolution: int = 256) -> None:
+        if circle.radius <= 0:
+            raise ValueError("circle radius must be positive")
+        self._circle = circle
+        self._resolution = resolution
+        self._region = circle.bounding_rect()
+        self._density = 1.0 / circle.area
+
+    @property
+    def region(self) -> Rect:
+        return self._region
+
+    @property
+    def circle(self) -> Circle:
+        """The circular support of the pdf."""
+        return self._circle
+
+    def probability_in_rect(self, rect: Rect) -> float:
+        area = self._circle.intersection_area_with_rect(rect, resolution=self._resolution)
+        return min(1.0, area * self._density)
+
+    def density(self, x: float, y: float) -> float:
+        if self._circle.contains_point(Point(x, y)):
+            return self._density
+        return 0.0
+
+    def marginal_cdf_x(self, x: float) -> float:
+        c, r = self._circle.center, self._circle.radius
+        if x <= c.x - r:
+            return 0.0
+        if x >= c.x + r:
+            return 1.0
+        t = (x - c.x) / r
+        # Area of the circular segment left of x, normalised by the disc area.
+        return (t * math.sqrt(1 - t * t) + math.asin(t)) / math.pi + 0.5
+
+    def marginal_cdf_y(self, y: float) -> float:
+        c, r = self._circle.center, self._circle.radius
+        if y <= c.y - r:
+            return 0.0
+        if y >= c.y + r:
+            return 1.0
+        t = (y - c.y) / r
+        return (t * math.sqrt(1 - t * t) + math.asin(t)) / math.pi + 0.5
+
+    def _invert(self, cdf, low: float, high: float, p: float) -> float:
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if cdf(mid) < p:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2.0
+
+    def marginal_quantile_x(self, p: float) -> float:
+        self._validate_probability(p)
+        return self._invert(self.marginal_cdf_x, self._region.xmin, self._region.xmax, p)
+
+    def marginal_quantile_y(self, p: float) -> float:
+        self._validate_probability(p)
+        return self._invert(self.marginal_cdf_y, self._region.ymin, self._region.ymax, p)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        # Uniform sampling on a disc via the radius/angle transform.
+        radii = self._circle.radius * np.sqrt(rng.uniform(0.0, 1.0, size=n))
+        angles = rng.uniform(0.0, 2.0 * math.pi, size=n)
+        xs = self._circle.center.x + radii * np.cos(angles)
+        ys = self._circle.center.y + radii * np.sin(angles)
+        return np.column_stack([xs, ys])

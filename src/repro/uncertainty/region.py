@@ -1,0 +1,93 @@
+"""Object wrappers: point objects and uncertain objects.
+
+The paper distinguishes two kinds of data (Section 3.1):
+
+* *point objects* ``S1..Sm`` whose location is known exactly (shops,
+  buildings, parked cars), and
+* *uncertain objects* ``O1..On`` described by an uncertainty region and pdf
+  (moving vehicles, privacy-cloaked users).
+
+The query issuer ``O0`` is itself an uncertain object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS, UCatalog
+from repro.uncertainty.pdf import UncertaintyPdf, UniformPdf
+
+
+@dataclass(frozen=True, slots=True)
+class PointObject:
+    """A queried object with an exact (precise) location."""
+
+    oid: int
+    location: Point
+
+    @staticmethod
+    def at(oid: int, x: float, y: float) -> "PointObject":
+        """Convenience constructor from raw coordinates."""
+        return PointObject(oid=oid, location=Point(x, y))
+
+    @property
+    def x(self) -> float:
+        """X coordinate of the object's location."""
+        return self.location.x
+
+    @property
+    def y(self) -> float:
+        """Y coordinate of the object's location."""
+        return self.location.y
+
+    @property
+    def mbr(self) -> Rect:
+        """Degenerate bounding rectangle (used when indexing point objects)."""
+        return Rect.from_point(self.location)
+
+
+@dataclass(frozen=True)
+class UncertainObject:
+    """A queried object (or query issuer) with an imprecise location.
+
+    The object is fully described by its pdf; the uncertainty region is the
+    pdf's support rectangle.  A :class:`UCatalog` of pre-computed p-bounds can
+    be attached at construction time (or later via :meth:`with_catalog`) to
+    enable the constrained-query pruning of Section 5.
+    """
+
+    oid: int
+    pdf: UncertaintyPdf
+    catalog: UCatalog | None = field(default=None, compare=False)
+
+    @staticmethod
+    def uniform(oid: int, region: Rect, *, with_catalog: bool = False) -> "UncertainObject":
+        """Build an object with a uniform pdf over ``region``."""
+        pdf = UniformPdf(region)
+        catalog = UCatalog.build(pdf, DEFAULT_CATALOG_LEVELS) if with_catalog else None
+        return UncertainObject(oid=oid, pdf=pdf, catalog=catalog)
+
+    @property
+    def region(self) -> Rect:
+        """The object's uncertainty region ``Ui``."""
+        return self.pdf.region
+
+    @property
+    def mbr(self) -> Rect:
+        """Bounding rectangle used by spatial indexes (same as the region)."""
+        return self.pdf.region
+
+    def with_catalog(self, levels: Sequence[float] = DEFAULT_CATALOG_LEVELS) -> "UncertainObject":
+        """Return a copy of the object with a freshly built U-catalog."""
+        return UncertainObject(
+            oid=self.oid,
+            pdf=self.pdf,
+            catalog=UCatalog.build(self.pdf, levels),
+        )
+
+    def probability_in_rect(self, rect: Rect) -> float:
+        """Probability that the object lies inside ``rect``."""
+        return self.pdf.probability_in_rect(rect)

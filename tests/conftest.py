@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Fixtures build tiny but non-trivial datasets (hundreds of objects) so that
+whole-engine tests stay fast while still exercising multi-node index
+structures and non-empty query answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.core.queries import RangeQuerySpec
+from repro.datasets.synthetic import clustered_points, clustered_rectangles
+from repro.datasets.workload import QueryWorkload
+from repro.uncertainty.pdf import UniformPdf
+from repro.uncertainty.region import UncertainObject
+
+#: A small data space shared by the fixture datasets (distinct from the
+#: paper's 10,000² space so tests that hard-code coordinates stay readable).
+TEST_SPACE = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """A deterministic random generator for sampling-based tests."""
+    return np.random.default_rng(424242)
+
+
+@pytest.fixture(scope="session")
+def small_points():
+    """~600 clustered point objects in the test space."""
+    return clustered_points(600, TEST_SPACE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_uncertain():
+    """~500 clustered uncertain objects (uniform pdfs) with U-catalogs."""
+    objects = clustered_rectangles(500, TEST_SPACE, size_range=(20.0, 200.0), seed=2)
+    return [obj.with_catalog() for obj in objects]
+
+
+@pytest.fixture(scope="session")
+def point_db(small_points) -> PointDatabase:
+    """R-tree-indexed point database."""
+    return PointDatabase.build(small_points)
+
+
+@pytest.fixture(scope="session")
+def uncertain_db(small_uncertain) -> UncertainDatabase:
+    """PTI-indexed uncertain database."""
+    return UncertainDatabase.build(small_uncertain, index_kind="pti")
+
+
+@pytest.fixture(scope="session")
+def uncertain_db_rtree(small_uncertain) -> UncertainDatabase:
+    """Plain R-tree-indexed uncertain database over the same objects."""
+    return UncertainDatabase.build(small_uncertain, index_kind="rtree")
+
+
+@pytest.fixture()
+def default_spec() -> RangeQuerySpec:
+    """The paper's default square range (w = 500)."""
+    return RangeQuerySpec.square(500.0)
+
+
+@pytest.fixture()
+def default_workload() -> QueryWorkload:
+    """A workload with the paper's default parameters over the test space."""
+    return QueryWorkload(bounds=TEST_SPACE, seed=7)
+
+
+@pytest.fixture()
+def uniform_issuer() -> UncertainObject:
+    """A uniform-pdf query issuer centred in the test space, with a catalog."""
+    region = Rect.from_center(Point(5_000.0, 5_000.0), 250.0, 250.0)
+    return UncertainObject(oid=0, pdf=UniformPdf(region)).with_catalog()

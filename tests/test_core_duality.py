@@ -1,0 +1,181 @@
+"""Unit tests for the query–data duality probability computations (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.core.duality import (
+    clipped_integration_region,
+    ipq_probability,
+    ipq_probability_monte_carlo,
+    iuq_probability,
+    iuq_probability_exact_uniform,
+    iuq_probability_monte_carlo,
+)
+from repro.core.queries import RangeQuerySpec
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.region import UncertainObject
+
+ISSUER_REGION = Rect(0.0, 0.0, 500.0, 500.0)
+SPEC = RangeQuerySpec(half_width=500.0, half_height=500.0)
+
+
+class TestIPQProbability:
+    def test_duality_symmetry_for_point_issuers(self):
+        """Lemma 2: Si satisfies R(Sq) iff Sq satisfies R(Si).
+
+        With a (nearly) point-like issuer the probability is 0/1 and the
+        symmetry can be checked directly.
+        """
+        spec = RangeQuerySpec(50.0, 30.0)
+        issuer_at = Point(100.0, 100.0)
+        tiny = Rect.from_center(issuer_at, 1e-6, 1e-6)
+        issuer_pdf = UniformPdf(tiny)
+        target = Point(130.0, 120.0)
+        forward = spec.region_at(issuer_at).contains_point(target)
+        backward = ipq_probability(issuer_pdf, spec, target) > 0.5
+        assert forward == backward
+
+    def test_uniform_equation_6(self):
+        """Equation 6: the probability is the overlapped fraction of U0."""
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        # R(Si) centred at (500, 250) with half-extent 500 covers the right
+        # half... actually covers x in [0,1000] so the full region.
+        assert ipq_probability(issuer_pdf, SPEC, Point(500.0, 250.0)) == pytest.approx(1.0)
+        # A target 750 units right of the region centre: R(Si) covers
+        # x in [250, 1250], i.e. half of U0 in x, all of it in y.
+        assert ipq_probability(issuer_pdf, SPEC, Point(750.0, 250.0)) == pytest.approx(0.5)
+
+    def test_zero_outside_expanded_query(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        far = Point(5_000.0, 5_000.0)
+        assert ipq_probability(issuer_pdf, SPEC, far) == 0.0
+
+    def test_object_at_issuer_center_has_probability_one_for_large_range(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        assert ipq_probability(issuer_pdf, SPEC, Point(250.0, 250.0)) == pytest.approx(1.0)
+
+    def test_matches_monte_carlo_uniform(self, rng):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = Point(650.0, 300.0)
+        exact = ipq_probability(issuer_pdf, SPEC, target)
+        estimate = ipq_probability_monte_carlo(issuer_pdf, SPEC, target, 30_000, rng)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_matches_monte_carlo_gaussian(self, rng):
+        issuer_pdf = TruncatedGaussianPdf(ISSUER_REGION)
+        target = Point(650.0, 300.0)
+        exact = ipq_probability(issuer_pdf, SPEC, target)
+        estimate = ipq_probability_monte_carlo(issuer_pdf, SPEC, target, 30_000, rng)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_monte_carlo_rejects_bad_sample_count(self, rng):
+        with pytest.raises(ValueError):
+            ipq_probability_monte_carlo(UniformPdf(ISSUER_REGION), SPEC, Point(0.0, 0.0), 0, rng)
+
+
+class TestIUQExactUniform:
+    def test_fully_covered_object_has_probability_one(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject.uniform(1, Rect(200.0, 200.0, 300.0, 300.0))
+        # Range half-width 500 covers the whole issuer-to-object configuration.
+        assert iuq_probability_exact_uniform(issuer_pdf, target, SPEC) == pytest.approx(1.0)
+
+    def test_distant_object_has_probability_zero(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject.uniform(1, Rect(5_000.0, 5_000.0, 5_100.0, 5_100.0))
+        assert iuq_probability_exact_uniform(issuer_pdf, target, SPEC) == 0.0
+
+    def test_probability_within_bounds(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject.uniform(1, Rect(800.0, 100.0, 1_000.0, 400.0))
+        value = iuq_probability_exact_uniform(issuer_pdf, target, SPEC)
+        assert 0.0 < value < 1.0
+
+    def test_symmetric_configuration_gives_half(self):
+        # Object strip centred exactly at the right edge of the expanded
+        # query in x: half of the object's x-mass can ever qualify.
+        issuer_pdf = UniformPdf(Rect(0.0, 0.0, 100.0, 100.0))
+        spec = RangeQuerySpec(100.0, 100.0)
+        # Expanded query spans x in [-100, 200]; an object spanning [150, 250]
+        # symmetric around 200... use direct comparison to Monte-Carlo instead.
+        target = UncertainObject.uniform(1, Rect(150.0, 0.0, 250.0, 100.0))
+        exact = iuq_probability_exact_uniform(issuer_pdf, target, spec)
+        mc = iuq_probability_monte_carlo(
+            issuer_pdf, target, spec, 60_000, np.random.default_rng(5)
+        )
+        assert exact == pytest.approx(mc, abs=0.01)
+
+    def test_rejects_non_uniform_target(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject(oid=1, pdf=TruncatedGaussianPdf(Rect(0.0, 0.0, 100.0, 100.0)))
+        with pytest.raises(TypeError):
+            iuq_probability_exact_uniform(issuer_pdf, target, SPEC)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_monte_carlo_on_random_configurations(self, seed):
+        rng = np.random.default_rng(seed)
+        issuer_region = Rect.from_center(
+            Point(rng.uniform(400, 600), rng.uniform(400, 600)),
+            rng.uniform(50, 300),
+            rng.uniform(50, 300),
+        )
+        target_region = Rect.from_center(
+            Point(rng.uniform(0, 1200), rng.uniform(0, 1200)),
+            rng.uniform(20, 200),
+            rng.uniform(20, 200),
+        )
+        spec = RangeQuerySpec(rng.uniform(100, 600), rng.uniform(100, 600))
+        issuer_pdf = UniformPdf(issuer_region)
+        target = UncertainObject.uniform(1, target_region)
+        exact = iuq_probability_exact_uniform(issuer_pdf, target, spec)
+        estimate = iuq_probability_monte_carlo(issuer_pdf, target, spec, 60_000, rng)
+        assert exact == pytest.approx(estimate, abs=0.015)
+
+
+class TestIUQDispatch:
+    def test_uniform_uniform_uses_exact_path(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject.uniform(1, Rect(700.0, 100.0, 900.0, 300.0))
+        assert iuq_probability(issuer_pdf, target, SPEC) == pytest.approx(
+            iuq_probability_exact_uniform(issuer_pdf, target, SPEC)
+        )
+
+    def test_gaussian_target_semi_analytic_matches_full_monte_carlo(self, rng):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject(
+            oid=1, pdf=TruncatedGaussianPdf(Rect(700.0, 100.0, 900.0, 300.0))
+        )
+        semi = iuq_probability(issuer_pdf, target, SPEC, grid_resolution=32)
+        full = iuq_probability_monte_carlo(issuer_pdf, target, SPEC, 60_000, rng)
+        assert semi == pytest.approx(full, abs=0.02)
+
+    def test_sampled_semi_analytic_close_to_grid(self, rng):
+        issuer_pdf = TruncatedGaussianPdf(ISSUER_REGION)
+        target = UncertainObject(
+            oid=1, pdf=TruncatedGaussianPdf(Rect(600.0, 200.0, 800.0, 400.0))
+        )
+        sampled = iuq_probability(issuer_pdf, target, SPEC, samples=4_000, rng=rng)
+        grid = iuq_probability(issuer_pdf, target, SPEC, grid_resolution=32)
+        assert sampled == pytest.approx(grid, abs=0.03)
+
+    def test_monte_carlo_rejects_bad_sample_count(self, rng):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        target = UncertainObject.uniform(1, Rect(0.0, 0.0, 10.0, 10.0))
+        with pytest.raises(ValueError):
+            iuq_probability_monte_carlo(issuer_pdf, target, SPEC, 0, rng)
+
+
+class TestClippedIntegrationRegion:
+    def test_clipping_against_expanded_query(self):
+        target_region = Rect(900.0, 0.0, 1_200.0, 400.0)
+        expanded = Rect(-500.0, -500.0, 1_000.0, 1_000.0)
+        assert clipped_integration_region(target_region, expanded) == Rect(
+            900.0, 0.0, 1_000.0, 400.0
+        )
+
+    def test_disjoint_regions_clip_to_empty(self):
+        assert clipped_integration_region(
+            Rect(2_000.0, 2_000.0, 2_100.0, 2_100.0), Rect(0.0, 0.0, 1_000.0, 1_000.0)
+        ).is_empty

@@ -1,0 +1,250 @@
+"""Unit and integration tests for the end-to-end query engine."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.core.duality import ipq_probability, iuq_probability_exact_uniform
+from repro.core.engine import (
+    EngineConfig,
+    ImpreciseQueryEngine,
+    PointDatabase,
+    UncertainDatabase,
+)
+from repro.core.pruning import PruningStrategy
+from repro.core.queries import ImpreciseRangeQuery, RangeQuerySpec
+from repro.datasets.workload import QueryWorkload
+from repro.index.gridfile import GridFile
+from repro.index.linear import LinearScanIndex
+from repro.index.pti import ProbabilityThresholdIndex
+from repro.index.rtree import RTree
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.region import UncertainObject
+
+from tests.conftest import TEST_SPACE
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.probability_method == "auto"
+        assert config.use_p_expanded_query
+        assert config.use_pti_pruning
+
+    def test_with_overrides(self):
+        config = EngineConfig().with_overrides(monte_carlo_samples=99)
+        assert config.monte_carlo_samples == 99
+        assert EngineConfig().monte_carlo_samples != 99
+
+
+class TestDatabaseConstruction:
+    def test_point_database_default_rtree(self, small_points):
+        db = PointDatabase.build(small_points)
+        assert isinstance(db.index, RTree)
+        assert len(db) == len(small_points)
+
+    def test_point_database_rejects_pti(self, small_points):
+        with pytest.raises(ValueError):
+            PointDatabase.build(small_points, index_kind="pti")
+
+    def test_point_database_grid_and_linear(self, small_points):
+        assert isinstance(PointDatabase.build(small_points, index_kind="grid").index, GridFile)
+        assert isinstance(
+            PointDatabase.build(small_points, index_kind="linear").index, LinearScanIndex
+        )
+
+    def test_unknown_index_kind_rejected(self, small_points):
+        with pytest.raises(ValueError):
+            PointDatabase.build(small_points, index_kind="btree")
+
+    def test_uncertain_database_builds_catalogs(self):
+        objects = [UncertainObject.uniform(i, Rect(i * 10.0, 0.0, i * 10.0 + 5.0, 5.0)) for i in range(20)]
+        db = UncertainDatabase.build(objects, index_kind="pti")
+        assert isinstance(db.index, ProbabilityThresholdIndex)
+        assert all(obj.catalog is not None for obj in db.objects)
+
+    def test_engine_requires_some_database(self):
+        with pytest.raises(ValueError):
+            ImpreciseQueryEngine()
+
+
+class TestIPQEvaluation:
+    def test_results_match_direct_computation(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        result, stats = engine.evaluate_ipq(uniform_issuer, default_spec)
+        assert stats.candidates_examined >= len(result)
+        for answer in result:
+            obj = next(o for o in point_db.objects if o.oid == answer.oid)
+            expected = ipq_probability(uniform_issuer.pdf, default_spec, obj.location)
+            assert answer.probability == pytest.approx(expected)
+
+    def test_every_returned_probability_positive(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        result, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
+        assert all(answer.probability > 0.0 for answer in result)
+
+    def test_no_qualifying_object_missed(self, point_db, uniform_issuer, default_spec):
+        """Every point object with non-zero probability must appear in the answer."""
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        result, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
+        reported = result.oids()
+        for obj in point_db.objects:
+            probability = ipq_probability(uniform_issuer.pdf, default_spec, obj.location)
+            if probability > 0.0:
+                assert obj.oid in reported
+
+    def test_missing_database_raises(self, uncertain_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
+        with pytest.raises(RuntimeError):
+            engine.evaluate_ipq(uniform_issuer, default_spec)
+
+    def test_io_statistics_populated(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        _, stats = engine.evaluate_ipq(uniform_issuer, default_spec)
+        assert stats.io.node_accesses > 0
+        assert stats.response_time > 0.0
+
+
+class TestIUQEvaluation:
+    def test_results_match_direct_computation(self, uncertain_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
+        result, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
+        assert len(result) > 0
+        for answer in list(result)[:25]:
+            obj = next(o for o in uncertain_db.objects if o.oid == answer.oid)
+            expected = iuq_probability_exact_uniform(uniform_issuer.pdf, obj, default_spec)
+            assert answer.probability == pytest.approx(expected)
+
+    def test_no_qualifying_object_missed(self, uncertain_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
+        result, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
+        reported = result.oids()
+        for obj in uncertain_db.objects:
+            probability = iuq_probability_exact_uniform(uniform_issuer.pdf, obj, default_spec)
+            if probability > 1e-12:
+                assert obj.oid in reported
+
+    def test_missing_database_raises(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        with pytest.raises(RuntimeError):
+            engine.evaluate_iuq(uniform_issuer, default_spec)
+
+
+class TestConstrainedQueries:
+    @pytest.mark.parametrize("threshold", [0.2, 0.5, 0.8])
+    def test_cipq_equals_filtered_ipq(self, point_db, uniform_issuer, default_spec, threshold):
+        """C-IPQ must return exactly the IPQ answers with probability >= Qp."""
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        full, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
+        constrained, _ = engine.evaluate_cipq(uniform_issuer, default_spec, threshold)
+        expected = {a.oid for a in full if a.probability >= threshold}
+        assert constrained.oids() == expected
+
+    @pytest.mark.parametrize("threshold", [0.2, 0.5, 0.8])
+    def test_ciuq_equals_filtered_iuq(self, uncertain_db, uniform_issuer, default_spec, threshold):
+        """C-IUQ must return exactly the IUQ answers with probability >= Qp."""
+        engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
+        full, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
+        constrained, _ = engine.evaluate_ciuq(uniform_issuer, default_spec, threshold)
+        expected = {a.oid for a in full if a.probability >= threshold}
+        assert constrained.oids() == expected
+
+    def test_minkowski_and_p_expanded_agree_on_answers(
+        self, point_db, uniform_issuer, default_spec
+    ):
+        threshold = 0.6
+        minkowski_engine = ImpreciseQueryEngine(
+            point_db=point_db, config=EngineConfig(use_p_expanded_query=False)
+        )
+        expanded_engine = ImpreciseQueryEngine(
+            point_db=point_db, config=EngineConfig(use_p_expanded_query=True)
+        )
+        a, stats_a = minkowski_engine.evaluate_cipq(uniform_issuer, default_spec, threshold)
+        b, stats_b = expanded_engine.evaluate_cipq(uniform_issuer, default_spec, threshold)
+        assert a.oids() == b.oids()
+        # The p-expanded-query must never examine more candidates.
+        assert stats_b.candidates_examined <= stats_a.candidates_examined
+
+    def test_pti_and_rtree_agree_on_answers(
+        self, uncertain_db, uncertain_db_rtree, uniform_issuer, default_spec
+    ):
+        threshold = 0.5
+        pti_engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
+        rtree_engine = ImpreciseQueryEngine(
+            uncertain_db=uncertain_db_rtree,
+            config=EngineConfig(use_p_expanded_query=False, use_pti_pruning=False),
+        )
+        a, stats_a = pti_engine.evaluate_ciuq(uniform_issuer, default_spec, threshold)
+        b, stats_b = rtree_engine.evaluate_ciuq(uniform_issuer, default_spec, threshold)
+        assert a.oids() == b.oids()
+        assert stats_a.candidates_examined <= stats_b.candidates_examined
+
+    def test_strategy_subset_configuration_respected(self, uncertain_db_rtree, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(
+            uncertain_db=uncertain_db_rtree,
+            config=EngineConfig(
+                use_p_expanded_query=False,
+                ciuq_strategies=(PruningStrategy.P_BOUND,),
+            ),
+        )
+        result, stats = engine.evaluate_ciuq(uniform_issuer, default_spec, 0.6)
+        assert PruningStrategy.P_EXPANDED_QUERY.value not in stats.pruned
+        assert all(answer.probability >= 0.6 for answer in result)
+
+
+class TestMonteCarloEngine:
+    def test_gaussian_issuer_uses_monte_carlo_when_forced(self, point_db, default_spec):
+        # Centre the issuer on an existing point object so candidates exist.
+        anchor = point_db.objects[0].location
+        issuer_region = Rect.from_center(anchor, 250.0, 250.0)
+        issuer = UncertainObject(oid=0, pdf=TruncatedGaussianPdf(issuer_region)).with_catalog()
+        engine = ImpreciseQueryEngine(
+            point_db=point_db,
+            config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=200),
+        )
+        result, stats = engine.evaluate_cipq(issuer, default_spec, 0.3)
+        assert stats.monte_carlo_samples > 0
+        assert all(answer.probability >= 0.3 for answer in result)
+
+    def test_monte_carlo_close_to_exact_for_uniform(self, point_db, uniform_issuer, default_spec):
+        exact_engine = ImpreciseQueryEngine(point_db=point_db)
+        mc_engine = ImpreciseQueryEngine(
+            point_db=point_db,
+            config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=2_000),
+        )
+        exact, _ = exact_engine.evaluate_ipq(uniform_issuer, default_spec)
+        sampled, _ = mc_engine.evaluate_ipq(uniform_issuer, default_spec)
+        exact_probs = exact.probabilities()
+        for oid, probability in sampled.probabilities().items():
+            assert probability == pytest.approx(exact_probs[oid], abs=0.05)
+
+
+class TestEvaluateDispatch:
+    def test_evaluate_over_points(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec, threshold=0.4)
+        result, _ = engine.evaluate(query, over="points")
+        assert all(answer.probability >= 0.4 for answer in result)
+
+    def test_evaluate_over_uncertain(self, uncertain_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
+        query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
+        result, _ = engine.evaluate(query, over="uncertain")
+        assert len(result) > 0
+
+    def test_evaluate_unknown_target_rejected(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
+        with pytest.raises(ValueError):
+            engine.evaluate(query, over="everything")
+
+
+class TestWorkloadIntegration:
+    def test_engine_handles_workload_queries(self, point_db, uncertain_db):
+        engine = ImpreciseQueryEngine(point_db=point_db, uncertain_db=uncertain_db)
+        workload = QueryWorkload(bounds=TEST_SPACE, threshold=0.3, seed=99)
+        for query in workload.queries(5):
+            point_result, _ = engine.evaluate_cipq(query.issuer, query.spec, query.threshold)
+            uncertain_result, _ = engine.evaluate_ciuq(query.issuer, query.spec, query.threshold)
+            assert all(a.probability >= query.threshold for a in point_result)
+            assert all(a.probability >= query.threshold for a in uncertain_result)

@@ -1,0 +1,101 @@
+"""Unit tests for query expansion and the p-expanded-query."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.core.expansion import (
+    minkowski_expanded_query,
+    p_expanded_query,
+    p_expanded_query_from_catalog,
+)
+from repro.core.queries import RangeQuerySpec
+from repro.uncertainty.catalog import UCatalog
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+
+ISSUER_REGION = Rect(1000.0, 1000.0, 1500.0, 1500.0)
+SPEC = RangeQuerySpec(half_width=500.0, half_height=300.0)
+
+
+class TestMinkowskiExpandedQuery:
+    def test_expansion_amounts(self):
+        expanded = minkowski_expanded_query(ISSUER_REGION, SPEC)
+        assert expanded == Rect(500.0, 700.0, 2000.0, 1800.0)
+
+    def test_contains_issuer_region(self):
+        expanded = minkowski_expanded_query(ISSUER_REGION, SPEC)
+        assert expanded.contains_rect(ISSUER_REGION)
+
+    def test_empty_issuer_region_rejected(self):
+        with pytest.raises(ValueError):
+            minkowski_expanded_query(Rect.empty(), SPEC)
+
+    def test_zero_extent_query_is_issuer_region(self):
+        expanded = minkowski_expanded_query(ISSUER_REGION, RangeQuerySpec(0.0, 0.0))
+        assert expanded == ISSUER_REGION
+
+
+class TestPExpandedQuery:
+    def test_zero_p_equals_minkowski_sum(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        assert p_expanded_query(pdf, SPEC, 0.0) == minkowski_expanded_query(ISSUER_REGION, SPEC)
+
+    def test_shrinks_monotonically_with_p(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        previous = p_expanded_query(pdf, SPEC, 0.0)
+        for p in (0.1, 0.2, 0.3, 0.4, 0.5):
+            current = p_expanded_query(pdf, SPEC, p)
+            assert previous.contains_rect(current)
+            previous = current
+
+    def test_uniform_geometry_matches_lemma_5(self):
+        # For a uniform issuer, l0(p) lies p·width from the left edge, so the
+        # left side of the p-expanded-query is (xmin + p·width) − w.
+        pdf = UniformPdf(ISSUER_REGION)
+        p = 0.2
+        expanded = p_expanded_query(pdf, SPEC, p)
+        assert expanded.xmin == pytest.approx(1000.0 + 0.2 * 500.0 - 500.0)
+        assert expanded.xmax == pytest.approx(1500.0 - 0.2 * 500.0 + 500.0)
+        assert expanded.ymin == pytest.approx(1000.0 + 0.2 * 500.0 - 300.0)
+        assert expanded.ymax == pytest.approx(1500.0 - 0.2 * 500.0 + 300.0)
+
+    def test_gaussian_expanded_query_smaller_than_uniform(self):
+        # Gaussian mass is concentrated centrally, so its p-bounds (and the
+        # derived expanded query) are tighter than the uniform ones.
+        uniform = p_expanded_query(UniformPdf(ISSUER_REGION), SPEC, 0.2)
+        gaussian = p_expanded_query(TruncatedGaussianPdf(ISSUER_REGION), SPEC, 0.2)
+        assert uniform.contains_rect(gaussian)
+        assert gaussian.area < uniform.area
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(ValueError):
+            p_expanded_query(UniformPdf(ISSUER_REGION), SPEC, -0.1)
+
+
+class TestPExpandedQueryFromCatalog:
+    def test_exact_level_match(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        catalog = UCatalog.build(pdf)
+        rect, level = p_expanded_query_from_catalog(catalog, SPEC, 0.3)
+        assert level == 0.3
+        assert rect == p_expanded_query(pdf, SPEC, 0.3)
+
+    def test_rounds_down_to_stored_level(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        catalog = UCatalog.build(pdf)
+        rect, level = p_expanded_query_from_catalog(catalog, SPEC, 0.37)
+        assert level == 0.3
+        # The rounded query must enclose the exact one (conservative).
+        assert rect.contains_rect(p_expanded_query(pdf, SPEC, 0.37))
+
+    def test_threshold_below_smallest_level_is_rejected(self):
+        # Rounding up would shrink the window and could wrongly prune
+        # qualifying objects, so the lookup refuses instead.
+        pdf = UniformPdf(ISSUER_REGION)
+        catalog = UCatalog.build(pdf, [0.1, 0.2])
+        with pytest.raises(ValueError):
+            p_expanded_query_from_catalog(catalog, SPEC, 0.05)
+
+    def test_invalid_threshold_rejected(self):
+        catalog = UCatalog.build(UniformPdf(ISSUER_REGION))
+        with pytest.raises(ValueError):
+            p_expanded_query_from_catalog(catalog, SPEC, 1.2)

@@ -1,0 +1,74 @@
+"""Unit tests for the imprecise nearest-neighbour extension."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.core.nearest import ImpreciseNearestNeighborEngine
+from repro.uncertainty.pdf import UniformPdf
+from repro.uncertainty.region import PointObject, UncertainObject
+
+
+def _issuer(center: Point, half: float = 50.0) -> UncertainObject:
+    return UncertainObject(oid=0, pdf=UniformPdf(Rect.from_center(center, half, half)))
+
+
+class TestConstruction:
+    def test_rejects_empty_object_list(self):
+        with pytest.raises(ValueError):
+            ImpreciseNearestNeighborEngine([])
+
+    def test_rejects_bad_sample_count(self):
+        with pytest.raises(ValueError):
+            ImpreciseNearestNeighborEngine([PointObject.at(0, 0.0, 0.0)], samples=0)
+
+
+class TestEvaluation:
+    def test_single_object_always_wins(self):
+        engine = ImpreciseNearestNeighborEngine([PointObject.at(7, 100.0, 100.0)], samples=64)
+        result, stats = engine.evaluate(_issuer(Point(0.0, 0.0)))
+        assert result.probabilities() == {7: pytest.approx(1.0)}
+        assert stats.monte_carlo_samples == 64
+
+    def test_unambiguous_nearest_neighbor(self):
+        objects = [PointObject.at(1, 110.0, 100.0), PointObject.at(2, 900.0, 900.0)]
+        engine = ImpreciseNearestNeighborEngine(objects, samples=128)
+        result, _ = engine.evaluate(_issuer(Point(100.0, 100.0), half=10.0))
+        assert result.probabilities()[1] == pytest.approx(1.0)
+        assert 2 not in result.probabilities()
+
+    def test_probabilities_sum_to_one(self):
+        objects = [
+            PointObject.at(1, 0.0, 0.0),
+            PointObject.at(2, 200.0, 0.0),
+            PointObject.at(3, 100.0, 180.0),
+        ]
+        engine = ImpreciseNearestNeighborEngine(objects, samples=512)
+        result, _ = engine.evaluate(_issuer(Point(100.0, 60.0), half=120.0))
+        assert sum(result.probabilities().values()) == pytest.approx(1.0)
+
+    def test_symmetric_configuration_splits_evenly(self):
+        objects = [PointObject.at(1, 0.0, 0.0), PointObject.at(2, 200.0, 0.0)]
+        engine = ImpreciseNearestNeighborEngine(objects, samples=4_000, rng_seed=3)
+        result, _ = engine.evaluate(_issuer(Point(100.0, 0.0), half=80.0))
+        probabilities = result.probabilities()
+        assert probabilities[1] == pytest.approx(0.5, abs=0.05)
+        assert probabilities[2] == pytest.approx(0.5, abs=0.05)
+
+    def test_threshold_filters_unlikely_winners(self):
+        objects = [PointObject.at(1, 90.0, 100.0), PointObject.at(2, 400.0, 100.0)]
+        engine = ImpreciseNearestNeighborEngine(objects, samples=1_000)
+        result, _ = engine.evaluate(_issuer(Point(100.0, 100.0), half=120.0), threshold=0.5)
+        assert set(result.oids()) == {1}
+
+    def test_invalid_threshold_rejected(self):
+        engine = ImpreciseNearestNeighborEngine([PointObject.at(0, 0.0, 0.0)])
+        with pytest.raises(ValueError):
+            engine.evaluate(_issuer(Point(0.0, 0.0)), threshold=2.0)
+
+    def test_most_probable_neighbor(self):
+        objects = [PointObject.at(1, 100.0, 100.0), PointObject.at(2, 500.0, 500.0)]
+        engine = ImpreciseNearestNeighborEngine(objects, samples=256)
+        best = engine.most_probable_neighbor(_issuer(Point(120.0, 120.0)))
+        assert best is not None
+        assert best.oid == 1

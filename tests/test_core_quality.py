@@ -1,0 +1,100 @@
+"""Unit tests for the answer-quality metrics."""
+
+import pytest
+
+from repro.core.quality import (
+    certainty_score,
+    expected_cardinality,
+    expected_precision,
+    expected_recall,
+    f_score,
+    threshold_sweep,
+)
+from repro.core.queries import QueryResult
+
+
+def _result(probabilities: dict[int, float]) -> QueryResult:
+    result = QueryResult()
+    for oid, probability in probabilities.items():
+        result.add(oid, probability)
+    result.sort()
+    return result
+
+
+class TestExpectedCardinality:
+    def test_empty(self):
+        assert expected_cardinality(QueryResult()) == 0.0
+
+    def test_sums_probabilities(self):
+        assert expected_cardinality(_result({1: 0.5, 2: 0.25})) == pytest.approx(0.75)
+
+
+class TestExpectedPrecision:
+    def test_empty_is_one(self):
+        assert expected_precision(QueryResult()) == 1.0
+
+    def test_mean_probability(self):
+        assert expected_precision(_result({1: 1.0, 2: 0.5})) == pytest.approx(0.75)
+
+    def test_all_certain(self):
+        assert expected_precision(_result({1: 1.0, 2: 1.0})) == 1.0
+
+
+class TestExpectedRecall:
+    def test_full_result_has_recall_one(self):
+        reference = _result({1: 0.9, 2: 0.3})
+        assert expected_recall(reference, reference) == pytest.approx(1.0)
+
+    def test_dropping_mass_lowers_recall(self):
+        reference = _result({1: 0.9, 2: 0.3, 3: 0.3})
+        filtered = reference.above_threshold(0.5)
+        assert expected_recall(filtered, reference) == pytest.approx(0.9 / 1.5)
+
+    def test_empty_reference(self):
+        assert expected_recall(QueryResult(), QueryResult()) == 1.0
+
+
+class TestCertaintyScore:
+    def test_empty_is_one(self):
+        assert certainty_score(QueryResult()) == 1.0
+
+    def test_certain_answers_score_one(self):
+        assert certainty_score(_result({1: 1.0, 2: 1.0})) == pytest.approx(1.0)
+
+    def test_half_probability_scores_zero(self):
+        assert certainty_score(_result({1: 0.5})) == pytest.approx(0.0)
+
+    def test_monotone_in_decisiveness(self):
+        assert certainty_score(_result({1: 0.9})) > certainty_score(_result({1: 0.7}))
+
+
+class TestFScore:
+    def test_perfect_result(self):
+        reference = _result({1: 1.0, 2: 1.0})
+        assert f_score(reference, reference) == pytest.approx(1.0)
+
+    def test_rejects_non_positive_beta(self):
+        with pytest.raises(ValueError):
+            f_score(QueryResult(), QueryResult(), beta=0.0)
+
+    def test_precision_recall_trade_off(self):
+        reference = _result({1: 0.95, 2: 0.9, 3: 0.2, 4: 0.1})
+        low = reference.above_threshold(0.0)
+        high = reference.above_threshold(0.8)
+        assert expected_precision(high) > expected_precision(low)
+        assert expected_recall(high, reference) < expected_recall(low, reference)
+
+
+class TestThresholdSweep:
+    def test_rows_and_monotonicity(self):
+        reference = _result({1: 0.95, 2: 0.7, 3: 0.4, 4: 0.1})
+        rows = threshold_sweep(reference, [0.0, 0.3, 0.6, 0.9])
+        assert [row[0] for row in rows] == [0.0, 0.3, 0.6, 0.9]
+        precisions = [row[1] for row in rows]
+        recalls = [row[2] for row in rows]
+        assert precisions == sorted(precisions)
+        assert recalls == sorted(recalls, reverse=True)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_sweep(QueryResult(), [1.5])

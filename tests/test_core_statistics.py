@@ -1,0 +1,62 @@
+"""Unit tests for evaluation statistics."""
+
+import pytest
+
+from repro.core.statistics import EvaluationStatistics, aggregate_statistics
+from repro.index.iostats import IOStatistics
+
+
+class TestEvaluationStatistics:
+    def test_defaults(self):
+        stats = EvaluationStatistics()
+        assert stats.response_time == 0.0
+        assert stats.candidates_examined == 0
+        assert stats.total_pruned == 0
+
+    def test_response_time_ms(self):
+        stats = EvaluationStatistics(response_time=0.125)
+        assert stats.response_time_ms == 125.0
+
+    def test_record_pruned_accumulates_by_strategy(self):
+        stats = EvaluationStatistics()
+        stats.record_pruned("p_bound")
+        stats.record_pruned("p_bound", 2)
+        stats.record_pruned("p_expanded_query")
+        assert stats.pruned == {"p_bound": 3, "p_expanded_query": 1}
+        assert stats.total_pruned == 4
+
+    def test_io_statistics_attached(self):
+        stats = EvaluationStatistics(io=IOStatistics(node_accesses=5))
+        assert stats.io.node_accesses == 5
+
+
+class TestAggregation:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_statistics([])
+
+    def test_single_element(self):
+        stats = EvaluationStatistics(response_time=0.5, candidates_examined=10, results_returned=3)
+        aggregate = aggregate_statistics([stats])
+        assert aggregate.queries == 1
+        assert aggregate.mean_response_time == 0.5
+        assert aggregate.mean_candidates == 10
+        assert aggregate.mean_results == 3
+
+    def test_mean_over_multiple(self):
+        batch = [
+            EvaluationStatistics(response_time=0.1, candidates_examined=10),
+            EvaluationStatistics(response_time=0.3, candidates_examined=30),
+        ]
+        aggregate = aggregate_statistics(batch)
+        assert aggregate.mean_response_time == pytest.approx(0.2)
+        assert aggregate.mean_candidates == pytest.approx(20.0)
+        assert aggregate.mean_response_time_ms == pytest.approx(200.0)
+
+    def test_pruned_and_node_accesses_averaged(self):
+        first = EvaluationStatistics(io=IOStatistics(node_accesses=4))
+        first.record_pruned("p_bound", 2)
+        second = EvaluationStatistics(io=IOStatistics(node_accesses=8))
+        aggregate = aggregate_statistics([first, second])
+        assert aggregate.mean_node_accesses == pytest.approx(6.0)
+        assert aggregate.mean_pruned == pytest.approx(1.0)

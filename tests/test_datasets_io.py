@@ -1,0 +1,65 @@
+"""Unit tests for dataset persistence."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.datasets.io import (
+    load_point_objects,
+    load_uncertain_objects,
+    save_point_objects,
+    save_uncertain_objects,
+)
+from repro.datasets.synthetic import uniform_points, uniform_rectangles
+from repro.uncertainty.pdf import TruncatedGaussianPdf
+from repro.uncertainty.region import UncertainObject
+
+SPACE = Rect(0.0, 0.0, 1_000.0, 1_000.0)
+
+
+class TestPointRoundTrip:
+    def test_round_trip(self, tmp_path):
+        objects = uniform_points(100, SPACE, seed=1)
+        path = tmp_path / "points.txt"
+        save_point_objects(objects, path)
+        assert load_point_objects(path) == objects
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("# comment\n\n1 2.0 3.0\n")
+        loaded = load_point_objects(path)
+        assert len(loaded) == 1
+        assert loaded[0].oid == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "points.txt"
+        path.write_text("1 2.0\n")
+        with pytest.raises(ValueError):
+            load_point_objects(path)
+
+
+class TestUncertainRoundTrip:
+    def test_round_trip(self, tmp_path):
+        objects = uniform_rectangles(80, SPACE, seed=2)
+        path = tmp_path / "uncertain.txt"
+        save_uncertain_objects(objects, path)
+        loaded = load_uncertain_objects(path)
+        assert [o.oid for o in loaded] == [o.oid for o in objects]
+        assert [o.region for o in loaded] == [o.region for o in objects]
+
+    def test_round_trip_with_catalog(self, tmp_path):
+        objects = uniform_rectangles(10, SPACE, seed=3)
+        path = tmp_path / "uncertain.txt"
+        save_uncertain_objects(objects, path)
+        loaded = load_uncertain_objects(path, with_catalog=True)
+        assert all(obj.catalog is not None for obj in loaded)
+
+    def test_non_uniform_pdf_rejected(self, tmp_path):
+        gaussian = UncertainObject(oid=0, pdf=TruncatedGaussianPdf(Rect(0.0, 0.0, 10.0, 10.0)))
+        with pytest.raises(TypeError):
+            save_uncertain_objects([gaussian], tmp_path / "bad.txt")
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "uncertain.txt"
+        path.write_text("0 1.0 2.0 3.0\n")
+        with pytest.raises(ValueError):
+            load_uncertain_objects(path)

@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.datasets.synthetic import (
+    clustered_points,
+    clustered_rectangles,
+    uniform_points,
+    uniform_rectangles,
+)
+
+SPACE = Rect(0.0, 0.0, 1_000.0, 1_000.0)
+
+
+class TestUniformPoints:
+    def test_count_and_bounds(self):
+        points = uniform_points(200, SPACE, seed=1)
+        assert len(points) == 200
+        assert all(SPACE.contains_point(p.location) for p in points)
+
+    def test_ids_are_sequential(self):
+        points = uniform_points(50, SPACE)
+        assert [p.oid for p in points] == list(range(50))
+
+    def test_deterministic_for_seed(self):
+        assert uniform_points(20, SPACE, seed=5) == uniform_points(20, SPACE, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert uniform_points(20, SPACE, seed=5) != uniform_points(20, SPACE, seed=6)
+
+    def test_zero_count(self):
+        assert uniform_points(0, SPACE) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_points(-1, SPACE)
+
+
+class TestClusteredPoints:
+    def test_count_and_bounds(self):
+        points = clustered_points(500, SPACE, seed=2)
+        assert len(points) == 500
+        assert all(SPACE.contains_point(p.location) for p in points)
+
+    def test_clustered_is_more_skewed_than_uniform(self):
+        """Clustered data should concentrate more points in dense cells."""
+        clustered = clustered_points(2_000, SPACE, seed=3, background_fraction=0.1)
+        uniform = uniform_points(2_000, SPACE, seed=3)
+
+        def max_cell_count(points):
+            counts = np.zeros((10, 10), dtype=int)
+            for p in points:
+                ix = min(9, int(p.x / 100.0))
+                iy = min(9, int(p.y / 100.0))
+                counts[iy, ix] += 1
+            return counts.max()
+
+        assert max_cell_count(clustered) > 2 * max_cell_count(uniform)
+
+    def test_invalid_background_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            clustered_points(10, SPACE, background_fraction=1.5)
+
+
+class TestRectangles:
+    def test_uniform_rectangles_inside_space(self):
+        objects = uniform_rectangles(300, SPACE, size_range=(5.0, 50.0), seed=4)
+        assert len(objects) == 300
+        for obj in objects:
+            assert SPACE.contains_rect(obj.region)
+            assert obj.region.area > 0.0
+
+    def test_clustered_rectangles_inside_space(self):
+        objects = clustered_rectangles(300, SPACE, size_range=(5.0, 50.0), seed=4)
+        assert all(SPACE.contains_rect(obj.region) for obj in objects)
+
+    def test_size_range_respected(self):
+        objects = uniform_rectangles(200, SPACE, size_range=(10.0, 20.0), seed=1)
+        for obj in objects:
+            assert obj.region.width <= 20.0 + 1e-9
+            assert obj.region.height <= 20.0 + 1e-9
+
+    def test_invalid_size_range_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_rectangles(10, SPACE, size_range=(50.0, 10.0))
+        with pytest.raises(ValueError):
+            uniform_rectangles(10, SPACE, size_range=(0.0, 10.0))
+
+    def test_objects_have_uniform_pdfs_without_catalogs(self):
+        objects = uniform_rectangles(10, SPACE)
+        assert all(obj.catalog is None for obj in objects)
+
+    def test_deterministic_for_seed(self):
+        a = clustered_rectangles(50, SPACE, seed=9)
+        b = clustered_rectangles(50, SPACE, seed=9)
+        assert [o.region for o in a] == [o.region for o in b]

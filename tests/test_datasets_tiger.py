@@ -1,0 +1,65 @@
+"""Unit tests for the TIGER-like dataset stand-ins."""
+
+import pytest
+
+from repro.datasets.tiger import (
+    CALIFORNIA_SIZE,
+    DATA_SPACE,
+    LONG_BEACH_SIZE,
+    california_points,
+    long_beach_uncertain_objects,
+)
+
+
+class TestDataSpace:
+    def test_matches_paper(self):
+        assert DATA_SPACE.width == 10_000.0
+        assert DATA_SPACE.height == 10_000.0
+
+    def test_cardinalities_match_paper(self):
+        assert CALIFORNIA_SIZE == 62_000
+        assert LONG_BEACH_SIZE == 53_000
+
+
+class TestCaliforniaPoints:
+    def test_scaled_cardinality(self):
+        points = california_points(scale=0.01)
+        assert len(points) == round(CALIFORNIA_SIZE * 0.01)
+
+    def test_objects_inside_data_space(self):
+        points = california_points(scale=0.005)
+        assert all(DATA_SPACE.contains_point(p.location) for p in points)
+
+    def test_deterministic(self):
+        assert california_points(scale=0.002) == california_points(scale=0.002)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            california_points(scale=0.0)
+
+
+class TestLongBeachObjects:
+    def test_scaled_cardinality(self):
+        objects = long_beach_uncertain_objects(scale=0.01)
+        assert len(objects) == round(LONG_BEACH_SIZE * 0.01)
+
+    def test_regions_inside_data_space_with_positive_area(self):
+        objects = long_beach_uncertain_objects(scale=0.005)
+        for obj in objects:
+            assert DATA_SPACE.contains_rect(obj.region)
+            assert obj.region.area > 0.0
+
+    def test_region_sizes_match_generator_contract(self):
+        objects = long_beach_uncertain_objects(scale=0.005)
+        for obj in objects:
+            assert obj.region.width <= 200.0 + 1e-9
+            assert obj.region.height <= 200.0 + 1e-9
+
+    def test_deterministic(self):
+        a = long_beach_uncertain_objects(scale=0.002)
+        b = long_beach_uncertain_objects(scale=0.002)
+        assert [o.region for o in a] == [o.region for o in b]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            long_beach_uncertain_objects(scale=-1.0)

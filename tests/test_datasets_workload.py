@@ -1,0 +1,98 @@
+"""Unit tests for the query-workload generator."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.datasets.workload import QueryWorkload
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+
+
+class TestValidation:
+    def test_rejects_non_positive_issuer_size(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(issuer_half_size=0.0)
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(range_half_size=-1.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(threshold=1.5)
+
+    def test_rejects_unknown_pdf_kind(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(issuer_pdf="poisson")
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            list(QueryWorkload().issuers(0))
+
+
+class TestIssuers:
+    def test_default_parameters_match_paper(self):
+        workload = QueryWorkload()
+        assert workload.issuer_half_size == 250.0
+        assert workload.range_half_size == 500.0
+        assert workload.threshold == 0.0
+        assert workload.spec.half_width == 500.0
+
+    def test_issuer_regions_are_squares_of_requested_size(self):
+        workload = QueryWorkload(issuer_half_size=100.0)
+        issuer = next(workload.issuers(1))
+        assert issuer.region.width == pytest.approx(200.0)
+        assert issuer.region.height == pytest.approx(200.0)
+
+    def test_issuer_regions_stay_inside_bounds(self):
+        bounds = Rect(0.0, 0.0, 2_000.0, 2_000.0)
+        workload = QueryWorkload(issuer_half_size=400.0, bounds=bounds, seed=3)
+        for issuer in workload.issuers(50):
+            assert bounds.contains_rect(issuer.region)
+
+    def test_uniform_pdf_by_default(self):
+        issuer = next(QueryWorkload().issuers(1))
+        assert isinstance(issuer.pdf, UniformPdf)
+
+    def test_gaussian_pdf_on_request(self):
+        issuer = next(QueryWorkload(issuer_pdf="gaussian").issuers(1))
+        assert isinstance(issuer.pdf, TruncatedGaussianPdf)
+
+    def test_catalog_attached_by_default(self):
+        issuer = next(QueryWorkload().issuers(1))
+        assert issuer.catalog is not None
+
+    def test_catalog_can_be_disabled(self):
+        issuer = next(QueryWorkload(catalog_levels=None).issuers(1))
+        assert issuer.catalog is None
+
+    def test_deterministic_for_seed(self):
+        a = [i.region for i in QueryWorkload(seed=5).issuers(10)]
+        b = [i.region for i in QueryWorkload(seed=5).issuers(10)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [i.region for i in QueryWorkload(seed=5).issuers(10)]
+        b = [i.region for i in QueryWorkload(seed=6).issuers(10)]
+        assert a != b
+
+    def test_make_issuer_at_explicit_center(self):
+        workload = QueryWorkload(issuer_half_size=50.0)
+        issuer = workload.make_issuer(Point(123.0, 456.0), oid=9)
+        assert issuer.oid == 9
+        assert issuer.region.center == Point(123.0, 456.0)
+
+
+class TestQueries:
+    def test_queries_carry_threshold_and_spec(self):
+        workload = QueryWorkload(threshold=0.3, range_half_size=700.0)
+        queries = list(workload.queries(5))
+        assert len(queries) == 5
+        assert all(q.threshold == 0.3 for q in queries)
+        assert all(q.spec.half_width == 700.0 for q in queries)
+
+    def test_with_parameters_returns_modified_copy(self):
+        base = QueryWorkload()
+        modified = base.with_parameters(range_half_size=1_500.0)
+        assert modified.range_half_size == 1_500.0
+        assert base.range_half_size == 500.0

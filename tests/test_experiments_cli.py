@@ -1,0 +1,37 @@
+"""Tests for the experiment CLI."""
+
+from repro.experiments.cli import build_parser, main, make_config
+
+
+class TestParser:
+    def test_defaults_select_all_figures(self):
+        args = build_parser().parse_args([])
+        assert len(args.figures) == 6
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["--quick"])
+        config = make_config(args)
+        assert config.queries_per_point <= 5
+
+    def test_scale_and_queries_overrides(self):
+        args = build_parser().parse_args(["--scale", "0.5", "--queries", "7"])
+        config = make_config(args)
+        assert config.dataset_scale == 0.5
+        assert config.queries_per_point == 7
+
+
+class TestMain:
+    def test_runs_single_figure_and_writes_csv(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "--figures",
+                "figure_11",
+                "--quick",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "figure_11" in captured.out
+        assert (tmp_path / "figure_11.csv").exists()
+        assert exit_code in (0, 1)  # shape checks may be noisy at tiny scale

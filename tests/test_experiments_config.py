@@ -1,0 +1,74 @@
+"""Unit tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import (
+    PAPER_DEFAULTS,
+    ExperimentConfig,
+    PaperDefaults,
+    default_sweep,
+)
+
+
+class TestPaperDefaults:
+    def test_table_2_values(self):
+        assert PAPER_DEFAULTS.issuer_half_size == 250.0
+        assert PAPER_DEFAULTS.range_half_size == 500.0
+        assert PAPER_DEFAULTS.threshold == 0.0
+        assert PAPER_DEFAULTS.queries_per_point == 500
+        assert PAPER_DEFAULTS.page_size == 4096
+
+    def test_monte_carlo_sample_counts(self):
+        assert PAPER_DEFAULTS.cipq_samples == 200
+        assert PAPER_DEFAULTS.ciuq_samples == 250
+
+    def test_data_space(self):
+        assert PAPER_DEFAULTS.data_space.width == 10_000.0
+
+    def test_catalog_levels(self):
+        assert len(PAPER_DEFAULTS.catalog_levels) == 11
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            PaperDefaults().issuer_half_size = 300.0  # type: ignore[misc]
+
+
+class TestExperimentConfig:
+    def test_default_is_reduced_scale(self):
+        config = ExperimentConfig()
+        assert 0.0 < config.dataset_scale < 1.0
+        assert config.queries_per_point < PAPER_DEFAULTS.queries_per_point
+
+    def test_quick_is_smaller_than_default(self):
+        quick = ExperimentConfig.quick()
+        default = ExperimentConfig()
+        assert quick.dataset_scale <= default.dataset_scale
+        assert quick.queries_per_point <= default.queries_per_point
+
+    def test_paper_scale_matches_paper(self):
+        full = ExperimentConfig.paper_scale()
+        assert full.dataset_scale == 1.0
+        assert full.queries_per_point == 500
+        assert len(full.thresholds) == 11
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(dataset_scale=0.0)
+
+    def test_invalid_query_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(queries_per_point=0)
+
+    def test_scaled_override(self):
+        config = ExperimentConfig().scaled(dataset_scale=0.5)
+        assert config.dataset_scale == 0.5
+
+    def test_workload_seed_is_deterministic_and_salt_sensitive(self):
+        config = ExperimentConfig(seed=3)
+        assert config.workload_seed(1) == config.workload_seed(1)
+        assert config.workload_seed(1) != config.workload_seed(2)
+
+
+class TestDefaultSweep:
+    def test_sorts_and_floats(self):
+        assert default_sweep([3, 1, 2]) == (1.0, 2.0, 3.0)

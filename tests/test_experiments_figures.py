@@ -1,0 +1,105 @@
+"""Smoke tests for the per-figure experiments (run at tiny scale).
+
+These tests do not assert the paper's quantitative shapes — the dataset and
+query counts are deliberately tiny to keep CI fast, and shape claims are the
+benchmarks' job — but they do verify that every figure function runs end to
+end, produces the expected series, and emits sane statistics.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure_08,
+    figure_09,
+    figure_11,
+    figure_12,
+    figure_13,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset_scale=0.005,
+        queries_per_point=3,
+        issuer_half_sizes=(250.0, 750.0),
+        range_half_sizes=(500.0, 1000.0),
+        thresholds=(0.0, 0.5),
+        basic_issuer_samples=64,
+        monte_carlo_samples=32,
+    )
+
+
+class TestRegistry:
+    def test_all_six_figures_registered(self):
+        assert set(ALL_FIGURES) == {
+            "figure_08",
+            "figure_09",
+            "figure_10",
+            "figure_11",
+            "figure_12",
+            "figure_13",
+        }
+
+
+class TestFigure08:
+    def test_series_and_points(self, tiny_config):
+        result = figure_08(tiny_config)
+        assert set(result.series_names()) == {"basic", "enhanced"}
+        assert result.x_values() == [250.0, 750.0]
+        assert all(p.response_time_ms > 0 for p in result.series["basic"])
+
+    def test_basic_is_slower_even_at_tiny_scale(self, tiny_config):
+        result = figure_08(tiny_config)
+        assert result.mean_ratio("basic", "enhanced") > 1.0
+
+
+class TestFigure09And10:
+    def test_figure_09_series(self, tiny_config):
+        result = figure_09(tiny_config)
+        assert set(result.series_names()) == {"range_size=500", "range_size=1000"}
+        for series in result.series.values():
+            assert len(series) == 2
+
+    def test_figure_10_runs(self, tiny_config):
+        result = ALL_FIGURES["figure_10"](tiny_config)
+        assert len(result.series) == 2
+        assert all(p.candidates >= 0 for pts in result.series.values() for p in pts)
+
+
+class TestFigure11And12:
+    def test_figure_11_series(self, tiny_config):
+        result = figure_11(tiny_config)
+        assert set(result.series_names()) == {"minkowski_sum", "p_expanded_query"}
+        assert result.x_values() == [0.0, 0.5]
+
+    def test_figure_11_p_expansion_examines_no_more_candidates(self, tiny_config):
+        result = figure_11(tiny_config)
+        for x in result.x_values():
+            assert (
+                result.value_at("p_expanded_query", x).candidates
+                <= result.value_at("minkowski_sum", x).candidates
+            )
+
+    def test_figure_12_series(self, tiny_config):
+        result = figure_12(tiny_config)
+        assert set(result.series_names()) == {"minkowski_sum", "pti_p_expanded_query"}
+
+    def test_figure_12_pti_examines_no_more_candidates(self, tiny_config):
+        result = figure_12(tiny_config)
+        for x in result.x_values():
+            if x == 0.0:
+                continue
+            assert (
+                result.value_at("pti_p_expanded_query", x).candidates
+                <= result.value_at("minkowski_sum", x).candidates
+            )
+
+
+class TestFigure13:
+    def test_runs_with_gaussian_issuers(self, tiny_config):
+        result = figure_13(tiny_config)
+        assert set(result.series_names()) == {"minkowski_sum", "p_expanded_query"}
+        assert "Gaussian" in result.notes

@@ -1,0 +1,114 @@
+"""Unit tests for experiment reporting and shape checks."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    ShapeCheck,
+    check_shape,
+    figure_to_csv,
+    format_figure,
+    format_shape_checks,
+)
+from repro.experiments.runner import FigureResult, SeriesPoint
+
+
+def _figure(figure_id: str, series: dict[str, list[tuple[float, float]]]) -> FigureResult:
+    figure = FigureResult(figure_id=figure_id, title="test", x_label="x")
+    for name, points in series.items():
+        for x, ms in points:
+            figure.add_point(name, SeriesPoint(x, ms, 10.0, 3.0, 2.0))
+    return figure
+
+
+class TestFormatting:
+    def test_format_figure_contains_values(self):
+        figure = _figure("figure_11", {"minkowski_sum": [(0.0, 5.0)], "p_expanded_query": [(0.0, 4.0)]})
+        text = format_figure(figure)
+        assert "figure_11" in text
+        assert "minkowski_sum" in text
+        assert "5.000" in text
+
+    def test_format_figure_alternate_metric(self):
+        figure = _figure("figure_11", {"minkowski_sum": [(0.0, 5.0)]})
+        text = format_figure(figure, metric="candidates")
+        assert "10.000" in text
+
+    def test_figure_to_csv(self, tmp_path):
+        figure = _figure("figure_09", {"range_size=500": [(100.0, 1.0), (250.0, 2.0)]})
+        path = figure_to_csv(figure, tmp_path / "fig.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("figure_id,series,x")
+        assert len(lines) == 3
+
+    def test_format_shape_checks(self):
+        text = format_shape_checks(
+            [ShapeCheck("a", True, "ok"), ShapeCheck("b", False, "bad")]
+        )
+        assert "[PASS] a" in text
+        assert "[FAIL] b" in text
+
+
+class TestShapeChecks:
+    def test_figure_08_pass(self):
+        figure = _figure(
+            "figure_08",
+            {
+                "basic": [(100.0, 100.0), (250.0, 200.0), (500.0, 400.0)],
+                "enhanced": [(100.0, 5.0), (250.0, 8.0), (500.0, 12.0)],
+            },
+        )
+        checks = check_shape(figure)
+        assert checks
+        assert all(check.passed for check in checks)
+
+    def test_figure_08_fails_when_basic_is_fast(self):
+        figure = _figure(
+            "figure_08",
+            {
+                "basic": [(100.0, 5.0), (250.0, 6.0)],
+                "enhanced": [(100.0, 5.0), (250.0, 6.0)],
+            },
+        )
+        checks = check_shape(figure)
+        assert any(not check.passed for check in checks)
+
+    def test_figure_09_monotonic_pass(self):
+        figure = _figure(
+            "figure_09",
+            {
+                "range_size=500": [(100.0, 1.0), (500.0, 2.0), (1000.0, 3.0)],
+                "range_size=1500": [(100.0, 2.0), (500.0, 4.0), (1000.0, 6.0)],
+            },
+        )
+        assert all(check.passed for check in check_shape(figure))
+
+    def test_figure_09_fails_on_decreasing_times(self):
+        figure = _figure(
+            "figure_09",
+            {"range_size=500": [(100.0, 10.0), (500.0, 5.0), (1000.0, 1.0)]},
+        )
+        assert any(not check.passed for check in check_shape(figure))
+
+    def test_figure_11_pass(self):
+        figure = _figure(
+            "figure_11",
+            {
+                "minkowski_sum": [(0.0, 10.0), (0.4, 10.0), (0.8, 10.0)],
+                "p_expanded_query": [(0.0, 10.0), (0.4, 6.0), (0.8, 3.0)],
+            },
+        )
+        assert all(check.passed for check in check_shape(figure))
+
+    def test_figure_12_fails_when_pti_slower(self):
+        figure = _figure(
+            "figure_12",
+            {
+                "minkowski_sum": [(0.0, 10.0), (0.4, 10.0), (0.8, 10.0)],
+                "pti_p_expanded_query": [(0.0, 10.0), (0.4, 20.0), (0.8, 30.0)],
+            },
+        )
+        assert any(not check.passed for check in check_shape(figure))
+
+    def test_unknown_figure_has_no_checks(self):
+        figure = _figure("figure_99", {"a": [(0.0, 1.0)]})
+        assert check_shape(figure) == []

@@ -1,0 +1,79 @@
+"""Unit tests for the experiment runner machinery."""
+
+import pytest
+
+from repro.core.queries import QueryResult
+from repro.core.statistics import EvaluationStatistics
+from repro.datasets.workload import QueryWorkload
+from repro.experiments.runner import FigureResult, SeriesPoint, run_query_batch, sweep
+from repro.core.statistics import aggregate_statistics
+
+
+def _fake_runner(issuer):
+    stats = EvaluationStatistics(
+        response_time=0.01, candidates_examined=5, results_returned=2
+    )
+    return QueryResult(), stats
+
+
+class TestRunQueryBatch:
+    def test_batches_and_averages(self):
+        workload = QueryWorkload(seed=1)
+        aggregate = run_query_batch(workload, 4, _fake_runner)
+        assert aggregate.queries == 4
+        assert aggregate.mean_candidates == 5
+        assert aggregate.mean_results == 2
+
+
+class TestSeriesPoint:
+    def test_from_aggregate(self):
+        stats = [EvaluationStatistics(response_time=0.002, candidates_examined=10)]
+        point = SeriesPoint.from_aggregate(250.0, aggregate_statistics(stats))
+        assert point.x == 250.0
+        assert point.response_time_ms == pytest.approx(2.0)
+        assert point.candidates == 10
+
+
+class TestFigureResult:
+    def _figure(self) -> FigureResult:
+        figure = FigureResult(figure_id="fig", title="t", x_label="x")
+        for x, fast, slow in [(0.0, 1.0, 2.0), (0.5, 2.0, 6.0)]:
+            figure.add_point("fast", SeriesPoint(x, fast, 0, 0, 0))
+            figure.add_point("slow", SeriesPoint(x, slow, 0, 0, 0))
+        return figure
+
+    def test_series_names_and_x_values(self):
+        figure = self._figure()
+        assert figure.series_names() == ["fast", "slow"]
+        assert figure.x_values() == [0.0, 0.5]
+
+    def test_value_at(self):
+        figure = self._figure()
+        assert figure.value_at("slow", 0.5).response_time_ms == 6.0
+        with pytest.raises(KeyError):
+            figure.value_at("slow", 0.25)
+
+    def test_response_times_sorted_by_x(self):
+        assert self._figure().response_times("fast") == [1.0, 2.0]
+
+    def test_mean_ratio(self):
+        assert self._figure().mean_ratio("slow", "fast") == pytest.approx((2.0 + 3.0) / 2)
+
+    def test_mean_ratio_without_common_points_raises(self):
+        figure = FigureResult(figure_id="f", title="t", x_label="x")
+        figure.add_point("a", SeriesPoint(0.0, 1.0, 0, 0, 0))
+        figure.add_point("b", SeriesPoint(1.0, 1.0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            figure.mean_ratio("a", "b")
+
+
+class TestSweep:
+    def test_sweep_runs_every_value(self):
+        workload = QueryWorkload(seed=2)
+
+        def make_runner(x):
+            return workload, 2, _fake_runner
+
+        points = sweep([100.0, 200.0], make_runner)
+        assert [p.x for p in points] == [100.0, 200.0]
+        assert all(p.candidates == 5 for p in points)

@@ -1,0 +1,75 @@
+"""Tests for the ablation / sensitivity experiments."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sensitivity import (
+    STRATEGY_SUBSETS,
+    catalog_size_sweep,
+    index_comparison,
+    monte_carlo_sample_sweep,
+    pruning_strategy_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset_scale=0.005,
+        queries_per_point=3,
+        issuer_half_sizes=(250.0, 750.0),
+    )
+
+
+class TestMonteCarloSampleSweep:
+    def test_error_decreases_with_samples(self):
+        points = monte_carlo_sample_sweep(sample_counts=(25, 400), probes=30)
+        assert points[0].samples == 25
+        assert points[-1].samples == 400
+        assert points[-1].mean_absolute_error <= points[0].mean_absolute_error
+
+    def test_paper_sample_count_is_accurate_enough(self):
+        points = monte_carlo_sample_sweep(sample_counts=(200,), probes=40)
+        assert points[0].mean_absolute_error < 0.05
+
+
+class TestCatalogSizeSweep:
+    def test_produces_one_point_per_size(self, tiny_config):
+        result = catalog_size_sweep(catalog_sizes=(2, 6), config=tiny_config)
+        assert [p.x for p in result.series["pti_p_expanded_query"]] == [2.0, 6.0]
+
+    def test_larger_catalogs_do_not_increase_candidates(self, tiny_config):
+        result = catalog_size_sweep(catalog_sizes=(2, 11), config=tiny_config)
+        points = {p.x: p for p in result.series["pti_p_expanded_query"]}
+        assert points[11.0].candidates <= points[2.0].candidates + 1e-9
+
+
+class TestIndexComparison:
+    def test_all_index_kinds_present(self, tiny_config):
+        result = index_comparison(config=tiny_config)
+        assert set(result.series_names()) == {"rtree", "grid", "linear"}
+
+    def test_linear_scan_examines_most_candidates(self, tiny_config):
+        # All index kinds return the same candidates (the filter is the same
+        # expanded query), but the linear scan reads every page.
+        result = index_comparison(config=tiny_config, index_kinds=("rtree", "linear"))
+        for x in result.x_values():
+            assert (
+                result.value_at("linear", x).node_accesses
+                >= result.value_at("rtree", x).node_accesses
+            )
+
+
+class TestPruningStrategyAblation:
+    def test_all_subsets_measured(self, tiny_config):
+        result = pruning_strategy_ablation(config=tiny_config)
+        assert set(result.series_names()) == set(STRATEGY_SUBSETS)
+
+    def test_all_strategies_prune_at_least_as_much_as_none(self, tiny_config):
+        result = pruning_strategy_ablation(config=tiny_config, threshold=0.6)
+        threshold = 0.6
+        none_point = result.series["none"][0]
+        all_point = result.series["all"][0]
+        # With pruning enabled, fewer exact probability computations are needed.
+        assert all_point.probability_computations <= none_point.probability_computations
+        assert none_point.x == threshold

@@ -1,0 +1,60 @@
+"""Tests for the threshold-figure shape checks (low-threshold parity rules).
+
+The reproduction's wall-clock gain at low thresholds is close to zero (see
+EXPERIMENTS.md), so the shape checks require a strict win only from
+Qp = 0.4 upwards and near-parity (within 30 %) below.  These tests pin that
+contract.
+"""
+
+from repro.experiments.reporting import check_shape
+from repro.experiments.runner import FigureResult, SeriesPoint
+
+
+def _figure(series: dict[str, list[tuple[float, float]]]) -> FigureResult:
+    figure = FigureResult(figure_id="figure_12", title="t", x_label="Qp")
+    for name, points in series.items():
+        for x, ms in points:
+            figure.add_point(name, SeriesPoint(x, ms, 0.0, 0.0, 0.0))
+    return figure
+
+
+class TestThresholdShapeChecks:
+    def test_parity_at_low_thresholds_is_accepted(self):
+        figure = _figure(
+            {
+                "minkowski_sum": [(0.0, 2.0), (0.2, 2.0), (0.4, 2.0), (0.8, 2.0)],
+                "pti_p_expanded_query": [(0.0, 2.0), (0.2, 2.3), (0.4, 1.5), (0.8, 1.0)],
+            }
+        )
+        assert all(check.passed for check in check_shape(figure))
+
+    def test_large_low_threshold_regression_fails(self):
+        figure = _figure(
+            {
+                "minkowski_sum": [(0.2, 2.0), (0.4, 2.0), (0.8, 2.0)],
+                "pti_p_expanded_query": [(0.2, 3.5), (0.4, 1.5), (0.8, 1.0)],
+            }
+        )
+        checks = check_shape(figure)
+        assert any(not check.passed for check in checks)
+
+    def test_loss_at_high_threshold_fails(self):
+        figure = _figure(
+            {
+                "minkowski_sum": [(0.4, 2.0), (0.8, 2.0)],
+                "pti_p_expanded_query": [(0.4, 2.5), (0.8, 1.0)],
+            }
+        )
+        checks = check_shape(figure)
+        high_check = next(c for c in checks if "Qp >= 0.4" in c.description)
+        assert not high_check.passed
+
+    def test_missing_low_thresholds_skips_parity_check(self):
+        figure = _figure(
+            {
+                "minkowski_sum": [(0.4, 2.0), (0.8, 2.0)],
+                "pti_p_expanded_query": [(0.4, 1.5), (0.8, 1.0)],
+            }
+        )
+        descriptions = [check.description for check in check_shape(figure)]
+        assert not any("near parity" in d for d in descriptions)

@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.geometry.algorithms`."""
+
+import pytest
+
+from repro.geometry.algorithms import (
+    clip_rect,
+    convex_hull,
+    point_in_convex_polygon,
+    polygon_area,
+    polygon_bounding_rect,
+    rect_union_bounds,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestClipAndBounds:
+    def test_clip_rect(self):
+        subject = Rect(0.0, 0.0, 10.0, 10.0)
+        clip = Rect(5.0, 5.0, 15.0, 15.0)
+        assert clip_rect(subject, clip) == Rect(5.0, 5.0, 10.0, 10.0)
+
+    def test_rect_union_bounds(self):
+        rects = [Rect(0.0, 0.0, 1.0, 1.0), Rect(-1.0, 2.0, 0.5, 3.0)]
+        assert rect_union_bounds(rects) == Rect(-1.0, 0.0, 1.0, 3.0)
+
+
+class TestConvexHull:
+    def test_hull_of_square_with_interior_points(self):
+        points = [
+            Point(0.0, 0.0),
+            Point(4.0, 0.0),
+            Point(4.0, 4.0),
+            Point(0.0, 4.0),
+            Point(2.0, 2.0),
+            Point(1.0, 3.0),
+        ]
+        hull = convex_hull(points)
+        assert len(hull) == 4
+        assert polygon_area(hull) == pytest.approx(16.0)
+
+    def test_hull_drops_collinear_points(self):
+        points = [Point(0.0, 0.0), Point(1.0, 1.0), Point(2.0, 2.0), Point(0.0, 2.0)]
+        hull = convex_hull(points)
+        assert len(hull) == 3
+
+    def test_hull_of_two_points(self):
+        hull = convex_hull([Point(0.0, 0.0), Point(1.0, 1.0)])
+        assert len(hull) == 2
+
+    def test_hull_deduplicates(self):
+        hull = convex_hull([Point(0.0, 0.0)] * 5)
+        assert hull == [Point(0.0, 0.0)]
+
+    def test_hull_is_counter_clockwise(self):
+        points = [Point(0.0, 0.0), Point(2.0, 0.0), Point(2.0, 2.0), Point(0.0, 2.0)]
+        hull = convex_hull(points)
+        # Shoelace sum is positive for counter-clockwise orientation.
+        signed = sum(
+            hull[i].x * hull[(i + 1) % len(hull)].y - hull[(i + 1) % len(hull)].x * hull[i].y
+            for i in range(len(hull))
+        )
+        assert signed > 0
+
+
+class TestPolygonArea:
+    def test_triangle_area(self):
+        triangle = [Point(0.0, 0.0), Point(4.0, 0.0), Point(0.0, 3.0)]
+        assert polygon_area(triangle) == pytest.approx(6.0)
+
+    def test_orientation_independent(self):
+        square_ccw = [Point(0.0, 0.0), Point(1.0, 0.0), Point(1.0, 1.0), Point(0.0, 1.0)]
+        square_cw = list(reversed(square_ccw))
+        assert polygon_area(square_ccw) == polygon_area(square_cw) == pytest.approx(1.0)
+
+    def test_degenerate_polygon_has_zero_area(self):
+        assert polygon_area([Point(0.0, 0.0), Point(1.0, 1.0)]) == 0.0
+
+
+class TestPointInConvexPolygon:
+    SQUARE = [Point(0.0, 0.0), Point(4.0, 0.0), Point(4.0, 4.0), Point(0.0, 4.0)]
+
+    def test_inside(self):
+        assert point_in_convex_polygon(Point(2.0, 2.0), self.SQUARE)
+
+    def test_boundary(self):
+        assert point_in_convex_polygon(Point(0.0, 2.0), self.SQUARE)
+
+    def test_outside(self):
+        assert not point_in_convex_polygon(Point(5.0, 2.0), self.SQUARE)
+
+    def test_empty_polygon(self):
+        assert not point_in_convex_polygon(Point(0.0, 0.0), [])
+
+    def test_segment_polygon(self):
+        segment = [Point(0.0, 0.0), Point(2.0, 2.0)]
+        assert point_in_convex_polygon(Point(1.0, 1.0), segment)
+        assert not point_in_convex_polygon(Point(1.0, 0.0), segment)
+
+
+class TestPolygonBoundingRect:
+    def test_bounding_rect(self):
+        polygon = [Point(0.0, 1.0), Point(5.0, -2.0), Point(3.0, 4.0)]
+        assert polygon_bounding_rect(polygon) == Rect(0.0, -2.0, 5.0, 4.0)
+
+    def test_empty_polygon_gives_empty_rect(self):
+        assert polygon_bounding_rect([]).is_empty

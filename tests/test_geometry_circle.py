@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.geometry.circle`."""
+
+import math
+
+import pytest
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestCircleBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0.0, 0.0), -1.0)
+
+    def test_area(self):
+        assert Circle(Point(0.0, 0.0), 2.0).area == pytest.approx(4.0 * math.pi)
+
+    def test_bounding_rect(self):
+        circle = Circle(Point(1.0, 2.0), 3.0)
+        assert circle.bounding_rect() == Rect(-2.0, -1.0, 4.0, 5.0)
+
+    def test_contains_point(self):
+        circle = Circle(Point(0.0, 0.0), 1.0)
+        assert circle.contains_point(Point(0.5, 0.5))
+        assert circle.contains_point(Point(1.0, 0.0))
+        assert not circle.contains_point(Point(1.0, 1.0))
+
+
+class TestCircleRectRelations:
+    def test_overlaps_rect(self):
+        circle = Circle(Point(0.0, 0.0), 1.0)
+        assert circle.overlaps_rect(Rect(0.5, 0.5, 2.0, 2.0))
+        assert not circle.overlaps_rect(Rect(2.0, 2.0, 3.0, 3.0))
+
+    def test_contains_rect(self):
+        circle = Circle(Point(0.0, 0.0), 2.0)
+        assert circle.contains_rect(Rect(-1.0, -1.0, 1.0, 1.0))
+        assert not circle.contains_rect(Rect(-2.0, -2.0, 2.0, 2.0))
+
+    def test_intersection_area_full_containment(self):
+        circle = Circle(Point(0.0, 0.0), 1.0)
+        rect = Rect(-2.0, -2.0, 2.0, 2.0)
+        area = circle.intersection_area_with_rect(rect, resolution=512)
+        assert area == pytest.approx(circle.area, rel=1e-3)
+
+    def test_intersection_area_disjoint_is_zero(self):
+        circle = Circle(Point(0.0, 0.0), 1.0)
+        assert circle.intersection_area_with_rect(Rect(5.0, 5.0, 6.0, 6.0)) == 0.0
+
+    def test_intersection_area_half_plane(self):
+        # A rectangle covering exactly the right half of the disc.
+        circle = Circle(Point(0.0, 0.0), 1.0)
+        rect = Rect(0.0, -2.0, 2.0, 2.0)
+        area = circle.intersection_area_with_rect(rect, resolution=1024)
+        assert area == pytest.approx(circle.area / 2.0, rel=1e-2)
+
+    def test_intersection_area_never_exceeds_min_of_areas(self):
+        circle = Circle(Point(3.0, 3.0), 1.5)
+        rect = Rect(2.0, 2.0, 4.5, 3.5)
+        area = circle.intersection_area_with_rect(rect, resolution=256)
+        assert area <= min(circle.area, rect.area) + 1e-9
+
+    def test_zero_radius_has_zero_intersection(self):
+        circle = Circle(Point(0.0, 0.0), 0.0)
+        assert circle.intersection_area_with_rect(Rect(-1.0, -1.0, 1.0, 1.0)) == 0.0

@@ -1,0 +1,137 @@
+"""Unit tests for :mod:`repro.geometry.interval`."""
+
+import pytest
+
+from repro.geometry.interval import Interval
+
+
+class TestConstruction:
+    def test_from_center(self):
+        interval = Interval.from_center(5.0, 2.0)
+        assert interval.low == 3.0
+        assert interval.high == 7.0
+
+    def test_from_center_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            Interval.from_center(0.0, -1.0)
+
+    def test_empty_interval_is_empty(self):
+        assert Interval.empty().is_empty
+
+    def test_degenerate_interval_not_empty(self):
+        assert not Interval(2.0, 2.0).is_empty
+
+
+class TestProperties:
+    def test_length(self):
+        assert Interval(1.0, 4.0).length == 3.0
+
+    def test_length_of_empty_is_zero(self):
+        assert Interval.empty().length == 0.0
+
+    def test_length_of_degenerate_is_zero(self):
+        assert Interval(2.0, 2.0).length == 0.0
+
+    def test_center(self):
+        assert Interval(2.0, 6.0).center == 4.0
+
+
+class TestPredicates:
+    def test_contains_inside(self):
+        assert Interval(0.0, 10.0).contains(5.0)
+
+    def test_contains_boundary(self):
+        assert Interval(0.0, 10.0).contains(0.0)
+        assert Interval(0.0, 10.0).contains(10.0)
+
+    def test_contains_outside(self):
+        assert not Interval(0.0, 10.0).contains(10.5)
+
+    def test_contains_interval(self):
+        assert Interval(0.0, 10.0).contains_interval(Interval(2.0, 8.0))
+        assert not Interval(0.0, 10.0).contains_interval(Interval(2.0, 12.0))
+
+    def test_contains_empty_interval(self):
+        assert Interval(0.0, 1.0).contains_interval(Interval.empty())
+
+    def test_empty_contains_nothing(self):
+        assert not Interval.empty().contains_interval(Interval(0.0, 1.0))
+
+    def test_overlaps(self):
+        assert Interval(0.0, 5.0).overlaps(Interval(5.0, 10.0))
+        assert not Interval(0.0, 5.0).overlaps(Interval(5.1, 10.0))
+
+    def test_overlaps_empty_is_false(self):
+        assert not Interval(0.0, 5.0).overlaps(Interval.empty())
+
+
+class TestArithmetic:
+    def test_intersect(self):
+        result = Interval(0.0, 5.0).intersect(Interval(3.0, 8.0))
+        assert result == Interval(3.0, 5.0)
+
+    def test_intersect_disjoint_is_empty(self):
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)).is_empty
+
+    def test_intersect_touching_is_degenerate(self):
+        result = Interval(0.0, 2.0).intersect(Interval(2.0, 3.0))
+        assert not result.is_empty
+        assert result.length == 0.0
+
+    def test_union_bounds(self):
+        assert Interval(0.0, 1.0).union_bounds(Interval(5.0, 6.0)) == Interval(0.0, 6.0)
+
+    def test_union_bounds_with_empty(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.union_bounds(Interval.empty()) == interval
+        assert Interval.empty().union_bounds(interval) == interval
+
+    def test_expand(self):
+        assert Interval(2.0, 4.0).expand(1.0) == Interval(1.0, 5.0)
+
+    def test_expand_negative_can_shrink(self):
+        assert Interval(0.0, 10.0).expand(-2.0) == Interval(2.0, 8.0)
+
+    def test_translate(self):
+        assert Interval(0.0, 2.0).translate(3.0) == Interval(3.0, 5.0)
+
+    def test_minkowski_sum(self):
+        assert Interval(0.0, 1.0).minkowski_sum(Interval(-2.0, 2.0)) == Interval(-2.0, 3.0)
+
+    def test_minkowski_sum_with_empty_is_empty(self):
+        assert Interval(0.0, 1.0).minkowski_sum(Interval.empty()).is_empty
+
+    def test_overlap_length(self):
+        assert Interval(0.0, 10.0).overlap_length(Interval(5.0, 20.0)) == 5.0
+        assert Interval(0.0, 10.0).overlap_length(Interval(20.0, 30.0)) == 0.0
+
+
+class TestHelpers:
+    def test_clamp(self):
+        interval = Interval(0.0, 10.0)
+        assert interval.clamp(-5.0) == 0.0
+        assert interval.clamp(5.0) == 5.0
+        assert interval.clamp(15.0) == 10.0
+
+    def test_clamp_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval.empty().clamp(0.0)
+
+    def test_distance_to(self):
+        interval = Interval(0.0, 10.0)
+        assert interval.distance_to(-3.0) == 3.0
+        assert interval.distance_to(5.0) == 0.0
+        assert interval.distance_to(12.0) == 2.0
+
+    def test_fraction_below(self):
+        interval = Interval(0.0, 10.0)
+        assert interval.fraction_below(-1.0) == 0.0
+        assert interval.fraction_below(0.0) == 0.0
+        assert interval.fraction_below(2.5) == pytest.approx(0.25)
+        assert interval.fraction_below(10.0) == 1.0
+        assert interval.fraction_below(11.0) == 1.0
+
+    def test_fraction_below_degenerate(self):
+        interval = Interval(5.0, 5.0)
+        assert interval.fraction_below(5.0) == 0.0
+        assert interval.fraction_below(6.0) == 1.0

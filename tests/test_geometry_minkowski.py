@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.geometry.minkowski`."""
+
+import pytest
+
+from repro.geometry.minkowski import (
+    expand_query_region,
+    minkowski_sum_convex_polygons,
+    minkowski_sum_rects,
+)
+from repro.geometry.algorithms import polygon_area
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestRectMinkowski:
+    def test_sum_dimensions_add(self):
+        a = Rect(0.0, 0.0, 2.0, 4.0)
+        b = Rect(-1.0, -1.0, 1.0, 1.0)
+        result = minkowski_sum_rects(a, b)
+        assert result.width == a.width + b.width
+        assert result.height == a.height + b.height
+
+    def test_sum_with_origin_point_is_identity(self):
+        a = Rect(3.0, 4.0, 7.0, 9.0)
+        origin = Rect(0.0, 0.0, 0.0, 0.0)
+        assert minkowski_sum_rects(a, origin) == a
+
+    def test_sum_is_commutative(self):
+        a = Rect(0.0, 0.0, 2.0, 4.0)
+        b = Rect(5.0, 5.0, 6.0, 8.0)
+        assert minkowski_sum_rects(a, b) == minkowski_sum_rects(b, a)
+
+
+class TestExpandQueryRegion:
+    def test_matches_paper_figure_2(self):
+        # The expanded query extends U0 by w left/right and h top/bottom.
+        issuer_region = Rect(100.0, 100.0, 200.0, 200.0)
+        expanded = expand_query_region(issuer_region, 50.0, 30.0)
+        assert expanded == Rect(50.0, 70.0, 250.0, 230.0)
+
+    def test_zero_extents_is_identity(self):
+        region = Rect(0.0, 0.0, 10.0, 10.0)
+        assert expand_query_region(region, 0.0, 0.0) == region
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            expand_query_region(Rect(0.0, 0.0, 1.0, 1.0), -1.0, 1.0)
+
+
+class TestConvexPolygonMinkowski:
+    def _square(self, size: float, offset: float = 0.0) -> list[Point]:
+        return [
+            Point(offset, offset),
+            Point(offset + size, offset),
+            Point(offset + size, offset + size),
+            Point(offset, offset + size),
+        ]
+
+    def test_sum_of_squares_is_square(self):
+        result = minkowski_sum_convex_polygons(self._square(1.0), self._square(2.0))
+        assert polygon_area(result) == pytest.approx(9.0)
+
+    def test_sum_area_lower_bound(self):
+        # For convex bodies, area(A ⊕ B) >= area(A) + area(B).
+        a = self._square(1.0)
+        b = [Point(0.0, 0.0), Point(2.0, 0.0), Point(0.0, 2.0)]
+        result = minkowski_sum_convex_polygons(a, b)
+        assert polygon_area(result) >= polygon_area(a) + polygon_area(b) - 1e-9
+
+    def test_sum_with_empty_polygon(self):
+        assert minkowski_sum_convex_polygons([], self._square(1.0)) == []
+
+    def test_matches_rect_sum_for_rectangles(self):
+        rect_a = Rect(0.0, 0.0, 2.0, 3.0)
+        rect_b = Rect(-1.0, -1.0, 1.0, 1.0)
+        polygon = minkowski_sum_convex_polygons(
+            list(rect_a.corners()), list(rect_b.corners())
+        )
+        expected = minkowski_sum_rects(rect_a, rect_b)
+        assert polygon_area(polygon) == pytest.approx(expected.area)

@@ -1,0 +1,47 @@
+"""Unit tests for :mod:`repro.geometry.point`."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestPoint:
+    def test_iteration_yields_coordinates(self):
+        assert tuple(Point(1.0, 2.0)) == (1.0, 2.0)
+
+    def test_as_tuple(self):
+        assert Point(3.0, 4.0).as_tuple() == (3.0, 4.0)
+
+    def test_translate(self):
+        assert Point(1.0, 1.0).translate(2.0, -1.0) == Point(3.0, 0.0)
+
+    def test_euclidean_distance(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.0, 7.0), Point(-2.0, 3.0)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_manhattan_distance(self):
+        assert Point(0.0, 0.0).manhattan_distance_to(Point(3.0, 4.0)) == 7.0
+
+    def test_chebyshev_distance(self):
+        assert Point(0.0, 0.0).chebyshev_distance_to(Point(3.0, 4.0)) == 4.0
+
+    def test_chebyshev_vs_euclidean_ordering(self):
+        a, b = Point(0.0, 0.0), Point(3.0, 4.0)
+        assert a.chebyshev_distance_to(b) <= a.distance_to(b)
+        assert a.distance_to(b) <= a.manhattan_distance_to(b)
+
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(4.0, 6.0)) == Point(2.0, 3.0)
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(math.pi, math.e)
+        assert p.distance_to(p) == 0.0

@@ -1,0 +1,53 @@
+"""Unit tests for the shared index helpers."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.base import SpatialIndex, bulk_pairs, extract_mbr
+from repro.index.gridfile import GridFile
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RTree
+from repro.uncertainty.region import PointObject, UncertainObject
+
+
+class TestExtractMbr:
+    def test_from_rect(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert extract_mbr(rect) == rect
+
+    def test_from_point_object(self):
+        obj = PointObject.at(1, 2.0, 3.0)
+        assert extract_mbr(obj) == obj.mbr
+
+    def test_from_uncertain_object(self):
+        obj = UncertainObject.uniform(1, Rect(0.0, 0.0, 5.0, 5.0))
+        assert extract_mbr(obj) == obj.region
+
+    def test_from_tuple(self):
+        assert extract_mbr((0.0, 1.0, 2.0, 3.0)) == Rect(0.0, 1.0, 2.0, 3.0)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            extract_mbr("not spatial")
+
+
+class TestBulkPairs:
+    def test_pairs_preserve_order_and_items(self):
+        objects = [PointObject.at(i, float(i), 0.0) for i in range(5)]
+        pairs = bulk_pairs(objects)
+        assert [item for _, item in pairs] == objects
+        assert all(mbr == item.mbr for mbr, item in pairs)
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "index",
+        [
+            RTree(max_entries=4),
+            GridFile(Rect(0.0, 0.0, 10.0, 10.0)),
+            LinearScanIndex(),
+        ],
+        ids=["rtree", "grid", "linear"],
+    )
+    def test_indexes_satisfy_protocol(self, index):
+        assert isinstance(index, SpatialIndex)

@@ -1,0 +1,83 @@
+"""Unit tests for the grid-file index."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.gridfile import GridFile
+from repro.uncertainty.region import PointObject
+
+SPACE = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _objects(n: int, seed: int = 0) -> list[PointObject]:
+    rng = np.random.default_rng(seed)
+    return [
+        PointObject.at(i, float(x), float(y))
+        for i, (x, y) in enumerate(
+            zip(rng.uniform(0.0, 1000.0, size=n), rng.uniform(0.0, 1000.0, size=n))
+        )
+    ]
+
+
+class TestConstruction:
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            GridFile(Rect.empty())
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            GridFile(SPACE, cells_per_axis=0)
+
+    def test_rejects_empty_mbr_insert(self):
+        grid = GridFile(SPACE)
+        with pytest.raises(ValueError):
+            grid.insert(Rect.empty(), "x")
+
+    def test_bulk_load(self):
+        grid = GridFile.bulk_load(_objects(100), bounds=SPACE, cells_per_axis=16)
+        assert len(grid) == 100
+        assert grid.cells_per_axis == 16
+
+
+class TestQueries:
+    @pytest.fixture()
+    def grid(self):
+        objects = _objects(400, seed=4)
+        return GridFile.bulk_load(objects, bounds=SPACE, cells_per_axis=20), objects
+
+    def test_range_search_matches_brute_force(self, grid):
+        index, objects = grid
+        query = Rect(100.0, 200.0, 400.0, 600.0)
+        expected = {o.oid for o in objects if query.contains_point(o.location)}
+        assert {o.oid for o in index.range_search(query)} == expected
+
+    def test_whole_space_returns_everything(self, grid):
+        index, objects = grid
+        assert len(index.range_search(SPACE)) == len(objects)
+
+    def test_empty_query(self, grid):
+        index, _ = grid
+        assert index.range_search(Rect.empty()) == []
+
+    def test_query_outside_bounds(self, grid):
+        index, _ = grid
+        assert index.range_search(Rect(2000.0, 2000.0, 3000.0, 3000.0)) == []
+
+    def test_no_duplicates_for_spanning_rectangles(self):
+        grid = GridFile(SPACE, cells_per_axis=10)
+        big = Rect(50.0, 50.0, 650.0, 650.0)  # spans many cells
+        grid.insert(big, "big")
+        results = grid.range_search(Rect(0.0, 0.0, 1000.0, 1000.0))
+        assert results == ["big"]
+
+    def test_bucket_access_counting(self, grid):
+        index, _ = grid
+        index.stats.reset()
+        index.range_search(Rect(0.0, 0.0, 100.0, 100.0))
+        small = index.stats.node_accesses
+        index.stats.reset()
+        index.range_search(SPACE)
+        full = index.stats.node_accesses
+        assert 0 < small < full
+        assert full == index.cells_per_axis ** 2

@@ -1,0 +1,60 @@
+"""Unit tests for the I/O statistics counters."""
+
+from repro.index.iostats import IOStatistics
+
+
+class TestIOStatistics:
+    def test_initial_state_is_zero(self):
+        stats = IOStatistics()
+        assert stats.node_accesses == 0
+        assert stats.entries_examined == 0
+
+    def test_record_node(self):
+        stats = IOStatistics()
+        stats.record_node(is_leaf=True)
+        stats.record_node(is_leaf=False)
+        assert stats.node_accesses == 2
+        assert stats.leaf_accesses == 1
+        assert stats.internal_accesses == 1
+
+    def test_record_entries_and_results(self):
+        stats = IOStatistics()
+        stats.record_entries(5)
+        stats.record_entries(3)
+        stats.record_results(2)
+        assert stats.entries_examined == 8
+        assert stats.objects_returned == 2
+
+    def test_reset(self):
+        stats = IOStatistics()
+        stats.record_node(is_leaf=True)
+        stats.record_entries(10)
+        stats.reset()
+        assert stats.node_accesses == 0
+        assert stats.entries_examined == 0
+
+    def test_snapshot_is_independent(self):
+        stats = IOStatistics()
+        stats.record_node(is_leaf=True)
+        snap = stats.snapshot()
+        stats.record_node(is_leaf=True)
+        assert snap.node_accesses == 1
+        assert stats.node_accesses == 2
+
+    def test_difference_since(self):
+        stats = IOStatistics()
+        stats.record_node(is_leaf=True)
+        before = stats.snapshot()
+        stats.record_node(is_leaf=False)
+        stats.record_entries(4)
+        delta = stats.difference_since(before)
+        assert delta.node_accesses == 1
+        assert delta.internal_accesses == 1
+        assert delta.entries_examined == 4
+
+    def test_merge(self):
+        a = IOStatistics(node_accesses=1, leaf_accesses=1, entries_examined=3)
+        b = IOStatistics(node_accesses=2, internal_accesses=2, entries_examined=5)
+        a.merge(b)
+        assert a.node_accesses == 3
+        assert a.entries_examined == 8

@@ -1,0 +1,52 @@
+"""Unit tests for the linear-scan baseline index."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.linear import LinearScanIndex
+from repro.uncertainty.region import PointObject
+
+
+class TestLinearScan:
+    def test_insert_and_len(self):
+        index = LinearScanIndex()
+        index.insert(Rect(0.0, 0.0, 1.0, 1.0), "a")
+        index.insert(Rect(2.0, 2.0, 3.0, 3.0), "b")
+        assert len(index) == 2
+
+    def test_rejects_empty_mbr(self):
+        index = LinearScanIndex()
+        with pytest.raises(ValueError):
+            index.insert(Rect.empty(), "a")
+
+    def test_range_search(self):
+        index = LinearScanIndex()
+        index.insert(Rect(0.0, 0.0, 1.0, 1.0), "a")
+        index.insert(Rect(5.0, 5.0, 6.0, 6.0), "b")
+        assert index.range_search(Rect(0.5, 0.5, 2.0, 2.0)) == ["a"]
+
+    def test_empty_query(self):
+        index = LinearScanIndex()
+        index.insert(Rect(0.0, 0.0, 1.0, 1.0), "a")
+        assert index.range_search(Rect.empty()) == []
+
+    def test_bulk_load_point_objects(self):
+        objects = [PointObject.at(i, float(i), float(i)) for i in range(50)]
+        index = LinearScanIndex.bulk_load(objects)
+        found = index.range_search(Rect(0.0, 0.0, 10.0, 10.0))
+        assert {o.oid for o in found} == set(range(11))
+
+    def test_every_query_scans_all_entries(self):
+        objects = [PointObject.at(i, float(i), float(i)) for i in range(100)]
+        index = LinearScanIndex.bulk_load(objects)
+        index.stats.reset()
+        index.range_search(Rect(0.0, 0.0, 1.0, 1.0))
+        assert index.stats.entries_examined == 100
+
+    def test_page_model(self):
+        objects = [PointObject.at(i, float(i), float(i)) for i in range(100)]
+        index = LinearScanIndex.bulk_load(objects, page_size=400, entry_size=40)
+        index.stats.reset()
+        index.range_search(Rect(0.0, 0.0, 1.0, 1.0))
+        # 100 entries at 10 entries per page -> 10 page reads.
+        assert index.stats.node_accesses == 10

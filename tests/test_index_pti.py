@@ -1,0 +1,129 @@
+"""Unit tests for the Probability Threshold Index (PTI)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.pti import ProbabilityThresholdIndex
+from repro.index.rtree import RTree
+from repro.uncertainty.region import UncertainObject
+
+
+def _uncertain_objects(n: int, seed: int = 0, space: float = 2000.0) -> list[UncertainObject]:
+    rng = np.random.default_rng(seed)
+    objects = []
+    for i in range(n):
+        x = rng.uniform(0.0, space - 60.0)
+        y = rng.uniform(0.0, space - 60.0)
+        w = rng.uniform(10.0, 60.0)
+        h = rng.uniform(10.0, 60.0)
+        objects.append(
+            UncertainObject.uniform(i, Rect(x, y, x + w, y + h), with_catalog=True)
+        )
+    return objects
+
+
+@pytest.fixture(scope="module")
+def objects() -> list[UncertainObject]:
+    return _uncertain_objects(300, seed=9)
+
+
+@pytest.fixture(scope="module")
+def pti(objects) -> ProbabilityThresholdIndex:
+    return ProbabilityThresholdIndex.bulk_load(objects, max_entries=8)
+
+
+class TestConstruction:
+    def test_bulk_load(self, pti, objects):
+        assert len(pti) == len(objects)
+        pti.check_invariants()
+        pti.check_augmentation()
+
+    def test_rejects_objects_without_catalog(self):
+        plain = UncertainObject.uniform(0, Rect(0.0, 0.0, 10.0, 10.0))
+        with pytest.raises(ValueError):
+            ProbabilityThresholdIndex.bulk_load([plain])
+
+    def test_rejects_non_uncertain_items(self):
+        tree = ProbabilityThresholdIndex(max_entries=4)
+        with pytest.raises(TypeError):
+            tree.insert(Rect(0.0, 0.0, 1.0, 1.0), "not an object")
+
+    def test_rejects_mismatched_catalog_levels(self):
+        a = UncertainObject.uniform(0, Rect(0.0, 0.0, 10.0, 10.0)).with_catalog([0.0, 0.2])
+        b = UncertainObject.uniform(1, Rect(5.0, 5.0, 15.0, 15.0)).with_catalog([0.0, 0.3])
+        tree = ProbabilityThresholdIndex(max_entries=4)
+        tree.insert(a.mbr, a)
+        with pytest.raises(ValueError):
+            tree.insert(b.mbr, b)
+
+    def test_incremental_insert_maintains_augmentation(self, objects):
+        tree = ProbabilityThresholdIndex(max_entries=4)
+        for obj in objects[:80]:
+            tree.insert(obj.mbr, obj)
+        tree.check_invariants()
+        tree.check_augmentation()
+
+
+class TestPlainSearch:
+    def test_range_search_matches_rtree(self, pti, objects):
+        rtree = RTree.bulk_load(objects, max_entries=8)
+        query = Rect(200.0, 200.0, 900.0, 700.0)
+        assert {o.oid for o in pti.range_search(query)} == {
+            o.oid for o in rtree.range_search(query)
+        }
+
+    def test_pruning_level_for(self, pti):
+        assert pti.pruning_level_for(0.0) is None
+        assert pti.pruning_level_for(0.05) is None
+        assert pti.pruning_level_for(0.25) == 0.2
+        assert pti.pruning_level_for(0.9) == 0.5
+
+
+class TestThresholdSearch:
+    def test_invalid_threshold_rejected(self, pti):
+        with pytest.raises(ValueError):
+            pti.range_search_with_threshold(Rect(0.0, 0.0, 1.0, 1.0), 1.5)
+
+    def test_threshold_zero_equals_plain_search(self, pti):
+        query = Rect(100.0, 100.0, 800.0, 800.0)
+        plain = {o.oid for o in pti.range_search(query)}
+        thresh = {o.oid for o in pti.range_search_with_threshold(query, 0.0)}
+        assert plain == thresh
+
+    def test_threshold_search_returns_subset_of_plain(self, pti):
+        query = Rect(100.0, 100.0, 800.0, 800.0)
+        plain = {o.oid for o in pti.range_search(query)}
+        thresh = {o.oid for o in pti.range_search_with_threshold(query, 0.5)}
+        assert thresh <= plain
+
+    def test_threshold_search_never_drops_fully_covered_objects(self, pti, objects):
+        """An object whose region is fully inside the query must always survive.
+
+        Such an object has probability mass 1 inside the query region, so no
+        correct threshold pruning may remove it for any threshold <= 1.
+        """
+        query = Rect(100.0, 100.0, 1200.0, 1200.0)
+        fully_inside = {o.oid for o in objects if query.contains_rect(o.region)}
+        for threshold in (0.2, 0.5, 0.9):
+            survivors = {o.oid for o in pti.range_search_with_threshold(query, threshold)}
+            assert fully_inside <= survivors
+
+    def test_threshold_search_reduces_node_accesses(self, objects):
+        pti = ProbabilityThresholdIndex.bulk_load(objects, max_entries=8)
+        query = Rect(0.0, 0.0, 2000.0, 2000.0)
+        # A tight p-expanded window should prune most subtrees.
+        small_window = Rect(900.0, 900.0, 1100.0, 1100.0)
+        pti.stats.reset()
+        pti.range_search(query)
+        full_cost = pti.stats.node_accesses
+        pti.stats.reset()
+        pti.range_search_with_threshold(query, 0.5, small_window)
+        pruned_cost = pti.stats.node_accesses
+        assert pruned_cost < full_cost
+
+    def test_p_expanded_window_restricts_results(self, pti, objects):
+        query = Rect(0.0, 0.0, 2000.0, 2000.0)
+        window = Rect(500.0, 500.0, 700.0, 700.0)
+        results = pti.range_search_with_threshold(query, 0.3, window)
+        assert all(o.region.overlaps(window) for o in results)

@@ -1,0 +1,210 @@
+"""Unit tests for the R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+from repro.uncertainty.region import PointObject
+
+
+def _random_rects(n: int, seed: int = 0, space: float = 1000.0) -> list[tuple[Rect, int]]:
+    rng = np.random.default_rng(seed)
+    rects = []
+    for i in range(n):
+        x = rng.uniform(0.0, space)
+        y = rng.uniform(0.0, space)
+        w = rng.uniform(1.0, 20.0)
+        h = rng.uniform(1.0, 20.0)
+        rects.append((Rect(x, y, x + w, y + h), i))
+    return rects
+
+
+def _brute_force(pairs: list[tuple[Rect, int]], query: Rect) -> set[int]:
+    return {item for mbr, item in pairs if mbr.overlaps(query)}
+
+
+class TestConstruction:
+    def test_capacity_derived_from_page_size(self):
+        tree = RTree(page_size=4096, entry_size=40)
+        assert tree.max_entries == 102
+
+    def test_explicit_capacity(self):
+        tree = RTree(max_entries=8, min_entries=3)
+        assert tree.max_entries == 8
+        assert tree.min_entries == 3
+
+    def test_invalid_min_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+
+    def test_empty_tree(self):
+        tree = RTree(max_entries=4)
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.range_search(Rect(0.0, 0.0, 10.0, 10.0)) == []
+
+
+class TestInsertion:
+    def test_insert_and_count(self):
+        tree = RTree(max_entries=4)
+        for mbr, item in _random_rects(50):
+            tree.insert(mbr, item)
+        assert len(tree) == 50
+        tree.check_invariants()
+
+    def test_insert_empty_rect_rejected(self):
+        tree = RTree(max_entries=4)
+        with pytest.raises(ValueError):
+            tree.insert(Rect.empty(), "x")
+
+    def test_tree_grows_in_height(self):
+        tree = RTree(max_entries=4)
+        for mbr, item in _random_rects(100):
+            tree.insert(mbr, item)
+        assert tree.height >= 3
+
+    def test_incremental_range_search_matches_brute_force(self):
+        pairs = _random_rects(300, seed=3)
+        tree = RTree(max_entries=8)
+        for mbr, item in pairs:
+            tree.insert(mbr, item)
+        tree.check_invariants()
+        for query_seed in range(10):
+            rng = np.random.default_rng(query_seed)
+            x, y = rng.uniform(0.0, 900.0, size=2)
+            query = Rect(x, y, x + 150.0, y + 150.0)
+            assert set(tree.range_search(query)) == _brute_force(pairs, query)
+
+    def test_duplicate_rectangles_supported(self):
+        tree = RTree(max_entries=4)
+        mbr = Rect(0.0, 0.0, 1.0, 1.0)
+        for i in range(20):
+            tree.insert(mbr, i)
+        assert len(tree.range_search(mbr)) == 20
+
+
+class TestBulkLoad:
+    def test_bulk_load_point_objects(self):
+        objects = [PointObject.at(i, float(i), float(i * 2 % 97)) for i in range(500)]
+        tree = RTree.bulk_load(objects, max_entries=16)
+        assert len(tree) == 500
+        tree.check_invariants()
+
+    def test_bulk_load_matches_brute_force(self):
+        pairs = _random_rects(400, seed=7)
+        items = [type("Item", (), {"mbr": mbr, "value": value})() for mbr, value in pairs]
+        tree = RTree.bulk_load(items, max_entries=10)
+        query = Rect(100.0, 100.0, 400.0, 350.0)
+        expected = {item.value for item in items if item.mbr.overlaps(query)}
+        found = {item.value for item in tree.range_search(query)}
+        assert found == expected
+
+    def test_bulk_load_into_non_empty_tree_rejected(self):
+        tree = RTree(max_entries=4)
+        tree.insert(Rect(0.0, 0.0, 1.0, 1.0), 0)
+        with pytest.raises(RuntimeError):
+            tree._bulk_load_pairs([(Rect(0.0, 0.0, 1.0, 1.0), 1)])
+
+    def test_bulk_load_empty_iterable(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_loaded_tree_is_shallower_than_incremental(self):
+        pairs = _random_rects(600, seed=11)
+        incremental = RTree(max_entries=8)
+        for mbr, item in pairs:
+            incremental.insert(mbr, item)
+        packed = RTree.bulk_load(
+            [type("Item", (), {"mbr": mbr, "value": v})() for mbr, v in pairs], max_entries=8
+        )
+        assert packed.node_count <= incremental.node_count
+
+
+class TestQueries:
+    @pytest.fixture()
+    def loaded_tree(self):
+        pairs = _random_rects(400, seed=5)
+        tree = RTree(max_entries=8)
+        for mbr, item in pairs:
+            tree.insert(mbr, item)
+        return tree, pairs
+
+    def test_empty_query_returns_nothing(self, loaded_tree):
+        tree, _ = loaded_tree
+        assert tree.range_search(Rect.empty()) == []
+
+    def test_whole_space_query_returns_everything(self, loaded_tree):
+        tree, pairs = loaded_tree
+        assert len(tree.range_search(Rect(-10.0, -10.0, 2000.0, 2000.0))) == len(pairs)
+
+    def test_node_access_counting(self, loaded_tree):
+        tree, _ = loaded_tree
+        tree.stats.reset()
+        tree.range_search(Rect(0.0, 0.0, 100.0, 100.0))
+        small_accesses = tree.stats.node_accesses
+        tree.stats.reset()
+        tree.range_search(Rect(0.0, 0.0, 1000.0, 1000.0))
+        large_accesses = tree.stats.node_accesses
+        assert 0 < small_accesses < large_accesses
+
+    def test_items_iterates_everything(self, loaded_tree):
+        tree, pairs = loaded_tree
+        assert sorted(tree.items()) == sorted(item for _, item in pairs)
+
+    def test_bounds_cover_all_items(self, loaded_tree):
+        tree, pairs = loaded_tree
+        bounds = tree.bounds()
+        assert all(bounds.contains_rect(mbr) for mbr, _ in pairs)
+
+    def test_range_search_filtered_entry_filter(self, loaded_tree):
+        tree, pairs = loaded_tree
+        query = Rect(0.0, 0.0, 1000.0, 1000.0)
+        evens = tree.range_search_filtered(query, entry_filter=lambda e: e.item % 2 == 0)
+        assert evens
+        assert all(item % 2 == 0 for item in evens)
+
+    def test_range_search_filtered_node_filter_can_prune_everything(self, loaded_tree):
+        tree, _ = loaded_tree
+        query = Rect(0.0, 0.0, 1000.0, 1000.0)
+        nothing = tree.range_search_filtered(query, node_filter=lambda node: False)
+        # Only items stored directly in the root (if it is a leaf) could
+        # survive; with 400 items the root is internal, so nothing survives.
+        assert nothing == []
+
+
+class TestNearestNeighbors:
+    def test_nearest_neighbor_matches_brute_force(self):
+        objects = [PointObject.at(i, float((i * 37) % 500), float((i * 91) % 500)) for i in range(200)]
+        tree = RTree.bulk_load(objects, max_entries=8)
+        query_point = Point(123.0, 456.0)
+        expected = min(objects, key=lambda o: o.location.distance_to(query_point))
+        found = tree.nearest_neighbors(query_point, k=1)[0]
+        assert found.location.distance_to(query_point) == pytest.approx(
+            expected.location.distance_to(query_point)
+        )
+
+    def test_k_nearest_ordering(self):
+        objects = [PointObject.at(i, float(i * 10), 0.0) for i in range(20)]
+        tree = RTree.bulk_load(objects, max_entries=4)
+        found = tree.nearest_neighbors(Point(0.0, 0.0), k=5)
+        assert [o.oid for o in found] == [0, 1, 2, 3, 4]
+
+    def test_k_larger_than_size(self):
+        objects = [PointObject.at(i, float(i), 0.0) for i in range(3)]
+        tree = RTree.bulk_load(objects)
+        assert len(tree.nearest_neighbors(Point(0.0, 0.0), k=10)) == 3
+
+    def test_invalid_k_rejected(self):
+        tree = RTree.bulk_load([PointObject.at(0, 0.0, 0.0)])
+        with pytest.raises(ValueError):
+            tree.nearest_neighbors(Point(0.0, 0.0), k=0)
+
+    def test_empty_tree_returns_nothing(self):
+        tree = RTree(max_entries=4)
+        assert tree.nearest_neighbors(Point(0.0, 0.0), k=3) == []

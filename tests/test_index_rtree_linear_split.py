@@ -1,0 +1,62 @@
+"""Tests for the linear-split R-tree variant."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+
+
+def _random_rects(n: int, seed: int = 0, space: float = 1000.0) -> list[tuple[Rect, int]]:
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for i in range(n):
+        x = rng.uniform(0.0, space)
+        y = rng.uniform(0.0, space)
+        pairs.append((Rect(x, y, x + rng.uniform(1.0, 20.0), y + rng.uniform(1.0, 20.0)), i))
+    return pairs
+
+
+def _brute_force(pairs: list[tuple[Rect, int]], query: Rect) -> set[int]:
+    return {item for mbr, item in pairs if mbr.overlaps(query)}
+
+
+class TestLinearSplit:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=4, split_algorithm="cubic")
+
+    def test_invariants_hold(self):
+        tree = RTree(max_entries=6, split_algorithm="linear")
+        for mbr, item in _random_rects(400, seed=2):
+            tree.insert(mbr, item)
+        tree.check_invariants()
+
+    def test_range_search_matches_brute_force(self):
+        pairs = _random_rects(350, seed=4)
+        tree = RTree(max_entries=8, split_algorithm="linear")
+        for mbr, item in pairs:
+            tree.insert(mbr, item)
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            x, y = rng.uniform(0.0, 800.0, size=2)
+            query = Rect(x, y, x + 200.0, y + 200.0)
+            assert set(tree.range_search(query)) == _brute_force(pairs, query)
+
+    def test_linear_and_quadratic_answer_identically(self):
+        pairs = _random_rects(300, seed=7)
+        linear = RTree(max_entries=8, split_algorithm="linear")
+        quadratic = RTree(max_entries=8, split_algorithm="quadratic")
+        for mbr, item in pairs:
+            linear.insert(mbr, item)
+            quadratic.insert(mbr, item)
+        query = Rect(100.0, 100.0, 500.0, 600.0)
+        assert set(linear.range_search(query)) == set(quadratic.range_search(query))
+
+    def test_identical_rectangles_still_split(self):
+        tree = RTree(max_entries=4, split_algorithm="linear")
+        mbr = Rect(0.0, 0.0, 1.0, 1.0)
+        for i in range(30):
+            tree.insert(mbr, i)
+        tree.check_invariants()
+        assert len(tree.range_search(mbr)) == 30

@@ -1,0 +1,123 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.interval import Interval
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coordinates = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+extents = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def intervals(draw) -> Interval:
+    low = draw(coordinates)
+    length = draw(extents)
+    return Interval(low, low + length)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    x = draw(coordinates)
+    y = draw(coordinates)
+    w = draw(extents)
+    h = draw(extents)
+    return Rect(x, y, x + w, y + h)
+
+
+@st.composite
+def points(draw) -> Point:
+    return Point(draw(coordinates), draw(coordinates))
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(intervals(), intervals())
+    def test_intersection_contained_in_operands(self, a, b):
+        inter = a.intersect(b)
+        if not inter.is_empty:
+            assert a.contains_interval(inter)
+            assert b.contains_interval(inter)
+
+    @given(intervals(), intervals())
+    def test_overlap_consistent_with_intersection(self, a, b):
+        assert a.overlaps(b) == (not a.intersect(b).is_empty)
+
+    @given(intervals(), intervals())
+    def test_union_bounds_contains_both(self, a, b):
+        union = a.union_bounds(b)
+        assert union.contains_interval(a)
+        assert union.contains_interval(b)
+
+    @given(intervals(), intervals())
+    def test_minkowski_sum_length_adds(self, a, b):
+        assert abs(a.minkowski_sum(b).length - (a.length + b.length)) < 1e-6
+
+    @given(intervals(), st.floats(min_value=0.0, max_value=1.0))
+    def test_fraction_below_within_unit_range(self, interval, t):
+        x = interval.low + t * (interval.high - interval.low)
+        assert 0.0 <= interval.fraction_below(x) <= 1.0
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(rects(), rects())
+    def test_intersection_area_bounded(self, a, b):
+        area = a.intersection_area(b)
+        assert -1e-9 <= area <= min(a.area, b.area) + 1e-6
+
+    @given(rects(), rects())
+    def test_union_bounds_contains_both(self, a, b):
+        union = a.union_bounds(b)
+        assert union.contains_rect(a)
+        assert union.contains_rect(b)
+
+    @given(rects(), rects())
+    def test_overlap_consistent_with_intersection(self, a, b):
+        assert a.overlaps(b) == (not a.intersect(b).is_empty)
+
+    @given(rects(), rects())
+    def test_minkowski_sum_dimensions_add(self, a, b):
+        result = a.minkowski_sum(b)
+        assert abs(result.width - (a.width + b.width)) < 1e-6
+        assert abs(result.height - (a.height + b.height)) < 1e-6
+
+    @given(rects(), extents, extents)
+    def test_expansion_contains_original(self, rect, dx, dy):
+        assert rect.expand(dx, dy).contains_rect(rect)
+
+    @given(rects(), rects())
+    def test_enlargement_non_negative(self, a, b):
+        assert a.enlargement_to_include(b) >= -1e-6
+
+    @given(rects(), points())
+    def test_min_distance_consistent_with_containment(self, rect, point):
+        distance = rect.min_distance_to_point(point)
+        assert distance >= 0.0
+        if rect.contains_point(point):
+            assert distance == 0.0
+        else:
+            # Growing the rectangle by the reported distance (plus a float
+            # tolerance) must reach the point.
+            assert rect.expand(distance + 1e-6 * (1.0 + distance)).contains_point(point)
+
+    @given(rects(), points())
+    def test_min_distance_le_max_distance(self, rect, point):
+        assert rect.min_distance_to_point(point) <= rect.max_distance_to_point(point) + 1e-9
+
+    @settings(max_examples=50)
+    @given(rects(), rects(), rects())
+    def test_intersection_associative(self, a, b, c):
+        left = a.intersect(b).intersect(c)
+        right = a.intersect(b.intersect(c))
+        assert left.is_empty == right.is_empty
+        if not left.is_empty:
+            assert left == right

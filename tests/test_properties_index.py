@@ -1,0 +1,82 @@
+"""Property-based tests for the spatial indexes.
+
+The key invariant: every index answers window queries identically to a brute
+force scan, regardless of how the data was loaded.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.rect import Rect
+from repro.index.gridfile import GridFile
+from repro.index.linear import LinearScanIndex
+from repro.index.rtree import RTree
+
+coords = st.floats(min_value=0.0, max_value=1_000.0, allow_nan=False)
+sizes = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def rect_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=60))
+    rects = []
+    for _ in range(count):
+        x = draw(coords)
+        y = draw(coords)
+        rects.append(Rect(x, y, x + draw(sizes), y + draw(sizes)))
+    return rects
+
+
+@st.composite
+def queries(draw):
+    x = draw(coords)
+    y = draw(coords)
+    return Rect(x, y, x + draw(st.floats(min_value=0.0, max_value=500.0)), y + draw(
+        st.floats(min_value=0.0, max_value=500.0)
+    ))
+
+
+def _brute_force(rects: list[Rect], query: Rect) -> set[int]:
+    return {i for i, rect in enumerate(rects) if rect.overlaps(query)}
+
+
+class TestIndexEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(rect_lists(), queries())
+    def test_rtree_insert_matches_brute_force(self, rects, query):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        assert set(tree.range_search(query)) == _brute_force(rects, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rect_lists(), queries())
+    def test_rtree_bulk_load_matches_brute_force(self, rects, query):
+        items = [type("Item", (), {"mbr": rect, "i": i})() for i, rect in enumerate(rects)]
+        tree = RTree.bulk_load(items, max_entries=4)
+        assert {item.i for item in tree.range_search(query)} == _brute_force(rects, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rect_lists(), queries())
+    def test_gridfile_matches_brute_force(self, rects, query):
+        bounds = Rect(0.0, 0.0, 1_200.0, 1_200.0)
+        grid = GridFile(bounds, cells_per_axis=8)
+        for i, rect in enumerate(rects):
+            grid.insert(rect, i)
+        assert set(grid.range_search(query)) == _brute_force(rects, query)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rect_lists(), queries())
+    def test_linear_scan_matches_brute_force(self, rects, query):
+        index = LinearScanIndex()
+        for i, rect in enumerate(rects):
+            index.insert(rect, i)
+        assert set(index.range_search(query)) == _brute_force(rects, query)
+
+    @settings(max_examples=25, deadline=None)
+    @given(rect_lists())
+    def test_rtree_invariants_hold_after_insertions(self, rects):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        tree.check_invariants()

@@ -1,0 +1,152 @@
+"""Property-based tests for the probability machinery.
+
+These cover the invariants the paper's correctness rests on: probabilities
+are proper probabilities, p-bounds really bound tail mass, the duality
+formula agrees with the definition-based basic method, and threshold pruning
+never discards a qualifying object.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.core.basic import basic_ipq_probability
+from repro.core.duality import (
+    ipq_probability,
+    iuq_probability_exact_uniform,
+)
+from repro.core.expansion import minkowski_expanded_query, p_expanded_query
+from repro.core.pruning import CIUQPruner
+from repro.core.queries import RangeQuerySpec
+from repro.uncertainty.catalog import UCatalog
+from repro.uncertainty.pbound import compute_pbound
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.region import UncertainObject
+
+coords = st.floats(min_value=0.0, max_value=2_000.0, allow_nan=False)
+sizes = st.floats(min_value=10.0, max_value=500.0, allow_nan=False)
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def regions(draw) -> Rect:
+    x = draw(coords)
+    y = draw(coords)
+    return Rect(x, y, x + draw(sizes), y + draw(sizes))
+
+
+@st.composite
+def specs(draw) -> RangeQuerySpec:
+    return RangeQuerySpec(draw(sizes), draw(sizes))
+
+
+class TestProbabilityRange:
+    @settings(max_examples=60)
+    @given(regions(), specs(), coords, coords)
+    def test_ipq_probability_in_unit_interval(self, issuer_region, spec, x, y):
+        value = ipq_probability(UniformPdf(issuer_region), spec, Point(x, y))
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=60)
+    @given(regions(), regions(), specs())
+    def test_iuq_probability_in_unit_interval(self, issuer_region, target_region, spec):
+        issuer = UniformPdf(issuer_region)
+        target = UncertainObject.uniform(1, target_region)
+        value = iuq_probability_exact_uniform(issuer, target, spec)
+        assert 0.0 <= value <= 1.0
+
+    @settings(max_examples=40)
+    @given(regions(), specs(), coords, coords)
+    def test_gaussian_ipq_probability_in_unit_interval(self, issuer_region, spec, x, y):
+        value = ipq_probability(TruncatedGaussianPdf(issuer_region), spec, Point(x, y))
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestDualityAgreesWithDefinition:
+    @settings(max_examples=25, deadline=None)
+    @given(regions(), specs(), coords, coords)
+    def test_duality_matches_basic_method(self, issuer_region, spec, x, y):
+        """Lemma 3 (duality) and Equation 2 (definition) agree."""
+        issuer = UniformPdf(issuer_region)
+        location = Point(x, y)
+        duality = ipq_probability(issuer, spec, location)
+        definition = basic_ipq_probability(issuer, spec, location, issuer_samples=900)
+        assert abs(duality - definition) < 0.05
+
+
+class TestExpansionProperties:
+    @settings(max_examples=60)
+    @given(regions(), specs(), probabilities)
+    def test_p_expanded_query_inside_minkowski(self, issuer_region, spec, p):
+        pdf = UniformPdf(issuer_region)
+        minkowski = minkowski_expanded_query(issuer_region, spec)
+        expanded = p_expanded_query(pdf, spec, p)
+        assert minkowski.contains_rect(expanded)
+
+    @settings(max_examples=60)
+    @given(regions(), specs(), probabilities, probabilities)
+    def test_p_expanded_query_monotone_in_p(self, issuer_region, spec, p1, p2):
+        low, high = min(p1, p2), max(p1, p2)
+        pdf = UniformPdf(issuer_region)
+        assert p_expanded_query(pdf, spec, low).contains_rect(p_expanded_query(pdf, spec, high))
+
+    @settings(max_examples=40)
+    @given(regions(), specs(), coords, coords)
+    def test_zero_probability_outside_minkowski_sum(self, issuer_region, spec, x, y):
+        """Lemma 1: objects outside R ⊕ U0 have zero qualification probability."""
+        location = Point(x, y)
+        expanded = minkowski_expanded_query(issuer_region, spec)
+        assume(not expanded.contains_point(location))
+        assert ipq_probability(UniformPdf(issuer_region), spec, location) == 0.0
+
+    @settings(max_examples=40)
+    @given(regions(), specs(), coords, coords, st.floats(min_value=0.05, max_value=0.5))
+    def test_points_outside_p_expanded_query_below_threshold(
+        self, issuer_region, spec, x, y, p
+    ):
+        """Definition 7: outside the p-expanded-query the probability is below p."""
+        pdf = UniformPdf(issuer_region)
+        location = Point(x, y)
+        expanded = p_expanded_query(pdf, spec, p)
+        assume(not expanded.contains_point(location))
+        assert ipq_probability(pdf, spec, location) <= p + 1e-9
+
+
+class TestPBoundProperties:
+    @settings(max_examples=60)
+    @given(regions(), st.floats(min_value=0.0, max_value=0.5))
+    def test_tail_mass_matches_p(self, region, p):
+        pdf = UniformPdf(region)
+        bound = compute_pbound(pdf, p)
+        left_tail = pdf.probability_in_rect(Rect(region.xmin, region.ymin, bound.left, region.ymax))
+        right_tail = pdf.probability_in_rect(Rect(bound.right, region.ymin, region.xmax, region.ymax))
+        assert abs(left_tail - p) < 1e-6
+        assert abs(right_tail - p) < 1e-6
+
+    @settings(max_examples=40)
+    @given(regions(), st.lists(st.floats(min_value=0.0, max_value=0.5), min_size=1, max_size=6))
+    def test_catalog_bounds_nested(self, region, levels):
+        catalog = UCatalog.build(UniformPdf(region), levels)
+        ordered = list(catalog)
+        for (_, outer), (_, inner) in zip(ordered, ordered[1:]):
+            assert outer.rect.contains_rect(inner.rect)
+
+
+class TestPruningSoundness:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        regions(),
+        regions(),
+        specs(),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_ciuq_pruning_never_drops_qualifying_objects(
+        self, issuer_region, target_region, spec, threshold
+    ):
+        issuer = UncertainObject(oid=0, pdf=UniformPdf(issuer_region)).with_catalog()
+        target = UncertainObject.uniform(1, target_region, with_catalog=True)
+        pruner = CIUQPruner(issuer, spec, threshold)
+        if pruner.decide(target).pruned:
+            exact = iuq_probability_exact_uniform(issuer.pdf, target, spec)
+            assert exact <= threshold + 1e-9

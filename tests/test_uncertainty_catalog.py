@@ -1,0 +1,103 @@
+"""Unit tests for U-catalogs (Section 5.1 of the paper)."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.catalog import (
+    DEFAULT_CATALOG_LEVELS,
+    PAPER_CATALOG_LEVELS,
+    UCatalog,
+)
+from repro.uncertainty.pbound import compute_pbound
+from repro.uncertainty.pdf import UniformPdf
+
+REGION = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture()
+def catalog() -> UCatalog:
+    return UCatalog.build(UniformPdf(REGION), DEFAULT_CATALOG_LEVELS)
+
+
+class TestConstruction:
+    def test_default_levels(self, catalog):
+        assert catalog.levels == DEFAULT_CATALOG_LEVELS
+        assert len(catalog) == len(DEFAULT_CATALOG_LEVELS)
+
+    def test_paper_levels_has_eleven_entries(self):
+        assert len(PAPER_CATALOG_LEVELS) == 11
+        assert PAPER_CATALOG_LEVELS[0] == 0.0
+        assert PAPER_CATALOG_LEVELS[-1] == 1.0
+
+    def test_build_sorts_and_deduplicates_levels(self):
+        catalog = UCatalog.build(UniformPdf(REGION), [0.3, 0.1, 0.3, 0.0])
+        assert catalog.levels == (0.0, 0.1, 0.3)
+
+    def test_mismatched_lengths_rejected(self):
+        bound = compute_pbound(UniformPdf(REGION), 0.1)
+        with pytest.raises(ValueError):
+            UCatalog(levels=(0.0, 0.1), bounds=(bound,))
+
+    def test_unsorted_levels_rejected(self):
+        bounds = tuple(compute_pbound(UniformPdf(REGION), p) for p in (0.1, 0.0))
+        with pytest.raises(ValueError):
+            UCatalog(levels=(0.1, 0.0), bounds=bounds)
+
+    def test_out_of_range_level_rejected(self):
+        bound = compute_pbound(UniformPdf(REGION), 0.1)
+        with pytest.raises(ValueError):
+            UCatalog(levels=(1.5,), bounds=(bound,))
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            UCatalog(levels=(), bounds=())
+
+
+class TestLookup:
+    def test_bound_at_exact_level(self, catalog):
+        bound = catalog.bound_at(0.2)
+        assert bound.left == pytest.approx(20.0)
+
+    def test_bound_at_missing_level_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.bound_at(0.15)
+
+    def test_largest_level_at_most(self, catalog):
+        assert catalog.largest_level_at_most(0.25) == 0.2
+        assert catalog.largest_level_at_most(0.5) == 0.5
+        assert catalog.largest_level_at_most(0.95) == 0.5
+        assert catalog.largest_level_at_most(0.0) == 0.0
+
+    def test_largest_level_at_most_below_minimum(self):
+        catalog = UCatalog.build(UniformPdf(REGION), [0.1, 0.2])
+        assert catalog.largest_level_at_most(0.05) is None
+
+    def test_smallest_level_at_least(self, catalog):
+        assert catalog.smallest_level_at_least(0.25) == 0.3
+        assert catalog.smallest_level_at_least(0.0) == 0.0
+        assert catalog.smallest_level_at_least(0.75) is None
+
+    def test_bound_for_threshold_rounds_down(self, catalog):
+        bound = catalog.bound_for_threshold(0.37)
+        assert bound is not None
+        assert bound.p == 0.3
+
+    def test_tightest_bound_at_least_rounds_up(self, catalog):
+        bound = catalog.tightest_bound_at_least(0.37)
+        assert bound is not None
+        assert bound.p == 0.4
+
+    def test_iteration_yields_pairs(self, catalog):
+        pairs = list(catalog)
+        assert [level for level, _ in pairs] == list(catalog.levels)
+
+
+class TestConservativeRounding:
+    def test_rounded_down_bound_is_looser(self, catalog):
+        """The bound at the rounded-down level must enclose the exact bound."""
+        pdf = UniformPdf(REGION)
+        threshold = 0.37
+        rounded = catalog.bound_for_threshold(threshold)
+        exact = compute_pbound(pdf, threshold)
+        assert rounded is not None
+        assert rounded.rect.contains_rect(exact.rect)

@@ -1,0 +1,99 @@
+"""Unit tests for p-bounds (Section 5.1 / Figure 4 of the paper)."""
+
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.pbound import PBound, compute_pbound, pbound_rect
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+
+REGION = Rect(0.0, 0.0, 100.0, 200.0)
+
+
+class TestUniformPBounds:
+    def test_zero_bound_is_region_boundary(self):
+        bound = compute_pbound(UniformPdf(REGION), 0.0)
+        assert bound.rect == REGION
+
+    def test_uniform_bounds_are_linear(self):
+        bound = compute_pbound(UniformPdf(REGION), 0.2)
+        assert bound.left == pytest.approx(20.0)
+        assert bound.right == pytest.approx(80.0)
+        assert bound.bottom == pytest.approx(40.0)
+        assert bound.top == pytest.approx(160.0)
+
+    def test_half_bound_degenerates_to_center_lines(self):
+        bound = compute_pbound(UniformPdf(REGION), 0.5)
+        assert bound.left == pytest.approx(50.0)
+        assert bound.right == pytest.approx(50.0)
+        assert bound.bottom == pytest.approx(100.0)
+        assert bound.top == pytest.approx(100.0)
+        assert not bound.is_degenerate
+
+    def test_values_above_half_are_clamped(self):
+        bound_high = compute_pbound(UniformPdf(REGION), 0.9)
+        bound_half = compute_pbound(UniformPdf(REGION), 0.5)
+        assert bound_high.rect == bound_half.rect
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            compute_pbound(UniformPdf(REGION), 1.5)
+
+    def test_pbound_rect_wrapper(self):
+        assert pbound_rect(UniformPdf(REGION), 0.1) == compute_pbound(UniformPdf(REGION), 0.1).rect
+
+
+class TestPBoundSemantics:
+    """The defining property: mass outside each bound line equals p."""
+
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.25, 0.4])
+    def test_mass_left_of_left_bound(self, p):
+        pdf = UniformPdf(REGION)
+        bound = compute_pbound(pdf, p)
+        left_strip = Rect(REGION.xmin, REGION.ymin, bound.left, REGION.ymax)
+        assert pdf.probability_in_rect(left_strip) == pytest.approx(p)
+
+    @pytest.mark.parametrize("p", [0.05, 0.1, 0.25, 0.4])
+    def test_mass_right_of_right_bound(self, p):
+        pdf = UniformPdf(REGION)
+        bound = compute_pbound(pdf, p)
+        right_strip = Rect(bound.right, REGION.ymin, REGION.xmax, REGION.ymax)
+        assert pdf.probability_in_rect(right_strip) == pytest.approx(p)
+
+    @pytest.mark.parametrize("p", [0.1, 0.3])
+    def test_mass_below_bottom_bound_gaussian(self, p):
+        pdf = TruncatedGaussianPdf(REGION)
+        bound = compute_pbound(pdf, p)
+        bottom_strip = Rect(REGION.xmin, REGION.ymin, REGION.xmax, bound.bottom)
+        assert pdf.probability_in_rect(bottom_strip) == pytest.approx(p, abs=1e-6)
+
+    @pytest.mark.parametrize("p", [0.1, 0.3])
+    def test_mass_above_top_bound_gaussian(self, p):
+        pdf = TruncatedGaussianPdf(REGION)
+        bound = compute_pbound(pdf, p)
+        top_strip = Rect(REGION.xmin, bound.top, REGION.xmax, REGION.ymax)
+        assert pdf.probability_in_rect(top_strip) == pytest.approx(p, abs=1e-6)
+
+
+class TestMonotonicity:
+    def test_bounds_shrink_as_p_grows(self):
+        pdf = UniformPdf(REGION)
+        previous = compute_pbound(pdf, 0.0).rect
+        for p in (0.1, 0.2, 0.3, 0.4, 0.5):
+            current = compute_pbound(pdf, p).rect
+            assert previous.contains_rect(current)
+            previous = current
+
+    def test_gaussian_bounds_nested_in_uniform_region(self):
+        pdf = TruncatedGaussianPdf(REGION)
+        for p in (0.1, 0.2, 0.4):
+            assert REGION.contains_rect(compute_pbound(pdf, p).rect)
+
+
+class TestPBoundDataclass:
+    def test_rect_property(self):
+        bound = PBound(p=0.1, left=1.0, right=9.0, bottom=2.0, top=8.0)
+        assert bound.rect == Rect(1.0, 2.0, 9.0, 8.0)
+
+    def test_degenerate_flag(self):
+        crossed = PBound(p=0.6, left=9.0, right=1.0, bottom=2.0, top=8.0)
+        assert crossed.is_degenerate

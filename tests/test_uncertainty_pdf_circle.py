@@ -1,0 +1,76 @@
+"""Unit tests for the uniform-over-circle pdf (non-rectangular extension)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import UniformCirclePdf
+from repro.uncertainty.sampling import monte_carlo_rect_probability
+
+
+@pytest.fixture()
+def pdf() -> UniformCirclePdf:
+    return UniformCirclePdf(Circle(Point(100.0, 100.0), 50.0))
+
+
+class TestBasics:
+    def test_rejects_zero_radius(self):
+        with pytest.raises(ValueError):
+            UniformCirclePdf(Circle(Point(0.0, 0.0), 0.0))
+
+    def test_region_is_bounding_square(self, pdf):
+        assert pdf.region == Rect(50.0, 50.0, 150.0, 150.0)
+
+    def test_not_closed_form(self, pdf):
+        assert not pdf.has_closed_form
+
+    def test_density_inside_and_outside(self, pdf):
+        assert pdf.density(100.0, 100.0) > 0.0
+        # Inside the bounding square but outside the disc.
+        assert pdf.density(52.0, 52.0) == 0.0
+
+
+class TestProbability:
+    def test_bounding_rect_gives_one(self, pdf):
+        assert pdf.probability_in_rect(pdf.region) == pytest.approx(1.0, abs=1e-3)
+
+    def test_half_plane_gives_half(self, pdf):
+        left = Rect(0.0, 0.0, 100.0, 200.0)
+        assert pdf.probability_in_rect(left) == pytest.approx(0.5, abs=0.01)
+
+    def test_disjoint_gives_zero(self, pdf):
+        assert pdf.probability_in_rect(Rect(500.0, 500.0, 600.0, 600.0)) == 0.0
+
+    def test_matches_monte_carlo(self, pdf, rng):
+        rect = Rect(80.0, 60.0, 140.0, 120.0)
+        estimate = monte_carlo_rect_probability(pdf, rect, 30_000, rng)
+        assert pdf.probability_in_rect(rect) == pytest.approx(estimate, abs=0.02)
+
+
+class TestMarginals:
+    def test_cdf_center_is_half(self, pdf):
+        assert pdf.marginal_cdf_x(100.0) == pytest.approx(0.5)
+        assert pdf.marginal_cdf_y(100.0) == pytest.approx(0.5)
+
+    def test_cdf_endpoints(self, pdf):
+        assert pdf.marginal_cdf_x(50.0) == 0.0
+        assert pdf.marginal_cdf_x(150.0) == 1.0
+
+    def test_quantile_inverts_cdf(self, pdf):
+        for p in (0.1, 0.4, 0.5, 0.8):
+            x = pdf.marginal_quantile_x(p)
+            assert pdf.marginal_cdf_x(x) == pytest.approx(p, abs=1e-6)
+
+
+class TestSampling:
+    def test_samples_inside_disc(self, pdf, rng):
+        draws = pdf.sample(rng, 5_000)
+        distances = np.hypot(draws[:, 0] - 100.0, draws[:, 1] - 100.0)
+        assert np.all(distances <= 50.0 + 1e-9)
+
+    def test_sample_mean_near_center(self, pdf, rng):
+        draws = pdf.sample(rng, 20_000)
+        assert float(draws[:, 0].mean()) == pytest.approx(100.0, abs=1.5)
+        assert float(draws[:, 1].mean()) == pytest.approx(100.0, abs=1.5)

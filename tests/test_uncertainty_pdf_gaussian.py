@@ -1,0 +1,106 @@
+"""Unit tests for the truncated Gaussian uncertainty pdf."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import TruncatedGaussianPdf
+from repro.uncertainty.sampling import grid_rect_probability, monte_carlo_rect_probability
+
+REGION = Rect(0.0, 0.0, 600.0, 600.0)
+
+
+@pytest.fixture()
+def pdf() -> TruncatedGaussianPdf:
+    return TruncatedGaussianPdf(REGION)
+
+
+class TestConstruction:
+    def test_default_sigma_is_one_sixth_of_extent(self, pdf):
+        assert pdf.sigma == (pytest.approx(100.0), pytest.approx(100.0))
+
+    def test_explicit_sigma(self):
+        pdf = TruncatedGaussianPdf(REGION, sigma_x=50.0, sigma_y=25.0)
+        assert pdf.sigma == (50.0, 25.0)
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianPdf(REGION, sigma_x=0.0)
+
+    def test_rejects_degenerate_region(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianPdf(Rect(0.0, 0.0, 0.0, 10.0))
+
+    def test_mean_is_region_center(self, pdf):
+        assert pdf.mean().as_tuple() == (300.0, 300.0)
+
+
+class TestRectProbability:
+    def test_full_region_gives_one(self, pdf):
+        assert pdf.probability_in_rect(REGION) == pytest.approx(1.0)
+
+    def test_disjoint_gives_zero(self, pdf):
+        assert pdf.probability_in_rect(Rect(1000.0, 1000.0, 1100.0, 1100.0)) == 0.0
+
+    def test_half_region_is_half_by_symmetry(self, pdf):
+        left = Rect(0.0, 0.0, 300.0, 600.0)
+        assert pdf.probability_in_rect(left) == pytest.approx(0.5, abs=1e-9)
+
+    def test_center_concentration(self, pdf):
+        # A central box of half the side length holds far more than the
+        # uniform share (0.25) of the mass because the Gaussian concentrates.
+        central = Rect(150.0, 150.0, 450.0, 450.0)
+        assert pdf.probability_in_rect(central) > 0.55
+
+    def test_matches_monte_carlo(self, pdf, rng):
+        rect = Rect(100.0, 200.0, 400.0, 500.0)
+        exact = pdf.probability_in_rect(rect)
+        estimate = monte_carlo_rect_probability(pdf, rect, 30_000, rng)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+    def test_matches_grid_integration(self, pdf):
+        rect = Rect(50.0, 50.0, 350.0, 250.0)
+        exact = pdf.probability_in_rect(rect)
+        numeric = grid_rect_probability(pdf, rect, resolution=96)
+        assert numeric == pytest.approx(exact, abs=0.02)
+
+
+class TestMarginals:
+    def test_cdf_monotone(self, pdf):
+        xs = np.linspace(0.0, 600.0, 25)
+        values = [pdf.marginal_cdf_x(float(x)) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_cdf_endpoints(self, pdf):
+        assert pdf.marginal_cdf_x(0.0) == 0.0
+        assert pdf.marginal_cdf_x(600.0) == 1.0
+
+    def test_median_is_center(self, pdf):
+        assert pdf.marginal_quantile_x(0.5) == pytest.approx(300.0, abs=1e-6)
+        assert pdf.marginal_quantile_y(0.5) == pytest.approx(300.0, abs=1e-6)
+
+    def test_quantile_inverts_cdf(self, pdf):
+        for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+            assert pdf.marginal_cdf_x(pdf.marginal_quantile_x(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_quantiles_tighter_than_uniform(self, pdf):
+        # Gaussian mass concentrates at the centre, so the 0.1-quantile lies
+        # farther from the boundary than the uniform one would (60.0).
+        assert pdf.marginal_quantile_x(0.1) > 60.0
+
+
+class TestSampling:
+    def test_samples_inside_region(self, pdf, rng):
+        draws = pdf.sample(rng, 5_000)
+        assert np.all(draws[:, 0] >= REGION.xmin) and np.all(draws[:, 0] <= REGION.xmax)
+        assert np.all(draws[:, 1] >= REGION.ymin) and np.all(draws[:, 1] <= REGION.ymax)
+
+    def test_sample_mean_near_center(self, pdf, rng):
+        draws = pdf.sample(rng, 20_000)
+        assert float(draws[:, 0].mean()) == pytest.approx(300.0, abs=5.0)
+        assert float(draws[:, 1].mean()) == pytest.approx(300.0, abs=5.0)
+
+    def test_sample_std_matches_sigma(self, pdf, rng):
+        draws = pdf.sample(rng, 20_000)
+        # Truncation at ±3σ slightly shrinks the standard deviation.
+        assert float(draws[:, 0].std()) == pytest.approx(100.0, rel=0.1)

@@ -1,0 +1,105 @@
+"""Unit tests for the histogram (piecewise-constant) uncertainty pdf."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import HistogramPdf, UniformPdf
+
+REGION = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestConstruction:
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            HistogramPdf(REGION, [[1.0, -1.0]])
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            HistogramPdf(REGION, [[0.0, 0.0], [0.0, 0.0]])
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            HistogramPdf(REGION, [])
+
+    def test_rejects_degenerate_region(self):
+        with pytest.raises(ValueError):
+            HistogramPdf(Rect(0.0, 0.0, 0.0, 1.0), [[1.0]])
+
+    def test_shape(self):
+        pdf = HistogramPdf(REGION, [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        assert pdf.shape == (2, 3)
+
+
+class TestProbability:
+    def test_single_bin_matches_uniform(self, rng):
+        histogram = HistogramPdf(REGION, [[1.0]])
+        uniform = UniformPdf(REGION)
+        for rect in (
+            Rect(0.0, 0.0, 50.0, 50.0),
+            Rect(25.0, 10.0, 80.0, 90.0),
+            Rect(-10.0, -10.0, 10.0, 10.0),
+        ):
+            assert histogram.probability_in_rect(rect) == pytest.approx(
+                uniform.probability_in_rect(rect)
+            )
+
+    def test_mass_concentrated_in_one_bin(self):
+        # All mass in the lower-left quadrant bin.
+        pdf = HistogramPdf(REGION, [[1.0, 0.0], [0.0, 0.0]])
+        lower_left = Rect(0.0, 0.0, 50.0, 50.0)
+        upper_right = Rect(50.0, 50.0, 100.0, 100.0)
+        assert pdf.probability_in_rect(lower_left) == pytest.approx(1.0)
+        assert pdf.probability_in_rect(upper_right) == pytest.approx(0.0)
+
+    def test_full_region_gives_one(self):
+        pdf = HistogramPdf(REGION, [[1.0, 2.0], [3.0, 4.0]])
+        assert pdf.probability_in_rect(REGION) == pytest.approx(1.0)
+
+    def test_partial_bin_overlap_is_proportional(self):
+        pdf = HistogramPdf(REGION, [[1.0]])
+        quarter_bin = Rect(0.0, 0.0, 25.0, 100.0)
+        assert pdf.probability_in_rect(quarter_bin) == pytest.approx(0.25)
+
+    def test_weights_are_normalised(self):
+        pdf = HistogramPdf(REGION, [[2.0, 2.0], [2.0, 2.0]])
+        half = Rect(0.0, 0.0, 100.0, 50.0)
+        assert pdf.probability_in_rect(half) == pytest.approx(0.5)
+
+
+class TestDensityAndMarginals:
+    def test_density_outside_region_is_zero(self):
+        pdf = HistogramPdf(REGION, [[1.0]])
+        assert pdf.density(150.0, 50.0) == 0.0
+
+    def test_density_reflects_bin_weight(self):
+        pdf = HistogramPdf(REGION, [[3.0, 1.0]])
+        assert pdf.density(10.0, 50.0) > pdf.density(90.0, 50.0)
+
+    def test_marginal_cdf_monotone(self):
+        pdf = HistogramPdf(REGION, [[1.0, 3.0], [2.0, 1.0]])
+        xs = np.linspace(0.0, 100.0, 21)
+        values = [pdf.marginal_cdf_x(float(x)) for x in xs]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+        assert values[0] == pytest.approx(0.0)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_quantile_inverts_cdf(self):
+        pdf = HistogramPdf(REGION, [[1.0, 3.0], [2.0, 1.0]])
+        for p in (0.1, 0.5, 0.9):
+            x = pdf.marginal_quantile_x(p)
+            assert pdf.marginal_cdf_x(x) == pytest.approx(p, abs=1e-3)
+
+
+class TestSampling:
+    def test_samples_follow_bin_weights(self, rng):
+        pdf = HistogramPdf(REGION, [[1.0, 0.0], [0.0, 0.0]])
+        draws = pdf.sample(rng, 2_000)
+        assert np.all(draws[:, 0] <= 50.0 + 1e-9)
+        assert np.all(draws[:, 1] <= 50.0 + 1e-9)
+
+    def test_sampled_fraction_matches_weight(self, rng):
+        pdf = HistogramPdf(REGION, [[3.0, 1.0]])
+        draws = pdf.sample(rng, 20_000)
+        left_fraction = float(np.count_nonzero(draws[:, 0] < 50.0)) / len(draws)
+        assert left_fraction == pytest.approx(0.75, abs=0.02)

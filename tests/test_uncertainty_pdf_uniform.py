@@ -1,0 +1,105 @@
+"""Unit tests for the uniform uncertainty pdf."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import UniformPdf
+from repro.uncertainty.sampling import monte_carlo_rect_probability
+
+REGION = Rect(0.0, 0.0, 100.0, 50.0)
+
+
+@pytest.fixture()
+def pdf() -> UniformPdf:
+    return UniformPdf(REGION)
+
+
+class TestConstruction:
+    def test_rejects_empty_region(self):
+        with pytest.raises(ValueError):
+            UniformPdf(Rect.empty())
+
+    def test_rejects_degenerate_region(self):
+        with pytest.raises(ValueError):
+            UniformPdf(Rect(0.0, 0.0, 0.0, 10.0))
+
+    def test_region_exposed(self, pdf):
+        assert pdf.region == REGION
+
+    def test_has_closed_form(self, pdf):
+        assert pdf.has_closed_form
+
+
+class TestDensity:
+    def test_density_inside_is_inverse_area(self, pdf):
+        assert pdf.density(50.0, 25.0) == pytest.approx(1.0 / REGION.area)
+
+    def test_density_outside_is_zero(self, pdf):
+        assert pdf.density(200.0, 25.0) == 0.0
+
+    def test_density_integrates_to_one(self, pdf):
+        assert pdf.density(1.0, 1.0) * REGION.area == pytest.approx(1.0)
+
+
+class TestRectProbability:
+    def test_full_region_gives_one(self, pdf):
+        assert pdf.probability_in_rect(REGION) == pytest.approx(1.0)
+
+    def test_superset_gives_one(self, pdf):
+        assert pdf.probability_in_rect(REGION.expand(10.0)) == pytest.approx(1.0)
+
+    def test_disjoint_gives_zero(self, pdf):
+        assert pdf.probability_in_rect(Rect(200.0, 200.0, 300.0, 300.0)) == 0.0
+
+    def test_half_region(self, pdf):
+        left_half = Rect(0.0, 0.0, 50.0, 50.0)
+        assert pdf.probability_in_rect(left_half) == pytest.approx(0.5)
+
+    def test_quarter_region(self, pdf):
+        quarter = Rect(0.0, 0.0, 50.0, 25.0)
+        assert pdf.probability_in_rect(quarter) == pytest.approx(0.25)
+
+    def test_matches_monte_carlo(self, pdf, rng):
+        rect = Rect(10.0, 5.0, 60.0, 45.0)
+        exact = pdf.probability_in_rect(rect)
+        estimate = monte_carlo_rect_probability(pdf, rect, 20_000, rng)
+        assert estimate == pytest.approx(exact, abs=0.02)
+
+
+class TestMarginals:
+    def test_cdf_endpoints(self, pdf):
+        assert pdf.marginal_cdf_x(0.0) == 0.0
+        assert pdf.marginal_cdf_x(100.0) == 1.0
+        assert pdf.marginal_cdf_y(0.0) == 0.0
+        assert pdf.marginal_cdf_y(50.0) == 1.0
+
+    def test_cdf_linear(self, pdf):
+        assert pdf.marginal_cdf_x(25.0) == pytest.approx(0.25)
+        assert pdf.marginal_cdf_y(25.0) == pytest.approx(0.5)
+
+    def test_quantile_inverts_cdf(self, pdf):
+        for p in (0.0, 0.1, 0.33, 0.5, 0.9, 1.0):
+            assert pdf.marginal_cdf_x(pdf.marginal_quantile_x(p)) == pytest.approx(p)
+            assert pdf.marginal_cdf_y(pdf.marginal_quantile_y(p)) == pytest.approx(p)
+
+    def test_quantile_out_of_range_rejected(self, pdf):
+        with pytest.raises(ValueError):
+            pdf.marginal_quantile_x(1.5)
+
+
+class TestSampling:
+    def test_samples_inside_region(self, pdf, rng):
+        draws = pdf.sample(rng, 1_000)
+        assert draws.shape == (1_000, 2)
+        assert np.all(draws[:, 0] >= REGION.xmin) and np.all(draws[:, 0] <= REGION.xmax)
+        assert np.all(draws[:, 1] >= REGION.ymin) and np.all(draws[:, 1] <= REGION.ymax)
+
+    def test_sample_mean_near_center(self, pdf, rng):
+        draws = pdf.sample(rng, 20_000)
+        assert float(draws[:, 0].mean()) == pytest.approx(REGION.center.x, rel=0.02)
+        assert float(draws[:, 1].mean()) == pytest.approx(REGION.center.y, rel=0.02)
+
+    def test_mean_is_region_center(self, pdf):
+        assert pdf.mean() == Point(50.0, 25.0)

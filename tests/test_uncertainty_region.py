@@ -1,0 +1,65 @@
+"""Unit tests for point and uncertain object wrappers."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.region import PointObject, UncertainObject
+
+REGION = Rect(10.0, 20.0, 110.0, 220.0)
+
+
+class TestPointObject:
+    def test_at_constructor(self):
+        obj = PointObject.at(3, 1.0, 2.0)
+        assert obj.oid == 3
+        assert obj.location == Point(1.0, 2.0)
+        assert obj.x == 1.0 and obj.y == 2.0
+
+    def test_mbr_is_degenerate(self):
+        obj = PointObject.at(0, 5.0, 6.0)
+        assert obj.mbr.area == 0.0
+        assert obj.mbr.contains_point(obj.location)
+
+    def test_equality(self):
+        assert PointObject.at(1, 2.0, 3.0) == PointObject.at(1, 2.0, 3.0)
+
+
+class TestUncertainObject:
+    def test_uniform_constructor(self):
+        obj = UncertainObject.uniform(7, REGION)
+        assert obj.oid == 7
+        assert isinstance(obj.pdf, UniformPdf)
+        assert obj.region == REGION
+        assert obj.catalog is None
+
+    def test_uniform_constructor_with_catalog(self):
+        obj = UncertainObject.uniform(7, REGION, with_catalog=True)
+        assert obj.catalog is not None
+        assert obj.catalog.levels == DEFAULT_CATALOG_LEVELS
+
+    def test_mbr_equals_region(self):
+        obj = UncertainObject.uniform(0, REGION)
+        assert obj.mbr == obj.region
+
+    def test_with_catalog_builds_requested_levels(self):
+        obj = UncertainObject.uniform(0, REGION).with_catalog([0.0, 0.25])
+        assert obj.catalog is not None
+        assert obj.catalog.levels == (0.0, 0.25)
+
+    def test_with_catalog_preserves_identity_and_pdf(self):
+        base = UncertainObject(oid=5, pdf=TruncatedGaussianPdf(REGION))
+        enriched = base.with_catalog()
+        assert enriched.oid == base.oid
+        assert enriched.pdf is base.pdf
+
+    def test_probability_in_rect_delegates_to_pdf(self):
+        obj = UncertainObject.uniform(0, Rect(0.0, 0.0, 10.0, 10.0))
+        assert obj.probability_in_rect(Rect(0.0, 0.0, 5.0, 10.0)) == pytest.approx(0.5)
+
+    def test_catalog_excluded_from_equality(self):
+        plain = UncertainObject.uniform(1, REGION)
+        with_cat = plain.with_catalog()
+        assert plain == with_cat

@@ -1,0 +1,102 @@
+"""Unit tests for the sampling / numerical-integration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.sampling import (
+    PAPER_SAMPLES_CIPQ,
+    PAPER_SAMPLES_CIUQ,
+    grid_expectation,
+    grid_rect_probability,
+    monte_carlo_expectation,
+    monte_carlo_rect_probability,
+    sample_points,
+)
+
+REGION = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestConstants:
+    def test_paper_sample_counts(self):
+        # Section 6.2: at least 200 samples for C-IPQ and 250 for C-IUQ.
+        assert PAPER_SAMPLES_CIPQ == 200
+        assert PAPER_SAMPLES_CIUQ == 250
+
+
+class TestSamplePoints:
+    def test_returns_points_inside_region(self, rng):
+        points = sample_points(UniformPdf(REGION), 100, rng)
+        assert len(points) == 100
+        assert all(isinstance(p, Point) for p in points)
+        assert all(REGION.contains_point(p) for p in points)
+
+    def test_rejects_non_positive_count(self, rng):
+        with pytest.raises(ValueError):
+            sample_points(UniformPdf(REGION), 0, rng)
+
+
+class TestMonteCarloRectProbability:
+    def test_uniform_half(self, rng):
+        estimate = monte_carlo_rect_probability(
+            UniformPdf(REGION), Rect(0.0, 0.0, 50.0, 100.0), 20_000, rng
+        )
+        assert estimate == pytest.approx(0.5, abs=0.02)
+
+    def test_empty_rect_gives_zero(self, rng):
+        assert monte_carlo_rect_probability(UniformPdf(REGION), Rect.empty(), 100, rng) == 0.0
+
+    def test_rejects_non_positive_samples(self, rng):
+        with pytest.raises(ValueError):
+            monte_carlo_rect_probability(UniformPdf(REGION), REGION, -1, rng)
+
+
+class TestMonteCarloExpectation:
+    def test_expectation_of_constant(self, rng):
+        value = monte_carlo_expectation(UniformPdf(REGION), lambda x, y: 0.7, 500, rng)
+        assert value == pytest.approx(0.7)
+
+    def test_expectation_of_coordinate(self, rng):
+        value = monte_carlo_expectation(UniformPdf(REGION), lambda x, y: x, 20_000, rng)
+        assert value == pytest.approx(50.0, rel=0.03)
+
+
+class TestGridIntegration:
+    def test_grid_probability_matches_uniform_closed_form(self):
+        pdf = UniformPdf(REGION)
+        rect = Rect(10.0, 20.0, 60.0, 90.0)
+        assert grid_rect_probability(pdf, rect, resolution=50) == pytest.approx(
+            pdf.probability_in_rect(rect), abs=1e-6
+        )
+
+    def test_grid_probability_matches_gaussian_closed_form(self):
+        pdf = TruncatedGaussianPdf(REGION)
+        rect = Rect(25.0, 25.0, 75.0, 75.0)
+        assert grid_rect_probability(pdf, rect, resolution=80) == pytest.approx(
+            pdf.probability_in_rect(rect), abs=0.01
+        )
+
+    def test_grid_probability_disjoint_is_zero(self):
+        assert grid_rect_probability(UniformPdf(REGION), Rect(500.0, 0.0, 600.0, 10.0)) == 0.0
+
+    def test_grid_expectation_of_constant(self):
+        assert grid_expectation(UniformPdf(REGION), lambda x, y: 2.5, 16) == pytest.approx(2.5)
+
+    def test_grid_expectation_of_coordinate(self):
+        value = grid_expectation(UniformPdf(REGION), lambda x, y: y, 32)
+        assert value == pytest.approx(50.0, rel=1e-6)
+
+    def test_rejects_non_positive_resolution(self):
+        with pytest.raises(ValueError):
+            grid_rect_probability(UniformPdf(REGION), REGION, resolution=0)
+        with pytest.raises(ValueError):
+            grid_expectation(UniformPdf(REGION), lambda x, y: 1.0, 0)
+
+    def test_monte_carlo_agrees_with_grid_for_gaussian(self, rng):
+        pdf = TruncatedGaussianPdf(REGION)
+        rect = Rect(30.0, 10.0, 80.0, 60.0)
+        mc = monte_carlo_rect_probability(pdf, rect, 30_000, rng)
+        grid = grid_rect_probability(pdf, rect, resolution=80)
+        assert mc == pytest.approx(grid, abs=0.02)
