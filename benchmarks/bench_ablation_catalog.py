@@ -9,6 +9,7 @@ the threshold less coarsely, at the cost of larger pre-computed structures.
 import numpy as np
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import ImpreciseQueryEngine, UncertainDatabase
 
 from benchmarks.conftest import issuer_for
@@ -30,5 +31,5 @@ def test_ciuq_catalog_resolution(benchmark, database_with_catalog_size):
     engine = ImpreciseQueryEngine(uncertain_db=database)
     issuer, spec = issuer_for(250.0, threshold=THRESHOLD)
     benchmark.extra_info["catalog_levels"] = size
-    result = benchmark(lambda: engine.evaluate_ciuq(issuer, spec, THRESHOLD))
-    assert all(answer.probability >= THRESHOLD for answer in result[0])
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ciuq(issuer, spec, THRESHOLD)))
+    assert all(answer.probability >= THRESHOLD for answer in result)

@@ -8,6 +8,7 @@ is clearly slower once the dataset is non-trivial.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import ImpreciseQueryEngine, PointDatabase
 
 from benchmarks.conftest import issuer_for
@@ -26,8 +27,8 @@ def test_ipq_by_index_kind(benchmark, point_db_by_kind):
     engine = ImpreciseQueryEngine(point_db=database)
     issuer, spec = issuer_for(250.0)
     benchmark.extra_info["index"] = kind
-    result = benchmark(lambda: engine.evaluate_ipq(issuer, spec))
-    assert result[1].candidates_examined >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ipq(issuer, spec)))
+    assert result.statistics.candidates_examined >= 0
 
 
 def test_rtree_bulk_load_construction(benchmark, point_objects):

@@ -8,6 +8,7 @@ cost scales with the sample count (accuracy is covered by
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine
 
 from benchmarks.conftest import issuer_for
@@ -23,8 +24,8 @@ def test_gaussian_cipq_cost_vs_samples(benchmark, point_db, samples):
         config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=samples),
     )
     issuer, spec = issuer_for(250.0, pdf="gaussian", threshold=0.3)
-    result = benchmark(lambda: engine.evaluate_cipq(issuer, spec, 0.3))
-    assert result[1].monte_carlo_samples >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.cipq(issuer, spec, 0.3)))
+    assert result.statistics.monte_carlo_samples >= 0
 
 
 @pytest.mark.parametrize("samples", SAMPLE_COUNTS)
@@ -35,5 +36,5 @@ def test_gaussian_ciuq_cost_vs_samples(benchmark, uncertain_db_pti, samples):
         config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=samples),
     )
     issuer, spec = issuer_for(250.0, pdf="gaussian", threshold=0.3)
-    result = benchmark(lambda: engine.evaluate_ciuq(issuer, spec, 0.3))
-    assert result[1].monte_carlo_samples >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ciuq(issuer, spec, 0.3)))
+    assert result.statistics.monte_carlo_samples >= 0

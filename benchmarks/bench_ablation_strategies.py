@@ -9,6 +9,7 @@ strategies alone.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine
 from repro.core.pruning import ALL_STRATEGIES, PruningStrategy
 
@@ -37,5 +38,5 @@ def test_ciuq_strategy_subset(benchmark, uncertain_db_rtree, subset):
         ),
     )
     issuer, spec = issuer_for(250.0, threshold=THRESHOLD)
-    result = benchmark(lambda: engine.evaluate_ciuq(issuer, spec, THRESHOLD))
-    assert all(answer.probability >= THRESHOLD for answer in result[0])
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ciuq(issuer, spec, THRESHOLD)))
+    assert all(answer.probability >= THRESHOLD for answer in result)

@@ -1,0 +1,112 @@
+"""Micro-benchmark: per-query ``evaluate()`` loop vs ``evaluate_many()``.
+
+Reproduces the paper's batch methodology (Figure 9's workload: 500 uniform
+queries per data point over the California-like point dataset) through both
+execution paths and reports throughput in queries per second.  Results are
+written to ``BENCH_api_batch.json`` next to the repository root so CI and
+future sessions can track the batch path's overhead.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_api_batch.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (dataset scale, default 0.02),
+``REPRO_BENCH_QUERIES`` (batch size, default 500) and ``REPRO_BENCH_REPEATS``
+(timing repetitions, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase
+from repro.core.queries import RangeQuery
+from repro.datasets.tiger import california_points
+from repro.datasets.workload import QueryWorkload
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_api_batch.json"
+
+
+def _build_queries(count: int) -> list[RangeQuery]:
+    workload = QueryWorkload(
+        issuer_half_size=250.0, range_half_size=500.0, seed=4711
+    )
+    spec = workload.spec
+    return [RangeQuery.ipq(issuer, spec) for issuer in workload.issuers(count)]
+
+
+def _fresh_engine(scale: float) -> ImpreciseQueryEngine:
+    database = PointDatabase.build(california_points(scale=scale))
+    return ImpreciseQueryEngine(point_db=database, config=EngineConfig())
+
+
+def _time_interleaved(runs: dict[str, object], repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` wall-clock time per run, in seconds.
+
+    The contenders are interleaved within each repeat so that clock-frequency
+    drift or cache warm-up does not systematically favour whichever path
+    happens to be measured last.
+    """
+    best = {name: float("inf") for name in runs}
+    for _ in range(repeats):
+        for name, run in runs.items():
+            started = time.perf_counter()
+            run()
+            best[name] = min(best[name], time.perf_counter() - started)
+    return best
+
+
+def main() -> dict:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+    count = int(os.environ.get("REPRO_BENCH_QUERIES", "500"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    queries = _build_queries(count)
+
+    # Fresh engines per path so neither benefits from the other's warm state;
+    # a throwaway first run per path pays the one-time import/JIT costs.
+    loop_engine = _fresh_engine(scale)
+    batch_engine = _fresh_engine(scale)
+
+    # The loop collects its results like evaluate_many does, so the two
+    # paths produce (and keep alive) the same output and the comparison
+    # isolates the execution machinery.
+    def per_query_loop() -> list:
+        return [loop_engine.evaluate(query) for query in queries]
+
+    def batch() -> list:
+        return batch_engine.evaluate_many(queries)
+
+    per_query_loop()
+    batch()
+    timings = _time_interleaved(
+        {"per_query_loop": per_query_loop, "evaluate_many": batch}, repeats
+    )
+    loop_seconds = timings["per_query_loop"]
+    batch_seconds = timings["evaluate_many"]
+
+    report = {
+        "benchmark": "api_batch",
+        "dataset_scale": scale,
+        "queries": count,
+        "repeats": repeats,
+        "per_query_loop": {
+            "seconds": loop_seconds,
+            "queries_per_second": count / loop_seconds,
+        },
+        "evaluate_many": {
+            "seconds": batch_seconds,
+            "queries_per_second": count / batch_seconds,
+        },
+        "batch_speedup": loop_seconds / batch_seconds,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwritten to {OUTPUT_PATH}")
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.basic import BasicEvaluator
 from repro.core.engine import ImpreciseQueryEngine
-from repro.core.queries import ImpreciseRangeQuery
+from repro.core.queries import ImpreciseRangeQuery, RangeQuery
 
 from benchmarks.conftest import issuer_for
 
@@ -23,8 +23,8 @@ def test_enhanced_iuq(benchmark, uncertain_db_rtree, u):
     """Enhanced evaluation: Minkowski filter + closed-form Equation 8."""
     engine = ImpreciseQueryEngine(uncertain_db=uncertain_db_rtree)
     issuer, spec = issuer_for(u)
-    result = benchmark(lambda: engine.evaluate_iuq(issuer, spec))
-    assert result[0] is not None
+    result = benchmark(lambda: engine.evaluate(RangeQuery.iuq(issuer, spec)))
+    assert result.result is not None
 
 
 @pytest.mark.parametrize("u", U_VALUES)

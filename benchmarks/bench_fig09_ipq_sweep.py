@@ -7,6 +7,7 @@ candidate set) grows with both.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import ImpreciseQueryEngine
 
 from benchmarks.conftest import workload_for
@@ -23,5 +24,5 @@ def test_ipq_response_time(benchmark, point_db, u, w):
     workload = workload_for(u, w)
     issuer = next(workload.issuers(1))
     spec = workload.spec
-    result = benchmark(lambda: engine.evaluate_ipq(issuer, spec))
-    assert result[1].candidates_examined >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ipq(issuer, spec)))
+    assert result.statistics.candidates_examined >= 0

@@ -8,6 +8,7 @@ integration instead of a point containment test.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import ImpreciseQueryEngine
 
 from benchmarks.conftest import workload_for
@@ -24,5 +25,5 @@ def test_iuq_response_time(benchmark, uncertain_db_rtree, u, w):
     workload = workload_for(u, w)
     issuer = next(workload.issuers(1))
     spec = workload.spec
-    result = benchmark(lambda: engine.evaluate_iuq(issuer, spec))
-    assert result[1].candidates_examined >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.iuq(issuer, spec)))
+    assert result.statistics.candidates_examined >= 0

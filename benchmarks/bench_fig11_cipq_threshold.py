@@ -8,6 +8,7 @@ shrinks with the threshold while the Minkowski window does not.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine
 
 from benchmarks.conftest import issuer_for
@@ -22,8 +23,8 @@ def test_cipq_minkowski_sum(benchmark, point_db, qp):
         point_db=point_db, config=EngineConfig(use_p_expanded_query=False)
     )
     issuer, spec = issuer_for(250.0, threshold=qp)
-    result = benchmark(lambda: engine.evaluate_cipq(issuer, spec, qp))
-    assert all(answer.probability >= qp for answer in result[0])
+    result = benchmark(lambda: engine.evaluate(RangeQuery.cipq(issuer, spec, qp)))
+    assert all(answer.probability >= qp for answer in result)
 
 
 @pytest.mark.parametrize("qp", THRESHOLDS)
@@ -33,5 +34,5 @@ def test_cipq_p_expanded_query(benchmark, point_db, qp):
         point_db=point_db, config=EngineConfig(use_p_expanded_query=True)
     )
     issuer, spec = issuer_for(250.0, threshold=qp)
-    result = benchmark(lambda: engine.evaluate_cipq(issuer, spec, qp))
-    assert all(answer.probability >= qp for answer in result[0])
+    result = benchmark(lambda: engine.evaluate(RangeQuery.cipq(issuer, spec, qp)))
+    assert all(answer.probability >= qp for answer in result)

@@ -8,6 +8,7 @@ than points.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine
 
 from benchmarks.conftest import issuer_for
@@ -25,8 +26,8 @@ def test_ciuq_rtree_minkowski(benchmark, uncertain_db_rtree, qp):
         ),
     )
     issuer, spec = issuer_for(250.0, threshold=qp)
-    result = benchmark(lambda: engine.evaluate_ciuq(issuer, spec, qp))
-    assert all(answer.probability >= qp for answer in result[0])
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ciuq(issuer, spec, qp)))
+    assert all(answer.probability >= qp for answer in result)
 
 
 @pytest.mark.parametrize("qp", THRESHOLDS)
@@ -37,5 +38,5 @@ def test_ciuq_pti_p_expanded(benchmark, uncertain_db_pti, qp):
         config=EngineConfig(use_p_expanded_query=True, use_pti_pruning=True),
     )
     issuer, spec = issuer_for(250.0, threshold=qp)
-    result = benchmark(lambda: engine.evaluate_ciuq(issuer, spec, qp))
-    assert all(answer.probability >= qp for answer in result[0])
+    result = benchmark(lambda: engine.evaluate(RangeQuery.ciuq(issuer, spec, qp)))
+    assert all(answer.probability >= qp for answer in result)

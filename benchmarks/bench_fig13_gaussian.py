@@ -9,6 +9,7 @@ higher absolute cost.
 
 import pytest
 
+from repro.core.queries import RangeQuery
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine
 
 from benchmarks.conftest import issuer_for
@@ -33,8 +34,8 @@ def test_gaussian_cipq_minkowski_sum(benchmark, point_db, qp):
     """Gaussian issuer, Monte-Carlo probabilities, Minkowski-sum filter."""
     engine = _engine(point_db, use_p_expanded=False)
     issuer, spec = issuer_for(250.0, pdf="gaussian", threshold=qp)
-    result = benchmark(lambda: engine.evaluate_cipq(issuer, spec, qp))
-    assert result[1].candidates_examined >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.cipq(issuer, spec, qp)))
+    assert result.statistics.candidates_examined >= 0
 
 
 @pytest.mark.parametrize("qp", THRESHOLDS)
@@ -42,5 +43,5 @@ def test_gaussian_cipq_p_expanded_query(benchmark, point_db, qp):
     """Gaussian issuer, Monte-Carlo probabilities, Qp-expanded-query filter."""
     engine = _engine(point_db, use_p_expanded=True)
     issuer, spec = issuer_for(250.0, pdf="gaussian", threshold=qp)
-    result = benchmark(lambda: engine.evaluate_cipq(issuer, spec, qp))
-    assert result[1].candidates_examined >= 0
+    result = benchmark(lambda: engine.evaluate(RangeQuery.cipq(issuer, spec, qp)))
+    assert result.statistics.candidates_examined >= 0

@@ -15,6 +15,7 @@ import os
 import pytest
 
 from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.core.queries import RangeQuery, RangeQueryTarget
 from repro.datasets.tiger import california_points, long_beach_uncertain_objects
 from repro.datasets.workload import QueryWorkload
 from repro.uncertainty.catalog import PAPER_CATALOG_LEVELS
@@ -69,6 +70,28 @@ def issuer_for(u: float, *, pdf: str = "uniform", threshold: float = 0.0, seed: 
         seed=seed,
     )
     return next(workload.issuers(1)), workload.spec
+
+
+def range_query_for(
+    u: float,
+    w: float = 500.0,
+    *,
+    target: RangeQueryTarget,
+    threshold: float = 0.0,
+    pdf: str = "uniform",
+    seed: int = 4711,
+) -> RangeQuery:
+    """A representative query in the unified query-object model."""
+    workload = QueryWorkload(
+        issuer_half_size=u,
+        range_half_size=w,
+        threshold=threshold,
+        issuer_pdf=pdf,  # type: ignore[arg-type]
+        catalog_levels=PAPER_CATALOG_LEVELS,
+        seed=seed,
+    )
+    issuer = next(workload.issuers(1))
+    return RangeQuery(issuer=issuer, spec=workload.spec, threshold=threshold, target=target)
 
 
 def workload_for(u: float, w: float, *, pdf: str = "uniform", seed: int = 4711) -> QueryWorkload:

@@ -24,11 +24,11 @@ from __future__ import annotations
 import time
 
 from repro import (
-    EngineConfig,
-    ImpreciseQueryEngine,
     Point,
+    RangeQuery,
     RangeQuerySpec,
     Rect,
+    Session,
     UncertainDatabase,
     UncertainObject,
     UniformPdf,
@@ -69,20 +69,20 @@ def main() -> None:
     basic_time = (time.perf_counter() - started) * 1000.0
 
     # --- 2. enhanced method (Section 4) ------------------------------------
-    engine = ImpreciseQueryEngine(uncertain_db=fleet)
-    started = time.perf_counter()
-    enhanced_result, enhanced_stats = engine.evaluate_iuq(rider, spec)
-    enhanced_time = (time.perf_counter() - started) * 1000.0
+    session = Session(uncertain_db=fleet)
+    enhanced = session.evaluate(RangeQuery.iuq(rider, spec))
+    enhanced_result, enhanced_stats = enhanced.result, enhanced.statistics
+    enhanced_time = enhanced.elapsed_ms
 
     # --- 3. constrained query (Section 5): only confident answers ----------
-    constrained_engine = ImpreciseQueryEngine(
-        uncertain_db=fleet, config=EngineConfig(use_p_expanded_query=True, use_pti_pruning=True)
+    confident = (
+        session.range(half_width=TWO_MILES)
+        .threshold(CONFIDENCE)
+        .issued_by(rider)
+        .run()
     )
-    started = time.perf_counter()
-    confident_result, confident_stats = constrained_engine.evaluate_ciuq(
-        rider, spec, threshold=CONFIDENCE
-    )
-    constrained_time = (time.perf_counter() - started) * 1000.0
+    confident_result, confident_stats = confident.result, confident.statistics
+    constrained_time = confident.elapsed_ms
 
     print()
     print(f"cabs possibly in range        : {len(enhanced_result)}")

@@ -18,16 +18,13 @@ Run with::
 from __future__ import annotations
 
 from repro import (
-    ImpreciseQueryEngine,
     Point,
     PointObject,
-    RangeQuerySpec,
     Rect,
-    UncertainDatabase,
+    Session,
     UncertainObject,
     UniformPdf,
 )
-from repro.core.nearest import ImpreciseNearestNeighborEngine
 from repro.datasets.synthetic import clustered_rectangles
 
 CITY = Rect(0.0, 0.0, 10_000.0, 10_000.0)
@@ -39,14 +36,26 @@ def main() -> None:
         oid=0, pdf=UniformPdf(Rect.from_center(Point(3_200.0, 6_400.0), 300.0, 300.0))
     ).with_catalog()
 
-    # --- suspect vehicles: uncertain objects tracked from sporadic sightings
+    # --- suspect vehicles: uncertain objects tracked from sporadic sightings,
+    # --- police stations: precisely known points, in one session ------------
     vehicles = clustered_rectangles(2_000, CITY, size_range=(40.0, 300.0), seed=99)
-    vehicle_db = UncertainDatabase.build(vehicles, index_kind="pti")
-    engine = ImpreciseQueryEngine(uncertain_db=vehicle_db)
+    stations = [
+        PointObject.at(1, 2_800.0, 6_000.0),
+        PointObject.at(2, 3_900.0, 6_900.0),
+        PointObject.at(3, 3_100.0, 7_400.0),
+        PointObject.at(4, 1_500.0, 5_200.0),
+    ]
+    session = Session.from_objects(points=stations, uncertain=vehicles)
 
-    spec = RangeQuerySpec.square(800.0)
     threshold = 0.4
-    result, stats = engine.evaluate_ciuq(officer, spec, threshold=threshold)
+    evaluation = (
+        session.range(half_width=800.0)
+        .targets("uncertain")
+        .threshold(threshold)
+        .issued_by(officer)
+        .run()
+    )
+    result, stats = evaluation.result, evaluation.statistics
 
     print(f"suspect vehicles within 800 units with probability >= {threshold}:")
     if not result.answers:
@@ -60,22 +69,15 @@ def main() -> None:
     )
 
     # --- which station should send backup? ----------------------------------
-    stations = [
-        PointObject.at(1, 2_800.0, 6_000.0),
-        PointObject.at(2, 3_900.0, 6_900.0),
-        PointObject.at(3, 3_100.0, 7_400.0),
-        PointObject.at(4, 1_500.0, 5_200.0),
-    ]
-    nn_engine = ImpreciseNearestNeighborEngine(stations, samples=2_000, rng_seed=7)
-    nn_result, _ = nn_engine.evaluate(officer)
+    nn_evaluation = session.nearest(samples=2_000).issued_by(officer).run()
 
     print()
     print("probability of each station being the officer's nearest:")
-    for answer in nn_result:
+    for answer in nn_evaluation:
         print(f"  station {answer.oid}: {answer.probability:.3f}")
-    best = nn_engine.most_probable_neighbor(officer)
-    assert best is not None
-    print(f"dispatch backup from station {best.oid}")
+    best = nn_evaluation.top(1)
+    assert best
+    print(f"dispatch backup from station {best[0].oid}")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import ImpreciseQueryEngine, Point, PointDatabase, RangeQuerySpec, Rect
+from repro import Point, RangeQuery, RangeQuerySpec, Session
 from repro.datasets.tiger import california_points
 from repro.datasets.workload import QueryWorkload
 
@@ -32,11 +32,12 @@ CLOAK_SIZES = [50.0, 125.0, 250.0, 500.0, 1_000.0]
 def main() -> None:
     print("building the point-of-interest database (California stand-in, 10%) ...")
     objects = california_points(scale=0.1)
-    database = PointDatabase.build(objects)
-    engine = ImpreciseQueryEngine(point_db=database)
+    session = Session.from_objects(points=objects)
     spec = RangeQuerySpec.square(RANGE_HALF_SIZE)
 
     true_position = Point(5_000.0, 5_000.0)
+    database = session.point_db
+    assert database is not None
     print(f"  {len(database)} points indexed; user's true position: {true_position.as_tuple()}")
     print()
     header = (
@@ -46,14 +47,18 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    # One IPQ per cloaking-box size, issued as a single batch: the whole
+    # sweep goes through the engine's amortised evaluate_many() path.
+    queries = []
     for cloak in CLOAK_SIZES:
         workload = QueryWorkload(issuer_half_size=cloak, range_half_size=RANGE_HALF_SIZE)
-        issuer = workload.make_issuer(true_position)
-        result, stats = engine.evaluate_ipq(issuer, spec)
-        confident = result.above_threshold(CONFIDENCE)
-        expected_answers = sum(answer.probability for answer in result)
+        queries.append(RangeQuery.ipq(workload.make_issuer(true_position), spec))
+    for cloak, evaluation in zip(CLOAK_SIZES, session.evaluate_many(queries)):
+        confident = evaluation.result.above_threshold(CONFIDENCE)
+        expected_answers = sum(answer.probability for answer in evaluation)
+        stats = evaluation.statistics
         print(
-            f"{cloak:>16.0f} {len(result):>9} {len(confident):>10} "
+            f"{cloak:>16.0f} {len(evaluation):>9} {len(confident):>10} "
             f"{expected_answers:>17.1f} {stats.candidates_examined:>11} "
             f"{stats.response_time_ms:>10.2f}"
         )

@@ -3,7 +3,7 @@
 This example builds a small database of point objects (e.g. restaurants) and
 uncertain objects (e.g. moving taxis), then issues the paper's two query
 types from a user whose own location is only known up to an uncertainty
-region:
+region — all through the fluent :class:`~repro.Session` API:
 
 * IPQ  — which restaurants might be within 500 m of me, and how likely?
 * C-IUQ — which taxis are within 500 m of me with probability at least 0.5?
@@ -16,19 +16,16 @@ Run with::
 from __future__ import annotations
 
 from repro import (
-    ImpreciseQueryEngine,
     Point,
-    PointDatabase,
     PointObject,
-    RangeQuerySpec,
     Rect,
-    UncertainDatabase,
+    Session,
     UncertainObject,
     UniformPdf,
 )
 
 
-def build_databases() -> tuple[PointDatabase, UncertainDatabase]:
+def build_session() -> Session:
     """A handful of restaurants (points) and taxis (uncertain regions)."""
     restaurants = [
         PointObject.at(1, 1_050.0, 980.0),
@@ -45,40 +42,50 @@ def build_databases() -> tuple[PointDatabase, UncertainDatabase]:
         UncertainObject.uniform(103, Rect(2_400.0, 2_400.0, 2_600.0, 2_600.0)),
         UncertainObject.uniform(104, Rect(700.0, 1_400.0, 1_000.0, 1_700.0)),
     ]
-    return (
-        PointDatabase.build(restaurants),
-        UncertainDatabase.build(taxis, index_kind="pti"),
-    )
+    return Session.from_objects(points=restaurants, uncertain=taxis)
 
 
 def main() -> None:
-    point_db, uncertain_db = build_databases()
-    engine = ImpreciseQueryEngine(point_db=point_db, uncertain_db=uncertain_db)
+    session = build_session()
 
     # The query issuer's own location is imprecise: somewhere in a
     # 200 x 200 box centred at (1000, 1000) (GPS error or privacy cloaking).
-    issuer = UncertainObject(
+    me = UncertainObject(
         oid=0, pdf=UniformPdf(Rect.from_center(Point(1_000.0, 1_000.0), 100.0, 100.0))
     ).with_catalog()
 
-    # "... within 500 units of my current location."
-    spec = RangeQuerySpec.square(500.0)
-
+    # "... restaurants within 500 units of my current location."
     print("IPQ — restaurants possibly within 500 units of me")
-    result, stats = engine.evaluate_ipq(issuer, spec)
-    for answer in result:
+    evaluation = (
+        session.range(half_width=500.0).targets("points").issued_by(me).run()
+    )
+    for answer in evaluation:
         print(f"  restaurant {answer.oid}: qualification probability {answer.probability:.3f}")
+    stats = evaluation.statistics
     print(f"  ({stats.candidates_examined} candidates, {stats.response_time_ms:.2f} ms)")
 
     print()
     print("C-IUQ — taxis within 500 units of me with probability >= 0.5")
-    result, stats = engine.evaluate_ciuq(issuer, spec, threshold=0.5)
-    for answer in result:
+    evaluation = (
+        session.range(half_width=500.0)
+        .targets("uncertain")
+        .threshold(0.5)
+        .issued_by(me)
+        .run()
+    )
+    for answer in evaluation:
         print(f"  taxi {answer.oid}: qualification probability {answer.probability:.3f}")
+    stats = evaluation.statistics
     print(
         f"  ({stats.candidates_examined} candidates, "
         f"{stats.total_pruned} pruned by threshold rules, {stats.response_time_ms:.2f} ms)"
     )
+
+    print()
+    print("NN — which restaurant is most likely the closest one?")
+    best = session.nearest(samples=2_000).issued_by(me).run().top(1)
+    for answer in best:
+        print(f"  restaurant {answer.oid} ({answer.probability:.0%} of the time)")
 
 
 if __name__ == "__main__":

@@ -1,14 +1,23 @@
 """repro — a reproduction of "Efficient Evaluation of Imprecise Location-Dependent Queries".
 
 The package implements the query model, evaluation algorithms, spatial
-indexes and experiment harness of Chen & Cheng (ICDE 2007).  The most common
-entry points are re-exported here:
+indexes and experiment harness of Chen & Cheng (ICDE 2007), wrapped in a
+unified query-object API:
 
-* :class:`~repro.core.engine.ImpreciseQueryEngine` — evaluates IPQ, IUQ,
-  C-IPQ and C-IUQ queries over indexed databases;
-* :class:`~repro.core.queries.RangeQuerySpec` and
-  :class:`~repro.uncertainty.region.UncertainObject` — building blocks for
-  queries and data;
+* :class:`~repro.core.session.Session` — the fluent facade: build databases
+  from raw objects and construct queries builder-style
+  (``session.range(half_width=500.0).targets("uncertain").threshold(0.5)
+  .issued_by(user).run()``);
+* :class:`~repro.core.queries.RangeQuery` and
+  :class:`~repro.core.queries.NearestNeighborQuery` — query objects covering
+  IPQ / IUQ / C-IPQ / C-IUQ and the nearest-neighbour extension;
+* :class:`~repro.core.engine.ImpreciseQueryEngine` — ``engine.evaluate(query)``
+  single-dispatches on the query object and returns an
+  :class:`~repro.core.queries.Evaluation` envelope;
+  ``engine.evaluate_many(queries)`` is the batch hot path;
+* :func:`~repro.index.registry.register_index` — pluggable registry of index
+  backends (R-tree, PTI, grid file, linear scan ship registered; third-party
+  backends drop in by name);
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's datasets and
   query workloads;
 * :mod:`repro.experiments` — the per-figure experiment harness.
@@ -27,18 +36,31 @@ from repro.uncertainty import (
 from repro.core import (
     RangeQuerySpec,
     ImpreciseRangeQuery,
+    Query,
+    RangeQuery,
+    NearestNeighborQuery,
+    Evaluation,
     QueryAnswer,
     QueryResult,
     EngineConfig,
     ImpreciseQueryEngine,
     PointDatabase,
     UncertainDatabase,
+    Session,
     BasicEvaluator,
     ImpreciseNearestNeighborEngine,
 )
-from repro.index import RTree, ProbabilityThresholdIndex, GridFile, LinearScanIndex
+from repro.index import (
+    RTree,
+    ProbabilityThresholdIndex,
+    GridFile,
+    LinearScanIndex,
+    IndexCapabilities,
+    available_indexes,
+    register_index,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Point",
@@ -52,17 +74,25 @@ __all__ = [
     "UCatalog",
     "RangeQuerySpec",
     "ImpreciseRangeQuery",
+    "Query",
+    "RangeQuery",
+    "NearestNeighborQuery",
+    "Evaluation",
     "QueryAnswer",
     "QueryResult",
     "EngineConfig",
     "ImpreciseQueryEngine",
     "PointDatabase",
     "UncertainDatabase",
+    "Session",
     "BasicEvaluator",
     "ImpreciseNearestNeighborEngine",
     "RTree",
     "ProbabilityThresholdIndex",
     "GridFile",
     "LinearScanIndex",
+    "IndexCapabilities",
+    "available_indexes",
+    "register_index",
     "__version__",
 ]

@@ -21,6 +21,10 @@ The package is organised around the paper's structure:
 from repro.core.queries import (
     RangeQuerySpec,
     ImpreciseRangeQuery,
+    Query,
+    RangeQuery,
+    NearestNeighborQuery,
+    Evaluation,
     QueryAnswer,
     QueryResult,
 )
@@ -46,6 +50,11 @@ from repro.core.engine import (
     EngineConfig,
 )
 from repro.core.nearest import ImpreciseNearestNeighborEngine
+from repro.core.session import (
+    NearestNeighborQueryBuilder,
+    RangeQueryBuilder,
+    Session,
+)
 from repro.core.quality import (
     expected_cardinality,
     expected_precision,
@@ -58,8 +67,15 @@ from repro.core.quality import (
 __all__ = [
     "RangeQuerySpec",
     "ImpreciseRangeQuery",
+    "Query",
+    "RangeQuery",
+    "NearestNeighborQuery",
+    "Evaluation",
     "QueryAnswer",
     "QueryResult",
+    "Session",
+    "RangeQueryBuilder",
+    "NearestNeighborQueryBuilder",
     "minkowski_expanded_query",
     "p_expanded_query",
     "p_expanded_query_from_catalog",

@@ -10,17 +10,32 @@ The engine ties the pieces together for each query type:
 4. compute exact (or Monte-Carlo) qualification probabilities of the
    survivors via the query–data duality formulas of Section 4.2.
 
-Databases wrap an object collection plus the index built over it; the engine
-is stateless apart from its configuration and random generator, so the same
-engine can serve many queries (the experiment harness issues 500 per data
-point, like the paper).
+Databases wrap an object collection plus the index built over it; index
+construction goes through the pluggable registry in
+:mod:`repro.index.registry`, so third-party backends resolve by name.  The
+engine is stateless apart from its configuration and random generator, so the
+same engine can serve many queries.
+
+All query flavours funnel through one entry point: ``engine.evaluate(query)``
+single-dispatches on the query object (:class:`~repro.core.queries.RangeQuery`
+covers IPQ / IUQ / C-IPQ / C-IUQ, :class:`~repro.core.queries.NearestNeighborQuery`
+the nearest-neighbour extension) and returns an
+:class:`~repro.core.queries.Evaluation` envelope.  ``engine.evaluate_many``
+runs a whole workload through the same machinery while amortising dispatch,
+database lookups and pruner construction — the paper's experiments issue 500
+queries per data point, so the batch path is the hot path.  The legacy
+``evaluate_ipq`` / ``evaluate_iuq`` / ``evaluate_cipq`` / ``evaluate_ciuq``
+methods remain as deprecated shims delegating to ``evaluate()``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
-from typing import Iterable, Literal, Sequence
+import warnings
+from collections import Counter
+from dataclasses import dataclass, fields, replace
+from functools import singledispatchmethod
+from typing import Any, Iterable, Literal, Sequence
 
 import numpy as np
 
@@ -32,19 +47,36 @@ from repro.core.duality import (
     iuq_probability_exact_uniform,
     iuq_probability_monte_carlo,
 )
+from repro.core.nearest import ImpreciseNearestNeighborEngine
 from repro.core.pruning import ALL_STRATEGIES, CIPQPruner, CIUQPruner, PruningStrategy
-from repro.core.queries import ImpreciseRangeQuery, QueryResult, RangeQuerySpec
+from repro.core.queries import (
+    Evaluation,
+    ImpreciseRangeQuery,
+    NearestNeighborQuery,
+    Query,
+    QueryResult,
+    RangeQuery,
+    RangeQuerySpec,
+    RangeQueryTarget,
+    RANGE_QUERY_TARGETS,
+)
 from repro.core.statistics import EvaluationStatistics
-from repro.index.gridfile import GridFile
-from repro.index.linear import LinearScanIndex
 from repro.index.pti import ProbabilityThresholdIndex
+from repro.index.registry import build_index, get_index_backend
 from repro.index.rtree import RTree
 from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
 from repro.uncertainty.pdf import UniformPdf
 from repro.uncertainty.region import PointObject, UncertainObject
 
+#: Names of the index backends shipped with the reproduction.  Any name
+#: registered via :func:`repro.index.registry.register_index` is accepted
+#: wherever an ``IndexKind`` is expected.
 IndexKind = Literal["rtree", "pti", "grid", "linear"]
 ProbabilityMethod = Literal["auto", "exact", "monte_carlo"]
+
+#: Monte-Carlo sample count used for nearest-neighbour queries that do not
+#: specify one (matches :class:`ImpreciseNearestNeighborEngine`'s default).
+DEFAULT_NN_SAMPLES = 256
 
 
 @dataclass(frozen=True)
@@ -64,26 +96,35 @@ class EngineConfig:
     use_pti_pruning: bool = True
     ciuq_strategies: tuple[PruningStrategy, ...] = ALL_STRATEGIES
 
+    def __post_init__(self) -> None:
+        if self.monte_carlo_samples < 1:
+            raise ValueError(
+                f"monte_carlo_samples must be >= 1, got {self.monte_carlo_samples}"
+            )
+        if (
+            isinstance(self.rng_seed, bool)
+            or not isinstance(self.rng_seed, (int, np.integer))
+            or self.rng_seed < 0
+        ):
+            raise ValueError(
+                f"rng_seed must be a non-negative integer, got {self.rng_seed!r}"
+            )
+
     def with_overrides(self, **kwargs) -> "EngineConfig":
-        """Return a copy of the configuration with the given fields replaced."""
+        """Return a copy of the configuration with the given fields replaced.
+
+        Unknown field names are rejected with a message listing the valid
+        fields, so typos fail loudly instead of being silently ignored by a
+        downstream ``replace``.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig field(s): {', '.join(unknown)}; "
+                f"valid fields are: {', '.join(sorted(valid))}"
+            )
         return replace(self, **kwargs)
-
-
-def _build_index(
-    items: Sequence, kind: IndexKind, *, bounds: Rect | None, **index_kwargs
-):
-    """Construct the requested index kind over ``items``."""
-    if kind == "rtree":
-        return RTree.bulk_load(items, **index_kwargs)
-    if kind == "pti":
-        return ProbabilityThresholdIndex.bulk_load(items, **index_kwargs)
-    if kind == "grid":
-        if bounds is None:
-            bounds = Rect.bounding([item.mbr for item in items])
-        return GridFile.bulk_load(items, bounds=bounds, **index_kwargs)
-    if kind == "linear":
-        return LinearScanIndex.bulk_load(items, **index_kwargs)
-    raise ValueError(f"unknown index kind: {kind!r}")
 
 
 @dataclass
@@ -91,23 +132,30 @@ class PointDatabase:
     """A collection of point objects plus the spatial index built over them."""
 
     objects: list[PointObject]
-    index: RTree | GridFile | LinearScanIndex
-    kind: IndexKind = "rtree"
+    index: Any
+    kind: str = "rtree"
 
     @classmethod
     def build(
         cls,
         objects: Iterable[PointObject],
         *,
-        index_kind: IndexKind = "rtree",
+        index_kind: str = "rtree",
         bounds: Rect | None = None,
         **index_kwargs,
     ) -> "PointDatabase":
-        """Index a point-object collection (R-tree by default, as in the paper)."""
+        """Index a point-object collection (R-tree by default, as in the paper).
+
+        ``index_kind`` resolves through the index registry; backends whose
+        capabilities exclude point objects (e.g. the PTI) are rejected.
+        """
         materialised = list(objects)
-        if index_kind == "pti":
-            raise ValueError("the PTI only stores uncertain objects")
-        index = _build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
+        backend = get_index_backend(index_kind)
+        if not backend.capabilities.supports_points:
+            raise ValueError(
+                f"index kind {index_kind!r} only stores uncertain objects"
+            )
+        index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
         return cls(objects=materialised, index=index, kind=index_kind)
 
     def __len__(self) -> int:
@@ -119,15 +167,15 @@ class UncertainDatabase:
     """A collection of uncertain objects plus the index built over them."""
 
     objects: list[UncertainObject]
-    index: RTree | ProbabilityThresholdIndex | GridFile | LinearScanIndex
-    kind: IndexKind = "pti"
+    index: Any
+    kind: str = "pti"
 
     @classmethod
     def build(
         cls,
         objects: Iterable[UncertainObject],
         *,
-        index_kind: IndexKind = "pti",
+        index_kind: str = "pti",
         catalog_levels: Sequence[float] | None = DEFAULT_CATALOG_LEVELS,
         bounds: Rect | None = None,
         **index_kwargs,
@@ -137,14 +185,20 @@ class UncertainDatabase:
         When ``catalog_levels`` is given, every object missing a U-catalog
         gets one built at those levels (the PTI requires catalogs; the plain
         R-tree merely benefits from them during object-level pruning).
+        ``index_kind`` resolves through the index registry.
         """
         materialised = list(objects)
+        backend = get_index_backend(index_kind)
+        if not backend.capabilities.supports_uncertain:
+            raise ValueError(
+                f"index kind {index_kind!r} cannot store uncertain objects"
+            )
         if catalog_levels is not None:
             materialised = [
                 obj if obj.catalog is not None else obj.with_catalog(catalog_levels)
                 for obj in materialised
             ]
-        index = _build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
+        index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
         return cls(objects=materialised, index=index, kind=index_kind)
 
     def __len__(self) -> int:
@@ -152,7 +206,11 @@ class UncertainDatabase:
 
 
 class ImpreciseQueryEngine:
-    """Evaluates IPQ, IUQ, C-IPQ and C-IUQ over indexed databases."""
+    """Evaluates IPQ, IUQ, C-IPQ, C-IUQ and nearest-neighbour queries.
+
+    The single entry point is :meth:`evaluate`, which dispatches on the query
+    object's type; :meth:`evaluate_many` is the batch counterpart.
+    """
 
     def __init__(
         self,
@@ -167,6 +225,7 @@ class ImpreciseQueryEngine:
         self._uncertain_db = uncertain_db
         self._config = config if config is not None else EngineConfig()
         self._rng = np.random.default_rng(self._config.rng_seed)
+        self._nn_engines: dict[int, ImpreciseNearestNeighborEngine] = {}
 
     @property
     def config(self) -> EngineConfig:
@@ -231,29 +290,202 @@ class ImpreciseQueryEngine:
         return iuq_probability(issuer.pdf, obj, spec, grid_resolution=24)
 
     # ------------------------------------------------------------------ #
-    # Queries over point objects
+    # Unified entry point
     # ------------------------------------------------------------------ #
-    def evaluate_ipq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Imprecise range query over point objects (Definition 3)."""
-        return self.evaluate_cipq(issuer, spec, threshold=0.0)
+    @singledispatchmethod
+    def evaluate(self, query, *, over: str | None = None):
+        """Evaluate one query object and return an :class:`Evaluation`.
 
-    def evaluate_cipq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+        Dispatches on the query's type: :class:`RangeQuery` covers all four
+        paper query flavours via its target kind and threshold,
+        :class:`NearestNeighborQuery` the nearest-neighbour extension.
+        Passing a legacy :class:`ImpreciseRangeQuery` together with ``over``
+        is deprecated and returns the old ``(result, statistics)`` tuple.
+        """
+        raise TypeError(
+            f"cannot evaluate {type(query).__name__!r}; expected a RangeQuery, "
+            "a NearestNeighborQuery, or a legacy ImpreciseRangeQuery"
+        )
+
+    @evaluate.register
+    def _evaluate_range_query(self, query: RangeQuery, *, over: str | None = None) -> Evaluation:
+        if over is not None:
+            raise TypeError("'over' only applies to legacy ImpreciseRangeQuery objects")
+        started = time.perf_counter()
+        if query.target == "points":
+            result, stats = self._run_point_range(query.issuer, query.spec, query.threshold)
+        else:
+            result, stats = self._run_uncertain_range(query.issuer, query.spec, query.threshold)
+        return Evaluation(
+            query=query,
+            result=result,
+            statistics=stats,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    @evaluate.register
+    def _evaluate_nearest_query(
+        self, query: NearestNeighborQuery, *, over: str | None = None
+    ) -> Evaluation:
+        if over is not None:
+            raise TypeError("'over' only applies to legacy ImpreciseRangeQuery objects")
+        started = time.perf_counter()
+        samples = query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
+        engine = self._nearest_engine(samples)
+        result, stats = engine.evaluate(query.issuer, threshold=query.threshold)
+        return Evaluation(
+            query=query,
+            result=result,
+            statistics=stats,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    @evaluate.register
+    def _evaluate_legacy_query(
+        self, query: ImpreciseRangeQuery, *, over: str | None = None
     ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Constrained imprecise range query over point objects (Definition 5)."""
+        # stacklevel 3: caller -> singledispatchmethod wrapper -> this handler.
+        warnings.warn(
+            "evaluate(ImpreciseRangeQuery, over=...) is deprecated; "
+            "pass a RangeQuery with a target instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if over not in RANGE_QUERY_TARGETS:
+            raise ValueError(f"unknown target database: {over!r}")
+        return self.evaluate(RangeQuery.from_legacy(query, over)).as_tuple()
+
+    def evaluate_many(self, queries: Iterable[Query]) -> list[Evaluation]:
+        """Evaluate a batch of queries, preserving input order.
+
+        The batch path amortises work a per-query loop repeats: type dispatch
+        and database-presence checks run once per batch, the nearest-neighbour
+        sampler is shared, and pruners (which own the expanded-region
+        construction) are cached across queries that share an issuer, shape
+        and threshold.  Results — including Monte-Carlo draws — are identical
+        to calling :meth:`evaluate` on each query in order, because queries
+        execute in input order against the same random generator.
+        """
+        batch = list(queries)
+        for position, query in enumerate(batch):
+            if not isinstance(query, (RangeQuery, NearestNeighborQuery)):
+                raise TypeError(
+                    f"evaluate_many() only accepts RangeQuery and NearestNeighborQuery "
+                    f"objects; item {position} is {type(query).__name__!r}"
+                )
+        # Fail fast, before any query runs, when a required database is absent.
+        targets = {query.target for query in batch if isinstance(query, RangeQuery)}
+        if "points" in targets:
+            self._require_point_db()
+        if "uncertain" in targets:
+            self._require_uncertain_db()
+        if any(isinstance(query, NearestNeighborQuery) for query in batch):
+            self._require_point_db()
+
+        # Pruners own the expanded-region construction, so queries repeating
+        # an (issuer, shape, threshold) combination share one.  The cache is
+        # only engaged for combinations that actually repeat — a workload of
+        # all-distinct issuers (the common case) pays no caching overhead and
+        # retains no pruners.
+        repeats = Counter(
+            (id(query.issuer), query.spec, query.threshold, query.target)
+            for query in batch
+            if isinstance(query, RangeQuery)
+        )
+        point_pruners: dict[tuple, CIPQPruner] = {}
+        uncertain_pruners: dict[tuple, CIUQPruner] = {}
+        evaluations: list[Evaluation] = []
+        for query in batch:
+            if isinstance(query, NearestNeighborQuery):
+                evaluations.append(self._evaluate_nearest_query(query))
+                continue
+            key = (id(query.issuer), query.spec, query.threshold, query.target)
+            shared = repeats[key] > 1
+            started = time.perf_counter()
+            if query.target == "points":
+                result, stats = self._run_point_range(
+                    query.issuer,
+                    query.spec,
+                    query.threshold,
+                    pruner_cache=point_pruners if shared else None,
+                )
+            else:
+                result, stats = self._run_uncertain_range(
+                    query.issuer,
+                    query.spec,
+                    query.threshold,
+                    pruner_cache=uncertain_pruners if shared else None,
+                )
+            evaluations.append(
+                Evaluation(
+                    query=query,
+                    result=result,
+                    statistics=stats,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            )
+        return evaluations
+
+    # ------------------------------------------------------------------ #
+    # Range-query evaluation cores
+    # ------------------------------------------------------------------ #
+    def _require_point_db(self) -> PointDatabase:
         if self._point_db is None:
             raise RuntimeError("no point-object database configured")
-        started = time.perf_counter()
-        stats = EvaluationStatistics()
-        pruner = CIPQPruner(
+        return self._point_db
+
+    def _require_uncertain_db(self) -> UncertainDatabase:
+        if self._uncertain_db is None:
+            raise RuntimeError("no uncertain-object database configured")
+        return self._uncertain_db
+
+    def _point_pruner(
+        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+    ) -> CIPQPruner:
+        return CIPQPruner(
             issuer,
             spec,
             threshold,
             use_p_expanded_query=self._config.use_p_expanded_query,
         )
-        index = self._point_db.index
+
+    def _uncertain_pruner(
+        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+    ) -> CIUQPruner:
+        return CIUQPruner(
+            issuer,
+            spec,
+            threshold,
+            strategies=self._config.ciuq_strategies,
+        )
+
+    def _run_point_range(
+        self,
+        issuer: UncertainObject,
+        spec: RangeQuerySpec,
+        threshold: float,
+        *,
+        pruner_cache: dict[tuple, CIPQPruner] | None = None,
+    ) -> tuple[QueryResult, EvaluationStatistics]:
+        """(C-)IPQ core: filter through the index, prune, compute probabilities.
+
+        ``pruner_cache`` (keyed by issuer identity, spec and threshold) lets
+        the batch path reuse pruners across queries sharing a filter region.
+        The lookup happens inside the timed region, so ``response_time``
+        reflects the true per-query cost: a cache miss is timed exactly like
+        the sequential path; a hit records the amortised cost it actually paid.
+        """
+        database = self._require_point_db()
+        started = time.perf_counter()
+        stats = EvaluationStatistics()
+        if pruner_cache is None:
+            pruner = self._point_pruner(issuer, spec, threshold)
+        else:
+            key = (id(issuer), spec, threshold)
+            pruner = pruner_cache.get(key)
+            if pruner is None:
+                pruner = pruner_cache[key] = self._point_pruner(issuer, spec, threshold)
+        index = database.index
         before = index.stats.snapshot()
         candidates = index.range_search(pruner.filter_region)
         stats.io = index.stats.difference_since(before)
@@ -273,30 +505,29 @@ class ImpreciseQueryEngine:
         stats.response_time = time.perf_counter() - started
         return result, stats
 
-    # ------------------------------------------------------------------ #
-    # Queries over uncertain objects
-    # ------------------------------------------------------------------ #
-    def evaluate_iuq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec
+    def _run_uncertain_range(
+        self,
+        issuer: UncertainObject,
+        spec: RangeQuerySpec,
+        threshold: float,
+        *,
+        pruner_cache: dict[tuple, CIUQPruner] | None = None,
     ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Imprecise range query over uncertain objects (Definition 4)."""
-        return self.evaluate_ciuq(issuer, spec, threshold=0.0)
+        """(C-)IUQ core: filter through the index, prune, compute probabilities.
 
-    def evaluate_ciuq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Constrained imprecise range query over uncertain objects (Definition 6)."""
-        if self._uncertain_db is None:
-            raise RuntimeError("no uncertain-object database configured")
+        See :meth:`_run_point_range` for the ``pruner_cache`` timing contract.
+        """
+        database = self._require_uncertain_db()
         started = time.perf_counter()
         stats = EvaluationStatistics()
-        pruner = CIUQPruner(
-            issuer,
-            spec,
-            threshold,
-            strategies=self._config.ciuq_strategies,
-        )
-        index = self._uncertain_db.index
+        if pruner_cache is None:
+            pruner = self._uncertain_pruner(issuer, spec, threshold)
+        else:
+            key = (id(issuer), spec, threshold)
+            pruner = pruner_cache.get(key)
+            if pruner is None:
+                pruner = pruner_cache[key] = self._uncertain_pruner(issuer, spec, threshold)
+        index = database.index
         before = index.stats.snapshot()
         candidates, residual_strategies = self._retrieve_uncertain_candidates(
             index, pruner, threshold
@@ -369,14 +600,58 @@ class ImpreciseQueryEngine:
         return candidates, configured
 
     # ------------------------------------------------------------------ #
-    # Convenience entry point
+    # Nearest-neighbour support
     # ------------------------------------------------------------------ #
-    def evaluate(
-        self, query: ImpreciseRangeQuery, *, over: Literal["points", "uncertain"]
+    def _nearest_engine(self, samples: int) -> ImpreciseNearestNeighborEngine:
+        """A cached nearest-neighbour sampler sharing the point database's index."""
+        engine = self._nn_engines.get(samples)
+        if engine is None:
+            database = self._require_point_db()
+            index = database.index if isinstance(database.index, RTree) else None
+            engine = ImpreciseNearestNeighborEngine(
+                database.objects,
+                index=index,
+                samples=samples,
+                rng_seed=self._config.rng_seed,
+            )
+            self._nn_engines[samples] = engine
+        return engine
+
+    # ------------------------------------------------------------------ #
+    # Deprecated per-type shims
+    # ------------------------------------------------------------------ #
+    def _warn_legacy(self, name: str, replacement: str) -> None:
+        warnings.warn(
+            f"ImpreciseQueryEngine.{name}() is deprecated; "
+            f"use engine.evaluate({replacement}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def evaluate_ipq(
+        self, issuer: UncertainObject, spec: RangeQuerySpec
     ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Evaluate a fully specified query object over the chosen database."""
-        if over == "points":
-            return self.evaluate_cipq(query.issuer, query.spec, query.threshold)
-        if over == "uncertain":
-            return self.evaluate_ciuq(query.issuer, query.spec, query.threshold)
-        raise ValueError(f"unknown target database: {over!r}")
+        """Deprecated shim: imprecise range query over point objects (Definition 3)."""
+        self._warn_legacy("evaluate_ipq", "RangeQuery.ipq(issuer, spec)")
+        return self.evaluate(RangeQuery.ipq(issuer, spec)).as_tuple()
+
+    def evaluate_cipq(
+        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+    ) -> tuple[QueryResult, EvaluationStatistics]:
+        """Deprecated shim: constrained imprecise range query over point objects."""
+        self._warn_legacy("evaluate_cipq", "RangeQuery.cipq(issuer, spec, threshold)")
+        return self.evaluate(RangeQuery.cipq(issuer, spec, threshold)).as_tuple()
+
+    def evaluate_iuq(
+        self, issuer: UncertainObject, spec: RangeQuerySpec
+    ) -> tuple[QueryResult, EvaluationStatistics]:
+        """Deprecated shim: imprecise range query over uncertain objects (Definition 4)."""
+        self._warn_legacy("evaluate_iuq", "RangeQuery.iuq(issuer, spec)")
+        return self.evaluate(RangeQuery.iuq(issuer, spec)).as_tuple()
+
+    def evaluate_ciuq(
+        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+    ) -> tuple[QueryResult, EvaluationStatistics]:
+        """Deprecated shim: constrained imprecise range query over uncertain objects."""
+        self._warn_legacy("evaluate_ciuq", "RangeQuery.ciuq(issuer, spec, threshold)")
+        return self.evaluate(RangeQuery.ciuq(issuer, spec, threshold)).as_tuple()

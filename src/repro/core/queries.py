@@ -8,13 +8,24 @@ An imprecise location-dependent range query is described by
   centred at the issuer's true, unknown position), and
 * an optional *probability threshold* ``Qp``; answers with qualification
   probability below the threshold are not reported (Definitions 5 and 6).
+
+The module also defines the unified query-object model that the engine's
+single ``evaluate()`` entry point dispatches on:
+
+* :class:`Query` — abstract base of every request;
+* :class:`RangeQuery` — one type covering all four paper query flavours
+  (IPQ, IUQ, C-IPQ, C-IUQ) via a target kind plus an optional threshold;
+* :class:`NearestNeighborQuery` — the imprecise nearest-neighbour extension;
+* :class:`Evaluation` — the response envelope bundling the answers, the
+  work counters, the wall-clock time and an echo of the query.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Literal
 
+from repro.core.statistics import EvaluationStatistics
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.uncertainty.region import UncertainObject
@@ -128,3 +139,185 @@ class QueryResult:
         """Return a new result keeping only answers with probability ≥ threshold."""
         filtered = [a for a in self.answers if a.probability >= threshold]
         return QueryResult(answers=filtered)
+
+
+# --------------------------------------------------------------------------- #
+# Unified query-object model
+# --------------------------------------------------------------------------- #
+
+#: Which database a range query runs against: the point-object collection
+#: (IPQ / C-IPQ) or the uncertain-object collection (IUQ / C-IUQ).
+RangeQueryTarget = Literal["points", "uncertain"]
+
+RANGE_QUERY_TARGETS: tuple[RangeQueryTarget, ...] = ("points", "uncertain")
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class of every request accepted by ``engine.evaluate()``.
+
+    All queries are issued by an uncertain object ``O0`` whose pdf models the
+    imprecision of the issuer's own location.
+    """
+
+    issuer: UncertainObject
+
+    @property
+    def kind(self) -> str:
+        """Short machine-readable name of the query flavour."""
+        raise NotImplementedError
+
+    @property
+    def issuer_region(self) -> Rect:
+        """The issuer's uncertainty region ``U0``."""
+        return self.issuer.region
+
+
+@dataclass(frozen=True)
+class RangeQuery(Query):
+    """A location-dependent range query in the unified model.
+
+    One type covers all four flavours of the paper: the ``target`` selects
+    the database (points → IPQ family, uncertain → IUQ family) and a
+    positive ``threshold`` turns the query into its constrained variant
+    (C-IPQ / C-IUQ, Definitions 5–6).
+    """
+
+    spec: RangeQuerySpec
+    threshold: float = 0.0
+    target: RangeQueryTarget = "points"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {self.threshold}")
+        if self.target not in RANGE_QUERY_TARGETS:
+            raise ValueError(
+                f"unknown range-query target {self.target!r}; "
+                f"expected one of {RANGE_QUERY_TARGETS}"
+            )
+
+    # -- constructors named after the paper's query types ----------------- #
+    @classmethod
+    def ipq(cls, issuer: UncertainObject, spec: RangeQuerySpec) -> "RangeQuery":
+        """Imprecise range query over point objects (Definition 3)."""
+        return cls(issuer=issuer, spec=spec, threshold=0.0, target="points")
+
+    @classmethod
+    def iuq(cls, issuer: UncertainObject, spec: RangeQuerySpec) -> "RangeQuery":
+        """Imprecise range query over uncertain objects (Definition 4)."""
+        return cls(issuer=issuer, spec=spec, threshold=0.0, target="uncertain")
+
+    @classmethod
+    def cipq(
+        cls, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+    ) -> "RangeQuery":
+        """Constrained imprecise range query over point objects (Definition 5)."""
+        return cls(issuer=issuer, spec=spec, threshold=threshold, target="points")
+
+    @classmethod
+    def ciuq(
+        cls, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
+    ) -> "RangeQuery":
+        """Constrained imprecise range query over uncertain objects (Definition 6)."""
+        return cls(issuer=issuer, spec=spec, threshold=threshold, target="uncertain")
+
+    @classmethod
+    def from_legacy(
+        cls, query: "ImpreciseRangeQuery", target: RangeQueryTarget
+    ) -> "RangeQuery":
+        """Adapt a legacy :class:`ImpreciseRangeQuery` plus target kind."""
+        return cls(
+            issuer=query.issuer,
+            spec=query.spec,
+            threshold=query.threshold,
+            target=target,
+        )
+
+    # -- properties -------------------------------------------------------- #
+    @property
+    def kind(self) -> str:
+        """``"ipq"``, ``"iuq"``, ``"cipq"`` or ``"ciuq"``."""
+        constrained = "c" if self.is_constrained else ""
+        flavour = "ipq" if self.target == "points" else "iuq"
+        return constrained + flavour
+
+    @property
+    def is_constrained(self) -> bool:
+        """True when a positive probability threshold applies."""
+        return self.threshold > 0.0
+
+    def range_at(self, center: Point) -> Rect:
+        """Range rectangle for a hypothetical issuer position ``center``."""
+        return self.spec.region_at(center)
+
+
+@dataclass(frozen=True)
+class NearestNeighborQuery(Query):
+    """An imprecise nearest-neighbour query over point objects.
+
+    The paper's stated future work: report each point object's probability
+    (under the issuer's pdf) of being the issuer's nearest neighbour.
+    ``samples`` overrides the Monte-Carlo sample count; when ``None`` the
+    engine uses its default.
+    """
+
+    threshold: float = 0.0
+    samples: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must lie in [0, 1], got {self.threshold}")
+        if self.samples is not None and self.samples <= 0:
+            raise ValueError(f"samples must be positive, got {self.samples}")
+
+    @property
+    def kind(self) -> str:
+        return "nn"
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """The response envelope returned by ``engine.evaluate()``.
+
+    Bundles the ranked answers with the per-query work counters, the
+    wall-clock time of the whole evaluation (including dispatch overhead,
+    hence ≥ ``statistics.response_time``) and an echo of the query so that
+    batch results remain self-describing.
+    """
+
+    query: Query
+    result: QueryResult
+    statistics: EvaluationStatistics
+    elapsed_seconds: float
+
+    @property
+    def answers(self) -> list[QueryAnswer]:
+        """The ranked answers."""
+        return self.result.answers
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Wall-clock time in milliseconds."""
+        return self.elapsed_seconds * 1000.0
+
+    def __len__(self) -> int:
+        return len(self.result)
+
+    def __iter__(self) -> Iterator[QueryAnswer]:
+        return iter(self.result)
+
+    def probabilities(self) -> dict[int, float]:
+        """``{oid: probability}`` mapping of the answers."""
+        return self.result.probabilities()
+
+    def oids(self) -> set[int]:
+        """Object identities in the answer."""
+        return self.result.oids()
+
+    def top(self, count: int = 1) -> list[QueryAnswer]:
+        """The ``count`` most probable answers."""
+        return self.result.answers[:count]
+
+    def as_tuple(self) -> tuple[QueryResult, EvaluationStatistics]:
+        """The legacy ``(result, statistics)`` shape of the old engine API."""
+        return self.result, self.statistics

@@ -1,0 +1,240 @@
+"""Fluent session facade over the query engine.
+
+A :class:`Session` wraps databases, configuration and an
+:class:`~repro.core.engine.ImpreciseQueryEngine` behind builder-style query
+construction, so examples and the experiment harness stop hand-wiring
+engines::
+
+    session = Session.from_objects(points=restaurants, uncertain=taxis)
+    evaluation = (
+        session.range(half_width=500.0)
+        .targets("uncertain")
+        .threshold(0.5)
+        .issued_by(rider)
+        .run()
+    )
+
+Builders are immutable: every fluent call returns a new builder, so a
+partially configured builder can be reused as a template for many queries
+(e.g. one issuer per workload query via :meth:`RangeQueryBuilder.run_many`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.core.engine import (
+    EngineConfig,
+    ImpreciseQueryEngine,
+    PointDatabase,
+    UncertainDatabase,
+)
+from repro.core.queries import (
+    Evaluation,
+    NearestNeighborQuery,
+    Query,
+    RangeQuery,
+    RangeQuerySpec,
+    RangeQueryTarget,
+)
+from repro.geometry.rect import Rect
+from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
+from repro.uncertainty.region import PointObject, UncertainObject
+
+
+class Session:
+    """A configured query surface: databases + engine + fluent builders."""
+
+    def __init__(
+        self,
+        *,
+        point_db: PointDatabase | None = None,
+        uncertain_db: UncertainDatabase | None = None,
+        config: EngineConfig | None = None,
+        engine: ImpreciseQueryEngine | None = None,
+    ) -> None:
+        if engine is not None:
+            if point_db is not None or uncertain_db is not None or config is not None:
+                raise ValueError(
+                    "pass either a prebuilt engine or databases/config, not both"
+                )
+            self._engine = engine
+        else:
+            self._engine = ImpreciseQueryEngine(
+                point_db=point_db, uncertain_db=uncertain_db, config=config
+            )
+
+    @classmethod
+    def from_objects(
+        cls,
+        *,
+        points: Iterable[PointObject] | None = None,
+        uncertain: Iterable[UncertainObject] | None = None,
+        point_index: str = "rtree",
+        uncertain_index: str = "pti",
+        catalog_levels: Sequence[float] | None = DEFAULT_CATALOG_LEVELS,
+        bounds: Rect | None = None,
+        config: EngineConfig | None = None,
+    ) -> "Session":
+        """Build databases from raw object collections and wrap them in a session."""
+        point_db = (
+            PointDatabase.build(points, index_kind=point_index, bounds=bounds)
+            if points is not None
+            else None
+        )
+        uncertain_db = (
+            UncertainDatabase.build(
+                uncertain,
+                index_kind=uncertain_index,
+                catalog_levels=catalog_levels,
+                bounds=bounds,
+            )
+            if uncertain is not None
+            else None
+        )
+        return cls(point_db=point_db, uncertain_db=uncertain_db, config=config)
+
+    @property
+    def engine(self) -> ImpreciseQueryEngine:
+        """The underlying query engine."""
+        return self._engine
+
+    @property
+    def point_db(self) -> PointDatabase | None:
+        """The point-object database, if any."""
+        return self._engine.point_db
+
+    @property
+    def uncertain_db(self) -> UncertainDatabase | None:
+        """The uncertain-object database, if any."""
+        return self._engine.uncertain_db
+
+    # ------------------------------------------------------------------ #
+    # Fluent builders
+    # ------------------------------------------------------------------ #
+    def range(
+        self, *, half_width: float, half_height: float | None = None
+    ) -> "RangeQueryBuilder":
+        """Start building a range query (square when ``half_height`` is omitted).
+
+        The target defaults to the only database the session holds; sessions
+        with both databases must pick one via :meth:`RangeQueryBuilder.targets`.
+        """
+        spec = RangeQuerySpec(
+            half_width, half_width if half_height is None else half_height
+        )
+        return RangeQueryBuilder(session=self, spec=spec, target=self._default_target())
+
+    def nearest(self, *, samples: int | None = None) -> "NearestNeighborQueryBuilder":
+        """Start building an imprecise nearest-neighbour query."""
+        return NearestNeighborQueryBuilder(session=self, samples=samples)
+
+    def _default_target(self) -> RangeQueryTarget | None:
+        if self._engine.point_db is not None and self._engine.uncertain_db is None:
+            return "points"
+        if self._engine.uncertain_db is not None and self._engine.point_db is None:
+            return "uncertain"
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Direct execution
+    # ------------------------------------------------------------------ #
+    def evaluate(self, query: Query) -> Evaluation:
+        """Evaluate one query object."""
+        return self._engine.evaluate(query)
+
+    def evaluate_many(self, queries: Iterable[Query]) -> list[Evaluation]:
+        """Evaluate a batch of query objects, preserving input order."""
+        return self._engine.evaluate_many(queries)
+
+
+@dataclass(frozen=True)
+class RangeQueryBuilder:
+    """Immutable fluent builder for :class:`RangeQuery` objects."""
+
+    session: Session
+    spec: RangeQuerySpec
+    target: RangeQueryTarget | None = None
+    qp: float = 0.0
+    issuer: UncertainObject | None = None
+
+    def targets(self, target: RangeQueryTarget) -> "RangeQueryBuilder":
+        """Select the database to query: ``"points"`` or ``"uncertain"``."""
+        return replace(self, target=target)
+
+    def threshold(self, qp: float) -> "RangeQueryBuilder":
+        """Set the probability threshold ``Qp`` (constrained queries)."""
+        return replace(self, qp=qp)
+
+    def issued_by(self, issuer: UncertainObject) -> "RangeQueryBuilder":
+        """Set the query issuer ``O0``."""
+        return replace(self, issuer=issuer)
+
+    def build(self) -> RangeQuery:
+        """Materialise the configured :class:`RangeQuery`."""
+        if self.issuer is None:
+            raise ValueError(
+                "no issuer configured; call .issued_by(<UncertainObject>) first"
+            )
+        if self.target is None:
+            raise ValueError(
+                "the session holds both databases; "
+                'pick one with .targets("points") or .targets("uncertain")'
+            )
+        return RangeQuery(
+            issuer=self.issuer, spec=self.spec, threshold=self.qp, target=self.target
+        )
+
+    def run(self) -> Evaluation:
+        """Build and evaluate the query."""
+        return self.session.evaluate(self.build())
+
+    def run_many(self, issuers: Iterable[UncertainObject]) -> list[Evaluation]:
+        """Evaluate the same query shape once per issuer, through the batch path."""
+        if self.target is None:
+            raise ValueError(
+                "the session holds both databases; "
+                'pick one with .targets("points") or .targets("uncertain")'
+            )
+        queries = [
+            RangeQuery(issuer=issuer, spec=self.spec, threshold=self.qp, target=self.target)
+            for issuer in issuers
+        ]
+        return self.session.evaluate_many(queries)
+
+
+@dataclass(frozen=True)
+class NearestNeighborQueryBuilder:
+    """Immutable fluent builder for :class:`NearestNeighborQuery` objects."""
+
+    session: Session
+    samples: int | None = None
+    qp: float = 0.0
+    issuer: UncertainObject | None = None
+
+    def threshold(self, qp: float) -> "NearestNeighborQueryBuilder":
+        """Only report neighbours with probability at least ``qp``."""
+        return replace(self, qp=qp)
+
+    def sample_count(self, samples: int) -> "NearestNeighborQueryBuilder":
+        """Set the Monte-Carlo sample count."""
+        return replace(self, samples=samples)
+
+    def issued_by(self, issuer: UncertainObject) -> "NearestNeighborQueryBuilder":
+        """Set the query issuer ``O0``."""
+        return replace(self, issuer=issuer)
+
+    def build(self) -> NearestNeighborQuery:
+        """Materialise the configured :class:`NearestNeighborQuery`."""
+        if self.issuer is None:
+            raise ValueError(
+                "no issuer configured; call .issued_by(<UncertainObject>) first"
+            )
+        return NearestNeighborQuery(
+            issuer=self.issuer, threshold=self.qp, samples=self.samples
+        )
+
+    def run(self) -> Evaluation:
+        """Build and evaluate the query."""
+        return self.session.evaluate(self.build())

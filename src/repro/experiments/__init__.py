@@ -9,7 +9,12 @@ qualitative shapes reported in the paper (see EXPERIMENTS.md).
 """
 
 from repro.experiments.config import PAPER_DEFAULTS, ExperimentConfig, PaperDefaults
-from repro.experiments.runner import FigureResult, SeriesPoint, run_query_batch
+from repro.experiments.runner import (
+    FigureResult,
+    SeriesPoint,
+    run_engine_batch,
+    run_query_batch,
+)
 from repro.experiments.figures import (
     figure_08,
     figure_09,
@@ -34,6 +39,7 @@ __all__ = [
     "FigureResult",
     "SeriesPoint",
     "run_query_batch",
+    "run_engine_batch",
     "figure_08",
     "figure_09",
     "figure_10",

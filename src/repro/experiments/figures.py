@@ -22,7 +22,12 @@ from repro.core.queries import ImpreciseRangeQuery
 from repro.datasets.tiger import california_points, long_beach_uncertain_objects
 from repro.datasets.workload import QueryWorkload
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import FigureResult, SeriesPoint, run_query_batch
+from repro.experiments.runner import (
+    FigureResult,
+    SeriesPoint,
+    run_engine_batch,
+    run_query_batch,
+)
 
 
 def _point_database(config: ExperimentConfig) -> PointDatabase:
@@ -83,8 +88,8 @@ def figure_08(config: ExperimentConfig | None = None) -> FigureResult:
         workload = _workload(config, issuer_half_size=u, range_half_size=w, salt=salt)
         spec = workload.spec
 
-        enhanced = run_query_batch(
-            workload, config.queries_per_point, lambda issuer: engine.evaluate_iuq(issuer, spec)
+        enhanced = run_engine_batch(
+            engine, workload, config.queries_per_point, target="uncertain"
         )
         result.add_point("enhanced", SeriesPoint.from_aggregate(u, enhanced))
 
@@ -119,11 +124,8 @@ def figure_09(config: ExperimentConfig | None = None) -> FigureResult:
                 range_half_size=w,
                 salt=w_index * 1000 + salt,
             )
-            spec = workload.spec
-            aggregate = run_query_batch(
-                workload,
-                config.queries_per_point,
-                lambda issuer: engine.evaluate_ipq(issuer, spec),
+            aggregate = run_engine_batch(
+                engine, workload, config.queries_per_point, target="points"
             )
             result.add_point(series, SeriesPoint.from_aggregate(u, aggregate))
     return result
@@ -148,11 +150,8 @@ def figure_10(config: ExperimentConfig | None = None) -> FigureResult:
                 range_half_size=w,
                 salt=w_index * 1000 + salt,
             )
-            spec = workload.spec
-            aggregate = run_query_batch(
-                workload,
-                config.queries_per_point,
-                lambda issuer: engine.evaluate_iuq(issuer, spec),
+            aggregate = run_engine_batch(
+                engine, workload, config.queries_per_point, target="uncertain"
             )
             result.add_point(series, SeriesPoint.from_aggregate(u, aggregate))
     return result
@@ -182,17 +181,12 @@ def figure_11(config: ExperimentConfig | None = None) -> FigureResult:
         workload = _workload(
             config, issuer_half_size=u, range_half_size=w, threshold=qp, salt=salt
         )
-        spec = workload.spec
-        minkowski = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: minkowski_engine.evaluate_cipq(issuer, spec, qp),
+        minkowski = run_engine_batch(
+            minkowski_engine, workload, config.queries_per_point, target="points"
         )
         result.add_point("minkowski_sum", SeriesPoint.from_aggregate(qp, minkowski))
-        expanded = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: expanded_engine.evaluate_cipq(issuer, spec, qp),
+        expanded = run_engine_batch(
+            expanded_engine, workload, config.queries_per_point, target="points"
         )
         result.add_point("p_expanded_query", SeriesPoint.from_aggregate(qp, expanded))
     return result
@@ -234,17 +228,12 @@ def figure_12(config: ExperimentConfig | None = None) -> FigureResult:
         workload = _workload(
             config, issuer_half_size=u, range_half_size=w, threshold=qp, salt=salt
         )
-        spec = workload.spec
-        minkowski = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: minkowski_engine.evaluate_ciuq(issuer, spec, qp),
+        minkowski = run_engine_batch(
+            minkowski_engine, workload, config.queries_per_point, target="uncertain"
         )
         result.add_point("minkowski_sum", SeriesPoint.from_aggregate(qp, minkowski))
-        pti = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: pti_engine.evaluate_ciuq(issuer, spec, qp),
+        pti = run_engine_batch(
+            pti_engine, workload, config.queries_per_point, target="uncertain"
         )
         result.add_point("pti_p_expanded_query", SeriesPoint.from_aggregate(qp, pti))
     return result
@@ -287,17 +276,12 @@ def figure_13(config: ExperimentConfig | None = None) -> FigureResult:
             issuer_pdf="gaussian",
             salt=salt,
         )
-        spec = workload.spec
-        minkowski = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: minkowski_engine.evaluate_cipq(issuer, spec, qp),
+        minkowski = run_engine_batch(
+            minkowski_engine, workload, config.queries_per_point, target="points"
         )
         result.add_point("minkowski_sum", SeriesPoint.from_aggregate(qp, minkowski))
-        expanded = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: expanded_engine.evaluate_cipq(issuer, spec, qp),
+        expanded = run_engine_batch(
+            expanded_engine, workload, config.queries_per_point, target="points"
         )
         result.add_point("p_expanded_query", SeriesPoint.from_aggregate(qp, expanded))
     return result

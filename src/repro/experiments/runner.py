@@ -5,7 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.core.queries import QueryResult
+from repro.core.engine import ImpreciseQueryEngine
+from repro.core.queries import (
+    QueryResult,
+    RangeQuery,
+    RangeQuerySpec,
+    RangeQueryTarget,
+)
 from repro.core.statistics import (
     AggregatedStatistics,
     EvaluationStatistics,
@@ -15,7 +21,8 @@ from repro.datasets.workload import QueryWorkload
 from repro.uncertainty.region import UncertainObject
 
 #: A callable that evaluates one query for one issuer and returns the result
-#: and its statistics (the engines' ``evaluate_*`` methods partially applied).
+#: and its statistics.  Kept for custom evaluators (e.g. the basic method of
+#: Section 3.3) that do not go through :class:`ImpreciseQueryEngine`.
 QueryRunner = Callable[[UncertainObject], tuple[QueryResult, EvaluationStatistics]]
 
 
@@ -34,6 +41,32 @@ def run_query_batch(
         _, query_stats = runner(issuer)
         stats.append(query_stats)
     return aggregate_statistics(stats)
+
+
+def run_engine_batch(
+    engine: ImpreciseQueryEngine,
+    workload: QueryWorkload,
+    count: int,
+    *,
+    target: RangeQueryTarget,
+    threshold: float | None = None,
+    spec: RangeQuerySpec | None = None,
+) -> AggregatedStatistics:
+    """Issue ``count`` workload queries through ``engine.evaluate_many``.
+
+    The engine-native counterpart of :func:`run_query_batch`: the whole batch
+    of :class:`RangeQuery` objects goes through the engine's amortised batch
+    path, which is how the figures issue their 500 queries per data point.
+    ``threshold`` and ``spec`` default to the workload's own values.
+    """
+    spec = workload.spec if spec is None else spec
+    threshold = workload.threshold if threshold is None else threshold
+    queries = [
+        RangeQuery(issuer=issuer, spec=spec, threshold=threshold, target=target)
+        for issuer in workload.issuers(count)
+    ]
+    evaluations = engine.evaluate_many(queries)
+    return aggregate_statistics([evaluation.statistics for evaluation in evaluations])
 
 
 @dataclass(frozen=True)

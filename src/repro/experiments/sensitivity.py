@@ -30,7 +30,7 @@ from repro.core.pruning import ALL_STRATEGIES, PruningStrategy
 from repro.datasets.tiger import california_points, long_beach_uncertain_objects
 from repro.datasets.workload import QueryWorkload
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import FigureResult, SeriesPoint, run_query_batch
+from repro.experiments.runner import FigureResult, SeriesPoint, run_engine_batch
 from repro.geometry.point import Point
 
 
@@ -119,11 +119,8 @@ def catalog_size_sweep(
             catalog_levels=levels,
             seed=config.workload_seed(0),
         )
-        spec = workload.spec
-        aggregate = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: engine.evaluate_ciuq(issuer, spec, threshold),
+        aggregate = run_engine_batch(
+            engine, workload, config.queries_per_point, target="uncertain"
         )
         result.add_point("pti_p_expanded_query", SeriesPoint.from_aggregate(size, aggregate))
     return result
@@ -151,11 +148,8 @@ def index_comparison(
                 range_half_size=config.defaults.range_half_size,
                 seed=config.workload_seed(kind_index * 1000 + salt),
             )
-            spec = workload.spec
-            aggregate = run_query_batch(
-                workload,
-                config.queries_per_point,
-                lambda issuer: engine.evaluate_ipq(issuer, spec),
+            aggregate = run_engine_batch(
+                engine, workload, config.queries_per_point, target="points"
             )
             result.add_point(kind, SeriesPoint.from_aggregate(u, aggregate))
     return result
@@ -210,11 +204,8 @@ def pruning_strategy_ablation(
             catalog_levels=config.catalog_levels,
             seed=config.workload_seed(0),
         )
-        spec = workload.spec
-        aggregate = run_query_batch(
-            workload,
-            config.queries_per_point,
-            lambda issuer: engine.evaluate_ciuq(issuer, spec, threshold),
+        aggregate = run_engine_batch(
+            engine, workload, config.queries_per_point, target="uncertain"
         )
         result.add_point(name, SeriesPoint.from_aggregate(threshold, aggregate))
     return result

@@ -15,6 +15,15 @@ from repro.index.rtree import RTree
 from repro.index.pti import ProbabilityThresholdIndex
 from repro.index.gridfile import GridFile
 from repro.index.linear import LinearScanIndex
+from repro.index.registry import (
+    IndexBackend,
+    IndexCapabilities,
+    available_indexes,
+    build_index,
+    get_index_backend,
+    register_index,
+    unregister_index,
+)
 
 __all__ = [
     "IOStatistics",
@@ -23,4 +32,11 @@ __all__ = [
     "ProbabilityThresholdIndex",
     "GridFile",
     "LinearScanIndex",
+    "IndexBackend",
+    "IndexCapabilities",
+    "available_indexes",
+    "build_index",
+    "get_index_backend",
+    "register_index",
+    "unregister_index",
 ]

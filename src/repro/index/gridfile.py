@@ -88,8 +88,11 @@ class GridFile:
         cls, items: Iterable[Any], *, bounds: Rect, cells_per_axis: int = 64
     ) -> "GridFile":
         """Build a grid file over items exposing an ``mbr`` attribute."""
+        materialised = list(items)
+        if not materialised:
+            raise ValueError("cannot index an empty collection")
         grid = cls(bounds, cells_per_axis=cells_per_axis)
-        for item in items:
+        for item in materialised:
             grid.insert(extract_mbr(item), item)
         return grid
 

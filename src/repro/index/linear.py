@@ -47,8 +47,11 @@ class LinearScanIndex:
     @classmethod
     def bulk_load(cls, items: Iterable[Any], **kwargs) -> "LinearScanIndex":
         """Build a scan list from items exposing an ``mbr`` attribute."""
+        materialised = list(items)
+        if not materialised:
+            raise ValueError("cannot index an empty collection")
         index = cls(**kwargs)
-        for item in items:
+        for item in materialised:
             index.insert(extract_mbr(item), item)
         return index
 

@@ -64,6 +64,8 @@ class ProbabilityThresholdIndex(RTree):
     def bulk_load(cls, items: Iterable[UncertainObject], **kwargs) -> "ProbabilityThresholdIndex":  # type: ignore[override]
         """Build a packed PTI from uncertain objects carrying U-catalogs."""
         materialised = list(items)
+        if not materialised:
+            raise ValueError("cannot index an empty collection")
         tree = cls(
             max_entries=kwargs.pop("max_entries", None),
             min_entries=kwargs.pop("min_entries", None),

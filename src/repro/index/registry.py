@@ -1,0 +1,179 @@
+"""Pluggable registry of spatial-index backends.
+
+The engine used to hard-code index construction in an if/elif chain, which
+meant adding a backend required editing the engine itself.  The registry
+replaces that chain with a data-driven lookup: every backend is registered
+under a short name together with a :class:`IndexCapabilities` record, and
+database builders validate an index choice against those capabilities
+instead of ad-hoc isinstance checks.  Third-party backends drop in with a
+single :func:`register_index` call::
+
+    register_index(
+        "quadtree",
+        QuadTree.bulk_load,
+        capabilities=IndexCapabilities(supports_points=True, supports_uncertain=True),
+    )
+    PointDatabase.build(objects, index_kind="quadtree")
+
+The four seed backends (R-tree, PTI, grid file, linear scan) are registered
+when :mod:`repro.index` is imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.geometry.rect import Rect
+from repro.index.base import extract_mbr
+
+#: A ``bulk_load``-style constructor: ``loader(items, **kwargs) -> index``.
+IndexLoader = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class IndexCapabilities:
+    """What a registered index backend can do.
+
+    Database builders consult these flags instead of hard-coding knowledge
+    about concrete index classes.
+    """
+
+    #: The backend can store point objects.
+    supports_points: bool = True
+    #: The backend can store uncertain objects.
+    supports_uncertain: bool = True
+    #: The backend prunes entries against a probability threshold at the
+    #: node level (the PTI of Cheng et al., VLDB 2004).
+    supports_probability_pruning: bool = False
+    #: The backend needs the bounding rectangle of the data space at build
+    #: time (e.g. the grid file); when the caller does not supply one, the
+    #: registry computes it from the items' MBRs.
+    requires_bounds: bool = False
+
+
+@dataclass(frozen=True)
+class IndexBackend:
+    """One registered backend: a name, a constructor, and its capabilities."""
+
+    name: str
+    loader: IndexLoader
+    capabilities: IndexCapabilities = field(default_factory=IndexCapabilities)
+
+
+_REGISTRY: dict[str, IndexBackend] = {}
+
+
+def register_index(
+    name: str,
+    loader: IndexLoader,
+    *,
+    capabilities: IndexCapabilities | None = None,
+    replace: bool = False,
+) -> IndexBackend:
+    """Register an index backend under ``name`` and return its record.
+
+    ``loader`` is a ``bulk_load``-style callable taking the item sequence
+    plus backend-specific keyword arguments.  Registering an existing name
+    raises unless ``replace=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"index backend name must be a non-empty string, got {name!r}")
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"index backend {name!r} is already registered; pass replace=True to override"
+        )
+    backend = IndexBackend(
+        name=name,
+        loader=loader,
+        capabilities=capabilities if capabilities is not None else IndexCapabilities(),
+    )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_index(name: str) -> None:
+    """Remove a registered backend (no-op when the name is unknown)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_indexes() -> tuple[str, ...]:
+    """Names of all registered backends, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_index_backend(name: str) -> IndexBackend:
+    """Look up a backend by name, with a helpful error for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise ValueError(
+            f"unknown index kind: {name!r} (registered backends: {known})"
+        ) from None
+
+
+def build_index(
+    items: Iterable[Any] | Sequence[Any],
+    kind: str,
+    *,
+    bounds: Rect | None = None,
+    **index_kwargs,
+):
+    """Construct the registered index ``kind`` over ``items``.
+
+    Centralises the empty-input check (every backend would otherwise fail
+    deep inside MBR computations with an opaque error) and the data-space
+    bounds computation for backends that require one.
+    """
+    backend = get_index_backend(kind)
+    materialised = items if isinstance(items, Sequence) else list(items)
+    if not materialised:
+        raise ValueError("cannot index an empty collection")
+    if backend.capabilities.requires_bounds:
+        if bounds is None:
+            bounds = Rect.bounding([extract_mbr(item) for item in materialised])
+        index_kwargs["bounds"] = bounds
+    return backend.loader(materialised, **index_kwargs)
+
+
+def _register_seed_backends() -> None:
+    """Register the four backends shipped with the reproduction."""
+    from repro.index.gridfile import GridFile
+    from repro.index.linear import LinearScanIndex
+    from repro.index.pti import ProbabilityThresholdIndex
+    from repro.index.rtree import RTree
+
+    register_index(
+        "rtree",
+        RTree.bulk_load,
+        capabilities=IndexCapabilities(supports_points=True, supports_uncertain=True),
+        replace=True,
+    )
+    register_index(
+        "pti",
+        ProbabilityThresholdIndex.bulk_load,
+        capabilities=IndexCapabilities(
+            supports_points=False,
+            supports_uncertain=True,
+            supports_probability_pruning=True,
+        ),
+        replace=True,
+    )
+    register_index(
+        "grid",
+        GridFile.bulk_load,
+        capabilities=IndexCapabilities(
+            supports_points=True, supports_uncertain=True, requires_bounds=True
+        ),
+        replace=True,
+    )
+    register_index(
+        "linear",
+        LinearScanIndex.bulk_load,
+        capabilities=IndexCapabilities(supports_points=True, supports_uncertain=True),
+        replace=True,
+    )
+
+
+_register_seed_backends()

@@ -377,13 +377,16 @@ class RTree:
         entry_size: int = DEFAULT_ENTRY_BYTES,
     ) -> "RTree":
         """Build a packed R-tree from items exposing an ``mbr`` attribute."""
+        pairs = bulk_pairs(items)
+        if not pairs:
+            raise ValueError("cannot index an empty collection")
         tree = cls(
             max_entries=max_entries,
             min_entries=min_entries,
             page_size=page_size,
             entry_size=entry_size,
         )
-        tree._bulk_load_pairs(bulk_pairs(items))
+        tree._bulk_load_pairs(pairs)
         return tree
 
     def _bulk_load_pairs(self, pairs: list[tuple[Rect, Any]]) -> None:

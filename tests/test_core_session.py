@@ -1,0 +1,158 @@
+"""Tests for the fluent Session facade."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine
+from repro.core.queries import Evaluation, NearestNeighborQuery, RangeQuery
+from repro.core.session import Session
+from repro.datasets.workload import QueryWorkload
+
+from tests.conftest import TEST_SPACE
+
+
+@pytest.fixture()
+def session(small_points, small_uncertain) -> Session:
+    return Session.from_objects(points=small_points, uncertain=small_uncertain)
+
+
+class TestConstruction:
+    def test_from_objects_builds_both_databases(self, session, small_points, small_uncertain):
+        assert session.point_db is not None
+        assert session.uncertain_db is not None
+        assert len(session.point_db) == len(small_points)
+        assert len(session.uncertain_db) == len(small_uncertain)
+        assert session.point_db.kind == "rtree"
+        assert session.uncertain_db.kind == "pti"
+
+    def test_from_objects_honours_index_kinds(self, small_points, small_uncertain):
+        session = Session.from_objects(
+            points=small_points,
+            uncertain=small_uncertain,
+            point_index="grid",
+            uncertain_index="linear",
+        )
+        assert session.point_db.kind == "grid"
+        assert session.uncertain_db.kind == "linear"
+
+    def test_wraps_prebuilt_engine(self, point_db):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        session = Session(engine=engine)
+        assert session.engine is engine
+
+    def test_engine_and_databases_are_mutually_exclusive(self, point_db):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        with pytest.raises(ValueError):
+            Session(engine=engine, point_db=point_db)
+
+    def test_config_reaches_engine(self, small_points):
+        session = Session.from_objects(
+            points=small_points, config=EngineConfig(monte_carlo_samples=42)
+        )
+        assert session.engine.config.monte_carlo_samples == 42
+
+    def test_needs_at_least_one_database(self):
+        with pytest.raises(ValueError):
+            Session.from_objects()
+
+
+class TestFluentRangeQueries:
+    def test_full_chain_runs_a_constrained_query(self, session, uniform_issuer):
+        evaluation = (
+            session.range(half_width=500.0)
+            .targets("uncertain")
+            .threshold(0.5)
+            .issued_by(uniform_issuer)
+            .run()
+        )
+        assert isinstance(evaluation, Evaluation)
+        assert evaluation.query.kind == "ciuq"
+        assert all(answer.probability >= 0.5 for answer in evaluation)
+
+    def test_build_returns_query_object(self, session, uniform_issuer):
+        query = (
+            session.range(half_width=500.0, half_height=250.0)
+            .targets("points")
+            .issued_by(uniform_issuer)
+            .build()
+        )
+        assert isinstance(query, RangeQuery)
+        assert query.spec.half_width == 500.0
+        assert query.spec.half_height == 250.0
+        assert query.threshold == 0.0
+
+    def test_builder_is_immutable_and_reusable(self, session, uniform_issuer):
+        base = session.range(half_width=500.0).targets("points").issued_by(uniform_issuer)
+        constrained = base.threshold(0.7)
+        assert base.build().threshold == 0.0
+        assert constrained.build().threshold == 0.7
+
+    def test_target_defaults_to_the_only_database(self, small_points, small_uncertain, uniform_issuer):
+        points_only = Session.from_objects(points=small_points)
+        query = points_only.range(half_width=500.0).issued_by(uniform_issuer).build()
+        assert query.target == "points"
+        uncertain_only = Session.from_objects(uncertain=small_uncertain)
+        query = uncertain_only.range(half_width=500.0).issued_by(uniform_issuer).build()
+        assert query.target == "uncertain"
+
+    def test_ambiguous_target_requires_explicit_choice(self, session, uniform_issuer):
+        builder = session.range(half_width=500.0).issued_by(uniform_issuer)
+        with pytest.raises(ValueError, match="targets"):
+            builder.build()
+
+    def test_missing_issuer_rejected(self, session):
+        with pytest.raises(ValueError, match="issued_by"):
+            session.range(half_width=500.0).targets("points").build()
+
+    def test_run_many_uses_the_batch_path(self, session):
+        workload = QueryWorkload(bounds=TEST_SPACE, seed=5)
+        issuers = list(workload.issuers(8))
+        evaluations = (
+            session.range(half_width=500.0).targets("points").run_many(issuers)
+        )
+        assert len(evaluations) == 8
+        assert [e.query.issuer for e in evaluations] == issuers
+        # Same shape evaluated directly gives the same answers.
+        direct = session.evaluate(
+            RangeQuery.ipq(issuers[0], evaluations[0].query.spec)
+        )
+        assert direct.probabilities() == evaluations[0].probabilities()
+
+
+class TestNearestNeighborBuilder:
+    def test_nearest_chain(self, session, uniform_issuer):
+        evaluation = (
+            session.nearest()
+            .sample_count(256)
+            .threshold(0.1)
+            .issued_by(uniform_issuer)
+            .run()
+        )
+        assert evaluation.query.kind == "nn"
+        assert all(answer.probability >= 0.1 for answer in evaluation)
+
+    def test_nearest_build(self, session, uniform_issuer):
+        query = session.nearest(samples=64).issued_by(uniform_issuer).build()
+        assert isinstance(query, NearestNeighborQuery)
+        assert query.samples == 64
+
+    def test_nearest_missing_issuer_rejected(self, session):
+        with pytest.raises(ValueError, match="issued_by"):
+            session.nearest().build()
+
+
+class TestDirectEvaluation:
+    def test_session_evaluate_delegates_to_engine(self, session, uniform_issuer):
+        query = RangeQuery.ipq(
+            uniform_issuer, session.range(half_width=500.0).spec
+        )
+        via_session = session.evaluate(query)
+        assert via_session.probabilities() == session.engine.evaluate(query).probabilities()
+
+    def test_session_evaluate_many(self, session, uniform_issuer):
+        spec = session.range(half_width=500.0).spec
+        queries = [
+            RangeQuery.ipq(uniform_issuer, spec),
+            RangeQuery.iuq(uniform_issuer, spec),
+        ]
+        evaluations = session.evaluate_many(queries)
+        assert [e.query.kind for e in evaluations] == ["ipq", "iuq"]

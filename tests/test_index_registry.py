@@ -1,0 +1,139 @@
+"""Tests for the pluggable index registry."""
+
+import pytest
+
+from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.geometry.rect import Rect
+from repro.index.gridfile import GridFile
+from repro.index.linear import LinearScanIndex
+from repro.index.pti import ProbabilityThresholdIndex
+from repro.index.registry import (
+    IndexBackend,
+    IndexCapabilities,
+    available_indexes,
+    build_index,
+    get_index_backend,
+    register_index,
+    unregister_index,
+)
+from repro.index.rtree import RTree
+from repro.uncertainty.region import PointObject
+
+
+@pytest.fixture()
+def points():
+    return [PointObject.at(i, 100.0 * i, 50.0 * i) for i in range(1, 30)]
+
+
+class TestSeedBackends:
+    def test_all_four_seed_backends_registered(self):
+        names = available_indexes()
+        for expected in ("rtree", "pti", "grid", "linear"):
+            assert expected in names
+
+    def test_capability_flags(self):
+        assert get_index_backend("rtree").capabilities.supports_points
+        assert get_index_backend("rtree").capabilities.supports_uncertain
+        pti = get_index_backend("pti").capabilities
+        assert not pti.supports_points
+        assert pti.supports_uncertain
+        assert pti.supports_probability_pruning
+        assert get_index_backend("grid").capabilities.requires_bounds
+        assert not get_index_backend("linear").capabilities.requires_bounds
+
+    def test_build_index_resolves_each_backend(self, points, small_uncertain):
+        assert isinstance(build_index(points, "rtree"), RTree)
+        assert isinstance(build_index(points, "grid"), GridFile)
+        assert isinstance(build_index(points, "linear"), LinearScanIndex)
+        assert isinstance(build_index(small_uncertain, "pti"), ProbabilityThresholdIndex)
+
+    def test_grid_bounds_computed_when_missing(self, points):
+        grid = build_index(points, "grid")
+        assert isinstance(grid, GridFile)
+        explicit = build_index(points, "grid", bounds=Rect(0.0, 0.0, 5_000.0, 5_000.0))
+        assert isinstance(explicit, GridFile)
+
+    def test_unknown_kind_lists_registered_backends(self, points):
+        with pytest.raises(ValueError, match="rtree") as excinfo:
+            build_index(points, "btree")
+        assert "unknown index kind" in str(excinfo.value)
+
+
+class TestEmptyCollections:
+    def test_build_index_rejects_empty(self):
+        for kind in ("rtree", "pti", "grid", "linear"):
+            with pytest.raises(ValueError, match="cannot index an empty collection"):
+                build_index([], kind)
+
+    @pytest.mark.parametrize(
+        "loader",
+        [RTree.bulk_load, ProbabilityThresholdIndex.bulk_load, LinearScanIndex.bulk_load],
+    )
+    def test_bulk_load_rejects_empty(self, loader):
+        with pytest.raises(ValueError, match="cannot index an empty collection"):
+            loader([])
+
+    def test_gridfile_bulk_load_rejects_empty(self):
+        with pytest.raises(ValueError, match="cannot index an empty collection"):
+            GridFile.bulk_load([], bounds=Rect(0.0, 0.0, 1.0, 1.0))
+
+    def test_databases_reject_empty(self):
+        with pytest.raises(ValueError, match="cannot index an empty collection"):
+            PointDatabase.build([])
+        with pytest.raises(ValueError, match="cannot index an empty collection"):
+            UncertainDatabase.build([])
+
+
+class TestCustomBackends:
+    def test_register_lookup_and_unregister(self, points):
+        register_index(
+            "reversed-scan",
+            lambda items, **kwargs: LinearScanIndex.bulk_load(list(reversed(items))),
+            capabilities=IndexCapabilities(supports_points=True, supports_uncertain=False),
+        )
+        try:
+            backend = get_index_backend("reversed-scan")
+            assert isinstance(backend, IndexBackend)
+            index = build_index(points, "reversed-scan")
+            assert len(index) == len(points)
+        finally:
+            unregister_index("reversed-scan")
+        with pytest.raises(ValueError):
+            get_index_backend("reversed-scan")
+
+    def test_duplicate_registration_rejected_without_replace(self):
+        register_index("dup-backend", LinearScanIndex.bulk_load)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_index("dup-backend", LinearScanIndex.bulk_load)
+            register_index("dup-backend", LinearScanIndex.bulk_load, replace=True)
+        finally:
+            unregister_index("dup-backend")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_index("", LinearScanIndex.bulk_load)
+
+    def test_point_database_accepts_custom_backend(self, points):
+        register_index("scan2", LinearScanIndex.bulk_load)
+        try:
+            db = PointDatabase.build(points, index_kind="scan2")
+            assert db.kind == "scan2"
+            assert isinstance(db.index, LinearScanIndex)
+        finally:
+            unregister_index("scan2")
+
+    def test_capability_validation_in_database_builders(self, points, small_uncertain):
+        # The PTI's capabilities exclude point objects.
+        with pytest.raises(ValueError, match="uncertain"):
+            PointDatabase.build(points, index_kind="pti")
+        register_index(
+            "points-only",
+            LinearScanIndex.bulk_load,
+            capabilities=IndexCapabilities(supports_points=True, supports_uncertain=False),
+        )
+        try:
+            with pytest.raises(ValueError, match="cannot store uncertain"):
+                UncertainDatabase.build(small_uncertain, index_kind="points-only")
+        finally:
+            unregister_index("points-only")

@@ -111,9 +111,9 @@ class TestBulkLoad:
         with pytest.raises(RuntimeError):
             tree._bulk_load_pairs([(Rect(0.0, 0.0, 1.0, 1.0), 1)])
 
-    def test_bulk_load_empty_iterable(self):
-        tree = RTree.bulk_load([])
-        assert len(tree) == 0
+    def test_bulk_load_empty_iterable_rejected(self):
+        with pytest.raises(ValueError, match="cannot index an empty collection"):
+            RTree.bulk_load([])
 
     def test_bulk_loaded_tree_is_shallower_than_incremental(self):
         pairs = _random_rects(600, seed=11)
