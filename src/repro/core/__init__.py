@@ -12,6 +12,8 @@ The package is organised around the paper's structure:
 * :mod:`repro.core.pruning` — threshold pruning strategies (Section 5.2).
 * :mod:`repro.core.engine` — the end-to-end engines combining an index, the
   filters and the probability computations (Sections 4.3 and 5.3).
+* :mod:`repro.core.columnar` — columnar database snapshots backing the
+  vectorized (NumPy) evaluation paths.
 * :mod:`repro.core.nearest` — imprecise nearest-neighbour extension
   (the paper's future work).
 * :mod:`repro.core.quality` — answer-quality metrics (expected cardinality,
@@ -33,14 +35,26 @@ from repro.core.expansion import (
     p_expanded_query,
     p_expanded_query_from_catalog,
 )
+from repro.core.columnar import ColumnarPoints, ColumnarUncertain
 from repro.core.duality import (
+    ipq_probabilities,
+    ipq_probabilities_monte_carlo,
     ipq_probability,
     ipq_probability_monte_carlo,
+    iuq_probabilities_exact_uniform,
+    iuq_probabilities_monte_carlo,
     iuq_probability,
     iuq_probability_exact_uniform,
     iuq_probability_monte_carlo,
 )
-from repro.core.basic import BasicEvaluator, basic_ipq_probability, basic_iuq_probability
+from repro.core.basic import (
+    BasicEvaluator,
+    basic_ipq_probabilities,
+    basic_ipq_probability,
+    basic_iuq_probabilities,
+    basic_iuq_probability,
+    issuer_grid_arrays,
+)
 from repro.core.pruning import CIPQPruner, CIUQPruner, PruneDecision, PruningStrategy
 from repro.core.statistics import EvaluationStatistics, aggregate_statistics
 from repro.core.engine import (
@@ -79,14 +93,23 @@ __all__ = [
     "minkowski_expanded_query",
     "p_expanded_query",
     "p_expanded_query_from_catalog",
+    "ipq_probabilities",
+    "ipq_probabilities_monte_carlo",
     "ipq_probability",
     "ipq_probability_monte_carlo",
+    "iuq_probabilities_exact_uniform",
+    "iuq_probabilities_monte_carlo",
     "iuq_probability",
     "iuq_probability_exact_uniform",
     "iuq_probability_monte_carlo",
     "BasicEvaluator",
+    "basic_ipq_probabilities",
     "basic_ipq_probability",
+    "basic_iuq_probabilities",
     "basic_iuq_probability",
+    "issuer_grid_arrays",
+    "ColumnarPoints",
+    "ColumnarUncertain",
     "CIPQPruner",
     "CIUQPruner",
     "PruneDecision",

@@ -1,0 +1,164 @@
+"""Columnar snapshots of object collections for the vectorized backend.
+
+The scalar evaluation paths walk ``Point``/``Rect`` dataclasses object by
+object; every geometric test is a Python method call.  The vectorized backend
+instead snapshots a database's objects into contiguous NumPy arrays once and
+evaluates filters and probability kernels as array operations:
+
+* :class:`ColumnarPoints` — point-object coordinates as an ``(N, 2)`` array;
+* :class:`ColumnarUncertain` — uncertain-region bounds as an ``(N, 4)`` array
+  plus, when every object carries a U-catalog over the same levels, the
+  catalog bound rectangles as an ``(N, L, 4)`` array.
+
+Snapshots are immutable views of the object list they were built from; the
+databases in :mod:`repro.core.engine` build them lazily on first use and a
+rebuilt database starts with a fresh (un-built) snapshot slot, so there is no
+invalidation protocol to get wrong.
+
+Array layouts follow :meth:`repro.geometry.rect.Rect.as_tuple`:
+``(xmin, ymin, xmax, ymax)`` columns for every bounds array.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+from repro.uncertainty.region import PointObject, UncertainObject
+
+
+def points_in_window_mask(xy: np.ndarray, window: Rect) -> np.ndarray:
+    """Row-wise closed-window containment for an ``(N, 2)`` coordinate array.
+
+    The single definition of the point-vs-window predicate used by every
+    vectorized filter, mirroring :meth:`Rect.contains_point` (closed bounds).
+    """
+    xs = xy[:, 0]
+    ys = xy[:, 1]
+    return (
+        (xs >= window.xmin)
+        & (xs <= window.xmax)
+        & (ys >= window.ymin)
+        & (ys <= window.ymax)
+    )
+
+
+def bounds_overlap_window_mask(bounds: np.ndarray, window: Rect) -> np.ndarray:
+    """Row-wise closed-rectangle overlap for an ``(N, 4)`` bounds array.
+
+    The single definition of the region-vs-window predicate used by every
+    vectorized filter, mirroring :meth:`Rect.overlaps` for non-empty rows.
+    """
+    return (
+        (bounds[:, 0] <= window.xmax)
+        & (window.xmin <= bounds[:, 2])
+        & (bounds[:, 1] <= window.ymax)
+        & (window.ymin <= bounds[:, 3])
+    )
+
+
+class ColumnarPoints:
+    """Immutable columnar snapshot of a point-object collection."""
+
+    __slots__ = ("objects", "oids", "xy")
+
+    def __init__(self, objects: Sequence[PointObject]) -> None:
+        self.objects: tuple[PointObject, ...] = tuple(objects)
+        n = len(self.objects)
+        self.oids: np.ndarray = np.fromiter(
+            (obj.oid for obj in self.objects), dtype=np.int64, count=n
+        )
+        xy = np.empty((n, 2), dtype=float)
+        for row, obj in enumerate(self.objects):
+            location = obj.location
+            xy[row, 0] = location.x
+            xy[row, 1] = location.y
+        xy.setflags(write=False)
+        self.oids.setflags(write=False)
+        self.xy = xy
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def window_rows(self, window: Rect) -> np.ndarray:
+        """Rows of the points inside the closed ``window`` (ascending order).
+
+        Matches the index filter step for point objects: a degenerate MBR
+        overlaps the window exactly when the point lies inside it.
+        """
+        if window.is_empty or not self.objects:
+            return np.empty(0, dtype=np.intp)
+        return np.flatnonzero(points_in_window_mask(self.xy, window))
+
+
+class ColumnarUncertain:
+    """Immutable columnar snapshot of an uncertain-object collection."""
+
+    __slots__ = ("objects", "oids", "bounds", "catalog_levels", "catalog_bounds", "_row_of_oid")
+
+    def __init__(self, objects: Sequence[UncertainObject]) -> None:
+        self.objects: tuple[UncertainObject, ...] = tuple(objects)
+        n = len(self.objects)
+        self.oids: np.ndarray = np.fromiter(
+            (obj.oid for obj in self.objects), dtype=np.int64, count=n
+        )
+        bounds = np.empty((n, 4), dtype=float)
+        for row, obj in enumerate(self.objects):
+            bounds[row] = obj.region.as_tuple()
+        bounds.setflags(write=False)
+        self.oids.setflags(write=False)
+        self.bounds = bounds
+        self._row_of_oid: dict[int, int] = {
+            obj.oid: row for row, obj in enumerate(self.objects)
+        }
+        self.catalog_levels, self.catalog_bounds = self._snapshot_catalogs()
+
+    def _snapshot_catalogs(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Catalog bound rectangles as ``(N, L, 4)``, when homogeneous.
+
+        Vectorized Strategy-1 pruning needs every object's bound rectangle at
+        one shared level; that only works when all objects store catalogs over
+        identical levels (the common case — workload builders attach the same
+        level set everywhere).  Heterogeneous or missing catalogs yield
+        ``(None, None)`` and the engine falls back to per-object pruning.
+        """
+        if not self.objects:
+            return None, None
+        first = self.objects[0].catalog
+        if first is None:
+            return None, None
+        levels = first.levels
+        n = len(self.objects)
+        table = np.empty((n, len(levels), 4), dtype=float)
+        for row, obj in enumerate(self.objects):
+            catalog = obj.catalog
+            if catalog is None or catalog.levels != levels:
+                return None, None
+            for li, (_, rect) in enumerate(catalog.level_rects()):
+                table[row, li] = rect.as_tuple()
+        table.setflags(write=False)
+        level_array = np.asarray(levels, dtype=float)
+        level_array.setflags(write=False)
+        return level_array, table
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def rows_for(self, candidates: Sequence[UncertainObject]) -> np.ndarray:
+        """Snapshot rows of ``candidates`` (by object id), in candidate order.
+
+        Raises ``KeyError`` for objects that are not part of the snapshot —
+        candidates must come from the same database the snapshot was built on.
+        """
+        row_of = self._row_of_oid
+        return np.fromiter(
+            (row_of[obj.oid] for obj in candidates), dtype=np.intp, count=len(candidates)
+        )
+
+    def window_rows(self, window: Rect) -> np.ndarray:
+        """Rows of the objects whose region overlaps ``window`` (ascending)."""
+        if window.is_empty or not self.objects:
+            return np.empty(0, dtype=np.intp)
+        return np.flatnonzero(bounds_overlap_window_mask(self.bounds, window))

@@ -51,6 +51,29 @@ def ipq_probability(
     return issuer_pdf.probability_in_rect(dual_range)
 
 
+def ipq_probabilities(
+    issuer_pdf: UncertaintyPdf, spec: RangeQuerySpec, locations: np.ndarray
+) -> np.ndarray:
+    """Batched Lemma 3: qualification probabilities for many point objects.
+
+    ``locations`` is a ``(K, 2)`` coordinate array; the result is the ``(K,)``
+    array of the issuer's masses inside the dual ranges centred at each
+    location.  For pdfs with an array kernel (uniform, truncated Gaussian)
+    this is one NumPy evaluation; other pdfs fall back to a per-rectangle
+    loop.  Either way the values are bitwise identical to ``K`` scalar
+    :func:`ipq_probability` calls.
+    """
+    locations = np.asarray(locations, dtype=float)
+    if locations.ndim != 2 or locations.shape[1] != 2:
+        raise ValueError(f"locations must have shape (K, 2), got {locations.shape}")
+    dual_bounds = np.empty((locations.shape[0], 4), dtype=float)
+    dual_bounds[:, 0] = locations[:, 0] - spec.half_width
+    dual_bounds[:, 1] = locations[:, 1] - spec.half_height
+    dual_bounds[:, 2] = locations[:, 0] + spec.half_width
+    dual_bounds[:, 3] = locations[:, 1] + spec.half_height
+    return issuer_pdf.probability_in_rects(dual_bounds)
+
+
 def ipq_probability_monte_carlo(
     issuer_pdf: UncertaintyPdf,
     spec: RangeQuerySpec,
@@ -72,6 +95,32 @@ def ipq_probability_monte_carlo(
     dy = np.abs(draws[:, 1] - location.y)
     inside = (dx <= spec.half_width) & (dy <= spec.half_height)
     return float(np.count_nonzero(inside)) / samples
+
+
+def ipq_probabilities_monte_carlo(
+    issuer_pdf: UncertaintyPdf,
+    spec: RangeQuerySpec,
+    locations: np.ndarray,
+    samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Batched Monte-Carlo IPQ probabilities for many point objects.
+
+    The draws come from the per-query draw plan
+    (:meth:`~repro.uncertainty.pdf.UncertaintyPdf.sample_batch` — one batched
+    issuer draw, object ``i`` owning the ``i``-th block) and the containment
+    test runs once over the whole ``(K, samples)`` batch.  A scalar loop over
+    the same plan produces bitwise-identical probabilities.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    locations = np.asarray(locations, dtype=float)
+    k = locations.shape[0]
+    draws = issuer_pdf.sample_batch(rng, samples, k)
+    dx = np.abs(draws[:, :, 0] - locations[:, 0, None])
+    dy = np.abs(draws[:, :, 1] - locations[:, 1, None])
+    inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+    return np.count_nonzero(inside, axis=1) / samples
 
 
 # --------------------------------------------------------------------------- #
@@ -146,6 +195,73 @@ def iuq_probability_exact_uniform(
     return min(1.0, max(0.0, probability))
 
 
+def _overlap_length_integrals(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    issuer_interval: Interval,
+    half_extent: float,
+) -> np.ndarray:
+    """Vectorized :func:`_overlap_length_integral` over many object intervals.
+
+    ``lows``/``highs`` are ``(K,)`` arrays of object-interval endpoints; the
+    issuer interval and window half-extent are shared (they come from the
+    query).  The moving-window overlap function ``g`` has at most four
+    breakpoints, all derived from the issuer interval, so one sorted
+    breakpoint row clipped per object reproduces the scalar piecewise
+    trapezoid integration exactly (zero-width pieces contribute nothing).
+    """
+    a1, a2 = issuer_interval.low, issuer_interval.high
+    breakpoints = np.sort(
+        np.array(
+            [
+                a1 - half_extent,
+                a1 + half_extent,
+                a2 - half_extent,
+                a2 + half_extent,
+            ]
+        )
+    )
+    # Piecewise nodes per object: lo, the four clipped breakpoints, hi.
+    nodes = np.empty((lows.shape[0], 6), dtype=float)
+    nodes[:, 0] = lows
+    nodes[:, 1:5] = np.clip(breakpoints[None, :], lows[:, None], highs[:, None])
+    nodes[:, 5] = highs
+    g = np.maximum(
+        0.0,
+        np.minimum(nodes + half_extent, a2) - np.maximum(nodes - half_extent, a1),
+    )
+    widths = np.diff(nodes, axis=1)
+    return np.sum((g[:, :-1] + g[:, 1:]) * widths, axis=1) / 2.0
+
+
+def iuq_probabilities_exact_uniform(
+    issuer_pdf: UniformPdf, bounds: np.ndarray, spec: RangeQuerySpec
+) -> np.ndarray:
+    """Batched closed-form Equation 8 for a uniform issuer and uniform targets.
+
+    ``bounds`` is a ``(K, 4)`` array of target uncertainty-region rectangles
+    ``(xmin, ymin, xmax, ymax)``; the result matches ``K`` scalar
+    :func:`iuq_probability_exact_uniform` calls to within floating-point
+    summation order (≪ 1e-12).
+    """
+    bounds = np.asarray(bounds, dtype=float)
+    if bounds.ndim != 2 or bounds.shape[1] != 4:
+        raise ValueError(f"bounds must have shape (K, 4), got {bounds.shape}")
+    issuer_region = issuer_pdf.region
+    ix = _overlap_length_integrals(
+        bounds[:, 0], bounds[:, 2], issuer_region.x_interval, spec.half_width
+    )
+    iy = _overlap_length_integrals(
+        bounds[:, 1], bounds[:, 3], issuer_region.y_interval, spec.half_height
+    )
+    widths = bounds[:, 2] - bounds[:, 0]
+    heights = bounds[:, 3] - bounds[:, 1]
+    denominator = widths * heights * issuer_region.width * issuer_region.height
+    if np.any(denominator == 0.0):
+        raise ValueError("uniform regions must have positive area")
+    return np.clip((ix * iy) / denominator, 0.0, 1.0)
+
+
 def iuq_probability(
     issuer_pdf: UncertaintyPdf,
     target: UncertainObject,
@@ -164,23 +280,24 @@ def iuq_probability(
       ``Q(x, y)`` is evaluated exactly and the expectation over the target's
       pdf is taken by Monte-Carlo sampling (``samples`` draws) or, when
       ``grid_resolution`` is given, by a deterministic midpoint rule.
+
+    The sampled expectation evaluates ``Q`` for all draws in one batched
+    :func:`ipq_probabilities` call rather than ``samples`` Python calls.
     """
     if isinstance(issuer_pdf, UniformPdf) and isinstance(target.pdf, UniformPdf):
         return iuq_probability_exact_uniform(issuer_pdf, target, spec)
 
-    def point_probability(x: float, y: float) -> float:
-        return ipq_probability(issuer_pdf, spec, Point(x, y))
-
     if grid_resolution is not None:
+        def point_probability(x: float, y: float) -> float:
+            return ipq_probability(issuer_pdf, spec, Point(x, y))
+
         return min(1.0, grid_expectation(target.pdf, point_probability, grid_resolution))
 
     if rng is None:
         rng = np.random.default_rng(0)
     draws = target.pdf.sample(rng, samples)
-    total = 0.0
-    for x, y in draws:
-        total += point_probability(float(x), float(y))
-    return min(1.0, total / samples)
+    values = ipq_probabilities(issuer_pdf, spec, draws)
+    return min(1.0, float(values.sum()) / samples)
 
 
 def iuq_probability_monte_carlo(
@@ -205,6 +322,87 @@ def iuq_probability_monte_carlo(
     dy = np.abs(target_draws[:, 1] - issuer_draws[:, 1])
     inside = (dx <= spec.half_width) & (dy <= spec.half_height)
     return float(np.count_nonzero(inside)) / samples
+
+
+def monte_carlo_iuq_draws(
+    issuer_pdf: UncertaintyPdf,
+    targets: "list[UncertainObject]",
+    samples: int,
+    rng: np.random.Generator,
+    *,
+    target_bounds: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The per-query IUQ draw plan: paired issuer/target draw tensors.
+
+    Issuer positions for all ``k`` targets come from one batched
+    :meth:`~repro.uncertainty.pdf.UncertaintyPdf.sample_batch` call; target
+    positions come from one flat standard-uniform draw when every target pdf
+    is uniform (scaled into each region), and from per-target
+    :meth:`~repro.uncertainty.pdf.UncertaintyPdf.sample_into` calls
+    otherwise.  Both evaluation backends consume this identical plan, which
+    is what keeps sampled probabilities bitwise comparable between them.
+
+    ``target_bounds`` optionally supplies the targets' region rectangles as a
+    pre-built ``(k, 4)`` array (e.g. a columnar-snapshot slice) so the
+    uniform fast path need not re-collect them; values must equal
+    ``target.region.as_tuple()`` row by row.
+    """
+    k = len(targets)
+    if k == 0:
+        empty = np.empty((0, samples, 2), dtype=float)
+        return empty, np.empty((0, samples, 2), dtype=float)
+    uniform_targets = all(type(target.pdf) is UniformPdf for target in targets)
+    if uniform_targets and type(issuer_pdf) is UniformPdf:
+        # Fully uniform batch: one flat standard-uniform draw covers issuer
+        # and target positions, scaled per region with the same
+        # low + (high - low) * u transform rng.uniform applies.
+        u = rng.random((4, k, samples))
+        issuer_region = issuer_pdf.region
+        issuer_draws = np.empty((k, samples, 2), dtype=float)
+        issuer_draws[:, :, 0] = issuer_region.xmin + (issuer_region.xmax - issuer_region.xmin) * u[0]
+        issuer_draws[:, :, 1] = issuer_region.ymin + (issuer_region.ymax - issuer_region.ymin) * u[1]
+        target_u = u[2:]
+    else:
+        issuer_draws = issuer_pdf.sample_batch(rng, samples, k)
+        target_u = rng.random((2, k, samples)) if uniform_targets else None
+    target_draws = np.empty((k, samples, 2), dtype=float)
+    if uniform_targets:
+        bounds = (
+            target_bounds
+            if target_bounds is not None
+            else np.array([target.region.as_tuple() for target in targets])
+        )
+        target_draws[:, :, 0] = bounds[:, 0, None] + (bounds[:, 2] - bounds[:, 0])[:, None] * target_u[0]
+        target_draws[:, :, 1] = bounds[:, 1, None] + (bounds[:, 3] - bounds[:, 1])[:, None] * target_u[1]
+    else:
+        for i, target in enumerate(targets):
+            target.pdf.sample_into(rng, target_draws[i])
+    return issuer_draws, target_draws
+
+
+def iuq_probabilities_monte_carlo(
+    issuer_pdf: UncertaintyPdf,
+    targets: "list[UncertainObject]",
+    spec: RangeQuerySpec,
+    samples: int,
+    rng: np.random.Generator,
+    *,
+    target_bounds: np.ndarray | None = None,
+) -> np.ndarray:
+    """Batched fully-sampled IUQ probabilities for many uncertain objects.
+
+    Consumes the :func:`monte_carlo_iuq_draws` plan and fuses the paired
+    containment test into one ``(K, samples)`` evaluation.  A scalar loop
+    over the same plan produces bitwise-identical probabilities.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    issuer_draws, target_draws = monte_carlo_iuq_draws(
+        issuer_pdf, targets, samples, rng, target_bounds=target_bounds
+    )
+    d = np.abs(target_draws - issuer_draws)
+    inside = (d[:, :, 0] <= spec.half_width) & (d[:, :, 1] <= spec.half_height)
+    return np.count_nonzero(inside, axis=1) / samples
 
 
 # --------------------------------------------------------------------------- #

@@ -33,19 +33,27 @@ from __future__ import annotations
 import time
 import warnings
 from collections import Counter
-from dataclasses import dataclass, fields, replace
+from dataclasses import dataclass, field, fields, replace
 from functools import singledispatchmethod
 from typing import Any, Iterable, Literal, Sequence
 
 import numpy as np
 
 from repro.geometry.rect import Rect
+from repro.core.columnar import (
+    ColumnarPoints,
+    ColumnarUncertain,
+    points_in_window_mask,
+)
 from repro.core.duality import (
+    ipq_probabilities,
+    ipq_probabilities_monte_carlo,
     ipq_probability,
-    ipq_probability_monte_carlo,
+    iuq_probabilities_exact_uniform,
+    iuq_probabilities_monte_carlo,
     iuq_probability,
     iuq_probability_exact_uniform,
-    iuq_probability_monte_carlo,
+    monte_carlo_iuq_draws,
 )
 from repro.core.nearest import ImpreciseNearestNeighborEngine
 from repro.core.pruning import ALL_STRATEGIES, CIPQPruner, CIUQPruner, PruningStrategy
@@ -95,6 +103,11 @@ class EngineConfig:
     use_p_expanded_query: bool = True
     use_pti_pruning: bool = True
     ciuq_strategies: tuple[PruningStrategy, ...] = ALL_STRATEGIES
+    #: Evaluate qualification probabilities with the NumPy-columnar backend.
+    #: Answer sets are identical to the scalar path (Monte-Carlo draws are
+    #: bitwise identical given the same seed); pdfs without array kernels
+    #: transparently fall back to their scalar implementations.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.monte_carlo_samples < 1:
@@ -134,6 +147,15 @@ class PointDatabase:
     objects: list[PointObject]
     index: Any
     kind: str = "rtree"
+    # Lazily-built columnar snapshot; a rebuilt database is a new instance,
+    # so the cache can never go stale.
+    _columnar: ColumnarPoints | None = field(default=None, init=False, repr=False, compare=False)
+
+    def columnar(self) -> ColumnarPoints:
+        """The columnar snapshot of the collection (built once, on demand)."""
+        if self._columnar is None:
+            self._columnar = ColumnarPoints(self.objects)
+        return self._columnar
 
     @classmethod
     def build(
@@ -169,6 +191,13 @@ class UncertainDatabase:
     objects: list[UncertainObject]
     index: Any
     kind: str = "pti"
+    _columnar: ColumnarUncertain | None = field(default=None, init=False, repr=False, compare=False)
+
+    def columnar(self) -> ColumnarUncertain:
+        """The columnar snapshot of the collection (built once, on demand)."""
+        if self._columnar is None:
+            self._columnar = ColumnarUncertain(self.objects)
+        return self._columnar
 
     @classmethod
     def build(
@@ -253,42 +282,6 @@ class ImpreciseQueryEngine:
             return False
         return not issuer.pdf.has_closed_form
 
-    def _point_probability(
-        self,
-        issuer: UncertainObject,
-        obj: PointObject,
-        spec: RangeQuerySpec,
-        stats: EvaluationStatistics,
-    ) -> float:
-        stats.probability_computations += 1
-        if self._use_monte_carlo(issuer):
-            samples = self._config.monte_carlo_samples
-            stats.monte_carlo_samples += samples
-            return ipq_probability_monte_carlo(
-                issuer.pdf, spec, obj.location, samples, self._rng
-            )
-        return ipq_probability(issuer.pdf, spec, obj.location)
-
-    def _uncertain_probability(
-        self,
-        issuer: UncertainObject,
-        obj: UncertainObject,
-        spec: RangeQuerySpec,
-        stats: EvaluationStatistics,
-    ) -> float:
-        stats.probability_computations += 1
-        method = self._config.probability_method
-        exact_possible = isinstance(issuer.pdf, UniformPdf) and isinstance(obj.pdf, UniformPdf)
-        if method == "monte_carlo" or (method == "auto" and not exact_possible):
-            samples = self._config.monte_carlo_samples
-            stats.monte_carlo_samples += samples
-            return iuq_probability_monte_carlo(issuer.pdf, obj, spec, samples, self._rng)
-        if exact_possible:
-            return iuq_probability_exact_uniform(issuer.pdf, obj, spec)
-        # method == "exact" but no closed form: fall back to the semi-analytic
-        # deterministic grid so results stay reproducible.
-        return iuq_probability(issuer.pdf, obj, spec, grid_resolution=24)
-
     # ------------------------------------------------------------------ #
     # Unified entry point
     # ------------------------------------------------------------------ #
@@ -365,6 +358,15 @@ class ImpreciseQueryEngine:
         and threshold.  Results — including Monte-Carlo draws — are identical
         to calling :meth:`evaluate` on each query in order, because queries
         execute in input order against the same random generator.
+
+        With the vectorized backend the batch additionally amortises the
+        databases' columnar snapshots: each is built once (then reused) and
+        range queries filter candidates with one NumPy window test instead of
+        a per-query index traversal (PTI-pruned queries keep the index — its
+        node-level pruning is the feature under study).  The answers are
+        identical either way, because candidate processing is oid-ordered in
+        every path; only ``statistics.io`` differs (the columnar filter
+        performs no index node accesses).
         """
         batch = list(queries)
         for position, query in enumerate(batch):
@@ -394,6 +396,15 @@ class ImpreciseQueryEngine:
         )
         point_pruners: dict[tuple, CIPQPruner] = {}
         uncertain_pruners: dict[tuple, CIUQPruner] = {}
+        # The columnar snapshots replace the per-query index traversal with
+        # one NumPy window test; candidate processing is oid-ordered in every
+        # path, so Monte-Carlo draw assignment is unaffected by the switch.
+        point_snapshot: ColumnarPoints | None = None
+        uncertain_snapshot: ColumnarUncertain | None = None
+        if self._config.vectorized and "points" in targets:
+            point_snapshot = self._require_point_db().columnar()
+        if self._config.vectorized and "uncertain" in targets:
+            uncertain_snapshot = self._require_uncertain_db().columnar()
         evaluations: list[Evaluation] = []
         for query in batch:
             if isinstance(query, NearestNeighborQuery):
@@ -408,6 +419,7 @@ class ImpreciseQueryEngine:
                     query.spec,
                     query.threshold,
                     pruner_cache=point_pruners if shared else None,
+                    columnar=point_snapshot,
                 )
             else:
                 result, stats = self._run_uncertain_range(
@@ -415,6 +427,7 @@ class ImpreciseQueryEngine:
                     query.spec,
                     query.threshold,
                     pruner_cache=uncertain_pruners if shared else None,
+                    columnar=uncertain_snapshot,
                 )
             evaluations.append(
                 Evaluation(
@@ -466,6 +479,7 @@ class ImpreciseQueryEngine:
         threshold: float,
         *,
         pruner_cache: dict[tuple, CIPQPruner] | None = None,
+        columnar: ColumnarPoints | None = None,
     ) -> tuple[QueryResult, EvaluationStatistics]:
         """(C-)IPQ core: filter through the index, prune, compute probabilities.
 
@@ -474,6 +488,16 @@ class ImpreciseQueryEngine:
         The lookup happens inside the timed region, so ``response_time``
         reflects the true per-query cost: a cache miss is timed exactly like
         the sequential path; a hit records the amortised cost it actually paid.
+
+        ``columnar`` (batch path only) replaces the per-query index traversal
+        with one NumPy window test over the snapshot; the candidate set is
+        identical to an index range search, but no index I/O is performed, so
+        ``stats.io`` stays zero.
+
+        Candidates are processed in ascending oid order regardless of how the
+        index traversal returned them, so results — including Monte-Carlo
+        draw assignment — do not depend on the index kind or the candidate
+        source.
         """
         database = self._require_point_db()
         started = time.perf_counter()
@@ -485,21 +509,85 @@ class ImpreciseQueryEngine:
             pruner = pruner_cache.get(key)
             if pruner is None:
                 pruner = pruner_cache[key] = self._point_pruner(issuer, spec, threshold)
-        index = database.index
-        before = index.stats.snapshot()
-        candidates = index.range_search(pruner.filter_region)
-        stats.io = index.stats.difference_since(before)
+
+        vectorized = self._config.vectorized
+        candidate_xy: np.ndarray | None = None
+        if columnar is not None and vectorized:
+            rows = columnar.window_rows(pruner.filter_region)
+            rows = rows[np.argsort(columnar.oids[rows], kind="stable")]
+            candidates = [columnar.objects[row] for row in rows]
+            candidate_xy = columnar.xy[rows]
+        else:
+            index = database.index
+            before = index.stats.snapshot()
+            candidates = index.range_search(pruner.filter_region)
+            stats.io = index.stats.difference_since(before)
+            candidates.sort(key=lambda obj: obj.oid)
         stats.candidates_examined = len(candidates)
 
         result = QueryResult()
-        for obj in candidates:
-            decision = pruner.decide(obj)
-            if decision.pruned:
-                stats.record_pruned(decision.strategy or "filter")
-                continue
-            probability = self._point_probability(issuer, obj, spec, stats)
-            if probability > 0.0 and probability >= threshold:
-                result.add(obj.oid, probability)
+        if vectorized:
+            if candidate_xy is None:
+                candidate_xy = np.empty((len(candidates), 2), dtype=float)
+                for row, obj in enumerate(candidates):
+                    candidate_xy[row, 0] = obj.location.x
+                    candidate_xy[row, 1] = obj.location.y
+            # The window used to retrieve candidates *is* the pruner's filter
+            # region, so the per-object containment re-check only matters for
+            # indexes that may return a superset of the window.
+            survivors = candidates
+            survivor_xy = candidate_xy
+            if columnar is None and len(candidates) > 0:
+                keep = points_in_window_mask(candidate_xy, pruner.filter_region)
+                pruned_count = int(len(candidates) - np.count_nonzero(keep))
+                if pruned_count:
+                    stats.record_pruned(PruningStrategy.P_EXPANDED_QUERY.value, pruned_count)
+                    rows = np.flatnonzero(keep)
+                    survivors = [candidates[row] for row in rows]
+                    survivor_xy = candidate_xy[rows]
+            if survivors:
+                stats.probability_computations += len(survivors)
+                if self._use_monte_carlo(issuer):
+                    samples = self._config.monte_carlo_samples
+                    stats.monte_carlo_samples += samples * len(survivors)
+                    probabilities = ipq_probabilities_monte_carlo(
+                        issuer.pdf, spec, survivor_xy, samples, self._rng
+                    )
+                else:
+                    probabilities = ipq_probabilities(issuer.pdf, spec, survivor_xy)
+                for obj, probability in zip(survivors, probabilities):
+                    probability = float(probability)
+                    if probability > 0.0 and probability >= threshold:
+                        result.add(obj.oid, probability)
+        else:
+            survivors = []
+            for obj in candidates:
+                decision = pruner.decide(obj)
+                if decision.pruned:
+                    stats.record_pruned(decision.strategy or "filter")
+                    continue
+                survivors.append(obj)
+            if survivors and self._use_monte_carlo(issuer):
+                # Same per-query draw plan as the vectorized backend (one
+                # batched issuer draw), evaluated with a scalar per-object
+                # loop — probabilities are bitwise identical across backends.
+                samples = self._config.monte_carlo_samples
+                draws = issuer.pdf.sample_batch(self._rng, samples, len(survivors))
+                for i, obj in enumerate(survivors):
+                    stats.probability_computations += 1
+                    stats.monte_carlo_samples += samples
+                    dx = np.abs(draws[i, :, 0] - obj.location.x)
+                    dy = np.abs(draws[i, :, 1] - obj.location.y)
+                    inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+                    probability = float(np.count_nonzero(inside)) / samples
+                    if probability > 0.0 and probability >= threshold:
+                        result.add(obj.oid, probability)
+            else:
+                for obj in survivors:
+                    stats.probability_computations += 1
+                    probability = ipq_probability(issuer.pdf, spec, obj.location)
+                    if probability > 0.0 and probability >= threshold:
+                        result.add(obj.oid, probability)
         result.sort()
         stats.results_returned = len(result)
         stats.response_time = time.perf_counter() - started
@@ -512,10 +600,16 @@ class ImpreciseQueryEngine:
         threshold: float,
         *,
         pruner_cache: dict[tuple, CIUQPruner] | None = None,
+        columnar: ColumnarUncertain | None = None,
     ) -> tuple[QueryResult, EvaluationStatistics]:
         """(C-)IUQ core: filter through the index, prune, compute probabilities.
 
-        See :meth:`_run_point_range` for the ``pruner_cache`` timing contract.
+        See :meth:`_run_point_range` for the ``pruner_cache`` timing contract
+        and the ``columnar`` batch-path contract; as there, candidates are
+        processed in ascending oid order so results do not depend on the
+        candidate source.  The columnar window filter only replaces plain
+        window queries — a PTI with threshold pruning enabled keeps the index
+        traversal (its node-level pruning is the feature under study).
         """
         database = self._require_uncertain_db()
         started = time.perf_counter()
@@ -528,26 +622,274 @@ class ImpreciseQueryEngine:
             if pruner is None:
                 pruner = pruner_cache[key] = self._uncertain_pruner(issuer, spec, threshold)
         index = database.index
-        before = index.stats.snapshot()
-        candidates, residual_strategies = self._retrieve_uncertain_candidates(
-            index, pruner, threshold
+        use_pti = (
+            isinstance(index, ProbabilityThresholdIndex)
+            and self._config.use_pti_pruning
+            and threshold > 0.0
         )
-        stats.io = index.stats.difference_since(before)
+        snapshot_rows: np.ndarray | None = None
+        if columnar is not None and self._config.vectorized and not use_pti:
+            window = (
+                pruner.qp_expanded_region
+                if self._config.use_p_expanded_query
+                else pruner.minkowski_region
+            )
+            rows = columnar.window_rows(window)
+            rows = rows[np.argsort(columnar.oids[rows], kind="stable")]
+            snapshot_rows = rows
+            candidates = [columnar.objects[row] for row in rows]
+            if self._config.use_p_expanded_query and threshold > 0.0:
+                residual_strategies = tuple(
+                    s
+                    for s in self._config.ciuq_strategies
+                    if s is not PruningStrategy.P_EXPANDED_QUERY
+                )
+            else:
+                residual_strategies = self._config.ciuq_strategies
+        else:
+            before = index.stats.snapshot()
+            candidates, residual_strategies = self._retrieve_uncertain_candidates(
+                index, pruner, threshold
+            )
+            stats.io = index.stats.difference_since(before)
+            candidates.sort(key=lambda obj: obj.oid)
         stats.candidates_examined = len(candidates)
 
         result = QueryResult()
-        for obj in candidates:
-            decision = pruner.decide(obj, strategies=residual_strategies)
-            if decision.pruned:
-                stats.record_pruned(decision.strategy or "filter")
-                continue
-            probability = self._uncertain_probability(issuer, obj, spec, stats)
+        if self._config.vectorized:
+            survivors, survivor_bounds = self._prune_uncertain_vectorized(
+                candidates,
+                pruner,
+                residual_strategies,
+                threshold,
+                stats,
+                snapshot=columnar,
+                snapshot_rows=snapshot_rows,
+            )
+            pairs = self._uncertain_probabilities_vectorized(
+                issuer, survivors, spec, stats, bounds=survivor_bounds
+            )
+        else:
+            survivors = []
+            for obj in candidates:
+                decision = pruner.decide(obj, strategies=residual_strategies)
+                if decision.pruned:
+                    stats.record_pruned(decision.strategy or "filter")
+                    continue
+                survivors.append(obj)
+            pairs = self._uncertain_probabilities_scalar(issuer, survivors, spec, stats)
+        for oid, probability in pairs:
             if probability > 0.0 and probability >= threshold:
-                result.add(obj.oid, probability)
+                result.add(oid, probability)
         result.sort()
         stats.results_returned = len(result)
         stats.response_time = time.perf_counter() - started
         return result, stats
+
+    def _prune_uncertain_vectorized(
+        self,
+        candidates: list[UncertainObject],
+        pruner: CIUQPruner,
+        strategies: tuple[PruningStrategy, ...],
+        threshold: float,
+        stats: EvaluationStatistics,
+        *,
+        snapshot: ColumnarUncertain | None = None,
+        snapshot_rows: np.ndarray | None = None,
+    ) -> tuple[list[UncertainObject], np.ndarray | None]:
+        """Apply the residual pruning strategies as batched rectangle tests.
+
+        All three Section-5.2 strategies are pure rectangle predicates once
+        the candidates' region bounds and catalog bound rectangles are
+        available as arrays, so the whole batch runs through
+        :meth:`CIUQPruner.decide_many` (same decisions, same per-strategy
+        attribution as the scalar loop).  When the columnar snapshot cannot
+        serve a catalog-based strategy (heterogeneous or missing catalogs),
+        the scalar ``decide`` loop runs instead.
+
+        ``snapshot_rows`` are the candidates' snapshot rows when the caller
+        already knows them (columnar retrieval); otherwise they are resolved
+        by oid.  Returns the survivors together with their region bounds
+        ``(K, 4)`` (``None`` when no bounds array was materialised).
+        """
+        if threshold <= 0.0 or not candidates or not strategies:
+            survivor_bounds = (
+                snapshot.bounds[snapshot_rows]
+                if snapshot is not None and snapshot_rows is not None
+                else None
+            )
+            return list(candidates), survivor_bounds
+        if snapshot is None:
+            snapshot = self._require_uncertain_db().columnar()
+        rows = snapshot_rows
+        if rows is None:
+            try:
+                rows = snapshot.rows_for(candidates)
+            except KeyError:
+                rows = None
+        if rows is not None:
+            bounds = snapshot.bounds[rows]
+            catalog_levels = snapshot.catalog_levels
+            catalog_bounds = (
+                snapshot.catalog_bounds[rows]
+                if snapshot.catalog_bounds is not None
+                else None
+            )
+        else:
+            bounds = np.empty((len(candidates), 4), dtype=float)
+            for row, obj in enumerate(candidates):
+                bounds[row] = obj.region.as_tuple()
+            catalog_levels = None
+            catalog_bounds = None
+        batched = pruner.decide_many(
+            bounds, catalog_levels, catalog_bounds, strategies=strategies
+        )
+        if batched is None:
+            survivors = []
+            for obj in candidates:
+                decision = pruner.decide(obj, strategies=strategies)
+                if decision.pruned:
+                    stats.record_pruned(decision.strategy or "filter")
+                else:
+                    survivors.append(obj)
+            return survivors, None
+        keep, pruned_counts = batched
+        if not pruned_counts:
+            return list(candidates), bounds
+        for strategy_name, count in pruned_counts.items():
+            stats.record_pruned(strategy_name, count)
+        kept_rows = np.flatnonzero(keep)
+        return [candidates[row] for row in kept_rows], bounds[kept_rows]
+
+    def _uncertain_routes(
+        self, issuer: UncertainObject, survivors: list[UncertainObject]
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Partition survivors by evaluation route: (monte_carlo, exact, grid).
+
+        The routing mirrors the per-object dispatch the engine has always
+        used: uniform issuer/target pairs get the closed form, everything
+        else is sampled under ``auto``/``monte_carlo``, and ``exact`` without
+        a closed form falls back to the deterministic grid.
+        """
+        method = self._config.probability_method
+        if method == "monte_carlo":
+            return list(range(len(survivors))), [], []
+        issuer_uniform = isinstance(issuer.pdf, UniformPdf)
+        mc_rows: list[int] = []
+        exact_rows: list[int] = []
+        grid_rows: list[int] = []
+        for row, obj in enumerate(survivors):
+            exact_possible = issuer_uniform and isinstance(obj.pdf, UniformPdf)
+            if method == "auto" and not exact_possible:
+                mc_rows.append(row)
+            elif exact_possible:
+                exact_rows.append(row)
+            else:
+                grid_rows.append(row)
+        return mc_rows, exact_rows, grid_rows
+
+    def _uncertain_probabilities_vectorized(
+        self,
+        issuer: UncertainObject,
+        survivors: list[UncertainObject],
+        spec: RangeQuerySpec,
+        stats: EvaluationStatistics,
+        *,
+        bounds: np.ndarray | None = None,
+    ) -> list[tuple[int, float]]:
+        """Qualification probabilities of the surviving candidates, batched.
+
+        Survivors are partitioned by evaluation route — batched closed form
+        for uniform issuer/target pairs, batched Monte-Carlo for sampled
+        pairs, the deterministic grid fallback for ``exact`` without a closed
+        form — and each batch runs as one NumPy kernel.  Monte-Carlo draws
+        come from the shared per-query plan (:func:`monte_carlo_iuq_draws`),
+        so sampled probabilities are bitwise identical to the scalar backend
+        given the same seed.  Returns ``(oid, probability)`` pairs in
+        survivor order.
+        """
+        if not survivors:
+            return []
+        stats.probability_computations += len(survivors)
+        mc_rows, exact_rows, grid_rows = self._uncertain_routes(issuer, survivors)
+        probabilities = np.empty(len(survivors), dtype=float)
+        if mc_rows:
+            samples = self._config.monte_carlo_samples
+            stats.monte_carlo_samples += samples * len(mc_rows)
+            all_mc = len(mc_rows) == len(survivors)
+            probabilities[mc_rows] = iuq_probabilities_monte_carlo(
+                issuer.pdf,
+                survivors if all_mc else [survivors[row] for row in mc_rows],
+                spec,
+                samples,
+                self._rng,
+                target_bounds=(
+                    bounds if all_mc else bounds[mc_rows]
+                ) if bounds is not None else None,
+            )
+        if exact_rows:
+            if bounds is not None:
+                exact_bounds = bounds[exact_rows]
+            else:
+                exact_bounds = np.empty((len(exact_rows), 4), dtype=float)
+                for i, row in enumerate(exact_rows):
+                    exact_bounds[i] = survivors[row].region.as_tuple()
+            probabilities[exact_rows] = iuq_probabilities_exact_uniform(
+                issuer.pdf, exact_bounds, spec
+            )
+        for row in grid_rows:
+            # method == "exact" without a closed form: the deterministic grid
+            # keeps results reproducible (same fallback as the scalar path).
+            probabilities[row] = iuq_probability(
+                issuer.pdf, survivors[row], spec, grid_resolution=24
+            )
+        return [
+            (obj.oid, float(probability))
+            for obj, probability in zip(survivors, probabilities)
+        ]
+
+    def _uncertain_probabilities_scalar(
+        self,
+        issuer: UncertainObject,
+        survivors: list[UncertainObject],
+        spec: RangeQuerySpec,
+        stats: EvaluationStatistics,
+    ) -> list[tuple[int, float]]:
+        """Scalar-reference twin of :meth:`_uncertain_probabilities_vectorized`.
+
+        Same routing and the same Monte-Carlo draw plan, but every
+        probability is evaluated with a per-object loop — this is the oracle
+        the parity suite compares the batched kernels against.
+        """
+        if not survivors:
+            return []
+        stats.probability_computations += len(survivors)
+        mc_rows, exact_rows, grid_rows = self._uncertain_routes(issuer, survivors)
+        probabilities = np.empty(len(survivors), dtype=float)
+        if mc_rows:
+            samples = self._config.monte_carlo_samples
+            stats.monte_carlo_samples += samples * len(mc_rows)
+            targets = [survivors[row] for row in mc_rows]
+            issuer_draws, target_draws = monte_carlo_iuq_draws(
+                issuer.pdf, targets, samples, self._rng
+            )
+            for i, row in enumerate(mc_rows):
+                dx = np.abs(target_draws[i, :, 0] - issuer_draws[i, :, 0])
+                dy = np.abs(target_draws[i, :, 1] - issuer_draws[i, :, 1])
+                inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+                probabilities[row] = float(np.count_nonzero(inside)) / samples
+        for row in exact_rows:
+            probabilities[row] = iuq_probability_exact_uniform(
+                issuer.pdf, survivors[row], spec
+            )
+        for row in grid_rows:
+            probabilities[row] = iuq_probability(
+                issuer.pdf, survivors[row], spec, grid_resolution=24
+            )
+        return [
+            (obj.oid, float(probability))
+            for obj, probability in zip(survivors, probabilities)
+        ]
 
     def _retrieve_uncertain_candidates(
         self, index, pruner: CIUQPruner, threshold: float

@@ -29,8 +29,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.core.columnar import bounds_overlap_window_mask
 from repro.core.expansion import (
     minkowski_expanded_query,
     p_expanded_query,
@@ -305,3 +308,155 @@ class CIUQPruner:
             if strategy is PruningStrategy.PRODUCT_BOUND and self._strategy_product(obj, overlap):
                 return PruneDecision.drop(strategy)
         return PruneDecision.keep()
+
+    # ------------------------------------------------------------------ #
+    # Vectorized pruning over a candidate batch
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _overlaps_rect(bounds: np.ndarray, rect: Rect) -> np.ndarray:
+        """Row-wise ``Rect.overlaps`` between a bounds array and one rectangle."""
+        if rect.is_empty:
+            return np.zeros(bounds.shape[0], dtype=bool)
+        return bounds_overlap_window_mask(bounds, rect)
+
+    @staticmethod
+    def _overlaps_rects(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Row-wise overlap between ``a`` ``(K, 4)`` and ``b`` ``(K, ..., 4)``.
+
+        Empty rectangles (inverted intervals) on either side never overlap,
+        matching the scalar predicate.
+        """
+        a = a.reshape(a.shape[0], *([1] * (b.ndim - 2)), 4)
+        a_empty = (a[..., 0] > a[..., 2]) | (a[..., 1] > a[..., 3])
+        b_empty = (b[..., 0] > b[..., 2]) | (b[..., 1] > b[..., 3])
+        return (
+            ~a_empty
+            & ~b_empty
+            & (a[..., 0] <= b[..., 2])
+            & (b[..., 0] <= a[..., 2])
+            & (a[..., 1] <= b[..., 3])
+            & (b[..., 1] <= a[..., 3])
+        )
+
+    def decide_many(
+        self,
+        bounds: np.ndarray,
+        catalog_levels: np.ndarray | None,
+        catalog_bounds: np.ndarray | None,
+        strategies: tuple[PruningStrategy, ...] | None = None,
+    ) -> tuple[np.ndarray, dict[str, int]] | None:
+        """Vectorized :meth:`decide` over a candidate batch.
+
+        ``bounds`` holds the candidates' uncertainty regions as ``(K, 4)``
+        rows; ``catalog_levels`` / ``catalog_bounds`` are the shared catalog
+        levels and the per-candidate ``(K, L, 4)`` bound rectangles from the
+        columnar snapshot (``None`` when unavailable).  Returns a keep mask
+        plus per-strategy pruned counts — identical decisions and attribution
+        to a scalar ``decide`` loop, which relies on the same invariants
+        (bound rectangles and expanded queries shrink as the level grows).
+        Returns ``None`` when a requested catalog-based strategy lacks its
+        columnar prerequisites; callers then fall back to the scalar loop.
+        """
+        if strategies is None:
+            strategies = self._strategies
+        k = bounds.shape[0]
+        if self._threshold <= 0.0 or k == 0:
+            return np.ones(k, dtype=bool), {}
+        needs_catalog = any(
+            s in (PruningStrategy.P_BOUND, PruningStrategy.PRODUCT_BOUND)
+            for s in strategies
+        )
+        if needs_catalog and (catalog_levels is None or catalog_bounds is None):
+            return None
+
+        # The overlap with the Minkowski window, clipped per candidate (the
+        # vectorized twin of ``obj.region.intersect(self._minkowski)``).
+        m = self._minkowski
+        overlap = np.empty((k, 4), dtype=float)
+        overlap[:, 0] = np.maximum(bounds[:, 0], m.xmin)
+        overlap[:, 1] = np.maximum(bounds[:, 1], m.ymin)
+        overlap[:, 2] = np.minimum(bounds[:, 2], m.xmax)
+        overlap[:, 3] = np.minimum(bounds[:, 3], m.ymax)
+        overlap_empty = (overlap[:, 0] > overlap[:, 2]) | (overlap[:, 1] > overlap[:, 3])
+
+        alive = np.ones(k, dtype=bool)
+        pruned_counts: dict[str, int] = {}
+        for strategy in strategies:
+            if not alive.any():
+                break
+            if strategy is PruningStrategy.P_EXPANDED_QUERY:
+                fired = ~self._overlaps_rect(bounds, self._qp_expanded)
+            elif strategy is PruningStrategy.P_BOUND:
+                fired = self._p_bound_mask(overlap, overlap_empty, catalog_levels, catalog_bounds)
+            else:
+                fired = self._product_mask(
+                    bounds, overlap, overlap_empty, catalog_levels, catalog_bounds
+                )
+            fired &= alive
+            count = int(np.count_nonzero(fired))
+            if count:
+                pruned_counts[strategy.value] = count
+                alive &= ~fired
+        return alive, pruned_counts
+
+    def _p_bound_mask(
+        self,
+        overlap: np.ndarray,
+        overlap_empty: np.ndarray,
+        catalog_levels: np.ndarray,
+        catalog_bounds: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized Strategy 1 over the candidate batch."""
+        usable = catalog_levels[catalog_levels <= self._threshold]
+        if usable.size == 0 or usable[-1] <= 0.0:
+            return np.zeros(overlap.shape[0], dtype=bool)
+        level_index = int(np.searchsorted(catalog_levels, usable[-1]))
+        level_rects = catalog_bounds[:, level_index, :]
+        return overlap_empty | ~self._overlaps_rects(overlap, level_rects)
+
+    def _product_mask(
+        self,
+        bounds: np.ndarray,
+        overlap: np.ndarray,
+        overlap_empty: np.ndarray,
+        catalog_levels: np.ndarray,
+        catalog_bounds: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized Strategy 3 over the candidate batch.
+
+        Exploits the same nesting invariant as the scalar early-exits: both
+        the issuer's expanded queries and the objects' bound rectangles
+        shrink as the level grows, so "the first level whose rectangle misses
+        the region" equals "the number of levels whose rectangle overlaps
+        it".
+        """
+        k = bounds.shape[0]
+        if not self._issuer_expanded_by_level:
+            return np.zeros(k, dtype=bool)
+        # q: smallest issuer level (>= Qp) whose expanded query misses the
+        # object's whole region; no such level -> no bound -> no pruning.
+        issuer_levels = np.array([level for level, _ in self._issuer_expanded_by_level])
+        issuer_rects = np.array(
+            [rect.as_tuple() for _, rect in self._issuer_expanded_by_level]
+        )
+        region_overlaps = self._overlaps_rects(bounds, issuer_rects[None, :, :])
+        q_index = region_overlaps.sum(axis=1)
+        q_valid = q_index < issuer_levels.size
+        q_bound = issuer_levels[np.minimum(q_index, issuer_levels.size - 1)]
+        # d: smallest object catalog level (>= Qp) whose bound rectangle
+        # misses the overlap with the Minkowski window; an empty overlap is
+        # bounded by 0.
+        qualifying = catalog_levels >= self._threshold
+        if not qualifying.any():
+            d_valid = np.zeros(k, dtype=bool)
+            d_bound = np.zeros(k, dtype=float)
+        else:
+            start = int(np.argmax(qualifying))
+            levels = catalog_levels[start:]
+            olap = self._overlaps_rects(overlap, catalog_bounds[:, start:, :])
+            d_index = olap.sum(axis=1)
+            d_valid = d_index < levels.size
+            d_bound = levels[np.minimum(d_index, levels.size - 1)]
+        d_valid = d_valid | overlap_empty
+        d_bound = np.where(overlap_empty, 0.0, d_bound)
+        return q_valid & d_valid & (d_bound * q_bound < self._threshold)

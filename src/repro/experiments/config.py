@@ -65,6 +65,15 @@ class ExperimentConfig:
     catalog_levels: tuple[float, ...] = PAPER_DEFAULTS.catalog_levels
     basic_issuer_samples: int = 400
     monte_carlo_samples: int = PAPER_DEFAULTS.cipq_samples
+    #: Which evaluation backend the experiments run on.  The figures compare
+    #: *algorithms* by their relative costs (basic vs enhanced, Minkowski vs
+    #: p-expanded-query, R-tree vs PTI), which is exactly the cost model of
+    #: the paper's scalar implementation; the vectorized backend compresses
+    #: those constants differently per method and would distort the figures'
+    #: qualitative shapes.  Set to True to study the vectorized backend's
+    #: behaviour instead (see ``benchmarks/bench_vectorized.py`` for the
+    #: backend-vs-backend comparison).
+    engine_vectorized: bool = False
     defaults: PaperDefaults = field(default_factory=PaperDefaults)
 
     def __post_init__(self) -> None:
@@ -75,7 +84,14 @@ class ExperimentConfig:
 
     @staticmethod
     def quick() -> "ExperimentConfig":
-        """A configuration sized for unit tests and CI smoke runs."""
+        """A configuration sized for unit tests and CI smoke runs.
+
+        The Monte-Carlo sample count stays at the paper's value: the sampled
+        probability work is what the threshold-aware methods save, so
+        shrinking it (unlike the dataset or the query count) changes the
+        figures' qualitative shapes, and the batched draw plan keeps even
+        250-sample runs fast at this scale.
+        """
         return ExperimentConfig(
             dataset_scale=0.01,
             queries_per_point=5,
@@ -83,7 +99,7 @@ class ExperimentConfig:
             range_half_sizes=(500.0, 1500.0),
             thresholds=(0.0, 0.4, 0.8),
             basic_issuer_samples=100,
-            monte_carlo_samples=64,
+            monte_carlo_samples=PAPER_DEFAULTS.ciuq_samples,
         )
 
     @staticmethod
@@ -106,6 +122,17 @@ class ExperimentConfig:
     def workload_seed(self, salt: int) -> int:
         """Derive a per-sweep-point workload seed so runs stay reproducible."""
         return self.seed * 1_000_003 + salt
+
+    def engine_config(self, **overrides):
+        """An :class:`~repro.core.engine.EngineConfig` on the experiment's backend.
+
+        ``vectorized`` defaults to :attr:`engine_vectorized`; every other
+        engine field can be overridden per experiment.
+        """
+        from repro.core.engine import EngineConfig
+
+        overrides.setdefault("vectorized", self.engine_vectorized)
+        return EngineConfig(**overrides)
 
 
 def default_sweep(values: Sequence[float]) -> tuple[float, ...]:

@@ -13,7 +13,6 @@ from typing import Callable
 
 from repro.core.basic import BasicEvaluator
 from repro.core.engine import (
-    EngineConfig,
     ImpreciseQueryEngine,
     PointDatabase,
     UncertainDatabase,
@@ -71,8 +70,11 @@ def figure_08(config: ExperimentConfig | None = None) -> FigureResult:
     database = UncertainDatabase.build(
         uncertain_objects, index_kind="rtree", catalog_levels=config.catalog_levels
     )
-    engine = ImpreciseQueryEngine(uncertain_db=database)
-    basic = BasicEvaluator(issuer_samples=config.basic_issuer_samples)
+    engine = ImpreciseQueryEngine(uncertain_db=database, config=config.engine_config())
+    basic = BasicEvaluator(
+        issuer_samples=config.basic_issuer_samples,
+        vectorized=config.engine_vectorized,
+    )
 
     result = FigureResult(
         figure_id="figure_08",
@@ -109,7 +111,7 @@ def figure_09(config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 9: IPQ response time against u for range sizes 500 / 1000 / 1500."""
     config = config or ExperimentConfig()
     database = _point_database(config)
-    engine = ImpreciseQueryEngine(point_db=database)
+    engine = ImpreciseQueryEngine(point_db=database, config=config.engine_config())
     result = FigureResult(
         figure_id="figure_09",
         title="IPQ response time vs uncertainty region size",
@@ -135,7 +137,7 @@ def figure_10(config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 10: IUQ response time against u for range sizes 500 / 1000 / 1500."""
     config = config or ExperimentConfig()
     database = _uncertain_database(config, index_kind="rtree")
-    engine = ImpreciseQueryEngine(uncertain_db=database)
+    engine = ImpreciseQueryEngine(uncertain_db=database, config=config.engine_config())
     result = FigureResult(
         figure_id="figure_10",
         title="IUQ response time vs uncertainty region size",
@@ -165,10 +167,10 @@ def figure_11(config: ExperimentConfig | None = None) -> FigureResult:
     config = config or ExperimentConfig()
     database = _point_database(config)
     minkowski_engine = ImpreciseQueryEngine(
-        point_db=database, config=EngineConfig(use_p_expanded_query=False)
+        point_db=database, config=config.engine_config(use_p_expanded_query=False)
     )
     expanded_engine = ImpreciseQueryEngine(
-        point_db=database, config=EngineConfig(use_p_expanded_query=True)
+        point_db=database, config=config.engine_config(use_p_expanded_query=True)
     )
     result = FigureResult(
         figure_id="figure_11",
@@ -209,13 +211,13 @@ def figure_12(config: ExperimentConfig | None = None) -> FigureResult:
     # threshold-aware pruning anywhere, neither at the index nor per object.
     minkowski_engine = ImpreciseQueryEngine(
         uncertain_db=rtree_db,
-        config=EngineConfig(
+        config=config.engine_config(
             use_p_expanded_query=False, use_pti_pruning=False, ciuq_strategies=()
         ),
     )
     pti_engine = ImpreciseQueryEngine(
         uncertain_db=pti_db,
-        config=EngineConfig(use_p_expanded_query=True, use_pti_pruning=True),
+        config=config.engine_config(use_p_expanded_query=True, use_pti_pruning=True),
     )
     result = FigureResult(
         figure_id="figure_12",
@@ -246,7 +248,7 @@ def figure_13(config: ExperimentConfig | None = None) -> FigureResult:
     """Figure 13: the non-uniform-pdf experiment (truncated Gaussian, Monte-Carlo)."""
     config = config or ExperimentConfig()
     database = _point_database(config)
-    engine_config = EngineConfig(
+    engine_config = config.engine_config(
         probability_method="monte_carlo",
         monte_carlo_samples=config.monte_carlo_samples,
     )

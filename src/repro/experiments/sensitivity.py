@@ -21,7 +21,6 @@ import numpy as np
 
 from repro.core.duality import ipq_probability, ipq_probability_monte_carlo
 from repro.core.engine import (
-    EngineConfig,
     ImpreciseQueryEngine,
     PointDatabase,
     UncertainDatabase,
@@ -109,7 +108,7 @@ def catalog_size_sweep(
     for size in catalog_sizes:
         levels = tuple(np.linspace(0.0, 0.5, size))
         database = UncertainDatabase.build(objects, index_kind="pti", catalog_levels=levels)
-        engine = ImpreciseQueryEngine(uncertain_db=database)
+        engine = ImpreciseQueryEngine(uncertain_db=database, config=config.engine_config())
         # Every catalog size is measured on the *same* query stream so the
         # comparison isolates the catalog resolution.
         workload = QueryWorkload(
@@ -141,7 +140,7 @@ def index_comparison(
     )
     for kind_index, kind in enumerate(index_kinds):
         database = PointDatabase.build(objects, index_kind=kind)  # type: ignore[arg-type]
-        engine = ImpreciseQueryEngine(point_db=database)
+        engine = ImpreciseQueryEngine(point_db=database, config=config.engine_config())
         for salt, u in enumerate(config.issuer_half_sizes):
             workload = QueryWorkload(
                 issuer_half_size=u,
@@ -189,7 +188,7 @@ def pruning_strategy_ablation(
     for name, strategies in STRATEGY_SUBSETS.items():
         engine = ImpreciseQueryEngine(
             uncertain_db=database,
-            config=EngineConfig(
+            config=config.engine_config(
                 use_p_expanded_query=False,
                 use_pti_pruning=False,
                 ciuq_strategies=strategies,

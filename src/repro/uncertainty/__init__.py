@@ -22,6 +22,7 @@ from repro.uncertainty.catalog import UCatalog, DEFAULT_CATALOG_LEVELS
 from repro.uncertainty.sampling import (
     monte_carlo_rect_probability,
     grid_rect_probability,
+    sample_array,
     sample_points,
 )
 
@@ -40,5 +41,6 @@ __all__ = [
     "DEFAULT_CATALOG_LEVELS",
     "monte_carlo_rect_probability",
     "grid_rect_probability",
+    "sample_array",
     "sample_points",
 ]

@@ -14,6 +14,16 @@ Every pdf exposes:
 * per-axis marginal CDFs and quantiles (used to compute p-bounds),
 * ``sample(rng, n)`` — draws for Monte-Carlo evaluation,
 * ``density(x, y)`` — the raw density value.
+
+Two batched counterparts back the vectorized evaluation backend:
+``density_array(xs, ys)`` evaluates the density at many locations at once and
+``probability_in_rects(bounds)`` computes the mass of many rectangles at once.
+Both have scalar-loop fallbacks on the base class, so every pdf works with the
+vectorized engine.  The uniform and truncated-Gaussian pdfs override
+``probability_in_rects`` with true array kernels producing bitwise-identical
+values to their scalar counterparts; the histogram and circle pdfs keep the
+per-rectangle fallback (their rectangle masses need per-rect bin/segment
+work), so batched calls against them run at scalar speed.
 """
 
 from __future__ import annotations
@@ -71,6 +81,81 @@ class UncertaintyPdf(abc.ABC):
     def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
         """Draw ``n`` locations; returns an ``(n, 2)`` array of ``(x, y)`` pairs."""
 
+    def sample_into(self, rng: np.random.Generator, out: np.ndarray) -> None:
+        """Draw ``len(out)`` locations into a preallocated ``(n, 2)`` view.
+
+        Generator consumption and values are identical to :meth:`sample`;
+        batch kernels use this to fill one contiguous draw tensor without a
+        per-object stack-and-copy.  The base implementation delegates to
+        :meth:`sample`; closed-form pdfs override it to write in place.
+        """
+        out[:] = self.sample(rng, out.shape[0])
+
+    def sample_batch(self, rng: np.random.Generator, n: int, k: int) -> np.ndarray:
+        """``k`` independent groups of ``n`` draws as a ``(k, n, 2)`` tensor.
+
+        This is the per-query Monte-Carlo *draw plan*: one call provides the
+        draws for a whole candidate batch, and both the scalar and the
+        vectorized evaluation backends consume the identical tensor — which
+        is what keeps sampled probabilities bitwise comparable between them.
+        The base implementation loops :meth:`sample_into` per group; pdfs
+        with batchable transforms override it with one flat draw for the
+        whole batch.  Each override is deterministic given the generator
+        state, but the stream-to-group layout is implementation-defined, so
+        different pdf classes (or the base fallback) produce different —
+        equally valid — plans.
+        """
+        out = np.empty((k, n, 2), dtype=float)
+        for i in range(k):
+            self.sample_into(rng, out[i])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Batched evaluation (vectorized backend)
+    # ------------------------------------------------------------------ #
+    def density_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Density values at many locations; same shape as ``xs``/``ys``.
+
+        The base implementation is a scalar loop, so any pdf — including
+        third-party subclasses that know nothing about the vectorized
+        backend — evaluates correctly; closed-form pdfs override it with a
+        true array kernel.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        flat = np.fromiter(
+            (self.density(float(x), float(y)) for x, y in zip(xs.ravel(), ys.ravel())),
+            dtype=float,
+            count=xs.size,
+        )
+        return flat.reshape(xs.shape)
+
+    def probability_in_rects(self, bounds: np.ndarray) -> np.ndarray:
+        """Probability mass inside each rectangle of ``bounds``.
+
+        ``bounds`` is an ``(M, 4)`` array of ``(xmin, ymin, xmax, ymax)``
+        rows (the layout of :meth:`repro.geometry.rect.Rect.as_tuple`).
+        The base implementation loops over :meth:`probability_in_rect`;
+        closed-form pdfs override it with an array kernel.
+        """
+        bounds = self._as_bounds_array(bounds)
+        return np.fromiter(
+            (
+                self.probability_in_rect(Rect(row[0], row[1], row[2], row[3]))
+                for row in bounds
+            ),
+            dtype=float,
+            count=bounds.shape[0],
+        )
+
+    @staticmethod
+    def _as_bounds_array(bounds: np.ndarray) -> np.ndarray:
+        """Validate and coerce an ``(M, 4)`` rectangle-bounds array."""
+        bounds = np.asarray(bounds, dtype=float)
+        if bounds.ndim != 2 or bounds.shape[1] != 4:
+            raise ValueError(f"bounds must have shape (M, 4), got {bounds.shape}")
+        return bounds
+
     # ------------------------------------------------------------------ #
     # Convenience helpers shared by all implementations
     # ------------------------------------------------------------------ #
@@ -115,10 +200,33 @@ class UniformPdf(UncertaintyPdf):
     def probability_in_rect(self, rect: Rect) -> float:
         return self._region.intersection_area(rect) * self._density
 
+    def probability_in_rects(self, bounds: np.ndarray) -> np.ndarray:
+        bounds = self._as_bounds_array(bounds)
+        region = self._region
+        # Same arithmetic as the scalar path (overlap width × overlap height
+        # × density), so the values are bitwise identical.
+        ox = np.minimum(bounds[:, 2], region.xmax) - np.maximum(bounds[:, 0], region.xmin)
+        oy = np.minimum(bounds[:, 3], region.ymax) - np.maximum(bounds[:, 1], region.ymin)
+        np.maximum(ox, 0.0, out=ox)
+        np.maximum(oy, 0.0, out=oy)
+        return ox * oy * self._density
+
     def density(self, x: float, y: float) -> float:
         if self._region.contains_point(Point(x, y)):
             return self._density
         return 0.0
+
+    def density_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        region = self._region
+        inside = (
+            (xs >= region.xmin)
+            & (xs <= region.xmax)
+            & (ys >= region.ymin)
+            & (ys <= region.ymax)
+        )
+        return np.where(inside, self._density, 0.0)
 
     def marginal_cdf_x(self, x: float) -> float:
         return self._region.x_interval.fraction_below(x)
@@ -138,6 +246,22 @@ class UniformPdf(UncertaintyPdf):
         xs = rng.uniform(self._region.xmin, self._region.xmax, size=n)
         ys = rng.uniform(self._region.ymin, self._region.ymax, size=n)
         return np.column_stack([xs, ys])
+
+    def sample_into(self, rng: np.random.Generator, out: np.ndarray) -> None:
+        n = out.shape[0]
+        out[:, 0] = rng.uniform(self._region.xmin, self._region.xmax, size=n)
+        out[:, 1] = rng.uniform(self._region.ymin, self._region.ymax, size=n)
+
+    def sample_batch(self, rng: np.random.Generator, n: int, k: int) -> np.ndarray:
+        # One flat standard-uniform draw scaled into the region: the same
+        # low + (high - low) * u transform rng.uniform applies, but with a
+        # single generator call for the whole batch.
+        u = rng.random((2, k, n))
+        region = self._region
+        out = np.empty((k, n, 2), dtype=float)
+        out[:, :, 0] = region.xmin + (region.xmax - region.xmin) * u[0]
+        out[:, :, 1] = region.ymin + (region.ymax - region.ymin) * u[1]
+        return out
 
 
 class TruncatedGaussianPdf(UncertaintyPdf):
@@ -218,12 +342,45 @@ class TruncatedGaussianPdf(UncertaintyPdf):
             return 0.0
         return self._axis_prob_x(rect.xmin, rect.xmax) * self._axis_prob_y(rect.ymin, rect.ymax)
 
+    def probability_in_rects(self, bounds: np.ndarray) -> np.ndarray:
+        bounds = self._as_bounds_array(bounds)
+        region = self._region
+        lox = np.maximum(bounds[:, 0], region.xmin)
+        hix = np.minimum(bounds[:, 2], region.xmax)
+        loy = np.maximum(bounds[:, 1], region.ymin)
+        hiy = np.minimum(bounds[:, 3], region.ymax)
+        px = np.where(
+            hix > lox,
+            (self._x_dist.cdf(hix) - self._x_dist.cdf(lox)) / self._x_mass,
+            0.0,
+        )
+        py = np.where(
+            hiy > loy,
+            (self._y_dist.cdf(hiy) - self._y_dist.cdf(loy)) / self._y_mass,
+            0.0,
+        )
+        return px * py
+
     def density(self, x: float, y: float) -> float:
         if not self._region.contains_point(Point(x, y)):
             return 0.0
         fx = float(self._x_dist.pdf(x)) / self._x_mass
         fy = float(self._y_dist.pdf(y)) / self._y_mass
         return fx * fy
+
+    def density_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        region = self._region
+        inside = (
+            (xs >= region.xmin)
+            & (xs <= region.xmax)
+            & (ys >= region.ymin)
+            & (ys <= region.ymax)
+        )
+        fx = self._x_dist.pdf(xs) / self._x_mass
+        fy = self._y_dist.pdf(ys) / self._y_mass
+        return np.where(inside, fx * fy, 0.0)
 
     def marginal_cdf_x(self, x: float) -> float:
         if x <= self._region.xmin:
@@ -267,6 +424,27 @@ class TruncatedGaussianPdf(UncertaintyPdf):
         xs = np.clip(xs, self._region.xmin, self._region.xmax)
         ys = np.clip(ys, self._region.ymin, self._region.ymax)
         return np.column_stack([xs, ys])
+
+    def sample_into(self, rng: np.random.Generator, out: np.ndarray) -> None:
+        n = out.shape[0]
+        ux = rng.uniform(0.0, 1.0, size=n)
+        uy = rng.uniform(0.0, 1.0, size=n)
+        xs = self._x_dist.ppf(self._x_lo_cdf + ux * self._x_mass)
+        ys = self._y_dist.ppf(self._y_lo_cdf + uy * self._y_mass)
+        np.clip(xs, self._region.xmin, self._region.xmax, out=out[:, 0])
+        np.clip(ys, self._region.ymin, self._region.ymax, out=out[:, 1])
+
+    def sample_batch(self, rng: np.random.Generator, n: int, k: int) -> np.ndarray:
+        # One vectorized ppf evaluation for the whole batch — the ppf call
+        # overhead, not the draw itself, dominates per-group sampling.
+        ux = rng.uniform(0.0, 1.0, size=(k, n))
+        uy = rng.uniform(0.0, 1.0, size=(k, n))
+        xs = self._x_dist.ppf(self._x_lo_cdf + ux * self._x_mass)
+        ys = self._y_dist.ppf(self._y_lo_cdf + uy * self._y_mass)
+        out = np.empty((k, n, 2), dtype=float)
+        np.clip(xs, self._region.xmin, self._region.xmax, out=out[:, :, 0])
+        np.clip(ys, self._region.ymin, self._region.ymax, out=out[:, :, 1])
+        return out
 
 
 class HistogramPdf(UncertaintyPdf):
@@ -338,6 +516,25 @@ class HistogramPdf(UncertaintyPdf):
         iy = min(self._ny - 1, int((y - self._region.ymin) / self._bin_h))
         cell_area = self._bin_w * self._bin_h
         return self._grid[iy, ix] / cell_area
+
+    def density_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        region = self._region
+        inside = (
+            (xs >= region.xmin)
+            & (xs <= region.xmax)
+            & (ys >= region.ymin)
+            & (ys <= region.ymax)
+        )
+        # Bin indices follow the scalar rule: truncate, then clamp to the last
+        # bin so points on the far edge land in the final row/column.  The
+        # lower clamp only protects the lookup for out-of-region points,
+        # whose density is masked to zero below anyway.
+        ix = np.clip(((xs - region.xmin) / self._bin_w).astype(int), 0, self._nx - 1)
+        iy = np.clip(((ys - region.ymin) / self._bin_h).astype(int), 0, self._ny - 1)
+        cell_area = self._bin_w * self._bin_h
+        return np.where(inside, self._grid[iy, ix] / cell_area, 0.0)
 
     def marginal_cdf_x(self, x: float) -> float:
         return self.probability_in_rect(
@@ -419,6 +616,15 @@ class UniformCirclePdf(UncertaintyPdf):
         if self._circle.contains_point(Point(x, y)):
             return self._density
         return 0.0
+
+    def density_array(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        center = self._circle.center
+        # The scalar test uses math.hypot; np.hypot applies the same
+        # correctly-rounded algorithm, keeping boundary decisions aligned.
+        inside = np.hypot(xs - center.x, ys - center.y) <= self._circle.radius
+        return np.where(inside, self._density, 0.0)
 
     def marginal_cdf_x(self, x: float) -> float:
         c, r = self._circle.center, self._circle.radius

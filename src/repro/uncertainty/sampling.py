@@ -24,11 +24,25 @@ PAPER_SAMPLES_CIPQ: int = 200
 PAPER_SAMPLES_CIUQ: int = 250
 
 
-def sample_points(pdf: UncertaintyPdf, n: int, rng: np.random.Generator) -> list[Point]:
-    """Draw ``n`` locations from ``pdf`` as :class:`Point` objects."""
+def sample_array(pdf: UncertaintyPdf, n: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``n`` locations from ``pdf`` as a raw ``(n, 2)`` ndarray.
+
+    This is the columnar counterpart of :func:`sample_points`: downstream
+    vectorized kernels consume the array directly, avoiding the ``list[Point]``
+    materialisation (and the per-draw ``Point`` allocations) entirely.
+    """
     if n <= 0:
         raise ValueError(f"sample count must be positive, got {n}")
-    draws = pdf.sample(rng, n)
+    return pdf.sample(rng, n)
+
+
+def sample_points(pdf: UncertaintyPdf, n: int, rng: np.random.Generator) -> list[Point]:
+    """Draw ``n`` locations from ``pdf`` as :class:`Point` objects.
+
+    Prefer :func:`sample_array` in hot paths; this wrapper exists for callers
+    that genuinely need :class:`Point` objects.
+    """
+    draws = sample_array(pdf, n, rng)
     return [Point(float(x), float(y)) for x, y in draws]
 
 
@@ -59,19 +73,33 @@ def monte_carlo_rect_probability(
 
 def monte_carlo_expectation(
     pdf: UncertaintyPdf,
-    func: Callable[[float, float], float],
+    func: Callable[..., float],
     n: int,
     rng: np.random.Generator,
+    *,
+    vectorized: bool = False,
 ) -> float:
     """Monte-Carlo estimate of ``E[func(X, Y)]`` under ``pdf``.
 
     This is the workhorse of the sampled IUQ evaluation: ``func`` is the
     per-position qualification probability ``Q(x, y)`` and the expectation is
     Equation 7 / 8 of the paper.
+
+    With ``vectorized=True``, ``func`` must accept two ``(n,)`` coordinate
+    arrays and return an ``(n,)`` array of values; the expectation is then a
+    single array evaluation instead of ``n`` Python calls.  The draws are
+    identical in both modes (one :meth:`~UncertaintyPdf.sample` call).
     """
     if n <= 0:
         raise ValueError(f"sample count must be positive, got {n}")
     draws = pdf.sample(rng, n)
+    if vectorized:
+        values = np.asarray(func(draws[:, 0], draws[:, 1]), dtype=float)
+        if values.shape != (n,):
+            raise ValueError(
+                f"vectorized func must return shape ({n},), got {values.shape}"
+            )
+        return float(values.sum()) / n
     total = 0.0
     for x, y in draws:
         total += func(float(x), float(y))

@@ -1,0 +1,335 @@
+"""Unit tests for the columnar snapshots and the batched probability kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.basic import (
+    basic_ipq_probabilities,
+    basic_ipq_probability,
+    basic_iuq_probabilities,
+    basic_iuq_probability,
+    issuer_grid_arrays,
+)
+from repro.core.columnar import ColumnarPoints, ColumnarUncertain
+from repro.core.duality import (
+    ipq_probabilities,
+    ipq_probabilities_monte_carlo,
+    ipq_probability,
+    iuq_probabilities_exact_uniform,
+    iuq_probabilities_monte_carlo,
+    iuq_probability_exact_uniform,
+    monte_carlo_iuq_draws,
+)
+from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.core.queries import RangeQuerySpec
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import (
+    HistogramPdf,
+    TruncatedGaussianPdf,
+    UniformCirclePdf,
+    UniformPdf,
+)
+from repro.uncertainty.region import PointObject, UncertainObject
+from repro.uncertainty.sampling import monte_carlo_expectation, sample_array, sample_points
+
+SPEC = RangeQuerySpec.square(300.0)
+ISSUER_REGION = Rect(1_000.0, 1_000.0, 1_600.0, 1_500.0)
+
+
+def _points(n=40, seed=5):
+    rng = np.random.default_rng(seed)
+    coordinates = rng.uniform(0.0, 4_000.0, size=(n, 2))
+    return [PointObject.at(i + 1, float(x), float(y)) for i, (x, y) in enumerate(coordinates)]
+
+
+def _uncertain(n=30, seed=6, with_catalog=True):
+    rng = np.random.default_rng(seed)
+    objects = []
+    for i in range(n):
+        x, y = rng.uniform(500.0, 3_500.0, size=2)
+        obj = UncertainObject.uniform(
+            i + 1, Rect.from_center(Point(float(x), float(y)), 80.0, 60.0)
+        )
+        objects.append(obj.with_catalog() if with_catalog else obj)
+    return objects
+
+
+class TestColumnarPoints:
+    def test_row_alignment(self):
+        objects = _points()
+        snapshot = ColumnarPoints(objects)
+        assert len(snapshot) == len(objects)
+        for row, obj in enumerate(objects):
+            assert snapshot.oids[row] == obj.oid
+            assert snapshot.xy[row, 0] == obj.location.x
+            assert snapshot.xy[row, 1] == obj.location.y
+
+    def test_window_rows_matches_brute_force(self):
+        objects = _points(200)
+        snapshot = ColumnarPoints(objects)
+        window = Rect(800.0, 900.0, 2_500.0, 2_400.0)
+        expected = [row for row, obj in enumerate(objects) if window.contains_point(obj.location)]
+        assert snapshot.window_rows(window).tolist() == expected
+
+    def test_empty_window(self):
+        snapshot = ColumnarPoints(_points())
+        assert snapshot.window_rows(Rect.empty()).size == 0
+        assert ColumnarPoints([]).window_rows(Rect(0, 0, 1, 1)).size == 0
+
+    def test_arrays_read_only(self):
+        snapshot = ColumnarPoints(_points())
+        with pytest.raises(ValueError):
+            snapshot.xy[0, 0] = 0.0
+        with pytest.raises(ValueError):
+            snapshot.oids[0] = 7
+
+
+class TestColumnarUncertain:
+    def test_bounds_and_rows_for(self):
+        objects = _uncertain()
+        snapshot = ColumnarUncertain(objects)
+        for row, obj in enumerate(objects):
+            assert tuple(snapshot.bounds[row]) == obj.region.as_tuple()
+        rows = snapshot.rows_for([objects[7], objects[2]])
+        assert rows.tolist() == [7, 2]
+
+    def test_window_rows_matches_brute_force(self):
+        objects = _uncertain(80)
+        snapshot = ColumnarUncertain(objects)
+        window = Rect(1_000.0, 1_000.0, 2_200.0, 2_600.0)
+        expected = [row for row, obj in enumerate(objects) if obj.region.overlaps(window)]
+        assert snapshot.window_rows(window).tolist() == expected
+
+    def test_catalog_snapshot_homogeneous(self):
+        objects = _uncertain(with_catalog=True)
+        snapshot = ColumnarUncertain(objects)
+        assert snapshot.catalog_levels is not None
+        assert snapshot.catalog_bounds.shape == (
+            len(objects),
+            len(objects[0].catalog.levels),
+            4,
+        )
+        for li, (_, rect) in enumerate(objects[3].catalog.level_rects()):
+            assert tuple(snapshot.catalog_bounds[3, li]) == rect.as_tuple()
+
+    def test_catalog_snapshot_absent_when_heterogeneous(self):
+        objects = _uncertain(with_catalog=True)
+        objects[4] = UncertainObject(oid=objects[4].oid, pdf=objects[4].pdf)  # no catalog
+        snapshot = ColumnarUncertain(objects)
+        assert snapshot.catalog_levels is None
+        assert snapshot.catalog_bounds is None
+
+
+class TestDatabaseSnapshotCaching:
+    def test_point_snapshot_built_lazily_and_cached(self):
+        database = PointDatabase.build(_points())
+        assert database._columnar is None
+        snapshot = database.columnar()
+        assert database.columnar() is snapshot
+
+    def test_uncertain_snapshot_built_lazily_and_cached(self):
+        database = UncertainDatabase.build(_uncertain(), index_kind="rtree")
+        assert database._columnar is None
+        snapshot = database.columnar()
+        assert database.columnar() is snapshot
+
+    def test_rebuild_starts_fresh(self):
+        objects = _points()
+        first = PointDatabase.build(objects)
+        first_snapshot = first.columnar()
+        rebuilt = PointDatabase.build(objects)
+        assert rebuilt.columnar() is not first_snapshot
+
+
+class TestBatchedPdfApi:
+    RECTS = np.array(
+        [
+            (900.0, 900.0, 1_200.0, 1_300.0),
+            (1_100.0, 1_050.0, 1_500.0, 1_450.0),
+            (0.0, 0.0, 10.0, 10.0),          # disjoint
+            (900.0, 900.0, 2_000.0, 2_000.0),  # covers the region
+            (1_300.0, 1_200.0, 1_300.0, 1_200.0),  # degenerate
+        ]
+    )
+
+    def _pdfs(self):
+        return [
+            UniformPdf(ISSUER_REGION),
+            TruncatedGaussianPdf(ISSUER_REGION),
+            HistogramPdf(ISSUER_REGION, [[1.0, 2.0], [0.5, 0.0], [3.0, 1.0]]),
+            UniformCirclePdf(Circle(Point(1_300.0, 1_250.0), 240.0)),
+        ]
+
+    def test_probability_in_rects_matches_scalar(self):
+        for pdf in self._pdfs():
+            batched = pdf.probability_in_rects(self.RECTS)
+            for row, bounds in enumerate(self.RECTS):
+                scalar = pdf.probability_in_rect(Rect(*bounds))
+                assert batched[row] == pytest.approx(scalar, abs=1e-12), type(pdf)
+
+    def test_probability_in_rects_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            UniformPdf(ISSUER_REGION).probability_in_rects(np.zeros((3, 3)))
+
+    def test_density_array_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        xs = rng.uniform(800.0, 1_800.0, size=50)
+        ys = rng.uniform(800.0, 1_700.0, size=50)
+        for pdf in self._pdfs():
+            batched = pdf.density_array(xs, ys)
+            for x, y, value in zip(xs, ys, batched):
+                assert value == pytest.approx(pdf.density(float(x), float(y)), abs=1e-15)
+
+    def test_density_array_preserves_shape(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        xs = np.full((4, 5), 1_200.0)
+        ys = np.full((4, 5), 1_250.0)
+        assert pdf.density_array(xs, ys).shape == (4, 5)
+
+
+class TestSamplingHelpers:
+    def test_sample_array_matches_sample_points(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        array = sample_array(pdf, 32, np.random.default_rng(3))
+        points = sample_points(pdf, 32, np.random.default_rng(3))
+        assert array.shape == (32, 2)
+        for row, point in zip(array, points):
+            assert (float(row[0]), float(row[1])) == (point.x, point.y)
+
+    def test_sample_array_validates_count(self):
+        with pytest.raises(ValueError):
+            sample_array(UniformPdf(ISSUER_REGION), 0, np.random.default_rng(0))
+
+    def test_monte_carlo_expectation_vectorized_matches_scalar(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        scalar = monte_carlo_expectation(
+            pdf, lambda x, y: x + 2.0 * y, 500, np.random.default_rng(21)
+        )
+        vectorized = monte_carlo_expectation(
+            pdf,
+            lambda xs, ys: xs + 2.0 * ys,
+            500,
+            np.random.default_rng(21),
+            vectorized=True,
+        )
+        assert vectorized == pytest.approx(scalar, rel=1e-12)
+
+    def test_monte_carlo_expectation_vectorized_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            monte_carlo_expectation(
+                UniformPdf(ISSUER_REGION),
+                lambda xs, ys: np.zeros(3),
+                10,
+                np.random.default_rng(0),
+                vectorized=True,
+            )
+
+
+class TestDualityKernels:
+    def test_ipq_probabilities_match_scalar(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        locations = np.array([[1_200.0, 1_100.0], [1_700.0, 1_600.0], [9_000.0, 9_000.0]])
+        batched = ipq_probabilities(issuer_pdf, SPEC, locations)
+        for row, (x, y) in enumerate(locations):
+            assert batched[row] == ipq_probability(issuer_pdf, SPEC, Point(x, y))
+
+    def test_iuq_exact_uniform_matches_scalar(self):
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        targets = _uncertain(25, seed=13, with_catalog=False)
+        bounds = np.array([obj.region.as_tuple() for obj in targets])
+        batched = iuq_probabilities_exact_uniform(issuer_pdf, bounds, SPEC)
+        for row, target in enumerate(targets):
+            scalar = iuq_probability_exact_uniform(issuer_pdf, target, SPEC)
+            assert batched[row] == pytest.approx(scalar, abs=1e-12)
+
+    @pytest.mark.parametrize("pdf_cls", [UniformPdf, TruncatedGaussianPdf])
+    def test_ipq_monte_carlo_batch_bitwise(self, pdf_cls):
+        """The batch kernel equals a scalar loop over the same draw plan."""
+        issuer_pdf = pdf_cls(ISSUER_REGION)
+        locations = np.array([[1_250.0, 1_150.0], [1_500.0, 1_400.0], [1_800.0, 1_000.0]])
+        batched = ipq_probabilities_monte_carlo(
+            issuer_pdf, SPEC, locations, 128, np.random.default_rng(17)
+        )
+        draws = issuer_pdf.sample_batch(np.random.default_rng(17), 128, len(locations))
+        for row, (x, y) in enumerate(locations):
+            dx = np.abs(draws[row, :, 0] - x)
+            dy = np.abs(draws[row, :, 1] - y)
+            inside = (dx <= SPEC.half_width) & (dy <= SPEC.half_height)
+            assert batched[row] == float(np.count_nonzero(inside)) / 128
+
+    def test_iuq_monte_carlo_batch_bitwise(self):
+        """The batch kernel equals a scalar loop over the same draw plan."""
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        targets = _uncertain(8, seed=19, with_catalog=False)
+        batched = iuq_probabilities_monte_carlo(
+            issuer_pdf, targets, SPEC, 96, np.random.default_rng(23)
+        )
+        issuer_draws, target_draws = monte_carlo_iuq_draws(
+            issuer_pdf, targets, 96, np.random.default_rng(23)
+        )
+        for row in range(len(targets)):
+            dx = np.abs(target_draws[row, :, 0] - issuer_draws[row, :, 0])
+            dy = np.abs(target_draws[row, :, 1] - issuer_draws[row, :, 1])
+            inside = (dx <= SPEC.half_width) & (dy <= SPEC.half_height)
+            assert batched[row] == float(np.count_nonzero(inside)) / 96
+
+    def test_iuq_draw_plan_deterministic_and_in_region(self):
+        """The plan is reproducible and every draw lies in its target region."""
+        issuer_pdf = UniformPdf(ISSUER_REGION)
+        targets = _uncertain(6, seed=31, with_catalog=False)
+        first = monte_carlo_iuq_draws(issuer_pdf, targets, 64, np.random.default_rng(5))
+        second = monte_carlo_iuq_draws(issuer_pdf, targets, 64, np.random.default_rng(5))
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+        for row, target in enumerate(targets):
+            region = target.region
+            assert np.all(first[1][row, :, 0] >= region.xmin)
+            assert np.all(first[1][row, :, 0] <= region.xmax)
+            assert np.all(first[1][row, :, 1] >= region.ymin)
+            assert np.all(first[1][row, :, 1] <= region.ymax)
+
+    def test_sample_batch_matches_sample_into_for_gaussian(self):
+        """Gaussian batch draws: one ppf call, same uniforms per block."""
+        pdf = TruncatedGaussianPdf(ISSUER_REGION)
+        batched = pdf.sample_batch(np.random.default_rng(41), 32, 1)
+        single = np.empty((32, 2), dtype=float)
+        pdf.sample_into(np.random.default_rng(41), single)
+        assert np.array_equal(batched[0], single)
+
+
+class TestBasicKernels:
+    def test_issuer_grid_cached_per_pdf_and_samples(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        first = issuer_grid_arrays(pdf, 100)
+        assert issuer_grid_arrays(pdf, 100)[0] is first[0]
+        assert issuer_grid_arrays(pdf, 400)[0] is not first[0]
+
+    def test_grid_weights_normalised(self):
+        for pdf in (UniformPdf(ISSUER_REGION), TruncatedGaussianPdf(ISSUER_REGION)):
+            points, weights = issuer_grid_arrays(pdf, 225)
+            assert points.shape == (weights.size, 2)
+            assert float(weights.sum()) == pytest.approx(1.0)
+
+    def test_basic_ipq_probabilities_match_scalar(self):
+        pdf = TruncatedGaussianPdf(ISSUER_REGION)
+        locations = np.array([[1_300.0, 1_250.0], [1_900.0, 1_100.0], [5_000.0, 5_000.0]])
+        batched = basic_ipq_probabilities(pdf, SPEC, locations, issuer_samples=100)
+        for row, (x, y) in enumerate(locations):
+            scalar = basic_ipq_probability(pdf, SPEC, Point(x, y), issuer_samples=100)
+            assert batched[row] == pytest.approx(scalar, abs=1e-12)
+
+    def test_basic_iuq_probabilities_match_scalar(self):
+        pdf = UniformPdf(ISSUER_REGION)
+        targets = _uncertain(12, seed=29, with_catalog=False)
+        # Mixed-pdf targets exercise the per-target fallback branch too.
+        mixed = targets + [
+            UncertainObject(oid=100, pdf=TruncatedGaussianPdf(Rect(1_000.0, 1_000.0, 1_400.0, 1_300.0)))
+        ]
+        batched = basic_iuq_probabilities(pdf, mixed, SPEC, issuer_samples=100)
+        for row, target in enumerate(mixed):
+            scalar = basic_iuq_probability(pdf, target, SPEC, issuer_samples=100)
+            assert batched[row] == pytest.approx(scalar, abs=1e-12)
