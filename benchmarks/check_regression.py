@@ -1,0 +1,105 @@
+"""CI benchmark regression guard.
+
+Compares a freshly produced ``BENCH_api_batch.json`` against the committed
+baseline and fails (exit code 1) when either headline metric degrades by
+more than the tolerance (default 30 %, override with
+``REPRO_BENCH_TOLERANCE``):
+
+* ``batch_speedup`` — ``evaluate_many()`` over the per-query loop.  A ratio
+  of two timings on the same machine, so it transfers across hardware; a
+  drop means the batch path lost its amortisation.
+* per-query-loop throughput (``per_query_loop.queries_per_second``) — guards
+  the single-query hot path against accidental slow-downs.
+
+The benchmark script overwrites the committed file in place, so the baseline
+defaults to the checked-in version (``git show HEAD:BENCH_api_batch.json``);
+pass ``--baseline`` to compare against a saved copy instead.
+
+Run with::
+
+    python benchmarks/bench_api_batch.py           # writes the fresh file
+    python benchmarks/check_regression.py          # compares vs HEAD
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FRESH_PATH = REPO_ROOT / "BENCH_api_batch.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_baseline(path: str | None) -> dict:
+    """The committed baseline: a file when given, ``git show HEAD:...`` otherwise."""
+    if path is not None:
+        return json.loads(Path(path).read_text())
+    blob = subprocess.run(
+        ["git", "show", "HEAD:BENCH_api_batch.json"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return json.loads(blob)
+
+
+def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the guarded metrics."""
+    failures: list[str] = []
+
+    def guard(name: str, fresh_value: float, baseline_value: float) -> None:
+        floor = baseline_value * (1.0 - tolerance)
+        if fresh_value < floor:
+            failures.append(
+                f"{name} regressed: {fresh_value:.3f} < {floor:.3f} "
+                f"(baseline {baseline_value:.3f}, tolerance {tolerance:.0%})"
+            )
+
+    guard("batch_speedup", float(fresh["batch_speedup"]), float(baseline["batch_speedup"]))
+    guard(
+        "per_query_loop.queries_per_second",
+        float(fresh["per_query_loop"]["queries_per_second"]),
+        float(baseline["per_query_loop"]["queries_per_second"]),
+    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default=str(FRESH_PATH), help="freshly produced result file")
+    parser.add_argument(
+        "--baseline", default=None, help="baseline file (default: HEAD's committed copy)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed fractional degradation (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baseline = load_baseline(args.baseline)
+    failures = compare(fresh, baseline, args.tolerance)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(
+        "benchmark guard OK: "
+        f"batch_speedup {fresh['batch_speedup']:.3f} "
+        f"(baseline {baseline['batch_speedup']:.3f}), "
+        f"loop {fresh['per_query_loop']['queries_per_second']:.0f} q/s "
+        f"(baseline {baseline['per_query_loop']['queries_per_second']:.0f} q/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,9 @@ from repro.core import (
     Session,
     BasicEvaluator,
     ImpreciseNearestNeighborEngine,
+    ParallelEngine,
+    ParallelEvaluation,
+    ShardedDatabase,
 )
 from repro.index import (
     RTree,
@@ -87,6 +90,9 @@ __all__ = [
     "Session",
     "BasicEvaluator",
     "ImpreciseNearestNeighborEngine",
+    "ParallelEngine",
+    "ParallelEvaluation",
+    "ShardedDatabase",
     "RTree",
     "ProbabilityThresholdIndex",
     "GridFile",

@@ -16,6 +16,10 @@ The package is organised around the paper's structure:
   vectorized (NumPy) evaluation paths.
 * :mod:`repro.core.nearest` — imprecise nearest-neighbour extension
   (the paper's future work).
+* :mod:`repro.core.sharding` — spatial partitioning of databases into
+  independently indexed shards, with window / best-distance shard routing.
+* :mod:`repro.core.parallel` — shard-parallel workload execution across
+  worker processes, with results identical to the single-shard engine.
 * :mod:`repro.core.quality` — answer-quality metrics (expected cardinality,
   precision, recall) for reasoning about the privacy/quality trade-off.
 """
@@ -64,6 +68,8 @@ from repro.core.engine import (
     EngineConfig,
 )
 from repro.core.nearest import ImpreciseNearestNeighborEngine
+from repro.core.sharding import Shard, ShardedDatabase
+from repro.core.parallel import ParallelEngine, ParallelEvaluation, ShardTiming
 from repro.core.session import (
     NearestNeighborQueryBuilder,
     RangeQueryBuilder,
@@ -121,6 +127,11 @@ __all__ = [
     "ImpreciseQueryEngine",
     "EngineConfig",
     "ImpreciseNearestNeighborEngine",
+    "Shard",
+    "ShardedDatabase",
+    "ParallelEngine",
+    "ParallelEvaluation",
+    "ShardTiming",
     "expected_cardinality",
     "expected_precision",
     "expected_recall",

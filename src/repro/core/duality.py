@@ -124,6 +124,90 @@ def ipq_probabilities_monte_carlo(
 
 
 # --------------------------------------------------------------------------- #
+# Per-oid draw plan (sharded / parallel execution)
+# --------------------------------------------------------------------------- #
+def per_oid_rng(rng_seed: int, query_seq: int, oid: int) -> np.random.Generator:
+    """Deterministic generator for one ``(query, object)`` pair.
+
+    The streaming draw plan (one batched draw consumed from a shared,
+    advancing generator) makes a survivor's draws depend on its position in
+    the candidate batch and on every query evaluated before it — which is
+    exactly what a sharded executor cannot reproduce, because each shard only
+    sees its own slice of the batch.  The per-oid plan instead derives an
+    independent generator from ``(engine seed, query sequence number, object
+    id)``, so a survivor's draws are identical no matter which shard — or how
+    many shards — evaluate it.  Object ids must be non-negative (a
+    ``SeedSequence`` entropy requirement); every dataset builder in this
+    repository numbers objects from zero.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence((int(rng_seed), int(query_seq), int(oid)))
+    )
+
+
+def ipq_probabilities_monte_carlo_per_oid(
+    issuer_pdf: UncertaintyPdf,
+    spec: RangeQuerySpec,
+    locations: np.ndarray,
+    oids: np.ndarray,
+    samples: int,
+    rng_seed: int,
+    query_seq: int,
+) -> np.ndarray:
+    """Monte-Carlo IPQ probabilities under the per-oid draw plan.
+
+    Each point object's issuer draws come from :func:`per_oid_rng`, so the
+    estimate for a given ``(query_seq, oid)`` pair is a pure function of the
+    engine seed — shard-parallel evaluation returns bitwise-identical
+    probabilities to a single-shard engine running the same plan.  Both
+    evaluation backends call this same function, so scalar/vectorized parity
+    is preserved by construction.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    locations = np.asarray(locations, dtype=float)
+    probabilities = np.empty(locations.shape[0], dtype=float)
+    for i, oid in enumerate(oids):
+        rng = per_oid_rng(rng_seed, query_seq, int(oid))
+        draws = issuer_pdf.sample_batch(rng, samples, 1)[0]
+        dx = np.abs(draws[:, 0] - locations[i, 0])
+        dy = np.abs(draws[:, 1] - locations[i, 1])
+        inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+        probabilities[i] = float(np.count_nonzero(inside)) / samples
+    return probabilities
+
+
+def iuq_probabilities_monte_carlo_per_oid(
+    issuer_pdf: UncertaintyPdf,
+    targets: "list[UncertainObject]",
+    spec: RangeQuerySpec,
+    samples: int,
+    rng_seed: int,
+    query_seq: int,
+) -> np.ndarray:
+    """Fully sampled IUQ probabilities under the per-oid draw plan.
+
+    Per target, the issuer's draws come first and the target's second from
+    the same :func:`per_oid_rng` generator (the order is part of the plan's
+    contract).  Like its IPQ counterpart, the result only depends on
+    ``(engine seed, query_seq, oid)``, making shard-parallel evaluation
+    bitwise-identical to single-shard evaluation.
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    probabilities = np.empty(len(targets), dtype=float)
+    for i, target in enumerate(targets):
+        rng = per_oid_rng(rng_seed, query_seq, target.oid)
+        issuer_draws = issuer_pdf.sample_batch(rng, samples, 1)[0]
+        target_draws = target.pdf.sample_batch(rng, samples, 1)[0]
+        dx = np.abs(target_draws[:, 0] - issuer_draws[:, 0])
+        dy = np.abs(target_draws[:, 1] - issuer_draws[:, 1])
+        inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+        probabilities[i] = float(np.count_nonzero(inside)) / samples
+    return probabilities
+
+
+# --------------------------------------------------------------------------- #
 # IUQ — uncertain objects
 # --------------------------------------------------------------------------- #
 def _overlap_length_integral(
@@ -359,8 +443,10 @@ def monte_carlo_iuq_draws(
         u = rng.random((4, k, samples))
         issuer_region = issuer_pdf.region
         issuer_draws = np.empty((k, samples, 2), dtype=float)
-        issuer_draws[:, :, 0] = issuer_region.xmin + (issuer_region.xmax - issuer_region.xmin) * u[0]
-        issuer_draws[:, :, 1] = issuer_region.ymin + (issuer_region.ymax - issuer_region.ymin) * u[1]
+        x_span = issuer_region.xmax - issuer_region.xmin
+        y_span = issuer_region.ymax - issuer_region.ymin
+        issuer_draws[:, :, 0] = issuer_region.xmin + x_span * u[0]
+        issuer_draws[:, :, 1] = issuer_region.ymin + y_span * u[1]
         target_u = u[2:]
     else:
         issuer_draws = issuer_pdf.sample_batch(rng, samples, k)
@@ -372,8 +458,10 @@ def monte_carlo_iuq_draws(
             if target_bounds is not None
             else np.array([target.region.as_tuple() for target in targets])
         )
-        target_draws[:, :, 0] = bounds[:, 0, None] + (bounds[:, 2] - bounds[:, 0])[:, None] * target_u[0]
-        target_draws[:, :, 1] = bounds[:, 1, None] + (bounds[:, 3] - bounds[:, 1])[:, None] * target_u[1]
+        widths = (bounds[:, 2] - bounds[:, 0])[:, None]
+        heights = (bounds[:, 3] - bounds[:, 1])[:, None]
+        target_draws[:, :, 0] = bounds[:, 0, None] + widths * target_u[0]
+        target_draws[:, :, 1] = bounds[:, 1, None] + heights * target_u[1]
     else:
         for i, target in enumerate(targets):
             target.pdf.sample_into(rng, target_draws[i])

@@ -48,14 +48,16 @@ from repro.core.columnar import (
 from repro.core.duality import (
     ipq_probabilities,
     ipq_probabilities_monte_carlo,
+    ipq_probabilities_monte_carlo_per_oid,
     ipq_probability,
     iuq_probabilities_exact_uniform,
     iuq_probabilities_monte_carlo,
+    iuq_probabilities_monte_carlo_per_oid,
     iuq_probability,
     iuq_probability_exact_uniform,
     monte_carlo_iuq_draws,
 )
-from repro.core.nearest import ImpreciseNearestNeighborEngine
+from repro.core.nearest import ImpreciseNearestNeighborEngine, nn_query_draws
 from repro.core.pruning import ALL_STRATEGIES, CIPQPruner, CIUQPruner, PruningStrategy
 from repro.core.queries import (
     Evaluation,
@@ -65,7 +67,6 @@ from repro.core.queries import (
     QueryResult,
     RangeQuery,
     RangeQuerySpec,
-    RangeQueryTarget,
     RANGE_QUERY_TARGETS,
 )
 from repro.core.statistics import EvaluationStatistics
@@ -81,6 +82,14 @@ from repro.uncertainty.region import PointObject, UncertainObject
 #: wherever an ``IndexKind`` is expected.
 IndexKind = Literal["rtree", "pti", "grid", "linear"]
 ProbabilityMethod = Literal["auto", "exact", "monte_carlo"]
+
+#: How Monte-Carlo draws are assigned to candidate objects.  ``"stream"`` is
+#: the historical plan: one batched draw per query consumed from the engine's
+#: shared, advancing generator.  ``"per_oid"`` derives an independent
+#: generator per ``(query sequence number, object id)`` pair, which makes a
+#: survivor's draws independent of batch composition — the property the
+#: sharded parallel executor needs for bitwise-identical results.
+DrawPlan = Literal["stream", "per_oid"]
 
 #: Monte-Carlo sample count used for nearest-neighbour queries that do not
 #: specify one (matches :class:`ImpreciseNearestNeighborEngine`'s default).
@@ -108,11 +117,20 @@ class EngineConfig:
     #: bitwise identical given the same seed); pdfs without array kernels
     #: transparently fall back to their scalar implementations.
     vectorized: bool = True
+    #: Monte-Carlo draw plan (see :data:`DrawPlan`).  ``"per_oid"`` makes
+    #: sampled probabilities a pure function of ``(rng_seed, query sequence
+    #: number, oid)`` — required by (and forced on) sharded execution; the
+    #: default ``"stream"`` preserves the historical draw sequence.
+    draw_plan: DrawPlan = "stream"
 
     def __post_init__(self) -> None:
         if self.monte_carlo_samples < 1:
             raise ValueError(
                 f"monte_carlo_samples must be >= 1, got {self.monte_carlo_samples}"
+            )
+        if self.draw_plan not in ("stream", "per_oid"):
+            raise ValueError(
+                f"draw_plan must be 'stream' or 'per_oid', got {self.draw_plan!r}"
             )
         if (
             isinstance(self.rng_seed, bool)
@@ -255,6 +273,12 @@ class ImpreciseQueryEngine:
         self._config = config if config is not None else EngineConfig()
         self._rng = np.random.default_rng(self._config.rng_seed)
         self._nn_engines: dict[int, ImpreciseNearestNeighborEngine] = {}
+        # Monotonic query sequence number.  Every evaluated query consumes
+        # one (whatever its kind), so that under the per-oid draw plan the
+        # n-th query of any call pattern — evaluate() loop, evaluate_many(),
+        # or a sharded executor replaying explicit numbers through
+        # evaluate_many_at() — samples the same draws.
+        self._query_seq = 0
 
     @property
     def config(self) -> EngineConfig:
@@ -300,15 +324,31 @@ class ImpreciseQueryEngine:
             "a NearestNeighborQuery, or a legacy ImpreciseRangeQuery"
         )
 
+    def _next_query_seq(self) -> int:
+        seq = self._query_seq
+        self._query_seq += 1
+        return seq
+
     @evaluate.register
-    def _evaluate_range_query(self, query: RangeQuery, *, over: str | None = None) -> Evaluation:
+    def _evaluate_range_query(
+        self,
+        query: RangeQuery,
+        *,
+        over: str | None = None,
+        query_seq: int | None = None,
+    ) -> Evaluation:
         if over is not None:
             raise TypeError("'over' only applies to legacy ImpreciseRangeQuery objects")
         started = time.perf_counter()
+        seq = self._next_query_seq() if query_seq is None else query_seq
         if query.target == "points":
-            result, stats = self._run_point_range(query.issuer, query.spec, query.threshold)
+            result, stats = self._run_point_range(
+                query.issuer, query.spec, query.threshold, query_seq=seq
+            )
         else:
-            result, stats = self._run_uncertain_range(query.issuer, query.spec, query.threshold)
+            result, stats = self._run_uncertain_range(
+                query.issuer, query.spec, query.threshold, query_seq=seq
+            )
         return Evaluation(
             query=query,
             result=result,
@@ -318,14 +358,25 @@ class ImpreciseQueryEngine:
 
     @evaluate.register
     def _evaluate_nearest_query(
-        self, query: NearestNeighborQuery, *, over: str | None = None
+        self,
+        query: NearestNeighborQuery,
+        *,
+        over: str | None = None,
+        query_seq: int | None = None,
     ) -> Evaluation:
         if over is not None:
             raise TypeError("'over' only applies to legacy ImpreciseRangeQuery objects")
         started = time.perf_counter()
+        seq = self._next_query_seq() if query_seq is None else query_seq
         samples = query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
         engine = self._nearest_engine(samples)
-        result, stats = engine.evaluate(query.issuer, threshold=query.threshold)
+        if self._config.draw_plan == "per_oid":
+            draws = nn_query_draws(query.issuer.pdf, samples, self._config.rng_seed, seq)
+            result, stats = engine.evaluate(
+                query.issuer, threshold=query.threshold, draws=draws
+            )
+        else:
+            result, stats = engine.evaluate(query.issuer, threshold=query.threshold)
         return Evaluation(
             query=query,
             result=result,
@@ -375,6 +426,33 @@ class ImpreciseQueryEngine:
                     f"evaluate_many() only accepts RangeQuery and NearestNeighborQuery "
                     f"objects; item {position} is {type(query).__name__!r}"
                 )
+        seqs = [self._next_query_seq() for _ in batch]
+        return self._evaluate_batch(batch, seqs)
+
+    def evaluate_many_at(self, items: Iterable[tuple[int, Query]]) -> list[Evaluation]:
+        """Batch evaluation with caller-assigned query sequence numbers.
+
+        ``items`` is an iterable of ``(query_seq, query)`` pairs.  This is the
+        replay entry point of the sharded executor: a shard engine evaluates
+        only the queries routed to it, but under the per-oid draw plan each
+        query must carry the sequence number it holds in the *global*
+        workload so that its Monte-Carlo draws match the single-shard
+        engine's.  The engine's own sequence counter is left untouched.
+        Everything else — pruner caching, columnar batch filtering — behaves
+        exactly like :meth:`evaluate_many`.
+        """
+        materialised = list(items)
+        batch = [query for _, query in materialised]
+        for position, query in enumerate(batch):
+            if not isinstance(query, (RangeQuery, NearestNeighborQuery)):
+                raise TypeError(
+                    f"evaluate_many_at() only accepts RangeQuery and NearestNeighborQuery "
+                    f"objects; item {position} is {type(query).__name__!r}"
+                )
+        seqs = [int(seq) for seq, _ in materialised]
+        return self._evaluate_batch(batch, seqs)
+
+    def _evaluate_batch(self, batch: list[Query], seqs: list[int]) -> list[Evaluation]:
         # Fail fast, before any query runs, when a required database is absent.
         targets = {query.target for query in batch if isinstance(query, RangeQuery)}
         if "points" in targets:
@@ -406,9 +484,9 @@ class ImpreciseQueryEngine:
         if self._config.vectorized and "uncertain" in targets:
             uncertain_snapshot = self._require_uncertain_db().columnar()
         evaluations: list[Evaluation] = []
-        for query in batch:
+        for query, seq in zip(batch, seqs):
             if isinstance(query, NearestNeighborQuery):
-                evaluations.append(self._evaluate_nearest_query(query))
+                evaluations.append(self._evaluate_nearest_query(query, query_seq=seq))
                 continue
             key = (id(query.issuer), query.spec, query.threshold, query.target)
             shared = repeats[key] > 1
@@ -418,6 +496,7 @@ class ImpreciseQueryEngine:
                     query.issuer,
                     query.spec,
                     query.threshold,
+                    query_seq=seq,
                     pruner_cache=point_pruners if shared else None,
                     columnar=point_snapshot,
                 )
@@ -426,6 +505,7 @@ class ImpreciseQueryEngine:
                     query.issuer,
                     query.spec,
                     query.threshold,
+                    query_seq=seq,
                     pruner_cache=uncertain_pruners if shared else None,
                     columnar=uncertain_snapshot,
                 )
@@ -478,6 +558,7 @@ class ImpreciseQueryEngine:
         spec: RangeQuerySpec,
         threshold: float,
         *,
+        query_seq: int,
         pruner_cache: dict[tuple, CIPQPruner] | None = None,
         columnar: ColumnarPoints | None = None,
     ) -> tuple[QueryResult, EvaluationStatistics]:
@@ -550,9 +631,24 @@ class ImpreciseQueryEngine:
                 if self._use_monte_carlo(issuer):
                     samples = self._config.monte_carlo_samples
                     stats.monte_carlo_samples += samples * len(survivors)
-                    probabilities = ipq_probabilities_monte_carlo(
-                        issuer.pdf, spec, survivor_xy, samples, self._rng
-                    )
+                    if self._config.draw_plan == "per_oid":
+                        probabilities = ipq_probabilities_monte_carlo_per_oid(
+                            issuer.pdf,
+                            spec,
+                            survivor_xy,
+                            np.fromiter(
+                                (obj.oid for obj in survivors),
+                                dtype=np.int64,
+                                count=len(survivors),
+                            ),
+                            samples,
+                            self._config.rng_seed,
+                            query_seq,
+                        )
+                    else:
+                        probabilities = ipq_probabilities_monte_carlo(
+                            issuer.pdf, spec, survivor_xy, samples, self._rng
+                        )
                 else:
                     probabilities = ipq_probabilities(issuer.pdf, spec, survivor_xy)
                 for obj, probability in zip(survivors, probabilities):
@@ -568,20 +664,47 @@ class ImpreciseQueryEngine:
                     continue
                 survivors.append(obj)
             if survivors and self._use_monte_carlo(issuer):
-                # Same per-query draw plan as the vectorized backend (one
-                # batched issuer draw), evaluated with a scalar per-object
-                # loop — probabilities are bitwise identical across backends.
                 samples = self._config.monte_carlo_samples
-                draws = issuer.pdf.sample_batch(self._rng, samples, len(survivors))
-                for i, obj in enumerate(survivors):
-                    stats.probability_computations += 1
-                    stats.monte_carlo_samples += samples
-                    dx = np.abs(draws[i, :, 0] - obj.location.x)
-                    dy = np.abs(draws[i, :, 1] - obj.location.y)
-                    inside = (dx <= spec.half_width) & (dy <= spec.half_height)
-                    probability = float(np.count_nonzero(inside)) / samples
-                    if probability > 0.0 and probability >= threshold:
-                        result.add(obj.oid, probability)
+                if self._config.draw_plan == "per_oid":
+                    # The per-oid plan is inherently per-object, so both
+                    # backends share the exact same helper.
+                    locations = np.empty((len(survivors), 2), dtype=float)
+                    for i, obj in enumerate(survivors):
+                        locations[i, 0] = obj.location.x
+                        locations[i, 1] = obj.location.y
+                    stats.probability_computations += len(survivors)
+                    stats.monte_carlo_samples += samples * len(survivors)
+                    probabilities = ipq_probabilities_monte_carlo_per_oid(
+                        issuer.pdf,
+                        spec,
+                        locations,
+                        np.fromiter(
+                            (obj.oid for obj in survivors),
+                            dtype=np.int64,
+                            count=len(survivors),
+                        ),
+                        samples,
+                        self._config.rng_seed,
+                        query_seq,
+                    )
+                    for obj, probability in zip(survivors, probabilities):
+                        probability = float(probability)
+                        if probability > 0.0 and probability >= threshold:
+                            result.add(obj.oid, probability)
+                else:
+                    # Same per-query draw plan as the vectorized backend (one
+                    # batched issuer draw), evaluated with a scalar per-object
+                    # loop — probabilities are bitwise identical across backends.
+                    draws = issuer.pdf.sample_batch(self._rng, samples, len(survivors))
+                    for i, obj in enumerate(survivors):
+                        stats.probability_computations += 1
+                        stats.monte_carlo_samples += samples
+                        dx = np.abs(draws[i, :, 0] - obj.location.x)
+                        dy = np.abs(draws[i, :, 1] - obj.location.y)
+                        inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+                        probability = float(np.count_nonzero(inside)) / samples
+                        if probability > 0.0 and probability >= threshold:
+                            result.add(obj.oid, probability)
             else:
                 for obj in survivors:
                     stats.probability_computations += 1
@@ -599,6 +722,7 @@ class ImpreciseQueryEngine:
         spec: RangeQuerySpec,
         threshold: float,
         *,
+        query_seq: int,
         pruner_cache: dict[tuple, CIUQPruner] | None = None,
         columnar: ColumnarUncertain | None = None,
     ) -> tuple[QueryResult, EvaluationStatistics]:
@@ -667,7 +791,7 @@ class ImpreciseQueryEngine:
                 snapshot_rows=snapshot_rows,
             )
             pairs = self._uncertain_probabilities_vectorized(
-                issuer, survivors, spec, stats, bounds=survivor_bounds
+                issuer, survivors, spec, stats, query_seq, bounds=survivor_bounds
             )
         else:
             survivors = []
@@ -677,7 +801,9 @@ class ImpreciseQueryEngine:
                     stats.record_pruned(decision.strategy or "filter")
                     continue
                 survivors.append(obj)
-            pairs = self._uncertain_probabilities_scalar(issuer, survivors, spec, stats)
+            pairs = self._uncertain_probabilities_scalar(
+                issuer, survivors, spec, stats, query_seq
+            )
         for oid, probability in pairs:
             if probability > 0.0 and probability >= threshold:
                 result.add(oid, probability)
@@ -794,6 +920,7 @@ class ImpreciseQueryEngine:
         survivors: list[UncertainObject],
         spec: RangeQuerySpec,
         stats: EvaluationStatistics,
+        query_seq: int,
         *,
         bounds: np.ndarray | None = None,
     ) -> list[tuple[int, float]]:
@@ -817,16 +944,26 @@ class ImpreciseQueryEngine:
             samples = self._config.monte_carlo_samples
             stats.monte_carlo_samples += samples * len(mc_rows)
             all_mc = len(mc_rows) == len(survivors)
-            probabilities[mc_rows] = iuq_probabilities_monte_carlo(
-                issuer.pdf,
-                survivors if all_mc else [survivors[row] for row in mc_rows],
-                spec,
-                samples,
-                self._rng,
-                target_bounds=(
-                    bounds if all_mc else bounds[mc_rows]
-                ) if bounds is not None else None,
-            )
+            if self._config.draw_plan == "per_oid":
+                probabilities[mc_rows] = iuq_probabilities_monte_carlo_per_oid(
+                    issuer.pdf,
+                    survivors if all_mc else [survivors[row] for row in mc_rows],
+                    spec,
+                    samples,
+                    self._config.rng_seed,
+                    query_seq,
+                )
+            else:
+                probabilities[mc_rows] = iuq_probabilities_monte_carlo(
+                    issuer.pdf,
+                    survivors if all_mc else [survivors[row] for row in mc_rows],
+                    spec,
+                    samples,
+                    self._rng,
+                    target_bounds=(
+                        bounds if all_mc else bounds[mc_rows]
+                    ) if bounds is not None else None,
+                )
         if exact_rows:
             if bounds is not None:
                 exact_bounds = bounds[exact_rows]
@@ -854,6 +991,7 @@ class ImpreciseQueryEngine:
         survivors: list[UncertainObject],
         spec: RangeQuerySpec,
         stats: EvaluationStatistics,
+        query_seq: int,
     ) -> list[tuple[int, float]]:
         """Scalar-reference twin of :meth:`_uncertain_probabilities_vectorized`.
 
@@ -870,14 +1008,21 @@ class ImpreciseQueryEngine:
             samples = self._config.monte_carlo_samples
             stats.monte_carlo_samples += samples * len(mc_rows)
             targets = [survivors[row] for row in mc_rows]
-            issuer_draws, target_draws = monte_carlo_iuq_draws(
-                issuer.pdf, targets, samples, self._rng
-            )
-            for i, row in enumerate(mc_rows):
-                dx = np.abs(target_draws[i, :, 0] - issuer_draws[i, :, 0])
-                dy = np.abs(target_draws[i, :, 1] - issuer_draws[i, :, 1])
-                inside = (dx <= spec.half_width) & (dy <= spec.half_height)
-                probabilities[row] = float(np.count_nonzero(inside)) / samples
+            if self._config.draw_plan == "per_oid":
+                # The per-oid plan is inherently per-object, so both backends
+                # share the exact same helper.
+                probabilities[mc_rows] = iuq_probabilities_monte_carlo_per_oid(
+                    issuer.pdf, targets, spec, samples, self._config.rng_seed, query_seq
+                )
+            else:
+                issuer_draws, target_draws = monte_carlo_iuq_draws(
+                    issuer.pdf, targets, samples, self._rng
+                )
+                for i, row in enumerate(mc_rows):
+                    dx = np.abs(target_draws[i, :, 0] - issuer_draws[i, :, 0])
+                    dy = np.abs(target_draws[i, :, 1] - issuer_draws[i, :, 1])
+                    inside = (dx <= spec.half_width) & (dy <= spec.half_height)
+                    probabilities[row] = float(np.count_nonzero(inside)) / samples
         for row in exact_rows:
             probabilities[row] = iuq_probability_exact_uniform(
                 issuer.pdf, survivors[row], spec

@@ -18,14 +18,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import math
+
 import numpy as np
 
 from repro.geometry.point import Point
 from repro.core.queries import QueryAnswer, QueryResult
 from repro.core.statistics import EvaluationStatistics
 from repro.index.rtree import RTree
+from repro.uncertainty.pdf import UncertaintyPdf
 from repro.uncertainty.region import PointObject, UncertainObject
 import time
+
+
+def nn_query_draws(
+    issuer_pdf: UncertaintyPdf, samples: int, rng_seed: int, query_seq: int
+) -> np.ndarray:
+    """The per-query draw plan for nearest-neighbour queries.
+
+    A fresh generator derived from ``(engine seed, query sequence number)``
+    produces the issuer draws, so every shard of a sharded database — and the
+    single-shard reference engine — samples the identical positions for a
+    given query.  This is the nearest-neighbour analogue of
+    :func:`repro.core.duality.per_oid_rng` (NN draws belong to the query, not
+    to a candidate object, so the object id is absent from the seed).
+    """
+    if samples <= 0:
+        raise ValueError(f"samples must be positive, got {samples}")
+    rng = np.random.default_rng(np.random.SeedSequence((int(rng_seed), int(query_seq))))
+    return issuer_pdf.sample(rng, samples)
 
 
 @dataclass(frozen=True)
@@ -57,12 +78,20 @@ class ImpreciseNearestNeighborEngine:
         self._rng = np.random.default_rng(rng_seed)
 
     def evaluate(
-        self, issuer: UncertainObject, *, threshold: float = 0.0
+        self,
+        issuer: UncertainObject,
+        *,
+        threshold: float = 0.0,
+        draws: np.ndarray | None = None,
     ) -> tuple[QueryResult, EvaluationStatistics]:
         """Return objects with their nearest-neighbour qualification probabilities.
 
         Only objects with probability at least ``threshold`` (and non-zero)
         are reported, mirroring the constrained range-query semantics.
+        ``draws`` optionally supplies the issuer positions as an ``(n, 2)``
+        array (e.g. the deterministic per-query plan of
+        :func:`nn_query_draws`); when omitted, the engine's own advancing
+        generator draws ``samples`` positions as before.
         """
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
@@ -70,8 +99,10 @@ class ImpreciseNearestNeighborEngine:
         stats = EvaluationStatistics()
         before = self._index.stats.snapshot()
 
-        draws = issuer.pdf.sample(self._rng, self._samples)
-        stats.monte_carlo_samples = self._samples
+        if draws is None:
+            draws = issuer.pdf.sample(self._rng, self._samples)
+        samples = len(draws)
+        stats.monte_carlo_samples = samples
         wins: dict[int, int] = {}
         for x, y in draws:
             winners = self._index.nearest_neighbors(Point(float(x), float(y)), k=1)
@@ -83,13 +114,42 @@ class ImpreciseNearestNeighborEngine:
         stats.candidates_examined = len(wins)
         result = QueryResult()
         for oid, count in wins.items():
-            probability = count / self._samples
+            probability = count / samples
             if probability > 0.0 and probability >= threshold:
                 result.add(oid, probability)
         result.sort()
         stats.results_returned = len(result)
         stats.response_time = time.perf_counter() - started
         return result, stats
+
+    def per_draw_winners(
+        self, draws: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, EvaluationStatistics]:
+        """Nearest object per issuer draw: ``(oids, distances, statistics)``.
+
+        The shard-merge primitive of the parallel executor: each shard
+        reports, for every draw of the shared per-query plan, its local
+        winner and that winner's exact distance; the merger keeps the
+        globally closest (ties broken towards the smaller oid).  The returned
+        statistics carry the index I/O and wall-clock time of this pass.
+        """
+        started = time.perf_counter()
+        stats = EvaluationStatistics()
+        before = self._index.stats.snapshot()
+        oids = np.empty(len(draws), dtype=np.int64)
+        distances = np.empty(len(draws), dtype=float)
+        for row, (x, y) in enumerate(draws):
+            winner: PointObject = self._index.nearest_neighbors(
+                Point(float(x), float(y)), k=1
+            )[0]
+            oids[row] = winner.oid
+            distances[row] = math.hypot(
+                float(x) - winner.location.x, float(y) - winner.location.y
+            )
+        stats.io = self._index.stats.difference_since(before)
+        stats.monte_carlo_samples = len(draws)
+        stats.response_time = time.perf_counter() - started
+        return oids, distances, stats
 
     def most_probable_neighbor(self, issuer: UncertainObject) -> QueryAnswer | None:
         """Convenience wrapper returning only the most probable nearest neighbour."""

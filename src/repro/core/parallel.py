@@ -1,0 +1,466 @@
+"""Shard-parallel workload execution.
+
+:class:`ParallelEngine` runs whole workloads against a
+:class:`~repro.core.sharding.ShardedDatabase`: a shard planner routes every
+query to only the shards its expanded window (Minkowski-expanded for range
+queries, best-distance-bounded for nearest-neighbour queries) can touch, the
+routed per-shard batches execute either in-process or on a pool of forked
+worker processes, and the per-shard partial results are merged back into
+ordinary :class:`~repro.core.queries.Evaluation` envelopes — answers in
+global oid order, work counters summed, and per-shard wall-clock attribution
+attached (:class:`ParallelEvaluation.shard_timings`).
+
+Results are **identical** to a single-shard
+:class:`~repro.core.engine.ImpreciseQueryEngine` running the same workload
+under the per-oid draw plan (``EngineConfig(draw_plan="per_oid")``, which
+this engine forces): the shards partition the objects, pruning decisions are
+per-object, and every Monte-Carlo draw is a pure function of ``(rng_seed,
+query sequence number, oid)`` — so sampled probabilities match bitwise no
+matter how the objects are spread over shards or how many workers run them.
+One caveat applies to nearest-neighbour queries: when two objects are at
+*exactly* the same distance from a sampled position, the sharded merge
+breaks the tie towards the smaller oid while the single-shard engine keeps
+whichever its R-tree traversal found first.  Under the continuous pdfs used
+throughout this reproduction exact ties have probability zero; datasets
+with symmetric, grid-aligned point layouts can hit them.
+
+The process pool uses the ``fork`` start method so workers inherit the shard
+databases (objects, indexes and columnar snapshots) without pickling them;
+on platforms without ``fork`` the engine transparently degrades to serial
+in-process execution.  Worker processes are reused across
+:meth:`ParallelEngine.evaluate_many` calls; call :meth:`ParallelEngine.close`
+(or use the engine as a context manager) to release them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import warnings
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.engine import (
+    DEFAULT_NN_SAMPLES,
+    EngineConfig,
+    ImpreciseQueryEngine,
+)
+from repro.core.expansion import minkowski_expanded_query
+from repro.core.nearest import nn_query_draws
+from repro.core.queries import (
+    Evaluation,
+    NearestNeighborQuery,
+    Query,
+    QueryResult,
+    RangeQuery,
+)
+from repro.core.sharding import Shard, ShardedDatabase
+from repro.core.statistics import EvaluationStatistics
+
+#: Engines visible to forked pool workers, keyed by registration token.  The
+#: parent registers an engine *before* creating its pool, so any worker the
+#: pool forks — eagerly or lazily — inherits the entry and resolves its
+#: owning engine without any shard data crossing a pipe.  References are
+#: weak: the registry must not keep an abandoned engine (and its worker
+#: pool and shard data) alive — dropping the last user reference triggers
+#: ``__del__`` → :meth:`ParallelEngine.close`.  Inside a forked worker the
+#: weak reference still resolves, because the fork snapshot retains the
+#: parent's strong references from the moment of the fork.
+_ENGINE_REGISTRY: "weakref.WeakValueDictionary[int, ParallelEngine]" = (
+    weakref.WeakValueDictionary()
+)
+_TOKENS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock seconds one shard spent on one query."""
+
+    sid: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class ParallelEvaluation(Evaluation):
+    """An :class:`Evaluation` carrying per-shard timing attribution.
+
+    ``elapsed_seconds`` is the slowest shard's time (the parallel critical
+    path); ``statistics.response_time`` sums the shards' times (the total
+    work performed); ``shard_timings`` breaks that total down per shard.
+    """
+
+    shard_timings: tuple[ShardTiming, ...] = ()
+
+
+@dataclass
+class _RangePartial:
+    """One shard's contribution to a range query."""
+
+    result: QueryResult
+    statistics: EvaluationStatistics
+    elapsed_seconds: float
+
+
+@dataclass
+class _NNPartial:
+    """One shard's per-draw nearest-neighbour winners."""
+
+    oids: np.ndarray
+    distances: np.ndarray
+    statistics: EvaluationStatistics
+    elapsed_seconds: float
+
+
+def _pool_entry(token: int, kind: str, sid: int, items: list) -> list:
+    """Pool task: run one shard's routed queries inside a forked worker."""
+    return _ENGINE_REGISTRY[token]._execute_shard(kind, sid, items)
+
+
+class ParallelEngine:
+    """Evaluates workloads across the shards of a :class:`ShardedDatabase`.
+
+    Drop-in compatible with :class:`ImpreciseQueryEngine` for the query
+    surface (``evaluate`` / ``evaluate_many`` / ``config`` / database
+    properties), so a :class:`~repro.core.session.Session` can swap one in
+    transparently.  ``workers=1`` (the default) executes the routed shard
+    batches serially in-process; ``workers > 1`` fans them out over forked
+    worker processes.
+    """
+
+    def __init__(
+        self,
+        *,
+        point_db: ShardedDatabase | None = None,
+        uncertain_db: ShardedDatabase | None = None,
+        config: EngineConfig | None = None,
+        workers: int | None = None,
+    ) -> None:
+        if point_db is None and uncertain_db is None:
+            raise ValueError("the engine needs at least one sharded database to query")
+        if point_db is not None and point_db.kind != "points":
+            raise ValueError("point_db must be a ShardedDatabase of kind 'points'")
+        if uncertain_db is not None and uncertain_db.kind != "uncertain":
+            raise ValueError("uncertain_db must be a ShardedDatabase of kind 'uncertain'")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._point_db = point_db
+        self._uncertain_db = uncertain_db
+        config = config if config is not None else EngineConfig()
+        if config.draw_plan != "per_oid":
+            # Sharded execution is only well-defined under the per-oid plan:
+            # the streaming plan ties draws to batch composition, which no
+            # shard can reproduce.
+            config = config.with_overrides(draw_plan="per_oid")
+        self._config = config
+        self._workers = 1 if workers is None else int(workers)
+        self._query_seq = 0
+        self._token = next(_TOKENS)
+        self._pool: ProcessPoolExecutor | None = None
+        self._shard_engines: dict[tuple[str, int], ImpreciseQueryEngine] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> EngineConfig:
+        """The engine configuration (draw plan forced to ``"per_oid"``)."""
+        return self._config
+
+    @property
+    def point_db(self) -> ShardedDatabase | None:
+        """The sharded point-object database, if any."""
+        return self._point_db
+
+    @property
+    def uncertain_db(self) -> ShardedDatabase | None:
+        """The sharded uncertain-object database, if any."""
+        return self._uncertain_db
+
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count (1 = serial in-process)."""
+        return self._workers
+
+    def close(self) -> None:
+        """Shut down the worker pool (if any) and deregister the engine."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        _ENGINE_REGISTRY.pop(self._token, None)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Last-resort cleanup so engines dropped without close() (e.g. a
+        # discarded sharded Session) release their worker processes.
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def evaluate(self, query: Query) -> Evaluation:
+        """Evaluate one query across the shards it routes to."""
+        return self.evaluate_many([query])[0]
+
+    def evaluate_many(self, queries: Iterable[Query]) -> list[Evaluation]:
+        """Evaluate a workload shard-parallel, preserving input order.
+
+        Each query is routed to the shards its window can touch, the routed
+        per-shard batches run through the ordinary engine batch path (one
+        sub-engine per shard), and the partial results are merged.  Queries
+        whose window misses every shard return empty evaluations without
+        touching any worker.
+        """
+        batch = list(queries)
+        for position, query in enumerate(batch):
+            if not isinstance(query, (RangeQuery, NearestNeighborQuery)):
+                raise TypeError(
+                    f"evaluate_many() only accepts RangeQuery and NearestNeighborQuery "
+                    f"objects; item {position} is {type(query).__name__!r}"
+                )
+        base_seq = self._query_seq
+        self._query_seq += len(batch)
+
+        tasks: dict[tuple[str, int], list[tuple[int, int, Query]]] = {}
+        routed_counts: list[int] = []
+        for position, query in enumerate(batch):
+            seq = base_seq + position
+            shards = self._route(query)
+            routed_counts.append(len(shards))
+            for shard in shards:
+                kind = "points" if self._targets_points(query) else "uncertain"
+                tasks.setdefault((kind, shard.sid), []).append((position, seq, query))
+
+        partials: dict[int, list[tuple[int, _RangePartial | _NNPartial]]] = {}
+        for position, (sid, payload) in self._execute(tasks):
+            partials.setdefault(position, []).append((sid, payload))
+
+        evaluations: list[Evaluation] = []
+        for position, query in enumerate(batch):
+            evaluations.append(self._merge(query, partials.get(position, [])))
+        return evaluations
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _targets_points(query: Query) -> bool:
+        return isinstance(query, NearestNeighborQuery) or query.target == "points"
+
+    def _require(self, kind: str) -> ShardedDatabase:
+        database = self._point_db if kind == "points" else self._uncertain_db
+        if database is None:
+            noun = "point-object" if kind == "points" else "uncertain-object"
+            raise RuntimeError(f"no {noun} database configured")
+        return database
+
+    def _route(self, query: Query) -> list[Shard]:
+        if isinstance(query, NearestNeighborQuery):
+            return self._require("points").route_nearest(query.issuer.region)
+        database = self._require("points" if query.target == "points" else "uncertain")
+        # The Minkowski window is the widest filter any configuration uses
+        # (the Qp-expanded-query is a subset), so routing by it is always
+        # complete; shards it over-includes contribute zero candidates.
+        window = minkowski_expanded_query(query.issuer.region, query.spec)
+        return database.route_window(window)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _shard_engine(self, kind: str, sid: int) -> ImpreciseQueryEngine:
+        key = (kind, sid)
+        engine = self._shard_engines.get(key)
+        if engine is None:
+            shard = self._require(kind).shards[sid]
+            if kind == "points":
+                engine = ImpreciseQueryEngine(point_db=shard.database, config=self._config)
+            else:
+                engine = ImpreciseQueryEngine(
+                    uncertain_db=shard.database, config=self._config
+                )
+            self._shard_engines[key] = engine
+        return engine
+
+    def _execute_shard(
+        self, kind: str, sid: int, items: list[tuple[int, int, Query]]
+    ) -> list[tuple[int, tuple[int, _RangePartial | _NNPartial]]]:
+        """Run one shard's routed queries; returns ``(position, (sid, payload))``."""
+        engine = self._shard_engine(kind, sid)
+        results: list[tuple[int, tuple[int, _RangePartial | _NNPartial]]] = []
+        range_items = [item for item in items if isinstance(item[2], RangeQuery)]
+        nn_items = [item for item in items if isinstance(item[2], NearestNeighborQuery)]
+        if range_items:
+            evaluations = engine.evaluate_many_at(
+                [(seq, query) for _, seq, query in range_items]
+            )
+            for (position, _, _), evaluation in zip(range_items, evaluations):
+                payload = _RangePartial(
+                    result=evaluation.result,
+                    statistics=evaluation.statistics,
+                    elapsed_seconds=evaluation.elapsed_seconds,
+                )
+                results.append((position, (sid, payload)))
+        for position, seq, query in nn_items:
+            samples = query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
+            draws = nn_query_draws(
+                query.issuer.pdf, samples, self._config.rng_seed, seq
+            )
+            nn_engine = engine._nearest_engine(samples)
+            oids, distances, stats = nn_engine.per_draw_winners(draws)
+            payload = _NNPartial(
+                oids=oids,
+                distances=distances,
+                statistics=stats,
+                elapsed_seconds=stats.response_time,
+            )
+            results.append((position, (sid, payload)))
+        return results
+
+    def _warm_snapshots(self) -> None:
+        """Materialise every shard's columnar snapshot in the parent.
+
+        Fork-inherited snapshots are shared copy-on-write with all workers;
+        without this, every worker would rebuild them after the fork.
+        """
+        for database in (self._point_db, self._uncertain_db):
+            if database is None:
+                continue
+            for shard in database.non_empty_shards():
+                shard.database.columnar()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self._pool is not None:
+            return self._pool
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            warnings.warn(
+                "the 'fork' start method is unavailable on this platform; "
+                "ParallelEngine falls back to serial in-process execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._workers = 1
+            return None
+        if self._config.vectorized:
+            self._warm_snapshots()
+        _ENGINE_REGISTRY[self._token] = self
+        self._pool = ProcessPoolExecutor(max_workers=self._workers, mp_context=context)
+        return self._pool
+
+    def _execute(
+        self, tasks: dict[tuple[str, int], list[tuple[int, int, Query]]]
+    ) -> list[tuple[int, tuple[int, _RangePartial | _NNPartial]]]:
+        ordered = sorted(tasks.items())
+        if self._workers > 1 and len(ordered) > 1:
+            pool = self._ensure_pool()
+            if pool is not None:
+                futures = [
+                    pool.submit(_pool_entry, self._token, kind, sid, items)
+                    for (kind, sid), items in ordered
+                ]
+                return [result for future in futures for result in future.result()]
+        return [
+            result
+            for (kind, sid), items in ordered
+            for result in self._execute_shard(kind, sid, items)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Merging
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge_statistics(parts: list[EvaluationStatistics]) -> EvaluationStatistics:
+        merged = EvaluationStatistics()
+        for stats in parts:
+            merged.response_time += stats.response_time
+            merged.candidates_examined += stats.candidates_examined
+            merged.probability_computations += stats.probability_computations
+            merged.monte_carlo_samples += stats.monte_carlo_samples
+            for strategy, count in stats.pruned.items():
+                merged.record_pruned(strategy, count)
+            merged.io.merge(stats.io)
+        return merged
+
+    def _merge(
+        self, query: Query, contributions: list[tuple[int, _RangePartial | _NNPartial]]
+    ) -> ParallelEvaluation:
+        contributions = sorted(contributions, key=lambda item: item[0])
+        timings = tuple(
+            ShardTiming(sid=sid, seconds=payload.elapsed_seconds)
+            for sid, payload in contributions
+        )
+        if isinstance(query, NearestNeighborQuery):
+            result, stats = self._merge_nearest(query, contributions)
+        elif len(contributions) == 1:
+            # One contributing shard: its result and statistics *are* the
+            # query's (already sorted / already per-query), no copying needed.
+            _, payload = contributions[0]
+            result = payload.result
+            stats = payload.statistics
+        else:
+            answers = []
+            for _, payload in contributions:
+                answers.extend(payload.result.answers)
+            result = QueryResult(answers=answers)
+            result.sort()
+            stats = self._merge_statistics(
+                [payload.statistics for _, payload in contributions]
+            )
+        stats.results_returned = len(result)
+        elapsed = max((timing.seconds for timing in timings), default=0.0)
+        return ParallelEvaluation(
+            query=query,
+            result=result,
+            statistics=stats,
+            elapsed_seconds=elapsed,
+            shard_timings=timings,
+        )
+
+    def _merge_nearest(
+        self, query: NearestNeighborQuery, contributions: list[tuple[int, _NNPartial]]
+    ) -> tuple[QueryResult, EvaluationStatistics]:
+        """Combine per-shard per-draw winners into global win probabilities.
+
+        For every draw of the shared per-query plan the globally nearest
+        shard winner is kept (ties broken towards the smaller oid, the same
+        order answers are ranked in); win counts over the draws then divide
+        into probabilities exactly as in the single-shard engine.
+        """
+        stats = self._merge_statistics(
+            [payload.statistics for _, payload in contributions]
+        )
+        result = QueryResult()
+        if not contributions:
+            return result, stats
+        samples = query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
+        # The per-shard passes each draw the full plan, so the sample count
+        # is a per-query quantity, not a per-shard one.
+        stats.monte_carlo_samples = samples
+        best_oids = contributions[0][1].oids.copy()
+        best_distances = contributions[0][1].distances.copy()
+        for _, payload in contributions[1:]:
+            closer = payload.distances < best_distances
+            tie = (payload.distances == best_distances) & (payload.oids < best_oids)
+            take = closer | tie
+            best_oids[take] = payload.oids[take]
+            best_distances[take] = payload.distances[take]
+        winners, counts = np.unique(best_oids, return_counts=True)
+        stats.candidates_examined = int(winners.size)
+        for oid, count in zip(winners, counts):
+            probability = float(count) / samples
+            if probability > 0.0 and probability >= query.threshold:
+                result.add(int(oid), probability)
+        result.sort()
+        return result, stats

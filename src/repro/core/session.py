@@ -30,6 +30,8 @@ from repro.core.engine import (
     PointDatabase,
     UncertainDatabase,
 )
+from repro.core.parallel import ParallelEngine
+from repro.core.sharding import ShardedDatabase
 from repro.core.queries import (
     Evaluation,
     NearestNeighborQuery,
@@ -52,7 +54,7 @@ class Session:
         point_db: PointDatabase | None = None,
         uncertain_db: UncertainDatabase | None = None,
         config: EngineConfig | None = None,
-        engine: ImpreciseQueryEngine | None = None,
+        engine: ImpreciseQueryEngine | ParallelEngine | None = None,
     ) -> None:
         if engine is not None:
             if point_db is not None or uncertain_db is not None or config is not None:
@@ -96,19 +98,74 @@ class Session:
         return cls(point_db=point_db, uncertain_db=uncertain_db, config=config)
 
     @property
-    def engine(self) -> ImpreciseQueryEngine:
+    def engine(self) -> ImpreciseQueryEngine | ParallelEngine:
         """The underlying query engine."""
         return self._engine
 
     @property
-    def point_db(self) -> PointDatabase | None:
-        """The point-object database, if any."""
+    def point_db(self) -> PointDatabase | ShardedDatabase | None:
+        """The point-object database (sharded for sharded sessions), if any."""
         return self._engine.point_db
 
     @property
-    def uncertain_db(self) -> UncertainDatabase | None:
-        """The uncertain-object database, if any."""
+    def uncertain_db(self) -> UncertainDatabase | ShardedDatabase | None:
+        """The uncertain-object database (sharded for sharded sessions), if any."""
         return self._engine.uncertain_db
+
+    def sharded(
+        self,
+        k: int,
+        *,
+        workers: int | None = None,
+        partitioner: str = "grid",
+    ) -> "Session":
+        """A new session running this session's data shard-parallel.
+
+        The databases are partitioned into ``k`` spatial shards (``"grid"``
+        or ``"median"`` splits), each with its own index of the same kind as
+        the original database, and queries execute through a
+        :class:`~repro.core.parallel.ParallelEngine` with ``workers``
+        processes (1 = serial in-process).  Every existing workload runs
+        unchanged on the sharded session; results are identical to a
+        single-shard engine configured with the per-oid draw plan
+        (``EngineConfig(draw_plan="per_oid")``), which sharded execution
+        forces — Monte-Carlo probabilities match bitwise.
+        """
+        point_db = self._engine.point_db
+        uncertain_db = self._engine.uncertain_db
+        sharded_points = None
+        if point_db is not None:
+            index_kind = (
+                point_db.index_kind
+                if isinstance(point_db, ShardedDatabase)
+                else point_db.kind
+            )
+            sharded_points = ShardedDatabase.build_points(
+                point_db.objects, k, partitioner=partitioner, index_kind=index_kind
+            )
+        sharded_uncertain = None
+        if uncertain_db is not None:
+            index_kind = (
+                uncertain_db.index_kind
+                if isinstance(uncertain_db, ShardedDatabase)
+                else uncertain_db.kind
+            )
+            # Objects coming out of a built database already carry whatever
+            # catalogs the original construction attached.
+            sharded_uncertain = ShardedDatabase.build_uncertain(
+                uncertain_db.objects,
+                k,
+                partitioner=partitioner,
+                index_kind=index_kind,
+                catalog_levels=None,
+            )
+        engine = ParallelEngine(
+            point_db=sharded_points,
+            uncertain_db=sharded_uncertain,
+            config=self._engine.config.with_overrides(draw_plan="per_oid"),
+            workers=workers,
+        )
+        return Session(engine=engine)
 
     # ------------------------------------------------------------------ #
     # Fluent builders

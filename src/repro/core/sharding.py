@@ -1,0 +1,268 @@
+"""Spatial sharding of point / uncertain databases.
+
+A :class:`ShardedDatabase` partitions an object collection into ``k``
+spatial shards (grid cells or recursive-median splits, see
+:mod:`repro.datasets.partition`), builds one index from the registry per
+non-empty shard, and answers the *shard planner* questions of the parallel
+executor:
+
+* :meth:`ShardedDatabase.route_window` — which shards can a range query's
+  expanded window touch?  A shard is consulted iff the window overlaps the
+  shard's *cover* rectangle (the union of its members' MBRs), which is exact
+  for point members and conservative-and-complete for uncertain members
+  because an object's whole region is contained in its shard's cover.
+* :meth:`ShardedDatabase.route_nearest` — which shards can hold a
+  nearest-neighbour winner for an issuer region?  Every shard keeps an
+  *anchor* (the member location closest to the cover centre); the smallest
+  max-distance from the issuer region to any anchor upper-bounds the best
+  possible distance, and shards whose cover lies entirely beyond that bound
+  are skipped.
+
+Shards own ordinary :class:`~repro.core.engine.PointDatabase` /
+:class:`~repro.core.engine.UncertainDatabase` instances, so every engine
+feature — columnar snapshots, PTI node-level pruning, pruner caching — works
+unchanged per shard.  Partitioning preserves input order inside each shard,
+so ``k = 1`` reproduces the unsharded database exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.datasets.partition import (
+    PartitionMethod,
+    mbr_centers,
+    partition_assignments,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import extract_mbr
+from repro.index.registry import get_index_backend
+from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
+from repro.uncertainty.region import PointObject, UncertainObject
+
+ShardKind = Literal["points", "uncertain"]
+
+
+@dataclass
+class Shard:
+    """One spatial partition: its database (if non-empty) plus routing metadata."""
+
+    sid: int
+    database: PointDatabase | UncertainDatabase | None
+    #: Union of the members' MBRs; ``Rect.empty()`` for an empty shard.
+    cover: Rect
+    #: A representative member location used by nearest-neighbour routing
+    #: (``None`` for empty or uncertain shards).
+    anchor: Point | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the partition received no objects."""
+        return self.database is None
+
+    def __len__(self) -> int:
+        return 0 if self.database is None else len(self.database)
+
+
+@dataclass
+class ShardedDatabase:
+    """A database partitioned into ``k`` spatial shards, each independently indexed."""
+
+    kind: ShardKind
+    shards: list[Shard]
+    index_kind: str
+    partitioner: PartitionMethod
+    objects: list = field(repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _plan(
+        objects: list, k: int, partitioner: PartitionMethod, bounds: Rect | None
+    ) -> list[list]:
+        if k < 1:
+            raise ValueError(f"shard count must be >= 1, got {k}")
+        if not objects:
+            raise ValueError("cannot shard an empty collection")
+        if bounds is None and partitioner == "grid":
+            bounds = Rect.bounding([extract_mbr(obj) for obj in objects])
+        assignments = partition_assignments(
+            mbr_centers(objects), k, method=partitioner, bounds=bounds
+        )
+        parts: list[list] = [[] for _ in range(k)]
+        for obj, sid in zip(objects, assignments):
+            parts[int(sid)].append(obj)
+        return parts
+
+    @staticmethod
+    def _check_shardable(index_kind: str) -> None:
+        backend = get_index_backend(index_kind)
+        if not backend.capabilities.supports_shard_build:
+            raise ValueError(
+                f"index kind {index_kind!r} cannot be built per shard "
+                "(its registry capabilities declare supports_shard_build=False)"
+            )
+
+    @staticmethod
+    def _cover(members: list) -> Rect:
+        return Rect.bounding([extract_mbr(obj) for obj in members])
+
+    @staticmethod
+    def _anchor(members: list[PointObject], cover: Rect) -> Point:
+        center = cover.center
+        best = min(members, key=lambda obj: obj.location.distance_to(center))
+        return best.location
+
+    @classmethod
+    def build_points(
+        cls,
+        objects: Iterable[PointObject],
+        k: int,
+        *,
+        partitioner: PartitionMethod = "grid",
+        index_kind: str = "rtree",
+        bounds: Rect | None = None,
+        **index_kwargs,
+    ) -> "ShardedDatabase":
+        """Partition point objects into ``k`` shards and index each one.
+
+        ``bounds`` fixes the grid partitioner's data space (default: the
+        collection's bounding rectangle).  Empty partitions are kept as
+        index-less shards so shard ids stay aligned with the partitioner's
+        cells.
+        """
+        materialised = list(objects)
+        cls._check_shardable(index_kind)
+        parts = cls._plan(materialised, k, partitioner, bounds)
+        shards: list[Shard] = []
+        for sid, members in enumerate(parts):
+            if not members:
+                shards.append(Shard(sid=sid, database=None, cover=Rect.empty()))
+                continue
+            database = PointDatabase.build(members, index_kind=index_kind, **index_kwargs)
+            cover = cls._cover(members)
+            shards.append(
+                Shard(
+                    sid=sid,
+                    database=database,
+                    cover=cover,
+                    anchor=cls._anchor(members, cover),
+                )
+            )
+        return cls(
+            kind="points",
+            shards=shards,
+            index_kind=index_kind,
+            partitioner=partitioner,
+            objects=materialised,
+        )
+
+    @classmethod
+    def build_uncertain(
+        cls,
+        objects: Iterable[UncertainObject],
+        k: int,
+        *,
+        partitioner: PartitionMethod = "grid",
+        index_kind: str = "pti",
+        catalog_levels: Sequence[float] | None = DEFAULT_CATALOG_LEVELS,
+        bounds: Rect | None = None,
+        **index_kwargs,
+    ) -> "ShardedDatabase":
+        """Partition uncertain objects into ``k`` shards and index each one.
+
+        Each shard gets its own PTI (or other registry backend) built over
+        only its members — the per-partition index construction the paper's
+        production deployments would use.  ``catalog_levels`` behaves as in
+        :meth:`UncertainDatabase.build`.
+        """
+        materialised = list(objects)
+        cls._check_shardable(index_kind)
+        parts = cls._plan(materialised, k, partitioner, bounds)
+        shards: list[Shard] = []
+        rebuilt: list[UncertainObject] = []
+        for sid, members in enumerate(parts):
+            if not members:
+                shards.append(Shard(sid=sid, database=None, cover=Rect.empty()))
+                continue
+            database = UncertainDatabase.build(
+                members,
+                index_kind=index_kind,
+                catalog_levels=catalog_levels,
+                **index_kwargs,
+            )
+            # The database may have attached catalogs; keep the global object
+            # list consistent with what the shards actually store.
+            rebuilt.extend(database.objects)
+            shards.append(Shard(sid=sid, database=database, cover=cls._cover(members)))
+        return cls(
+            kind="uncertain",
+            shards=shards,
+            index_kind=index_kind,
+            partitioner=partitioner,
+            objects=rebuilt if rebuilt else materialised,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def k(self) -> int:
+        """Number of partitions (including empty ones)."""
+        return len(self.shards)
+
+    def non_empty_shards(self) -> list[Shard]:
+        """The shards that actually hold objects."""
+        return [shard for shard in self.shards if not shard.is_empty]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # ------------------------------------------------------------------ #
+    # Shard planning
+    # ------------------------------------------------------------------ #
+    def route_window(self, window: Rect) -> list[Shard]:
+        """Shards whose cover overlaps ``window`` (in shard-id order).
+
+        The window of a range query is its Minkowski-expanded region (or any
+        subset of it, e.g. the Qp-expanded-query); shards the window misses
+        cannot contribute candidates, because every member's MBR lies inside
+        its shard's cover.  An empty window — or one entirely outside the
+        data — routes to no shard at all.
+        """
+        if window.is_empty:
+            return []
+        return [
+            shard
+            for shard in self.shards
+            if not shard.is_empty and shard.cover.overlaps(window)
+        ]
+
+    def route_nearest(self, issuer_region: Rect) -> list[Shard]:
+        """Shards that can hold a nearest-neighbour winner for ``issuer_region``.
+
+        For any issuer position, the anchor of any shard is a real object, so
+        ``min_s max_{x ∈ U0} dist(x, anchor_s)`` upper-bounds the best
+        achievable distance; a shard whose cover's minimum distance to the
+        issuer region exceeds that bound can never win a draw.  Only defined
+        for point shards (nearest-neighbour queries run over point objects).
+        """
+        if self.kind != "points":
+            raise ValueError("nearest-neighbour routing requires a point-object database")
+        candidates = self.non_empty_shards()
+        if not candidates:
+            return []
+        bound = min(
+            issuer_region.max_distance_to_point(shard.anchor)
+            for shard in candidates
+            if shard.anchor is not None
+        )
+        return [
+            shard
+            for shard in candidates
+            if shard.cover.min_distance_to_rect(issuer_region) <= bound
+        ]

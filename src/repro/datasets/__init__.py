@@ -22,6 +22,13 @@ from repro.datasets.tiger import (
     california_points,
     long_beach_uncertain_objects,
 )
+from repro.datasets.partition import (
+    PARTITION_METHODS,
+    grid_assignments,
+    mbr_centers,
+    median_assignments,
+    partition_assignments,
+)
 from repro.datasets.workload import QueryWorkload
 from repro.datasets.io import (
     save_point_objects,
@@ -39,6 +46,11 @@ __all__ = [
     "california_points",
     "long_beach_uncertain_objects",
     "QueryWorkload",
+    "PARTITION_METHODS",
+    "grid_assignments",
+    "mbr_centers",
+    "median_assignments",
+    "partition_assignments",
     "save_point_objects",
     "load_point_objects",
     "save_uncertain_objects",

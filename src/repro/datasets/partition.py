@@ -1,0 +1,137 @@
+"""Spatial partitioners for sharded databases.
+
+A partitioner splits a collection of spatial objects into ``k`` disjoint
+parts by the objects' MBR centres.  Two deterministic families are provided:
+
+* *grid* — the data-space bounding rectangle is cut into a ``rows × cols``
+  grid with ``rows · cols == k`` (``rows`` is the largest divisor of ``k``
+  not exceeding ``√k``, so the cells stay as square as the factorisation
+  allows).  Cells are cheap to compute and align with how PTI-style indexes
+  are deployed per region in practice, but skewed data can leave cells
+  empty.
+* *median* — recursive median splits (a KD-tree construction): the widest
+  axis of the current subset is split at the subset's median so that child
+  part counts stay proportional.  Parts are balanced within one object even
+  under heavy skew, at the cost of data-dependent boundaries.
+
+Both partitioners return a shard assignment per object and preserve the
+input order inside every part, so partitioning with ``k = 1`` reproduces the
+original collection exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.geometry.rect import Rect
+
+PartitionMethod = Literal["grid", "median"]
+
+PARTITION_METHODS: tuple[PartitionMethod, ...] = ("grid", "median")
+
+
+def mbr_centers(objects: Sequence) -> np.ndarray:
+    """``(N, 2)`` array of the objects' MBR centre coordinates.
+
+    Works for anything exposing an ``mbr`` rectangle (point objects have a
+    degenerate MBR, so their centre is the location itself).
+    """
+    centers = np.empty((len(objects), 2), dtype=float)
+    for row, obj in enumerate(objects):
+        center = obj.mbr.center
+        centers[row, 0] = center.x
+        centers[row, 1] = center.y
+    return centers
+
+
+def _grid_shape(k: int) -> tuple[int, int]:
+    """``(rows, cols)`` with ``rows * cols == k`` and rows ≤ cols, near-square."""
+    rows = 1
+    for candidate in range(1, int(np.sqrt(k)) + 1):
+        if k % candidate == 0:
+            rows = candidate
+    return rows, k // rows
+
+
+def grid_assignments(centers: np.ndarray, k: int, bounds: Rect) -> np.ndarray:
+    """Assign each centre to one cell of a ``k``-cell grid over ``bounds``.
+
+    Cell ids run row-major from the bottom-left.  Centres outside ``bounds``
+    clamp into the nearest edge cell, so every object receives a shard.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if bounds.is_empty:
+        raise ValueError("grid partitioning needs a non-empty bounding rectangle")
+    rows, cols = _grid_shape(k)
+    width = bounds.width or 1.0
+    height = bounds.height or 1.0
+    ix = np.clip(((centers[:, 0] - bounds.xmin) / width * cols).astype(int), 0, cols - 1)
+    iy = np.clip(((centers[:, 1] - bounds.ymin) / height * rows).astype(int), 0, rows - 1)
+    return iy * cols + ix
+
+
+def median_assignments(centers: np.ndarray, k: int) -> np.ndarray:
+    """Assign each centre to one of ``k`` parts by recursive median splits.
+
+    At every step the current subset is split on its wider axis at the
+    position that sends ``round(n · k_left / k)`` objects to the left child
+    (argsort with a stable kind, so equal coordinates keep input order and
+    the result is deterministic).  Shard ids are allocated depth-first
+    left-to-right.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    assignments = np.zeros(centers.shape[0], dtype=np.int64)
+
+    def split(indices: np.ndarray, parts: int, first_sid: int) -> None:
+        if parts == 1 or indices.size == 0:
+            assignments[indices] = first_sid
+            return
+        left_parts = parts // 2
+        subset = centers[indices]
+        spans = subset.max(axis=0) - subset.min(axis=0)
+        axis = 0 if spans[0] >= spans[1] else 1
+        order = np.argsort(subset[:, axis], kind="stable")
+        n_left = int(round(indices.size * left_parts / parts))
+        n_left = min(max(n_left, 0), indices.size)
+        split(np.sort(indices[order[:n_left]]), left_parts, first_sid)
+        split(np.sort(indices[order[n_left:]]), parts - left_parts, first_sid + left_parts)
+
+    split(np.arange(centers.shape[0]), k, 0)
+    return assignments
+
+
+def partition_assignments(
+    centers: np.ndarray,
+    k: int,
+    *,
+    method: PartitionMethod = "grid",
+    bounds: Rect | None = None,
+) -> np.ndarray:
+    """Shard assignment per centre, dispatching on the partition ``method``.
+
+    ``bounds`` is required by the grid partitioner; when omitted it is
+    computed from the centres themselves.
+    """
+    if method not in PARTITION_METHODS:
+        raise ValueError(
+            f"unknown partition method {method!r}; expected one of {PARTITION_METHODS}"
+        )
+    centers = np.asarray(centers, dtype=float)
+    if centers.ndim != 2 or centers.shape[1] != 2:
+        raise ValueError(f"centers must have shape (N, 2), got {centers.shape}")
+    if centers.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    if method == "median":
+        return median_assignments(centers, k)
+    if bounds is None:
+        bounds = Rect(
+            float(centers[:, 0].min()),
+            float(centers[:, 1].min()),
+            float(centers[:, 0].max()),
+            float(centers[:, 1].max()),
+        )
+    return grid_assignments(centers, k, bounds)

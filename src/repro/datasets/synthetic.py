@@ -45,7 +45,9 @@ def _corridor_cluster_centers(
     centers = np.array(centers[:n_clusters])
     if len(centers) < n_clusters:
         extra = rng.uniform(
-            [bounds.xmin, bounds.ymin], [bounds.xmax, bounds.ymax], size=(n_clusters - len(centers), 2)
+            [bounds.xmin, bounds.ymin],
+            [bounds.xmax, bounds.ymax],
+            size=(n_clusters - len(centers), 2),
         )
         centers = np.vstack([centers, extra])
     return centers

@@ -14,6 +14,7 @@ from repro.experiments.runner import (
     SeriesPoint,
     run_engine_batch,
     run_query_batch,
+    run_session_batch,
 )
 from repro.experiments.figures import (
     figure_08,
@@ -40,6 +41,7 @@ __all__ = [
     "SeriesPoint",
     "run_query_batch",
     "run_engine_batch",
+    "run_session_batch",
     "figure_08",
     "figure_09",
     "figure_10",

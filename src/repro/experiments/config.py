@@ -74,6 +74,13 @@ class ExperimentConfig:
     #: behaviour instead (see ``benchmarks/bench_vectorized.py`` for the
     #: backend-vs-backend comparison).
     engine_vectorized: bool = False
+    #: Spatial shard count for sharded-execution studies (0 = single-shard;
+    #: the paper's figures always run single-shard so that index I/O counters
+    #: keep their meaning).  When positive, harness code builds sessions via
+    #: ``session.sharded(shards, workers=shard_workers)``.
+    shards: int = 0
+    #: Worker processes for sharded execution (1 = serial in-process).
+    shard_workers: int = 1
     defaults: PaperDefaults = field(default_factory=PaperDefaults)
 
     def __post_init__(self) -> None:
@@ -81,6 +88,10 @@ class ExperimentConfig:
             raise ValueError("dataset_scale must be positive")
         if self.queries_per_point <= 0:
             raise ValueError("queries_per_point must be positive")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0 (0 disables sharding)")
+        if self.shard_workers < 1:
+            raise ValueError("shard_workers must be >= 1")
 
     @staticmethod
     def quick() -> "ExperimentConfig":
@@ -122,6 +133,19 @@ class ExperimentConfig:
     def workload_seed(self, salt: int) -> int:
         """Derive a per-sweep-point workload seed so runs stay reproducible."""
         return self.seed * 1_000_003 + salt
+
+    def sharded_session(self, session):
+        """Apply the configured sharding to ``session`` (no-op when 0 shards).
+
+        Harness code funnels sessions through this before issuing workloads,
+        so flipping ``shards``/``shard_workers`` on a config switches the
+        whole experiment to shard-parallel execution without touching the
+        figure code (results are identical — see
+        :mod:`repro.core.parallel`).
+        """
+        if self.shards <= 0:
+            return session
+        return session.sharded(self.shards, workers=self.shard_workers)
 
     def engine_config(self, **overrides):
         """An :class:`~repro.core.engine.EngineConfig` on the experiment's backend.

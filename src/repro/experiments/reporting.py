@@ -117,7 +117,10 @@ def check_shape(result: FigureResult) -> list[ShapeCheck]:
         xs = result.x_values()
         if xs:
             x_ref = xs[len(xs) // 2]
-            ordered = [result.value_at(name, x_ref).response_time_ms for name in result.series_names()]
+            ordered = [
+                result.value_at(name, x_ref).response_time_ms
+                for name in result.series_names()
+            ]
             checks.append(
                 ShapeCheck(
                     "larger query ranges are more expensive",

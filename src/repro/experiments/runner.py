@@ -6,6 +6,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.engine import ImpreciseQueryEngine
+from repro.core.parallel import ParallelEngine
+from repro.core.session import Session
+from repro.experiments.config import ExperimentConfig
 from repro.core.queries import (
     QueryResult,
     RangeQuery,
@@ -44,7 +47,7 @@ def run_query_batch(
 
 
 def run_engine_batch(
-    engine: ImpreciseQueryEngine,
+    engine: ImpreciseQueryEngine | ParallelEngine,
     workload: QueryWorkload,
     count: int,
     *,
@@ -57,7 +60,10 @@ def run_engine_batch(
     The engine-native counterpart of :func:`run_query_batch`: the whole batch
     of :class:`RangeQuery` objects goes through the engine's amortised batch
     path, which is how the figures issue their 500 queries per data point.
-    ``threshold`` and ``spec`` default to the workload's own values.
+    A :class:`~repro.core.parallel.ParallelEngine` drops in unchanged (the
+    figures stay single-shard so index I/O counters keep their meaning, but
+    sharded-execution studies reuse this same harness).  ``threshold`` and
+    ``spec`` default to the workload's own values.
     """
     spec = workload.spec if spec is None else spec
     threshold = workload.threshold if threshold is None else threshold
@@ -67,6 +73,31 @@ def run_engine_batch(
     ]
     evaluations = engine.evaluate_many(queries)
     return aggregate_statistics([evaluation.statistics for evaluation in evaluations])
+
+
+def run_session_batch(
+    session: Session,
+    workload: QueryWorkload,
+    count: int,
+    *,
+    target: RangeQueryTarget,
+    threshold: float | None = None,
+    spec: RangeQuerySpec | None = None,
+    config: ExperimentConfig | None = None,
+) -> AggregatedStatistics:
+    """:func:`run_engine_batch` through a session's engine.
+
+    Works for plain and sharded sessions alike; passing an
+    :class:`~repro.experiments.config.ExperimentConfig` first applies its
+    ``shards`` / ``shard_workers`` settings
+    (:meth:`~repro.experiments.config.ExperimentConfig.sharded_session`), so
+    one config knob switches an experiment to shard-parallel execution.
+    """
+    if config is not None:
+        session = config.sharded_session(session)
+    return run_engine_batch(
+        session.engine, workload, count, target=target, threshold=threshold, spec=spec
+    )
 
 
 @dataclass(frozen=True)

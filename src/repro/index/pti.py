@@ -61,7 +61,9 @@ class ProbabilityThresholdIndex(RTree):
         super().insert(mbr, item)
 
     @classmethod
-    def bulk_load(cls, items: Iterable[UncertainObject], **kwargs) -> "ProbabilityThresholdIndex":  # type: ignore[override]
+    def bulk_load(  # type: ignore[override]
+        cls, items: Iterable[UncertainObject], **kwargs
+    ) -> "ProbabilityThresholdIndex":
         """Build a packed PTI from uncertain objects carrying U-catalogs."""
         materialised = list(items)
         if not materialised:

@@ -50,6 +50,13 @@ class IndexCapabilities:
     #: time (e.g. the grid file); when the caller does not supply one, the
     #: registry computes it from the items' MBRs.
     requires_bounds: bool = False
+    #: The backend can be built independently per spatial shard (one index
+    #: per partition, seeing only that partition's objects).  All four seed
+    #: backends qualify; a backend whose construction needs global statistics
+    #: (e.g. a learned index trained on the full distribution) should set
+    #: this to ``False`` so :class:`repro.core.sharding.ShardedDatabase`
+    #: rejects it up front instead of silently building skewed shards.
+    supports_shard_build: bool = True
 
 
 @dataclass(frozen=True)

@@ -57,10 +57,14 @@ class UCatalog:
         # of index-level and object-level pruning, so avoid linear scans and
         # repeated Rect construction there.
         object.__setattr__(
-            self, "_bound_by_level", {level: bound for level, bound in zip(self.levels, self.bounds)}
+            self,
+            "_bound_by_level",
+            {level: bound for level, bound in zip(self.levels, self.bounds)},
         )
         object.__setattr__(
-            self, "_rect_by_level", {level: bound.rect for level, bound in zip(self.levels, self.bounds)}
+            self,
+            "_rect_by_level",
+            {level: bound.rect for level, bound in zip(self.levels, self.bounds)},
         )
         object.__setattr__(
             self,

@@ -1,0 +1,38 @@
+"""The CI benchmark regression guard's comparison logic."""
+
+from __future__ import annotations
+
+from benchmarks.check_regression import compare
+
+
+def _result(batch_speedup: float, loop_qps: float) -> dict:
+    return {
+        "batch_speedup": batch_speedup,
+        "per_query_loop": {"queries_per_second": loop_qps},
+    }
+
+
+class TestCompare:
+    def test_identical_results_pass(self):
+        baseline = _result(1.7, 7_000.0)
+        assert compare(baseline, baseline, tolerance=0.30) == []
+
+    def test_degradation_within_tolerance_passes(self):
+        assert compare(_result(1.3, 5_200.0), _result(1.7, 7_000.0), tolerance=0.30) == []
+
+    def test_batch_speedup_regression_fails(self):
+        failures = compare(_result(1.0, 7_000.0), _result(1.7, 7_000.0), tolerance=0.30)
+        assert len(failures) == 1
+        assert "batch_speedup" in failures[0]
+
+    def test_loop_throughput_regression_fails(self):
+        failures = compare(_result(1.7, 4_000.0), _result(1.7, 7_000.0), tolerance=0.30)
+        assert len(failures) == 1
+        assert "queries_per_second" in failures[0]
+
+    def test_both_regressions_reported(self):
+        failures = compare(_result(0.5, 1_000.0), _result(1.7, 7_000.0), tolerance=0.30)
+        assert len(failures) == 2
+
+    def test_improvements_always_pass(self):
+        assert compare(_result(3.0, 20_000.0), _result(1.7, 7_000.0), tolerance=0.0) == []

@@ -29,7 +29,6 @@ from repro.core.queries import (
     ImpreciseRangeQuery,
     NearestNeighborQuery,
     RangeQuery,
-    RangeQuerySpec,
 )
 from repro.datasets.workload import QueryWorkload
 

@@ -327,7 +327,9 @@ class TestBasicKernels:
         targets = _uncertain(12, seed=29, with_catalog=False)
         # Mixed-pdf targets exercise the per-target fallback branch too.
         mixed = targets + [
-            UncertainObject(oid=100, pdf=TruncatedGaussianPdf(Rect(1_000.0, 1_000.0, 1_400.0, 1_300.0)))
+            UncertainObject(
+                oid=100, pdf=TruncatedGaussianPdf(Rect(1_000.0, 1_000.0, 1_400.0, 1_300.0))
+            )
         ]
         batched = basic_iuq_probabilities(pdf, mixed, SPEC, issuer_samples=100)
         for row, target in enumerate(mixed):

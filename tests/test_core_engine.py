@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.core.duality import ipq_probability, iuq_probability_exact_uniform
 from repro.core.engine import (
@@ -12,13 +11,13 @@ from repro.core.engine import (
     UncertainDatabase,
 )
 from repro.core.pruning import PruningStrategy
-from repro.core.queries import ImpreciseRangeQuery, RangeQuerySpec
+from repro.core.queries import ImpreciseRangeQuery
 from repro.datasets.workload import QueryWorkload
 from repro.index.gridfile import GridFile
 from repro.index.linear import LinearScanIndex
 from repro.index.pti import ProbabilityThresholdIndex
 from repro.index.rtree import RTree
-from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.pdf import TruncatedGaussianPdf
 from repro.uncertainty.region import UncertainObject
 
 from tests.conftest import TEST_SPACE
@@ -58,7 +57,10 @@ class TestDatabaseConstruction:
             PointDatabase.build(small_points, index_kind="btree")
 
     def test_uncertain_database_builds_catalogs(self):
-        objects = [UncertainObject.uniform(i, Rect(i * 10.0, 0.0, i * 10.0 + 5.0, 5.0)) for i in range(20)]
+        objects = [
+            UncertainObject.uniform(i, Rect(i * 10.0, 0.0, i * 10.0 + 5.0, 5.0))
+            for i in range(20)
+        ]
         db = UncertainDatabase.build(objects, index_kind="pti")
         assert isinstance(db.index, ProbabilityThresholdIndex)
         assert all(obj.catalog is not None for obj in db.objects)
@@ -179,7 +181,9 @@ class TestConstrainedQueries:
         assert a.oids() == b.oids()
         assert stats_a.candidates_examined <= stats_b.candidates_examined
 
-    def test_strategy_subset_configuration_respected(self, uncertain_db_rtree, uniform_issuer, default_spec):
+    def test_strategy_subset_configuration_respected(
+        self, uncertain_db_rtree, uniform_issuer, default_spec
+    ):
         engine = ImpreciseQueryEngine(
             uncertain_db=uncertain_db_rtree,
             config=EngineConfig(

@@ -123,7 +123,9 @@ class TestCIUQStrategies:
         pruner = CIUQPruner(
             issuer, SPEC, threshold=0.5, strategies=(PruningStrategy.P_EXPANDED_QUERY,)
         )
-        far = UncertainObject.uniform(1, Rect(4_000.0, 4_000.0, 4_100.0, 4_100.0), with_catalog=True)
+        far = UncertainObject.uniform(
+            1, Rect(4_000.0, 4_000.0, 4_100.0, 4_100.0), with_catalog=True
+        )
         decision = pruner.decide(far)
         assert decision.pruned
         assert decision.strategy == PruningStrategy.P_EXPANDED_QUERY.value
@@ -141,7 +143,9 @@ class TestCIUQStrategies:
         assert decision.strategy == PruningStrategy.P_BOUND.value
 
     def test_strategy3_requires_both_catalogs(self, issuer):
-        pruner = CIUQPruner(issuer, SPEC, threshold=0.5, strategies=(PruningStrategy.PRODUCT_BOUND,))
+        pruner = CIUQPruner(
+            issuer, SPEC, threshold=0.5, strategies=(PruningStrategy.PRODUCT_BOUND,)
+        )
         no_catalog = UncertainObject.uniform(1, Rect(0.0, 0.0, 100.0, 100.0))
         assert not pruner.decide(no_catalog).pruned
 

@@ -86,7 +86,9 @@ class TestFluentRangeQueries:
         assert base.build().threshold == 0.0
         assert constrained.build().threshold == 0.7
 
-    def test_target_defaults_to_the_only_database(self, small_points, small_uncertain, uniform_issuer):
+    def test_target_defaults_to_the_only_database(
+        self, small_points, small_uncertain, uniform_issuer
+    ):
         points_only = Session.from_objects(points=small_points)
         query = points_only.range(half_width=500.0).issued_by(uniform_issuer).build()
         assert query.target == "points"

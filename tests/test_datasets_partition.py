@@ -1,0 +1,103 @@
+"""Spatial partitioners: determinism, coverage and balance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import (
+    grid_assignments,
+    mbr_centers,
+    median_assignments,
+    partition_assignments,
+)
+from repro.datasets.synthetic import clustered_points, uniform_points
+from repro.geometry.rect import Rect
+
+SPACE = Rect(0.0, 0.0, 1_000.0, 1_000.0)
+
+
+def _centers(n: int, seed: int = 0) -> np.ndarray:
+    return mbr_centers(uniform_points(n, SPACE, seed=seed))
+
+
+class TestGridAssignments:
+    def test_every_object_gets_a_shard_in_range(self):
+        assignments = grid_assignments(_centers(200), 4, SPACE)
+        assert assignments.shape == (200,)
+        assert assignments.min() >= 0 and assignments.max() < 4
+
+    def test_deterministic(self):
+        a = grid_assignments(_centers(150), 6, SPACE)
+        b = grid_assignments(_centers(150), 6, SPACE)
+        assert np.array_equal(a, b)
+
+    def test_k_one_sends_everything_to_shard_zero(self):
+        assignments = grid_assignments(_centers(50), 1, SPACE)
+        assert set(assignments.tolist()) == {0}
+
+    def test_four_cells_split_the_space_in_quadrants(self):
+        centers = np.array([[100.0, 100.0], [900.0, 100.0], [100.0, 900.0], [900.0, 900.0]])
+        assignments = grid_assignments(centers, 4, SPACE)
+        # Row-major from the bottom-left: BL=0, BR=1, TL=2, TR=3.
+        assert assignments.tolist() == [0, 1, 2, 3]
+
+    def test_centers_outside_bounds_clamp_into_edge_cells(self):
+        centers = np.array([[-50.0, -50.0], [2_000.0, 2_000.0]])
+        assignments = grid_assignments(centers, 4, SPACE)
+        assert assignments.tolist() == [0, 3]
+
+    def test_prime_k_degenerates_to_strips(self):
+        assignments = grid_assignments(_centers(300), 5, SPACE)
+        assert set(assignments.tolist()) == {0, 1, 2, 3, 4}
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            grid_assignments(_centers(10), 0, SPACE)
+
+
+class TestMedianAssignments:
+    def test_parts_are_balanced_even_under_skew(self):
+        skewed = mbr_centers(clustered_points(400, SPACE, n_clusters=3, seed=5))
+        assignments = median_assignments(skewed, 4)
+        _, counts = np.unique(assignments, return_counts=True)
+        assert counts.sum() == 400
+        assert counts.max() - counts.min() <= 2
+
+    def test_deterministic(self):
+        a = median_assignments(_centers(123), 3)
+        b = median_assignments(_centers(123), 3)
+        assert np.array_equal(a, b)
+
+    def test_non_power_of_two_part_counts(self):
+        assignments = median_assignments(_centers(90), 3)
+        _, counts = np.unique(assignments, return_counts=True)
+        assert counts.tolist() == [30, 30, 30]
+
+    def test_k_one_is_identity(self):
+        assignments = median_assignments(_centers(17), 1)
+        assert set(assignments.tolist()) == {0}
+
+
+class TestPartitionAssignments:
+    def test_dispatches_both_methods(self):
+        centers = _centers(60)
+        grid = partition_assignments(centers, 4, method="grid", bounds=SPACE)
+        median = partition_assignments(centers, 4, method="median")
+        assert grid.shape == median.shape == (60,)
+
+    def test_grid_without_bounds_computes_them(self):
+        assignments = partition_assignments(_centers(80), 4, method="grid")
+        assert set(assignments.tolist()) <= {0, 1, 2, 3}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown partition method"):
+            partition_assignments(_centers(10), 2, method="voronoi")
+
+    def test_bad_center_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            partition_assignments(np.zeros((5, 3)), 2, method="median")
+
+    def test_empty_input_yields_empty_assignment(self):
+        assignments = partition_assignments(np.empty((0, 2)), 3, method="median")
+        assert assignments.size == 0

@@ -1,6 +1,5 @@
 """Unit tests for experiment reporting and shape checks."""
 
-import pytest
 
 from repro.experiments.reporting import (
     ShapeCheck,
@@ -22,7 +21,10 @@ def _figure(figure_id: str, series: dict[str, list[tuple[float, float]]]) -> Fig
 
 class TestFormatting:
     def test_format_figure_contains_values(self):
-        figure = _figure("figure_11", {"minkowski_sum": [(0.0, 5.0)], "p_expanded_query": [(0.0, 4.0)]})
+        figure = _figure(
+            "figure_11",
+            {"minkowski_sum": [(0.0, 5.0)], "p_expanded_query": [(0.0, 4.0)]},
+        )
         text = format_figure(figure)
         assert "figure_11" in text
         assert "minkowski_sum" in text

@@ -180,7 +180,10 @@ class TestQueries:
 
 class TestNearestNeighbors:
     def test_nearest_neighbor_matches_brute_force(self):
-        objects = [PointObject.at(i, float((i * 37) % 500), float((i * 91) % 500)) for i in range(200)]
+        objects = [
+            PointObject.at(i, float((i * 37) % 500), float((i * 91) % 500))
+            for i in range(200)
+        ]
         tree = RTree.bulk_load(objects, max_entries=8)
         query_point = Point(123.0, 456.0)
         expected = min(objects, key=lambda o: o.location.distance_to(query_point))

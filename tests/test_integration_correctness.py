@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.basic import BasicEvaluator
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase, UncertainDatabase
-from repro.core.queries import ImpreciseRangeQuery, RangeQuerySpec
+from repro.core.queries import ImpreciseRangeQuery
 from repro.datasets.synthetic import clustered_points, clustered_rectangles
 from repro.datasets.workload import QueryWorkload
 from repro.geometry.rect import Rect

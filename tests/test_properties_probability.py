@@ -120,7 +120,9 @@ class TestPBoundProperties:
         pdf = UniformPdf(region)
         bound = compute_pbound(pdf, p)
         left_tail = pdf.probability_in_rect(Rect(region.xmin, region.ymin, bound.left, region.ymax))
-        right_tail = pdf.probability_in_rect(Rect(bound.right, region.ymin, region.xmax, region.ymax))
+        right_tail = pdf.probability_in_rect(
+            Rect(bound.right, region.ymin, region.xmax, region.ymax)
+        )
         assert abs(left_tail - p) < 1e-6
         assert abs(right_tail - p) < 1e-6
 

@@ -1,6 +1,5 @@
 """Unit tests for the sampling / numerical-integration helpers."""
 
-import numpy as np
 import pytest
 
 from repro.geometry.point import Point
