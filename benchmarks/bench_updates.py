@@ -1,0 +1,189 @@
+"""Benchmark: live incremental updates vs full rebuilds under a serving load.
+
+The paper's motivating objects *move*: position reports arrive continuously,
+interleaved with queries.  Before the update subsystem the reproduction had
+exactly one way to serve that workload — rebuild the database (index +
+columnar snapshot + shards) whenever the collection changed.  This benchmark
+replays that serving pattern over the California-like point dataset as
+``rounds`` rounds of *U updates arrive, then Q queries are answered*:
+
+* ``incremental`` — one live engine; each round applies the round's
+  :class:`~repro.core.updates.UpdateBatch` through ``apply_updates`` and
+  answers the queries (the lazily rebuilt columnar snapshot is paid here,
+  not hidden);
+* ``rebuild`` — the old world; each round rebuilds the database from the
+  current collection before answering the same queries.
+
+Both a single database (``ImpreciseQueryEngine``) and a K-shard
+``ParallelEngine`` (serial in-process, hot-threshold re-splits armed) are
+measured, and the two strategies' answers are asserted identical every
+round before anything is reported.  Headline metrics:
+
+* ``incremental_speedup`` — rebuild-total over incremental-total for the
+  single database.  A ratio of two timings on the same machine, so it
+  transfers across hardware; guarded by ``benchmarks/check_regression.py``.
+* ``updates_per_second`` — mutation throughput of the live engine (moves,
+  inserts and deletes at 80/10/10).
+
+Results go to ``BENCH_updates.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (dataset scale, default 0.25),
+``REPRO_BENCH_ROUNDS`` (serving rounds, default 12),
+``REPRO_BENCH_UPDATES`` (updates per round, default 50),
+``REPRO_BENCH_QUERIES`` (queries per round, default 15),
+``REPRO_BENCH_REPEATS`` (timing repetitions, default 2) and
+``REPRO_BENCH_SHARDS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase
+from repro.core.parallel import ParallelEngine
+from repro.core.queries import RangeQuery
+from repro.core.sharding import ShardedDatabase
+from repro.datasets.tiger import DATA_SPACE, california_points
+from repro.datasets.workload import QueryWorkload, UpdateWorkload
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_updates.json"
+
+CONFIG = EngineConfig(draw_plan="per_oid")
+
+
+def _round_queries(rounds: int, per_round: int) -> list[list[RangeQuery]]:
+    workload = QueryWorkload(issuer_half_size=250.0, range_half_size=300.0, seed=2711)
+    spec = workload.spec
+    issuers = list(workload.issuers(rounds * per_round))
+    return [
+        [RangeQuery.ipq(issuer, spec) for issuer in issuers[r * per_round : (r + 1) * per_round]]
+        for r in range(rounds)
+    ]
+
+
+def _round_updates(objects, rounds: int, per_round: int):
+    stream = list(
+        UpdateWorkload(bounds=DATA_SPACE, seed=9241).point_updates(
+            [obj.oid for obj in objects], rounds * per_round
+        )
+    )
+    from repro.core.updates import UpdateBatch
+
+    return [
+        UpdateBatch(stream[r * per_round : (r + 1) * per_round]) for r in range(rounds)
+    ]
+
+
+def _serve(engine_factory, rebuild_factory, objects, update_rounds, query_rounds):
+    """One serving replay: returns (incremental seconds, rebuild seconds, u/s).
+
+    The incremental engine lives across all rounds; the rebuild strategy
+    reconstructs its engine from the incremental engine's current collection
+    each round (so both see the identical data) and both answer the same
+    queries, asserted equal round by round.
+    """
+    live = engine_factory(objects)
+    incremental_seconds = 0.0
+    rebuild_seconds = 0.0
+    apply_seconds = 0.0
+    updates_applied = 0
+    for batch, queries in zip(update_rounds, query_rounds):
+        started = time.perf_counter()
+        live.apply_updates(batch)
+        applied = time.perf_counter() - started
+        apply_seconds += applied
+        updates_applied += len(batch)
+        started = time.perf_counter()
+        live_results = live.evaluate_many(queries)
+        incremental_seconds += applied + (time.perf_counter() - started)
+
+        current = list(live.point_db.objects)
+        started = time.perf_counter()
+        rebuilt = rebuild_factory(current)
+        rebuilt_results = rebuilt.evaluate_many(queries)
+        rebuild_seconds += time.perf_counter() - started
+
+        for expected, got in zip(rebuilt_results, live_results):
+            assert expected.probabilities() == got.probabilities(), (
+                "live-updated database diverged from the rebuilt database"
+            )
+    return incremental_seconds, rebuild_seconds, updates_applied / apply_seconds
+
+
+def _measure(engine_factory, rebuild_factory, objects, update_rounds, query_rounds, repeats):
+    best = (float("inf"), float("inf"), 0.0)
+    for _ in range(repeats):
+        incremental, rebuild, updates_per_second = _serve(
+            engine_factory, rebuild_factory, objects, update_rounds, query_rounds
+        )
+        if incremental < best[0]:
+            best = (incremental, rebuild, updates_per_second)
+    incremental, rebuild, updates_per_second = best
+    return {
+        "incremental_seconds": incremental,
+        "rebuild_seconds": rebuild,
+        "updates_per_second": updates_per_second,
+        "incremental_speedup": rebuild / incremental,
+    }
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "12"))
+    updates_per_round = int(os.environ.get("REPRO_BENCH_UPDATES", "50"))
+    queries_per_round = int(os.environ.get("REPRO_BENCH_QUERIES", "15"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+    shards = int(os.environ.get("REPRO_BENCH_SHARDS", "4"))
+
+    objects = california_points(scale=scale)
+    update_rounds = _round_updates(objects, rounds, updates_per_round)
+    query_rounds = _round_queries(rounds, queries_per_round)
+
+    single = _measure(
+        lambda objs: ImpreciseQueryEngine(point_db=PointDatabase.build(objs), config=CONFIG),
+        lambda objs: ImpreciseQueryEngine(point_db=PointDatabase.build(objs), config=CONFIG),
+        objects,
+        update_rounds,
+        query_rounds,
+        repeats,
+    )
+    hot_threshold = max(2, (2 * len(objects)) // shards)
+    sharded = _measure(
+        lambda objs: ParallelEngine(
+            point_db=ShardedDatabase.build_points(objs, shards, hot_threshold=hot_threshold),
+            config=CONFIG,
+        ),
+        lambda objs: ParallelEngine(
+            point_db=ShardedDatabase.build_points(objs, shards), config=CONFIG
+        ),
+        objects,
+        update_rounds,
+        query_rounds,
+        repeats,
+    )
+
+    report = {
+        "benchmark": "updates",
+        "dataset_scale": scale,
+        "objects": len(objects),
+        "rounds": rounds,
+        "updates_per_round": updates_per_round,
+        "queries_per_round": queries_per_round,
+        "repeats": repeats,
+        "shards": shards,
+        "single": single,
+        "sharded": sharded,
+        "incremental_speedup": single["incremental_speedup"],
+        "updates_per_second": single["updates_per_second"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,23 +1,30 @@
 """CI benchmark regression guard.
 
-Compares a freshly produced ``BENCH_api_batch.json`` against the committed
-baseline and fails (exit code 1) when either headline metric degrades by
+Compares freshly produced benchmark result files against the committed
+baselines and fails (exit code 1) when a guarded headline metric degrades by
 more than the tolerance (default 30 %, override with
-``REPRO_BENCH_TOLERANCE``):
+``REPRO_BENCH_TOLERANCE``).  Every guarded metric is a *ratio of two
+timings on the same machine*, so it transfers across hardware:
 
-* ``batch_speedup`` — ``evaluate_many()`` over the per-query loop.  A ratio
-  of two timings on the same machine, so it transfers across hardware; a
-  drop means the batch path lost its amortisation.
-* per-query-loop throughput (``per_query_loop.queries_per_second``) — guards
+* ``BENCH_api_batch.json`` / ``batch_speedup`` — ``evaluate_many()`` over
+  the per-query loop.  A drop means the batch path lost its amortisation.
+* ``BENCH_api_batch.json`` / ``per_query_loop.queries_per_second`` — guards
   the single-query hot path against accidental slow-downs.
+* ``BENCH_updates.json`` / ``incremental_speedup`` — live incremental
+  updates over the rebuild-per-round strategy.  A drop means incremental
+  maintenance (index delete/update, epoch-gated snapshots) lost its edge.
 
-The benchmark script overwrites the committed file in place, so the baseline
-defaults to the checked-in version (``git show HEAD:BENCH_api_batch.json``);
-pass ``--baseline`` to compare against a saved copy instead.
+The benchmark scripts overwrite the committed files in place, so baselines
+default to the checked-in versions (``git show HEAD:<file>``); pass
+``--baseline`` / ``--updates-baseline`` to compare against saved copies
+instead.  The updates guard is skipped (with a notice) when either side is
+missing, so the guard keeps working on checkouts predating the updates
+benchmark.
 
 Run with::
 
     python benchmarks/bench_api_batch.py           # writes the fresh file
+    python benchmarks/bench_updates.py             # writes the fresh file
     python benchmarks/check_regression.py          # compares vs HEAD
 """
 
@@ -32,40 +39,73 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FRESH_PATH = REPO_ROOT / "BENCH_api_batch.json"
+FRESH_UPDATES_PATH = REPO_ROOT / "BENCH_updates.json"
 DEFAULT_TOLERANCE = 0.30
 
 
-def load_baseline(path: str | None) -> dict:
-    """The committed baseline: a file when given, ``git show HEAD:...`` otherwise."""
+def load_baseline(path: str | None, name: str = "BENCH_api_batch.json") -> dict | None:
+    """The committed baseline: a file when given, ``git show HEAD:...`` otherwise.
+
+    Returns ``None`` when the baseline does not exist (e.g. the first commit
+    shipping a new benchmark).
+    """
     if path is not None:
         return json.loads(Path(path).read_text())
-    blob = subprocess.run(
-        ["git", "show", "HEAD:BENCH_api_batch.json"],
+    shown = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
         cwd=REPO_ROOT,
         capture_output=True,
         text=True,
-        check=True,
-    ).stdout
-    return json.loads(blob)
+    )
+    if shown.returncode != 0:
+        return None
+    return json.loads(shown.stdout)
+
+
+def _guard(
+    failures: list[str],
+    name: str,
+    fresh_value: float,
+    baseline_value: float,
+    tolerance: float,
+) -> None:
+    floor = baseline_value * (1.0 - tolerance)
+    if fresh_value < floor:
+        failures.append(
+            f"{name} regressed: {fresh_value:.3f} < {floor:.3f} "
+            f"(baseline {baseline_value:.3f}, tolerance {tolerance:.0%})"
+        )
 
 
 def compare(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
-    """Regression messages (empty = pass) for the guarded metrics."""
+    """Regression messages (empty = pass) for the batch-API metrics."""
     failures: list[str] = []
-
-    def guard(name: str, fresh_value: float, baseline_value: float) -> None:
-        floor = baseline_value * (1.0 - tolerance)
-        if fresh_value < floor:
-            failures.append(
-                f"{name} regressed: {fresh_value:.3f} < {floor:.3f} "
-                f"(baseline {baseline_value:.3f}, tolerance {tolerance:.0%})"
-            )
-
-    guard("batch_speedup", float(fresh["batch_speedup"]), float(baseline["batch_speedup"]))
-    guard(
+    _guard(
+        failures,
+        "batch_speedup",
+        float(fresh["batch_speedup"]),
+        float(baseline["batch_speedup"]),
+        tolerance,
+    )
+    _guard(
+        failures,
         "per_query_loop.queries_per_second",
         float(fresh["per_query_loop"]["queries_per_second"]),
         float(baseline["per_query_loop"]["queries_per_second"]),
+        tolerance,
+    )
+    return failures
+
+
+def compare_updates(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the live-update metrics."""
+    failures: list[str] = []
+    _guard(
+        failures,
+        "incremental_speedup",
+        float(fresh["incremental_speedup"]),
+        float(baseline["incremental_speedup"]),
+        tolerance,
     )
     return failures
 
@@ -77,6 +117,16 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline", default=None, help="baseline file (default: HEAD's committed copy)"
     )
     parser.add_argument(
+        "--updates-fresh",
+        default=str(FRESH_UPDATES_PATH),
+        help="freshly produced updates result file",
+    )
+    parser.add_argument(
+        "--updates-baseline",
+        default=None,
+        help="updates baseline file (default: HEAD's committed copy)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
@@ -86,18 +136,35 @@ def main(argv: list[str] | None = None) -> int:
 
     fresh = json.loads(Path(args.fresh).read_text())
     baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print("no committed BENCH_api_batch.json baseline; nothing to guard", file=sys.stderr)
+        return 1
     failures = compare(fresh, baseline, args.tolerance)
+    summaries = [
+        f"batch_speedup {fresh['batch_speedup']:.3f} (baseline {baseline['batch_speedup']:.3f})",
+        f"loop {fresh['per_query_loop']['queries_per_second']:.0f} q/s "
+        f"(baseline {baseline['per_query_loop']['queries_per_second']:.0f} q/s)",
+    ]
+
+    updates_fresh_path = Path(args.updates_fresh)
+    updates_baseline = load_baseline(args.updates_baseline, "BENCH_updates.json")
+    if not updates_fresh_path.exists():
+        print("updates guard skipped: no fresh BENCH_updates.json")
+    elif updates_baseline is None:
+        print("updates guard skipped: no committed BENCH_updates.json baseline")
+    else:
+        updates_fresh = json.loads(updates_fresh_path.read_text())
+        failures.extend(compare_updates(updates_fresh, updates_baseline, args.tolerance))
+        summaries.append(
+            f"incremental_speedup {updates_fresh['incremental_speedup']:.3f} "
+            f"(baseline {updates_baseline['incremental_speedup']:.3f})"
+        )
+
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
-    print(
-        "benchmark guard OK: "
-        f"batch_speedup {fresh['batch_speedup']:.3f} "
-        f"(baseline {baseline['batch_speedup']:.3f}), "
-        f"loop {fresh['per_query_loop']['queries_per_second']:.0f} q/s "
-        f"(baseline {baseline['per_query_loop']['queries_per_second']:.0f} q/s)"
-    )
+    print("benchmark guard OK: " + ", ".join(summaries))
     return 0
 
 

@@ -52,6 +52,8 @@ from repro.core import (
     ParallelEngine,
     ParallelEvaluation,
     ShardedDatabase,
+    UpdateBatch,
+    UpdateOp,
 )
 from repro.index import (
     RTree,
@@ -93,6 +95,8 @@ __all__ = [
     "ParallelEngine",
     "ParallelEvaluation",
     "ShardedDatabase",
+    "UpdateBatch",
+    "UpdateOp",
     "RTree",
     "ProbabilityThresholdIndex",
     "GridFile",

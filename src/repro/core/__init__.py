@@ -17,9 +17,12 @@ The package is organised around the paper's structure:
 * :mod:`repro.core.nearest` — imprecise nearest-neighbour extension
   (the paper's future work).
 * :mod:`repro.core.sharding` — spatial partitioning of databases into
-  independently indexed shards, with window / best-distance shard routing.
+  independently indexed shards, with window / best-distance shard routing
+  and live per-shard mutation (insert/delete/move, hot-shard re-splits).
 * :mod:`repro.core.parallel` — shard-parallel workload execution across
   worker processes, with results identical to the single-shard engine.
+* :mod:`repro.core.updates` — ordered insert/delete/move batches that both
+  engines apply directly or interleave with query workloads.
 * :mod:`repro.core.quality` — answer-quality metrics (expected cardinality,
   precision, recall) for reasoning about the privacy/quality trade-off.
 """
@@ -69,6 +72,7 @@ from repro.core.engine import (
 )
 from repro.core.nearest import ImpreciseNearestNeighborEngine
 from repro.core.sharding import Shard, ShardedDatabase
+from repro.core.updates import UpdateBatch, UpdateOp
 from repro.core.parallel import ParallelEngine, ParallelEvaluation, ShardTiming
 from repro.core.session import (
     NearestNeighborQueryBuilder,
@@ -129,6 +133,8 @@ __all__ = [
     "ImpreciseNearestNeighborEngine",
     "Shard",
     "ShardedDatabase",
+    "UpdateBatch",
+    "UpdateOp",
     "ParallelEngine",
     "ParallelEvaluation",
     "ShardTiming",

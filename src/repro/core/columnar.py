@@ -11,9 +11,9 @@ evaluates filters and probability kernels as array operations:
   catalog bound rectangles as an ``(N, L, 4)`` array.
 
 Snapshots are immutable views of the object list they were built from; the
-databases in :mod:`repro.core.engine` build them lazily on first use and a
-rebuilt database starts with a fresh (un-built) snapshot slot, so there is no
-invalidation protocol to get wrong.
+databases in :mod:`repro.core.engine` build them lazily on first use and
+rebuild them when their epoch counter says the object list has mutated since
+(live inserts/deletes/moves), so a snapshot can never be served stale.
 
 Array layouts follow :meth:`repro.geometry.rect.Rect.as_tuple`:
 ``(xmin, ymin, xmax, ymax)`` columns for every bounds array.
@@ -149,13 +149,22 @@ class ColumnarUncertain:
     def rows_for(self, candidates: Sequence[UncertainObject]) -> np.ndarray:
         """Snapshot rows of ``candidates`` (by object id), in candidate order.
 
-        Raises ``KeyError`` for objects that are not part of the snapshot —
-        candidates must come from the same database the snapshot was built on.
+        Raises a descriptive ``ValueError`` for objects that are not part of
+        the snapshot — candidates must come from the same database the
+        snapshot was built on.
         """
         row_of = self._row_of_oid
-        return np.fromiter(
-            (row_of[obj.oid] for obj in candidates), dtype=np.intp, count=len(candidates)
-        )
+        rows = np.empty(len(candidates), dtype=np.intp)
+        for position, obj in enumerate(candidates):
+            row = row_of.get(obj.oid)
+            if row is None:
+                raise ValueError(
+                    f"object with oid {obj.oid} is not part of this columnar "
+                    "snapshot; candidates must come from the database the "
+                    "snapshot was built on"
+                )
+            rows[position] = row
+        return rows
 
     def window_rows(self, window: Rect) -> np.ndarray:
         """Rows of the objects whose region overlaps ``window`` (ascending)."""

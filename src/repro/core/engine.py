@@ -16,6 +16,14 @@ construction goes through the pluggable registry in
 engine is stateless apart from its configuration and random generator, so the
 same engine can serve many queries.
 
+Databases are *live*: ``insert``/``delete``/``move`` mutators keep the index
+in sync incrementally (or rebuild it, for backends without a delete path)
+and bump an epoch counter that lazily invalidates the cached columnar
+snapshot and nearest-neighbour samplers — a mutation can never be served
+stale.  The engine mirrors the mutators (dispatching on object type /
+target) and accepts :class:`~repro.core.updates.UpdateBatch` items
+interleaved with queries in ``evaluate_many``.
+
 All query flavours funnel through one entry point: ``engine.evaluate(query)``
 single-dispatches on the query object (:class:`~repro.core.queries.RangeQuery`
 covers IPQ / IUQ / C-IPQ / C-IUQ, :class:`~repro.core.queries.NearestNeighborQuery`
@@ -70,6 +78,12 @@ from repro.core.queries import (
     RANGE_QUERY_TARGETS,
 )
 from repro.core.statistics import EvaluationStatistics
+from repro.core.updates import (
+    UpdateBatch,
+    apply_update_op,
+    pick_mutation_database,
+    resolve_move_target,
+)
 from repro.index.pti import ProbabilityThresholdIndex
 from repro.index.registry import build_index, get_index_backend
 from repro.index.rtree import RTree
@@ -158,21 +172,249 @@ class EngineConfig:
         return replace(self, **kwargs)
 
 
+class _TrackedObjects(list):
+    """An object list that reports every mutation to its owning database.
+
+    The databases cache a columnar snapshot of their object list; any list
+    mutation — whether through the database mutators or directly on
+    ``db.objects`` — bumps the database *epoch*, so a cached snapshot can
+    never be served stale (the historical failure mode: append to
+    ``db.objects`` after ``columnar()`` and silently query old data).
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, items: Iterable, owner: "PointDatabase | UncertainDatabase") -> None:
+        super().__init__(items)
+        self._owner = owner
+
+    def __reduce__(self):
+        # Pickle as a plain list: the default list reconstruction appends
+        # through the overridden hooks before ``_owner`` exists, and the
+        # owner back-reference is a cycle pickle cannot route through
+        # constructor arguments.  The owning database re-wraps the list in
+        # its ``__setstate__``.
+        return (list, (list(self),))
+
+    def _mutated(self) -> None:
+        self._owner._bump_epoch()
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._mutated()
+
+    def extend(self, items) -> None:
+        super().extend(items)
+        self._mutated()
+
+    def insert(self, position, item) -> None:
+        super().insert(position, item)
+        self._mutated()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._mutated()
+
+    def pop(self, position=-1):
+        item = super().pop(position)
+        self._mutated()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._mutated()
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self._mutated()
+
+    def reverse(self) -> None:
+        super().reverse()
+        self._mutated()
+
+    def __setitem__(self, position, item) -> None:
+        super().__setitem__(position, item)
+        self._mutated()
+
+    def __delitem__(self, position) -> None:
+        super().__delitem__(position)
+        self._mutated()
+
+    def __iadd__(self, items):
+        result = super().__iadd__(items)
+        self._mutated()
+        return result
+
+    def __imul__(self, factor):
+        result = super().__imul__(factor)
+        self._mutated()
+        return result
+
+
+class _MutableDatabaseMixin:
+    """Shared epoch accounting and index-maintenance plumbing.
+
+    Concrete databases provide ``objects`` / ``index`` / ``kind`` plus typed
+    ``insert`` / ``delete`` / ``move`` mutators; this mixin owns the epoch
+    counter that invalidates cached columnar snapshots, the oid → position
+    lookup, and the choice between incremental index maintenance and the
+    rebuild fallback for backends without a delete path.
+    """
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+
+    def __setstate__(self, state: dict) -> None:
+        # _TrackedObjects unpickles as a plain list (see its __reduce__);
+        # re-wrap so mutation tracking survives a pickle round-trip.
+        self.__dict__.update(state)
+        if not isinstance(self.objects, _TrackedObjects):
+            self.__dict__["objects"] = _TrackedObjects(self.objects, self)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; bumped by every change to the object list.
+
+        Consumers caching anything derived from the collection (columnar
+        snapshots, nearest-neighbour samplers) key their caches on this.
+        """
+        return self._epoch
+
+    def _position_of(self, oid: int) -> int:
+        if self._positions is None or self._positions_epoch != self._epoch:
+            self._positions = {obj.oid: row for row, obj in enumerate(self.objects)}
+            self._positions_epoch = self._epoch
+        position = self._positions.get(oid)
+        if position is None:
+            raise KeyError(f"no object with oid {oid} in this database")
+        return position
+
+    # The mutators patch the oid → position map in place (and re-stamp its
+    # epoch) so a stream of updates costs O(index maintenance) per operation
+    # instead of an O(n) map rebuild; out-of-band mutations of ``objects``
+    # leave the epochs diverged and the map rebuilds lazily as before.
+    def _list_append(self, obj) -> None:
+        fresh = self._positions is not None and self._positions_epoch == self._epoch
+        self.objects.append(obj)
+        if fresh:
+            self._positions[obj.oid] = len(self.objects) - 1
+            self._positions_epoch = self._epoch
+
+    def _list_remove(self, oid: int):
+        # Swap-remove: the object list's order carries no meaning (every
+        # evaluation path sorts candidates by oid), so filling the hole with
+        # the last element keeps removal O(1).
+        position = self._position_of(oid)
+        positions = self._positions
+        obj = self.objects[position]
+        last = self.objects.pop()
+        if last is not obj:
+            self.objects[position] = last
+            positions[last.oid] = position
+        del positions[oid]
+        self._positions_epoch = self._epoch
+        return obj
+
+    def _list_replace(self, oid: int, new):
+        position = self._position_of(oid)
+        old = self.objects[position]
+        self.objects[position] = new
+        self._positions_epoch = self._epoch
+        return old
+
+    def __contains__(self, oid: int) -> bool:
+        try:
+            self._position_of(oid)
+        except KeyError:
+            return False
+        return True
+
+    def get(self, oid: int):
+        """The stored object with the given oid (``KeyError`` when absent)."""
+        return self.objects[self._position_of(oid)]
+
+    def _check_new_oid(self, oid: int) -> None:
+        if oid in self:
+            raise ValueError(
+                f"an object with oid {oid} is already stored; "
+                "delete or move it instead of inserting a duplicate"
+            )
+
+    def _incremental_maintenance(self) -> bool:
+        try:
+            backend = get_index_backend(self.kind)
+        except ValueError:
+            # Unregistered kind (hand-wired database): duck-type the index.
+            return hasattr(self.index, "delete")
+        return backend.capabilities.supports_delete
+
+    def _rebuild_index(self) -> None:
+        self.index = build_index(list(self.objects), self.kind)
+
+    # The mutators sequence index maintenance so that any index-side failure
+    # (a catalog-less object hitting a PTI, a rebuild that cannot happen)
+    # raises *before* the object list changes — objects and index never
+    # diverge.  The rebuild fallback is the one case where the list must
+    # change first (the rebuild is *of* the new list), so its precondition
+    # is checked up front instead.
+    def _append_with_index(self, obj) -> None:
+        self._check_new_oid(obj.oid)
+        self.index.insert(obj.mbr, obj)
+        self._list_append(obj)
+
+    def _delete_with_index(self, oid: int):
+        obj = self.get(oid)
+        if self._incremental_maintenance():
+            self.index.delete(obj.mbr, obj)
+            self._list_remove(oid)
+        else:
+            if len(self.objects) <= 1:
+                raise ValueError(
+                    f"index kind {self.kind!r} has no incremental delete and "
+                    "cannot be rebuilt over an empty collection; the last object "
+                    "of such a database cannot be deleted"
+                )
+            self._list_remove(oid)
+            self._rebuild_index()
+        return obj
+
+    def _replace_with_index(self, oid: int, new) -> None:
+        old = self.get(oid)
+        if self._incremental_maintenance():
+            self.index.update(old.mbr, new.mbr, old, replacement=new)
+            self._list_replace(oid, new)
+        else:
+            self._list_replace(oid, new)
+            self._rebuild_index()
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
 @dataclass
-class PointDatabase:
+class PointDatabase(_MutableDatabaseMixin):
     """A collection of point objects plus the spatial index built over them."""
 
     objects: list[PointObject]
     index: Any
     kind: str = "rtree"
-    # Lazily-built columnar snapshot; a rebuilt database is a new instance,
-    # so the cache can never go stale.
+    # Lazily-built columnar snapshot, cached per epoch: rebuilt on first use
+    # after any mutation of the object list, so it can never be served stale.
     _columnar: ColumnarPoints | None = field(default=None, init=False, repr=False, compare=False)
+    _columnar_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+    _epoch: int = field(default=0, init=False, repr=False, compare=False)
+    _positions: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    _positions_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.objects, _TrackedObjects):
+            self.objects = _TrackedObjects(self.objects, self)
 
     def columnar(self) -> ColumnarPoints:
-        """The columnar snapshot of the collection (built once, on demand)."""
-        if self._columnar is None:
+        """The columnar snapshot of the collection (rebuilt lazily per epoch)."""
+        if self._columnar is None or self._columnar_epoch != self._epoch:
             self._columnar = ColumnarPoints(self.objects)
+            self._columnar_epoch = self._epoch
         return self._columnar
 
     @classmethod
@@ -198,23 +440,57 @@ class PointDatabase:
         index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
         return cls(objects=materialised, index=index, kind=index_kind)
 
-    def __len__(self) -> int:
-        return len(self.objects)
+    # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: PointObject) -> PointObject:
+        """Add one point object, keeping the index and snapshot in sync."""
+        if not isinstance(obj, PointObject):
+            raise TypeError(f"expected a PointObject, got {type(obj).__name__}")
+        self._append_with_index(obj)
+        return obj
+
+    def delete(self, oid: int) -> PointObject:
+        """Remove the object with the given oid and return it."""
+        return self._delete_with_index(oid)
+
+    def move(self, oid: int, x: float, y: float) -> PointObject:
+        """Relocate the object with the given oid to ``(x, y)``.
+
+        The stored wrapper is immutable, so the move replaces it with a new
+        :class:`PointObject` carrying the same oid (returned).
+        """
+        new = PointObject.at(oid, float(x), float(y))
+        self._replace_with_index(oid, new)
+        return new
 
 
 @dataclass
-class UncertainDatabase:
+class UncertainDatabase(_MutableDatabaseMixin):
     """A collection of uncertain objects plus the index built over them."""
 
     objects: list[UncertainObject]
     index: Any
     kind: str = "pti"
+    #: Levels U-catalogs were built at (``build``'s ``catalog_levels``);
+    #: mutators attach catalogs at the same levels so the PTI's homogeneity
+    #: requirement keeps holding under live inserts and moves.
+    catalog_levels: tuple[float, ...] | None = None
     _columnar: ColumnarUncertain | None = field(default=None, init=False, repr=False, compare=False)
+    _columnar_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+    _epoch: int = field(default=0, init=False, repr=False, compare=False)
+    _positions: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    _positions_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.objects, _TrackedObjects):
+            self.objects = _TrackedObjects(self.objects, self)
 
     def columnar(self) -> ColumnarUncertain:
-        """The columnar snapshot of the collection (built once, on demand)."""
-        if self._columnar is None:
+        """The columnar snapshot of the collection (rebuilt lazily per epoch)."""
+        if self._columnar is None or self._columnar_epoch != self._epoch:
             self._columnar = ColumnarUncertain(self.objects)
+            self._columnar_epoch = self._epoch
         return self._columnar
 
     @classmethod
@@ -246,10 +522,56 @@ class UncertainDatabase:
                 for obj in materialised
             ]
         index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
-        return cls(objects=materialised, index=index, kind=index_kind)
+        return cls(
+            objects=materialised,
+            index=index,
+            kind=index_kind,
+            catalog_levels=tuple(catalog_levels) if catalog_levels is not None else None,
+        )
 
-    def __len__(self) -> int:
-        return len(self.objects)
+    # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def _with_catalog(
+        self, obj: UncertainObject, template: UncertainObject | None
+    ) -> UncertainObject:
+        """Attach a U-catalog matching the database's levels, when known."""
+        if obj.catalog is not None:
+            return obj
+        if template is not None and template.catalog is not None:
+            return obj.with_catalog(template.catalog.levels)
+        if self.catalog_levels is not None:
+            return obj.with_catalog(self.catalog_levels)
+        return obj
+
+    def insert(self, obj: UncertainObject) -> UncertainObject:
+        """Add one uncertain object, keeping the index and snapshot in sync.
+
+        An object without a U-catalog gets one built at the database's
+        catalog levels (when the database carries catalogs), so PTI-backed
+        databases stay insertable.  Returns the stored object.
+        """
+        if not isinstance(obj, UncertainObject):
+            raise TypeError(f"expected an UncertainObject, got {type(obj).__name__}")
+        obj = self._with_catalog(obj, None)
+        self._append_with_index(obj)
+        return obj
+
+    def delete(self, oid: int) -> UncertainObject:
+        """Remove the object with the given oid and return it."""
+        return self._delete_with_index(oid)
+
+    def move(self, oid: int, pdf) -> UncertainObject:
+        """Give the object with the given oid a new uncertainty pdf.
+
+        A moving uncertain object is a fresh location report: a new region
+        and pdf, with the U-catalog rebuilt to match (at the old catalog's
+        levels, falling back to the database's).  Returns the stored object.
+        """
+        old = self.get(oid)
+        new = self._with_catalog(UncertainObject(oid=oid, pdf=pdf), old)
+        self._replace_with_index(oid, new)
+        return new
 
 
 class ImpreciseQueryEngine:
@@ -272,7 +594,7 @@ class ImpreciseQueryEngine:
         self._uncertain_db = uncertain_db
         self._config = config if config is not None else EngineConfig()
         self._rng = np.random.default_rng(self._config.rng_seed)
-        self._nn_engines: dict[int, ImpreciseNearestNeighborEngine] = {}
+        self._nn_engines: dict[tuple[int, int], ImpreciseNearestNeighborEngine] = {}
         # Monotonic query sequence number.  Every evaluated query consumes
         # one (whatever its kind), so that under the per-oid draw plan the
         # n-th query of any call pattern — evaluate() loop, evaluate_many(),
@@ -399,7 +721,7 @@ class ImpreciseQueryEngine:
             raise ValueError(f"unknown target database: {over!r}")
         return self.evaluate(RangeQuery.from_legacy(query, over)).as_tuple()
 
-    def evaluate_many(self, queries: Iterable[Query]) -> list[Evaluation]:
+    def evaluate_many(self, queries: Iterable[Query | UpdateBatch]) -> list[Evaluation]:
         """Evaluate a batch of queries, preserving input order.
 
         The batch path amortises work a per-query loop repeats: type dispatch
@@ -418,16 +740,36 @@ class ImpreciseQueryEngine:
         identical either way, because candidate processing is oid-ordered in
         every path; only ``statistics.io`` differs (the columnar filter
         performs no index node accesses).
+
+        An :class:`~repro.core.updates.UpdateBatch` may be interleaved with
+        the queries: it is applied at exactly its position in the stream
+        (earlier queries see the old data, later ones the new) and produces
+        no :class:`Evaluation` of its own.  Updates consume no query sequence
+        numbers, so under the per-oid draw plan the surrounding queries'
+        Monte-Carlo draws are unaffected.
         """
-        batch = list(queries)
-        for position, query in enumerate(batch):
-            if not isinstance(query, (RangeQuery, NearestNeighborQuery)):
+        items = list(queries)
+        for position, item in enumerate(items):
+            if not isinstance(item, (RangeQuery, NearestNeighborQuery, UpdateBatch)):
                 raise TypeError(
-                    f"evaluate_many() only accepts RangeQuery and NearestNeighborQuery "
-                    f"objects; item {position} is {type(query).__name__!r}"
+                    f"evaluate_many() only accepts RangeQuery, NearestNeighborQuery "
+                    f"and UpdateBatch objects; item {position} is {type(item).__name__!r}"
                 )
-        seqs = [self._next_query_seq() for _ in batch]
-        return self._evaluate_batch(batch, seqs)
+        evaluations: list[Evaluation] = []
+        batch: list[Query] = []
+        seqs: list[int] = []
+        for item in items:
+            if isinstance(item, UpdateBatch):
+                if batch:
+                    evaluations.extend(self._evaluate_batch(batch, seqs))
+                    batch, seqs = [], []
+                self.apply_updates(item)
+            else:
+                batch.append(item)
+                seqs.append(self._next_query_seq())
+        if batch:
+            evaluations.extend(self._evaluate_batch(batch, seqs))
+        return evaluations
 
     def evaluate_many_at(self, items: Iterable[tuple[int, Query]]) -> list[Evaluation]:
         """Batch evaluation with caller-assigned query sequence numbers.
@@ -851,7 +1193,9 @@ class ImpreciseQueryEngine:
         if rows is None:
             try:
                 rows = snapshot.rows_for(candidates)
-            except KeyError:
+            except ValueError:
+                # Candidates from a foreign collection (hand-wired database):
+                # fall back to materialising their bounds directly.
                 rows = None
         if rows is not None:
             bounds = snapshot.bounds[rows]
@@ -1087,13 +1431,75 @@ class ImpreciseQueryEngine:
         return candidates, configured
 
     # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def _mutation_db(self, target: str | None) -> PointDatabase | UncertainDatabase:
+        return pick_mutation_database(self._point_db, self._uncertain_db, target)
+
+    def insert(self, obj: PointObject | UncertainObject):
+        """Add one object to the matching database (chosen by the object's type).
+
+        The database keeps its index in sync and bumps its epoch, so cached
+        columnar snapshots and nearest-neighbour samplers are rebuilt lazily.
+        Returns the stored object.
+        """
+        if isinstance(obj, PointObject):
+            return self._require_point_db().insert(obj)
+        if isinstance(obj, UncertainObject):
+            return self._require_uncertain_db().insert(obj)
+        raise TypeError(
+            f"expected a PointObject or UncertainObject, got {type(obj).__name__}"
+        )
+
+    def delete(self, oid: int, *, target: str | None = None):
+        """Remove one object by oid; ``target`` picks the database when both exist.
+
+        Returns the removed object.
+        """
+        return self._mutation_db(target).delete(oid)
+
+    def move(
+        self,
+        oid: int,
+        *,
+        x: float | None = None,
+        y: float | None = None,
+        pdf=None,
+        target: str | None = None,
+    ):
+        """Relocate one object: ``x``/``y`` for a point, ``pdf`` for an uncertain one.
+
+        Returns the stored replacement object.
+        """
+        if resolve_move_target(x, y, pdf, target) == "points":
+            return self._require_point_db().move(oid, float(x), float(y))
+        return self._require_uncertain_db().move(oid, pdf)
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply an ordered batch of mutations to this engine's databases."""
+        for op in batch:
+            apply_update_op(self, op)
+
+    # ------------------------------------------------------------------ #
     # Nearest-neighbour support
     # ------------------------------------------------------------------ #
     def _nearest_engine(self, samples: int) -> ImpreciseNearestNeighborEngine:
-        """A cached nearest-neighbour sampler sharing the point database's index."""
-        engine = self._nn_engines.get(samples)
+        """A cached nearest-neighbour sampler sharing the point database's index.
+
+        The cache is keyed by ``(samples, database epoch)``: any live
+        mutation of the point database bumps its epoch, so samplers built
+        over the old object list are dropped instead of served stale.
+        """
+        database = self._require_point_db()
+        key = (samples, database.epoch)
+        engine = self._nn_engines.get(key)
         if engine is None:
-            database = self._require_point_db()
+            # Mutation invalidated the cache: shed samplers from past epochs.
+            self._nn_engines = {
+                cached_key: cached
+                for cached_key, cached in self._nn_engines.items()
+                if cached_key[1] == database.epoch
+            }
             index = database.index if isinstance(database.index, RTree) else None
             engine = ImpreciseNearestNeighborEngine(
                 database.objects,
@@ -1101,7 +1507,7 @@ class ImpreciseQueryEngine:
                 samples=samples,
                 rng_seed=self._config.rng_seed,
             )
-            self._nn_engines[samples] = engine
+            self._nn_engines[key] = engine
         return engine
 
     # ------------------------------------------------------------------ #

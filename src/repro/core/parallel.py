@@ -30,6 +30,15 @@ on platforms without ``fork`` the engine transparently degrades to serial
 in-process execution.  Worker processes are reused across
 :meth:`ParallelEngine.evaluate_many` calls; call :meth:`ParallelEngine.close`
 (or use the engine as a context manager) to release them.
+
+The engine also carries the live-mutation surface (``insert`` / ``delete``
+/ ``move`` / ``apply_updates``, with :class:`~repro.core.updates.UpdateBatch`
+items accepted inline in ``evaluate_many``): mutations route to the owning
+shard through :class:`ShardedDatabase` and recycle the forked worker pool,
+since already-forked workers hold a pre-mutation memory snapshot.  Updates
+consume no query sequence numbers, so the per-oid parity guarantee extends
+to live data: a mutated sharded database answers bitwise-identically to a
+from-scratch rebuild of the same final collection.
 """
 
 from __future__ import annotations
@@ -60,6 +69,13 @@ from repro.core.queries import (
 )
 from repro.core.sharding import Shard, ShardedDatabase
 from repro.core.statistics import EvaluationStatistics
+from repro.core.updates import (
+    UpdateBatch,
+    apply_update_op,
+    pick_mutation_database,
+    resolve_move_target,
+)
+from repro.uncertainty.region import PointObject, UncertainObject
 
 #: Engines visible to forked pool workers, keyed by registration token.  The
 #: parent registers an engine *before* creating its pool, so any worker the
@@ -213,7 +229,7 @@ class ParallelEngine:
         """Evaluate one query across the shards it routes to."""
         return self.evaluate_many([query])[0]
 
-    def evaluate_many(self, queries: Iterable[Query]) -> list[Evaluation]:
+    def evaluate_many(self, queries: Iterable[Query | UpdateBatch]) -> list[Evaluation]:
         """Evaluate a workload shard-parallel, preserving input order.
 
         Each query is routed to the shards its window can touch, the routed
@@ -221,14 +237,38 @@ class ParallelEngine:
         sub-engine per shard), and the partial results are merged.  Queries
         whose window misses every shard return empty evaluations without
         touching any worker.
+
+        An :class:`~repro.core.updates.UpdateBatch` may be interleaved with
+        the queries: it is applied at exactly its position in the stream
+        (earlier queries see the old data, later ones the new) and produces
+        no :class:`Evaluation`.  Updates consume no query sequence numbers,
+        so the surrounding queries' per-oid Monte-Carlo draws are unaffected
+        — a live-updated sharded database answers bitwise-identically to a
+        from-scratch rebuild of the same final collection.
         """
-        batch = list(queries)
-        for position, query in enumerate(batch):
-            if not isinstance(query, (RangeQuery, NearestNeighborQuery)):
+        items = list(queries)
+        for position, item in enumerate(items):
+            if not isinstance(item, (RangeQuery, NearestNeighborQuery, UpdateBatch)):
                 raise TypeError(
-                    f"evaluate_many() only accepts RangeQuery and NearestNeighborQuery "
-                    f"objects; item {position} is {type(query).__name__!r}"
+                    f"evaluate_many() only accepts RangeQuery, NearestNeighborQuery "
+                    f"and UpdateBatch objects; item {position} is {type(item).__name__!r}"
                 )
+        evaluations: list[Evaluation] = []
+        batch: list[Query] = []
+        for item in items:
+            if isinstance(item, UpdateBatch):
+                if batch:
+                    evaluations.extend(self._run_query_batch(batch))
+                    batch = []
+                self.apply_updates(item)
+            else:
+                batch.append(item)
+        if batch:
+            evaluations.extend(self._run_query_batch(batch))
+        return evaluations
+
+    def _run_query_batch(self, batch: list[Query]) -> list[Evaluation]:
+        """Route, execute and merge one homogeneous query batch."""
         base_seq = self._query_seq
         self._query_seq += len(batch)
 
@@ -250,6 +290,68 @@ class ParallelEngine:
         for position, query in enumerate(batch):
             evaluations.append(self._merge(query, partials.get(position, [])))
         return evaluations
+
+    # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def _recycle_pool(self) -> None:
+        """Retire forked workers whose memory snapshot predates a mutation.
+
+        Pool workers inherit the shard data via fork; a mutation in the
+        parent is invisible to already-forked children, so the pool is shut
+        down and the next parallel batch forks fresh workers that see the
+        updated shards.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _mutation_db(self, target: str | None) -> ShardedDatabase:
+        return pick_mutation_database(self._point_db, self._uncertain_db, target)
+
+    def insert(self, obj: PointObject | UncertainObject):
+        """Insert one object into its owning shard (chosen by nearest cover).
+
+        Returns the stored object.  Like every mutation, this recycles the
+        forked worker pool so no worker serves a pre-mutation snapshot.
+        """
+        self._recycle_pool()
+        if isinstance(obj, PointObject):
+            return self._require("points").insert(obj)
+        if isinstance(obj, UncertainObject):
+            return self._require("uncertain").insert(obj)
+        raise TypeError(
+            f"expected a PointObject or UncertainObject, got {type(obj).__name__}"
+        )
+
+    def delete(self, oid: int, *, target: str | None = None):
+        """Remove one object from its owning shard; returns the removed object."""
+        self._recycle_pool()
+        return self._mutation_db(target).delete(oid)
+
+    def move(
+        self,
+        oid: int,
+        *,
+        x: float | None = None,
+        y: float | None = None,
+        pdf=None,
+        target: str | None = None,
+    ):
+        """Relocate one object, re-homing it across shards when needed.
+
+        ``x``/``y`` move a point object, ``pdf`` an uncertain one.  Returns
+        the stored replacement object.
+        """
+        self._recycle_pool()
+        if resolve_move_target(x, y, pdf, target) == "points":
+            return self._require("points").move(oid, x=float(x), y=float(y))
+        return self._require("uncertain").move(oid, pdf=pdf)
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply an ordered batch of mutations to the sharded databases."""
+        for op in batch:
+            apply_update_op(self, op)
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -280,9 +382,18 @@ class ParallelEngine:
     # ------------------------------------------------------------------ #
     def _shard_engine(self, kind: str, sid: int) -> ImpreciseQueryEngine:
         key = (kind, sid)
+        shard = self._require(kind).shards[sid]
         engine = self._shard_engines.get(key)
+        if engine is not None:
+            # A re-split (or a shard emptying out) replaces shard.database
+            # wholesale; a cached engine wired to the old instance would
+            # silently serve the pre-mutation objects.  In-place mutations
+            # keep the instance (and the engine), relying on the database
+            # epoch to refresh snapshots and samplers.
+            cached_db = engine.point_db if kind == "points" else engine.uncertain_db
+            if cached_db is not shard.database:
+                engine = None
         if engine is None:
-            shard = self._require(kind).shards[sid]
             if kind == "points":
                 engine = ImpreciseQueryEngine(point_db=shard.database, config=self._config)
             else:

@@ -40,6 +40,7 @@ from repro.core.queries import (
     RangeQuerySpec,
     RangeQueryTarget,
 )
+from repro.core.updates import UpdateBatch
 from repro.geometry.rect import Rect
 from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
 from repro.uncertainty.region import PointObject, UncertainObject
@@ -118,6 +119,7 @@ class Session:
         *,
         workers: int | None = None,
         partitioner: str = "grid",
+        hot_threshold: int | None = None,
     ) -> "Session":
         """A new session running this session's data shard-parallel.
 
@@ -130,6 +132,10 @@ class Session:
         single-shard engine configured with the per-oid draw plan
         (``EngineConfig(draw_plan="per_oid")``), which sharded execution
         forces — Monte-Carlo probabilities match bitwise.
+
+        ``hot_threshold`` arms in-place re-splitting: a shard that grows past
+        that many members under live inserts is split into two without
+        rebuilding its siblings.
         """
         point_db = self._engine.point_db
         uncertain_db = self._engine.uncertain_db
@@ -141,7 +147,11 @@ class Session:
                 else point_db.kind
             )
             sharded_points = ShardedDatabase.build_points(
-                point_db.objects, k, partitioner=partitioner, index_kind=index_kind
+                point_db.objects,
+                k,
+                partitioner=partitioner,
+                index_kind=index_kind,
+                hot_threshold=hot_threshold,
             )
         sharded_uncertain = None
         if uncertain_db is not None:
@@ -158,6 +168,7 @@ class Session:
                 partitioner=partitioner,
                 index_kind=index_kind,
                 catalog_levels=None,
+                hot_threshold=hot_threshold,
             )
         engine = ParallelEngine(
             point_db=sharded_points,
@@ -195,14 +206,54 @@ class Session:
         return None
 
     # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: PointObject | UncertainObject):
+        """Add one object to the session's matching database (live, no rebuild).
+
+        Returns the stored object (uncertain objects may gain a U-catalog).
+        """
+        return self._engine.insert(obj)
+
+    def delete(self, oid: int, *, target: str | None = None):
+        """Remove one object by oid; ``target`` picks the database when both exist.
+
+        Returns the removed object.
+        """
+        return self._engine.delete(oid, target=target)
+
+    def move(
+        self,
+        oid: int,
+        *,
+        x: float | None = None,
+        y: float | None = None,
+        pdf=None,
+        target: str | None = None,
+    ):
+        """Relocate one object: ``x``/``y`` for a point, ``pdf`` for an uncertain one.
+
+        Returns the stored replacement object.
+        """
+        return self._engine.move(oid, x=x, y=y, pdf=pdf, target=target)
+
+    def apply_updates(self, batch: UpdateBatch) -> None:
+        """Apply an ordered :class:`UpdateBatch` to the session's databases."""
+        self._engine.apply_updates(batch)
+
+    # ------------------------------------------------------------------ #
     # Direct execution
     # ------------------------------------------------------------------ #
     def evaluate(self, query: Query) -> Evaluation:
         """Evaluate one query object."""
         return self._engine.evaluate(query)
 
-    def evaluate_many(self, queries: Iterable[Query]) -> list[Evaluation]:
-        """Evaluate a batch of query objects, preserving input order."""
+    def evaluate_many(self, queries: Iterable[Query | UpdateBatch]) -> list[Evaluation]:
+        """Evaluate a batch of query objects, preserving input order.
+
+        :class:`UpdateBatch` items may be interleaved with the queries; each
+        is applied at its position in the stream and yields no evaluation.
+        """
         return self._engine.evaluate_many(queries)
 
 

@@ -23,6 +23,15 @@ Shards own ordinary :class:`~repro.core.engine.PointDatabase` /
 feature — columnar snapshots, PTI node-level pruning, pruner caching — works
 unchanged per shard.  Partitioning preserves input order inside each shard,
 so ``k = 1`` reproduces the unsharded database exactly.
+
+Sharded databases are *live*: :meth:`ShardedDatabase.insert`,
+:meth:`ShardedDatabase.delete` and :meth:`ShardedDatabase.move` route each
+mutation to the owning shard (inserts go to the shard whose cover is nearest
+the new object's MBR centre) and maintain only that shard — its index, its
+columnar-snapshot epoch, its cover rectangle and its nearest-neighbour
+anchor.  When an insert pushes a shard past the configurable
+``hot_threshold``, that one shard is re-split in place (a median cut into
+two) without touching its siblings.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from repro.core.engine import PointDatabase, UncertainDatabase
 from repro.datasets.partition import (
     PartitionMethod,
     mbr_centers,
+    median_assignments,
     partition_assignments,
 )
 from repro.geometry.point import Point
@@ -52,11 +62,17 @@ class Shard:
 
     sid: int
     database: PointDatabase | UncertainDatabase | None
-    #: Union of the members' MBRs; ``Rect.empty()`` for an empty shard.
+    #: Covers every member's MBR; ``Rect.empty()`` for an empty shard.  Kept
+    #: *conservative* under live mutation: inserts grow it exactly, deletes
+    #: leave it untouched (a looser cover stays complete for routing), and a
+    #: re-split re-tightens it.
     cover: Rect
     #: A representative member location used by nearest-neighbour routing
     #: (``None`` for empty or uncertain shards).
     anchor: Point | None = None
+    #: Oid of the member the anchor points at, so mutations can tell when
+    #: the anchor itself moved or left and must be re-chosen.
+    anchor_oid: int | None = None
 
     @property
     def is_empty(self) -> bool:
@@ -76,6 +92,23 @@ class ShardedDatabase:
     index_kind: str
     partitioner: PartitionMethod
     objects: list = field(repr=False)
+    #: Levels the construction attached U-catalogs at (uncertain shards only);
+    #: mutations attach catalogs at the same levels.
+    catalog_levels: tuple[float, ...] | None = None
+    #: Re-split a shard in place when an insert pushes it past this many
+    #: members (``None`` disables hot-shard re-splitting).
+    hot_threshold: int | None = None
+    #: Lazy oid → shard-id map maintained across mutations.
+    _oid_shard: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    #: Lazy oid → position map into the global ``objects`` list.
+    _oid_global: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.hot_threshold is not None and self.hot_threshold < 2:
+            raise ValueError(
+                f"hot_threshold must be >= 2 (a re-split needs two members), "
+                f"got {self.hot_threshold}"
+            )
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -112,10 +145,9 @@ class ShardedDatabase:
         return Rect.bounding([extract_mbr(obj) for obj in members])
 
     @staticmethod
-    def _anchor(members: list[PointObject], cover: Rect) -> Point:
+    def _anchor(members: list[PointObject], cover: Rect) -> PointObject:
         center = cover.center
-        best = min(members, key=lambda obj: obj.location.distance_to(center))
-        return best.location
+        return min(members, key=lambda obj: obj.location.distance_to(center))
 
     @classmethod
     def build_points(
@@ -126,6 +158,7 @@ class ShardedDatabase:
         partitioner: PartitionMethod = "grid",
         index_kind: str = "rtree",
         bounds: Rect | None = None,
+        hot_threshold: int | None = None,
         **index_kwargs,
     ) -> "ShardedDatabase":
         """Partition point objects into ``k`` shards and index each one.
@@ -133,7 +166,8 @@ class ShardedDatabase:
         ``bounds`` fixes the grid partitioner's data space (default: the
         collection's bounding rectangle).  Empty partitions are kept as
         index-less shards so shard ids stay aligned with the partitioner's
-        cells.
+        cells.  ``hot_threshold`` arms in-place re-splitting of shards that
+        grow past that many members under live inserts.
         """
         materialised = list(objects)
         cls._check_shardable(index_kind)
@@ -145,12 +179,14 @@ class ShardedDatabase:
                 continue
             database = PointDatabase.build(members, index_kind=index_kind, **index_kwargs)
             cover = cls._cover(members)
+            anchor = cls._anchor(members, cover)
             shards.append(
                 Shard(
                     sid=sid,
                     database=database,
                     cover=cover,
-                    anchor=cls._anchor(members, cover),
+                    anchor=anchor.location,
+                    anchor_oid=anchor.oid,
                 )
             )
         return cls(
@@ -159,6 +195,7 @@ class ShardedDatabase:
             index_kind=index_kind,
             partitioner=partitioner,
             objects=materialised,
+            hot_threshold=hot_threshold,
         )
 
     @classmethod
@@ -171,6 +208,7 @@ class ShardedDatabase:
         index_kind: str = "pti",
         catalog_levels: Sequence[float] | None = DEFAULT_CATALOG_LEVELS,
         bounds: Rect | None = None,
+        hot_threshold: int | None = None,
         **index_kwargs,
     ) -> "ShardedDatabase":
         """Partition uncertain objects into ``k`` shards and index each one.
@@ -178,7 +216,8 @@ class ShardedDatabase:
         Each shard gets its own PTI (or other registry backend) built over
         only its members — the per-partition index construction the paper's
         production deployments would use.  ``catalog_levels`` behaves as in
-        :meth:`UncertainDatabase.build`.
+        :meth:`UncertainDatabase.build`; ``hot_threshold`` as in
+        :meth:`build_points`.
         """
         materialised = list(objects)
         cls._check_shardable(index_kind)
@@ -205,6 +244,8 @@ class ShardedDatabase:
             index_kind=index_kind,
             partitioner=partitioner,
             objects=rebuilt if rebuilt else materialised,
+            catalog_levels=tuple(catalog_levels) if catalog_levels is not None else None,
+            hot_threshold=hot_threshold,
         )
 
     # ------------------------------------------------------------------ #
@@ -266,3 +307,249 @@ class ShardedDatabase:
             for shard in candidates
             if shard.cover.min_distance_to_rect(issuer_region) <= bound
         ]
+
+    # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def _shard_map(self) -> dict[int, int]:
+        if self._oid_shard is None:
+            self._oid_shard = {
+                obj.oid: shard.sid
+                for shard in self.shards
+                if not shard.is_empty
+                for obj in shard.database.objects
+            }
+        return self._oid_shard
+
+    def _global_map(self) -> dict[int, int]:
+        if self._oid_global is None:
+            self._oid_global = {
+                obj.oid: position for position, obj in enumerate(self.objects)
+            }
+        return self._oid_global
+
+    def _global_add(self, obj) -> None:
+        self._global_map()[obj.oid] = len(self.objects)
+        self.objects.append(obj)
+
+    def _global_remove(self, oid: int) -> None:
+        # Swap-remove: the global list's order only matters at (re)build
+        # time, so filling the hole with the last element keeps removal O(1).
+        positions = self._global_map()
+        position = positions.pop(oid)
+        last = self.objects.pop()
+        if last.oid != oid:
+            self.objects[position] = last
+            positions[last.oid] = position
+
+    def _global_replace(self, obj) -> None:
+        self.objects[self._global_map()[obj.oid]] = obj
+
+    def owner_of(self, oid: int) -> Shard:
+        """The shard currently storing the object with the given oid."""
+        sid = self._shard_map().get(oid)
+        if sid is None:
+            raise KeyError(f"no object with oid {oid} in this sharded database")
+        return self.shards[sid]
+
+    def _route_insert(self, mbr: Rect) -> Shard:
+        """The shard an incoming MBR is filed under: nearest cover wins.
+
+        Any non-empty shard is a *correct* home (covers are maintained after
+        every mutation, so window routing stays complete no matter where an
+        object lives); nearest-cover keeps covers tight so routing stays
+        selective.  Ties break towards the smaller shard id.  A fully
+        drained database routes to the first shard, which is repopulated.
+        """
+        candidates = self.non_empty_shards()
+        if not candidates:
+            return self.shards[0]
+        center = mbr.center
+        return min(
+            candidates,
+            key=lambda shard: (shard.cover.min_distance_to_point(center), shard.sid),
+        )
+
+    def _member_catalog_levels(self, members: list) -> tuple[float, ...] | None:
+        if self.catalog_levels is not None:
+            return self.catalog_levels
+        for member in members:
+            if getattr(member, "catalog", None) is not None:
+                return member.catalog.levels
+        return None
+
+    def _prepare_uncertain(self, obj: UncertainObject) -> UncertainObject:
+        """Attach a U-catalog consistent with the existing members' levels."""
+        if obj.catalog is not None:
+            return obj
+        levels = self.catalog_levels
+        if levels is None:
+            for shard in self.non_empty_shards():
+                levels = self._member_catalog_levels(list(shard.database.objects))
+                if levels is not None:
+                    break
+        return obj.with_catalog(levels) if levels is not None else obj
+
+    def _retighten(self, shard: Shard) -> None:
+        """Recompute a shard's cover and anchor exactly (O(shard size)).
+
+        Only needed when the anchor member itself left (nearest-neighbour
+        routing requires the anchor to be a *current* member) or after a
+        re-split; ordinary mutations maintain the metadata in O(1) — inserts
+        grow the cover exactly, deletes leave it conservatively loose.
+        """
+        if shard.database is None or len(shard.database) == 0:
+            shard.database = None
+            shard.cover = Rect.empty()
+            shard.anchor = None
+            shard.anchor_oid = None
+            return
+        members = list(shard.database.objects)
+        shard.cover = self._cover(members)
+        if self.kind == "points":
+            anchor = self._anchor(members, shard.cover)
+            shard.anchor = anchor.location
+            shard.anchor_oid = anchor.oid
+        else:
+            shard.anchor = None
+            shard.anchor_oid = None
+
+    def _after_member_removed(self, shard: Shard, removed) -> None:
+        """O(1) post-delete maintenance; the cover stays (loosely) complete."""
+        if shard.database is None or len(shard.database) == 0:
+            self._retighten(shard)
+        elif removed.oid == shard.anchor_oid:
+            self._retighten(shard)
+
+    def _after_member_added(self, shard: Shard, stored) -> None:
+        shard.cover = shard.cover.union_bounds(extract_mbr(stored))
+        if self.kind == "points" and shard.anchor_oid is None:
+            shard.anchor = stored.location
+            shard.anchor_oid = stored.oid
+        self._shard_map()[stored.oid] = shard.sid
+        self._global_add(stored)
+        if self.hot_threshold is not None and len(shard) > self.hot_threshold:
+            self._resplit(shard)
+
+    def insert(self, obj):
+        """Add one object to the shard whose cover is nearest its MBR centre.
+
+        Only the owning shard's index, snapshot epoch, cover and anchor are
+        maintained; sibling shards are untouched.  Returns the stored object
+        (uncertain objects may gain a U-catalog on the way in).
+        """
+        if obj.oid in self._shard_map():
+            raise ValueError(
+                f"an object with oid {obj.oid} is already stored; "
+                "delete or move it instead of inserting a duplicate"
+            )
+        if self.kind == "uncertain":
+            obj = self._prepare_uncertain(obj)
+        shard = self._route_insert(extract_mbr(obj))
+        if shard.is_empty:
+            # Every member was deleted: repopulate the routed shard with a
+            # fresh single-object database (mirrors the unsharded databases,
+            # which accept inserts into an emptied collection).
+            self._rebuild_shard(shard, [obj])
+            stored = shard.database.objects[0]
+        else:
+            stored = shard.database.insert(obj)
+        self._after_member_added(shard, stored)
+        return stored
+
+    def delete(self, oid: int):
+        """Remove the object with the given oid from its owning shard.
+
+        A shard whose last member leaves becomes an empty (index-less) shard;
+        its id stays allocated so sibling routing is unaffected.  Returns the
+        removed object.
+        """
+        shard = self.owner_of(oid)
+        removed = shard.database.delete(oid)
+        del self._shard_map()[oid]
+        self._global_remove(oid)
+        self._after_member_removed(shard, removed)
+        return removed
+
+    def move(self, oid: int, *, x: float | None = None, y: float | None = None, pdf=None):
+        """Relocate one object, re-homing it when another shard fits better.
+
+        Point databases take the new coordinates (``x``/``y``), uncertain
+        databases the new pdf.  A move that stays within the owning shard is
+        a single index update; one that crosses shards is a delete + insert
+        pair, each side maintaining only its own shard.  Returns the stored
+        (replacement) object.
+        """
+        if self.kind == "points":
+            if x is None or y is None or pdf is not None:
+                raise ValueError("moving a point object takes x= and y= (no pdf)")
+        else:
+            if pdf is None or x is not None or y is not None:
+                raise ValueError("moving an uncertain object takes pdf= (no x/y)")
+        shard = self.owner_of(oid)
+        if self.kind == "points":
+            new_mbr = Rect.from_point(Point(float(x), float(y)))
+        else:
+            new_mbr = pdf.region
+        target = self._route_insert(new_mbr)
+        if target.sid == shard.sid:
+            if self.kind == "points":
+                moved = shard.database.move(oid, float(x), float(y))
+            else:
+                moved = shard.database.move(oid, pdf)
+            self._global_replace(moved)
+            shard.cover = shard.cover.union_bounds(extract_mbr(moved))
+            if moved.oid == shard.anchor_oid:
+                # The anchor member itself moved; its recorded location must
+                # follow (nearest-neighbour bounds require a real member).
+                shard.anchor = moved.location
+            return moved
+        removed = shard.database.delete(oid)
+        del self._shard_map()[oid]
+        self._global_remove(oid)
+        self._after_member_removed(shard, removed)
+        if self.kind == "points":
+            replacement = PointObject.at(oid, float(x), float(y))
+        else:
+            replacement = UncertainObject(oid=oid, pdf=pdf)
+            if removed.catalog is not None:
+                replacement = replacement.with_catalog(removed.catalog.levels)
+            else:
+                replacement = self._prepare_uncertain(replacement)
+        stored = target.database.insert(replacement)
+        self._after_member_added(target, stored)
+        return stored
+
+    def _rebuild_shard(self, shard: Shard, members: list) -> None:
+        if self.kind == "points":
+            shard.database = PointDatabase.build(members, index_kind=self.index_kind)
+        else:
+            database = UncertainDatabase.build(
+                members, index_kind=self.index_kind, catalog_levels=None
+            )
+            # The members already carry catalogs; record their levels so the
+            # fresh shard database keeps attaching matching ones on insert.
+            database.catalog_levels = self._member_catalog_levels(members)
+            shard.database = database
+        self._retighten(shard)
+
+    def _resplit(self, shard: Shard) -> None:
+        """Split one hot shard in place: a median cut into two shards.
+
+        The original shard id keeps the left half (so queued routing
+        decisions stay valid) and the right half gets a brand-new id
+        appended after the existing shards; no sibling shard is touched.
+        """
+        members = list(shard.database.objects)
+        assignments = median_assignments(mbr_centers(members), 2)
+        left = [member for member, side in zip(members, assignments) if side == 0]
+        right = [member for member, side in zip(members, assignments) if side == 1]
+        if not left or not right:
+            return
+        self._rebuild_shard(shard, left)
+        sibling = Shard(sid=len(self.shards), database=None, cover=Rect.empty())
+        self.shards.append(sibling)
+        self._rebuild_shard(sibling, right)
+        shard_map = self._shard_map()
+        for member in right:
+            shard_map[member.oid] = sibling.sid

@@ -1,0 +1,176 @@
+"""Live-update batches: ordered insert/delete/move streams for the engines.
+
+The paper's motivating objects *move* — cabs, patrols and privacy-cloaked
+users report fresh positions between queries — so updates are a first-class
+input next to queries, not a rebuild trigger.  An :class:`UpdateBatch` is an
+ordered list of mutations that both engines accept:
+
+* applied directly via ``engine.apply_updates(batch)`` (or the per-operation
+  ``engine.insert`` / ``engine.delete`` / ``engine.move``), or
+* *interleaved* with queries inside ``evaluate_many``: an ``UpdateBatch``
+  appearing in the workload iterable is applied at exactly that point in the
+  stream, queries before it see the old data, queries after it the new.
+
+Updates never consume query sequence numbers, so under the per-oid draw plan
+a query's Monte-Carlo draws — keyed by ``(rng_seed, query_seq, oid)`` — stay
+bitwise-identical no matter how many unrelated updates ran before it.  That
+is the invariant that lets a live-mutated database answer exactly like a
+from-scratch rebuild of the same final collection.
+
+Example::
+
+    batch = (
+        UpdateBatch()
+        .insert(PointObject.at(901, 4200.0, 880.0))
+        .move(17, x=3950.0, y=1020.0)
+        .delete(23)
+    )
+    session.evaluate_many([query_a, batch, query_b])  # query_b sees the updates
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Literal
+
+UpdateAction = Literal["insert", "delete", "move"]
+UpdateTarget = Literal["points", "uncertain"]
+
+
+def resolve_move_target(
+    x: float | None, y: float | None, pdf: Any, target: UpdateTarget | None
+) -> UpdateTarget:
+    """Infer (and validate) which database a move addresses.
+
+    ``x``/``y`` imply a point object, ``pdf`` an uncertain one; mixing the
+    forms, providing neither in full, or passing a contradicting ``target``
+    is rejected.  The single validation used by :meth:`UpdateBatch.move` and
+    both engines' ``move`` methods, so every layer accepts and rejects the
+    same shapes.
+    """
+    if pdf is not None and (x is not None or y is not None):
+        raise ValueError("pass either x= and y= (points) or pdf= (uncertain), not both")
+    if pdf is not None:
+        inferred: UpdateTarget = "uncertain"
+    elif x is not None and y is not None:
+        inferred = "points"
+    else:
+        raise ValueError("a move takes either x= and y= (points) or pdf= (uncertain)")
+    if target is not None and target != inferred:
+        raise ValueError(
+            f"target {target!r} contradicts the move arguments (which imply {inferred!r})"
+        )
+    return inferred
+
+
+def pick_mutation_database(point_db: Any, uncertain_db: Any, target: str | None) -> Any:
+    """The database a ``delete`` addresses, shared by both engines.
+
+    ``target`` picks explicitly; ``None`` resolves to the only database the
+    engine holds (ambiguous with both present).
+    """
+    if target is None:
+        if point_db is not None and uncertain_db is None:
+            target = "points"
+        elif uncertain_db is not None and point_db is None:
+            target = "uncertain"
+        else:
+            raise ValueError(
+                "the engine holds both databases; "
+                "pass target='points' or target='uncertain'"
+            )
+    elif target not in ("points", "uncertain"):
+        raise ValueError(f"unknown target database: {target!r}")
+    database = point_db if target == "points" else uncertain_db
+    if database is None:
+        noun = "point-object" if target == "points" else "uncertain-object"
+        raise RuntimeError(f"no {noun} database configured")
+    return database
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One mutation: an insert payload, a delete key, or a move key + position.
+
+    ``target`` disambiguates which database a ``delete``/``move`` refers to
+    when a session holds both; ``None`` lets the engine pick its only (or the
+    inferred) database.
+    """
+
+    action: UpdateAction
+    obj: Any = None
+    oid: int | None = None
+    x: float | None = None
+    y: float | None = None
+    pdf: Any = None
+    target: UpdateTarget | None = None
+
+
+class UpdateBatch:
+    """An ordered, append-only batch of live mutations.
+
+    Builder-style: each call appends one operation and returns the batch, so
+    streams read like the update log they model.  Application order is the
+    append order.
+    """
+
+    def __init__(self, ops: Iterator[UpdateOp] | list[UpdateOp] | None = None) -> None:
+        self._ops: list[UpdateOp] = list(ops) if ops is not None else []
+
+    def insert(self, obj: Any) -> "UpdateBatch":
+        """Queue an object insertion (a ``PointObject`` or ``UncertainObject``)."""
+        self._ops.append(UpdateOp(action="insert", obj=obj))
+        return self
+
+    def delete(self, oid: int, *, target: UpdateTarget | None = None) -> "UpdateBatch":
+        """Queue a deletion by object id."""
+        self._ops.append(UpdateOp(action="delete", oid=int(oid), target=target))
+        return self
+
+    def move(
+        self,
+        oid: int,
+        *,
+        x: float | None = None,
+        y: float | None = None,
+        pdf: Any = None,
+        target: UpdateTarget | None = None,
+    ) -> "UpdateBatch":
+        """Queue a relocation: ``x``/``y`` for a point object, ``pdf`` for an
+        uncertain one."""
+        resolve_move_target(x, y, pdf, target)
+        self._ops.append(
+            UpdateOp(action="move", oid=int(oid), x=x, y=y, pdf=pdf, target=target)
+        )
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        return iter(self._ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        counts: dict[str, int] = {}
+        for op in self._ops:
+            counts[op.action] = counts.get(op.action, 0) + 1
+        summary = ", ".join(f"{count} {action}" for action, count in counts.items())
+        return f"UpdateBatch({summary or 'empty'})"
+
+
+def apply_update_op(engine: Any, op: UpdateOp) -> None:
+    """Apply one operation through an engine's mutation surface.
+
+    Both :class:`~repro.core.engine.ImpreciseQueryEngine` and
+    :class:`~repro.core.parallel.ParallelEngine` expose the same
+    ``insert`` / ``delete`` / ``move`` methods; this helper is the single
+    translation from the declarative :class:`UpdateOp` to those calls.
+    """
+    if op.action == "insert":
+        engine.insert(op.obj)
+    elif op.action == "delete":
+        engine.delete(op.oid, target=op.target)
+    elif op.action == "move":
+        engine.move(op.oid, x=op.x, y=op.y, pdf=op.pdf, target=op.target)
+    else:  # pragma: no cover - UpdateOp constrains the action literal
+        raise ValueError(f"unknown update action: {op.action!r}")

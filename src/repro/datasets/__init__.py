@@ -29,7 +29,7 @@ from repro.datasets.partition import (
     median_assignments,
     partition_assignments,
 )
-from repro.datasets.workload import QueryWorkload
+from repro.datasets.workload import QueryWorkload, UpdateWorkload
 from repro.datasets.io import (
     save_point_objects,
     load_point_objects,
@@ -46,6 +46,7 @@ __all__ = [
     "california_points",
     "long_beach_uncertain_objects",
     "QueryWorkload",
+    "UpdateWorkload",
     "PARTITION_METHODS",
     "grid_assignments",
     "mbr_centers",

@@ -99,3 +99,69 @@ class QueryWorkload:
         from dataclasses import replace
 
         return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class UpdateWorkload:
+    """A reproducible stream of live mutations over a point collection.
+
+    Models the paper's motivating scenario — objects that keep *moving*
+    between location reports — as an :class:`~repro.core.updates.UpdateBatch`
+    of moves, arrivals (inserts) and departures (deletes) drawn uniformly
+    over the data space.  Deterministic for a given seed, so update-parity
+    tests and benchmarks replay the identical stream.
+
+    ``move_fraction`` + ``insert_fraction`` must not exceed 1; the remainder
+    of the stream is deletions.  The generator never deletes the last live
+    object and never reuses an oid, so every generated stream is valid
+    against any database seeded with the initial oids.
+    """
+
+    bounds: Rect = DATA_SPACE
+    move_fraction: float = 0.8
+    insert_fraction: float = 0.1
+    seed: int = 54321
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.move_fraction <= 1.0:
+            raise ValueError("move_fraction must lie in [0, 1]")
+        if not 0.0 <= self.insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must lie in [0, 1]")
+        if self.move_fraction + self.insert_fraction > 1.0:
+            raise ValueError("move_fraction + insert_fraction must not exceed 1")
+
+    def point_updates(self, initial_oids: Sequence[int], count: int):
+        """An :class:`UpdateBatch` of ``count`` mutations over point objects.
+
+        ``initial_oids`` are the oids live before the stream starts; fresh
+        inserts take oids above the largest seen.
+        """
+        from repro.core.updates import UpdateBatch
+        from repro.uncertainty.region import PointObject
+
+        if count <= 0:
+            raise ValueError("count must be positive")
+        live = list(initial_oids)
+        if not live:
+            raise ValueError("the update stream needs at least one live oid")
+        rng = np.random.default_rng(self.seed)
+        next_oid = max(live) + 1
+        batch = UpdateBatch()
+        for _ in range(count):
+            draw = float(rng.uniform())
+            x = float(rng.uniform(self.bounds.xmin, self.bounds.xmax))
+            y = float(rng.uniform(self.bounds.ymin, self.bounds.ymax))
+            if draw < self.move_fraction:
+                oid = live[int(rng.integers(0, len(live)))]
+                batch.move(oid, x=x, y=y)
+            elif draw < self.move_fraction + self.insert_fraction or len(live) == 1:
+                batch.insert(PointObject.at(next_oid, x, y))
+                live.append(next_oid)
+                next_oid += 1
+            else:
+                position = int(rng.integers(0, len(live)))
+                oid = live[position]
+                live[position] = live[-1]
+                live.pop()
+                batch.delete(oid, target="points")
+        return batch

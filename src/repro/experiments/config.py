@@ -81,6 +81,10 @@ class ExperimentConfig:
     shards: int = 0
     #: Worker processes for sharded execution (1 = serial in-process).
     shard_workers: int = 1
+    #: Re-split a shard in place once live inserts push it past this many
+    #: members (``0`` disables hot-shard re-splitting; only meaningful for
+    #: update-workload studies on sharded sessions).
+    shard_hot_threshold: int = 0
     defaults: PaperDefaults = field(default_factory=PaperDefaults)
 
     def __post_init__(self) -> None:
@@ -92,6 +96,8 @@ class ExperimentConfig:
             raise ValueError("shards must be >= 0 (0 disables sharding)")
         if self.shard_workers < 1:
             raise ValueError("shard_workers must be >= 1")
+        if self.shard_hot_threshold < 0:
+            raise ValueError("shard_hot_threshold must be >= 0 (0 disables re-splits)")
 
     @staticmethod
     def quick() -> "ExperimentConfig":
@@ -145,7 +151,11 @@ class ExperimentConfig:
         """
         if self.shards <= 0:
             return session
-        return session.sharded(self.shards, workers=self.shard_workers)
+        return session.sharded(
+            self.shards,
+            workers=self.shard_workers,
+            hot_threshold=self.shard_hot_threshold or None,
+        )
 
     def engine_config(self, **overrides):
         """An :class:`~repro.core.engine.EngineConfig` on the experiment's backend.

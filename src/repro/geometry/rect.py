@@ -95,20 +95,25 @@ class Rect:
             return Interval.empty()
         return Interval(self.ymin, self.ymax)
 
+    # The extent properties are the R-tree maintenance hot path (node splits
+    # evaluate them hundreds of thousands of times); they use direct
+    # arithmetic instead of delegating to Interval objects.
     @property
     def width(self) -> float:
         """Extent along the x axis (0 for empty rectangles)."""
-        return self.x_interval.length
+        return self.xmax - self.xmin if self.xmax >= self.xmin else 0.0
 
     @property
     def height(self) -> float:
         """Extent along the y axis (0 for empty rectangles)."""
-        return self.y_interval.length
+        return self.ymax - self.ymin if self.ymax >= self.ymin else 0.0
 
     @property
     def area(self) -> float:
         """Area of the rectangle (0 for empty or degenerate rectangles)."""
-        return self.width * self.height
+        if self.xmax <= self.xmin or self.ymax <= self.ymin:
+            return 0.0
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
 
     @property
     def half_perimeter(self) -> float:
@@ -227,8 +232,16 @@ class Rect:
         """Area increase needed to make this rectangle cover ``other``.
 
         This is the standard R-tree insertion heuristic (Guttman, 1984).
+        Computed arithmetically — no intermediate rectangle — because node
+        splits call this in a tight loop.
         """
-        return self.union_bounds(other).area - self.area
+        if other.is_empty:
+            return 0.0
+        if self.is_empty:
+            return other.area
+        width = max(self.xmax, other.xmax) - min(self.xmin, other.xmin)
+        height = max(self.ymax, other.ymax) - min(self.ymin, other.ymin)
+        return width * height - self.area
 
     def min_distance_to_point(self, point: Point) -> float:
         """Euclidean distance from ``point`` to the closest point of the rectangle."""

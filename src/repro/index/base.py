@@ -16,6 +16,11 @@ class SpatialIndex(Protocol):
     rectangle and answers window (range) queries: return every item whose MBR
     intersects the query rectangle.  Indexes expose an :class:`IOStatistics`
     object so callers can attribute page accesses to individual queries.
+
+    ``delete`` and ``update`` make the index maintainable under live object
+    streams; backends that cannot support them incrementally declare
+    ``supports_delete=False`` in their registry capabilities, and the
+    databases fall back to a full index rebuild per mutation instead.
     """
 
     @property
@@ -31,9 +36,37 @@ class SpatialIndex(Protocol):
         """Insert one item with the given bounding rectangle."""
         ...
 
+    def delete(self, mbr: Rect, item: Any) -> None:
+        """Remove one stored item, located by its bounding rectangle.
+
+        Raises ``KeyError`` when the item is not stored under ``mbr``.
+        """
+        ...
+
+    def update(
+        self, old_mbr: Rect, new_mbr: Rect, item: Any, *, replacement: Any = None
+    ) -> None:
+        """Move one stored item from ``old_mbr`` to ``new_mbr``.
+
+        ``replacement`` substitutes the stored payload (immutable object
+        wrappers are replaced, not mutated, when they move); it defaults to
+        re-inserting ``item`` itself.
+        """
+        ...
+
     def range_search(self, query: Rect) -> list[Any]:
         """Return all items whose MBR intersects ``query``."""
         ...
+
+
+def items_match(stored: Any, item: Any) -> bool:
+    """Whether a stored payload is *the* item a delete refers to.
+
+    Identity first (the usual case — databases pass the exact instance they
+    stored), falling back to equality so value-style items (tuples, frozen
+    dataclasses) can be removed by an equal copy.
+    """
+    return stored is item or stored == item
 
 
 def extract_mbr(item: Any) -> Rect:

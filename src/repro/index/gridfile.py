@@ -15,27 +15,41 @@ import math
 from typing import Any, Iterable
 
 from repro.geometry.rect import Rect
-from repro.index.base import extract_mbr
+from repro.index.base import extract_mbr, items_match
 from repro.index.iostats import IOStatistics
 
 
 class GridFile:
-    """A regular-grid index over a fixed data space."""
+    """A regular-grid index over a data space that can grow with the data.
+
+    The declared bounds are a starting point, not a contract: inserting an
+    MBR that sticks out of the current data space *extends* the space (the
+    grid re-registers every item over the enlarged cells) instead of the old
+    behaviour of silently clamping the item into edge cells, which left it
+    unreachable by in-bounds query windows.
+    """
 
     def __init__(self, bounds: Rect, cells_per_axis: int = 64) -> None:
         if bounds.is_empty or bounds.area == 0.0:
             raise ValueError("grid bounds must have positive area")
         if cells_per_axis <= 0:
             raise ValueError("cells_per_axis must be positive")
-        self._bounds = bounds
         self._n = cells_per_axis
-        self._cell_w = bounds.width / cells_per_axis
-        self._cell_h = bounds.height / cells_per_axis
-        self._cells: list[list[tuple[Rect, Any]]] = [
-            [] for _ in range(cells_per_axis * cells_per_axis)
-        ]
-        self._size = 0
         self._stats = IOStatistics()
+        #: Master copy of every stored ``(mbr, item)`` pair, in insertion
+        #: order — the source of truth the cells are (re)derived from.
+        self._entries: list[tuple[Rect, Any]] = []
+        self._set_bounds(bounds)
+
+    def _set_bounds(self, bounds: Rect) -> None:
+        self._bounds = bounds
+        self._cell_w = bounds.width / self._n
+        self._cell_h = bounds.height / self._n
+        self._cells: list[list[tuple[Rect, Any]]] = [
+            [] for _ in range(self._n * self._n)
+        ]
+        for mbr, item in self._entries:
+            self._register(mbr, item)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -56,7 +70,7 @@ class GridFile:
         return self._n
 
     def __len__(self) -> int:
-        return self._size
+        return len(self._entries)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -73,15 +87,52 @@ class GridFile:
         iy_hi = min(max(iy_hi, 0), self._n - 1)
         return ix_lo, ix_hi, iy_lo, iy_hi
 
-    def insert(self, mbr: Rect, item: Any) -> None:
-        """Register ``item`` in every grid cell its MBR overlaps."""
-        if mbr.is_empty:
-            raise ValueError("cannot index an empty rectangle")
+    def _register(self, mbr: Rect, item: Any) -> None:
+        """File one pair into every cell its MBR overlaps (bounds must cover it)."""
         ix_lo, ix_hi, iy_lo, iy_hi = self._cell_range(mbr)
         for iy in range(iy_lo, iy_hi + 1):
             for ix in range(ix_lo, ix_hi + 1):
                 self._cells[iy * self._n + ix].append((mbr, item))
-        self._size += 1
+
+    def insert(self, mbr: Rect, item: Any) -> None:
+        """Register ``item`` in every grid cell its MBR overlaps.
+
+        An MBR outside the current data space extends the space first (all
+        items re-register over the enlarged grid), so the item stays
+        reachable by any query window that overlaps it.
+        """
+        if mbr.is_empty:
+            raise ValueError("cannot index an empty rectangle")
+        if not self._bounds.contains_rect(mbr):
+            self._entries.append((mbr, item))
+            self._set_bounds(self._bounds.union_bounds(mbr))
+            return
+        self._entries.append((mbr, item))
+        self._register(mbr, item)
+
+    def delete(self, mbr: Rect, item: Any) -> None:
+        """Remove one stored item from the master list and every cell holding it."""
+        for position, (stored_mbr, stored) in enumerate(self._entries):
+            if stored_mbr == mbr and items_match(stored, item):
+                del self._entries[position]
+                break
+        else:
+            raise KeyError(f"item with MBR {mbr.as_tuple()} is not stored in this grid")
+        ix_lo, ix_hi, iy_lo, iy_hi = self._cell_range(mbr)
+        for iy in range(iy_lo, iy_hi + 1):
+            for ix in range(ix_lo, ix_hi + 1):
+                bucket = self._cells[iy * self._n + ix]
+                for slot, (stored_mbr, stored) in enumerate(bucket):
+                    if stored_mbr == mbr and items_match(stored, item):
+                        del bucket[slot]
+                        break
+
+    def update(
+        self, old_mbr: Rect, new_mbr: Rect, item: Any, *, replacement: Any = None
+    ) -> None:
+        """Move one stored item to ``new_mbr`` (optionally replacing the payload)."""
+        self.delete(old_mbr, item)
+        self.insert(new_mbr, replacement if replacement is not None else item)
 
     @classmethod
     def bulk_load(
@@ -102,12 +153,12 @@ class GridFile:
     def range_search(self, query: Rect) -> list[Any]:
         """Return every stored item whose MBR intersects ``query``."""
         results: list[Any] = []
-        if query.is_empty or self._size == 0:
+        if query.is_empty or not self._entries:
             return results
         window = query.intersect(self._bounds)
         if window.is_empty:
-            # Objects may legitimately live outside the declared bounds only
-            # if callers lied about the data space; nothing to do here.
+            # The bounds always cover every stored MBR (inserts extend them),
+            # so a query disjoint from the bounds cannot match anything.
             return results
         seen: set[int] = set()
         ix_lo, ix_hi, iy_lo, iy_hi = self._cell_range(window)

@@ -12,7 +12,7 @@ import math
 from typing import Any, Iterable
 
 from repro.geometry.rect import Rect
-from repro.index.base import extract_mbr
+from repro.index.base import extract_mbr, items_match
 from repro.index.iostats import IOStatistics
 from repro.index.rtree import DEFAULT_ENTRY_BYTES, DEFAULT_PAGE_BYTES
 
@@ -43,6 +43,21 @@ class LinearScanIndex:
         if mbr.is_empty:
             raise ValueError("cannot index an empty rectangle")
         self._entries.append((mbr, item))
+
+    def delete(self, mbr: Rect, item: Any) -> None:
+        """Remove the first stored entry matching ``(mbr, item)``."""
+        for position, (stored_mbr, stored) in enumerate(self._entries):
+            if stored_mbr == mbr and items_match(stored, item):
+                del self._entries[position]
+                return
+        raise KeyError(f"item with MBR {mbr.as_tuple()} is not stored in this index")
+
+    def update(
+        self, old_mbr: Rect, new_mbr: Rect, item: Any, *, replacement: Any = None
+    ) -> None:
+        """Move one stored item to ``new_mbr`` (optionally replacing the payload)."""
+        self.delete(old_mbr, item)
+        self.insert(new_mbr, replacement if replacement is not None else item)
 
     @classmethod
     def bulk_load(cls, items: Iterable[Any], **kwargs) -> "LinearScanIndex":

@@ -60,6 +60,19 @@ class ProbabilityThresholdIndex(RTree):
         self._require_catalog(item)
         super().insert(mbr, item)
 
+    def update(  # type: ignore[override]
+        self,
+        old_mbr: Rect,
+        new_mbr: Rect,
+        item: UncertainObject,
+        *,
+        replacement: UncertainObject | None = None,
+    ) -> None:
+        # Validate the incoming payload *before* the delete half runs, so a
+        # catalog-less replacement cannot drop the stored item on the floor.
+        self._require_catalog(replacement if replacement is not None else item)
+        super().update(old_mbr, new_mbr, item, replacement=replacement)
+
     @classmethod
     def bulk_load(  # type: ignore[override]
         cls, items: Iterable[UncertainObject], **kwargs

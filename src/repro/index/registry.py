@@ -50,6 +50,12 @@ class IndexCapabilities:
     #: time (e.g. the grid file); when the caller does not supply one, the
     #: registry computes it from the items' MBRs.
     requires_bounds: bool = False
+    #: The backend implements incremental ``delete``/``update`` (the
+    #: :class:`repro.index.base.SpatialIndex` maintenance surface).  Defaults
+    #: to ``False`` so third-party backends without a delete path get the
+    #: databases' rebuild fallback instead of an ``AttributeError`` mid
+    #: mutation; all four seed backends set it to ``True``.
+    supports_delete: bool = False
     #: The backend can be built independently per spatial shard (one index
     #: per partition, seeing only that partition's objects).  All four seed
     #: backends qualify; a backend whose construction needs global statistics
@@ -154,7 +160,9 @@ def _register_seed_backends() -> None:
     register_index(
         "rtree",
         RTree.bulk_load,
-        capabilities=IndexCapabilities(supports_points=True, supports_uncertain=True),
+        capabilities=IndexCapabilities(
+            supports_points=True, supports_uncertain=True, supports_delete=True
+        ),
         replace=True,
     )
     register_index(
@@ -164,6 +172,7 @@ def _register_seed_backends() -> None:
             supports_points=False,
             supports_uncertain=True,
             supports_probability_pruning=True,
+            supports_delete=True,
         ),
         replace=True,
     )
@@ -171,14 +180,19 @@ def _register_seed_backends() -> None:
         "grid",
         GridFile.bulk_load,
         capabilities=IndexCapabilities(
-            supports_points=True, supports_uncertain=True, requires_bounds=True
+            supports_points=True,
+            supports_uncertain=True,
+            requires_bounds=True,
+            supports_delete=True,
         ),
         replace=True,
     )
     register_index(
         "linear",
         LinearScanIndex.bulk_load,
-        capabilities=IndexCapabilities(supports_points=True, supports_uncertain=True),
+        capabilities=IndexCapabilities(
+            supports_points=True, supports_uncertain=True, supports_delete=True
+        ),
         replace=True,
     )
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.check_regression import compare
+from benchmarks.check_regression import compare, compare_updates
 
 
 def _result(batch_speedup: float, loop_qps: float) -> dict:
@@ -36,3 +36,32 @@ class TestCompare:
 
     def test_improvements_always_pass(self):
         assert compare(_result(3.0, 20_000.0), _result(1.7, 7_000.0), tolerance=0.0) == []
+
+
+class TestCompareUpdates:
+    def test_identical_results_pass(self):
+        baseline = {"incremental_speedup": 2.2}
+        assert compare_updates(baseline, baseline, tolerance=0.30) == []
+
+    def test_degradation_within_tolerance_passes(self):
+        assert (
+            compare_updates(
+                {"incremental_speedup": 1.6}, {"incremental_speedup": 2.2}, tolerance=0.30
+            )
+            == []
+        )
+
+    def test_incremental_speedup_regression_fails(self):
+        failures = compare_updates(
+            {"incremental_speedup": 1.0}, {"incremental_speedup": 2.2}, tolerance=0.30
+        )
+        assert len(failures) == 1
+        assert "incremental_speedup" in failures[0]
+
+    def test_improvements_always_pass(self):
+        assert (
+            compare_updates(
+                {"incremental_speedup": 9.0}, {"incremental_speedup": 2.2}, tolerance=0.0
+            )
+            == []
+        )

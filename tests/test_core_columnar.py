@@ -104,6 +104,15 @@ class TestColumnarUncertain:
         expected = [row for row, obj in enumerate(objects) if obj.region.overlaps(window)]
         assert snapshot.window_rows(window).tolist() == expected
 
+    def test_rows_for_names_the_foreign_oid(self):
+        """An object from a different database raises a descriptive ValueError."""
+        snapshot = ColumnarUncertain(_uncertain())
+        foreign = UncertainObject.uniform(
+            4_321, Rect.from_center(Point(100.0, 100.0), 10.0, 10.0)
+        )
+        with pytest.raises(ValueError, match="4321"):
+            snapshot.rows_for([foreign])
+
     def test_catalog_snapshot_homogeneous(self):
         objects = _uncertain(with_catalog=True)
         snapshot = ColumnarUncertain(objects)
@@ -143,6 +152,31 @@ class TestDatabaseSnapshotCaching:
         first_snapshot = first.columnar()
         rebuilt = PointDatabase.build(objects)
         assert rebuilt.columnar() is not first_snapshot
+
+    def test_mutator_invalidates_snapshot(self):
+        database = PointDatabase.build(_points())
+        stale = database.columnar()
+        database.insert(PointObject.at(4_000, 1_234.0, 2_345.0))
+        fresh = database.columnar()
+        assert fresh is not stale
+        assert 4_000 in fresh.oids
+        assert database.columnar() is fresh  # re-cached at the new epoch
+
+    def test_direct_objects_mutation_invalidates_snapshot(self):
+        """The historical staleness bug: append to ``db.objects``, query old data."""
+        database = PointDatabase.build(_points())
+        stale = database.columnar()
+        database.objects.append(PointObject.at(4_001, 111.0, 222.0))
+        fresh = database.columnar()
+        assert fresh is not stale
+        assert 4_001 in fresh.oids
+
+    def test_uncertain_mutator_invalidates_snapshot(self):
+        database = UncertainDatabase.build(_uncertain(), index_kind="rtree")
+        stale = database.columnar()
+        database.delete(database.objects[0].oid)
+        assert database.columnar() is not stale
+        assert len(database.columnar()) == len(stale) - 1
 
 
 class TestBatchedPdfApi:

@@ -11,14 +11,21 @@ from repro.core.engine import (
     UncertainDatabase,
 )
 from repro.core.pruning import PruningStrategy
-from repro.core.queries import ImpreciseRangeQuery
+from repro.core.queries import (
+    ImpreciseRangeQuery,
+    NearestNeighborQuery,
+    RangeQuery,
+    RangeQuerySpec,
+)
+from repro.core.updates import UpdateBatch
 from repro.datasets.workload import QueryWorkload
+from repro.geometry.point import Point
 from repro.index.gridfile import GridFile
 from repro.index.linear import LinearScanIndex
 from repro.index.pti import ProbabilityThresholdIndex
 from repro.index.rtree import RTree
-from repro.uncertainty.pdf import TruncatedGaussianPdf
-from repro.uncertainty.region import UncertainObject
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.region import PointObject, UncertainObject
 
 from tests.conftest import TEST_SPACE
 
@@ -252,3 +259,99 @@ class TestWorkloadIntegration:
             uncertain_result, _ = engine.evaluate_ciuq(query.issuer, query.spec, query.threshold)
             assert all(a.probability >= query.threshold for a in point_result)
             assert all(a.probability >= query.threshold for a in uncertain_result)
+
+
+class TestLiveMutationVisibility:
+    """Regression tests: mutate then query must never serve stale answers.
+
+    The historical bug: the databases cached their columnar snapshot forever,
+    so any mutation of ``.objects`` after ``columnar()`` had been built was
+    invisible to every subsequent vectorized query.
+    """
+
+    def _engine(self, index_kind="rtree", **overrides):
+        objects = [
+            PointObject.at(1, 4_900.0, 4_900.0),
+            PointObject.at(2, 9_500.0, 9_500.0),
+        ]
+        database = PointDatabase.build(objects, index_kind=index_kind)
+        config = EngineConfig().with_overrides(**overrides)
+        return ImpreciseQueryEngine(point_db=database, config=config)
+
+    def _query(self, uniform_issuer):
+        return RangeQuery.ipq(uniform_issuer, RangeQuerySpec.square(500.0))
+
+    @pytest.mark.parametrize("index_kind", ["rtree", "grid", "linear"])
+    def test_insert_is_visible_to_the_next_batch(self, uniform_issuer, index_kind):
+        engine = self._engine(index_kind)
+        query = self._query(uniform_issuer)
+        before = engine.evaluate_many([query])[0]
+        assert before.result.oids() == {1}
+        engine.insert(PointObject.at(3, 5_050.0, 5_050.0))
+        after = engine.evaluate_many([query])[0]
+        assert after.result.oids() == {1, 3}
+
+    @pytest.mark.parametrize("index_kind", ["rtree", "grid", "linear"])
+    def test_delete_and_move_are_visible(self, uniform_issuer, index_kind):
+        engine = self._engine(index_kind)
+        query = self._query(uniform_issuer)
+        engine.delete(1)
+        assert engine.evaluate_many([query])[0].result.oids() == set()
+        engine.move(2, x=5_000.0, y=5_100.0)
+        assert engine.evaluate_many([query])[0].result.oids() == {2}
+
+    def test_direct_objects_append_is_visible(self, uniform_issuer):
+        """Even out-of-band list mutation cannot leave the snapshot stale."""
+        engine = self._engine()
+        query = self._query(uniform_issuer)
+        database = engine.point_db
+        assert engine.evaluate_many([query])[0].result.oids() == {1}
+        new = PointObject.at(4, 5_020.0, 4_980.0)
+        database.objects.append(new)
+        database.index.insert(new.mbr, new)
+        assert engine.evaluate_many([query])[0].result.oids() == {1, 4}
+
+    def test_scalar_backend_sees_mutations_too(self, uniform_issuer):
+        engine = self._engine(vectorized=False)
+        query = self._query(uniform_issuer)
+        engine.insert(PointObject.at(3, 5_050.0, 5_050.0))
+        assert engine.evaluate_many([query])[0].result.oids() == {1, 3}
+
+    def test_nearest_sampler_rebuilt_after_mutation(self, uniform_issuer):
+        engine = self._engine()
+        nn = NearestNeighborQuery(issuer=uniform_issuer, samples=16)
+        assert engine.evaluate(nn).result.oids() == {1}
+        engine.move(2, x=5_000.0, y=5_000.0)
+        engine.delete(1)
+        assert engine.evaluate(nn).result.oids() == {2}
+
+    def test_uncertain_mutations_visible(self, uniform_issuer):
+        objects = [
+            UncertainObject.uniform(
+                1, Rect.from_center(Point(5_000.0, 5_000.0), 100.0, 100.0)
+            )
+        ]
+        database = UncertainDatabase.build(objects)
+        engine = ImpreciseQueryEngine(uncertain_db=database)
+        query = RangeQuery.iuq(uniform_issuer, RangeQuerySpec.square(500.0))
+        assert engine.evaluate_many([query])[0].result.oids() == {1}
+        engine.move(1, pdf=UniformPdf(Rect.from_center(Point(9_000.0, 9_000.0), 100.0, 100.0)))
+        assert engine.evaluate_many([query])[0].result.oids() == set()
+
+    def test_interleaved_update_batch_applies_in_stream_order(self, uniform_issuer):
+        engine = self._engine()
+        query = self._query(uniform_issuer)
+        batch = UpdateBatch().insert(PointObject.at(3, 5_050.0, 5_050.0)).delete(1)
+        evaluations = engine.evaluate_many([query, batch, query])
+        assert evaluations[0].result.oids() == {1}
+        assert evaluations[1].result.oids() == {3}
+
+    def test_duplicate_oid_rejected(self):
+        engine = self._engine()
+        with pytest.raises(ValueError, match="already stored"):
+            engine.insert(PointObject.at(1, 0.0, 0.0))
+
+    def test_missing_oid_raises_key_error(self):
+        engine = self._engine()
+        with pytest.raises(KeyError, match="999"):
+            engine.delete(999)

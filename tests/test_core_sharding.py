@@ -197,3 +197,127 @@ class TestRoutingThroughTheEngine:
         nearby = _issuer(200.0, 200.0, half=100.0)
         evaluation = engine.evaluate(RangeQuery.ipq(nearby, RangeQuerySpec.square(400.0)))
         assert len(evaluation) > 0
+
+
+class TestLiveMutation:
+    def _points_db(self, n=200, k=4, **kwargs):
+        return ShardedDatabase.build_points(
+            uniform_points(n, TEST_SPACE, seed=8), k, **kwargs
+        )
+
+    def test_insert_routes_to_nearest_cover_and_grows_it(self):
+        database = self._points_db()
+        stored = database.insert(PointObject.at(7_001, 123.0, 456.0))
+        owner = database.owner_of(7_001)
+        assert owner.cover.contains_rect(stored.mbr)
+        assert len(database) == 201
+        assert any(obj.oid == 7_001 for obj in database.objects)
+
+    def test_insert_duplicate_oid_rejected(self):
+        database = self._points_db()
+        existing = database.objects[0].oid
+        with pytest.raises(ValueError, match="already stored"):
+            database.insert(PointObject.at(existing, 1.0, 1.0))
+
+    def test_delete_maintains_only_the_owning_shard(self):
+        database = self._points_db()
+        victim = database.objects[10].oid
+        owner = database.owner_of(victim)
+        untouched = [s for s in database.non_empty_shards() if s.sid != owner.sid]
+        before = [(s.sid, len(s), s.cover) for s in untouched]
+        database.delete(victim)
+        assert [(s.sid, len(s), s.cover) for s in untouched] == before
+        with pytest.raises(KeyError):
+            database.owner_of(victim)
+        assert len(database) == 199
+
+    def test_deleting_every_member_empties_the_shard(self):
+        database = self._points_db(n=60, k=4)
+        shard = min(database.non_empty_shards(), key=len)
+        for obj in list(shard.database.objects):
+            database.delete(obj.oid)
+        assert shard.is_empty
+        assert shard.cover.is_empty
+        assert shard.anchor is None
+        # Routing skips it without blowing up.
+        assert shard not in database.route_window(TEST_SPACE)
+
+    def test_move_within_shard_updates_cover_and_anchor(self):
+        database = self._points_db()
+        shard = max(database.non_empty_shards(), key=len)
+        obj = shard.database.objects[0]
+        moved = database.move(obj.oid, x=obj.x + 5.0, y=obj.y + 5.0)
+        owner = database.owner_of(obj.oid)
+        assert owner.cover.contains_rect(moved.mbr)
+        members = list(owner.database.objects)
+        assert any(member.location == owner.anchor for member in members)
+
+    def test_move_across_shards_re_homes_the_object(self):
+        database = self._points_db()
+        # Pick an object and send it to the far corner of another shard.
+        obj = database.objects[0]
+        source = database.owner_of(obj.oid)
+        target_corner = None
+        for shard in database.non_empty_shards():
+            if shard.sid != source.sid:
+                target_corner = shard.cover.center
+                break
+        assert target_corner is not None
+        moved = database.move(obj.oid, x=target_corner.x, y=target_corner.y)
+        owner = database.owner_of(obj.oid)
+        assert owner.cover.contains_rect(moved.mbr)
+        assert len(database) == 200
+        total = sum(len(s) for s in database.non_empty_shards())
+        assert total == 200
+
+    def test_uncertain_insert_attaches_catalog(self):
+        objects = [
+            UncertainObject.uniform(
+                i, Rect.from_center(Point(100.0 + i * 40.0, 100.0 + i * 30.0), 30.0, 20.0)
+            )
+            for i in range(40)
+        ]
+        database = ShardedDatabase.build_uncertain(objects, 2)
+        stored = database.insert(
+            UncertainObject.uniform(900, Rect.from_center(Point(500.0, 400.0), 25.0, 25.0))
+        )
+        assert stored.catalog is not None
+        owner = database.owner_of(900)
+        owner.database.index.check_augmentation()
+
+    def test_hot_threshold_resplit_keeps_shards_bounded(self):
+        database = self._points_db(n=100, k=2, hot_threshold=80)
+        k_before = database.k
+        for offset in range(120):
+            database.insert(
+                PointObject.at(8_000 + offset, 5_000.0 + offset, 5_000.0 + offset * 0.5)
+            )
+        assert database.k > k_before
+        assert max(len(s) for s in database.non_empty_shards()) <= 80
+        # Shard map and global list stay consistent through re-splits.
+        assert sorted(obj.oid for obj in database.objects) == sorted(
+            obj.oid for s in database.non_empty_shards() for obj in s.database.objects
+        )
+        for shard in database.non_empty_shards():
+            assert shard is database.owner_of(shard.database.objects[0].oid)
+
+    def test_hot_threshold_validation(self):
+        with pytest.raises(ValueError, match="hot_threshold"):
+            self._points_db(hot_threshold=1)
+
+    def test_move_argument_validation(self):
+        database = self._points_db()
+        oid = database.objects[0].oid
+        with pytest.raises(ValueError, match="x= and y="):
+            database.move(oid, pdf=UniformPdf(Rect(0.0, 0.0, 10.0, 10.0)))
+
+    def test_drained_database_accepts_inserts_again(self):
+        database = self._points_db(n=20, k=2)
+        for oid in [obj.oid for obj in list(database.objects)]:
+            database.delete(oid)
+        assert len(database) == 0
+        stored = database.insert(PointObject.at(500, 123.0, 456.0))
+        assert len(database) == 1
+        owner = database.owner_of(500)
+        assert owner.cover.contains_rect(stored.mbr)
+        assert database.route_window(Rect(100.0, 400.0, 200.0, 500.0)) == [owner]

@@ -71,6 +71,32 @@ class TestQueries:
         results = grid.range_search(Rect(0.0, 0.0, 1000.0, 1000.0))
         assert results == ["big"]
 
+    def test_out_of_bounds_insert_round_trip(self):
+        """Regression: an MBR outside the declared bounds used to be clamped
+        into edge cells, making it unreachable by in-bounds query windows."""
+        grid = GridFile(SPACE, cells_per_axis=10)
+        grid.insert(Rect(100.0, 100.0, 120.0, 120.0), "inside")
+        outside = Rect(5_000.0, 5_000.0, 5_050.0, 5_050.0)
+        grid.insert(outside, "outside")
+        assert grid.bounds.contains_rect(outside)  # the data space extended
+        assert grid.range_search(Rect(5_010.0, 5_010.0, 5_020.0, 5_020.0)) == ["outside"]
+        assert set(grid.range_search(grid.bounds)) == {"inside", "outside"}
+        # The original members survived the re-registration unchanged.
+        assert grid.range_search(Rect(90.0, 90.0, 130.0, 130.0)) == ["inside"]
+
+    def test_delete_and_update_round_trip(self):
+        grid = GridFile(SPACE, cells_per_axis=10)
+        spanning = Rect(50.0, 50.0, 650.0, 650.0)
+        grid.insert(spanning, "a")
+        grid.insert(Rect(700.0, 700.0, 720.0, 720.0), "b")
+        grid.delete(spanning, "a")
+        assert grid.range_search(SPACE) == ["b"]
+        assert len(grid) == 1
+        grid.update(Rect(700.0, 700.0, 720.0, 720.0), Rect(10.0, 10.0, 20.0, 20.0), "b")
+        assert grid.range_search(Rect(0.0, 0.0, 30.0, 30.0)) == ["b"]
+        with pytest.raises(KeyError):
+            grid.delete(spanning, "a")
+
     def test_bucket_access_counting(self, grid):
         index, _ = grid
         index.stats.reset()

@@ -41,6 +41,13 @@ class TestSeedBackends:
         assert get_index_backend("grid").capabilities.requires_bounds
         assert not get_index_backend("linear").capabilities.requires_bounds
 
+    def test_all_seed_backends_support_delete(self):
+        for name in ("rtree", "pti", "grid", "linear"):
+            assert get_index_backend(name).capabilities.supports_delete, name
+
+    def test_supports_delete_defaults_to_false_for_third_parties(self):
+        assert not IndexCapabilities().supports_delete
+
     def test_build_index_resolves_each_backend(self, points, small_uncertain):
         assert isinstance(build_index(points, "rtree"), RTree)
         assert isinstance(build_index(points, "grid"), GridFile)

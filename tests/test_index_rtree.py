@@ -211,3 +211,69 @@ class TestNearestNeighbors:
     def test_empty_tree_returns_nothing(self):
         tree = RTree(max_entries=4)
         assert tree.nearest_neighbors(Point(0.0, 0.0), k=3) == []
+
+
+class TestDeletion:
+    def test_delete_removes_exactly_one_item(self):
+        pairs = _random_rects(120, seed=9)
+        tree = RTree(max_entries=4)
+        for rect, i in pairs:
+            tree.insert(rect, i)
+        rect, victim = pairs[37]
+        tree.delete(rect, victim)
+        assert len(tree) == 119
+        query = Rect(0.0, 0.0, 1_000.0, 1_000.0)
+        assert set(tree.range_search(query)) == _brute_force(pairs, query) - {victim}
+        tree.check_invariants()
+
+    def test_delete_unknown_item_raises(self):
+        tree = RTree(max_entries=4)
+        tree.insert(Rect(0.0, 0.0, 10.0, 10.0), "a")
+        with pytest.raises(KeyError):
+            tree.delete(Rect(0.0, 0.0, 10.0, 10.0), "b")
+        with pytest.raises(KeyError):
+            tree.delete(Rect(5.0, 5.0, 6.0, 6.0), "a")
+
+    def test_delete_from_bulk_loaded_tree(self):
+        pairs = _random_rects(200, seed=13)
+        items = [PointObject.at(i, rect.center.x, rect.center.y) for rect, i in pairs]
+        tree = RTree.bulk_load(items, max_entries=8)
+        for item in items[:100]:
+            tree.delete(item.mbr, item)
+            tree.check_invariants()
+        survivors = {item.oid for item in tree.range_search(Rect(0.0, 0.0, 2_000.0, 2_000.0))}
+        assert survivors == {item.oid for item in items[100:]}
+
+    def test_delete_shrinks_height(self):
+        pairs = _random_rects(300, seed=17)
+        tree = RTree(max_entries=4)
+        for rect, i in pairs:
+            tree.insert(rect, i)
+        tall = tree.height
+        for rect, i in pairs[:295]:
+            tree.delete(rect, i)
+        tree.check_invariants()
+        assert tree.height < tall
+        assert len(tree) == 5
+
+    def test_update_relocates_item(self):
+        pairs = _random_rects(60, seed=21)
+        tree = RTree(max_entries=4)
+        for rect, i in pairs:
+            tree.insert(rect, i)
+        rect, item = pairs[11]
+        destination = Rect(2_000.0, 2_000.0, 2_010.0, 2_010.0)
+        tree.update(rect, destination, item)
+        tree.check_invariants()
+        assert len(tree) == 60
+        assert item in tree.range_search(Rect(1_990.0, 1_990.0, 2_020.0, 2_020.0))
+        assert item not in tree.range_search(rect)
+
+    def test_update_with_replacement_payload(self):
+        tree = RTree(max_entries=4)
+        old = PointObject.at(1, 10.0, 10.0)
+        tree.insert(old.mbr, old)
+        new = PointObject.at(1, 500.0, 500.0)
+        tree.update(old.mbr, new.mbr, old, replacement=new)
+        (found,) = tree.range_search(Rect(499.0, 499.0, 501.0, 501.0))
+        assert found is new

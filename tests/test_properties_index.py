@@ -80,3 +80,65 @@ class TestIndexEquivalence:
         for i, rect in enumerate(rects):
             tree.insert(rect, i)
         tree.check_invariants()
+
+
+class TestInterleavedMaintenance:
+    """Structural invariants and scan equivalence under insert/delete streams."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(rect_lists(), st.randoms(use_true_random=False), queries())
+    def test_rtree_invariants_hold_under_interleaved_insert_delete(
+        self, rects, random, query
+    ):
+        tree = RTree(max_entries=4)
+        live: dict[int, Rect] = {}
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+            live[i] = rect
+            # Randomly interleave deletions (possibly of the item just added).
+            if live and random.random() < 0.4:
+                victim = random.choice(sorted(live))
+                tree.delete(live.pop(victim), victim)
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == len(live)
+        expected = {i for i, rect in live.items() if rect.overlaps(query)}
+        assert set(tree.range_search(query)) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(rect_lists(), st.randoms(use_true_random=False))
+    def test_rtree_empties_and_refills_cleanly(self, rects, random):
+        tree = RTree(max_entries=4)
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        order = list(enumerate(rects))
+        random.shuffle(order)
+        for i, rect in order:
+            tree.delete(rect, i)
+        tree.check_invariants()
+        assert len(tree) == 0
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+        tree.check_invariants()
+        assert len(tree) == len(rects)
+
+    @settings(max_examples=30, deadline=None)
+    @given(rect_lists(), st.randoms(use_true_random=False), queries())
+    def test_gridfile_and_linear_match_brute_force_after_deletes(
+        self, rects, random, query
+    ):
+        bounds = Rect(0.0, 0.0, 1_200.0, 1_200.0)
+        grid = GridFile(bounds, cells_per_axis=8)
+        linear = LinearScanIndex()
+        live: dict[int, Rect] = {}
+        for i, rect in enumerate(rects):
+            grid.insert(rect, i)
+            linear.insert(rect, i)
+            live[i] = rect
+        for victim in random.sample(sorted(live), k=len(live) // 2):
+            grid.delete(live[victim], victim)
+            linear.delete(live[victim], victim)
+            del live[victim]
+        expected = {i for i, rect in live.items() if rect.overlaps(query)}
+        assert set(grid.range_search(query)) == expected
+        assert set(linear.range_search(query)) == expected
