@@ -1,0 +1,191 @@
+"""Benchmark: the epoch-keyed result cache under a repeated-query serving load.
+
+Serving workloads repeat themselves — the same issuers ask the same
+questions again and again (popular places, periodic refreshes).  This
+benchmark replays that pattern as ``rounds`` rounds over a fixed pool of
+distinct queries (IPQ / C-IPQ over the California-like points, C-IUQ over
+the Long-Beach-like uncertain objects, with both closed-form uniform and
+Monte-Carlo Gaussian issuers) and measures the staged pipeline with and
+without a :class:`~repro.core.cache.ResultCache`:
+
+* ``steady`` — no mutations: after the first round every lookup is a cache
+  hit.  Its ``cache_speedup`` (uncached total over cached total, a ratio of
+  two timings on the same machine) is the headline metric guarded by
+  ``benchmarks/check_regression.py``.
+* ``with_updates`` — each round first applies a small batch of point moves,
+  invalidating exactly the entries whose database epoch moved: the cache
+  keeps serving the uncertain-target answers (their epoch is untouched)
+  while recomputing the point-target ones.
+
+Both flavours run under ``draw_plan="query_keyed"`` so sampled answers are
+cacheable, and both assert the cached answers are **bitwise identical** to
+the uncached engine's before anything is reported.
+
+Results go to ``BENCH_cache.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (dataset scale, default 0.25),
+``REPRO_BENCH_QUERIES`` (distinct queries in the pool, default 40),
+``REPRO_BENCH_ROUNDS`` (serving rounds, default 25),
+``REPRO_BENCH_UPDATES`` (point moves per round in the update flavour,
+default 5) and ``REPRO_BENCH_REPEATS`` (timing repetitions, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.cache import ResultCache
+from repro.core.engine import (
+    EngineConfig,
+    ImpreciseQueryEngine,
+    PointDatabase,
+    UncertainDatabase,
+)
+from repro.core.queries import RangeQuery, RangeQuerySpec
+from repro.core.updates import UpdateBatch
+from repro.datasets.tiger import california_points, long_beach_uncertain_objects
+from repro.datasets.workload import QueryWorkload
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def _query_pool(count: int) -> list[RangeQuery]:
+    """``count`` distinct queries mixing targets, thresholds and pdf routes."""
+    spec = RangeQuerySpec.square(300.0)
+    uniform = QueryWorkload(
+        issuer_half_size=250.0, range_half_size=300.0, issuer_pdf="uniform", seed=4117
+    )
+    gaussian = QueryWorkload(
+        issuer_half_size=250.0, range_half_size=300.0, issuer_pdf="gaussian", seed=4229
+    )
+    uniform_issuers = list(uniform.issuers(count))
+    gaussian_issuers = list(gaussian.issuers(count))
+    pool: list[RangeQuery] = []
+    for position in range(count):
+        flavour = position % 4
+        if flavour == 0:
+            pool.append(RangeQuery.ipq(uniform_issuers[position], spec))
+        elif flavour == 1:
+            pool.append(RangeQuery.cipq(gaussian_issuers[position], spec, 0.3))
+        elif flavour == 2:
+            pool.append(RangeQuery.ciuq(uniform_issuers[position], spec, 0.4))
+        else:
+            pool.append(RangeQuery.ciuq(gaussian_issuers[position], spec, 0.4))
+    return pool
+
+
+def _move_batches(points, rounds: int, per_round: int) -> list[UpdateBatch]:
+    """Deterministic small move batches cycling through the point objects."""
+    batches = []
+    cursor = 0
+    for round_index in range(rounds):
+        batch = UpdateBatch()
+        for _ in range(per_round):
+            obj = points[cursor % len(points)]
+            dx = 13.0 * ((round_index % 7) - 3)
+            dy = 11.0 * ((cursor % 5) - 2)
+            batch.move(obj.oid, x=obj.location.x + dx, y=obj.location.y + dy)
+            cursor += 1
+        batches.append(batch)
+    return batches
+
+
+def _build_engine(points, uncertain, cache: ResultCache | None) -> ImpreciseQueryEngine:
+    config = EngineConfig(draw_plan="query_keyed", cache=cache)
+    return ImpreciseQueryEngine(
+        point_db=PointDatabase.build(points),
+        uncertain_db=UncertainDatabase.build(uncertain),
+        config=config,
+    )
+
+
+def _serve(engine: ImpreciseQueryEngine, rounds, pool, update_batches) -> tuple[float, list]:
+    """Replay the serving pattern; returns (seconds, per-query answer dicts)."""
+    answers = []
+    started = time.perf_counter()
+    for round_index in range(rounds):
+        if update_batches is not None:
+            engine.apply_updates(update_batches[round_index])
+        for evaluation in engine.evaluate_many(pool):
+            answers.append(evaluation.probabilities())
+    return time.perf_counter() - started, answers
+
+
+def _measure(points, uncertain, rounds, pool, update_batches, repeats):
+    best_uncached = float("inf")
+    best_cached = float("inf")
+    hit_rate = 0.0
+    entries = 0
+    for _ in range(repeats):
+        uncached_seconds, expected = _serve(
+            _build_engine(points, uncertain, None), rounds, pool, update_batches
+        )
+        cache = ResultCache(capacity=4 * len(pool))
+        cached_seconds, actual = _serve(
+            _build_engine(points, uncertain, cache), rounds, pool, update_batches
+        )
+        assert actual == expected, (
+            "cached serving diverged from the uncached engine"
+        )
+        best_uncached = min(best_uncached, uncached_seconds)
+        best_cached = min(best_cached, cached_seconds)
+        hit_rate = cache.stats.hit_rate
+        entries = len(cache)
+    total_queries = rounds * len(pool)
+    return {
+        "uncached_seconds": best_uncached,
+        "cached_seconds": best_cached,
+        "cache_speedup": best_uncached / best_cached,
+        "hit_rate": hit_rate,
+        "cache_entries": entries,
+        "uncached_queries_per_second": total_queries / best_uncached,
+        "cached_queries_per_second": total_queries / best_cached,
+    }
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    pool_size = int(os.environ.get("REPRO_BENCH_QUERIES", "40"))
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "25"))
+    moves_per_round = int(os.environ.get("REPRO_BENCH_UPDATES", "5"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+    points = california_points(scale=scale)
+    uncertain = long_beach_uncertain_objects(scale=scale)
+    pool = _query_pool(pool_size)
+
+    steady = _measure(points, uncertain, rounds, pool, None, repeats)
+    with_updates = _measure(
+        points,
+        uncertain,
+        rounds,
+        pool,
+        _move_batches(points, rounds, moves_per_round),
+        repeats,
+    )
+
+    report = {
+        "benchmark": "cache",
+        "dataset_scale": scale,
+        "points": len(points),
+        "uncertain": len(uncertain),
+        "distinct_queries": pool_size,
+        "rounds": rounds,
+        "moves_per_round": moves_per_round,
+        "repeats": repeats,
+        "steady": steady,
+        "with_updates": with_updates,
+        "cache_speedup": steady["cache_speedup"],
+        "hit_rate": steady["hit_rate"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,10 @@ timings on the same machine*, so it transfers across hardware:
 * ``BENCH_updates.json`` / ``incremental_speedup`` — live incremental
   updates over the rebuild-per-round strategy.  A drop means incremental
   maintenance (index delete/update, epoch-gated snapshots) lost its edge.
+* ``BENCH_cache.json`` / ``cache_speedup`` — the epoch-keyed result cache
+  over uncached evaluation on a repeated-query serving workload.  A drop
+  means the pipeline's cache stage stopped short-circuiting repeats (or
+  got slow enough to matter).
 
 The benchmark scripts overwrite the committed files in place, so baselines
 default to the checked-in versions (``git show HEAD:<file>``); pass
@@ -40,6 +44,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FRESH_PATH = REPO_ROOT / "BENCH_api_batch.json"
 FRESH_UPDATES_PATH = REPO_ROOT / "BENCH_updates.json"
+FRESH_CACHE_PATH = REPO_ROOT / "BENCH_cache.json"
 DEFAULT_TOLERANCE = 0.30
 
 
@@ -110,6 +115,19 @@ def compare_updates(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def compare_cache(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the result-cache metrics."""
+    failures: list[str] = []
+    _guard(
+        failures,
+        "cache_speedup",
+        float(fresh["cache_speedup"]),
+        float(baseline["cache_speedup"]),
+        tolerance,
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default=str(FRESH_PATH), help="freshly produced result file")
@@ -125,6 +143,16 @@ def main(argv: list[str] | None = None) -> int:
         "--updates-baseline",
         default=None,
         help="updates baseline file (default: HEAD's committed copy)",
+    )
+    parser.add_argument(
+        "--cache-fresh",
+        default=str(FRESH_CACHE_PATH),
+        help="freshly produced cache result file",
+    )
+    parser.add_argument(
+        "--cache-baseline",
+        default=None,
+        help="cache baseline file (default: HEAD's committed copy)",
     )
     parser.add_argument(
         "--tolerance",
@@ -158,6 +186,20 @@ def main(argv: list[str] | None = None) -> int:
         summaries.append(
             f"incremental_speedup {updates_fresh['incremental_speedup']:.3f} "
             f"(baseline {updates_baseline['incremental_speedup']:.3f})"
+        )
+
+    cache_fresh_path = Path(args.cache_fresh)
+    cache_baseline = load_baseline(args.cache_baseline, "BENCH_cache.json")
+    if not cache_fresh_path.exists():
+        print("cache guard skipped: no fresh BENCH_cache.json")
+    elif cache_baseline is None:
+        print("cache guard skipped: no committed BENCH_cache.json baseline")
+    else:
+        cache_fresh = json.loads(cache_fresh_path.read_text())
+        failures.extend(compare_cache(cache_fresh, cache_baseline, args.tolerance))
+        summaries.append(
+            f"cache_speedup {cache_fresh['cache_speedup']:.3f} "
+            f"(baseline {cache_baseline['cache_speedup']:.3f})"
         )
 
     if failures:

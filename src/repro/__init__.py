@@ -46,7 +46,9 @@ from repro.core import (
     ImpreciseQueryEngine,
     PointDatabase,
     UncertainDatabase,
+    ResultCache,
     Session,
+    SessionStats,
     BasicEvaluator,
     ImpreciseNearestNeighborEngine,
     ParallelEngine,
@@ -65,7 +67,7 @@ from repro.index import (
     register_index,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Point",
@@ -89,7 +91,9 @@ __all__ = [
     "ImpreciseQueryEngine",
     "PointDatabase",
     "UncertainDatabase",
+    "ResultCache",
     "Session",
+    "SessionStats",
     "BasicEvaluator",
     "ImpreciseNearestNeighborEngine",
     "ParallelEngine",

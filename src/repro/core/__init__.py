@@ -10,8 +10,17 @@ The package is organised around the paper's structure:
 * :mod:`repro.core.duality` — query–data duality probability computation
   (Section 4.2, Lemmas 2–4).
 * :mod:`repro.core.pruning` — threshold pruning strategies (Section 5.2).
-* :mod:`repro.core.engine` — the end-to-end engines combining an index, the
-  filters and the probability computations (Sections 4.3 and 5.3).
+* :mod:`repro.core.database` — live point / uncertain databases with epoch
+  counters that invalidate every derived cache.
+* :mod:`repro.core.plan` — per-query execution plans (candidate window,
+  index probe, pruner, draw-plan slot, cache key).
+* :mod:`repro.core.pipeline` — the staged
+  plan → cache? → candidates → prune → evaluate → merge runner shared by
+  the serial engine, per-shard execution and the parallel worker loop.
+* :mod:`repro.core.cache` — the epoch-keyed LRU result cache consulted and
+  filled by the pipeline in every engine.
+* :mod:`repro.core.engine` — the serial engine front over the pipeline
+  (Sections 4.3 and 5.3).
 * :mod:`repro.core.columnar` — columnar database snapshots backing the
   vectorized (NumPy) evaluation paths.
 * :mod:`repro.core.nearest` — imprecise nearest-neighbour extension
@@ -64,13 +73,15 @@ from repro.core.basic import (
 )
 from repro.core.pruning import CIPQPruner, CIUQPruner, PruneDecision, PruningStrategy
 from repro.core.statistics import EvaluationStatistics, aggregate_statistics
+from repro.core.cache import CachedAnswer, CacheStats, ResultCache
+from repro.core.database import PointDatabase, UncertainDatabase
 from repro.core.engine import (
-    PointDatabase,
-    UncertainDatabase,
     ImpreciseQueryEngine,
     EngineConfig,
 )
 from repro.core.nearest import ImpreciseNearestNeighborEngine
+from repro.core.plan import QueryPlan, plan_query, query_fingerprint
+from repro.core.pipeline import QueryPipeline
 from repro.core.sharding import Shard, ShardedDatabase
 from repro.core.updates import UpdateBatch, UpdateOp
 from repro.core.parallel import ParallelEngine, ParallelEvaluation, ShardTiming
@@ -78,6 +89,7 @@ from repro.core.session import (
     NearestNeighborQueryBuilder,
     RangeQueryBuilder,
     Session,
+    SessionStats,
 )
 from repro.core.quality import (
     expected_cardinality,
@@ -131,6 +143,14 @@ __all__ = [
     "ImpreciseQueryEngine",
     "EngineConfig",
     "ImpreciseNearestNeighborEngine",
+    "CachedAnswer",
+    "CacheStats",
+    "ResultCache",
+    "QueryPlan",
+    "QueryPipeline",
+    "plan_query",
+    "query_fingerprint",
+    "SessionStats",
     "Shard",
     "ShardedDatabase",
     "UpdateBatch",

@@ -1,0 +1,456 @@
+"""Live object databases: collections plus the spatial index built over them.
+
+A database wraps an object collection together with the index built over it;
+index construction goes through the pluggable registry in
+:mod:`repro.index.registry`, so third-party backends resolve by name.
+
+Databases are *live*: ``insert``/``delete``/``move`` mutators keep the index
+in sync incrementally (or rebuild it, for backends without a delete path)
+and bump an **epoch counter** that lazily invalidates everything derived
+from the collection — the cached columnar snapshot, nearest-neighbour
+samplers, and (since the staged pipeline) entries of the shared
+:class:`~repro.core.cache.ResultCache`, whose keys embed the epoch.  A
+mutation can therefore never be served stale: consumers key their caches on
+:attr:`~_MutableDatabaseMixin.epoch` and rebuild on first use after any
+change, including direct mutation of ``db.objects`` (tracked by
+:class:`_TrackedObjects`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.geometry.rect import Rect
+from repro.core.columnar import ColumnarPoints, ColumnarUncertain
+from repro.index.registry import build_index, get_index_backend
+from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
+from repro.uncertainty.region import PointObject, UncertainObject
+
+_DATABASE_UIDS = itertools.count(1)
+
+
+def new_database_uid() -> int:
+    """A process-unique database identity token, never recycled.
+
+    Result-cache keys embed this next to the epoch counter: epochs identify
+    *states of one collection*, so two different databases that happen to
+    share an epoch value must still never collide on a key.  Unlike
+    ``id()``, a uid is never reassigned after an object is freed.
+    """
+    return next(_DATABASE_UIDS)
+
+
+class _TrackedObjects(list):
+    """An object list that reports every mutation to its owning database.
+
+    The databases cache a columnar snapshot of their object list; any list
+    mutation — whether through the database mutators or directly on
+    ``db.objects`` — bumps the database *epoch*, so a cached snapshot can
+    never be served stale (the historical failure mode: append to
+    ``db.objects`` after ``columnar()`` and silently query old data).
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, items: Iterable, owner: "PointDatabase | UncertainDatabase") -> None:
+        super().__init__(items)
+        self._owner = owner
+
+    def __reduce__(self):
+        # Pickle as a plain list: the default list reconstruction appends
+        # through the overridden hooks before ``_owner`` exists, and the
+        # owner back-reference is a cycle pickle cannot route through
+        # constructor arguments.  The owning database re-wraps the list in
+        # its ``__setstate__``.
+        return (list, (list(self),))
+
+    def _mutated(self) -> None:
+        self._owner._bump_epoch()
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._mutated()
+
+    def extend(self, items) -> None:
+        super().extend(items)
+        self._mutated()
+
+    def insert(self, position, item) -> None:
+        super().insert(position, item)
+        self._mutated()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._mutated()
+
+    def pop(self, position=-1):
+        item = super().pop(position)
+        self._mutated()
+        return item
+
+    def clear(self) -> None:
+        super().clear()
+        self._mutated()
+
+    def sort(self, **kwargs) -> None:
+        super().sort(**kwargs)
+        self._mutated()
+
+    def reverse(self) -> None:
+        super().reverse()
+        self._mutated()
+
+    def __setitem__(self, position, item) -> None:
+        super().__setitem__(position, item)
+        self._mutated()
+
+    def __delitem__(self, position) -> None:
+        super().__delitem__(position)
+        self._mutated()
+
+    def __iadd__(self, items):
+        result = super().__iadd__(items)
+        self._mutated()
+        return result
+
+    def __imul__(self, factor):
+        result = super().__imul__(factor)
+        self._mutated()
+        return result
+
+
+class _MutableDatabaseMixin:
+    """Shared epoch accounting and index-maintenance plumbing.
+
+    Concrete databases provide ``objects`` / ``index`` / ``kind`` plus typed
+    ``insert`` / ``delete`` / ``move`` mutators; this mixin owns the epoch
+    counter that invalidates cached columnar snapshots, the oid → position
+    lookup, and the choice between incremental index maintenance and the
+    rebuild fallback for backends without a delete path.
+    """
+
+    def _bump_epoch(self) -> None:
+        self._epoch += 1
+
+    def __setstate__(self, state: dict) -> None:
+        # _TrackedObjects unpickles as a plain list (see its __reduce__);
+        # re-wrap so mutation tracking survives a pickle round-trip.  The
+        # unpickled copy is a *new* collection that may diverge from the
+        # original, so it gets a fresh identity — two copies mutated apart
+        # must never alias each other's cache keys.
+        self.__dict__.update(state)
+        if not isinstance(self.objects, _TrackedObjects):
+            self.__dict__["objects"] = _TrackedObjects(self.objects, self)
+        self.__dict__["_uid"] = new_database_uid()
+
+    @property
+    def uid(self) -> int:
+        """Process-unique identity of this collection (see :func:`new_database_uid`)."""
+        return self._uid
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; bumped by every change to the object list.
+
+        Consumers caching anything derived from the collection (columnar
+        snapshots, nearest-neighbour samplers, result-cache entries) key
+        their caches on this.
+        """
+        return self._epoch
+
+    def _position_of(self, oid: int) -> int:
+        if self._positions is None or self._positions_epoch != self._epoch:
+            self._positions = {obj.oid: row for row, obj in enumerate(self.objects)}
+            self._positions_epoch = self._epoch
+        position = self._positions.get(oid)
+        if position is None:
+            raise KeyError(f"no object with oid {oid} in this database")
+        return position
+
+    # The mutators patch the oid → position map in place (and re-stamp its
+    # epoch) so a stream of updates costs O(index maintenance) per operation
+    # instead of an O(n) map rebuild; out-of-band mutations of ``objects``
+    # leave the epochs diverged and the map rebuilds lazily as before.
+    def _list_append(self, obj) -> None:
+        fresh = self._positions is not None and self._positions_epoch == self._epoch
+        self.objects.append(obj)
+        if fresh:
+            self._positions[obj.oid] = len(self.objects) - 1
+            self._positions_epoch = self._epoch
+
+    def _list_remove(self, oid: int):
+        # Swap-remove: the object list's order carries no meaning (every
+        # evaluation path sorts candidates by oid), so filling the hole with
+        # the last element keeps removal O(1).
+        position = self._position_of(oid)
+        positions = self._positions
+        obj = self.objects[position]
+        last = self.objects.pop()
+        if last is not obj:
+            self.objects[position] = last
+            positions[last.oid] = position
+        del positions[oid]
+        self._positions_epoch = self._epoch
+        return obj
+
+    def _list_replace(self, oid: int, new):
+        position = self._position_of(oid)
+        old = self.objects[position]
+        self.objects[position] = new
+        self._positions_epoch = self._epoch
+        return old
+
+    def __contains__(self, oid: int) -> bool:
+        try:
+            self._position_of(oid)
+        except KeyError:
+            return False
+        return True
+
+    def get(self, oid: int):
+        """The stored object with the given oid (``KeyError`` when absent)."""
+        return self.objects[self._position_of(oid)]
+
+    def _check_new_oid(self, oid: int) -> None:
+        if oid in self:
+            raise ValueError(
+                f"an object with oid {oid} is already stored; "
+                "delete or move it instead of inserting a duplicate"
+            )
+
+    def _incremental_maintenance(self) -> bool:
+        try:
+            backend = get_index_backend(self.kind)
+        except ValueError:
+            # Unregistered kind (hand-wired database): duck-type the index.
+            return hasattr(self.index, "delete")
+        return backend.capabilities.supports_delete
+
+    def _rebuild_index(self) -> None:
+        self.index = build_index(list(self.objects), self.kind)
+
+    # The mutators sequence index maintenance so that any index-side failure
+    # (a catalog-less object hitting a PTI, a rebuild that cannot happen)
+    # raises *before* the object list changes — objects and index never
+    # diverge.  The rebuild fallback is the one case where the list must
+    # change first (the rebuild is *of* the new list), so its precondition
+    # is checked up front instead.
+    def _append_with_index(self, obj) -> None:
+        self._check_new_oid(obj.oid)
+        self.index.insert(obj.mbr, obj)
+        self._list_append(obj)
+
+    def _delete_with_index(self, oid: int):
+        obj = self.get(oid)
+        if self._incremental_maintenance():
+            self.index.delete(obj.mbr, obj)
+            self._list_remove(oid)
+        else:
+            if len(self.objects) <= 1:
+                raise ValueError(
+                    f"index kind {self.kind!r} has no incremental delete and "
+                    "cannot be rebuilt over an empty collection; the last object "
+                    "of such a database cannot be deleted"
+                )
+            self._list_remove(oid)
+            self._rebuild_index()
+        return obj
+
+    def _replace_with_index(self, oid: int, new) -> None:
+        old = self.get(oid)
+        if self._incremental_maintenance():
+            self.index.update(old.mbr, new.mbr, old, replacement=new)
+            self._list_replace(oid, new)
+        else:
+            self._list_replace(oid, new)
+            self._rebuild_index()
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
+@dataclass
+class PointDatabase(_MutableDatabaseMixin):
+    """A collection of point objects plus the spatial index built over them."""
+
+    objects: list[PointObject]
+    index: Any
+    kind: str = "rtree"
+    # Lazily-built columnar snapshot, cached per epoch: rebuilt on first use
+    # after any mutation of the object list, so it can never be served stale.
+    _columnar: ColumnarPoints | None = field(default=None, init=False, repr=False, compare=False)
+    _columnar_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+    _epoch: int = field(default=0, init=False, repr=False, compare=False)
+    _uid: int = field(default_factory=new_database_uid, init=False, repr=False, compare=False)
+    _positions: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    _positions_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.objects, _TrackedObjects):
+            self.objects = _TrackedObjects(self.objects, self)
+
+    def columnar(self) -> ColumnarPoints:
+        """The columnar snapshot of the collection (rebuilt lazily per epoch)."""
+        if self._columnar is None or self._columnar_epoch != self._epoch:
+            self._columnar = ColumnarPoints(self.objects)
+            self._columnar_epoch = self._epoch
+        return self._columnar
+
+    @classmethod
+    def build(
+        cls,
+        objects: Iterable[PointObject],
+        *,
+        index_kind: str = "rtree",
+        bounds: Rect | None = None,
+        **index_kwargs,
+    ) -> "PointDatabase":
+        """Index a point-object collection (R-tree by default, as in the paper).
+
+        ``index_kind`` resolves through the index registry; backends whose
+        capabilities exclude point objects (e.g. the PTI) are rejected.
+        """
+        materialised = list(objects)
+        backend = get_index_backend(index_kind)
+        if not backend.capabilities.supports_points:
+            raise ValueError(
+                f"index kind {index_kind!r} only stores uncertain objects"
+            )
+        index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
+        return cls(objects=materialised, index=index, kind=index_kind)
+
+    # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, obj: PointObject) -> PointObject:
+        """Add one point object, keeping the index and snapshot in sync."""
+        if not isinstance(obj, PointObject):
+            raise TypeError(f"expected a PointObject, got {type(obj).__name__}")
+        self._append_with_index(obj)
+        return obj
+
+    def delete(self, oid: int) -> PointObject:
+        """Remove the object with the given oid and return it."""
+        return self._delete_with_index(oid)
+
+    def move(self, oid: int, x: float, y: float) -> PointObject:
+        """Relocate the object with the given oid to ``(x, y)``.
+
+        The stored wrapper is immutable, so the move replaces it with a new
+        :class:`PointObject` carrying the same oid (returned).
+        """
+        new = PointObject.at(oid, float(x), float(y))
+        self._replace_with_index(oid, new)
+        return new
+
+
+@dataclass
+class UncertainDatabase(_MutableDatabaseMixin):
+    """A collection of uncertain objects plus the index built over them."""
+
+    objects: list[UncertainObject]
+    index: Any
+    kind: str = "pti"
+    #: Levels U-catalogs were built at (``build``'s ``catalog_levels``);
+    #: mutators attach catalogs at the same levels so the PTI's homogeneity
+    #: requirement keeps holding under live inserts and moves.
+    catalog_levels: tuple[float, ...] | None = None
+    _columnar: ColumnarUncertain | None = field(default=None, init=False, repr=False, compare=False)
+    _columnar_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+    _epoch: int = field(default=0, init=False, repr=False, compare=False)
+    _uid: int = field(default_factory=new_database_uid, init=False, repr=False, compare=False)
+    _positions: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    _positions_epoch: int = field(default=-1, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.objects, _TrackedObjects):
+            self.objects = _TrackedObjects(self.objects, self)
+
+    def columnar(self) -> ColumnarUncertain:
+        """The columnar snapshot of the collection (rebuilt lazily per epoch)."""
+        if self._columnar is None or self._columnar_epoch != self._epoch:
+            self._columnar = ColumnarUncertain(self.objects)
+            self._columnar_epoch = self._epoch
+        return self._columnar
+
+    @classmethod
+    def build(
+        cls,
+        objects: Iterable[UncertainObject],
+        *,
+        index_kind: str = "pti",
+        catalog_levels: Sequence[float] | None = DEFAULT_CATALOG_LEVELS,
+        bounds: Rect | None = None,
+        **index_kwargs,
+    ) -> "UncertainDatabase":
+        """Index an uncertain-object collection.
+
+        When ``catalog_levels`` is given, every object missing a U-catalog
+        gets one built at those levels (the PTI requires catalogs; the plain
+        R-tree merely benefits from them during object-level pruning).
+        ``index_kind`` resolves through the index registry.
+        """
+        materialised = list(objects)
+        backend = get_index_backend(index_kind)
+        if not backend.capabilities.supports_uncertain:
+            raise ValueError(
+                f"index kind {index_kind!r} cannot store uncertain objects"
+            )
+        if catalog_levels is not None:
+            materialised = [
+                obj if obj.catalog is not None else obj.with_catalog(catalog_levels)
+                for obj in materialised
+            ]
+        index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
+        return cls(
+            objects=materialised,
+            index=index,
+            kind=index_kind,
+            catalog_levels=tuple(catalog_levels) if catalog_levels is not None else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Live mutation
+    # ------------------------------------------------------------------ #
+    def _with_catalog(
+        self, obj: UncertainObject, template: UncertainObject | None
+    ) -> UncertainObject:
+        """Attach a U-catalog matching the database's levels, when known."""
+        if obj.catalog is not None:
+            return obj
+        if template is not None and template.catalog is not None:
+            return obj.with_catalog(template.catalog.levels)
+        if self.catalog_levels is not None:
+            return obj.with_catalog(self.catalog_levels)
+        return obj
+
+    def insert(self, obj: UncertainObject) -> UncertainObject:
+        """Add one uncertain object, keeping the index and snapshot in sync.
+
+        An object without a U-catalog gets one built at the database's
+        catalog levels (when the database carries catalogs), so PTI-backed
+        databases stay insertable.  Returns the stored object.
+        """
+        if not isinstance(obj, UncertainObject):
+            raise TypeError(f"expected an UncertainObject, got {type(obj).__name__}")
+        obj = self._with_catalog(obj, None)
+        self._append_with_index(obj)
+        return obj
+
+    def delete(self, oid: int) -> UncertainObject:
+        """Remove the object with the given oid and return it."""
+        return self._delete_with_index(oid)
+
+    def move(self, oid: int, pdf) -> UncertainObject:
+        """Give the object with the given oid a new uncertainty pdf.
+
+        A moving uncertain object is a fresh location report: a new region
+        and pdf, with the U-catalog rebuilt to match (at the old catalog's
+        levels, falling back to the database's).  Returns the stored object.
+        """
+        old = self.get(oid)
+        new = self._with_catalog(UncertainObject(oid=oid, pdf=pdf), old)
+        self._replace_with_index(oid, new)
+        return new

@@ -1,95 +1,74 @@
-"""End-to-end evaluation engines (Sections 4.3 and 5.3 of the paper).
+"""The serial query engine (Sections 4.3 and 5.3 of the paper).
 
-The engine ties the pieces together for each query type:
+Once a 1,500-line monolith holding the databases, the evaluation cores and
+a stack of deprecation shims, this module is now the thin serial front of a
+layered architecture:
 
-1. build the expanded query range online (Minkowski sum, or the
-   Qp-expanded-query for constrained queries),
-2. use a spatial index to retrieve candidate objects overlapping it,
-3. prune candidates with the threshold strategies of Section 5 (constrained
-   queries only), and
-4. compute exact (or Monte-Carlo) qualification probabilities of the
-   survivors via the query–data duality formulas of Section 4.2.
+* :mod:`repro.core.database` — :class:`PointDatabase` /
+  :class:`UncertainDatabase` (live mutators, epoch counters, columnar
+  snapshots); re-exported here for compatibility.
+* :mod:`repro.core.plan` — per-query :class:`~repro.core.plan.QueryPlan`
+  compilation (candidate window, index probe, pruner, draw-plan slot,
+  cache key).
+* :mod:`repro.core.pipeline` — the staged
+  plan → cache? → candidates → prune → evaluate → merge runner shared
+  verbatim with per-shard execution (:mod:`repro.core.sharding`) and the
+  forked worker loop (:mod:`repro.core.parallel`).
+* :mod:`repro.core.cache` — the epoch-keyed
+  :class:`~repro.core.cache.ResultCache` consulted and filled by the
+  pipeline when :class:`EngineConfig` carries one.
 
-Databases wrap an object collection plus the index built over it; index
-construction goes through the pluggable registry in
-:mod:`repro.index.registry`, so third-party backends resolve by name.  The
-engine is stateless apart from its configuration and random generator, so the
-same engine can serve many queries.
-
-Databases are *live*: ``insert``/``delete``/``move`` mutators keep the index
-in sync incrementally (or rebuild it, for backends without a delete path)
-and bump an epoch counter that lazily invalidates the cached columnar
-snapshot and nearest-neighbour samplers — a mutation can never be served
-stale.  The engine mirrors the mutators (dispatching on object type /
-target) and accepts :class:`~repro.core.updates.UpdateBatch` items
-interleaved with queries in ``evaluate_many``.
-
-All query flavours funnel through one entry point: ``engine.evaluate(query)``
-single-dispatches on the query object (:class:`~repro.core.queries.RangeQuery`
-covers IPQ / IUQ / C-IPQ / C-IUQ, :class:`~repro.core.queries.NearestNeighborQuery`
-the nearest-neighbour extension) and returns an
-:class:`~repro.core.queries.Evaluation` envelope.  ``engine.evaluate_many``
-runs a whole workload through the same machinery while amortising dispatch,
-database lookups and pruner construction — the paper's experiments issue 500
-queries per data point, so the batch path is the hot path.  The legacy
-``evaluate_ipq`` / ``evaluate_iuq`` / ``evaluate_cipq`` / ``evaluate_ciuq``
-methods remain as deprecated shims delegating to ``evaluate()``.
+The engine owns what is genuinely serial-engine state: the configuration,
+the monotonic query sequence counter, and the mutation surface dispatching
+inserts/deletes/moves to the owning database.  All query flavours funnel
+through ``engine.evaluate(query)`` (single-dispatched on
+:class:`~repro.core.queries.RangeQuery` /
+:class:`~repro.core.queries.NearestNeighborQuery`) and the batch
+``engine.evaluate_many(...)``, which also accepts interleaved
+:class:`~repro.core.updates.UpdateBatch` items.
 """
 
 from __future__ import annotations
 
-import time
-import warnings
-from collections import Counter
 from dataclasses import dataclass, field, fields, replace
 from functools import singledispatchmethod
-from typing import Any, Iterable, Literal, Sequence
+from typing import Iterable, Literal
 
 import numpy as np
 
-from repro.geometry.rect import Rect
-from repro.core.columnar import (
-    ColumnarPoints,
-    ColumnarUncertain,
-    points_in_window_mask,
+from repro.core.cache import ResultCache
+from repro.core.database import (  # noqa: F401  (re-exported: historical home)
+    PointDatabase,
+    UncertainDatabase,
+    _MutableDatabaseMixin,
+    _TrackedObjects,
 )
-from repro.core.duality import (
-    ipq_probabilities,
-    ipq_probabilities_monte_carlo,
-    ipq_probabilities_monte_carlo_per_oid,
-    ipq_probability,
-    iuq_probabilities_exact_uniform,
-    iuq_probabilities_monte_carlo,
-    iuq_probabilities_monte_carlo_per_oid,
-    iuq_probability,
-    iuq_probability_exact_uniform,
-    monte_carlo_iuq_draws,
-)
-from repro.core.nearest import ImpreciseNearestNeighborEngine, nn_query_draws
-from repro.core.pruning import ALL_STRATEGIES, CIPQPruner, CIUQPruner, PruningStrategy
+from repro.core.pipeline import DEFAULT_NN_SAMPLES, QueryPipeline, partition_workload
+from repro.core.pruning import ALL_STRATEGIES, PruningStrategy
 from repro.core.queries import (
     Evaluation,
-    ImpreciseRangeQuery,
     NearestNeighborQuery,
     Query,
-    QueryResult,
     RangeQuery,
-    RangeQuerySpec,
-    RANGE_QUERY_TARGETS,
 )
-from repro.core.statistics import EvaluationStatistics
 from repro.core.updates import (
     UpdateBatch,
     apply_update_op,
     pick_mutation_database,
     resolve_move_target,
 )
-from repro.index.pti import ProbabilityThresholdIndex
-from repro.index.registry import build_index, get_index_backend
-from repro.index.rtree import RTree
-from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
-from repro.uncertainty.pdf import UniformPdf
 from repro.uncertainty.region import PointObject, UncertainObject
+
+__all__ = [
+    "DEFAULT_NN_SAMPLES",
+    "DrawPlan",
+    "EngineConfig",
+    "ImpreciseQueryEngine",
+    "IndexKind",
+    "PointDatabase",
+    "ProbabilityMethod",
+    "UncertainDatabase",
+]
 
 #: Names of the index backends shipped with the reproduction.  Any name
 #: registered via :func:`repro.index.registry.register_index` is accepted
@@ -103,11 +82,14 @@ ProbabilityMethod = Literal["auto", "exact", "monte_carlo"]
 #: generator per ``(query sequence number, object id)`` pair, which makes a
 #: survivor's draws independent of batch composition — the property the
 #: sharded parallel executor needs for bitwise-identical results.
-DrawPlan = Literal["stream", "per_oid"]
+#: ``"query_keyed"`` goes one step further and keys the draws by a stable
+#: fingerprint of the query's *content* instead of its position, so a
+#: repeated query samples the same draws wherever it appears — the property
+#: the result cache needs to serve sampled answers without breaking replay
+#: determinism.
+DrawPlan = Literal["stream", "per_oid", "query_keyed"]
 
-#: Monte-Carlo sample count used for nearest-neighbour queries that do not
-#: specify one (matches :class:`ImpreciseNearestNeighborEngine`'s default).
-DEFAULT_NN_SAMPLES = 256
+_DRAW_PLANS = ("stream", "per_oid", "query_keyed")
 
 
 @dataclass(frozen=True)
@@ -133,18 +115,27 @@ class EngineConfig:
     vectorized: bool = True
     #: Monte-Carlo draw plan (see :data:`DrawPlan`).  ``"per_oid"`` makes
     #: sampled probabilities a pure function of ``(rng_seed, query sequence
-    #: number, oid)`` — required by (and forced on) sharded execution; the
-    #: default ``"stream"`` preserves the historical draw sequence.
+    #: number, oid)`` — required by sharded execution; ``"query_keyed"``
+    #: makes them a pure function of ``(rng_seed, query content, oid)`` —
+    #: required for cached sampled answers; the default ``"stream"``
+    #: preserves the historical draw sequence.
     draw_plan: DrawPlan = "stream"
+    #: Shared :class:`~repro.core.cache.ResultCache` consulted and filled by
+    #: the pipeline's cache stage (``None`` disables caching).  Excluded
+    #: from equality/fingerprints: the cache is infrastructure, not
+    #: behaviour — two engines sharing one cache but otherwise differing
+    #: never see each other's entries, because every key embeds the
+    #: :meth:`fingerprint` of the filling configuration.
+    cache: ResultCache | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.monte_carlo_samples < 1:
             raise ValueError(
                 f"monte_carlo_samples must be >= 1, got {self.monte_carlo_samples}"
             )
-        if self.draw_plan not in ("stream", "per_oid"):
+        if self.draw_plan not in _DRAW_PLANS:
             raise ValueError(
-                f"draw_plan must be 'stream' or 'per_oid', got {self.draw_plan!r}"
+                f"draw_plan must be one of {_DRAW_PLANS}, got {self.draw_plan!r}"
             )
         if (
             isinstance(self.rng_seed, bool)
@@ -154,6 +145,34 @@ class EngineConfig:
             raise ValueError(
                 f"rng_seed must be a non-negative integer, got {self.rng_seed!r}"
             )
+        if self.cache is not None:
+            if not isinstance(self.cache, ResultCache):
+                raise ValueError(
+                    f"cache must be a repro.core.cache.ResultCache or None, "
+                    f"got {type(self.cache).__name__!r} (capacity must be a "
+                    "positive integer — build one with ResultCache(capacity=...))"
+                )
+            if self.draw_plan == "stream":
+                raise ValueError(
+                    "cache + draw_plan='stream' would break replay determinism: "
+                    "the streaming plan ties Monte-Carlo draws to batch "
+                    "composition, so an answer served from the cache would "
+                    "desynchronise the shared generator for every later query. "
+                    "Use draw_plan='query_keyed' (cached sampled answers) or "
+                    "'per_oid' (only draw-free answers are cached)."
+                )
+
+    def fingerprint(self) -> tuple:
+        """A hashable digest of every field that can influence an answer.
+
+        Embedded in result-cache keys so engines sharing one cache but
+        running different configurations can never serve each other's
+        results.  The ``cache`` field itself is excluded — where an answer
+        is stored does not change what the answer is.
+        """
+        return tuple(
+            getattr(self, f.name) for f in fields(self) if f.name != "cache"
+        )
 
     def with_overrides(self, **kwargs) -> "EngineConfig":
         """Return a copy of the configuration with the given fields replaced.
@@ -172,413 +191,14 @@ class EngineConfig:
         return replace(self, **kwargs)
 
 
-class _TrackedObjects(list):
-    """An object list that reports every mutation to its owning database.
-
-    The databases cache a columnar snapshot of their object list; any list
-    mutation — whether through the database mutators or directly on
-    ``db.objects`` — bumps the database *epoch*, so a cached snapshot can
-    never be served stale (the historical failure mode: append to
-    ``db.objects`` after ``columnar()`` and silently query old data).
-    """
-
-    __slots__ = ("_owner",)
-
-    def __init__(self, items: Iterable, owner: "PointDatabase | UncertainDatabase") -> None:
-        super().__init__(items)
-        self._owner = owner
-
-    def __reduce__(self):
-        # Pickle as a plain list: the default list reconstruction appends
-        # through the overridden hooks before ``_owner`` exists, and the
-        # owner back-reference is a cycle pickle cannot route through
-        # constructor arguments.  The owning database re-wraps the list in
-        # its ``__setstate__``.
-        return (list, (list(self),))
-
-    def _mutated(self) -> None:
-        self._owner._bump_epoch()
-
-    def append(self, item) -> None:
-        super().append(item)
-        self._mutated()
-
-    def extend(self, items) -> None:
-        super().extend(items)
-        self._mutated()
-
-    def insert(self, position, item) -> None:
-        super().insert(position, item)
-        self._mutated()
-
-    def remove(self, item) -> None:
-        super().remove(item)
-        self._mutated()
-
-    def pop(self, position=-1):
-        item = super().pop(position)
-        self._mutated()
-        return item
-
-    def clear(self) -> None:
-        super().clear()
-        self._mutated()
-
-    def sort(self, **kwargs) -> None:
-        super().sort(**kwargs)
-        self._mutated()
-
-    def reverse(self) -> None:
-        super().reverse()
-        self._mutated()
-
-    def __setitem__(self, position, item) -> None:
-        super().__setitem__(position, item)
-        self._mutated()
-
-    def __delitem__(self, position) -> None:
-        super().__delitem__(position)
-        self._mutated()
-
-    def __iadd__(self, items):
-        result = super().__iadd__(items)
-        self._mutated()
-        return result
-
-    def __imul__(self, factor):
-        result = super().__imul__(factor)
-        self._mutated()
-        return result
-
-
-class _MutableDatabaseMixin:
-    """Shared epoch accounting and index-maintenance plumbing.
-
-    Concrete databases provide ``objects`` / ``index`` / ``kind`` plus typed
-    ``insert`` / ``delete`` / ``move`` mutators; this mixin owns the epoch
-    counter that invalidates cached columnar snapshots, the oid → position
-    lookup, and the choice between incremental index maintenance and the
-    rebuild fallback for backends without a delete path.
-    """
-
-    def _bump_epoch(self) -> None:
-        self._epoch += 1
-
-    def __setstate__(self, state: dict) -> None:
-        # _TrackedObjects unpickles as a plain list (see its __reduce__);
-        # re-wrap so mutation tracking survives a pickle round-trip.
-        self.__dict__.update(state)
-        if not isinstance(self.objects, _TrackedObjects):
-            self.__dict__["objects"] = _TrackedObjects(self.objects, self)
-
-    @property
-    def epoch(self) -> int:
-        """Mutation counter; bumped by every change to the object list.
-
-        Consumers caching anything derived from the collection (columnar
-        snapshots, nearest-neighbour samplers) key their caches on this.
-        """
-        return self._epoch
-
-    def _position_of(self, oid: int) -> int:
-        if self._positions is None or self._positions_epoch != self._epoch:
-            self._positions = {obj.oid: row for row, obj in enumerate(self.objects)}
-            self._positions_epoch = self._epoch
-        position = self._positions.get(oid)
-        if position is None:
-            raise KeyError(f"no object with oid {oid} in this database")
-        return position
-
-    # The mutators patch the oid → position map in place (and re-stamp its
-    # epoch) so a stream of updates costs O(index maintenance) per operation
-    # instead of an O(n) map rebuild; out-of-band mutations of ``objects``
-    # leave the epochs diverged and the map rebuilds lazily as before.
-    def _list_append(self, obj) -> None:
-        fresh = self._positions is not None and self._positions_epoch == self._epoch
-        self.objects.append(obj)
-        if fresh:
-            self._positions[obj.oid] = len(self.objects) - 1
-            self._positions_epoch = self._epoch
-
-    def _list_remove(self, oid: int):
-        # Swap-remove: the object list's order carries no meaning (every
-        # evaluation path sorts candidates by oid), so filling the hole with
-        # the last element keeps removal O(1).
-        position = self._position_of(oid)
-        positions = self._positions
-        obj = self.objects[position]
-        last = self.objects.pop()
-        if last is not obj:
-            self.objects[position] = last
-            positions[last.oid] = position
-        del positions[oid]
-        self._positions_epoch = self._epoch
-        return obj
-
-    def _list_replace(self, oid: int, new):
-        position = self._position_of(oid)
-        old = self.objects[position]
-        self.objects[position] = new
-        self._positions_epoch = self._epoch
-        return old
-
-    def __contains__(self, oid: int) -> bool:
-        try:
-            self._position_of(oid)
-        except KeyError:
-            return False
-        return True
-
-    def get(self, oid: int):
-        """The stored object with the given oid (``KeyError`` when absent)."""
-        return self.objects[self._position_of(oid)]
-
-    def _check_new_oid(self, oid: int) -> None:
-        if oid in self:
-            raise ValueError(
-                f"an object with oid {oid} is already stored; "
-                "delete or move it instead of inserting a duplicate"
-            )
-
-    def _incremental_maintenance(self) -> bool:
-        try:
-            backend = get_index_backend(self.kind)
-        except ValueError:
-            # Unregistered kind (hand-wired database): duck-type the index.
-            return hasattr(self.index, "delete")
-        return backend.capabilities.supports_delete
-
-    def _rebuild_index(self) -> None:
-        self.index = build_index(list(self.objects), self.kind)
-
-    # The mutators sequence index maintenance so that any index-side failure
-    # (a catalog-less object hitting a PTI, a rebuild that cannot happen)
-    # raises *before* the object list changes — objects and index never
-    # diverge.  The rebuild fallback is the one case where the list must
-    # change first (the rebuild is *of* the new list), so its precondition
-    # is checked up front instead.
-    def _append_with_index(self, obj) -> None:
-        self._check_new_oid(obj.oid)
-        self.index.insert(obj.mbr, obj)
-        self._list_append(obj)
-
-    def _delete_with_index(self, oid: int):
-        obj = self.get(oid)
-        if self._incremental_maintenance():
-            self.index.delete(obj.mbr, obj)
-            self._list_remove(oid)
-        else:
-            if len(self.objects) <= 1:
-                raise ValueError(
-                    f"index kind {self.kind!r} has no incremental delete and "
-                    "cannot be rebuilt over an empty collection; the last object "
-                    "of such a database cannot be deleted"
-                )
-            self._list_remove(oid)
-            self._rebuild_index()
-        return obj
-
-    def _replace_with_index(self, oid: int, new) -> None:
-        old = self.get(oid)
-        if self._incremental_maintenance():
-            self.index.update(old.mbr, new.mbr, old, replacement=new)
-            self._list_replace(oid, new)
-        else:
-            self._list_replace(oid, new)
-            self._rebuild_index()
-
-    def __len__(self) -> int:
-        return len(self.objects)
-
-
-@dataclass
-class PointDatabase(_MutableDatabaseMixin):
-    """A collection of point objects plus the spatial index built over them."""
-
-    objects: list[PointObject]
-    index: Any
-    kind: str = "rtree"
-    # Lazily-built columnar snapshot, cached per epoch: rebuilt on first use
-    # after any mutation of the object list, so it can never be served stale.
-    _columnar: ColumnarPoints | None = field(default=None, init=False, repr=False, compare=False)
-    _columnar_epoch: int = field(default=-1, init=False, repr=False, compare=False)
-    _epoch: int = field(default=0, init=False, repr=False, compare=False)
-    _positions: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
-    _positions_epoch: int = field(default=-1, init=False, repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        if not isinstance(self.objects, _TrackedObjects):
-            self.objects = _TrackedObjects(self.objects, self)
-
-    def columnar(self) -> ColumnarPoints:
-        """The columnar snapshot of the collection (rebuilt lazily per epoch)."""
-        if self._columnar is None or self._columnar_epoch != self._epoch:
-            self._columnar = ColumnarPoints(self.objects)
-            self._columnar_epoch = self._epoch
-        return self._columnar
-
-    @classmethod
-    def build(
-        cls,
-        objects: Iterable[PointObject],
-        *,
-        index_kind: str = "rtree",
-        bounds: Rect | None = None,
-        **index_kwargs,
-    ) -> "PointDatabase":
-        """Index a point-object collection (R-tree by default, as in the paper).
-
-        ``index_kind`` resolves through the index registry; backends whose
-        capabilities exclude point objects (e.g. the PTI) are rejected.
-        """
-        materialised = list(objects)
-        backend = get_index_backend(index_kind)
-        if not backend.capabilities.supports_points:
-            raise ValueError(
-                f"index kind {index_kind!r} only stores uncertain objects"
-            )
-        index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
-        return cls(objects=materialised, index=index, kind=index_kind)
-
-    # ------------------------------------------------------------------ #
-    # Live mutation
-    # ------------------------------------------------------------------ #
-    def insert(self, obj: PointObject) -> PointObject:
-        """Add one point object, keeping the index and snapshot in sync."""
-        if not isinstance(obj, PointObject):
-            raise TypeError(f"expected a PointObject, got {type(obj).__name__}")
-        self._append_with_index(obj)
-        return obj
-
-    def delete(self, oid: int) -> PointObject:
-        """Remove the object with the given oid and return it."""
-        return self._delete_with_index(oid)
-
-    def move(self, oid: int, x: float, y: float) -> PointObject:
-        """Relocate the object with the given oid to ``(x, y)``.
-
-        The stored wrapper is immutable, so the move replaces it with a new
-        :class:`PointObject` carrying the same oid (returned).
-        """
-        new = PointObject.at(oid, float(x), float(y))
-        self._replace_with_index(oid, new)
-        return new
-
-
-@dataclass
-class UncertainDatabase(_MutableDatabaseMixin):
-    """A collection of uncertain objects plus the index built over them."""
-
-    objects: list[UncertainObject]
-    index: Any
-    kind: str = "pti"
-    #: Levels U-catalogs were built at (``build``'s ``catalog_levels``);
-    #: mutators attach catalogs at the same levels so the PTI's homogeneity
-    #: requirement keeps holding under live inserts and moves.
-    catalog_levels: tuple[float, ...] | None = None
-    _columnar: ColumnarUncertain | None = field(default=None, init=False, repr=False, compare=False)
-    _columnar_epoch: int = field(default=-1, init=False, repr=False, compare=False)
-    _epoch: int = field(default=0, init=False, repr=False, compare=False)
-    _positions: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
-    _positions_epoch: int = field(default=-1, init=False, repr=False, compare=False)
-
-    def __post_init__(self) -> None:
-        if not isinstance(self.objects, _TrackedObjects):
-            self.objects = _TrackedObjects(self.objects, self)
-
-    def columnar(self) -> ColumnarUncertain:
-        """The columnar snapshot of the collection (rebuilt lazily per epoch)."""
-        if self._columnar is None or self._columnar_epoch != self._epoch:
-            self._columnar = ColumnarUncertain(self.objects)
-            self._columnar_epoch = self._epoch
-        return self._columnar
-
-    @classmethod
-    def build(
-        cls,
-        objects: Iterable[UncertainObject],
-        *,
-        index_kind: str = "pti",
-        catalog_levels: Sequence[float] | None = DEFAULT_CATALOG_LEVELS,
-        bounds: Rect | None = None,
-        **index_kwargs,
-    ) -> "UncertainDatabase":
-        """Index an uncertain-object collection.
-
-        When ``catalog_levels`` is given, every object missing a U-catalog
-        gets one built at those levels (the PTI requires catalogs; the plain
-        R-tree merely benefits from them during object-level pruning).
-        ``index_kind`` resolves through the index registry.
-        """
-        materialised = list(objects)
-        backend = get_index_backend(index_kind)
-        if not backend.capabilities.supports_uncertain:
-            raise ValueError(
-                f"index kind {index_kind!r} cannot store uncertain objects"
-            )
-        if catalog_levels is not None:
-            materialised = [
-                obj if obj.catalog is not None else obj.with_catalog(catalog_levels)
-                for obj in materialised
-            ]
-        index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
-        return cls(
-            objects=materialised,
-            index=index,
-            kind=index_kind,
-            catalog_levels=tuple(catalog_levels) if catalog_levels is not None else None,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Live mutation
-    # ------------------------------------------------------------------ #
-    def _with_catalog(
-        self, obj: UncertainObject, template: UncertainObject | None
-    ) -> UncertainObject:
-        """Attach a U-catalog matching the database's levels, when known."""
-        if obj.catalog is not None:
-            return obj
-        if template is not None and template.catalog is not None:
-            return obj.with_catalog(template.catalog.levels)
-        if self.catalog_levels is not None:
-            return obj.with_catalog(self.catalog_levels)
-        return obj
-
-    def insert(self, obj: UncertainObject) -> UncertainObject:
-        """Add one uncertain object, keeping the index and snapshot in sync.
-
-        An object without a U-catalog gets one built at the database's
-        catalog levels (when the database carries catalogs), so PTI-backed
-        databases stay insertable.  Returns the stored object.
-        """
-        if not isinstance(obj, UncertainObject):
-            raise TypeError(f"expected an UncertainObject, got {type(obj).__name__}")
-        obj = self._with_catalog(obj, None)
-        self._append_with_index(obj)
-        return obj
-
-    def delete(self, oid: int) -> UncertainObject:
-        """Remove the object with the given oid and return it."""
-        return self._delete_with_index(oid)
-
-    def move(self, oid: int, pdf) -> UncertainObject:
-        """Give the object with the given oid a new uncertainty pdf.
-
-        A moving uncertain object is a fresh location report: a new region
-        and pdf, with the U-catalog rebuilt to match (at the old catalog's
-        levels, falling back to the database's).  Returns the stored object.
-        """
-        old = self.get(oid)
-        new = self._with_catalog(UncertainObject(oid=oid, pdf=pdf), old)
-        self._replace_with_index(oid, new)
-        return new
-
-
 class ImpreciseQueryEngine:
     """Evaluates IPQ, IUQ, C-IPQ, C-IUQ and nearest-neighbour queries.
 
     The single entry point is :meth:`evaluate`, which dispatches on the query
-    object's type; :meth:`evaluate_many` is the batch counterpart.
+    object's type; :meth:`evaluate_many` is the batch counterpart.  Both run
+    the staged pipeline of :mod:`repro.core.pipeline` — the same stage runner
+    sharded and parallel execution use — so the serial engine is exactly
+    "the pipeline plus a sequence counter and a mutation surface".
     """
 
     def __init__(
@@ -593,8 +213,9 @@ class ImpreciseQueryEngine:
         self._point_db = point_db
         self._uncertain_db = uncertain_db
         self._config = config if config is not None else EngineConfig()
-        self._rng = np.random.default_rng(self._config.rng_seed)
-        self._nn_engines: dict[tuple[int, int], ImpreciseNearestNeighborEngine] = {}
+        self._pipeline = QueryPipeline(
+            point_db=point_db, uncertain_db=uncertain_db, config=self._config
+        )
         # Monotonic query sequence number.  Every evaluated query consumes
         # one (whatever its kind), so that under the per-oid draw plan the
         # n-th query of any call pattern — evaluate() loop, evaluate_many(),
@@ -617,129 +238,56 @@ class ImpreciseQueryEngine:
         """The uncertain-object database, if any."""
         return self._uncertain_db
 
-    # ------------------------------------------------------------------ #
-    # Probability dispatch
-    # ------------------------------------------------------------------ #
-    def _use_monte_carlo(self, issuer: UncertainObject) -> bool:
-        method = self._config.probability_method
-        if method == "monte_carlo":
-            return True
-        if method == "exact":
-            return False
-        return not issuer.pdf.has_closed_form
+    @property
+    def pipeline(self) -> QueryPipeline:
+        """The staged pipeline executing this engine's queries."""
+        return self._pipeline
 
     # ------------------------------------------------------------------ #
     # Unified entry point
     # ------------------------------------------------------------------ #
-    @singledispatchmethod
-    def evaluate(self, query, *, over: str | None = None):
-        """Evaluate one query object and return an :class:`Evaluation`.
-
-        Dispatches on the query's type: :class:`RangeQuery` covers all four
-        paper query flavours via its target kind and threshold,
-        :class:`NearestNeighborQuery` the nearest-neighbour extension.
-        Passing a legacy :class:`ImpreciseRangeQuery` together with ``over``
-        is deprecated and returns the old ``(result, statistics)`` tuple.
-        """
-        raise TypeError(
-            f"cannot evaluate {type(query).__name__!r}; expected a RangeQuery, "
-            "a NearestNeighborQuery, or a legacy ImpreciseRangeQuery"
-        )
-
     def _next_query_seq(self) -> int:
         seq = self._query_seq
         self._query_seq += 1
         return seq
 
+    @singledispatchmethod
+    def evaluate(self, query):
+        """Evaluate one query object and return an :class:`Evaluation`.
+
+        Dispatches on the query's type: :class:`RangeQuery` covers all four
+        paper query flavours via its target kind and threshold,
+        :class:`NearestNeighborQuery` the nearest-neighbour extension.
+        """
+        raise TypeError(
+            f"cannot evaluate {type(query).__name__!r}; expected a RangeQuery "
+            "or a NearestNeighborQuery (legacy ImpreciseRangeQuery objects are "
+            "no longer accepted — adapt them with RangeQuery.from_legacy(query, "
+            "target))"
+        )
+
     @evaluate.register
     def _evaluate_range_query(
-        self,
-        query: RangeQuery,
-        *,
-        over: str | None = None,
-        query_seq: int | None = None,
+        self, query: RangeQuery, *, query_seq: int | None = None
     ) -> Evaluation:
-        if over is not None:
-            raise TypeError("'over' only applies to legacy ImpreciseRangeQuery objects")
-        started = time.perf_counter()
         seq = self._next_query_seq() if query_seq is None else query_seq
-        if query.target == "points":
-            result, stats = self._run_point_range(
-                query.issuer, query.spec, query.threshold, query_seq=seq
-            )
-        else:
-            result, stats = self._run_uncertain_range(
-                query.issuer, query.spec, query.threshold, query_seq=seq
-            )
-        return Evaluation(
-            query=query,
-            result=result,
-            statistics=stats,
-            elapsed_seconds=time.perf_counter() - started,
-        )
+        return self._pipeline.run_batch([query], [seq], use_snapshots=False)[0]
 
     @evaluate.register
     def _evaluate_nearest_query(
-        self,
-        query: NearestNeighborQuery,
-        *,
-        over: str | None = None,
-        query_seq: int | None = None,
+        self, query: NearestNeighborQuery, *, query_seq: int | None = None
     ) -> Evaluation:
-        if over is not None:
-            raise TypeError("'over' only applies to legacy ImpreciseRangeQuery objects")
-        started = time.perf_counter()
         seq = self._next_query_seq() if query_seq is None else query_seq
-        samples = query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
-        engine = self._nearest_engine(samples)
-        if self._config.draw_plan == "per_oid":
-            draws = nn_query_draws(query.issuer.pdf, samples, self._config.rng_seed, seq)
-            result, stats = engine.evaluate(
-                query.issuer, threshold=query.threshold, draws=draws
-            )
-        else:
-            result, stats = engine.evaluate(query.issuer, threshold=query.threshold)
-        return Evaluation(
-            query=query,
-            result=result,
-            statistics=stats,
-            elapsed_seconds=time.perf_counter() - started,
-        )
-
-    @evaluate.register
-    def _evaluate_legacy_query(
-        self, query: ImpreciseRangeQuery, *, over: str | None = None
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        # stacklevel 3: caller -> singledispatchmethod wrapper -> this handler.
-        warnings.warn(
-            "evaluate(ImpreciseRangeQuery, over=...) is deprecated; "
-            "pass a RangeQuery with a target instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if over not in RANGE_QUERY_TARGETS:
-            raise ValueError(f"unknown target database: {over!r}")
-        return self.evaluate(RangeQuery.from_legacy(query, over)).as_tuple()
+        return self._pipeline.run_batch([query], [seq], use_snapshots=False)[0]
 
     def evaluate_many(self, queries: Iterable[Query | UpdateBatch]) -> list[Evaluation]:
         """Evaluate a batch of queries, preserving input order.
 
-        The batch path amortises work a per-query loop repeats: type dispatch
-        and database-presence checks run once per batch, the nearest-neighbour
-        sampler is shared, and pruners (which own the expanded-region
-        construction) are cached across queries that share an issuer, shape
-        and threshold.  Results — including Monte-Carlo draws — are identical
-        to calling :meth:`evaluate` on each query in order, because queries
-        execute in input order against the same random generator.
-
-        With the vectorized backend the batch additionally amortises the
-        databases' columnar snapshots: each is built once (then reused) and
-        range queries filter candidates with one NumPy window test instead of
-        a per-query index traversal (PTI-pruned queries keep the index — its
-        node-level pruning is the feature under study).  The answers are
-        identical either way, because candidate processing is oid-ordered in
-        every path; only ``statistics.io`` differs (the columnar filter
-        performs no index node accesses).
+        The batch path amortises work a per-query loop repeats (see
+        :meth:`repro.core.pipeline.QueryPipeline.run_batch`); results —
+        including Monte-Carlo draws — are identical to calling
+        :meth:`evaluate` on each query in order, because queries execute in
+        input order against the same random generator.
 
         An :class:`~repro.core.updates.UpdateBatch` may be interleaved with
         the queries: it is applied at exactly its position in the stream
@@ -748,27 +296,13 @@ class ImpreciseQueryEngine:
         numbers, so under the per-oid draw plan the surrounding queries'
         Monte-Carlo draws are unaffected.
         """
-        items = list(queries)
-        for position, item in enumerate(items):
-            if not isinstance(item, (RangeQuery, NearestNeighborQuery, UpdateBatch)):
-                raise TypeError(
-                    f"evaluate_many() only accepts RangeQuery, NearestNeighborQuery "
-                    f"and UpdateBatch objects; item {position} is {type(item).__name__!r}"
-                )
         evaluations: list[Evaluation] = []
-        batch: list[Query] = []
-        seqs: list[int] = []
-        for item in items:
-            if isinstance(item, UpdateBatch):
-                if batch:
-                    evaluations.extend(self._evaluate_batch(batch, seqs))
-                    batch, seqs = [], []
-                self.apply_updates(item)
+        for kind, payload in partition_workload(queries):
+            if kind == "updates":
+                self.apply_updates(payload)
             else:
-                batch.append(item)
-                seqs.append(self._next_query_seq())
-        if batch:
-            evaluations.extend(self._evaluate_batch(batch, seqs))
+                seqs = [self._next_query_seq() for _ in payload]
+                evaluations.extend(self._pipeline.run_batch(payload, seqs))
         return evaluations
 
     def evaluate_many_at(self, items: Iterable[tuple[int, Query]]) -> list[Evaluation]:
@@ -792,77 +326,10 @@ class ImpreciseQueryEngine:
                     f"objects; item {position} is {type(query).__name__!r}"
                 )
         seqs = [int(seq) for seq, _ in materialised]
-        return self._evaluate_batch(batch, seqs)
-
-    def _evaluate_batch(self, batch: list[Query], seqs: list[int]) -> list[Evaluation]:
-        # Fail fast, before any query runs, when a required database is absent.
-        targets = {query.target for query in batch if isinstance(query, RangeQuery)}
-        if "points" in targets:
-            self._require_point_db()
-        if "uncertain" in targets:
-            self._require_uncertain_db()
-        if any(isinstance(query, NearestNeighborQuery) for query in batch):
-            self._require_point_db()
-
-        # Pruners own the expanded-region construction, so queries repeating
-        # an (issuer, shape, threshold) combination share one.  The cache is
-        # only engaged for combinations that actually repeat — a workload of
-        # all-distinct issuers (the common case) pays no caching overhead and
-        # retains no pruners.
-        repeats = Counter(
-            (id(query.issuer), query.spec, query.threshold, query.target)
-            for query in batch
-            if isinstance(query, RangeQuery)
-        )
-        point_pruners: dict[tuple, CIPQPruner] = {}
-        uncertain_pruners: dict[tuple, CIUQPruner] = {}
-        # The columnar snapshots replace the per-query index traversal with
-        # one NumPy window test; candidate processing is oid-ordered in every
-        # path, so Monte-Carlo draw assignment is unaffected by the switch.
-        point_snapshot: ColumnarPoints | None = None
-        uncertain_snapshot: ColumnarUncertain | None = None
-        if self._config.vectorized and "points" in targets:
-            point_snapshot = self._require_point_db().columnar()
-        if self._config.vectorized and "uncertain" in targets:
-            uncertain_snapshot = self._require_uncertain_db().columnar()
-        evaluations: list[Evaluation] = []
-        for query, seq in zip(batch, seqs):
-            if isinstance(query, NearestNeighborQuery):
-                evaluations.append(self._evaluate_nearest_query(query, query_seq=seq))
-                continue
-            key = (id(query.issuer), query.spec, query.threshold, query.target)
-            shared = repeats[key] > 1
-            started = time.perf_counter()
-            if query.target == "points":
-                result, stats = self._run_point_range(
-                    query.issuer,
-                    query.spec,
-                    query.threshold,
-                    query_seq=seq,
-                    pruner_cache=point_pruners if shared else None,
-                    columnar=point_snapshot,
-                )
-            else:
-                result, stats = self._run_uncertain_range(
-                    query.issuer,
-                    query.spec,
-                    query.threshold,
-                    query_seq=seq,
-                    pruner_cache=uncertain_pruners if shared else None,
-                    columnar=uncertain_snapshot,
-                )
-            evaluations.append(
-                Evaluation(
-                    query=query,
-                    result=result,
-                    statistics=stats,
-                    elapsed_seconds=time.perf_counter() - started,
-                )
-            )
-        return evaluations
+        return self._pipeline.run_batch(batch, seqs)
 
     # ------------------------------------------------------------------ #
-    # Range-query evaluation cores
+    # Live mutation
     # ------------------------------------------------------------------ #
     def _require_point_db(self) -> PointDatabase:
         if self._point_db is None:
@@ -874,565 +341,6 @@ class ImpreciseQueryEngine:
             raise RuntimeError("no uncertain-object database configured")
         return self._uncertain_db
 
-    def _point_pruner(
-        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
-    ) -> CIPQPruner:
-        return CIPQPruner(
-            issuer,
-            spec,
-            threshold,
-            use_p_expanded_query=self._config.use_p_expanded_query,
-        )
-
-    def _uncertain_pruner(
-        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
-    ) -> CIUQPruner:
-        return CIUQPruner(
-            issuer,
-            spec,
-            threshold,
-            strategies=self._config.ciuq_strategies,
-        )
-
-    def _run_point_range(
-        self,
-        issuer: UncertainObject,
-        spec: RangeQuerySpec,
-        threshold: float,
-        *,
-        query_seq: int,
-        pruner_cache: dict[tuple, CIPQPruner] | None = None,
-        columnar: ColumnarPoints | None = None,
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """(C-)IPQ core: filter through the index, prune, compute probabilities.
-
-        ``pruner_cache`` (keyed by issuer identity, spec and threshold) lets
-        the batch path reuse pruners across queries sharing a filter region.
-        The lookup happens inside the timed region, so ``response_time``
-        reflects the true per-query cost: a cache miss is timed exactly like
-        the sequential path; a hit records the amortised cost it actually paid.
-
-        ``columnar`` (batch path only) replaces the per-query index traversal
-        with one NumPy window test over the snapshot; the candidate set is
-        identical to an index range search, but no index I/O is performed, so
-        ``stats.io`` stays zero.
-
-        Candidates are processed in ascending oid order regardless of how the
-        index traversal returned them, so results — including Monte-Carlo
-        draw assignment — do not depend on the index kind or the candidate
-        source.
-        """
-        database = self._require_point_db()
-        started = time.perf_counter()
-        stats = EvaluationStatistics()
-        if pruner_cache is None:
-            pruner = self._point_pruner(issuer, spec, threshold)
-        else:
-            key = (id(issuer), spec, threshold)
-            pruner = pruner_cache.get(key)
-            if pruner is None:
-                pruner = pruner_cache[key] = self._point_pruner(issuer, spec, threshold)
-
-        vectorized = self._config.vectorized
-        candidate_xy: np.ndarray | None = None
-        if columnar is not None and vectorized:
-            rows = columnar.window_rows(pruner.filter_region)
-            rows = rows[np.argsort(columnar.oids[rows], kind="stable")]
-            candidates = [columnar.objects[row] for row in rows]
-            candidate_xy = columnar.xy[rows]
-        else:
-            index = database.index
-            before = index.stats.snapshot()
-            candidates = index.range_search(pruner.filter_region)
-            stats.io = index.stats.difference_since(before)
-            candidates.sort(key=lambda obj: obj.oid)
-        stats.candidates_examined = len(candidates)
-
-        result = QueryResult()
-        if vectorized:
-            if candidate_xy is None:
-                candidate_xy = np.empty((len(candidates), 2), dtype=float)
-                for row, obj in enumerate(candidates):
-                    candidate_xy[row, 0] = obj.location.x
-                    candidate_xy[row, 1] = obj.location.y
-            # The window used to retrieve candidates *is* the pruner's filter
-            # region, so the per-object containment re-check only matters for
-            # indexes that may return a superset of the window.
-            survivors = candidates
-            survivor_xy = candidate_xy
-            if columnar is None and len(candidates) > 0:
-                keep = points_in_window_mask(candidate_xy, pruner.filter_region)
-                pruned_count = int(len(candidates) - np.count_nonzero(keep))
-                if pruned_count:
-                    stats.record_pruned(PruningStrategy.P_EXPANDED_QUERY.value, pruned_count)
-                    rows = np.flatnonzero(keep)
-                    survivors = [candidates[row] for row in rows]
-                    survivor_xy = candidate_xy[rows]
-            if survivors:
-                stats.probability_computations += len(survivors)
-                if self._use_monte_carlo(issuer):
-                    samples = self._config.monte_carlo_samples
-                    stats.monte_carlo_samples += samples * len(survivors)
-                    if self._config.draw_plan == "per_oid":
-                        probabilities = ipq_probabilities_monte_carlo_per_oid(
-                            issuer.pdf,
-                            spec,
-                            survivor_xy,
-                            np.fromiter(
-                                (obj.oid for obj in survivors),
-                                dtype=np.int64,
-                                count=len(survivors),
-                            ),
-                            samples,
-                            self._config.rng_seed,
-                            query_seq,
-                        )
-                    else:
-                        probabilities = ipq_probabilities_monte_carlo(
-                            issuer.pdf, spec, survivor_xy, samples, self._rng
-                        )
-                else:
-                    probabilities = ipq_probabilities(issuer.pdf, spec, survivor_xy)
-                for obj, probability in zip(survivors, probabilities):
-                    probability = float(probability)
-                    if probability > 0.0 and probability >= threshold:
-                        result.add(obj.oid, probability)
-        else:
-            survivors = []
-            for obj in candidates:
-                decision = pruner.decide(obj)
-                if decision.pruned:
-                    stats.record_pruned(decision.strategy or "filter")
-                    continue
-                survivors.append(obj)
-            if survivors and self._use_monte_carlo(issuer):
-                samples = self._config.monte_carlo_samples
-                if self._config.draw_plan == "per_oid":
-                    # The per-oid plan is inherently per-object, so both
-                    # backends share the exact same helper.
-                    locations = np.empty((len(survivors), 2), dtype=float)
-                    for i, obj in enumerate(survivors):
-                        locations[i, 0] = obj.location.x
-                        locations[i, 1] = obj.location.y
-                    stats.probability_computations += len(survivors)
-                    stats.monte_carlo_samples += samples * len(survivors)
-                    probabilities = ipq_probabilities_monte_carlo_per_oid(
-                        issuer.pdf,
-                        spec,
-                        locations,
-                        np.fromiter(
-                            (obj.oid for obj in survivors),
-                            dtype=np.int64,
-                            count=len(survivors),
-                        ),
-                        samples,
-                        self._config.rng_seed,
-                        query_seq,
-                    )
-                    for obj, probability in zip(survivors, probabilities):
-                        probability = float(probability)
-                        if probability > 0.0 and probability >= threshold:
-                            result.add(obj.oid, probability)
-                else:
-                    # Same per-query draw plan as the vectorized backend (one
-                    # batched issuer draw), evaluated with a scalar per-object
-                    # loop — probabilities are bitwise identical across backends.
-                    draws = issuer.pdf.sample_batch(self._rng, samples, len(survivors))
-                    for i, obj in enumerate(survivors):
-                        stats.probability_computations += 1
-                        stats.monte_carlo_samples += samples
-                        dx = np.abs(draws[i, :, 0] - obj.location.x)
-                        dy = np.abs(draws[i, :, 1] - obj.location.y)
-                        inside = (dx <= spec.half_width) & (dy <= spec.half_height)
-                        probability = float(np.count_nonzero(inside)) / samples
-                        if probability > 0.0 and probability >= threshold:
-                            result.add(obj.oid, probability)
-            else:
-                for obj in survivors:
-                    stats.probability_computations += 1
-                    probability = ipq_probability(issuer.pdf, spec, obj.location)
-                    if probability > 0.0 and probability >= threshold:
-                        result.add(obj.oid, probability)
-        result.sort()
-        stats.results_returned = len(result)
-        stats.response_time = time.perf_counter() - started
-        return result, stats
-
-    def _run_uncertain_range(
-        self,
-        issuer: UncertainObject,
-        spec: RangeQuerySpec,
-        threshold: float,
-        *,
-        query_seq: int,
-        pruner_cache: dict[tuple, CIUQPruner] | None = None,
-        columnar: ColumnarUncertain | None = None,
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """(C-)IUQ core: filter through the index, prune, compute probabilities.
-
-        See :meth:`_run_point_range` for the ``pruner_cache`` timing contract
-        and the ``columnar`` batch-path contract; as there, candidates are
-        processed in ascending oid order so results do not depend on the
-        candidate source.  The columnar window filter only replaces plain
-        window queries — a PTI with threshold pruning enabled keeps the index
-        traversal (its node-level pruning is the feature under study).
-        """
-        database = self._require_uncertain_db()
-        started = time.perf_counter()
-        stats = EvaluationStatistics()
-        if pruner_cache is None:
-            pruner = self._uncertain_pruner(issuer, spec, threshold)
-        else:
-            key = (id(issuer), spec, threshold)
-            pruner = pruner_cache.get(key)
-            if pruner is None:
-                pruner = pruner_cache[key] = self._uncertain_pruner(issuer, spec, threshold)
-        index = database.index
-        use_pti = (
-            isinstance(index, ProbabilityThresholdIndex)
-            and self._config.use_pti_pruning
-            and threshold > 0.0
-        )
-        snapshot_rows: np.ndarray | None = None
-        if columnar is not None and self._config.vectorized and not use_pti:
-            window = (
-                pruner.qp_expanded_region
-                if self._config.use_p_expanded_query
-                else pruner.minkowski_region
-            )
-            rows = columnar.window_rows(window)
-            rows = rows[np.argsort(columnar.oids[rows], kind="stable")]
-            snapshot_rows = rows
-            candidates = [columnar.objects[row] for row in rows]
-            if self._config.use_p_expanded_query and threshold > 0.0:
-                residual_strategies = tuple(
-                    s
-                    for s in self._config.ciuq_strategies
-                    if s is not PruningStrategy.P_EXPANDED_QUERY
-                )
-            else:
-                residual_strategies = self._config.ciuq_strategies
-        else:
-            before = index.stats.snapshot()
-            candidates, residual_strategies = self._retrieve_uncertain_candidates(
-                index, pruner, threshold
-            )
-            stats.io = index.stats.difference_since(before)
-            candidates.sort(key=lambda obj: obj.oid)
-        stats.candidates_examined = len(candidates)
-
-        result = QueryResult()
-        if self._config.vectorized:
-            survivors, survivor_bounds = self._prune_uncertain_vectorized(
-                candidates,
-                pruner,
-                residual_strategies,
-                threshold,
-                stats,
-                snapshot=columnar,
-                snapshot_rows=snapshot_rows,
-            )
-            pairs = self._uncertain_probabilities_vectorized(
-                issuer, survivors, spec, stats, query_seq, bounds=survivor_bounds
-            )
-        else:
-            survivors = []
-            for obj in candidates:
-                decision = pruner.decide(obj, strategies=residual_strategies)
-                if decision.pruned:
-                    stats.record_pruned(decision.strategy or "filter")
-                    continue
-                survivors.append(obj)
-            pairs = self._uncertain_probabilities_scalar(
-                issuer, survivors, spec, stats, query_seq
-            )
-        for oid, probability in pairs:
-            if probability > 0.0 and probability >= threshold:
-                result.add(oid, probability)
-        result.sort()
-        stats.results_returned = len(result)
-        stats.response_time = time.perf_counter() - started
-        return result, stats
-
-    def _prune_uncertain_vectorized(
-        self,
-        candidates: list[UncertainObject],
-        pruner: CIUQPruner,
-        strategies: tuple[PruningStrategy, ...],
-        threshold: float,
-        stats: EvaluationStatistics,
-        *,
-        snapshot: ColumnarUncertain | None = None,
-        snapshot_rows: np.ndarray | None = None,
-    ) -> tuple[list[UncertainObject], np.ndarray | None]:
-        """Apply the residual pruning strategies as batched rectangle tests.
-
-        All three Section-5.2 strategies are pure rectangle predicates once
-        the candidates' region bounds and catalog bound rectangles are
-        available as arrays, so the whole batch runs through
-        :meth:`CIUQPruner.decide_many` (same decisions, same per-strategy
-        attribution as the scalar loop).  When the columnar snapshot cannot
-        serve a catalog-based strategy (heterogeneous or missing catalogs),
-        the scalar ``decide`` loop runs instead.
-
-        ``snapshot_rows`` are the candidates' snapshot rows when the caller
-        already knows them (columnar retrieval); otherwise they are resolved
-        by oid.  Returns the survivors together with their region bounds
-        ``(K, 4)`` (``None`` when no bounds array was materialised).
-        """
-        if threshold <= 0.0 or not candidates or not strategies:
-            survivor_bounds = (
-                snapshot.bounds[snapshot_rows]
-                if snapshot is not None and snapshot_rows is not None
-                else None
-            )
-            return list(candidates), survivor_bounds
-        if snapshot is None:
-            snapshot = self._require_uncertain_db().columnar()
-        rows = snapshot_rows
-        if rows is None:
-            try:
-                rows = snapshot.rows_for(candidates)
-            except ValueError:
-                # Candidates from a foreign collection (hand-wired database):
-                # fall back to materialising their bounds directly.
-                rows = None
-        if rows is not None:
-            bounds = snapshot.bounds[rows]
-            catalog_levels = snapshot.catalog_levels
-            catalog_bounds = (
-                snapshot.catalog_bounds[rows]
-                if snapshot.catalog_bounds is not None
-                else None
-            )
-        else:
-            bounds = np.empty((len(candidates), 4), dtype=float)
-            for row, obj in enumerate(candidates):
-                bounds[row] = obj.region.as_tuple()
-            catalog_levels = None
-            catalog_bounds = None
-        batched = pruner.decide_many(
-            bounds, catalog_levels, catalog_bounds, strategies=strategies
-        )
-        if batched is None:
-            survivors = []
-            for obj in candidates:
-                decision = pruner.decide(obj, strategies=strategies)
-                if decision.pruned:
-                    stats.record_pruned(decision.strategy or "filter")
-                else:
-                    survivors.append(obj)
-            return survivors, None
-        keep, pruned_counts = batched
-        if not pruned_counts:
-            return list(candidates), bounds
-        for strategy_name, count in pruned_counts.items():
-            stats.record_pruned(strategy_name, count)
-        kept_rows = np.flatnonzero(keep)
-        return [candidates[row] for row in kept_rows], bounds[kept_rows]
-
-    def _uncertain_routes(
-        self, issuer: UncertainObject, survivors: list[UncertainObject]
-    ) -> tuple[list[int], list[int], list[int]]:
-        """Partition survivors by evaluation route: (monte_carlo, exact, grid).
-
-        The routing mirrors the per-object dispatch the engine has always
-        used: uniform issuer/target pairs get the closed form, everything
-        else is sampled under ``auto``/``monte_carlo``, and ``exact`` without
-        a closed form falls back to the deterministic grid.
-        """
-        method = self._config.probability_method
-        if method == "monte_carlo":
-            return list(range(len(survivors))), [], []
-        issuer_uniform = isinstance(issuer.pdf, UniformPdf)
-        mc_rows: list[int] = []
-        exact_rows: list[int] = []
-        grid_rows: list[int] = []
-        for row, obj in enumerate(survivors):
-            exact_possible = issuer_uniform and isinstance(obj.pdf, UniformPdf)
-            if method == "auto" and not exact_possible:
-                mc_rows.append(row)
-            elif exact_possible:
-                exact_rows.append(row)
-            else:
-                grid_rows.append(row)
-        return mc_rows, exact_rows, grid_rows
-
-    def _uncertain_probabilities_vectorized(
-        self,
-        issuer: UncertainObject,
-        survivors: list[UncertainObject],
-        spec: RangeQuerySpec,
-        stats: EvaluationStatistics,
-        query_seq: int,
-        *,
-        bounds: np.ndarray | None = None,
-    ) -> list[tuple[int, float]]:
-        """Qualification probabilities of the surviving candidates, batched.
-
-        Survivors are partitioned by evaluation route — batched closed form
-        for uniform issuer/target pairs, batched Monte-Carlo for sampled
-        pairs, the deterministic grid fallback for ``exact`` without a closed
-        form — and each batch runs as one NumPy kernel.  Monte-Carlo draws
-        come from the shared per-query plan (:func:`monte_carlo_iuq_draws`),
-        so sampled probabilities are bitwise identical to the scalar backend
-        given the same seed.  Returns ``(oid, probability)`` pairs in
-        survivor order.
-        """
-        if not survivors:
-            return []
-        stats.probability_computations += len(survivors)
-        mc_rows, exact_rows, grid_rows = self._uncertain_routes(issuer, survivors)
-        probabilities = np.empty(len(survivors), dtype=float)
-        if mc_rows:
-            samples = self._config.monte_carlo_samples
-            stats.monte_carlo_samples += samples * len(mc_rows)
-            all_mc = len(mc_rows) == len(survivors)
-            if self._config.draw_plan == "per_oid":
-                probabilities[mc_rows] = iuq_probabilities_monte_carlo_per_oid(
-                    issuer.pdf,
-                    survivors if all_mc else [survivors[row] for row in mc_rows],
-                    spec,
-                    samples,
-                    self._config.rng_seed,
-                    query_seq,
-                )
-            else:
-                probabilities[mc_rows] = iuq_probabilities_monte_carlo(
-                    issuer.pdf,
-                    survivors if all_mc else [survivors[row] for row in mc_rows],
-                    spec,
-                    samples,
-                    self._rng,
-                    target_bounds=(
-                        bounds if all_mc else bounds[mc_rows]
-                    ) if bounds is not None else None,
-                )
-        if exact_rows:
-            if bounds is not None:
-                exact_bounds = bounds[exact_rows]
-            else:
-                exact_bounds = np.empty((len(exact_rows), 4), dtype=float)
-                for i, row in enumerate(exact_rows):
-                    exact_bounds[i] = survivors[row].region.as_tuple()
-            probabilities[exact_rows] = iuq_probabilities_exact_uniform(
-                issuer.pdf, exact_bounds, spec
-            )
-        for row in grid_rows:
-            # method == "exact" without a closed form: the deterministic grid
-            # keeps results reproducible (same fallback as the scalar path).
-            probabilities[row] = iuq_probability(
-                issuer.pdf, survivors[row], spec, grid_resolution=24
-            )
-        return [
-            (obj.oid, float(probability))
-            for obj, probability in zip(survivors, probabilities)
-        ]
-
-    def _uncertain_probabilities_scalar(
-        self,
-        issuer: UncertainObject,
-        survivors: list[UncertainObject],
-        spec: RangeQuerySpec,
-        stats: EvaluationStatistics,
-        query_seq: int,
-    ) -> list[tuple[int, float]]:
-        """Scalar-reference twin of :meth:`_uncertain_probabilities_vectorized`.
-
-        Same routing and the same Monte-Carlo draw plan, but every
-        probability is evaluated with a per-object loop — this is the oracle
-        the parity suite compares the batched kernels against.
-        """
-        if not survivors:
-            return []
-        stats.probability_computations += len(survivors)
-        mc_rows, exact_rows, grid_rows = self._uncertain_routes(issuer, survivors)
-        probabilities = np.empty(len(survivors), dtype=float)
-        if mc_rows:
-            samples = self._config.monte_carlo_samples
-            stats.monte_carlo_samples += samples * len(mc_rows)
-            targets = [survivors[row] for row in mc_rows]
-            if self._config.draw_plan == "per_oid":
-                # The per-oid plan is inherently per-object, so both backends
-                # share the exact same helper.
-                probabilities[mc_rows] = iuq_probabilities_monte_carlo_per_oid(
-                    issuer.pdf, targets, spec, samples, self._config.rng_seed, query_seq
-                )
-            else:
-                issuer_draws, target_draws = monte_carlo_iuq_draws(
-                    issuer.pdf, targets, samples, self._rng
-                )
-                for i, row in enumerate(mc_rows):
-                    dx = np.abs(target_draws[i, :, 0] - issuer_draws[i, :, 0])
-                    dy = np.abs(target_draws[i, :, 1] - issuer_draws[i, :, 1])
-                    inside = (dx <= spec.half_width) & (dy <= spec.half_height)
-                    probabilities[row] = float(np.count_nonzero(inside)) / samples
-        for row in exact_rows:
-            probabilities[row] = iuq_probability_exact_uniform(
-                issuer.pdf, survivors[row], spec
-            )
-        for row in grid_rows:
-            probabilities[row] = iuq_probability(
-                issuer.pdf, survivors[row], spec, grid_resolution=24
-            )
-        return [
-            (obj.oid, float(probability))
-            for obj, probability in zip(survivors, probabilities)
-        ]
-
-    def _retrieve_uncertain_candidates(
-        self, index, pruner: CIUQPruner, threshold: float
-    ) -> tuple[list[UncertainObject], tuple[PruningStrategy, ...]]:
-        """Index filter step for (C-)IUQ.
-
-        * PTI with threshold pruning enabled: node-level Strategy-1 pruning
-          against the Minkowski window plus Strategy-2 pruning against the
-          Qp-expanded-query (Figure 12's "PTI + p-expanded-query").  The
-          strategies the index already applied per entry are removed from the
-          per-object pass — re-running them would test the exact same
-          rounded-level conditions on the exact same rectangles.
-        * Any other index: a plain window query using the Qp-expanded-query
-          when enabled, otherwise the Minkowski sum.
-
-        Returns the candidates and the strategies still to be applied per
-        object.
-        """
-        configured = self._config.ciuq_strategies
-        use_pti = (
-            isinstance(index, ProbabilityThresholdIndex)
-            and self._config.use_pti_pruning
-            and threshold > 0.0
-        )
-        if use_pti:
-            p_window = (
-                pruner.qp_expanded_region if self._config.use_p_expanded_query else None
-            )
-            candidates = index.range_search_with_threshold(
-                pruner.minkowski_region, threshold, p_window
-            )
-            applied = {PruningStrategy.P_BOUND}
-            if p_window is not None:
-                applied.add(PruningStrategy.P_EXPANDED_QUERY)
-            residual = tuple(s for s in configured if s not in applied)
-            return candidates, residual
-        window = (
-            pruner.qp_expanded_region
-            if self._config.use_p_expanded_query
-            else pruner.minkowski_region
-        )
-        candidates = index.range_search(window)
-        if self._config.use_p_expanded_query and threshold > 0.0:
-            # The window query already discarded objects outside the
-            # Qp-expanded-query, i.e. it applied Strategy 2.
-            residual = tuple(
-                s for s in configured if s is not PruningStrategy.P_EXPANDED_QUERY
-            )
-            return candidates, residual
-        return candidates, configured
-
-    # ------------------------------------------------------------------ #
-    # Live mutation
-    # ------------------------------------------------------------------ #
     def _mutation_db(self, target: str | None) -> PointDatabase | UncertainDatabase:
         return pick_mutation_database(self._point_db, self._uncertain_db, target)
 
@@ -1440,8 +348,8 @@ class ImpreciseQueryEngine:
         """Add one object to the matching database (chosen by the object's type).
 
         The database keeps its index in sync and bumps its epoch, so cached
-        columnar snapshots and nearest-neighbour samplers are rebuilt lazily.
-        Returns the stored object.
+        columnar snapshots, nearest-neighbour samplers and result-cache
+        entries are invalidated lazily.  Returns the stored object.
         """
         if isinstance(obj, PointObject):
             return self._require_point_db().insert(obj)
@@ -1479,72 +387,3 @@ class ImpreciseQueryEngine:
         """Apply an ordered batch of mutations to this engine's databases."""
         for op in batch:
             apply_update_op(self, op)
-
-    # ------------------------------------------------------------------ #
-    # Nearest-neighbour support
-    # ------------------------------------------------------------------ #
-    def _nearest_engine(self, samples: int) -> ImpreciseNearestNeighborEngine:
-        """A cached nearest-neighbour sampler sharing the point database's index.
-
-        The cache is keyed by ``(samples, database epoch)``: any live
-        mutation of the point database bumps its epoch, so samplers built
-        over the old object list are dropped instead of served stale.
-        """
-        database = self._require_point_db()
-        key = (samples, database.epoch)
-        engine = self._nn_engines.get(key)
-        if engine is None:
-            # Mutation invalidated the cache: shed samplers from past epochs.
-            self._nn_engines = {
-                cached_key: cached
-                for cached_key, cached in self._nn_engines.items()
-                if cached_key[1] == database.epoch
-            }
-            index = database.index if isinstance(database.index, RTree) else None
-            engine = ImpreciseNearestNeighborEngine(
-                database.objects,
-                index=index,
-                samples=samples,
-                rng_seed=self._config.rng_seed,
-            )
-            self._nn_engines[key] = engine
-        return engine
-
-    # ------------------------------------------------------------------ #
-    # Deprecated per-type shims
-    # ------------------------------------------------------------------ #
-    def _warn_legacy(self, name: str, replacement: str) -> None:
-        warnings.warn(
-            f"ImpreciseQueryEngine.{name}() is deprecated; "
-            f"use engine.evaluate({replacement}) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def evaluate_ipq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Deprecated shim: imprecise range query over point objects (Definition 3)."""
-        self._warn_legacy("evaluate_ipq", "RangeQuery.ipq(issuer, spec)")
-        return self.evaluate(RangeQuery.ipq(issuer, spec)).as_tuple()
-
-    def evaluate_cipq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Deprecated shim: constrained imprecise range query over point objects."""
-        self._warn_legacy("evaluate_cipq", "RangeQuery.cipq(issuer, spec, threshold)")
-        return self.evaluate(RangeQuery.cipq(issuer, spec, threshold)).as_tuple()
-
-    def evaluate_iuq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Deprecated shim: imprecise range query over uncertain objects (Definition 4)."""
-        self._warn_legacy("evaluate_iuq", "RangeQuery.iuq(issuer, spec)")
-        return self.evaluate(RangeQuery.iuq(issuer, spec)).as_tuple()
-
-    def evaluate_ciuq(
-        self, issuer: UncertainObject, spec: RangeQuerySpec, threshold: float
-    ) -> tuple[QueryResult, EvaluationStatistics]:
-        """Deprecated shim: constrained imprecise range query over uncertain objects."""
-        self._warn_legacy("evaluate_ciuq", "RangeQuery.ciuq(issuer, spec, threshold)")
-        return self.evaluate(RangeQuery.ciuq(issuer, spec, threshold)).as_tuple()

@@ -10,19 +10,32 @@ ordinary :class:`~repro.core.queries.Evaluation` envelopes — answers in
 global oid order, work counters summed, and per-shard wall-clock attribution
 attached (:class:`ParallelEvaluation.shard_timings`).
 
+Per-shard execution is the *same staged pipeline* the serial engine runs
+(:mod:`repro.core.pipeline`, reached through
+:meth:`~repro.core.sharding.ShardedDatabase.execute_on_shard`): this engine
+owns no evaluation code of its own, only routing, the worker pool and the
+merge.  The result-cache stage, however, runs **here in the parent**, not
+inside the shards: a cache entry must hold a whole-query answer, and fills
+performed inside forked workers would die with the worker anyway.  Cache
+keys embed the *per-shard epoch vector* of the routed shards (plus the
+sharded database's structure version), so a mutation in one shard does not
+evict answers that only touched others — the fine-grained invalidation a
+single global epoch cannot give.
+
 Results are **identical** to a single-shard
 :class:`~repro.core.engine.ImpreciseQueryEngine` running the same workload
-under the per-oid draw plan (``EngineConfig(draw_plan="per_oid")``, which
-this engine forces): the shards partition the objects, pruning decisions are
-per-object, and every Monte-Carlo draw is a pure function of ``(rng_seed,
-query sequence number, oid)`` — so sampled probabilities match bitwise no
-matter how the objects are spread over shards or how many workers run them.
-One caveat applies to nearest-neighbour queries: when two objects are at
-*exactly* the same distance from a sampled position, the sharded merge
-breaks the tie towards the smaller oid while the single-shard engine keeps
-whichever its R-tree traversal found first.  Under the continuous pdfs used
-throughout this reproduction exact ties have probability zero; datasets
-with symmetric, grid-aligned point layouts can hit them.
+under a position-independent draw plan (``draw_plan="per_oid"``, which this
+engine forces when handed the streaming plan, or ``"query_keyed"``): the
+shards partition the objects, pruning decisions are per-object, and every
+Monte-Carlo draw is a pure function of ``(rng_seed, draw token, oid)`` — so
+sampled probabilities match bitwise no matter how the objects are spread
+over shards or how many workers run them.  One caveat applies to
+nearest-neighbour queries: when two objects are at *exactly* the same
+distance from a sampled position, the sharded merge breaks the tie towards
+the smaller oid while the single-shard engine keeps whichever its R-tree
+traversal found first.  Under the continuous pdfs used throughout this
+reproduction exact ties have probability zero; datasets with symmetric,
+grid-aligned point layouts can hit them.
 
 The process pool uses the ``fork`` start method so workers inherit the shard
 databases (objects, indexes and columnar snapshots) without pickling them;
@@ -45,21 +58,21 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import time
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Hashable, Iterable
 
 import numpy as np
 
-from repro.core.engine import (
-    DEFAULT_NN_SAMPLES,
-    EngineConfig,
-    ImpreciseQueryEngine,
-)
+from repro.core.cache import fill_allowed
+from repro.core.engine import EngineConfig
 from repro.core.expansion import minkowski_expanded_query
 from repro.core.nearest import nn_query_draws
+from repro.core.pipeline import DEFAULT_NN_SAMPLES, partition_workload
+from repro.core.plan import query_cache_key, resolve_draw_token
 from repro.core.queries import (
     Evaluation,
     NearestNeighborQuery,
@@ -107,6 +120,8 @@ class ParallelEvaluation(Evaluation):
     ``elapsed_seconds`` is the slowest shard's time (the parallel critical
     path); ``statistics.response_time`` sums the shards' times (the total
     work performed); ``shard_timings`` breaks that total down per shard.
+    An answer served from the result cache carries no shard timings — no
+    shard ran.
     """
 
     shard_timings: tuple[ShardTiming, ...] = ()
@@ -166,24 +181,25 @@ class ParallelEngine:
         self._point_db = point_db
         self._uncertain_db = uncertain_db
         config = config if config is not None else EngineConfig()
-        if config.draw_plan != "per_oid":
-            # Sharded execution is only well-defined under the per-oid plan:
-            # the streaming plan ties draws to batch composition, which no
-            # shard can reproduce.
+        if config.draw_plan == "stream":
+            # Sharded execution is only well-defined under a position- or
+            # content-keyed plan: the streaming plan ties draws to batch
+            # composition, which no shard can reproduce.  (stream + cache is
+            # already rejected by EngineConfig itself.)
             config = config.with_overrides(draw_plan="per_oid")
         self._config = config
+        self._config_fingerprint = config.fingerprint()
         self._workers = 1 if workers is None else int(workers)
         self._query_seq = 0
         self._token = next(_TOKENS)
         self._pool: ProcessPoolExecutor | None = None
-        self._shard_engines: dict[tuple[str, int], ImpreciseQueryEngine] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
     # ------------------------------------------------------------------ #
     @property
     def config(self) -> EngineConfig:
-        """The engine configuration (draw plan forced to ``"per_oid"``)."""
+        """The engine configuration (draw plan never ``"stream"``)."""
         return self._config
 
     @property
@@ -233,10 +249,11 @@ class ParallelEngine:
         """Evaluate a workload shard-parallel, preserving input order.
 
         Each query is routed to the shards its window can touch, the routed
-        per-shard batches run through the ordinary engine batch path (one
-        sub-engine per shard), and the partial results are merged.  Queries
+        per-shard batches run through the shared staged pipeline (one
+        pipeline per shard), and the partial results are merged.  Queries
         whose window misses every shard return empty evaluations without
-        touching any worker.
+        touching any worker; queries answerable from the result cache are
+        served in the parent without routing any shard work at all.
 
         An :class:`~repro.core.updates.UpdateBatch` may be interleaved with
         the queries: it is applied at exactly its position in the stream
@@ -246,49 +263,78 @@ class ParallelEngine:
         — a live-updated sharded database answers bitwise-identically to a
         from-scratch rebuild of the same final collection.
         """
-        items = list(queries)
-        for position, item in enumerate(items):
-            if not isinstance(item, (RangeQuery, NearestNeighborQuery, UpdateBatch)):
-                raise TypeError(
-                    f"evaluate_many() only accepts RangeQuery, NearestNeighborQuery "
-                    f"and UpdateBatch objects; item {position} is {type(item).__name__!r}"
-                )
         evaluations: list[Evaluation] = []
-        batch: list[Query] = []
-        for item in items:
-            if isinstance(item, UpdateBatch):
-                if batch:
-                    evaluations.extend(self._run_query_batch(batch))
-                    batch = []
-                self.apply_updates(item)
+        for kind, payload in partition_workload(queries):
+            if kind == "updates":
+                self.apply_updates(payload)
             else:
-                batch.append(item)
-        if batch:
-            evaluations.extend(self._run_query_batch(batch))
+                evaluations.extend(self._run_query_batch(payload))
         return evaluations
 
+    # ------------------------------------------------------------------ #
+    # Cache stage (parent-side)
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, query: Query, kind: str, shards: list[Shard]) -> Hashable:
+        """The sharded cache key: structure version + routed epoch vector.
+
+        Only the *routed* shards' epochs participate, so a mutation in a
+        shard the query never touches leaves the entry reachable.  The
+        structure version guards against ``(sid, epoch)`` collisions across
+        wholesale database replacements (re-splits restart epochs at zero).
+        """
+        database = self._require(kind)
+        scope = (
+            "shards",
+            kind,
+            database.uid,
+            database.version,
+            tuple((shard.sid, shard.database.epoch) for shard in shards),
+        )
+        return (scope, query_cache_key(query), self._config_fingerprint)
+
     def _run_query_batch(self, batch: list[Query]) -> list[Evaluation]:
-        """Route, execute and merge one homogeneous query batch."""
+        """Consult the cache, then route, execute and merge the misses."""
         base_seq = self._query_seq
         self._query_seq += len(batch)
+        cache = self._config.cache
 
+        evaluations: list[Evaluation | None] = [None] * len(batch)
+        fill_keys: dict[int, Hashable] = {}
         tasks: dict[tuple[str, int], list[tuple[int, int, Query]]] = {}
-        routed_counts: list[int] = []
         for position, query in enumerate(batch):
             seq = base_seq + position
+            kind = "points" if self._targets_points(query) else "uncertain"
             shards = self._route(query)
-            routed_counts.append(len(shards))
+            if cache is not None:
+                started = time.perf_counter()
+                key = self._cache_key(query, kind, shards)
+                entry = cache.lookup(key, query.issuer)
+                if entry is not None:
+                    result, stats = entry.materialise()
+                    evaluations[position] = ParallelEvaluation(
+                        query=query,
+                        result=result,
+                        statistics=stats,
+                        elapsed_seconds=time.perf_counter() - started,
+                        shard_timings=(),
+                    )
+                    continue
+                fill_keys[position] = key
             for shard in shards:
-                kind = "points" if self._targets_points(query) else "uncertain"
                 tasks.setdefault((kind, shard.sid), []).append((position, seq, query))
 
         partials: dict[int, list[tuple[int, _RangePartial | _NNPartial]]] = {}
         for position, (sid, payload) in self._execute(tasks):
             partials.setdefault(position, []).append((sid, payload))
 
-        evaluations: list[Evaluation] = []
         for position, query in enumerate(batch):
-            evaluations.append(self._merge(query, partials.get(position, [])))
+            if evaluations[position] is not None:
+                continue
+            merged = self._merge(query, partials.get(position, []))
+            key = fill_keys.get(position)
+            if key is not None and fill_allowed(self._config.draw_plan, merged.statistics):
+                cache.store(key, query.issuer, merged.result, merged.statistics)
+            evaluations[position] = merged
         return evaluations
 
     # ------------------------------------------------------------------ #
@@ -380,40 +426,24 @@ class ParallelEngine:
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
-    def _shard_engine(self, kind: str, sid: int) -> ImpreciseQueryEngine:
-        key = (kind, sid)
-        shard = self._require(kind).shards[sid]
-        engine = self._shard_engines.get(key)
-        if engine is not None:
-            # A re-split (or a shard emptying out) replaces shard.database
-            # wholesale; a cached engine wired to the old instance would
-            # silently serve the pre-mutation objects.  In-place mutations
-            # keep the instance (and the engine), relying on the database
-            # epoch to refresh snapshots and samplers.
-            cached_db = engine.point_db if kind == "points" else engine.uncertain_db
-            if cached_db is not shard.database:
-                engine = None
-        if engine is None:
-            if kind == "points":
-                engine = ImpreciseQueryEngine(point_db=shard.database, config=self._config)
-            else:
-                engine = ImpreciseQueryEngine(
-                    uncertain_db=shard.database, config=self._config
-                )
-            self._shard_engines[key] = engine
-        return engine
-
     def _execute_shard(
         self, kind: str, sid: int, items: list[tuple[int, int, Query]]
     ) -> list[tuple[int, tuple[int, _RangePartial | _NNPartial]]]:
-        """Run one shard's routed queries; returns ``(position, (sid, payload))``."""
-        engine = self._shard_engine(kind, sid)
+        """Run one shard's routed queries; returns ``(position, (sid, payload))``.
+
+        Range queries run through the shard's staged pipeline
+        (:meth:`ShardedDatabase.execute_on_shard`) — the identical stage
+        runner the serial engine uses.  Nearest-neighbour queries use the
+        shard pipeline's sampler in per-draw mode, because their merge is a
+        per-draw argmin across shards rather than an answer-list union.
+        """
+        database = self._require(kind)
         results: list[tuple[int, tuple[int, _RangePartial | _NNPartial]]] = []
         range_items = [item for item in items if isinstance(item[2], RangeQuery)]
         nn_items = [item for item in items if isinstance(item[2], NearestNeighborQuery)]
         if range_items:
-            evaluations = engine.evaluate_many_at(
-                [(seq, query) for _, seq, query in range_items]
+            evaluations = database.execute_on_shard(
+                sid, [(seq, query) for _, seq, query in range_items], self._config
             )
             for (position, _, _), evaluation in zip(range_items, evaluations):
                 payload = _RangePartial(
@@ -424,10 +454,11 @@ class ParallelEngine:
                 results.append((position, (sid, payload)))
         for position, seq, query in nn_items:
             samples = query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
+            token = resolve_draw_token(self._config, query, seq)
             draws = nn_query_draws(
-                query.issuer.pdf, samples, self._config.rng_seed, seq
+                query.issuer.pdf, samples, self._config.rng_seed, token
             )
-            nn_engine = engine._nearest_engine(samples)
+            nn_engine = database.shard_pipeline(sid, self._config).nearest_engine(samples)
             oids, distances, stats = nn_engine.per_draw_winners(draws)
             payload = _NNPartial(
                 oids=oids,

@@ -1,0 +1,254 @@
+"""Per-query execution plans for the staged pipeline.
+
+Every query the engines accept is first compiled into a :class:`QueryPlan`
+— a small, inspectable record of the decisions that used to be scattered
+through the engine monolith:
+
+* the **candidate window** (the C-IPQ filter region, the Qp-expanded-query
+  or the Minkowski sum) that the index probe or the columnar window test
+  will retrieve candidates from,
+* the **index probe** choice — whether PTI node-level threshold pruning is
+  engaged, and whether the plain window probe may be replaced by a columnar
+  snapshot scan on the batch path,
+* the **pruner** (:class:`~repro.core.pruning.CIPQPruner` /
+  :class:`~repro.core.pruning.CIUQPruner`) owning the expanded-region
+  construction, shared across queries that repeat an (issuer, spec,
+  threshold) combination,
+* the **draw-plan slot** — the token Monte-Carlo draws are keyed by (the
+  query's sequence number under ``draw_plan="per_oid"``, a stable
+  content-derived fingerprint under ``draw_plan="query_keyed"``, or
+  ``None`` for the historical streaming plan), and
+* the **cache key** component identifying the query to the shared
+  :class:`~repro.core.cache.ResultCache`.
+
+The plan is pure data: building one performs no index I/O and consumes no
+randomness, so planners can be called speculatively (e.g. to form a cache
+key before deciding whether to execute at all).  The stage runner in
+:mod:`repro.core.pipeline` is the only consumer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Hashable, Literal
+
+from repro.core.pruning import CIPQPruner, CIUQPruner
+from repro.core.queries import NearestNeighborQuery, Query, RangeQuery
+from repro.geometry.rect import Rect
+from repro.index.pti import ProbabilityThresholdIndex
+
+#: Monte-Carlo sample count used for nearest-neighbour queries that do not
+#: specify one (matches :class:`ImpreciseNearestNeighborEngine`'s default).
+DEFAULT_NN_SAMPLES = 256
+
+PlanTarget = Literal["points", "uncertain", "nearest"]
+
+
+def resolved_nn_samples(query: NearestNeighborQuery) -> int:
+    """The Monte-Carlo sample count a nearest-neighbour query will run with.
+
+    ``samples=None`` and an explicit ``samples=DEFAULT_NN_SAMPLES`` describe
+    the same request, so every identity derived from a query — fingerprint,
+    draw token, cache key — must resolve the default first; otherwise the
+    two spellings would share a cache entry while drawing different samples.
+    """
+    return query.samples if query.samples is not None else DEFAULT_NN_SAMPLES
+
+
+def query_fingerprint(query: Query) -> tuple:
+    """A content tuple identifying a query independently of object identity.
+
+    Two queries with equal fingerprints describe the same request: same
+    issuer (oid + uncertainty-region bounds), same shape, same threshold,
+    same target.  This is the basis of the ``query_keyed`` draw plan — the
+    plan under which a repeated query draws the *same* Monte-Carlo samples
+    wherever it appears in a workload, which is what makes sampled answers
+    cacheable without breaking replay determinism.
+    """
+    region = query.issuer.region.as_tuple()
+    if isinstance(query, NearestNeighborQuery):
+        return (
+            "nn",
+            query.issuer.oid,
+            region,
+            query.threshold,
+            resolved_nn_samples(query),
+        )
+    return (
+        "range",
+        query.issuer.oid,
+        region,
+        query.spec.half_width,
+        query.spec.half_height,
+        query.threshold,
+        query.target,
+    )
+
+
+def query_cache_key(query: Query) -> tuple:
+    """The query component of a result-cache key, shared by every engine.
+
+    Issuers are identified by ``id()``; the cache pins the issuer object so
+    the id cannot be recycled while an entry lives.  The serial pipeline and
+    the parallel executor both derive their keys from this single helper, so
+    the key shape cannot drift between execution paths.
+    """
+    if isinstance(query, NearestNeighborQuery):
+        return ("nn", id(query.issuer), query.threshold, resolved_nn_samples(query))
+    return ("range", id(query.issuer), query.spec, query.threshold, query.target)
+
+
+def query_draw_token(query: Query) -> int:
+    """A stable 63-bit draw-plan token derived from the query's content.
+
+    Deterministic across processes and Python hash randomisation (it goes
+    through :mod:`hashlib`, not builtin ``hash``), non-negative (a
+    ``SeedSequence`` entropy requirement), and equal exactly when
+    :func:`query_fingerprint` is equal.  Passed to the per-oid draw helpers
+    in place of the query sequence number.
+    """
+    digest = hashlib.blake2b(
+        repr(query_fingerprint(query)).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+def point_pruner(config, issuer, spec, threshold: float) -> CIPQPruner:
+    """The (C-)IPQ pruner for one (issuer, spec, threshold) combination."""
+    return CIPQPruner(
+        issuer,
+        spec,
+        threshold,
+        use_p_expanded_query=config.use_p_expanded_query,
+    )
+
+
+def uncertain_pruner(config, issuer, spec, threshold: float) -> CIUQPruner:
+    """The (C-)IUQ pruner for one (issuer, spec, threshold) combination."""
+    return CIUQPruner(
+        issuer,
+        spec,
+        threshold,
+        strategies=config.ciuq_strategies,
+    )
+
+
+@dataclass
+class QueryPlan:
+    """The compiled execution plan of one query (see the module docstring)."""
+
+    query: Query
+    #: Position of the query in the global workload sequence.
+    query_seq: int
+    #: Which evaluation core runs the plan.
+    target: PlanTarget
+    #: Token the Monte-Carlo draws are keyed by (``None`` = streaming plan).
+    draw_token: int | None
+    #: Pruner owning the expanded regions (``None`` for nearest-neighbour).
+    pruner: CIPQPruner | CIUQPruner | None
+    #: Candidate window the probe retrieves from (``None`` for nearest).
+    window: Rect | None
+    #: Engage PTI node-level threshold pruning during the index probe.
+    use_pti: bool
+    #: The batch path may satisfy the probe with a columnar window test
+    #: instead of an index traversal (PTI probes keep the index — its
+    #: node-level pruning is the feature under study).
+    prefer_columnar: bool
+    #: Monte-Carlo sample count (nearest-neighbour plans only).
+    samples: int | None
+    #: Query component of the result-cache key.  Issuers are identified by
+    #: ``id()``; the cache pins the issuer object so the id cannot be
+    #: recycled while the entry lives.
+    cache_key: Hashable
+
+
+def resolve_draw_token(config, query: Query, query_seq: int) -> int | None:
+    """The draw-plan slot for one query: what Monte-Carlo draws are keyed by.
+
+    ``None`` selects the streaming plan (draws consumed from the engine's
+    shared advancing generator); the query's sequence number keys the
+    position-independent ``per_oid`` plan; a stable content fingerprint keys
+    the ``query_keyed`` plan that the result cache relies on.
+    """
+    if config.draw_plan == "per_oid":
+        return query_seq
+    if config.draw_plan == "query_keyed":
+        return query_draw_token(query)
+    return None
+
+
+def plan_query(
+    query: Query,
+    query_seq: int,
+    config,
+    *,
+    uncertain_index=None,
+    pruner_cache: dict | None = None,
+) -> QueryPlan:
+    """Compile one query into a :class:`QueryPlan` under ``config``.
+
+    ``uncertain_index`` is consulted only to decide PTI engagement for
+    uncertain-target range queries.  ``pruner_cache`` (keyed by issuer
+    identity, spec and threshold) lets the batch path reuse pruners across
+    queries sharing a filter region; pass ``None`` to always build fresh.
+    """
+    if isinstance(query, NearestNeighborQuery):
+        return QueryPlan(
+            query=query,
+            query_seq=query_seq,
+            target="nearest",
+            draw_token=resolve_draw_token(config, query, query_seq),
+            pruner=None,
+            window=None,
+            use_pti=False,
+            prefer_columnar=False,
+            samples=resolved_nn_samples(query),
+            cache_key=query_cache_key(query),
+        )
+    if not isinstance(query, RangeQuery):
+        raise TypeError(
+            f"cannot plan {type(query).__name__!r}; expected a RangeQuery "
+            "or a NearestNeighborQuery"
+        )
+    issuer, spec, threshold = query.issuer, query.spec, query.threshold
+    build = point_pruner if query.target == "points" else uncertain_pruner
+    # The target is part of the key: CIPQPruner and CIUQPruner answer the
+    # same (issuer, spec, threshold) with different machinery, so a shared
+    # cache dict must never alias them across targets.
+    cache_key = (id(issuer), spec, threshold, query.target)
+    pruner = None
+    if pruner_cache is not None:
+        pruner = pruner_cache.get(cache_key)
+    if pruner is None:
+        pruner = build(config, issuer, spec, threshold)
+        if pruner_cache is not None:
+            pruner_cache[cache_key] = pruner
+    if query.target == "points":
+        window = pruner.filter_region
+        use_pti = False
+        prefer_columnar = bool(config.vectorized)
+    else:
+        use_pti = (
+            isinstance(uncertain_index, ProbabilityThresholdIndex)
+            and config.use_pti_pruning
+            and threshold > 0.0
+        )
+        window = (
+            pruner.qp_expanded_region
+            if config.use_p_expanded_query
+            else pruner.minkowski_region
+        )
+        prefer_columnar = bool(config.vectorized) and not use_pti
+    return QueryPlan(
+        query=query,
+        query_seq=query_seq,
+        target=query.target,
+        draw_token=resolve_draw_token(config, query, query_seq),
+        pruner=pruner,
+        window=window,
+        use_pti=use_pti,
+        prefer_columnar=prefer_columnar,
+        samples=None,
+        cache_key=query_cache_key(query),
+    )

@@ -21,9 +21,10 @@ partially configured builder can be reused as a template for many queries
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
 
+from repro.core.cache import ResultCache
 from repro.core.engine import (
     EngineConfig,
     ImpreciseQueryEngine,
@@ -170,13 +171,81 @@ class Session:
                 catalog_levels=None,
                 hot_threshold=hot_threshold,
             )
+        config = self._engine.config
+        if config.draw_plan == "stream":
+            config = config.with_overrides(draw_plan="per_oid")
         engine = ParallelEngine(
             point_db=sharded_points,
             uncertain_db=sharded_uncertain,
-            config=self._engine.config.with_overrides(draw_plan="per_oid"),
+            config=config,
             workers=workers,
         )
         return Session(engine=engine)
+
+    def cached(self, capacity: int = 1024) -> "Session":
+        """A new session serving repeated queries from an epoch-keyed result cache.
+
+        The returned session shares this session's databases (mutations
+        through either session are seen by both — the epoch counters keep
+        every consumer consistent) but runs with a fresh
+        :class:`~repro.core.cache.ResultCache` of the given ``capacity``
+        threaded through the query pipeline.  Sessions on the default
+        streaming draw plan are switched to ``draw_plan="query_keyed"`` so
+        that *sampled* answers are cacheable too: under that plan a query's
+        Monte-Carlo draws depend only on its content, never on its position
+        in the workload, so a cache hit is bitwise-identical to recomputing.
+        A session already on ``"per_oid"`` keeps its plan (preserving
+        sharded-parity replay semantics); there only draw-free answers are
+        cached.
+
+        Monitor hit rates via :meth:`stats`.
+        """
+        config = self._engine.config
+        overrides: dict[str, Any] = {"cache": ResultCache(capacity=capacity)}
+        if config.draw_plan == "stream":
+            overrides["draw_plan"] = "query_keyed"
+        config = config.with_overrides(**overrides)
+        if isinstance(self._engine, ParallelEngine):
+            engine: ImpreciseQueryEngine | ParallelEngine = ParallelEngine(
+                point_db=self._engine.point_db,
+                uncertain_db=self._engine.uncertain_db,
+                config=config,
+                workers=self._engine.workers,
+            )
+        else:
+            engine = ImpreciseQueryEngine(
+                point_db=self._engine.point_db,
+                uncertain_db=self._engine.uncertain_db,
+                config=config,
+            )
+        return Session(engine=engine)
+
+    def stats(self) -> "SessionStats":
+        """A snapshot of the session's serving counters.
+
+        Bundles the result cache's hit/miss/eviction counters (``None``
+        when the session runs uncached) with the current database epoch —
+        or, for sharded sessions, the per-shard epoch vector — so serving
+        workloads can monitor hit rate and watch invalidation happen.
+        """
+        cache = self._engine.config.cache
+        cache_stats = None
+        if cache is not None:
+            cache_stats = dict(cache.stats.as_dict())
+            cache_stats["entries"] = len(cache)
+            cache_stats["capacity"] = cache.capacity
+        epochs: dict[str, Any] = {}
+        for name, database in (
+            ("points", self._engine.point_db),
+            ("uncertain", self._engine.uncertain_db),
+        ):
+            if database is None:
+                continue
+            if isinstance(database, ShardedDatabase):
+                epochs[name] = dict(database.epochs())
+            else:
+                epochs[name] = database.epoch
+        return SessionStats(cache=cache_stats, epochs=epochs)
 
     # ------------------------------------------------------------------ #
     # Fluent builders
@@ -255,6 +324,26 @@ class Session:
         is applied at its position in the stream and yields no evaluation.
         """
         return self._engine.evaluate_many(queries)
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Serving counters reported by :meth:`Session.stats`.
+
+    ``cache`` is ``None`` for uncached sessions; otherwise a dict with
+    ``hits`` / ``misses`` / ``evictions`` / ``hit_rate`` / ``entries`` /
+    ``capacity``.  ``epochs`` maps each configured database (``"points"`` /
+    ``"uncertain"``) to its mutation epoch — an int for serial sessions, a
+    ``{shard id: epoch}`` dict for sharded ones.
+    """
+
+    cache: dict[str, Any] | None = None
+    epochs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate (0.0 for uncached sessions)."""
+        return float(self.cache["hit_rate"]) if self.cache else 0.0
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
 
-from repro.core.engine import PointDatabase, UncertainDatabase
+from repro.core.database import PointDatabase, UncertainDatabase, new_database_uid
+from repro.core.pipeline import QueryPipeline
+from repro.core.queries import Evaluation, Query
 from repro.datasets.partition import (
     PartitionMethod,
     mbr_centers,
@@ -54,6 +56,11 @@ from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
 from repro.uncertainty.region import PointObject, UncertainObject
 
 ShardKind = Literal["points", "uncertain"]
+
+#: Per-shard pipeline instances retained per configuration (oldest evicted
+#: beyond this), so a handful of engines sharing one sharded database keep
+#: their pipelines warm while a stream of short-lived engines stays bounded.
+_PIPELINES_PER_SHARD = 4
 
 
 @dataclass
@@ -98,10 +105,28 @@ class ShardedDatabase:
     #: Re-split a shard in place when an insert pushes it past this many
     #: members (``None`` disables hot-shard re-splitting).
     hot_threshold: int | None = None
+    #: Structure version: bumped whenever a shard's *database instance* is
+    #: replaced wholesale (re-splits, emptied shards, repopulated empty
+    #: shards).  Per-shard epoch counters restart at zero on such a
+    #: replacement, so cache keys embedding ``(sid, epoch)`` pairs must also
+    #: embed this version to stay collision-free across replacements.
+    version: int = field(default=0, init=False, compare=False)
+    #: Process-unique identity (never recycled); cache keys embed it so two
+    #: sharded databases sharing a configuration can never alias.
+    uid: int = field(default_factory=new_database_uid, init=False, repr=False, compare=False)
     #: Lazy oid → shard-id map maintained across mutations.
     _oid_shard: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
     #: Lazy oid → position map into the global ``objects`` list.
     _oid_global: dict[int, int] | None = field(default=None, init=False, repr=False, compare=False)
+    #: Per-shard :class:`~repro.core.pipeline.QueryPipeline` instances,
+    #: keyed by ``(shard id, configuration identity)`` so several engines
+    #: sharing this database (e.g. a session and its ``cached()``
+    #: descendant) keep their pipelines — and the samplers those pipelines
+    #: cache — warm side by side; an entry is rebuilt when the shard's
+    #: database instance was replaced wholesale.
+    _pipelines: dict[tuple[int, int], tuple] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.hot_threshold is not None and self.hot_threshold < 2:
@@ -262,6 +287,87 @@ class ShardedDatabase:
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
+
+    def epochs(self) -> tuple[tuple[int, int], ...]:
+        """``(sid, epoch)`` pairs of the non-empty shards, in shard-id order.
+
+        The fine-grained invalidation signal for sharded result caching: a
+        mutation bumps only the owning shard's epoch, so cached answers
+        whose routed shards are all untouched stay reachable.
+        """
+        return tuple(
+            (shard.sid, shard.database.epoch) for shard in self.non_empty_shards()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-shard execution
+    # ------------------------------------------------------------------ #
+    def shard_pipeline(self, sid: int, config) -> QueryPipeline:
+        """The staged query pipeline of one shard (built lazily, cached).
+
+        Each non-empty shard owns an ordinary
+        :class:`~repro.core.pipeline.QueryPipeline` over its database — the
+        very same stage runner the serial engine uses, so every engine
+        feature (columnar batch filtering, PTI node pruning, pruner caching)
+        works unchanged per shard.  The pipeline's result-cache stage is
+        disabled: a shard computes *partial* answers, which must never be
+        cached as whole-query answers (the parallel executor's parent
+        consults the shared cache instead, with per-shard epoch keys).
+
+        A cached pipeline is discarded when the shard's database instance
+        was replaced wholesale (a re-split, or a shard emptying out);
+        in-place mutations keep the pipeline, relying on the database epoch
+        to refresh snapshots and samplers.  Pipelines are cached per
+        configuration identity, so engines sharing this database under
+        different configurations do not evict each other.
+        """
+        shard = self.shards[sid]
+        if shard.database is None:
+            raise ValueError(f"shard {sid} is empty and has no pipeline")
+        key = (sid, id(config))
+        cached = self._pipelines.get(key)
+        if cached is not None:
+            cached_db, cached_config, pipeline = cached
+            if cached_db is shard.database and cached_config is config:
+                return pipeline
+        # Shed entries pinning this shard's replaced database (a re-split or
+        # an emptied shard leaves them unreachable forever otherwise), then
+        # bound the configs retained per shard so a stream of short-lived
+        # engines cannot grow the cache without limit.
+        stale = [
+            cached_key
+            for cached_key, (cached_db, _, _) in self._pipelines.items()
+            if cached_key[0] == sid and cached_db is not shard.database
+        ]
+        for cached_key in stale:
+            del self._pipelines[cached_key]
+        per_sid = [cached_key for cached_key in self._pipelines if cached_key[0] == sid]
+        while len(per_sid) >= _PIPELINES_PER_SHARD:
+            del self._pipelines[per_sid.pop(0)]  # insertion order = oldest first
+        if self.kind == "points":
+            pipeline = QueryPipeline(
+                point_db=shard.database, config=config, cache=None
+            )
+        else:
+            pipeline = QueryPipeline(
+                uncertain_db=shard.database, config=config, cache=None
+            )
+        self._pipelines[key] = (shard.database, config, pipeline)
+        return pipeline
+
+    def execute_on_shard(
+        self, sid: int, items: list[tuple[int, Query]], config
+    ) -> list[Evaluation]:
+        """Run routed ``(query_seq, query)`` pairs through one shard's pipeline.
+
+        The sequence numbers are the queries' positions in the *global*
+        workload, so position-keyed draw plans sample the same Monte-Carlo
+        draws on every shard — the bitwise-parity contract of the parallel
+        executor.
+        """
+        batch = [query for _, query in items]
+        seqs = [int(seq) for seq, _ in items]
+        return self.shard_pipeline(sid, config).run_batch(batch, seqs)
 
     # ------------------------------------------------------------------ #
     # Shard planning
@@ -521,6 +627,7 @@ class ShardedDatabase:
         return stored
 
     def _rebuild_shard(self, shard: Shard, members: list) -> None:
+        self.version += 1
         if self.kind == "points":
             shard.database = PointDatabase.build(members, index_kind=self.index_kind)
         else:

@@ -85,6 +85,13 @@ class ExperimentConfig:
     #: members (``0`` disables hot-shard re-splitting; only meaningful for
     #: update-workload studies on sharded sessions).
     shard_hot_threshold: int = 0
+    #: Capacity of the epoch-keyed result cache threaded through the query
+    #: pipeline (``0`` disables caching — the paper's figures always run
+    #: uncached so that work counters keep their meaning).  When positive,
+    #: :meth:`engine_config` attaches a fresh
+    #: :class:`~repro.core.cache.ResultCache` and switches the draw plan to
+    #: ``"query_keyed"`` so sampled answers are cacheable too.
+    cache_capacity: int = 0
     defaults: PaperDefaults = field(default_factory=PaperDefaults)
 
     def __post_init__(self) -> None:
@@ -98,6 +105,8 @@ class ExperimentConfig:
             raise ValueError("shard_workers must be >= 1")
         if self.shard_hot_threshold < 0:
             raise ValueError("shard_hot_threshold must be >= 0 (0 disables re-splits)")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be >= 0 (0 disables result caching)")
 
     @staticmethod
     def quick() -> "ExperimentConfig":
@@ -160,12 +169,18 @@ class ExperimentConfig:
     def engine_config(self, **overrides):
         """An :class:`~repro.core.engine.EngineConfig` on the experiment's backend.
 
-        ``vectorized`` defaults to :attr:`engine_vectorized`; every other
+        ``vectorized`` defaults to :attr:`engine_vectorized`; a positive
+        :attr:`cache_capacity` attaches a fresh result cache (and the
+        ``query_keyed`` draw plan it needs for sampled answers); every other
         engine field can be overridden per experiment.
         """
+        from repro.core.cache import ResultCache
         from repro.core.engine import EngineConfig
 
         overrides.setdefault("vectorized", self.engine_vectorized)
+        if self.cache_capacity > 0:
+            overrides.setdefault("cache", ResultCache(capacity=self.cache_capacity))
+            overrides.setdefault("draw_plan", "query_keyed")
         return EngineConfig(**overrides)
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.check_regression import compare, compare_updates
+from benchmarks.check_regression import compare, compare_cache, compare_updates
 
 
 def _result(batch_speedup: float, loop_qps: float) -> dict:
@@ -63,5 +63,30 @@ class TestCompareUpdates:
             compare_updates(
                 {"incremental_speedup": 9.0}, {"incremental_speedup": 2.2}, tolerance=0.0
             )
+            == []
+        )
+
+
+class TestCompareCache:
+    def test_identical_results_pass(self):
+        baseline = {"cache_speedup": 16.0}
+        assert compare_cache(baseline, baseline, tolerance=0.30) == []
+
+    def test_degradation_within_tolerance_passes(self):
+        assert (
+            compare_cache({"cache_speedup": 12.0}, {"cache_speedup": 16.0}, tolerance=0.30)
+            == []
+        )
+
+    def test_cache_speedup_regression_fails(self):
+        failures = compare_cache(
+            {"cache_speedup": 4.0}, {"cache_speedup": 16.0}, tolerance=0.30
+        )
+        assert len(failures) == 1
+        assert "cache_speedup" in failures[0]
+
+    def test_improvements_always_pass(self):
+        assert (
+            compare_cache({"cache_speedup": 30.0}, {"cache_speedup": 16.0}, tolerance=0.0)
             == []
         )

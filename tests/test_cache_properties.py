@@ -1,0 +1,148 @@
+"""Property test: the result cache is invisible to query semantics.
+
+A Hypothesis-driven interleaved stream of queries and insert/delete/move
+mutations, run against two independently built engine stacks over the same
+data — one with the cache enabled, one without — must produce bitwise
+identical answers at every position.  The cache can never serve a stale
+answer (mutations bump the epoch embedded in every key) nor a cross-config
+answer (the configuration fingerprint is embedded too), and under the
+``query_keyed`` draw plan even Monte-Carlo answers are cacheable because a
+query's draws depend only on its content.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ResultCache
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase, UncertainDatabase
+from repro.core.queries import NearestNeighborQuery, RangeQuery, RangeQuerySpec
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.uncertainty.pdf import TruncatedGaussianPdf, UniformPdf
+from repro.uncertainty.region import PointObject, UncertainObject
+
+SPACE = Rect(0.0, 0.0, 2_000.0, 2_000.0)
+SPEC = RangeQuerySpec.square(300.0)
+
+#: A fixed pool of issuers so the generated streams naturally repeat
+#: queries (repetition is what exercises cache hits).  The Gaussian issuers
+#: route their probability computations through Monte-Carlo sampling.
+ISSUERS = [
+    UncertainObject(
+        oid=10_000 + position,
+        pdf=UniformPdf(Rect.from_center(Point(x, y), 150.0, 150.0)),
+    ).with_catalog()
+    for position, (x, y) in enumerate([(400.0, 400.0), (1_200.0, 900.0)])
+] + [
+    UncertainObject(
+        oid=10_100 + position,
+        pdf=TruncatedGaussianPdf(Rect.from_center(Point(x, y), 150.0, 150.0)),
+    ).with_catalog()
+    for position, (x, y) in enumerate([(700.0, 1_300.0), (1_000.0, 600.0)])
+]
+
+
+def _base_points() -> list[PointObject]:
+    return [
+        PointObject.at(i, 37.0 + (i * 97.0) % 1_900.0, 53.0 + (i * 61.0) % 1_900.0)
+        for i in range(120)
+    ]
+
+
+def _base_uncertain() -> list[UncertainObject]:
+    objects = []
+    for i in range(80):
+        center = Point(91.0 + (i * 83.0) % 1_800.0, 71.0 + (i * 59.0) % 1_800.0)
+        region = Rect.from_center(center, 20.0 + (i % 5) * 8.0, 25.0 + (i % 4) * 7.0)
+        objects.append(UncertainObject(oid=1_000 + i, pdf=UniformPdf(region)).with_catalog())
+    return objects
+
+
+def _query_op(draw_issuer, kind, threshold):
+    issuer = ISSUERS[draw_issuer]
+    if kind == "nn":
+        return ("query", NearestNeighborQuery(issuer=issuer, samples=48))
+    target = "points" if kind in ("ipq", "cipq") else "uncertain"
+    qp = threshold if kind in ("cipq", "ciuq") else 0.0
+    return ("query", RangeQuery(issuer=issuer, spec=SPEC, threshold=qp, target=target))
+
+
+_ops = st.one_of(
+    st.builds(
+        _query_op,
+        st.integers(min_value=0, max_value=len(ISSUERS) - 1),
+        st.sampled_from(["ipq", "cipq", "iuq", "ciuq", "nn"]),
+        st.sampled_from([0.2, 0.5]),
+    ),
+    st.builds(
+        lambda x, y: ("insert", x, y),
+        st.floats(min_value=10.0, max_value=1_990.0),
+        st.floats(min_value=10.0, max_value=1_990.0),
+    ),
+    st.builds(lambda i: ("delete", i), st.integers(min_value=0, max_value=119)),
+    st.builds(
+        lambda i, x, y: ("move", i, x, y),
+        st.integers(min_value=0, max_value=119),
+        st.floats(min_value=10.0, max_value=1_990.0),
+        st.floats(min_value=10.0, max_value=1_990.0),
+    ),
+)
+
+
+def _build_engine(cache: ResultCache | None) -> ImpreciseQueryEngine:
+    config = EngineConfig(draw_plan="query_keyed", cache=cache, monte_carlo_samples=48)
+    return ImpreciseQueryEngine(
+        point_db=PointDatabase.build(_base_points()),
+        uncertain_db=UncertainDatabase.build(_base_uncertain()),
+        config=config,
+    )
+
+
+def _apply(engine: ImpreciseQueryEngine, ops) -> list[dict]:
+    answers = []
+    next_oid = [500]
+    for op in ops:
+        if op[0] == "query":
+            answers.append(engine.evaluate(op[1]).probabilities())
+        elif op[0] == "insert":
+            engine.insert(PointObject.at(next_oid[0], op[1], op[2]))
+            next_oid[0] += 1
+        elif op[0] == "delete":
+            if op[1] in engine.point_db and len(engine.point_db) > 1:
+                engine.delete(op[1], target="points")
+        else:  # move
+            if op[1] in engine.point_db:
+                engine.move(op[1], x=op[2], y=op[3], target="points")
+    return answers
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_ops, min_size=4, max_size=24))
+def test_cached_stream_bitwise_identical_to_uncached(ops):
+    """Interleaved queries + mutations: cached answers == uncached, bitwise.
+
+    Floating-point dict equality is exact, so any cache entry surviving a
+    relevant mutation — or any draw depending on query position — would
+    fail this property immediately.
+    """
+    cache = ResultCache(capacity=64)
+    cached = _apply(_build_engine(cache), ops)
+    uncached = _apply(_build_engine(None), ops)
+    assert cached == uncached
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(_ops, min_size=6, max_size=24))
+def test_repeated_stream_hits_cache(ops):
+    """Replaying a stream twice without mutations in between serves hits."""
+    queries = [op for op in ops if op[0] == "query"]
+    if not queries:
+        return
+    cache = ResultCache(capacity=256)
+    engine = _build_engine(cache)
+    first = _apply(engine, queries)
+    hits_before = cache.stats.hits
+    second = _apply(engine, queries)
+    assert second == first
+    # No mutation ran in between, so every replayed query is a hit.
+    assert cache.stats.hits == hits_before + len(queries)

@@ -2,18 +2,14 @@
 
 Covers the acceptance criteria of the API redesign:
 
-* ``engine.evaluate(RangeQuery(...))`` returns identical answers to each
-  legacy ``evaluate_*`` method, across all four query types and all index
-  kinds;
+* ``engine.evaluate(RangeQuery(...))`` returns identical answers across all
+  four query types and all index kinds;
 * ``evaluate_many`` is equivalent to a sequential ``evaluate`` loop
   (including under Monte-Carlo probability evaluation);
-* the legacy shims emit ``DeprecationWarning``;
+* the legacy per-type shims are gone (they raise, loudly and helpfully);
 * the :class:`Evaluation` envelope is self-describing;
 * ``EngineConfig`` validates its fields and ``with_overrides`` arguments.
 """
-
-import contextlib
-import warnings
 
 import pytest
 
@@ -36,13 +32,6 @@ from tests.conftest import TEST_SPACE
 
 POINT_INDEX_KINDS = ("rtree", "grid", "linear")
 UNCERTAIN_INDEX_KINDS = ("pti", "rtree", "grid", "linear")
-
-
-@contextlib.contextmanager
-def _silence_deprecations():
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        yield
 
 
 class TestRangeQueryModel:
@@ -76,47 +65,62 @@ class TestRangeQueryModel:
 
 
 class TestEvaluateParity:
-    """evaluate(RangeQuery) agrees with every legacy method on every index."""
+    """evaluate(RangeQuery) answers identically on every index backend."""
 
     @pytest.mark.parametrize("index_kind", POINT_INDEX_KINDS)
     def test_ipq_parity(self, small_points, uniform_issuer, default_spec, index_kind):
-        db = PointDatabase.build(small_points, index_kind=index_kind)
-        engine = ImpreciseQueryEngine(point_db=db)
+        reference = ImpreciseQueryEngine(
+            point_db=PointDatabase.build(small_points, index_kind="rtree")
+        )
+        engine = ImpreciseQueryEngine(
+            point_db=PointDatabase.build(small_points, index_kind=index_kind)
+        )
         unified = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec))
-        with _silence_deprecations():
-            legacy, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
+        expected = reference.evaluate(RangeQuery.ipq(uniform_issuer, default_spec))
         assert len(unified) > 0
-        assert unified.probabilities() == legacy.probabilities()
+        assert unified.probabilities() == expected.probabilities()
 
     @pytest.mark.parametrize("index_kind", POINT_INDEX_KINDS)
     def test_cipq_parity(self, small_points, uniform_issuer, default_spec, index_kind):
         db = PointDatabase.build(small_points, index_kind=index_kind)
         engine = ImpreciseQueryEngine(point_db=db)
-        unified = engine.evaluate(RangeQuery.cipq(uniform_issuer, default_spec, 0.4))
-        with _silence_deprecations():
-            legacy, _ = engine.evaluate_cipq(uniform_issuer, default_spec, 0.4)
-        assert unified.probabilities() == legacy.probabilities()
-        assert all(answer.probability >= 0.4 for answer in unified)
+        unconstrained = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec))
+        constrained = engine.evaluate(RangeQuery.cipq(uniform_issuer, default_spec, 0.4))
+        # The constrained answers are exactly the unconstrained answers >= Qp.
+        expected = {
+            oid: probability
+            for oid, probability in unconstrained.probabilities().items()
+            if probability >= 0.4
+        }
+        assert constrained.probabilities() == expected
+        assert all(answer.probability >= 0.4 for answer in constrained)
 
     @pytest.mark.parametrize("index_kind", UNCERTAIN_INDEX_KINDS)
     def test_iuq_parity(self, small_uncertain, uniform_issuer, default_spec, index_kind):
-        db = UncertainDatabase.build(small_uncertain, index_kind=index_kind)
-        engine = ImpreciseQueryEngine(uncertain_db=db)
+        reference = ImpreciseQueryEngine(
+            uncertain_db=UncertainDatabase.build(small_uncertain, index_kind="rtree")
+        )
+        engine = ImpreciseQueryEngine(
+            uncertain_db=UncertainDatabase.build(small_uncertain, index_kind=index_kind)
+        )
         unified = engine.evaluate(RangeQuery.iuq(uniform_issuer, default_spec))
-        with _silence_deprecations():
-            legacy, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
+        expected = reference.evaluate(RangeQuery.iuq(uniform_issuer, default_spec))
         assert len(unified) > 0
-        assert unified.probabilities() == legacy.probabilities()
+        assert unified.probabilities() == expected.probabilities()
 
     @pytest.mark.parametrize("index_kind", UNCERTAIN_INDEX_KINDS)
     def test_ciuq_parity(self, small_uncertain, uniform_issuer, default_spec, index_kind):
         db = UncertainDatabase.build(small_uncertain, index_kind=index_kind)
         engine = ImpreciseQueryEngine(uncertain_db=db)
-        unified = engine.evaluate(RangeQuery.ciuq(uniform_issuer, default_spec, 0.5))
-        with _silence_deprecations():
-            legacy, _ = engine.evaluate_ciuq(uniform_issuer, default_spec, 0.5)
-        assert unified.probabilities() == legacy.probabilities()
-        assert all(answer.probability >= 0.5 for answer in unified)
+        unconstrained = engine.evaluate(RangeQuery.iuq(uniform_issuer, default_spec))
+        constrained = engine.evaluate(RangeQuery.ciuq(uniform_issuer, default_spec, 0.5))
+        expected = {
+            oid: probability
+            for oid, probability in unconstrained.probabilities().items()
+            if probability >= 0.5
+        }
+        assert constrained.probabilities() == expected
+        assert all(answer.probability >= 0.5 for answer in constrained)
 
     def test_nearest_neighbor_parity_with_standalone_engine(
         self, point_db, small_points, uniform_issuer
@@ -250,28 +254,30 @@ class TestEvaluateMany:
             )
 
 
-class TestDeprecatedShims:
-    def test_each_legacy_method_warns(self, point_db, uncertain_db, uniform_issuer, default_spec):
-        engine = ImpreciseQueryEngine(point_db=point_db, uncertain_db=uncertain_db)
-        with pytest.warns(DeprecationWarning, match="evaluate_ipq"):
-            engine.evaluate_ipq(uniform_issuer, default_spec)
-        with pytest.warns(DeprecationWarning, match="evaluate_cipq"):
-            engine.evaluate_cipq(uniform_issuer, default_spec, 0.4)
-        with pytest.warns(DeprecationWarning, match="evaluate_iuq"):
-            engine.evaluate_iuq(uniform_issuer, default_spec)
-        with pytest.warns(DeprecationWarning, match="evaluate_ciuq"):
-            engine.evaluate_ciuq(uniform_issuer, default_spec, 0.4)
+class TestLegacyShimsRemoved:
+    """The PR-1 deprecation shims are gone; the replacements cover them."""
 
-    def test_legacy_evaluate_over_warns_and_matches(
+    @pytest.mark.parametrize(
+        "name", ["evaluate_ipq", "evaluate_cipq", "evaluate_iuq", "evaluate_ciuq"]
+    )
+    def test_legacy_methods_removed(self, point_db, uncertain_db, name):
+        engine = ImpreciseQueryEngine(point_db=point_db, uncertain_db=uncertain_db)
+        assert not hasattr(engine, name)
+
+    def test_legacy_query_objects_rejected_with_migration_hint(
         self, point_db, uniform_issuer, default_spec
     ):
         engine = ImpreciseQueryEngine(point_db=point_db)
         legacy_query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
-        with pytest.warns(DeprecationWarning):
-            result, stats = engine.evaluate(legacy_query, over="points")
+        with pytest.raises(TypeError, match="from_legacy"):
+            engine.evaluate(legacy_query)
+
+    def test_from_legacy_still_adapts(self, point_db, uniform_issuer, default_spec):
+        engine = ImpreciseQueryEngine(point_db=point_db)
+        legacy_query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
+        adapted = engine.evaluate(RangeQuery.from_legacy(legacy_query, "points"))
         unified = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec))
-        assert result.probabilities() == unified.probabilities()
-        assert stats.results_returned == len(result)
+        assert adapted.probabilities() == unified.probabilities()
 
 
 class TestEngineConfigValidation:

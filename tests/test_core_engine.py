@@ -80,7 +80,7 @@ class TestDatabaseConstruction:
 class TestIPQEvaluation:
     def test_results_match_direct_computation(self, point_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(point_db=point_db)
-        result, stats = engine.evaluate_ipq(uniform_issuer, default_spec)
+        result, stats = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
         assert stats.candidates_examined >= len(result)
         for answer in result:
             obj = next(o for o in point_db.objects if o.oid == answer.oid)
@@ -89,13 +89,13 @@ class TestIPQEvaluation:
 
     def test_every_returned_probability_positive(self, point_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(point_db=point_db)
-        result, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
+        result, _ = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
         assert all(answer.probability > 0.0 for answer in result)
 
     def test_no_qualifying_object_missed(self, point_db, uniform_issuer, default_spec):
         """Every point object with non-zero probability must appear in the answer."""
         engine = ImpreciseQueryEngine(point_db=point_db)
-        result, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
+        result, _ = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
         reported = result.oids()
         for obj in point_db.objects:
             probability = ipq_probability(uniform_issuer.pdf, default_spec, obj.location)
@@ -105,11 +105,11 @@ class TestIPQEvaluation:
     def test_missing_database_raises(self, uncertain_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
         with pytest.raises(RuntimeError):
-            engine.evaluate_ipq(uniform_issuer, default_spec)
+            engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
 
     def test_io_statistics_populated(self, point_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(point_db=point_db)
-        _, stats = engine.evaluate_ipq(uniform_issuer, default_spec)
+        _, stats = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
         assert stats.io.node_accesses > 0
         assert stats.response_time > 0.0
 
@@ -117,7 +117,7 @@ class TestIPQEvaluation:
 class TestIUQEvaluation:
     def test_results_match_direct_computation(self, uncertain_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
-        result, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
+        result, _ = engine.evaluate(RangeQuery.iuq(uniform_issuer, default_spec)).as_tuple()
         assert len(result) > 0
         for answer in list(result)[:25]:
             obj = next(o for o in uncertain_db.objects if o.oid == answer.oid)
@@ -126,7 +126,7 @@ class TestIUQEvaluation:
 
     def test_no_qualifying_object_missed(self, uncertain_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
-        result, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
+        result, _ = engine.evaluate(RangeQuery.iuq(uniform_issuer, default_spec)).as_tuple()
         reported = result.oids()
         for obj in uncertain_db.objects:
             probability = iuq_probability_exact_uniform(uniform_issuer.pdf, obj, default_spec)
@@ -136,7 +136,7 @@ class TestIUQEvaluation:
     def test_missing_database_raises(self, point_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(point_db=point_db)
         with pytest.raises(RuntimeError):
-            engine.evaluate_iuq(uniform_issuer, default_spec)
+            engine.evaluate(RangeQuery.iuq(uniform_issuer, default_spec)).as_tuple()
 
 
 class TestConstrainedQueries:
@@ -144,8 +144,10 @@ class TestConstrainedQueries:
     def test_cipq_equals_filtered_ipq(self, point_db, uniform_issuer, default_spec, threshold):
         """C-IPQ must return exactly the IPQ answers with probability >= Qp."""
         engine = ImpreciseQueryEngine(point_db=point_db)
-        full, _ = engine.evaluate_ipq(uniform_issuer, default_spec)
-        constrained, _ = engine.evaluate_cipq(uniform_issuer, default_spec, threshold)
+        full, _ = engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
+        constrained, _ = engine.evaluate(
+            RangeQuery.cipq(uniform_issuer, default_spec, threshold)
+        ).as_tuple()
         expected = {a.oid for a in full if a.probability >= threshold}
         assert constrained.oids() == expected
 
@@ -153,8 +155,10 @@ class TestConstrainedQueries:
     def test_ciuq_equals_filtered_iuq(self, uncertain_db, uniform_issuer, default_spec, threshold):
         """C-IUQ must return exactly the IUQ answers with probability >= Qp."""
         engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
-        full, _ = engine.evaluate_iuq(uniform_issuer, default_spec)
-        constrained, _ = engine.evaluate_ciuq(uniform_issuer, default_spec, threshold)
+        full, _ = engine.evaluate(RangeQuery.iuq(uniform_issuer, default_spec)).as_tuple()
+        constrained, _ = engine.evaluate(
+            RangeQuery.ciuq(uniform_issuer, default_spec, threshold)
+        ).as_tuple()
         expected = {a.oid for a in full if a.probability >= threshold}
         assert constrained.oids() == expected
 
@@ -168,8 +172,12 @@ class TestConstrainedQueries:
         expanded_engine = ImpreciseQueryEngine(
             point_db=point_db, config=EngineConfig(use_p_expanded_query=True)
         )
-        a, stats_a = minkowski_engine.evaluate_cipq(uniform_issuer, default_spec, threshold)
-        b, stats_b = expanded_engine.evaluate_cipq(uniform_issuer, default_spec, threshold)
+        a, stats_a = minkowski_engine.evaluate(
+            RangeQuery.cipq(uniform_issuer, default_spec, threshold)
+        ).as_tuple()
+        b, stats_b = expanded_engine.evaluate(
+            RangeQuery.cipq(uniform_issuer, default_spec, threshold)
+        ).as_tuple()
         assert a.oids() == b.oids()
         # The p-expanded-query must never examine more candidates.
         assert stats_b.candidates_examined <= stats_a.candidates_examined
@@ -183,8 +191,12 @@ class TestConstrainedQueries:
             uncertain_db=uncertain_db_rtree,
             config=EngineConfig(use_p_expanded_query=False, use_pti_pruning=False),
         )
-        a, stats_a = pti_engine.evaluate_ciuq(uniform_issuer, default_spec, threshold)
-        b, stats_b = rtree_engine.evaluate_ciuq(uniform_issuer, default_spec, threshold)
+        a, stats_a = pti_engine.evaluate(
+            RangeQuery.ciuq(uniform_issuer, default_spec, threshold)
+        ).as_tuple()
+        b, stats_b = rtree_engine.evaluate(
+            RangeQuery.ciuq(uniform_issuer, default_spec, threshold)
+        ).as_tuple()
         assert a.oids() == b.oids()
         assert stats_a.candidates_examined <= stats_b.candidates_examined
 
@@ -198,7 +210,9 @@ class TestConstrainedQueries:
                 ciuq_strategies=(PruningStrategy.P_BOUND,),
             ),
         )
-        result, stats = engine.evaluate_ciuq(uniform_issuer, default_spec, 0.6)
+        result, stats = engine.evaluate(
+            RangeQuery.ciuq(uniform_issuer, default_spec, 0.6)
+        ).as_tuple()
         assert PruningStrategy.P_EXPANDED_QUERY.value not in stats.pruned
         assert all(answer.probability >= 0.6 for answer in result)
 
@@ -213,7 +227,7 @@ class TestMonteCarloEngine:
             point_db=point_db,
             config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=200),
         )
-        result, stats = engine.evaluate_cipq(issuer, default_spec, 0.3)
+        result, stats = engine.evaluate(RangeQuery.cipq(issuer, default_spec, 0.3)).as_tuple()
         assert stats.monte_carlo_samples > 0
         assert all(answer.probability >= 0.3 for answer in result)
 
@@ -223,31 +237,27 @@ class TestMonteCarloEngine:
             point_db=point_db,
             config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=2_000),
         )
-        exact, _ = exact_engine.evaluate_ipq(uniform_issuer, default_spec)
-        sampled, _ = mc_engine.evaluate_ipq(uniform_issuer, default_spec)
+        exact, _ = exact_engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
+        sampled, _ = mc_engine.evaluate(RangeQuery.ipq(uniform_issuer, default_spec)).as_tuple()
         exact_probs = exact.probabilities()
         for oid, probability in sampled.probabilities().items():
             assert probability == pytest.approx(exact_probs[oid], abs=0.05)
 
 
 class TestEvaluateDispatch:
-    def test_evaluate_over_points(self, point_db, uniform_issuer, default_spec):
+    def test_legacy_query_adapts_through_from_legacy(
+        self, point_db, uniform_issuer, default_spec
+    ):
         engine = ImpreciseQueryEngine(point_db=point_db)
-        query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec, threshold=0.4)
-        result, _ = engine.evaluate(query, over="points")
+        legacy = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec, threshold=0.4)
+        result, _ = engine.evaluate(RangeQuery.from_legacy(legacy, "points")).as_tuple()
         assert all(answer.probability >= 0.4 for answer in result)
 
-    def test_evaluate_over_uncertain(self, uncertain_db, uniform_issuer, default_spec):
-        engine = ImpreciseQueryEngine(uncertain_db=uncertain_db)
-        query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
-        result, _ = engine.evaluate(query, over="uncertain")
-        assert len(result) > 0
-
-    def test_evaluate_unknown_target_rejected(self, point_db, uniform_issuer, default_spec):
+    def test_legacy_query_objects_rejected(self, point_db, uniform_issuer, default_spec):
         engine = ImpreciseQueryEngine(point_db=point_db)
-        query = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
-        with pytest.raises(ValueError):
-            engine.evaluate(query, over="everything")
+        legacy = ImpreciseRangeQuery(issuer=uniform_issuer, spec=default_spec)
+        with pytest.raises(TypeError, match="from_legacy"):
+            engine.evaluate(legacy)
 
 
 class TestWorkloadIntegration:
@@ -255,8 +265,12 @@ class TestWorkloadIntegration:
         engine = ImpreciseQueryEngine(point_db=point_db, uncertain_db=uncertain_db)
         workload = QueryWorkload(bounds=TEST_SPACE, threshold=0.3, seed=99)
         for query in workload.queries(5):
-            point_result, _ = engine.evaluate_cipq(query.issuer, query.spec, query.threshold)
-            uncertain_result, _ = engine.evaluate_ciuq(query.issuer, query.spec, query.threshold)
+            point_result, _ = engine.evaluate(
+                RangeQuery.cipq(query.issuer, query.spec, query.threshold)
+            ).as_tuple()
+            uncertain_result, _ = engine.evaluate(
+                RangeQuery.ciuq(query.issuer, query.spec, query.threshold)
+            ).as_tuple()
             assert all(a.probability >= query.threshold for a in point_result)
             assert all(a.probability >= query.threshold for a in uncertain_result)
 

@@ -13,7 +13,7 @@ from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.core.duality import ipq_probability
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase
-from repro.core.queries import RangeQuerySpec
+from repro.core.queries import RangeQuery, RangeQuerySpec
 from repro.uncertainty.pdf import UniformCirclePdf
 from repro.uncertainty.region import PointObject, UncertainObject
 
@@ -48,7 +48,9 @@ class TestCircularIssuer:
 
     def test_engine_evaluates_ipq(self, circular_issuer, small_point_db):
         engine = ImpreciseQueryEngine(point_db=small_point_db)
-        result, stats = engine.evaluate_ipq(circular_issuer, RangeQuerySpec.square(500.0))
+        result, stats = engine.evaluate(
+            RangeQuery.ipq(circular_issuer, RangeQuerySpec.square(500.0))
+        ).as_tuple()
         probabilities = result.probabilities()
         assert probabilities[1] == pytest.approx(1.0, abs=0.05)
         assert 0.0 < probabilities[2] < 1.0
@@ -62,7 +64,7 @@ class TestCircularIssuer:
             point_db=small_point_db,
             config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=4_000),
         )
-        result, _ = engine.evaluate_ipq(circular_issuer, spec)
+        result, _ = engine.evaluate(RangeQuery.ipq(circular_issuer, spec)).as_tuple()
         analytic = circular_issuer.pdf.probability_in_rect(
             spec.region_at(small_point_db.objects[1].location)
         )
@@ -70,7 +72,9 @@ class TestCircularIssuer:
 
     def test_constrained_query_respects_threshold(self, circular_issuer, small_point_db):
         engine = ImpreciseQueryEngine(point_db=small_point_db)
-        result, _ = engine.evaluate_cipq(circular_issuer, RangeQuerySpec.square(500.0), 0.9)
+        result, _ = engine.evaluate(
+            RangeQuery.cipq(circular_issuer, RangeQuerySpec.square(500.0), 0.9)
+        ).as_tuple()
         assert all(answer.probability >= 0.9 for answer in result)
         assert 1 in result.oids()
 

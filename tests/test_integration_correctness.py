@@ -12,7 +12,7 @@ import pytest
 
 from repro.core.basic import BasicEvaluator
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase, UncertainDatabase
-from repro.core.queries import ImpreciseRangeQuery
+from repro.core.queries import ImpreciseRangeQuery, RangeQuery
 from repro.datasets.synthetic import clustered_points, clustered_rectangles
 from repro.datasets.workload import QueryWorkload
 from repro.geometry.rect import Rect
@@ -45,7 +45,7 @@ class TestEnhancedMatchesBasic:
         engine = ImpreciseQueryEngine(point_db=PointDatabase.build(points))
         basic = BasicEvaluator(issuer_samples=2_500)
         for issuer in workload.issuers(3):
-            enhanced, _ = engine.evaluate_ipq(issuer, workload.spec)
+            enhanced, _ = engine.evaluate(RangeQuery.ipq(issuer, workload.spec)).as_tuple()
             query = ImpreciseRangeQuery(issuer=issuer, spec=workload.spec)
             baseline, _ = basic.evaluate_ipq(query, points)
             enhanced_probs = enhanced.probabilities()
@@ -62,7 +62,7 @@ class TestEnhancedMatchesBasic:
         )
         basic = BasicEvaluator(issuer_samples=2_500)
         for issuer in workload.issuers(3):
-            enhanced, _ = engine.evaluate_iuq(issuer, workload.spec)
+            enhanced, _ = engine.evaluate(RangeQuery.iuq(issuer, workload.spec)).as_tuple()
             query = ImpreciseRangeQuery(issuer=issuer, spec=workload.spec)
             baseline, _ = basic.evaluate_iuq(query, uncertain)
             enhanced_probs = enhanced.probabilities()
@@ -78,8 +78,8 @@ class TestIndexIndependence:
         reference = ImpreciseQueryEngine(point_db=PointDatabase.build(points, index_kind="rtree"))
         other = ImpreciseQueryEngine(point_db=PointDatabase.build(points, index_kind=index_kind))
         issuer = next(workload.issuers(1))
-        expected, _ = reference.evaluate_ipq(issuer, workload.spec)
-        actual, _ = other.evaluate_ipq(issuer, workload.spec)
+        expected, _ = reference.evaluate(RangeQuery.ipq(issuer, workload.spec)).as_tuple()
+        actual, _ = other.evaluate(RangeQuery.ipq(issuer, workload.spec)).as_tuple()
         assert actual.probabilities() == expected.probabilities()
 
     @pytest.mark.parametrize("index_kind", ["rtree", "pti", "grid", "linear"])
@@ -93,8 +93,10 @@ class TestIndexIndependence:
             uncertain_db=UncertainDatabase.build(uncertain, index_kind=index_kind)
         )
         issuer = next(workload.issuers(1))
-        expected, _ = reference.evaluate_ciuq(issuer, workload.spec, threshold)
-        actual, _ = other.evaluate_ciuq(issuer, workload.spec, threshold)
+        expected, _ = reference.evaluate(
+            RangeQuery.ciuq(issuer, workload.spec, threshold)
+        ).as_tuple()
+        actual, _ = other.evaluate(RangeQuery.ciuq(issuer, workload.spec, threshold)).as_tuple()
         assert actual.oids() == expected.oids()
 
 
@@ -106,7 +108,9 @@ class TestThresholdConsistency:
         issuer = next(workload.issuers(1))
         results = {}
         for threshold in (0.0, 0.2, 0.4, 0.6, 0.8):
-            result, _ = engine.evaluate_cipq(issuer, workload.spec, threshold)
+            result, _ = engine.evaluate(
+                RangeQuery.cipq(issuer, workload.spec, threshold)
+            ).as_tuple()
             results[threshold] = result.oids()
         thresholds = sorted(results)
         for low, high in zip(thresholds, thresholds[1:]):
@@ -116,7 +120,9 @@ class TestThresholdConsistency:
         engine = ImpreciseQueryEngine(uncertain_db=UncertainDatabase.build(uncertain))
         issuer = next(workload.issuers(1))
         for threshold in (0.3, 0.7):
-            result, _ = engine.evaluate_ciuq(issuer, workload.spec, threshold)
+            result, _ = engine.evaluate(
+                RangeQuery.ciuq(issuer, workload.spec, threshold)
+            ).as_tuple()
             assert all(answer.probability >= threshold for answer in result)
 
 
@@ -131,8 +137,8 @@ class TestMonteCarloConvergence:
             config=EngineConfig(probability_method="monte_carlo", monte_carlo_samples=3_000),
         )
         issuer = next(workload.issuers(1))
-        exact, _ = exact_engine.evaluate_iuq(issuer, workload.spec)
-        sampled, _ = sampled_engine.evaluate_iuq(issuer, workload.spec)
+        exact, _ = exact_engine.evaluate(RangeQuery.iuq(issuer, workload.spec)).as_tuple()
+        sampled, _ = sampled_engine.evaluate(RangeQuery.iuq(issuer, workload.spec)).as_tuple()
         exact_probs = exact.probabilities()
         matched = 0
         for oid, probability in sampled.probabilities().items():
@@ -153,8 +159,8 @@ class TestDeterminism:
                 config=EngineConfig(rng_seed=5),
             )
             issuer = next(workload.issuers(1))
-            ipq, _ = engine.evaluate_ipq(issuer, workload.spec)
-            ciuq, _ = engine.evaluate_ciuq(issuer, workload.spec, 0.5)
+            ipq, _ = engine.evaluate(RangeQuery.ipq(issuer, workload.spec)).as_tuple()
+            ciuq, _ = engine.evaluate(RangeQuery.ciuq(issuer, workload.spec, 0.5)).as_tuple()
             return ipq.probabilities(), ciuq.probabilities()
 
         assert run() == run()
