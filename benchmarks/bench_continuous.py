@@ -1,0 +1,174 @@
+"""Benchmark: incremental subscription maintenance vs naive re-evaluate-all.
+
+A fleet-monitoring serving pattern: ``subscriptions`` standing range
+queries (small geofences scattered over the data space) watch the
+California-like point objects while rounds of small move batches stream
+in.  Two strategies answer the same stream:
+
+* ``incremental`` — the :class:`~repro.core.continuous.SubscriptionRegistry`
+  through ``Session.subscribe``: after each batch, only the subscriptions
+  whose candidate window a mutation actually touched are re-evaluated
+  (the registry's relevance test); everything else is skipped with a
+  proof of staleness-impossibility.
+* ``naive`` — the baseline a subscription engine replaces: after each
+  batch, re-evaluate **every** standing query against the mutated
+  database and diff by hand.
+
+Both run under ``draw_plan="query_keyed"`` over identical data and both
+final answer sets are asserted **bitwise identical** before anything is
+reported.  The headline ``continuous_speedup`` (naive seconds over
+incremental seconds — a ratio of two timings on the same machine) is
+guarded by ``benchmarks/check_regression.py``; the report also records
+the registry's re-evaluation counters, which show the selectivity that
+produces the speedup (re-evaluations ≪ rounds × subscriptions).
+
+Results go to ``BENCH_continuous.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_continuous.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (dataset scale, default 0.25),
+``REPRO_BENCH_SUBS`` (standing subscriptions, default 100),
+``REPRO_BENCH_ROUNDS`` (update rounds, default 30),
+``REPRO_BENCH_UPDATES`` (point moves per round, default 2) and
+``REPRO_BENCH_REPEATS`` (timing repetitions, default 3).  The defaults
+model the serving-heavy regime standing subscriptions exist for — many
+registered geofences, a trickle of position reports per tick.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase
+from repro.core.queries import RangeQuery
+from repro.core.session import Session
+from repro.core.updates import UpdateBatch
+from repro.datasets.tiger import california_points
+from repro.datasets.workload import QueryWorkload
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_continuous.json"
+
+
+def _subscription_pool(count: int) -> list[RangeQuery]:
+    """``count`` standing range queries with small, scattered geofences."""
+    workload = QueryWorkload(
+        issuer_half_size=100.0, range_half_size=200.0, seed=6011
+    )
+    return [
+        RangeQuery.ipq(issuer, workload.spec) for issuer in workload.issuers(count)
+    ]
+
+
+def _move_batches(points, rounds: int, per_round: int) -> list[UpdateBatch]:
+    """Deterministic small move batches cycling through the point objects.
+
+    Each move jitters one object around its current position, so a batch
+    touches a handful of scattered locations — the locality that lets the
+    registry skip every subscription whose geofence lies elsewhere.
+    """
+    batches = []
+    cursor = 0
+    for round_index in range(rounds):
+        batch = UpdateBatch()
+        for _ in range(per_round):
+            obj = points[cursor % len(points)]
+            dx = 17.0 * ((round_index % 7) - 3)
+            dy = 13.0 * ((cursor % 5) - 2)
+            batch.move(obj.oid, x=obj.location.x + dx, y=obj.location.y + dy)
+            cursor += 1
+        batches.append(batch)
+    return batches
+
+
+def _config() -> EngineConfig:
+    return EngineConfig(draw_plan="query_keyed")
+
+
+def _run_incremental(points, pool, batches) -> tuple[float, list[dict], dict]:
+    """Maintain the pool through the registry; returns (seconds, answers, stats)."""
+    session = Session.from_objects(points=points, config=_config())
+    handles = [session.subscribe(query) for query in pool]
+    started = time.perf_counter()
+    for batch in batches:
+        session.apply_updates(batch)
+    seconds = time.perf_counter() - started
+    answers = [handle.answer() for handle in handles]
+    return seconds, answers, session.subscriptions().stats()
+
+
+def _run_naive(points, pool, batches) -> tuple[float, list[dict]]:
+    """Re-evaluate every standing query after every batch; diff by hand."""
+    engine = ImpreciseQueryEngine(
+        point_db=PointDatabase.build(points), config=_config()
+    )
+    answers = [engine.evaluate(query).probabilities() for query in pool]
+    started = time.perf_counter()
+    for batch in batches:
+        engine.apply_updates(batch)
+        for position, query in enumerate(pool):
+            fresh = engine.evaluate(query).probabilities()
+            if fresh != answers[position]:
+                answers[position] = fresh
+    seconds = time.perf_counter() - started
+    return seconds, answers
+
+
+def _measure(points, pool, batches, repeats):
+    best_incremental = float("inf")
+    best_naive = float("inf")
+    stats: dict = {}
+    for _ in range(repeats):
+        incremental_seconds, incremental_answers, stats = _run_incremental(
+            points, pool, batches
+        )
+        naive_seconds, naive_answers = _run_naive(points, pool, batches)
+        assert incremental_answers == naive_answers, (
+            "incrementally maintained answers diverged from re-evaluate-all"
+        )
+        best_incremental = min(best_incremental, incremental_seconds)
+        best_naive = min(best_naive, naive_seconds)
+    naive_evaluations = len(batches) * len(pool)
+    return {
+        "incremental_seconds": best_incremental,
+        "naive_seconds": best_naive,
+        "continuous_speedup": best_naive / best_incremental,
+        "reevaluations": stats["reevaluations"],
+        "skipped_reevaluations": stats["skipped"],
+        "deltas_emitted": stats["deltas_emitted"],
+        "naive_evaluations": naive_evaluations,
+        "reevaluation_fraction": stats["reevaluations"] / naive_evaluations,
+    }
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    subscriptions = int(os.environ.get("REPRO_BENCH_SUBS", "100"))
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "30"))
+    moves_per_round = int(os.environ.get("REPRO_BENCH_UPDATES", "2"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+    points = california_points(scale=scale)
+    pool = _subscription_pool(subscriptions)
+    batches = _move_batches(points, rounds, moves_per_round)
+
+    results = _measure(points, pool, batches, repeats)
+
+    report = {
+        "benchmark": "continuous",
+        "dataset_scale": scale,
+        "points": len(points),
+        "subscriptions": subscriptions,
+        "rounds": rounds,
+        "moves_per_round": moves_per_round,
+        "repeats": repeats,
+        **results,
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,15 @@ timings on the same machine*, so it transfers across hardware:
   over uncached evaluation on a repeated-query serving workload.  A drop
   means the pipeline's cache stage stopped short-circuiting repeats (or
   got slow enough to matter).
+* ``BENCH_sharded.json`` / ``workload_speedup`` — sharded parallel
+  execution over the serial engine.  This guard is *cpu-aware*: on a
+  single-core container only the routing overhead is measurable (the
+  recorded value sits below 1.0 by construction), so ``cpu_count: 1``
+  results are guarded against a lower floor, and the guard message records
+  the cpu count it judged under.
+* ``BENCH_continuous.json`` / ``continuous_speedup`` — incremental
+  subscription maintenance over naive re-evaluate-all-subscriptions.  A
+  drop means affected-only re-evaluation lost its selectivity.
 
 The benchmark scripts overwrite the committed files in place, so baselines
 default to the checked-in versions (``git show HEAD:<file>``); pass
@@ -45,7 +54,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FRESH_PATH = REPO_ROOT / "BENCH_api_batch.json"
 FRESH_UPDATES_PATH = REPO_ROOT / "BENCH_updates.json"
 FRESH_CACHE_PATH = REPO_ROOT / "BENCH_cache.json"
+FRESH_SHARDED_PATH = REPO_ROOT / "BENCH_sharded.json"
+FRESH_CONTINUOUS_PATH = REPO_ROOT / "BENCH_continuous.json"
 DEFAULT_TOLERANCE = 0.30
+#: Extra slack granted to the sharded guard on single-core machines, where
+#: the parallel path cannot win (there is nothing to parallelise over) and
+#: the metric only measures routing overhead.
+SINGLE_CORE_SLACK = 0.20
 
 
 def load_baseline(path: str | None, name: str = "BENCH_api_batch.json") -> dict | None:
@@ -128,6 +143,43 @@ def compare_cache(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def compare_sharded(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the sharded-execution metric.
+
+    CPU-aware: results produced on a single core (``cpu_count: 1``) carry
+    :data:`SINGLE_CORE_SLACK` extra tolerance — there, ``workload_speedup``
+    only measures routing overhead, a far noisier quantity than a genuine
+    parallel speedup — and the judged cpu count is recorded in the failure
+    message either way.
+    """
+    failures: list[str] = []
+    cpu_count = int(fresh.get("cpu_count") or 0)
+    effective = tolerance + SINGLE_CORE_SLACK if cpu_count == 1 else tolerance
+    fresh_value = float(fresh["workload_speedup"])
+    baseline_value = float(baseline["workload_speedup"])
+    floor = baseline_value * (1.0 - effective)
+    if fresh_value < floor:
+        failures.append(
+            f"workload_speedup regressed: {fresh_value:.3f} < {floor:.3f} "
+            f"(baseline {baseline_value:.3f}, tolerance {effective:.0%}, "
+            f"cpu_count {cpu_count})"
+        )
+    return failures
+
+
+def compare_continuous(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the continuous-query metric."""
+    failures: list[str] = []
+    _guard(
+        failures,
+        "continuous_speedup",
+        float(fresh["continuous_speedup"]),
+        float(baseline["continuous_speedup"]),
+        tolerance,
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default=str(FRESH_PATH), help="freshly produced result file")
@@ -153,6 +205,26 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-baseline",
         default=None,
         help="cache baseline file (default: HEAD's committed copy)",
+    )
+    parser.add_argument(
+        "--sharded-fresh",
+        default=str(FRESH_SHARDED_PATH),
+        help="freshly produced sharded result file",
+    )
+    parser.add_argument(
+        "--sharded-baseline",
+        default=None,
+        help="sharded baseline file (default: HEAD's committed copy)",
+    )
+    parser.add_argument(
+        "--continuous-fresh",
+        default=str(FRESH_CONTINUOUS_PATH),
+        help="freshly produced continuous-query result file",
+    )
+    parser.add_argument(
+        "--continuous-baseline",
+        default=None,
+        help="continuous baseline file (default: HEAD's committed copy)",
     )
     parser.add_argument(
         "--tolerance",
@@ -200,6 +272,37 @@ def main(argv: list[str] | None = None) -> int:
         summaries.append(
             f"cache_speedup {cache_fresh['cache_speedup']:.3f} "
             f"(baseline {cache_baseline['cache_speedup']:.3f})"
+        )
+
+    sharded_fresh_path = Path(args.sharded_fresh)
+    sharded_baseline = load_baseline(args.sharded_baseline, "BENCH_sharded.json")
+    if not sharded_fresh_path.exists():
+        print("sharded guard skipped: no fresh BENCH_sharded.json")
+    elif sharded_baseline is None:
+        print("sharded guard skipped: no committed BENCH_sharded.json baseline")
+    else:
+        sharded_fresh = json.loads(sharded_fresh_path.read_text())
+        failures.extend(compare_sharded(sharded_fresh, sharded_baseline, args.tolerance))
+        summaries.append(
+            f"workload_speedup {sharded_fresh['workload_speedup']:.3f} "
+            f"(baseline {sharded_baseline['workload_speedup']:.3f}, "
+            f"cpu_count {int(sharded_fresh.get('cpu_count') or 0)})"
+        )
+
+    continuous_fresh_path = Path(args.continuous_fresh)
+    continuous_baseline = load_baseline(args.continuous_baseline, "BENCH_continuous.json")
+    if not continuous_fresh_path.exists():
+        print("continuous guard skipped: no fresh BENCH_continuous.json")
+    elif continuous_baseline is None:
+        print("continuous guard skipped: no committed BENCH_continuous.json baseline")
+    else:
+        continuous_fresh = json.loads(continuous_fresh_path.read_text())
+        failures.extend(
+            compare_continuous(continuous_fresh, continuous_baseline, args.tolerance)
+        )
+        summaries.append(
+            f"continuous_speedup {continuous_fresh['continuous_speedup']:.3f} "
+            f"(baseline {continuous_baseline['continuous_speedup']:.3f})"
         )
 
     if failures:

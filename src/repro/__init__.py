@@ -34,6 +34,12 @@ from repro.uncertainty import (
     UCatalog,
 )
 from repro.core import (
+    AnswerDelta,
+    DeltaKind,
+    Subscription,
+    SubscriptionRegistry,
+    UpdateEvent,
+    replay_deltas,
     RangeQuerySpec,
     ImpreciseRangeQuery,
     Query,
@@ -100,7 +106,13 @@ __all__ = [
     "ParallelEvaluation",
     "ShardedDatabase",
     "UpdateBatch",
+    "UpdateEvent",
     "UpdateOp",
+    "AnswerDelta",
+    "DeltaKind",
+    "Subscription",
+    "SubscriptionRegistry",
+    "replay_deltas",
     "RTree",
     "ProbabilityThresholdIndex",
     "GridFile",

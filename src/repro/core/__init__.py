@@ -31,7 +31,11 @@ The package is organised around the paper's structure:
 * :mod:`repro.core.parallel` — shard-parallel workload execution across
   worker processes, with results identical to the single-shard engine.
 * :mod:`repro.core.updates` — ordered insert/delete/move batches that both
-  engines apply directly or interleave with query workloads.
+  engines apply directly or interleave with query workloads, plus the
+  mutation-observer hook continuous subscriptions listen on.
+* :mod:`repro.core.continuous` — standing query subscriptions maintained
+  incrementally: affected-only re-evaluation after each update, with
+  ordered JOIN/LEAVE/SCORE_CHANGE answer deltas.
 * :mod:`repro.core.quality` — answer-quality metrics (expected cardinality,
   precision, recall) for reasoning about the privacy/quality trade-off.
 """
@@ -74,6 +78,13 @@ from repro.core.basic import (
 from repro.core.pruning import CIPQPruner, CIUQPruner, PruneDecision, PruningStrategy
 from repro.core.statistics import EvaluationStatistics, aggregate_statistics
 from repro.core.cache import CachedAnswer, CacheStats, ResultCache
+from repro.core.continuous import (
+    AnswerDelta,
+    DeltaKind,
+    Subscription,
+    SubscriptionRegistry,
+    replay_deltas,
+)
 from repro.core.database import PointDatabase, UncertainDatabase
 from repro.core.engine import (
     ImpreciseQueryEngine,
@@ -83,7 +94,7 @@ from repro.core.nearest import ImpreciseNearestNeighborEngine
 from repro.core.plan import QueryPlan, plan_query, query_fingerprint
 from repro.core.pipeline import QueryPipeline
 from repro.core.sharding import Shard, ShardedDatabase
-from repro.core.updates import UpdateBatch, UpdateOp
+from repro.core.updates import MutationObservable, UpdateBatch, UpdateEvent, UpdateOp
 from repro.core.parallel import ParallelEngine, ParallelEvaluation, ShardTiming
 from repro.core.session import (
     NearestNeighborQueryBuilder,
@@ -153,8 +164,15 @@ __all__ = [
     "SessionStats",
     "Shard",
     "ShardedDatabase",
+    "MutationObservable",
     "UpdateBatch",
+    "UpdateEvent",
     "UpdateOp",
+    "AnswerDelta",
+    "DeltaKind",
+    "Subscription",
+    "SubscriptionRegistry",
+    "replay_deltas",
     "ParallelEngine",
     "ParallelEvaluation",
     "ShardTiming",

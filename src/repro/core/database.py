@@ -24,6 +24,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.geometry.rect import Rect
 from repro.core.columnar import ColumnarPoints, ColumnarUncertain
+from repro.core.updates import MutationObservable, UpdateEvent, UpdateOp
 from repro.index.registry import build_index, get_index_backend
 from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS
 from repro.uncertainty.region import PointObject, UncertainObject
@@ -121,14 +122,16 @@ class _TrackedObjects(list):
         return result
 
 
-class _MutableDatabaseMixin:
+class _MutableDatabaseMixin(MutationObservable):
     """Shared epoch accounting and index-maintenance plumbing.
 
     Concrete databases provide ``objects`` / ``index`` / ``kind`` plus typed
     ``insert`` / ``delete`` / ``move`` mutators; this mixin owns the epoch
     counter that invalidates cached columnar snapshots, the oid → position
     lookup, and the choice between incremental index maintenance and the
-    rebuild fallback for backends without a delete path.
+    rebuild fallback for backends without a delete path.  Through
+    :class:`~repro.core.updates.MutationObservable` the mutators also report
+    each applied change to registered update observers.
     """
 
     def _bump_epoch(self) -> None:
@@ -258,7 +261,7 @@ class _MutableDatabaseMixin:
             self._rebuild_index()
         return obj
 
-    def _replace_with_index(self, oid: int, new) -> None:
+    def _replace_with_index(self, oid: int, new):
         old = self.get(oid)
         if self._incremental_maintenance():
             self.index.update(old.mbr, new.mbr, old, replacement=new)
@@ -266,6 +269,7 @@ class _MutableDatabaseMixin:
         else:
             self._list_replace(oid, new)
             self._rebuild_index()
+        return old
 
     def __len__(self) -> int:
         return len(self.objects)
@@ -329,11 +333,28 @@ class PointDatabase(_MutableDatabaseMixin):
         if not isinstance(obj, PointObject):
             raise TypeError(f"expected a PointObject, got {type(obj).__name__}")
         self._append_with_index(obj)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="insert", obj=obj),
+                target="points",
+                oid=obj.oid,
+                after=obj.mbr,
+            )
+        )
         return obj
 
     def delete(self, oid: int) -> PointObject:
         """Remove the object with the given oid and return it."""
-        return self._delete_with_index(oid)
+        removed = self._delete_with_index(oid)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="delete", oid=oid, target="points"),
+                target="points",
+                oid=oid,
+                before=removed.mbr,
+            )
+        )
+        return removed
 
     def move(self, oid: int, x: float, y: float) -> PointObject:
         """Relocate the object with the given oid to ``(x, y)``.
@@ -342,7 +363,16 @@ class PointDatabase(_MutableDatabaseMixin):
         :class:`PointObject` carrying the same oid (returned).
         """
         new = PointObject.at(oid, float(x), float(y))
-        self._replace_with_index(oid, new)
+        old = self._replace_with_index(oid, new)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="move", oid=oid, x=float(x), y=float(y), target="points"),
+                target="points",
+                oid=oid,
+                before=old.mbr,
+                after=new.mbr,
+            )
+        )
         return new
 
 
@@ -437,11 +467,28 @@ class UncertainDatabase(_MutableDatabaseMixin):
             raise TypeError(f"expected an UncertainObject, got {type(obj).__name__}")
         obj = self._with_catalog(obj, None)
         self._append_with_index(obj)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="insert", obj=obj),
+                target="uncertain",
+                oid=obj.oid,
+                after=obj.mbr,
+            )
+        )
         return obj
 
     def delete(self, oid: int) -> UncertainObject:
         """Remove the object with the given oid and return it."""
-        return self._delete_with_index(oid)
+        removed = self._delete_with_index(oid)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="delete", oid=oid, target="uncertain"),
+                target="uncertain",
+                oid=oid,
+                before=removed.mbr,
+            )
+        )
+        return removed
 
     def move(self, oid: int, pdf) -> UncertainObject:
         """Give the object with the given oid a new uncertainty pdf.
@@ -453,4 +500,13 @@ class UncertainDatabase(_MutableDatabaseMixin):
         old = self.get(oid)
         new = self._with_catalog(UncertainObject(oid=oid, pdf=pdf), old)
         self._replace_with_index(oid, new)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="move", oid=oid, pdf=pdf, target="uncertain"),
+                target="uncertain",
+                oid=oid,
+                before=old.mbr,
+                after=new.mbr,
+            )
+        )
         return new

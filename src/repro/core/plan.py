@@ -33,6 +33,7 @@ import hashlib
 from dataclasses import dataclass
 from typing import Hashable, Literal
 
+from repro.core.expansion import minkowski_expanded_query
 from repro.core.pruning import CIPQPruner, CIUQPruner
 from repro.core.queries import NearestNeighborQuery, Query, RangeQuery
 from repro.geometry.rect import Rect
@@ -97,6 +98,27 @@ def query_cache_key(query: Query) -> tuple:
     if isinstance(query, NearestNeighborQuery):
         return ("nn", id(query.issuer), query.threshold, resolved_nn_samples(query))
     return ("range", id(query.issuer), query.spec, query.threshold, query.target)
+
+
+def relevance_window(query: Query) -> Rect | None:
+    """The candidate window outside which no mutation can change the answer.
+
+    For range queries this is the full Minkowski sum ``R ⊕ U0`` (the
+    paper's Lemma 1 filter) — the *widest* candidate window any
+    configuration uses, since the Qp-expanded-query is always a subset of
+    it.  An object whose uncertainty region never intersects the window
+    has zero qualification probability under every configuration, so a
+    mutation whose before/after MBRs both miss the window provably leaves
+    the query's answer bit-for-bit unchanged.  Continuous subscriptions
+    use exactly this test to skip re-evaluation.
+
+    Nearest-neighbour queries return ``None`` ("everywhere"): removing the
+    current winner or inserting a closer object at *any* distance can
+    change the win probabilities, so no finite window is complete.
+    """
+    if isinstance(query, NearestNeighborQuery):
+        return None
+    return minkowski_expanded_query(query.issuer.region, query.spec)
 
 
 def query_draw_token(query: Query) -> int:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Sequence
 
 from repro.core.cache import ResultCache
+from repro.core.continuous import AnswerDelta, Subscription, SubscriptionRegistry
 from repro.core.engine import (
     EngineConfig,
     ImpreciseQueryEngine,
@@ -68,6 +69,7 @@ class Session:
             self._engine = ImpreciseQueryEngine(
                 point_db=point_db, uncertain_db=uncertain_db, config=config
             )
+        self._subscriptions: SubscriptionRegistry | None = None
 
     @classmethod
     def from_objects(
@@ -245,7 +247,55 @@ class Session:
                 epochs[name] = dict(database.epochs())
             else:
                 epochs[name] = database.epoch
-        return SessionStats(cache=cache_stats, epochs=epochs)
+        subscriptions = (
+            self._subscriptions.stats() if self._subscriptions is not None else None
+        )
+        return SessionStats(
+            cache=cache_stats, epochs=epochs, subscriptions=subscriptions
+        )
+
+    # ------------------------------------------------------------------ #
+    # Continuous queries
+    # ------------------------------------------------------------------ #
+    def subscriptions(self) -> SubscriptionRegistry:
+        """The session's :class:`SubscriptionRegistry` (created on first use).
+
+        The registry shares the session's databases and observes every
+        mutation made through this session (or any other consumer of the
+        same database objects).
+        """
+        if self._subscriptions is None:
+            self._subscriptions = SubscriptionRegistry(
+                point_db=self._engine.point_db,
+                uncertain_db=self._engine.uncertain_db,
+                config=self._engine.config,
+            )
+        return self._subscriptions
+
+    def subscribe(self, query: Query) -> Subscription:
+        """Register a standing query and return its :class:`Subscription`.
+
+        The handle's :meth:`~repro.core.continuous.Subscription.answer` is
+        maintained incrementally as the session mutates; drain its ordered
+        ``JOIN``/``LEAVE``/``SCORE_CHANGE`` deltas via
+        :meth:`~repro.core.continuous.Subscription.poll` (per subscription)
+        or :meth:`poll_deltas` (session-wide).
+        """
+        return self.subscriptions().subscribe(query)
+
+    def unsubscribe(self, subscription: Subscription | int) -> None:
+        """Cancel a standing query (by handle or id)."""
+        self.subscriptions().unsubscribe(subscription)
+
+    def poll_deltas(self) -> list[AnswerDelta]:
+        """Drain all subscriptions' queued deltas as one ordered stream."""
+        if self._subscriptions is None:
+            return []
+        return self._subscriptions.poll()
+
+    def _pump_subscriptions(self) -> None:
+        if self._subscriptions is not None:
+            self._subscriptions.pump()
 
     # ------------------------------------------------------------------ #
     # Fluent builders
@@ -282,14 +332,18 @@ class Session:
 
         Returns the stored object (uncertain objects may gain a U-catalog).
         """
-        return self._engine.insert(obj)
+        stored = self._engine.insert(obj)
+        self._pump_subscriptions()
+        return stored
 
     def delete(self, oid: int, *, target: str | None = None):
         """Remove one object by oid; ``target`` picks the database when both exist.
 
         Returns the removed object.
         """
-        return self._engine.delete(oid, target=target)
+        removed = self._engine.delete(oid, target=target)
+        self._pump_subscriptions()
+        return removed
 
     def move(
         self,
@@ -304,11 +358,19 @@ class Session:
 
         Returns the stored replacement object.
         """
-        return self._engine.move(oid, x=x, y=y, pdf=pdf, target=target)
+        moved = self._engine.move(oid, x=x, y=y, pdf=pdf, target=target)
+        self._pump_subscriptions()
+        return moved
 
     def apply_updates(self, batch: UpdateBatch) -> None:
-        """Apply an ordered :class:`UpdateBatch` to the session's databases."""
+        """Apply an ordered :class:`UpdateBatch` to the session's databases.
+
+        Standing subscriptions settle once per batch: each affected
+        subscription re-evaluates a single time no matter how many of the
+        batch's operations touched it.
+        """
         self._engine.apply_updates(batch)
+        self._pump_subscriptions()
 
     # ------------------------------------------------------------------ #
     # Direct execution
@@ -323,7 +385,9 @@ class Session:
         :class:`UpdateBatch` items may be interleaved with the queries; each
         is applied at its position in the stream and yields no evaluation.
         """
-        return self._engine.evaluate_many(queries)
+        evaluations = self._engine.evaluate_many(queries)
+        self._pump_subscriptions()
+        return evaluations
 
 
 @dataclass(frozen=True)
@@ -334,11 +398,16 @@ class SessionStats:
     ``hits`` / ``misses`` / ``evictions`` / ``hit_rate`` / ``entries`` /
     ``capacity``.  ``epochs`` maps each configured database (``"points"`` /
     ``"uncertain"``) to its mutation epoch — an int for serial sessions, a
-    ``{shard id: epoch}`` dict for sharded ones.
+    ``{shard id: epoch}`` dict for sharded ones.  ``subscriptions`` is
+    ``None`` until the session's first :meth:`Session.subscribe`; afterwards
+    the registry's counters (``active`` / ``subscribed_total`` /
+    ``deltas_emitted`` / ``reevaluations`` / ``skipped`` / ``rounds`` /
+    ``pending_deltas``).
     """
 
     cache: dict[str, Any] | None = None
     epochs: dict[str, Any] = field(default_factory=dict)
+    subscriptions: dict[str, int] | None = None
 
     @property
     def hit_rate(self) -> float:

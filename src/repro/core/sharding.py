@@ -42,6 +42,7 @@ from typing import Iterable, Literal, Sequence
 from repro.core.database import PointDatabase, UncertainDatabase, new_database_uid
 from repro.core.pipeline import QueryPipeline
 from repro.core.queries import Evaluation, Query
+from repro.core.updates import MutationObservable, UpdateEvent, UpdateOp
 from repro.datasets.partition import (
     PartitionMethod,
     mbr_centers,
@@ -91,7 +92,7 @@ class Shard:
 
 
 @dataclass
-class ShardedDatabase:
+class ShardedDatabase(MutationObservable):
     """A database partitioned into ``k`` spatial shards, each independently indexed."""
 
     kind: ShardKind
@@ -297,6 +298,26 @@ class ShardedDatabase:
         """
         return tuple(
             (shard.sid, shard.database.epoch) for shard in self.non_empty_shards()
+        )
+
+    def epoch_scope(self, shards: Sequence[Shard] | None = None) -> tuple:
+        """A hashable token pinning the state an answer over ``shards`` saw.
+
+        ``(uid, version, ((sid, epoch), ...))`` over the given shards (all
+        non-empty shards by default).  Two equal tokens guarantee the same
+        shards held the same members — the invariant the parallel engine's
+        result-cache key already relies on — so any answer derived from
+        those shards is still exact.  Continuous subscriptions compare the
+        token of a query's *currently routed* shards against the token
+        recorded at its last evaluation to decide whether a mutation stream
+        can have changed its answer.
+        """
+        if shards is None:
+            shards = self.non_empty_shards()
+        return (
+            self.uid,
+            self.version,
+            tuple((shard.sid, shard.database.epoch) for shard in shards),
         )
 
     # ------------------------------------------------------------------ #
@@ -561,6 +582,17 @@ class ShardedDatabase:
         else:
             stored = shard.database.insert(obj)
         self._after_member_added(shard, stored)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="insert", obj=stored),
+                target=self.kind,
+                oid=stored.oid,
+                after=extract_mbr(stored),
+                # A hot-shard re-split may have re-homed the object already;
+                # report where it actually landed.
+                sids=(self._shard_map()[stored.oid],),
+            )
+        )
         return stored
 
     def delete(self, oid: int):
@@ -575,6 +607,15 @@ class ShardedDatabase:
         del self._shard_map()[oid]
         self._global_remove(oid)
         self._after_member_removed(shard, removed)
+        self._emit_update(
+            UpdateEvent(
+                op=UpdateOp(action="delete", oid=oid, target=self.kind),
+                target=self.kind,
+                oid=oid,
+                before=extract_mbr(removed),
+                sids=(shard.sid,),
+            )
+        )
         return removed
 
     def move(self, oid: int, *, x: float | None = None, y: float | None = None, pdf=None):
@@ -597,8 +638,13 @@ class ShardedDatabase:
             new_mbr = Rect.from_point(Point(float(x), float(y)))
         else:
             new_mbr = pdf.region
+        if self.kind == "points":
+            move_op = UpdateOp(action="move", oid=oid, x=float(x), y=float(y), target="points")
+        else:
+            move_op = UpdateOp(action="move", oid=oid, pdf=pdf, target="uncertain")
         target = self._route_insert(new_mbr)
         if target.sid == shard.sid:
+            previous_mbr = extract_mbr(shard.database.get(oid))
             if self.kind == "points":
                 moved = shard.database.move(oid, float(x), float(y))
             else:
@@ -609,6 +655,16 @@ class ShardedDatabase:
                 # The anchor member itself moved; its recorded location must
                 # follow (nearest-neighbour bounds require a real member).
                 shard.anchor = moved.location
+            self._emit_update(
+                UpdateEvent(
+                    op=move_op,
+                    target=self.kind,
+                    oid=oid,
+                    before=previous_mbr,
+                    after=extract_mbr(moved),
+                    sids=(shard.sid,),
+                )
+            )
             return moved
         removed = shard.database.delete(oid)
         del self._shard_map()[oid]
@@ -624,6 +680,16 @@ class ShardedDatabase:
                 replacement = self._prepare_uncertain(replacement)
         stored = target.database.insert(replacement)
         self._after_member_added(target, stored)
+        self._emit_update(
+            UpdateEvent(
+                op=move_op,
+                target=self.kind,
+                oid=oid,
+                before=extract_mbr(removed),
+                after=extract_mbr(stored),
+                sids=(shard.sid, self._shard_map()[stored.oid]),
+            )
+        )
         return stored
 
     def _rebuild_shard(self, shard: Shard, members: list) -> None:

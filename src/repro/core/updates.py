@@ -31,7 +31,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Literal
+from typing import Any, Callable, Iterator, Literal
 
 UpdateAction = Literal["insert", "delete", "move"]
 UpdateTarget = Literal["points", "uncertain"]
@@ -106,6 +106,76 @@ class UpdateOp:
     target: UpdateTarget | None = None
 
 
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One *applied* mutation, as reported to update observers.
+
+    Where :class:`UpdateOp` is the declarative request, an ``UpdateEvent``
+    is the receipt: it names the database kind actually mutated, the MBRs
+    the object occupied before and after (``None`` on the missing side of
+    an insert/delete), and — when the mutation went through a
+    :class:`~repro.core.sharding.ShardedDatabase` — the shard ids it
+    touched (source and target for a cross-shard move).  Continuous
+    subscriptions consume these events to decide which standing queries a
+    mutation can possibly affect.
+    """
+
+    op: UpdateOp
+    target: UpdateTarget
+    oid: int
+    before: Any = None
+    after: Any = None
+    sids: tuple[int, ...] = ()
+
+    @property
+    def region(self) -> Any:
+        """The bounding rectangle of everywhere the mutation touched."""
+        if self.before is None:
+            return self.after
+        if self.after is None:
+            return self.before
+        return self.before.union_bounds(self.after)
+
+
+class MutationObservable:
+    """Mixin that lets databases report applied mutations to observers.
+
+    Observers are callables taking one :class:`UpdateEvent`; they run
+    synchronously, in registration order, *after* the mutation completed.
+    The hook costs one attribute lookup when nobody is subscribed.  Only
+    the public mutator surface (``insert`` / ``delete`` / ``move``) emits
+    events — editing ``db.objects`` out of band is not observed, matching
+    the repository-wide contract that live data changes go through the
+    mutators.  Observer lists are deliberately excluded from pickling
+    (worker snapshots must not drag subscription state across processes).
+    """
+
+    def add_update_observer(self, observer: Callable[[UpdateEvent], None]) -> None:
+        """Register ``observer`` to be called after each applied mutation."""
+        observers = getattr(self, "_update_observers", None)
+        if observers is None:
+            observers = []
+            self._update_observers = observers
+        observers.append(observer)
+
+    def remove_update_observer(self, observer: Callable[[UpdateEvent], None]) -> None:
+        """Unregister a previously added observer (no-op when absent)."""
+        observers = getattr(self, "_update_observers", None)
+        if observers is not None and observer in observers:
+            observers.remove(observer)
+
+    def _emit_update(self, event: UpdateEvent) -> None:
+        observers = getattr(self, "_update_observers", None)
+        if observers:
+            for observer in list(observers):
+                observer(event)
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_update_observers", None)
+        return state
+
+
 class UpdateBatch:
     """An ordered, append-only batch of live mutations.
 
@@ -158,6 +228,24 @@ class UpdateBatch:
         return f"UpdateBatch({summary or 'empty'})"
 
 
+def _describe_mutation_target(engine: Any, op: UpdateOp) -> str:
+    """Best-effort name of the database an ``op`` addresses, for error text."""
+    if op.action == "move":
+        try:
+            return resolve_move_target(op.x, op.y, op.pdf, op.target)
+        except ValueError:
+            return op.target or "unresolved"
+    if op.target is not None:
+        return op.target
+    point_db = getattr(engine, "point_db", None)
+    uncertain_db = getattr(engine, "uncertain_db", None)
+    if point_db is not None and uncertain_db is None:
+        return "points"
+    if uncertain_db is not None and point_db is None:
+        return "uncertain"
+    return "unresolved"
+
+
 def apply_update_op(engine: Any, op: UpdateOp) -> None:
     """Apply one operation through an engine's mutation surface.
 
@@ -165,12 +253,28 @@ def apply_update_op(engine: Any, op: UpdateOp) -> None:
     :class:`~repro.core.parallel.ParallelEngine` expose the same
     ``insert`` / ``delete`` / ``move`` methods; this helper is the single
     translation from the declarative :class:`UpdateOp` to those calls.
+
+    A ``delete`` or ``move`` naming an oid the target database does not
+    hold raises a descriptive :class:`ValueError` (naming the oid and the
+    database) instead of surfacing the index layer's bare ``KeyError``.
     """
     if op.action == "insert":
         engine.insert(op.obj)
     elif op.action == "delete":
-        engine.delete(op.oid, target=op.target)
+        try:
+            engine.delete(op.oid, target=op.target)
+        except KeyError as error:
+            raise ValueError(
+                f"cannot delete oid {op.oid}: no such object in the "
+                f"{_describe_mutation_target(engine, op)!r} database"
+            ) from error
     elif op.action == "move":
-        engine.move(op.oid, x=op.x, y=op.y, pdf=op.pdf, target=op.target)
+        try:
+            engine.move(op.oid, x=op.x, y=op.y, pdf=op.pdf, target=op.target)
+        except KeyError as error:
+            raise ValueError(
+                f"cannot move oid {op.oid}: no such object in the "
+                f"{_describe_mutation_target(engine, op)!r} database"
+            ) from error
     else:  # pragma: no cover - UpdateOp constrains the action literal
         raise ValueError(f"unknown update action: {op.action!r}")

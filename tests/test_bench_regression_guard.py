@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from benchmarks.check_regression import compare, compare_cache, compare_updates
+from benchmarks.check_regression import (
+    compare,
+    compare_cache,
+    compare_continuous,
+    compare_sharded,
+    compare_updates,
+)
 
 
 def _result(batch_speedup: float, loop_qps: float) -> dict:
@@ -88,5 +94,89 @@ class TestCompareCache:
     def test_improvements_always_pass(self):
         assert (
             compare_cache({"cache_speedup": 30.0}, {"cache_speedup": 16.0}, tolerance=0.0)
+            == []
+        )
+
+
+class TestCompareSharded:
+    def test_identical_results_pass(self):
+        baseline = {"workload_speedup": 2.4, "cpu_count": 8}
+        assert compare_sharded(baseline, baseline, tolerance=0.30) == []
+
+    def test_degradation_within_tolerance_passes(self):
+        assert (
+            compare_sharded(
+                {"workload_speedup": 1.8, "cpu_count": 8},
+                {"workload_speedup": 2.4, "cpu_count": 8},
+                tolerance=0.30,
+            )
+            == []
+        )
+
+    def test_regression_fails_and_reports_cpu_count(self):
+        failures = compare_sharded(
+            {"workload_speedup": 1.0, "cpu_count": 8},
+            {"workload_speedup": 2.4, "cpu_count": 8},
+            tolerance=0.30,
+        )
+        assert len(failures) == 1
+        assert "workload_speedup" in failures[0]
+        assert "cpu_count 8" in failures[0]
+
+    def test_single_core_runs_get_extra_slack(self):
+        fresh = {"workload_speedup": 0.77, "cpu_count": 1}
+        baseline = {"workload_speedup": 1.5}
+        # 0.77 < 1.5 * 0.7 with the plain tolerance, but a single-core run
+        # only measures routing overhead: the widened floor (1.5 * 0.5) passes.
+        assert compare_sharded(fresh, baseline, tolerance=0.30) == []
+        multi = dict(fresh, cpu_count=8)
+        failures = compare_sharded(multi, baseline, tolerance=0.30)
+        assert len(failures) == 1 and "cpu_count 8" in failures[0]
+
+    def test_single_core_still_fails_below_widened_floor(self):
+        failures = compare_sharded(
+            {"workload_speedup": 0.5, "cpu_count": 1},
+            {"workload_speedup": 1.5},
+            tolerance=0.30,
+        )
+        assert len(failures) == 1
+        assert "tolerance 50%" in failures[0] and "cpu_count 1" in failures[0]
+
+    def test_improvements_always_pass(self):
+        assert (
+            compare_sharded(
+                {"workload_speedup": 5.0, "cpu_count": 8},
+                {"workload_speedup": 2.4},
+                tolerance=0.0,
+            )
+            == []
+        )
+
+
+class TestCompareContinuous:
+    def test_identical_results_pass(self):
+        baseline = {"continuous_speedup": 6.0}
+        assert compare_continuous(baseline, baseline, tolerance=0.30) == []
+
+    def test_degradation_within_tolerance_passes(self):
+        assert (
+            compare_continuous(
+                {"continuous_speedup": 4.5}, {"continuous_speedup": 6.0}, tolerance=0.30
+            )
+            == []
+        )
+
+    def test_continuous_speedup_regression_fails(self):
+        failures = compare_continuous(
+            {"continuous_speedup": 2.0}, {"continuous_speedup": 6.0}, tolerance=0.30
+        )
+        assert len(failures) == 1
+        assert "continuous_speedup" in failures[0]
+
+    def test_improvements_always_pass(self):
+        assert (
+            compare_continuous(
+                {"continuous_speedup": 12.0}, {"continuous_speedup": 6.0}, tolerance=0.0
+            )
             == []
         )

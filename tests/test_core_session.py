@@ -158,3 +158,89 @@ class TestDirectEvaluation:
         ]
         evaluations = session.evaluate_many(queries)
         assert [e.query.kind for e in evaluations] == ["ipq", "iuq"]
+
+
+class TestStatsAfterMutations:
+    """Satellite: epoch and subscription counters in SessionStats."""
+
+    def test_serial_epochs_advance_through_every_mutator(self, small_points, small_uncertain):
+        from repro.core.updates import UpdateBatch
+        from repro.geometry.point import Point
+        from repro.geometry.rect import Rect
+        from repro.uncertainty.pdf import UniformPdf
+        from repro.uncertainty.region import PointObject
+
+        session = Session.from_objects(points=small_points, uncertain=small_uncertain)
+        before = session.stats().epochs
+        assert set(before) == {"points", "uncertain"}
+
+        session.insert(PointObject.at(9301, 4_000.0, 4_000.0))
+        after_insert = session.stats().epochs
+        assert after_insert["points"] > before["points"]
+        assert after_insert["uncertain"] == before["uncertain"]
+
+        session.move(9301, x=4_500.0, y=4_500.0)
+        after_move = session.stats().epochs
+        assert after_move["points"] > after_insert["points"]
+
+        session.delete(9301, target="points")
+        after_delete = session.stats().epochs
+        assert after_delete["points"] > after_move["points"]
+
+        session.apply_updates(
+            UpdateBatch().move(
+                1, pdf=UniformPdf(Rect.from_center(Point(2_000.0, 2_000.0), 50.0, 50.0))
+            )
+        )
+        after_batch = session.stats().epochs
+        assert after_batch["uncertain"] > after_delete["uncertain"]
+        assert after_batch["points"] == after_delete["points"]
+
+    def test_sharded_epochs_advance_only_on_the_owning_shard(self, small_points):
+        from repro.uncertainty.region import PointObject
+
+        session = Session.from_objects(points=small_points).sharded(4)
+        before = session.stats().epochs["points"]
+        assert isinstance(before, dict) and len(before) >= 2
+
+        stored = session.insert(PointObject.at(9302, 100.0, 100.0))
+        owner = session.point_db.owner_of(stored.oid).sid
+        after = session.stats().epochs["points"]
+        assert after[owner] == before[owner] + 1
+        assert all(after[sid] == before[sid] for sid in before if sid != owner)
+
+    def test_subscription_counters_surface_in_stats(self, small_points):
+        from repro.core.queries import RangeQuery, RangeQuerySpec
+        from repro.geometry.point import Point
+        from repro.geometry.rect import Rect
+        from repro.uncertainty.region import PointObject, UncertainObject
+
+        session = Session.from_objects(points=small_points)
+        assert session.stats().subscriptions is None  # no registry yet
+
+        issuer = UncertainObject.uniform(
+            9400, Rect.from_center(Point(5_000.0, 5_000.0), 100.0, 100.0)
+        )
+        near = session.subscribe(RangeQuery.ipq(issuer, RangeQuerySpec.square(400.0)))
+        far_issuer = UncertainObject.uniform(
+            9401, Rect.from_center(Point(500.0, 9_500.0), 50.0, 50.0)
+        )
+        session.subscribe(RangeQuery.ipq(far_issuer, RangeQuerySpec.square(100.0)))
+
+        counters = session.stats().subscriptions
+        assert counters["active"] == 2
+        assert counters["subscribed_total"] == 2
+        assert counters["reevaluations"] == 0
+
+        # One mutation inside `near`'s window: exactly one re-evaluation,
+        # the far subscription is skipped.
+        session.insert(PointObject.at(9402, 5_050.0, 5_050.0))
+        counters = session.stats().subscriptions
+        assert counters["reevaluations"] == 1
+        assert counters["skipped"] == 1
+        assert counters["deltas_emitted"] >= 1
+        assert counters["rounds"] == 1
+
+        assert 9402 in near.answer()
+        session.unsubscribe(near)
+        assert session.stats().subscriptions["active"] == 1

@@ -215,3 +215,128 @@ class TestMoveValidationConsistency:
                 resolve_move_target(
                     kwargs.get("x"), kwargs.get("y"), kwargs.get("pdf"), None
                 )
+
+
+class TestUnknownOidErrors:
+    """Satellite: unknown oids in a batch raise descriptive ValueErrors."""
+
+    def _point_engine(self):
+        return ImpreciseQueryEngine(point_db=PointDatabase.build(_point_objects()))
+
+    def test_delete_unknown_oid_names_oid_and_database(self):
+        engine = self._point_engine()
+        with pytest.raises(ValueError, match=r"cannot delete oid 999") as excinfo:
+            engine.apply_updates(UpdateBatch().delete(999))
+        assert "'points'" in str(excinfo.value)
+
+    def test_move_unknown_oid_names_oid_and_database(self):
+        engine = self._point_engine()
+        with pytest.raises(ValueError, match=r"cannot move oid 999") as excinfo:
+            engine.apply_updates(UpdateBatch().move(999, x=1.0, y=2.0))
+        assert "'points'" in str(excinfo.value)
+
+    def test_uncertain_target_named_in_message(self):
+        engine = ImpreciseQueryEngine(
+            point_db=PointDatabase.build(_point_objects()),
+            uncertain_db=UncertainDatabase.build(_uncertain_objects()),
+        )
+        with pytest.raises(ValueError, match=r"cannot delete oid 404") as excinfo:
+            engine.apply_updates(UpdateBatch().delete(404, target="uncertain"))
+        assert "'uncertain'" in str(excinfo.value)
+        moved = UpdateBatch().move(404, pdf=UniformPdf(Rect(0, 0, 10, 10)))
+        with pytest.raises(ValueError, match=r"cannot move oid 404") as excinfo:
+            engine.apply_updates(moved)
+        assert "'uncertain'" in str(excinfo.value)
+
+    def test_original_keyerror_is_chained(self):
+        engine = self._point_engine()
+        with pytest.raises(ValueError) as excinfo:
+            engine.apply_updates(UpdateBatch().delete(999))
+        assert isinstance(excinfo.value.__cause__, KeyError)
+
+    def test_sharded_engine_wraps_the_owner_lookup(self):
+        from repro.core.parallel import ParallelEngine
+        from repro.core.sharding import ShardedDatabase
+
+        engine = ParallelEngine(
+            point_db=ShardedDatabase.build_points(_point_objects(), 2),
+            config=EngineConfig(draw_plan="per_oid"),
+        )
+        with pytest.raises(ValueError, match=r"cannot delete oid 999"):
+            engine.apply_updates(UpdateBatch().delete(999))
+
+    def test_session_apply_updates_wraps_too(self):
+        session = Session.from_objects(points=_point_objects())
+        with pytest.raises(ValueError, match=r"cannot move oid 999"):
+            session.apply_updates(UpdateBatch().move(999, x=1.0, y=2.0))
+
+    def test_direct_database_calls_keep_raising_keyerror(self):
+        # The wrapping lives in the batch layer; the low-level surface is
+        # unchanged for callers that want the raw KeyError.
+        database = PointDatabase.build(_point_objects())
+        with pytest.raises(KeyError):
+            database.delete(999)
+
+
+class TestMutationObservers:
+    """The MutationObservable hook on databases and sharded wrappers."""
+
+    def test_events_report_action_oid_and_regions(self):
+        database = PointDatabase.build(_point_objects())
+        events = []
+        database.add_update_observer(events.append)
+        database.insert(PointObject.at(50, 10.0, 20.0))
+        database.move(50, 30.0, 40.0)
+        database.delete(50)
+        assert [(e.op.action, e.oid, e.target) for e in events] == [
+            ("insert", 50, "points"),
+            ("move", 50, "points"),
+            ("delete", 50, "points"),
+        ]
+        insert, move, delete = events
+        assert insert.before is None and insert.after.as_tuple() == (10.0, 20.0, 10.0, 20.0)
+        # A move's region bounds both endpoints.
+        assert move.region.as_tuple() == (10.0, 20.0, 30.0, 40.0)
+        assert delete.after is None and delete.before.as_tuple() == (30.0, 40.0, 30.0, 40.0)
+
+    def test_uncertain_database_reports_uncertain_target(self):
+        database = UncertainDatabase.build(_uncertain_objects())
+        events = []
+        database.add_update_observer(events.append)
+        database.move(1, UniformPdf(Rect.from_center(Point(500.0, 500.0), 20.0, 20.0)))
+        assert events[0].target == "uncertain"
+        assert events[0].op.action == "move"
+
+    def test_removed_observer_stops_receiving(self):
+        database = PointDatabase.build(_point_objects())
+        events = []
+        database.add_update_observer(events.append)
+        database.remove_update_observer(events.append)
+        database.insert(PointObject.at(51, 1.0, 1.0))
+        assert events == []
+        # Removing again is a no-op.
+        database.remove_update_observer(events.append)
+
+    def test_sharded_events_carry_shard_ids(self):
+        from repro.core.sharding import ShardedDatabase
+
+        sharded = ShardedDatabase.build_points(_point_objects(), 2)
+        events = []
+        sharded.add_update_observer(events.append)
+        stored = sharded.insert(PointObject.at(60, 120.0, 60.0))
+        sharded.move(60, x=750.0, y=380.0)  # long move: crosses shards
+        sharded.delete(60)
+        assert stored.oid == 60
+        insert, move, delete = events
+        assert len(insert.sids) == 1
+        assert len(move.sids) == 2 and move.sids[0] != move.sids[1]
+        assert delete.sids == (move.sids[1],)
+
+    def test_observers_excluded_from_pickles(self):
+        import pickle
+
+        database = PointDatabase.build(_point_objects())
+        database.add_update_observer(lambda event: None)
+        clone = pickle.loads(pickle.dumps(database))
+        assert not hasattr(clone, "_update_observers")
+        clone.insert(PointObject.at(70, 5.0, 5.0))  # must not fire anything
