@@ -22,6 +22,16 @@ On a single-core container no multi-core gain is physically possible, so the
 JSON records ``cpu_count`` to make the figure interpretable; on the 4-core
 CI runners the sampled workload clears 1.8x.
 
+Beyond wall-clock, the sharded contenders report the cost of *talking to*
+the pool: ``pool_spinup_seconds`` (publishing every shard snapshot and
+waiting for the workers to come up — paid once, not per query) and
+``ipc_bytes_per_query`` (serialized task + result bytes crossing the pool
+pipes, measured by pickling every task and result a second time in the
+parent).  For scale, ``pickled_envelope_bytes_per_query`` measures what the
+pre-shared-memory protocol would have shipped — full query objects out,
+pickled result/statistics envelopes back — and ``ipc_reduction`` is the
+ratio of the two.
+
 Results go to ``BENCH_sharded.json``.  Run with::
 
     PYTHONPATH=src python benchmarks/bench_sharded.py
@@ -36,6 +46,7 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import time
 from pathlib import Path
 
@@ -66,6 +77,51 @@ def _time_interleaved(runs: dict[str, object], repeats: int) -> dict[str, float]
     return best
 
 
+def _measure_ipc(
+    pooled: ParallelEngine, serial: ParallelEngine, workload: list[RangeQuery]
+) -> dict:
+    """Bytes crossing the pool pipes, vs the pre-shared-memory protocol.
+
+    The live number re-runs the workload with the engine's IPC accounting
+    switched on: every ``_ShardTask`` (plan tokens + a snapshot block name)
+    and ``_ShardResult`` (packed answer arrays) is pickled a second time in
+    the parent and its size accumulated.  The baseline emulates the old
+    envelope protocol on the same routed batches — full query objects
+    shipped out, pickled ``_RangePartial``/``_NNPartial`` envelopes shipped
+    back — without paying for a second pool.
+    """
+    queries = len(workload)
+    pooled.reset_ipc_accounting()
+    pooled.ipc_accounting = True
+    try:
+        pooled.evaluate_many(workload)
+    finally:
+        pooled.ipc_accounting = False
+    shm_bytes = pooled.ipc_task_bytes + pooled.ipc_result_bytes
+
+    tasks: dict[tuple[str, int], list[tuple[int, int, RangeQuery]]] = {}
+    for position, query in enumerate(workload):
+        for shard in serial._route(query):
+            tasks.setdefault(("points", shard.sid), []).append(
+                (position, position, query)
+            )
+    envelope_bytes = 0
+    for (kind, sid), items in sorted(tasks.items()):
+        envelope_bytes += len(pickle.dumps(items, protocol=pickle.HIGHEST_PROTOCOL))
+        partials = serial._execute_shard(kind, sid, items)
+        envelope_bytes += len(pickle.dumps(partials, protocol=pickle.HIGHEST_PROTOCOL))
+    return {
+        "ipc_task_bytes": pooled.ipc_task_bytes,
+        "ipc_result_bytes": pooled.ipc_result_bytes,
+        "ipc_bytes_per_query": shm_bytes / queries,
+        # Answer volume moved through one-shot shared-memory result blocks
+        # (never serialized, never piped) — reported for scale.
+        "result_shm_bytes_per_query": pooled.result_shm_bytes / queries,
+        "pickled_envelope_bytes_per_query": envelope_bytes / queries,
+        "ipc_reduction": envelope_bytes / shm_bytes if shm_bytes else float("inf"),
+    }
+
+
 def _measure_flavour(
     objects: list,
     sharded_db: ShardedDatabase,
@@ -78,8 +134,14 @@ def _measure_flavour(
     serial = ParallelEngine(point_db=sharded_db, config=config, workers=1)
     pooled = ParallelEngine(point_db=sharded_db, config=config, workers=workers)
     try:
-        # Warm-up: builds columnar snapshots, forks the worker pool, and
-        # checks that all three executors agree before anything is timed.
+        # Spin-up, measured apart from query time: publish every shard's
+        # shared-memory snapshot and wait for the worker processes to report
+        # in.  A serving deployment pays this once, before taking traffic.
+        started = time.perf_counter()
+        pooled.warm()
+        pool_spinup_seconds = time.perf_counter() - started
+        # Warm-up: checks that all three executors agree before anything is
+        # timed.
         reference = single.evaluate_many(workload)
         for contender in (serial, pooled):
             evaluations = contender.evaluate_many(workload)
@@ -95,6 +157,7 @@ def _measure_flavour(
             },
             repeats,
         )
+        ipc = _measure_ipc(pooled, serial, workload)
     finally:
         pooled.close()
         serial.close()
@@ -105,7 +168,8 @@ def _measure_flavour(
     } | {
         "routing_speedup": timings["single"] / timings["sharded_serial"],
         "workload_speedup": timings["single"] / timings["sharded_workers"],
-    }
+        "pool_spinup_seconds": pool_spinup_seconds,
+    } | ipc
 
 
 def main() -> None:
@@ -150,6 +214,12 @@ def main() -> None:
         "closed_form": closed_form,
         "sampled": sampled,
         "workload_speedup": sampled["workload_speedup"],
+        # Headline IPC metrics, from the sampled (production-shaped) flavour.
+        "pool_spinup_seconds": sampled["pool_spinup_seconds"],
+        "ipc_bytes_per_query": sampled["ipc_bytes_per_query"],
+        "result_shm_bytes_per_query": sampled["result_shm_bytes_per_query"],
+        "pickled_envelope_bytes_per_query": sampled["pickled_envelope_bytes_per_query"],
+        "ipc_reduction": sampled["ipc_reduction"],
     }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

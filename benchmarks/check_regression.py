@@ -22,7 +22,10 @@ timings on the same machine*, so it transfers across hardware:
   single-core container only the routing overhead is measurable (the
   recorded value sits below 1.0 by construction), so ``cpu_count: 1``
   results are guarded against a lower floor, and the guard message records
-  the cpu count it judged under.
+  the cpu count it judged under.  The same file's ``ipc_bytes_per_query``
+  is held under a *ceiling* (serialized pool traffic must not grow) —
+  byte-exact, so it protects the zero-copy protocol even where the timing
+  ratio is meaningless.
 * ``BENCH_continuous.json`` / ``continuous_speedup`` — incremental
   subscription maintenance over naive re-evaluate-all-subscriptions.  A
   drop means affected-only re-evaluation lost its selectivity.
@@ -61,6 +64,15 @@ DEFAULT_TOLERANCE = 0.30
 #: the parallel path cannot win (there is nothing to parallelise over) and
 #: the metric only measures routing overhead.
 SINGLE_CORE_SLACK = 0.20
+#: Absolute ceiling on ``ipc_bytes_per_query`` used when the committed
+#: baseline predates the metric.  The zero-copy protocol ships ~250 bytes
+#: per query (plan tokens out, block names back) where the old pickled
+#: envelopes shipped ~6 kB; 2 KiB catches any slide back towards pickling
+#: data while staying insensitive to workload-shape noise.  Unlike the
+#: timing ratios this is byte-exact and machine-independent, so it guards
+#: the zero-copy win even on single-core runners where ``workload_speedup``
+#: is meaningless.
+IPC_BYTES_CEILING = 2048.0
 
 
 def load_baseline(path: str | None, name: str = "BENCH_api_batch.json") -> dict | None:
@@ -164,6 +176,23 @@ def compare_sharded(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
             f"(baseline {baseline_value:.3f}, tolerance {effective:.0%}, "
             f"cpu_count {cpu_count})"
         )
+    # Ceiling on serialized pool traffic: byte-exact, so it holds on any
+    # hardware.  Baselines predating the metric fall back to the absolute
+    # ceiling; committed baselines tighten it to baseline * (1 + tolerance).
+    ipc_fresh = fresh.get("ipc_bytes_per_query")
+    if ipc_fresh is not None:
+        ipc_baseline = baseline.get("ipc_bytes_per_query")
+        if ipc_baseline is not None:
+            ceiling = float(ipc_baseline) * (1.0 + tolerance)
+            origin = f"baseline {float(ipc_baseline):.0f} B, tolerance {tolerance:.0%}"
+        else:
+            ceiling = IPC_BYTES_CEILING
+            origin = "absolute ceiling"
+        if float(ipc_fresh) > ceiling:
+            failures.append(
+                f"ipc_bytes_per_query regressed: {float(ipc_fresh):.0f} B > "
+                f"{ceiling:.0f} B ({origin})"
+            )
     return failures
 
 
@@ -288,6 +317,10 @@ def main(argv: list[str] | None = None) -> int:
             f"(baseline {sharded_baseline['workload_speedup']:.3f}, "
             f"cpu_count {int(sharded_fresh.get('cpu_count') or 0)})"
         )
+        if sharded_fresh.get("ipc_bytes_per_query") is not None:
+            summaries.append(
+                f"ipc {float(sharded_fresh['ipc_bytes_per_query']):.0f} B/query"
+            )
 
     continuous_fresh_path = Path(args.continuous_fresh)
     continuous_baseline = load_baseline(args.continuous_baseline, "BENCH_continuous.json")

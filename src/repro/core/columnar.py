@@ -79,6 +79,33 @@ class ColumnarPoints:
         self.oids.setflags(write=False)
         self.xy = xy
 
+    @classmethod
+    def from_arrays(
+        cls,
+        objects: Sequence[PointObject],
+        oids: np.ndarray,
+        xy: np.ndarray,
+    ) -> "ColumnarPoints":
+        """Wrap pre-built arrays (e.g. shared-memory views) without copying.
+
+        The arrays must describe ``objects`` row for row — this is how
+        :mod:`repro.core.shm` rebuilds a snapshot inside a worker process as
+        zero-copy views into a shared mapping instead of re-deriving the
+        arrays from the object list.
+        """
+        snapshot = object.__new__(cls)
+        snapshot.objects = tuple(objects)
+        if len(oids) != len(snapshot.objects) or len(xy) != len(snapshot.objects):
+            raise ValueError(
+                "array row counts must match the object list "
+                f"({len(snapshot.objects)} objects, {len(oids)} oids, {len(xy)} rows)"
+            )
+        oids.setflags(write=False)
+        xy.setflags(write=False)
+        snapshot.oids = oids
+        snapshot.xy = xy
+        return snapshot
+
     def __len__(self) -> int:
         return len(self.objects)
 
@@ -114,6 +141,46 @@ class ColumnarUncertain:
             obj.oid: row for row, obj in enumerate(self.objects)
         }
         self.catalog_levels, self.catalog_bounds = self._snapshot_catalogs()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        objects: Sequence[UncertainObject],
+        oids: np.ndarray,
+        bounds: np.ndarray,
+        *,
+        catalog_levels: np.ndarray | None = None,
+        catalog_bounds: np.ndarray | None = None,
+    ) -> "ColumnarUncertain":
+        """Wrap pre-built arrays (e.g. shared-memory views) without copying.
+
+        The arrays must describe ``objects`` row for row; the two catalog
+        arrays are either both present or both absent, mirroring what
+        :meth:`_snapshot_catalogs` would have derived.
+        """
+        snapshot = object.__new__(cls)
+        snapshot.objects = tuple(objects)
+        n = len(snapshot.objects)
+        if len(oids) != n or len(bounds) != n:
+            raise ValueError(
+                "array row counts must match the object list "
+                f"({n} objects, {len(oids)} oids, {len(bounds)} bounds rows)"
+            )
+        if (catalog_levels is None) != (catalog_bounds is None):
+            raise ValueError(
+                "catalog_levels and catalog_bounds must be given together"
+            )
+        for array in (oids, bounds, catalog_levels, catalog_bounds):
+            if array is not None:
+                array.setflags(write=False)
+        snapshot.oids = oids
+        snapshot.bounds = bounds
+        snapshot.catalog_levels = catalog_levels
+        snapshot.catalog_bounds = catalog_bounds
+        snapshot._row_of_oid = {
+            obj.oid: row for row, obj in enumerate(snapshot.objects)
+        }
+        return snapshot
 
     def _snapshot_catalogs(self) -> tuple[np.ndarray | None, np.ndarray | None]:
         """Catalog bound rectangles as ``(N, L, 4)``, when homogeneous.

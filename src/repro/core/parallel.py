@@ -1,26 +1,40 @@
-"""Shard-parallel workload execution.
+"""Shard-parallel workload execution over shared-memory snapshots.
 
 :class:`ParallelEngine` runs whole workloads against a
 :class:`~repro.core.sharding.ShardedDatabase`: a shard planner routes every
 query to only the shards its expanded window (Minkowski-expanded for range
 queries, best-distance-bounded for nearest-neighbour queries) can touch, the
-routed per-shard batches execute either in-process or on a pool of forked
-worker processes, and the per-shard partial results are merged back into
+routed per-shard batches execute either in-process or on a persistent pool
+of worker processes, and the per-shard partial results are merged back into
 ordinary :class:`~repro.core.queries.Evaluation` envelopes — answers in
 global oid order, work counters summed, and per-shard wall-clock attribution
 attached (:class:`ParallelEvaluation.shard_timings`).
 
 Per-shard execution is the *same staged pipeline* the serial engine runs
-(:mod:`repro.core.pipeline`, reached through
-:meth:`~repro.core.sharding.ShardedDatabase.execute_on_shard`): this engine
-owns no evaluation code of its own, only routing, the worker pool and the
-merge.  The result-cache stage, however, runs **here in the parent**, not
-inside the shards: a cache entry must hold a whole-query answer, and fills
-performed inside forked workers would die with the worker anyway.  Cache
-keys embed the *per-shard epoch vector* of the routed shards (plus the
-sharded database's structure version), so a mutation in one shard does not
-evict answers that only touched others — the fine-grained invalidation a
-single global epoch cannot give.
+(:mod:`repro.core.pipeline`): this engine owns no evaluation code of its
+own, only routing, the worker pool and the merge.  The result-cache stage,
+however, runs **here in the parent**, not inside the shards: a cache entry
+must hold a whole-query answer, and fills performed inside pool workers
+would die with the worker anyway.  Cache keys embed the *per-shard epoch
+vector* of the routed shards (plus the sharded database's structure
+version), so a mutation in one shard does not evict answers that only
+touched others — the fine-grained invalidation a single global epoch cannot
+give.
+
+**Worker protocol.**  No bulk data crosses the pool pipes in either
+direction.  Each shard's snapshot — columnar arrays laid out raw, object
+list and index pickled once — lives in a named shared-memory block published
+by a :class:`~repro.core.shm.SnapshotStore`; workers attach by name and map
+the arrays zero-copy.  Tasks carry only :class:`~repro.core.plan.PlanToken`
+records (a few hundred bytes per query) plus the block name; results travel
+the same way in reverse — the worker packs ``(oid, probability)`` answer
+arrays and :class:`~repro.core.statistics.StatsPack` counter rows into a
+one-shot block (:func:`~repro.core.shm.publish_arrays`) and ships back just
+its name, which the parent consumes and unlinks.  Because attachment is by
+*name*, the protocol works under any start method: ``fork`` is used where
+available (cheapest), ``spawn`` everywhere else — macOS and Windows get real
+parallelism, not a serial fallback.  Set ``REPRO_PARALLEL_START_METHOD`` to
+force a method.
 
 Results are **identical** to a single-shard
 :class:`~repro.core.engine.ImpreciseQueryEngine` running the same workload
@@ -37,51 +51,55 @@ traversal found first.  Under the continuous pdfs used throughout this
 reproduction exact ties have probability zero; datasets with symmetric,
 grid-aligned point layouts can hit them.
 
-The process pool uses the ``fork`` start method so workers inherit the shard
-databases (objects, indexes and columnar snapshots) without pickling them;
-on platforms without ``fork`` the engine transparently degrades to serial
-in-process execution.  Worker processes are reused across
-:meth:`ParallelEngine.evaluate_many` calls; call :meth:`ParallelEngine.close`
-(or use the engine as a context manager) to release them.
-
 The engine also carries the live-mutation surface (``insert`` / ``delete``
 / ``move`` / ``apply_updates``, with :class:`~repro.core.updates.UpdateBatch`
 items accepted inline in ``evaluate_many``): mutations route to the owning
-shard through :class:`ShardedDatabase` and recycle the forked worker pool,
-since already-forked workers hold a pre-mutation memory snapshot.  Updates
-consume no query sequence numbers, so the per-oid parity guarantee extends
-to live data: a mutated sharded database answers bitwise-identically to a
-from-scratch rebuild of the same final collection.
+shard through :class:`ShardedDatabase`, and the **pool survives** — the next
+parallel batch republishes just the mutated shard's snapshot under a fresh
+versioned name, and workers re-attach on the name mismatch.  Updates consume
+no query sequence numbers, so the per-oid parity guarantee extends to live
+data: a mutated sharded database answers bitwise-identically to a
+from-scratch rebuild of the same final collection.  Worker processes are
+reused across :meth:`ParallelEngine.evaluate_many` calls; call
+:meth:`ParallelEngine.close` (or use the engine as a context manager) to
+release them and unlink the shared-memory blocks.
 """
 
 from __future__ import annotations
 
-import itertools
+import hashlib
 import multiprocessing
+import os
+import pickle
 import time
-import warnings
-import weakref
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
 import numpy as np
 
-from repro.core.cache import fill_allowed
+from repro.core.cache import copy_statistics, fill_allowed
 from repro.core.engine import EngineConfig
 from repro.core.expansion import minkowski_expanded_query
 from repro.core.nearest import nn_query_draws
-from repro.core.pipeline import DEFAULT_NN_SAMPLES, partition_workload
-from repro.core.plan import query_cache_key, resolve_draw_token
+from repro.core.pipeline import DEFAULT_NN_SAMPLES, QueryPipeline, partition_workload
+from repro.core.plan import PlanToken, query_cache_key, resolve_draw_token
 from repro.core.queries import (
     Evaluation,
     NearestNeighborQuery,
     Query,
+    QueryAnswer,
     QueryResult,
     RangeQuery,
 )
 from repro.core.sharding import Shard, ShardedDatabase
-from repro.core.statistics import EvaluationStatistics
+from repro.core.shm import (
+    AttachedSnapshot,
+    SnapshotStore,
+    publish_arrays,
+    read_arrays,
+)
+from repro.core.statistics import EvaluationStatistics, StatsPack
 from repro.core.updates import (
     UpdateBatch,
     apply_update_op,
@@ -90,19 +108,9 @@ from repro.core.updates import (
 )
 from repro.uncertainty.region import PointObject, UncertainObject
 
-#: Engines visible to forked pool workers, keyed by registration token.  The
-#: parent registers an engine *before* creating its pool, so any worker the
-#: pool forks — eagerly or lazily — inherits the entry and resolves its
-#: owning engine without any shard data crossing a pipe.  References are
-#: weak: the registry must not keep an abandoned engine (and its worker
-#: pool and shard data) alive — dropping the last user reference triggers
-#: ``__del__`` → :meth:`ParallelEngine.close`.  Inside a forked worker the
-#: weak reference still resolves, because the fork snapshot retains the
-#: parent's strong references from the moment of the fork.
-_ENGINE_REGISTRY: "weakref.WeakValueDictionary[int, ParallelEngine]" = (
-    weakref.WeakValueDictionary()
-)
-_TOKENS = itertools.count(1)
+#: Environment knob forcing the pool start method (``fork`` / ``spawn`` /
+#: ``forkserver``).  Unset, the engine picks ``fork`` where available.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
 
 
 @dataclass(frozen=True)
@@ -146,9 +154,271 @@ class _NNPartial:
     elapsed_seconds: float
 
 
-def _pool_entry(token: int, kind: str, sid: int, items: list) -> list:
-    """Pool task: run one shard's routed queries inside a forked worker."""
-    return _ENGINE_REGISTRY[token]._execute_shard(kind, sid, items)
+# --------------------------------------------------------------------------- #
+# Wire format
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _ShardTask:
+    """One pool task: routed plan tokens against one shard snapshot.
+
+    Everything here is a few hundred bytes — the snapshot *name*, not the
+    snapshot; plan tokens, not queries.  The config digest guards against a
+    task reaching a worker initialised under a different configuration
+    (impossible through the public API, cheap to verify).
+    """
+
+    kind: str
+    sid: int
+    block_name: str
+    config_digest: str
+    #: ``(position, query_seq, token)`` triples per query family.
+    range_items: tuple[tuple[int, int, PlanToken], ...]
+    nn_items: tuple[tuple[int, int, PlanToken], ...]
+
+
+@dataclass(frozen=True)
+class _AnswerPack:
+    """One query's packed partial answer (flattened into the result block)."""
+
+    kind: str
+    position: int
+    #: Answer oids (range) or per-draw winner oids (nearest-neighbour).
+    oids: np.ndarray
+    #: Qualification probabilities (range) or winner distances (nearest).
+    values: np.ndarray
+    stats: StatsPack
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class _ShardResult:
+    """Everything one task sends back *over the pipe*: a block name.
+
+    The answer data itself — packed oid/probability arrays and the per-pack
+    counter rows — lives in a one-shot shared-memory block the worker
+    published (:func:`repro.core.shm.publish_arrays`); the parent attaches,
+    copies the arrays out and unlinks it.  Only the pruning-strategy names
+    ride along here (short memoized strings; everything else in the block is
+    numeric).
+    """
+
+    sid: int
+    pid: int
+    block_name: str
+    pruned_names: tuple[str, ...]
+
+
+#: Order assigning integer codes to answer-pack kinds inside result blocks.
+_PACK_KINDS = ("range", "nn")
+
+
+def _pack_answers(
+    packs: list[_AnswerPack],
+) -> tuple[dict[str, np.ndarray], tuple[str, ...]]:
+    """Flatten a task's answer packs into the arrays of one result block.
+
+    ``meta`` rows are ``(position, kind code, answer count)``; ``timing``
+    rows ``(response_time, elapsed_seconds)``; ``counters`` rows the five
+    scalar work counters followed by the five I/O counters; ``pruned`` rows
+    the per-strategy pruned counts (−1 marking a strategy absent from that
+    pack, since 0 is a recordable count).  ``oids`` / ``values`` concatenate
+    every pack's answer arrays in row order.
+    """
+    pruned_names: list[str] = []
+    for pack in packs:
+        for strategy, _ in pack.stats.pruned:
+            if strategy not in pruned_names:
+                pruned_names.append(strategy)
+    rows = len(packs)
+    meta = np.zeros((rows, 3), dtype=np.int64)
+    timing = np.zeros((rows, 2), dtype=np.float64)
+    counters = np.zeros((rows, 9), dtype=np.int64)
+    pruned = np.full((rows, len(pruned_names)), -1, dtype=np.int64)
+    for row, pack in enumerate(packs):
+        stats = pack.stats
+        meta[row] = (pack.position, _PACK_KINDS.index(pack.kind), pack.oids.size)
+        timing[row] = (stats.response_time, pack.elapsed_seconds)
+        counters[row] = (
+            stats.candidates_examined,
+            stats.probability_computations,
+            stats.monte_carlo_samples,
+            stats.results_returned,
+            *stats.io,
+        )
+        for strategy, count in stats.pruned:
+            pruned[row, pruned_names.index(strategy)] = count
+    arrays = {
+        "meta": meta,
+        "timing": timing,
+        "counters": counters,
+        "pruned": pruned,
+        "oids": (
+            np.concatenate([pack.oids for pack in packs])
+            if packs
+            else np.zeros(0, dtype=np.int64)
+        ),
+        "values": (
+            np.concatenate([pack.values for pack in packs])
+            if packs
+            else np.zeros(0, dtype=np.float64)
+        ),
+    }
+    return arrays, tuple(pruned_names)
+
+
+def _unpack_answers(
+    arrays: dict[str, np.ndarray], pruned_names: tuple[str, ...]
+) -> list[_AnswerPack]:
+    """Rebuild the answer packs of one result block (inverse of pack)."""
+    packs: list[_AnswerPack] = []
+    offset = 0
+    meta = arrays["meta"]
+    for row in range(meta.shape[0]):
+        position, kind_code, count = (int(value) for value in meta[row])
+        counters = arrays["counters"][row]
+        stats = StatsPack(
+            response_time=float(arrays["timing"][row, 0]),
+            candidates_examined=int(counters[0]),
+            probability_computations=int(counters[1]),
+            monte_carlo_samples=int(counters[2]),
+            results_returned=int(counters[3]),
+            pruned=tuple(
+                (strategy, int(pruned_count))
+                for strategy, pruned_count in zip(pruned_names, arrays["pruned"][row])
+                if pruned_count >= 0
+            ),
+            io=tuple(int(value) for value in counters[4:9]),
+        )
+        packs.append(
+            _AnswerPack(
+                kind=_PACK_KINDS[kind_code],
+                position=position,
+                oids=arrays["oids"][offset : offset + count],
+                values=arrays["values"][offset : offset + count],
+                stats=stats,
+                elapsed_seconds=float(arrays["timing"][row, 1]),
+            )
+        )
+        offset += count
+    return packs
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+#: Per-process worker state: the engine configuration (set once by the pool
+#: initializer) and the attached snapshots/pipelines, keyed by (kind, sid).
+#: A worker holds at most one snapshot per shard; a task naming a different
+#: block than the attached one means the shard was republished — drop the
+#: old attachment and re-attach.  No locks: each worker process owns its own
+#: copy of these globals.
+_WORKER_CONFIG: EngineConfig | None = None
+_WORKER_SNAPSHOTS: dict[tuple[str, int], AttachedSnapshot] = {}
+_WORKER_PIPELINES: dict[tuple[str, int], QueryPipeline] = {}
+
+
+def _worker_init(config_blob: bytes) -> None:
+    """Pool initializer: install the engine configuration (cache stripped)."""
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = pickle.loads(config_blob)
+
+
+def _worker_pid() -> int:
+    """No-op task used to spin up and identify workers."""
+    return os.getpid()
+
+
+def _worker_attach(kind: str, sid: int, name: str) -> QueryPipeline:
+    """The pipeline over one shard snapshot, (re-)attaching on staleness."""
+    key = (kind, sid)
+    snapshot = _WORKER_SNAPSHOTS.get(key)
+    if snapshot is None or snapshot.name != name:
+        if snapshot is not None:
+            _WORKER_PIPELINES.pop(key, None)
+            snapshot.close()
+        snapshot = AttachedSnapshot(name)
+        _WORKER_SNAPSHOTS[key] = snapshot
+        if kind == "points":
+            pipeline = QueryPipeline(
+                point_db=snapshot.database, config=_WORKER_CONFIG, cache=None
+            )
+        else:
+            pipeline = QueryPipeline(
+                uncertain_db=snapshot.database, config=_WORKER_CONFIG, cache=None
+            )
+        _WORKER_PIPELINES[key] = pipeline
+    return _WORKER_PIPELINES[key]
+
+
+def _worker_run(task: _ShardTask) -> _ShardResult:
+    """Run one shard task inside a pool worker.
+
+    Rebuilds queries from their plan tokens, runs them through the very same
+    staged pipeline the serial engine uses (over the zero-copy snapshot) and
+    packs the answers into flat arrays for the trip back.
+    """
+    config = _WORKER_CONFIG
+    if config is None:
+        raise RuntimeError("worker used before its pool initializer ran")
+    if task.config_digest != _config_digest(config):
+        raise RuntimeError(
+            "task configuration does not match this worker's configuration"
+        )
+    pipeline = _worker_attach(task.kind, task.sid, task.block_name)
+    answers: list[_AnswerPack] = []
+    if task.range_items:
+        batch = [token.to_query() for _, _, token in task.range_items]
+        seqs = [int(seq) for _, seq, _ in task.range_items]
+        evaluations = pipeline.run_batch(batch, seqs)
+        for (position, _, _), evaluation in zip(task.range_items, evaluations):
+            rows = evaluation.result.answers
+            answers.append(
+                _AnswerPack(
+                    kind="range",
+                    position=position,
+                    oids=np.fromiter(
+                        (a.oid for a in rows), dtype=np.int64, count=len(rows)
+                    ),
+                    values=np.fromiter(
+                        (a.probability for a in rows),
+                        dtype=np.float64,
+                        count=len(rows),
+                    ),
+                    stats=StatsPack.from_statistics(evaluation.statistics),
+                    elapsed_seconds=evaluation.elapsed_seconds,
+                )
+            )
+    for position, seq, token in task.nn_items:
+        query = token.to_query()
+        samples = token.samples if token.samples is not None else DEFAULT_NN_SAMPLES
+        draw_token = resolve_draw_token(config, query, seq)
+        draws = nn_query_draws(query.issuer.pdf, samples, config.rng_seed, draw_token)
+        nn_engine = pipeline.nearest_engine(samples)
+        oids, distances, stats = nn_engine.per_draw_winners(draws)
+        answers.append(
+            _AnswerPack(
+                kind="nn",
+                position=position,
+                oids=oids,
+                values=distances,
+                stats=StatsPack.from_statistics(stats),
+                elapsed_seconds=stats.response_time,
+            )
+        )
+    arrays, pruned_names = _pack_answers(answers)
+    return _ShardResult(
+        sid=task.sid,
+        pid=os.getpid(),
+        block_name=publish_arrays(arrays),
+        pruned_names=pruned_names,
+    )
+
+
+def _config_digest(config: EngineConfig) -> str:
+    """A short stable digest of a configuration fingerprint (wire-friendly)."""
+    return hashlib.blake2b(
+        repr(config.fingerprint()).encode(), digest_size=8
+    ).hexdigest()
 
 
 class ParallelEngine:
@@ -158,8 +428,8 @@ class ParallelEngine:
     surface (``evaluate`` / ``evaluate_many`` / ``config`` / database
     properties), so a :class:`~repro.core.session.Session` can swap one in
     transparently.  ``workers=1`` (the default) executes the routed shard
-    batches serially in-process; ``workers > 1`` fans them out over forked
-    worker processes.
+    batches serially in-process; ``workers > 1`` fans them out over a
+    persistent pool of worker processes fed through shared memory.
     """
 
     def __init__(
@@ -189,10 +459,19 @@ class ParallelEngine:
             config = config.with_overrides(draw_plan="per_oid")
         self._config = config
         self._config_fingerprint = config.fingerprint()
+        self._config_digest = _config_digest(config)
         self._workers = 1 if workers is None else int(workers)
         self._query_seq = 0
-        self._token = next(_TOKENS)
         self._pool: ProcessPoolExecutor | None = None
+        self._store = SnapshotStore()
+        self._observed_worker_pids: set[int] = set()
+        #: When True, every pool task and result is additionally pickled in
+        #: the parent to account IPC bytes (benchmark instrumentation; off by
+        #: default because the extra pickling is pure overhead).
+        self.ipc_accounting = False
+        self._ipc_task_bytes = 0
+        self._ipc_result_bytes = 0
+        self._result_shm_bytes = 0
 
     # ------------------------------------------------------------------ #
     # Introspection / lifecycle
@@ -217,12 +496,73 @@ class ParallelEngine:
         """Configured worker-process count (1 = serial in-process)."""
         return self._workers
 
+    @property
+    def snapshot_store(self) -> SnapshotStore:
+        """The shared-memory snapshot store backing the worker pool."""
+        return self._store
+
+    @property
+    def observed_worker_pids(self) -> frozenset[int]:
+        """Pids of every pool worker that has returned a result or ping."""
+        return frozenset(self._observed_worker_pids)
+
+    @property
+    def ipc_task_bytes(self) -> int:
+        """Serialized task bytes accounted while ``ipc_accounting`` was on."""
+        return self._ipc_task_bytes
+
+    @property
+    def ipc_result_bytes(self) -> int:
+        """Serialized result bytes accounted while ``ipc_accounting`` was on."""
+        return self._ipc_result_bytes
+
+    @property
+    def result_shm_bytes(self) -> int:
+        """One-shot result-block bytes accounted while ``ipc_accounting`` was on.
+
+        These bytes move through shared memory, not the pool pipes — kept
+        separate from :attr:`ipc_result_bytes` so benchmarks can report both
+        the serialized traffic and the total answer volume.
+        """
+        return self._result_shm_bytes
+
+    def reset_ipc_accounting(self) -> None:
+        """Zero the IPC byte counters."""
+        self._ipc_task_bytes = 0
+        self._ipc_result_bytes = 0
+        self._result_shm_bytes = 0
+
+    def warm(self) -> None:
+        """Start the pool, publish every shard snapshot, await the workers.
+
+        Optional — the first parallel batch does all of this lazily — but
+        separating spin-up from query time lets benchmarks report the two
+        costs apart, and a server can pay the spin-up before taking traffic.
+        No-op for ``workers=1``.
+        """
+        if self._workers <= 1:
+            return
+        for kind in ("points", "uncertain"):
+            database = self._point_db if kind == "points" else self._uncertain_db
+            if database is None:
+                continue
+            for shard in database.non_empty_shards():
+                self._store.ensure(kind, shard.sid, shard.database)
+        pool = self._ensure_pool()
+        for future in [pool.submit(_worker_pid) for _ in range(self._workers)]:
+            self._observed_worker_pids.add(future.result())
+
     def close(self) -> None:
-        """Shut down the worker pool (if any) and deregister the engine."""
+        """Shut down the worker pool and unlink every shared-memory block.
+
+        The engine stays usable afterwards: the next parallel batch starts a
+        fresh pool and republishes snapshots into a fresh store.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        _ENGINE_REGISTRY.pop(self._token, None)
+        self._store.close()
+        self._store = SnapshotStore()
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -231,10 +571,18 @@ class ParallelEngine:
         self.close()
 
     def __del__(self) -> None:
-        # Last-resort cleanup so engines dropped without close() (e.g. a
-        # discarded sharded Session) release their worker processes.
+        # Last-resort cleanup so engines dropped without close() release
+        # their workers and shared-memory blocks.  Unlike close(), the pool
+        # shutdown must not block: __del__ can run during interpreter
+        # teardown, where waiting on worker processes may hang or raise.
         try:
-            self.close()
+            pool = self.__dict__.get("_pool")
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            store = self.__dict__.get("_store")
+            if store is not None:
+                store.close()
         except Exception:
             pass
 
@@ -258,10 +606,13 @@ class ParallelEngine:
         An :class:`~repro.core.updates.UpdateBatch` may be interleaved with
         the queries: it is applied at exactly its position in the stream
         (earlier queries see the old data, later ones the new) and produces
-        no :class:`Evaluation`.  Updates consume no query sequence numbers,
-        so the surrounding queries' per-oid Monte-Carlo draws are unaffected
-        — a live-updated sharded database answers bitwise-identically to a
-        from-scratch rebuild of the same final collection.
+        no :class:`Evaluation`.  The worker pool survives the mutation —
+        only the owning shard's snapshot is republished, and workers
+        re-attach to it on their next task.  Updates consume no query
+        sequence numbers, so the surrounding queries' per-oid Monte-Carlo
+        draws are unaffected — a live-updated sharded database answers
+        bitwise-identically to a from-scratch rebuild of the same final
+        collection.
         """
         evaluations: list[Evaluation] = []
         for kind, payload in partition_workload(queries):
@@ -340,28 +691,16 @@ class ParallelEngine:
     # ------------------------------------------------------------------ #
     # Live mutation
     # ------------------------------------------------------------------ #
-    def _recycle_pool(self) -> None:
-        """Retire forked workers whose memory snapshot predates a mutation.
-
-        Pool workers inherit the shard data via fork; a mutation in the
-        parent is invisible to already-forked children, so the pool is shut
-        down and the next parallel batch forks fresh workers that see the
-        updated shards.
-        """
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-
     def _mutation_db(self, target: str | None) -> ShardedDatabase:
         return pick_mutation_database(self._point_db, self._uncertain_db, target)
 
     def insert(self, obj: PointObject | UncertainObject):
         """Insert one object into its owning shard (chosen by nearest cover).
 
-        Returns the stored object.  Like every mutation, this recycles the
-        forked worker pool so no worker serves a pre-mutation snapshot.
+        Returns the stored object.  The worker pool survives: the owning
+        shard's shared-memory snapshot is republished lazily before the next
+        parallel batch that routes to it.
         """
-        self._recycle_pool()
         if isinstance(obj, PointObject):
             return self._require("points").insert(obj)
         if isinstance(obj, UncertainObject):
@@ -372,7 +711,6 @@ class ParallelEngine:
 
     def delete(self, oid: int, *, target: str | None = None):
         """Remove one object from its owning shard; returns the removed object."""
-        self._recycle_pool()
         return self._mutation_db(target).delete(oid)
 
     def move(
@@ -389,7 +727,6 @@ class ParallelEngine:
         ``x``/``y`` move a point object, ``pdf`` an uncertain one.  Returns
         the stored replacement object.
         """
-        self._recycle_pool()
         if resolve_move_target(x, y, pdf, target) == "points":
             return self._require("points").move(oid, x=float(x), y=float(y))
         return self._require("uncertain").move(oid, pdf=pdf)
@@ -429,7 +766,7 @@ class ParallelEngine:
     def _execute_shard(
         self, kind: str, sid: int, items: list[tuple[int, int, Query]]
     ) -> list[tuple[int, tuple[int, _RangePartial | _NNPartial]]]:
-        """Run one shard's routed queries; returns ``(position, (sid, payload))``.
+        """Run one shard's routed queries in-process (the ``workers=1`` path).
 
         Range queries run through the shard's staged pipeline
         (:meth:`ShardedDatabase.execute_on_shard`) — the identical stage
@@ -469,36 +806,28 @@ class ParallelEngine:
             results.append((position, (sid, payload)))
         return results
 
-    def _warm_snapshots(self) -> None:
-        """Materialise every shard's columnar snapshot in the parent.
+    @staticmethod
+    def _pick_start_method() -> str:
+        forced = os.environ.get(START_METHOD_ENV)
+        if forced:
+            return forced
+        return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
 
-        Fork-inherited snapshots are shared copy-on-write with all workers;
-        without this, every worker would rebuild them after the fork.
-        """
-        for database in (self._point_db, self._uncertain_db):
-            if database is None:
-                continue
-            for shard in database.non_empty_shards():
-                shard.database.columnar()
-
-    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is not None:
             return self._pool
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:
-            warnings.warn(
-                "the 'fork' start method is unavailable on this platform; "
-                "ParallelEngine falls back to serial in-process execution",
-                RuntimeWarning,
-                stacklevel=3,
-            )
-            self._workers = 1
-            return None
-        if self._config.vectorized:
-            self._warm_snapshots()
-        _ENGINE_REGISTRY[self._token] = self
-        self._pool = ProcessPoolExecutor(max_workers=self._workers, mp_context=context)
+        context = multiprocessing.get_context(self._pick_start_method())
+        # Workers never see the result cache: shards compute partial
+        # answers, and fills die with the worker anyway.  The stripped
+        # configuration pickles once, at pool creation — not per task.
+        worker_config = self._config.with_overrides(cache=None)
+        config_blob = pickle.dumps(worker_config, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(config_blob,),
+        )
         return self._pool
 
     def _execute(
@@ -506,18 +835,107 @@ class ParallelEngine:
     ) -> list[tuple[int, tuple[int, _RangePartial | _NNPartial]]]:
         ordered = sorted(tasks.items())
         if self._workers > 1 and len(ordered) > 1:
-            pool = self._ensure_pool()
-            if pool is not None:
-                futures = [
-                    pool.submit(_pool_entry, self._token, kind, sid, items)
-                    for (kind, sid), items in ordered
-                ]
-                return [result for future in futures for result in future.result()]
+            return self._execute_pooled(ordered)
         return [
             result
             for (kind, sid), items in ordered
             for result in self._execute_shard(kind, sid, items)
         ]
+
+    def _execute_pooled(
+        self, ordered: list[tuple[tuple[str, int], list[tuple[int, int, Query]]]]
+    ) -> list[tuple[int, tuple[int, _RangePartial | _NNPartial]]]:
+        """Fan the routed shard batches out over the worker pool.
+
+        Publishes (or refreshes) each routed shard's shared-memory snapshot,
+        ships plan tokens, and unpacks the returned answer arrays into the
+        same partial shapes the in-process path produces.  Each in-flight
+        task leases its snapshot block, so a concurrent republication (an
+        interleaved mutation) cannot unlink a block a worker may still
+        attach by name.
+        """
+        pool = self._ensure_pool()
+        store = self._store
+        submitted = []
+        for (kind, sid), items in ordered:
+            shard = self._require(kind).shards[sid]
+            block = store.ensure(kind, sid, shard.database)
+            task = _ShardTask(
+                kind=kind,
+                sid=sid,
+                block_name=block.name,
+                config_digest=self._config_digest,
+                range_items=tuple(
+                    (position, seq, PlanToken.from_query(query))
+                    for position, seq, query in items
+                    if isinstance(query, RangeQuery)
+                ),
+                nn_items=tuple(
+                    (position, seq, PlanToken.from_query(query))
+                    for position, seq, query in items
+                    if isinstance(query, NearestNeighborQuery)
+                ),
+            )
+            if self.ipc_accounting:
+                self._ipc_task_bytes += len(
+                    pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            store.lease(block)
+            submitted.append((block, pool.submit(_worker_run, task)))
+        results: list[tuple[int, tuple[int, _RangePartial | _NNPartial]]] = []
+        pending = list(submitted)
+        try:
+            while pending:
+                block, future = pending.pop(0)
+                try:
+                    shard_result: _ShardResult = future.result()
+                finally:
+                    store.release(block)
+                if self.ipc_accounting:
+                    self._ipc_result_bytes += len(
+                        pickle.dumps(shard_result, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                self._observed_worker_pids.add(shard_result.pid)
+                arrays, block_nbytes = read_arrays(shard_result.block_name)
+                if self.ipc_accounting:
+                    self._result_shm_bytes += block_nbytes
+                for pack in _unpack_answers(arrays, shard_result.pruned_names):
+                    results.append(
+                        (pack.position, (shard_result.sid, self._unpack(pack)))
+                    )
+        except BaseException:
+            # A failed task must not orphan the *other* tasks' one-shot
+            # result blocks: drain every remaining future and unlink the
+            # block each one published before re-raising.
+            for block, future in pending:
+                store.release(block)
+                try:
+                    read_arrays(future.result().block_name)
+                except Exception:
+                    pass
+            raise
+        return results
+
+    @staticmethod
+    def _unpack(pack: _AnswerPack) -> _RangePartial | _NNPartial:
+        """Rehydrate one packed partial into the in-process partial shape."""
+        stats = pack.stats.to_statistics()
+        if pack.kind == "nn":
+            return _NNPartial(
+                oids=pack.oids,
+                distances=pack.values,
+                statistics=stats,
+                elapsed_seconds=pack.elapsed_seconds,
+            )
+        result = QueryResult(
+            answers=[
+                QueryAnswer(oid=int(oid), probability=float(probability))
+                for oid, probability in zip(pack.oids, pack.values)
+            ]
+        )
+        return _RangePartial(
+            result=result, statistics=stats, elapsed_seconds=pack.elapsed_seconds
+        )
 
     # ------------------------------------------------------------------ #
     # Merging
@@ -546,11 +964,13 @@ class ParallelEngine:
         if isinstance(query, NearestNeighborQuery):
             result, stats = self._merge_nearest(query, contributions)
         elif len(contributions) == 1:
-            # One contributing shard: its result and statistics *are* the
-            # query's (already sorted / already per-query), no copying needed.
+            # One contributing shard: its result *is* the query's (already
+            # sorted), but the statistics are copied before the mutation
+            # below — the payload's object may be aliased by pipeline-side
+            # state, and a shared statistics object must never be edited.
             _, payload = contributions[0]
             result = payload.result
-            stats = payload.statistics
+            stats = copy_statistics(payload.statistics)
         else:
             answers = []
             for _, payload in contributions:

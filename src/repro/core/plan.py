@@ -35,7 +35,12 @@ from typing import Hashable, Literal
 
 from repro.core.expansion import minkowski_expanded_query
 from repro.core.pruning import CIPQPruner, CIUQPruner
-from repro.core.queries import NearestNeighborQuery, Query, RangeQuery
+from repro.core.queries import (
+    NearestNeighborQuery,
+    Query,
+    RangeQuery,
+    RangeQuerySpec,
+)
 from repro.geometry.rect import Rect
 from repro.index.pti import ProbabilityThresholdIndex
 
@@ -183,6 +188,89 @@ class QueryPlan:
     #: ``id()``; the cache pins the issuer object so the id cannot be
     #: recycled while the entry lives.
     cache_key: Hashable
+
+
+@dataclass(frozen=True)
+class PlanToken:
+    """A pickled-tiny stand-in for one routed query, sent to pool workers.
+
+    The parallel executor never ships :class:`Query` objects across the task
+    pipe — only this token, a few hundred bytes carrying exactly the fields a
+    worker needs to rebuild an equivalent query against its shared-memory
+    shard snapshot.  Every identity derived from a query — fingerprint, draw
+    token, candidate window, pruner filter region — is a pure function of
+    these fields, so the rebuilt query plans and draws bit-for-bit like the
+    original:
+
+    * the issuer is rebuilt as ``UncertainObject(oid, pdf)`` (pdfs are small
+      picklable dataclasses); when the original issuer carried a U-catalog
+      its *levels* are shipped and the catalog is rebuilt with
+      :meth:`~repro.uncertainty.region.UncertainObject.with_catalog`, which
+      derives identical p-bounds from the pdf — preserving the exact filter
+      region a catalog-aware pruner would have chosen in the parent;
+    * ``samples`` is stored pre-resolved (see :func:`resolved_nn_samples`),
+      so the two spellings of the default cannot diverge.
+    """
+
+    kind: Literal["range", "nn"]
+    issuer_oid: int
+    issuer_pdf: object
+    issuer_catalog_levels: tuple[float, ...] | None
+    threshold: float
+    #: Range fields (``None`` for nearest-neighbour tokens).
+    half_width: float | None = None
+    half_height: float | None = None
+    target: str | None = None
+    #: Nearest-neighbour field (``None`` for range tokens).
+    samples: int | None = None
+
+    @classmethod
+    def from_query(cls, query: Query) -> "PlanToken":
+        """Compress one query into its wire token."""
+        issuer = query.issuer
+        levels = issuer.catalog.levels if issuer.catalog is not None else None
+        if isinstance(query, NearestNeighborQuery):
+            return cls(
+                kind="nn",
+                issuer_oid=issuer.oid,
+                issuer_pdf=issuer.pdf,
+                issuer_catalog_levels=levels,
+                threshold=query.threshold,
+                samples=resolved_nn_samples(query),
+            )
+        if not isinstance(query, RangeQuery):
+            raise TypeError(
+                f"cannot tokenise {type(query).__name__!r}; expected a "
+                "RangeQuery or a NearestNeighborQuery"
+            )
+        return cls(
+            kind="range",
+            issuer_oid=issuer.oid,
+            issuer_pdf=issuer.pdf,
+            issuer_catalog_levels=levels,
+            threshold=query.threshold,
+            half_width=query.spec.half_width,
+            half_height=query.spec.half_height,
+            target=query.target,
+        )
+
+    def to_query(self) -> Query:
+        """Rebuild an equivalent query (equal fingerprint, equal plan)."""
+        from repro.uncertainty.region import UncertainObject
+
+        issuer = UncertainObject(oid=self.issuer_oid, pdf=self.issuer_pdf)
+        if self.issuer_catalog_levels is not None:
+            issuer = issuer.with_catalog(self.issuer_catalog_levels)
+        if self.kind == "nn":
+            return NearestNeighborQuery(
+                issuer=issuer, threshold=self.threshold, samples=self.samples
+            )
+        return RangeQuery(
+            issuer=issuer,
+            spec=RangeQuerySpec(self.half_width, self.half_height),
+            threshold=self.threshold,
+            target=self.target,
+        )
 
 
 def resolve_draw_token(config, query: Query, query_seq: int) -> int | None:

@@ -139,6 +139,19 @@ class Session:
         ``hot_threshold`` arms in-place re-splitting: a shard that grows past
         that many members under live inserts is split into two without
         rebuilding its siblings.
+
+        With ``workers > 1`` the engine feeds a persistent worker pool
+        through **named shared-memory blocks** (shard snapshots out, packed
+        answer arrays back — see :mod:`repro.core.shm`).  Those blocks live
+        in the OS shared-memory namespace (``/dev/shm`` on Linux), not the
+        Python heap: call ``session.engine.close()`` — or use the engine as
+        a context manager — when done, so the pool shuts down and every
+        block is unlinked.  Engines dropped without ``close()`` clean up via
+        finalizers, and mutations never strand blocks (a republished shard's
+        superseded block is unlinked once its last in-flight task ends); the
+        one way to leak a segment is killing the parent process outright,
+        after which ``psq{pid}-…`` entries in ``/dev/shm`` can be removed by
+        hand.
         """
         point_db = self._engine.point_db
         uncertain_db = self._engine.uncertain_db

@@ -1,0 +1,482 @@
+"""Shared-memory shard snapshots for the parallel executor.
+
+The worker pool in :mod:`repro.core.parallel` must hand every worker process
+a consistent view of each shard's data without pickling the shard across a
+pipe on every task.  This module publishes each shard as one named
+:class:`multiprocessing.shared_memory.SharedMemory` block that workers attach
+to by name — in any start method, including ``spawn`` — and map zero-copy:
+
+* the shard's **columnar arrays** (the ``(N, 2)`` coordinate / ``(N, 4)``
+  bounds / ``(N, L, 4)`` catalog tables plus oid vectors from
+  :mod:`repro.core.columnar`) are laid out raw inside the block, and the
+  worker rebuilds :class:`~repro.core.columnar.ColumnarPoints` /
+  :class:`~repro.core.columnar.ColumnarUncertain` instances as NumPy views
+  straight into the mapping — no copy, no deserialisation;
+* the shard's **object list and index** are pickled once into the tail of
+  the block (with the cached columnar arrays stripped first, so nothing is
+  stored twice) and unpickled once per worker per snapshot version.
+
+Block names are **versioned**: every (kind, shard) pair gets a fresh name
+each time it is republished (``{prefix}-{kind}{sid}v{version}``), so a
+worker can detect staleness by comparing the name a task carries against the
+name it last attached — re-attach on mismatch, no locks, no coordination.
+
+Lifetime is **refcounted in the owner**.  The owning store holds one
+reference per published block and one per in-flight task that was dispatched
+against it; when the last reference is released the block is closed and
+unlinked.  POSIX unlink semantics make this safe even while a worker still
+holds the previous version mapped: unlinking only removes the *name*, the
+worker's existing mapping stays valid until it drops it on re-attach.
+:meth:`SnapshotStore.close` force-releases everything, so a closed store
+leaves no segment behind in ``/dev/shm``.
+
+The same framing serves the pool's *result* path in reverse:
+:func:`publish_arrays` / :func:`read_arrays` carry one-shot blocks of packed
+answer arrays from workers back to the parent, which unlinks each block as
+it consumes it — so the task pipes carry block names in both directions,
+never bulk data.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.core.columnar import ColumnarPoints, ColumnarUncertain
+
+#: Alignment of every array slice inside a block; generous enough for any
+#: dtype NumPy will map over the buffer.
+_ALIGN = 64
+
+#: Length prefix framing the pickled header at the start of every block.
+_LEN = struct.Struct("<Q")
+
+_STORE_IDS = iter(range(1, 1 << 62))
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _untracked_shared_memory(**kwargs) -> shared_memory.SharedMemory:
+    """A :class:`SharedMemory` the resource tracker does not know about.
+
+    Python's :mod:`multiprocessing.resource_tracker` would otherwise register
+    the segment and unlink it when *this* process exits — but every block
+    handled here has exactly one explicit unlinker (the snapshot store for
+    shard blocks, the consuming parent for one-shot result blocks), which may
+    not be the creating process.  Python 3.13+ exposes ``track=False`` for
+    exactly this; on older versions the tracker's register hook is suppressed
+    for the duration of the call.  (Unregistering *afterwards* would be wrong
+    under ``fork``: children share the parent's tracker process, so the
+    unregister would strip someone else's registration and the tracker would
+    complain at exit.)
+    """
+    try:
+        return shared_memory.SharedMemory(track=False, **kwargs)
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(**kwargs)
+    finally:
+        resource_tracker.register = original_register
+
+
+def attach_readonly(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing block by name without racing the resource tracker."""
+    return _untracked_shared_memory(name=name)
+
+
+def _unlink_untracked(shm: shared_memory.SharedMemory) -> None:
+    """Unlink a segment this process attached untracked.
+
+    Pre-3.13, ``unlink()`` unconditionally tells the resource tracker to
+    unregister the segment — but an untracked attachment was never
+    registered, so the tracker process would log a ``KeyError`` traceback.
+    Suppress the unregister hook for the duration (3.13+ ``track=False``
+    objects skip it on their own; the no-op is harmless there).
+    """
+    from multiprocessing import resource_tracker
+
+    original_unregister = resource_tracker.unregister
+    resource_tracker.unregister = lambda *args, **kwargs: None
+    try:
+        shm.unlink()
+    finally:
+        resource_tracker.unregister = original_unregister
+
+
+def _strip_cached_arrays(database):
+    """A shallow clone of a shard database safe to pickle into a block.
+
+    The databases cache their columnar snapshot on themselves
+    (``_columnar`` / ``_columnar_epoch``) and define no ``__getstate__``, so
+    pickling one verbatim would embed a second copy of the very arrays the
+    block already stores raw.  The clone drops the cache; the worker injects
+    its zero-copy snapshot back after unpickling.
+    """
+    clone = copy.copy(database)
+    clone._columnar = None
+    clone._columnar_epoch = -1
+    clone._positions = None
+    clone._positions_epoch = -1
+    return clone
+
+
+def _columnar_arrays(kind: str, columnar) -> dict[str, np.ndarray]:
+    """The named arrays of one columnar snapshot, in layout order."""
+    arrays: dict[str, np.ndarray] = {"oids": columnar.oids}
+    if kind == "points":
+        arrays["xy"] = columnar.xy
+    else:
+        arrays["bounds"] = columnar.bounds
+        if columnar.catalog_bounds is not None:
+            arrays["catalog_levels"] = columnar.catalog_levels
+            arrays["catalog_bounds"] = columnar.catalog_bounds
+    return arrays
+
+
+@dataclass
+class SnapshotBlock:
+    """Owner-side handle of one published shard snapshot.
+
+    ``references`` counts the owner's publication reference plus one lease
+    per in-flight task dispatched against this version; the block is closed
+    and unlinked when the count returns to zero.
+    """
+
+    name: str
+    kind: str
+    sid: int
+    version: int
+    shm: shared_memory.SharedMemory = field(repr=False)
+    references: int = 1
+    nbytes: int = 0
+
+
+class SnapshotStore:
+    """Publishes shard snapshots into named shared-memory blocks.
+
+    One store per :class:`~repro.core.parallel.ParallelEngine`.  The store
+    tracks, per ``(kind, sid)``, which database state
+    (``(uid, epoch)``) the current block was built from; :meth:`ensure`
+    republishes under a fresh versioned name only when the shard actually
+    mutated, which is what lets workers survive ``UpdateBatch`` streams —
+    they re-attach to the one shard that changed instead of being respawned.
+    """
+
+    def __init__(self) -> None:
+        self._prefix = f"psq{os.getpid()}-{next(_STORE_IDS)}"
+        self._current: dict[tuple[str, int], SnapshotBlock] = {}
+        self._retired: list[SnapshotBlock] = []
+        self._versions: dict[tuple[str, int], int] = {}
+        self._states: dict[tuple[str, int], tuple[int, int]] = {}
+        self._closed = False
+
+    @property
+    def prefix(self) -> str:
+        """Name prefix of every block this store publishes."""
+        return self._prefix
+
+    def block_names(self) -> list[str]:
+        """Names of every block currently alive (current and leased-retired)."""
+        names = [block.name for block in self._current.values()]
+        names.extend(block.name for block in self._retired)
+        return names
+
+    def current(self, kind: str, sid: int) -> SnapshotBlock | None:
+        """The live block of one shard, if published."""
+        return self._current.get((kind, sid))
+
+    # ------------------------------------------------------------------ #
+    # Publication
+    # ------------------------------------------------------------------ #
+    def ensure(self, kind: str, sid: int, database) -> SnapshotBlock:
+        """The current block for a shard, republishing if the shard mutated.
+
+        Staleness is decided by the shard database's ``(uid, epoch)`` pair:
+        the uid changes when the shard's database instance is replaced
+        wholesale (re-splits), the epoch on every in-place mutation.
+        """
+        if self._closed:
+            raise RuntimeError("cannot publish through a closed SnapshotStore")
+        key = (kind, sid)
+        state = (database.uid, database.epoch)
+        block = self._current.get(key)
+        if block is not None and self._states.get(key) == state:
+            return block
+        block = self._publish(kind, sid, database)
+        self._states[key] = state
+        return block
+
+    def _publish(self, kind: str, sid: int, database) -> SnapshotBlock:
+        key = (kind, sid)
+        previous = self._current.pop(key, None)
+        if previous is not None:
+            self._release(previous)
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+
+        columnar = database.columnar()
+        arrays = _columnar_arrays(kind, columnar)
+        payload = pickle.dumps(
+            _strip_cached_arrays(database), protocol=pickle.HIGHEST_PROTOCOL
+        )
+
+        layout: dict[str, dict[str, Any]] = {}
+        # Header length is not known until the header (which contains the
+        # offsets) is built, so offsets are laid out relative to the end of
+        # the framed header and shifted once its size is fixed.
+        cursor = 0
+        for label, array in arrays.items():
+            cursor = _aligned(cursor)
+            layout[label] = {
+                "dtype": array.dtype.str,
+                "shape": array.shape,
+                "offset": cursor,
+            }
+            cursor += array.nbytes
+        cursor = _aligned(cursor)
+        header = {
+            "kind": kind,
+            "sid": sid,
+            "version": version,
+            "arrays": layout,
+            "database": {"offset": cursor, "nbytes": len(payload)},
+        }
+        cursor += len(payload)
+        header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+        base = _aligned(_LEN.size + len(header_bytes))
+        total = max(base + cursor, 1)
+
+        name = f"{self._prefix}-{kind}{sid}v{version}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        buf = shm.buf
+        buf[: _LEN.size] = _LEN.pack(len(header_bytes))
+        buf[_LEN.size : _LEN.size + len(header_bytes)] = header_bytes
+        for label, array in arrays.items():
+            spec = layout[label]
+            offset = base + spec["offset"]
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=buf, offset=offset
+            )
+            view[...] = array
+            del view
+        database_offset = base + header["database"]["offset"]
+        buf[database_offset : database_offset + len(payload)] = payload
+
+        block = SnapshotBlock(
+            name=shm.name, kind=kind, sid=sid, version=version, shm=shm, nbytes=total
+        )
+        self._current[key] = block
+        return block
+
+    # ------------------------------------------------------------------ #
+    # Leases and lifetime
+    # ------------------------------------------------------------------ #
+    def lease(self, block: SnapshotBlock) -> None:
+        """Take one task-lifetime reference on a block."""
+        block.references += 1
+
+    def release(self, block: SnapshotBlock) -> None:
+        """Drop one task-lifetime reference; unlink retired blocks at zero."""
+        block.references -= 1
+        if block.references <= 0:
+            self._unlink(block)
+            if block in self._retired:
+                self._retired.remove(block)
+
+    def _release(self, block: SnapshotBlock) -> None:
+        """Drop the owner's publication reference on a superseded block."""
+        block.references -= 1
+        if block.references <= 0:
+            self._unlink(block)
+        else:
+            # In-flight tasks still lease the old version; unlink when the
+            # last of them completes.
+            self._retired.append(block)
+
+    @staticmethod
+    def _unlink(block: SnapshotBlock) -> None:
+        try:
+            block.shm.close()
+        except Exception:
+            pass
+        try:
+            block.shm.unlink()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Unlink every block this store ever published (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for block in self._current.values():
+            self._unlink(block)
+        for block in self._retired:
+            self._unlink(block)
+        self._current.clear()
+        self._retired.clear()
+        self._states.clear()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# One-shot array blocks (worker → parent results)
+# --------------------------------------------------------------------------- #
+def publish_arrays(arrays: dict[str, np.ndarray]) -> str:
+    """Write named arrays into a fresh anonymous block; returns its name.
+
+    The sender-side half of the pool's result path: a worker lays its packed
+    answer arrays out in one block and ships only the block *name* over the
+    pipe.  The block is deliberately untracked — the consuming process (see
+    :func:`read_arrays`) is its one unlinker, and the creator closes its
+    handle immediately after writing (POSIX keeps the segment alive until it
+    is unlinked *and* unmapped everywhere).
+    """
+    layout: dict[str, dict[str, Any]] = {}
+    cursor = 0
+    ordered: list[np.ndarray] = []
+    for label, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        cursor = _aligned(cursor)
+        layout[label] = {
+            "dtype": array.dtype.str,
+            "shape": array.shape,
+            "offset": cursor,
+        }
+        ordered.append(array)
+        cursor += array.nbytes
+    header_bytes = pickle.dumps({"arrays": layout}, protocol=pickle.HIGHEST_PROTOCOL)
+    base = _aligned(_LEN.size + len(header_bytes))
+    shm = _untracked_shared_memory(create=True, size=max(base + cursor, 1))
+    try:
+        buf = shm.buf
+        buf[: _LEN.size] = _LEN.pack(len(header_bytes))
+        buf[_LEN.size : _LEN.size + len(header_bytes)] = header_bytes
+        for array, spec in zip(ordered, layout.values()):
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=buf, offset=base + spec["offset"]
+            )
+            view[...] = array
+            del view
+        return shm.name
+    finally:
+        shm.close()
+
+
+def read_arrays(name: str) -> tuple[dict[str, np.ndarray], int]:
+    """Copy the arrays out of a one-shot block, then unlink it.
+
+    Returns ``(arrays, block_size_bytes)``.  The arrays are copies owned by
+    the caller; the block is unlinked (and this process's mapping closed)
+    before returning, even on error, so a consumed result block can never
+    linger in ``/dev/shm``.
+    """
+    shm = attach_readonly(name)
+    try:
+        buf = shm.buf
+        (header_len,) = _LEN.unpack(bytes(buf[: _LEN.size]))
+        header = pickle.loads(bytes(buf[_LEN.size : _LEN.size + header_len]))
+        base = _aligned(_LEN.size + header_len)
+        arrays = {
+            label: np.array(
+                np.ndarray(
+                    tuple(spec["shape"]),
+                    dtype=np.dtype(spec["dtype"]),
+                    buffer=buf,
+                    offset=base + spec["offset"],
+                )
+            )
+            for label, spec in header["arrays"].items()
+        }
+        return arrays, shm.size
+    finally:
+        try:
+            _unlink_untracked(shm)
+        except FileNotFoundError:
+            pass
+        shm.close()
+
+
+class AttachedSnapshot:
+    """Worker-side view of one published shard snapshot.
+
+    Holds the shared-memory mapping, the zero-copy columnar snapshot built
+    over it, and the unpickled shard database with that snapshot injected as
+    its cached columnar state — so the worker's staged pipeline hits the
+    shared arrays on every batch filter without ever rebuilding them.
+    """
+
+    def __init__(self, name: str) -> None:
+        shm = attach_readonly(name)
+        buf = shm.buf
+        (header_len,) = _LEN.unpack(bytes(buf[: _LEN.size]))
+        header = pickle.loads(bytes(buf[_LEN.size : _LEN.size + header_len]))
+        base = _aligned(_LEN.size + header_len)
+
+        views: dict[str, np.ndarray] = {}
+        for label, spec in header["arrays"].items():
+            view = np.ndarray(
+                tuple(spec["shape"]),
+                dtype=np.dtype(spec["dtype"]),
+                buffer=buf,
+                offset=base + spec["offset"],
+            )
+            views[label] = view
+
+        blob = header["database"]
+        start = base + blob["offset"]
+        database = pickle.loads(bytes(buf[start : start + blob["nbytes"]]))
+
+        kind = header["kind"]
+        if kind == "points":
+            columnar = ColumnarPoints.from_arrays(
+                database.objects, views["oids"], views["xy"]
+            )
+        else:
+            columnar = ColumnarUncertain.from_arrays(
+                database.objects,
+                views["oids"],
+                views["bounds"],
+                catalog_levels=views.get("catalog_levels"),
+                catalog_bounds=views.get("catalog_bounds"),
+            )
+        database._columnar = columnar
+        database._columnar_epoch = database.epoch
+
+        self.name = name
+        self.kind = kind
+        self.sid = int(header["sid"])
+        self.version = int(header["version"])
+        self.database = database
+        self.columnar = columnar
+        self._shm = shm
+
+    def close(self) -> None:
+        """Drop the mapping (views built from it must be dropped first)."""
+        self.database = None
+        self.columnar = None
+        try:
+            self._shm.close()
+        except BufferError:
+            # NumPy views into the mapping are still alive somewhere; the
+            # mapping is released when they are garbage-collected instead.
+            pass

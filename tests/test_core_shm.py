@@ -1,0 +1,161 @@
+"""Shared-memory snapshot store: naming, versioning, refcounts, cleanup."""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core.database import PointDatabase, UncertainDatabase
+from repro.core.shm import AttachedSnapshot, SnapshotStore
+from repro.datasets.synthetic import uniform_points, uniform_rectangles
+from repro.uncertainty.region import PointObject
+from repro.geometry.rect import Rect
+
+SPACE = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+def _point_db(n: int = 40, seed: int = 1) -> PointDatabase:
+    return PointDatabase.build(uniform_points(n, SPACE, seed=seed))
+
+
+def _uncertain_db(n: int = 30, seed: int = 2) -> UncertainDatabase:
+    return UncertainDatabase.build(
+        uniform_rectangles(n, SPACE, seed=seed), catalog_levels=(0.2, 0.4, 0.6)
+    )
+
+
+def _assert_unlinked(name: str) -> None:
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+class TestPublishAttach:
+    def test_point_snapshot_roundtrip_is_zero_copy(self):
+        store = SnapshotStore()
+        database = _point_db()
+        block = store.ensure("points", 0, database)
+        attached = AttachedSnapshot(block.name)
+        try:
+            assert attached.kind == "points"
+            assert attached.version == 1
+            np.testing.assert_array_equal(
+                attached.columnar.oids, database.columnar().oids
+            )
+            np.testing.assert_array_equal(attached.columnar.xy, database.columnar().xy)
+            # The worker-side database serves the injected zero-copy snapshot
+            # without rebuilding it.
+            assert attached.database.columnar() is attached.columnar
+            assert [o.oid for o in attached.database.objects] == [
+                o.oid for o in database.objects
+            ]
+        finally:
+            attached.close()
+            store.close()
+
+    def test_uncertain_snapshot_carries_catalog_tables(self):
+        store = SnapshotStore()
+        database = _uncertain_db()
+        block = store.ensure("uncertain", 3, database)
+        attached = AttachedSnapshot(block.name)
+        try:
+            source = database.columnar()
+            np.testing.assert_array_equal(attached.columnar.bounds, source.bounds)
+            assert source.catalog_bounds is not None
+            np.testing.assert_array_equal(
+                attached.columnar.catalog_bounds, source.catalog_bounds
+            )
+            np.testing.assert_array_equal(
+                attached.columnar.catalog_levels, source.catalog_levels
+            )
+        finally:
+            attached.close()
+            store.close()
+
+    def test_block_names_are_versioned_per_shard(self):
+        store = SnapshotStore()
+        database = _point_db()
+        first = store.ensure("points", 0, database)
+        assert first.name.endswith("points0v1")
+        # Unchanged state: same block, no republication.
+        assert store.ensure("points", 0, database) is first
+        database.insert(PointObject.at(90_001, 5_000.0, 5_000.0))
+        second = store.ensure("points", 0, database)
+        assert second.name.endswith("points0v2")
+        assert second.name != first.name
+        store.close()
+
+
+class TestVersioningAfterMutation:
+    def test_attach_after_mutation_reads_the_new_snapshot(self):
+        store = SnapshotStore()
+        database = _point_db(n=10, seed=5)
+        stale = store.ensure("points", 0, database)
+        stale_attached = AttachedSnapshot(stale.name)
+        moved = database.objects[0]
+        database.move(moved.oid, moved.location.x + 123.0, moved.location.y)
+        fresh = store.ensure("points", 0, database)
+        fresh_attached = AttachedSnapshot(fresh.name)
+        try:
+            # The names differ, the stale mapping still serves the old data
+            # (unlink removes only the name), the fresh one the new.
+            assert fresh.name != stale.name
+            assert stale_attached.columnar.xy[0, 0] != fresh_attached.columnar.xy[0, 0]
+            np.testing.assert_array_equal(
+                fresh_attached.columnar.xy, database.columnar().xy
+            )
+        finally:
+            stale_attached.close()
+            fresh_attached.close()
+            store.close()
+
+    def test_wholesale_replacement_is_republished(self):
+        store = SnapshotStore()
+        database = _point_db(n=10, seed=6)
+        first = store.ensure("points", 0, database)
+        replacement = _point_db(n=12, seed=7)  # fresh uid, epoch restarts at 0
+        second = store.ensure("points", 0, replacement)
+        assert second.name != first.name
+        store.close()
+
+
+class TestRefcountedLifetime:
+    def test_superseded_block_survives_until_lease_released(self):
+        store = SnapshotStore()
+        database = _point_db(n=8, seed=8)
+        block = store.ensure("points", 0, database)
+        store.lease(block)  # an in-flight task still references v1
+        database.insert(PointObject.at(90_002, 4_000.0, 4_000.0))
+        store.ensure("points", 0, database)  # publish v2, retire v1
+        # The leased block is retired but must still be attachable by name.
+        shared_memory.SharedMemory(name=block.name).close()
+        store.release(block)
+        _assert_unlinked(block.name)
+        store.close()
+
+    def test_close_unlinks_everything(self):
+        store = SnapshotStore()
+        names = [
+            store.ensure("points", 0, _point_db(n=6, seed=9)).name,
+            store.ensure("uncertain", 1, _uncertain_db(n=6, seed=10)).name,
+        ]
+        store.close()
+        for name in names:
+            _assert_unlinked(name)
+        # Idempotent.
+        store.close()
+
+    def test_dropped_store_unlinks_on_gc(self):
+        store = SnapshotStore()
+        name = store.ensure("points", 0, _point_db(n=6, seed=11)).name
+        del store
+        gc.collect()
+        _assert_unlinked(name)
+
+    def test_closed_store_rejects_publication(self):
+        store = SnapshotStore()
+        store.close()
+        with pytest.raises(RuntimeError):
+            store.ensure("points", 0, _point_db(n=4, seed=12))

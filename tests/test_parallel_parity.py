@@ -220,22 +220,35 @@ class TestShardedSession:
 
 
 class TestLifecycle:
-    def test_dropped_engines_leave_no_registry_entry(self, small_points):
-        import gc
-
-        from repro.core import parallel
+    def test_close_unlinks_every_shared_memory_block(self, small_points):
+        from multiprocessing import shared_memory
 
         engine = ParallelEngine(
             point_db=ShardedDatabase.build_points(small_points, 4), workers=2
         )
         engine.evaluate_many(_queries(3, target="points", seed=87))
-        token = engine._token
-        assert token in parallel._ENGINE_REGISTRY
+        names = engine.snapshot_store.block_names()
+        assert names, "a pooled batch should have published shard snapshots"
         engine.close()
-        assert token not in parallel._ENGINE_REGISTRY
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_dropped_engine_releases_blocks_on_gc(self, small_points):
+        import gc
+        from multiprocessing import shared_memory
+
+        engine = ParallelEngine(
+            point_db=ShardedDatabase.build_points(small_points, 4), workers=2
+        )
+        engine.evaluate_many(_queries(3, target="points", seed=87))
+        names = engine.snapshot_store.block_names()
+        assert names
         del engine
         gc.collect()
-        assert token not in parallel._ENGINE_REGISTRY
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
 
 
 class TestExperimentConfigSharding:

@@ -209,6 +209,48 @@ class TestInterleavedUpdateParity:
         _assert_identical(single.evaluate_many(workload), parallel.evaluate_many(workload))
 
 
+class TestWorkerPoolSurvivesUpdates:
+    """An interleaved UpdateBatch must not respawn the pool, yet stay exact."""
+
+    def test_stable_worker_pids_across_interleaved_update(
+        self, small_points, small_uncertain
+    ):
+        head = _queries(3, target="points", threshold=0.2, seed=61)
+        tail = _queries(3, target="uncertain", threshold=0.3, seed=62) + _queries(
+            2, nn_every=1, seed=63
+        )
+        with _parallel_engine(small_points, small_uncertain, 4, workers=4) as pooled:
+            pooled.warm()
+            pool_before = pooled._pool
+            workers_before = set(pool_before._processes)
+            assert len(workers_before) >= 2  # real processes, not the parent
+            import os
+
+            assert os.getpid() not in {p.pid for p in pool_before._processes.values()}
+
+            evaluations = pooled.evaluate_many(head + [_mutation_batch()] + tail)
+
+            # Same executor, same worker processes: the mutation republished
+            # one shard's shared-memory snapshot instead of recycling the
+            # pool, and every worker is still alive.
+            assert pooled._pool is pool_before
+            assert set(pool_before._processes) == workers_before
+            assert all(p.is_alive() for p in pool_before._processes.values())
+
+            # And the answers are still bitwise-identical: head against the
+            # original data at sequence numbers 0.., tail against the mutated
+            # data at the continuing numbers.
+            pristine = ImpreciseQueryEngine(
+                point_db=PointDatabase.build(small_points),
+                uncertain_db=UncertainDatabase.build(small_uncertain, catalog_levels=None),
+                config=EngineConfig(draw_plan="per_oid"),
+            )
+            _assert_identical(pristine.evaluate_many(head), evaluations[: len(head)])
+            rebuilt = _rebuilt_engine(pooled)
+            reference = rebuilt.evaluate_many_at(list(enumerate(tail, start=len(head))))
+            _assert_identical(reference, evaluations[len(head) :])
+
+
 class TestHotShardResplitParity:
     def test_resplit_preserves_answers(self, small_points, small_uncertain):
         parallel = ParallelEngine(
