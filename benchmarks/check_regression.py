@@ -29,6 +29,11 @@ timings on the same machine*, so it transfers across hardware:
 * ``BENCH_continuous.json`` / ``continuous_speedup`` — incremental
   subscription maintenance over naive re-evaluate-all-subscriptions.  A
   drop means affected-only re-evaluation lost its selectivity.
+* ``BENCH_serving.json`` / ``serving_batch_speedup`` — the serving
+  front-end's micro-batched dispatch over window=0 per-request dispatch
+  under concurrent closed-loop clients.  A drop means the coalescing
+  window stopped amortising per-wave costs (or the dispatch loop grew
+  per-request overhead).
 
 The benchmark scripts overwrite the committed files in place, so baselines
 default to the checked-in versions (``git show HEAD:<file>``); pass
@@ -59,6 +64,7 @@ FRESH_UPDATES_PATH = REPO_ROOT / "BENCH_updates.json"
 FRESH_CACHE_PATH = REPO_ROOT / "BENCH_cache.json"
 FRESH_SHARDED_PATH = REPO_ROOT / "BENCH_sharded.json"
 FRESH_CONTINUOUS_PATH = REPO_ROOT / "BENCH_continuous.json"
+FRESH_SERVING_PATH = REPO_ROOT / "BENCH_serving.json"
 DEFAULT_TOLERANCE = 0.30
 #: Extra slack granted to the sharded guard on single-core machines, where
 #: the parallel path cannot win (there is nothing to parallelise over) and
@@ -209,6 +215,19 @@ def compare_continuous(fresh: dict, baseline: dict, tolerance: float) -> list[st
     return failures
 
 
+def compare_serving(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the serving front-end metric."""
+    failures: list[str] = []
+    _guard(
+        failures,
+        "serving_batch_speedup",
+        float(fresh["serving_batch_speedup"]),
+        float(baseline["serving_batch_speedup"]),
+        tolerance,
+    )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", default=str(FRESH_PATH), help="freshly produced result file")
@@ -254,6 +273,16 @@ def main(argv: list[str] | None = None) -> int:
         "--continuous-baseline",
         default=None,
         help="continuous baseline file (default: HEAD's committed copy)",
+    )
+    parser.add_argument(
+        "--serving-fresh",
+        default=str(FRESH_SERVING_PATH),
+        help="freshly produced serving result file",
+    )
+    parser.add_argument(
+        "--serving-baseline",
+        default=None,
+        help="serving baseline file (default: HEAD's committed copy)",
     )
     parser.add_argument(
         "--tolerance",
@@ -336,6 +365,20 @@ def main(argv: list[str] | None = None) -> int:
         summaries.append(
             f"continuous_speedup {continuous_fresh['continuous_speedup']:.3f} "
             f"(baseline {continuous_baseline['continuous_speedup']:.3f})"
+        )
+
+    serving_fresh_path = Path(args.serving_fresh)
+    serving_baseline = load_baseline(args.serving_baseline, "BENCH_serving.json")
+    if not serving_fresh_path.exists():
+        print("serving guard skipped: no fresh BENCH_serving.json")
+    elif serving_baseline is None:
+        print("serving guard skipped: no committed BENCH_serving.json baseline")
+    else:
+        serving_fresh = json.loads(serving_fresh_path.read_text())
+        failures.extend(compare_serving(serving_fresh, serving_baseline, args.tolerance))
+        summaries.append(
+            f"serving_batch_speedup {serving_fresh['serving_batch_speedup']:.3f} "
+            f"(baseline {serving_baseline['serving_batch_speedup']:.3f})"
         )
 
     if failures:

@@ -73,7 +73,7 @@ from repro.index import (
     register_index,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Point",

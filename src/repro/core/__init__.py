@@ -38,6 +38,11 @@ The package is organised around the paper's structure:
   ordered JOIN/LEAVE/SCORE_CHANGE answer deltas.
 * :mod:`repro.core.quality` — answer-quality metrics (expected cardinality,
   precision, recall) for reasoning about the privacy/quality trade-off.
+* :mod:`repro.core.errors` — the typed exception hierarchy shared by the
+  engines and the serving layer (every subclass keeps the builtin its call
+  sites historically raised as a second base).
+* :mod:`repro.core.wire` — shared plumbing for the versioned ``to_dict`` /
+  ``from_dict`` wire schemas used by :mod:`repro.serve` and the CLI client.
 """
 
 from repro.core.queries import (
@@ -49,7 +54,19 @@ from repro.core.queries import (
     Evaluation,
     QueryAnswer,
     QueryResult,
+    query_from_dict,
 )
+from repro.core.errors import (
+    BackpressureError,
+    ConfigurationError,
+    InvalidQueryError,
+    InvalidUpdateError,
+    ReproError,
+    SchemaError,
+    SchemaVersionError,
+    UnknownObjectError,
+)
+from repro.core.wire import WIRE_VERSION, check_schema, tagged
 from repro.core.expansion import (
     minkowski_expanded_query,
     p_expanded_query,
@@ -113,6 +130,18 @@ from repro.core.quality import (
 
 __all__ = [
     "RangeQuerySpec",
+    "query_from_dict",
+    "ReproError",
+    "ConfigurationError",
+    "InvalidQueryError",
+    "InvalidUpdateError",
+    "UnknownObjectError",
+    "BackpressureError",
+    "SchemaError",
+    "SchemaVersionError",
+    "WIRE_VERSION",
+    "tagged",
+    "check_schema",
     "ImpreciseRangeQuery",
     "Query",
     "RangeQuery",

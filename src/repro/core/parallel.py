@@ -134,6 +134,27 @@ class ParallelEvaluation(Evaluation):
 
     shard_timings: tuple[ShardTiming, ...] = ()
 
+    def to_dict(self) -> dict:
+        """The :meth:`Evaluation.to_dict` payload plus ``shard_timings`` rows."""
+        payload = super().to_dict()
+        payload["shard_timings"] = [[t.sid, t.seconds] for t in self.shard_timings]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload) -> "ParallelEvaluation":
+        """Decode a :meth:`to_dict` payload (``shard_timings`` optional)."""
+        base = Evaluation.from_dict(payload)
+        return cls(
+            query=base.query,
+            result=base.result,
+            statistics=base.statistics,
+            elapsed_seconds=base.elapsed_seconds,
+            shard_timings=tuple(
+                ShardTiming(sid=int(sid), seconds=float(seconds))
+                for sid, seconds in payload.get("shard_timings", [])
+            ),
+        )
+
 
 @dataclass
 class _RangePartial:

@@ -25,10 +25,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Literal
 
+from repro.core.errors import InvalidQueryError, SchemaError
 from repro.core.statistics import EvaluationStatistics
+from repro.core.wire import check_schema, require, tagged
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.uncertainty.region import UncertainObject
+
+#: Wire schema names of the query and answer-envelope payloads.
+QUERY_SCHEMA = "repro.query"
+EVALUATION_SCHEMA = "repro.evaluation"
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,7 +46,7 @@ class RangeQuerySpec:
 
     def __post_init__(self) -> None:
         if self.half_width < 0 or self.half_height < 0:
-            raise ValueError("query half-extents must be non-negative")
+            raise InvalidQueryError("query half-extents must be non-negative")
 
     @staticmethod
     def square(half_size: float) -> "RangeQuerySpec":
@@ -73,7 +79,7 @@ class ImpreciseRangeQuery:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {self.threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {self.threshold}")
 
     @property
     def issuer_region(self) -> Rect:
@@ -99,7 +105,7 @@ class QueryAnswer:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.probability <= 1.0 + 1e-9:
-            raise ValueError(f"probability out of range: {self.probability}")
+            raise InvalidQueryError(f"probability out of range: {self.probability}")
 
 
 @dataclass
@@ -189,9 +195,9 @@ class RangeQuery(Query):
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {self.threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {self.threshold}")
         if self.target not in RANGE_QUERY_TARGETS:
-            raise ValueError(
+            raise InvalidQueryError(
                 f"unknown range-query target {self.target!r}; "
                 f"expected one of {RANGE_QUERY_TARGETS}"
             )
@@ -250,6 +256,37 @@ class RangeQuery(Query):
         """Range rectangle for a hypothetical issuer position ``center``."""
         return self.spec.region_at(center)
 
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of this query."""
+        return tagged(
+            QUERY_SCHEMA,
+            {
+                "kind": "range",
+                "issuer": self.issuer.to_dict(),
+                "half_width": self.spec.half_width,
+                "half_height": self.spec.half_height,
+                "threshold": self.threshold,
+                "target": self.target,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "RangeQuery":
+        """Decode a :meth:`to_dict` payload (exact: extents round-trip bitwise)."""
+        payload = check_schema(payload, QUERY_SCHEMA)
+        kind = require(payload, QUERY_SCHEMA, "kind")
+        if kind != "range":
+            raise SchemaError(f"expected a 'range' query payload, got kind {kind!r}")
+        return cls(
+            issuer=UncertainObject.from_dict(require(payload, QUERY_SCHEMA, "issuer")),
+            spec=RangeQuerySpec(
+                float(require(payload, QUERY_SCHEMA, "half_width")),
+                float(require(payload, QUERY_SCHEMA, "half_height")),
+            ),
+            threshold=float(require(payload, QUERY_SCHEMA, "threshold")),
+            target=require(payload, QUERY_SCHEMA, "target"),
+        )
+
 
 @dataclass(frozen=True)
 class NearestNeighborQuery(Query):
@@ -266,13 +303,50 @@ class NearestNeighborQuery(Query):
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {self.threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {self.threshold}")
         if self.samples is not None and self.samples <= 0:
-            raise ValueError(f"samples must be positive, got {self.samples}")
+            raise InvalidQueryError(f"samples must be positive, got {self.samples}")
 
     @property
     def kind(self) -> str:
         return "nn"
+
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of this query."""
+        return tagged(
+            QUERY_SCHEMA,
+            {
+                "kind": "nn",
+                "issuer": self.issuer.to_dict(),
+                "threshold": self.threshold,
+                "samples": self.samples,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "NearestNeighborQuery":
+        """Decode a :meth:`to_dict` payload."""
+        payload = check_schema(payload, QUERY_SCHEMA)
+        kind = require(payload, QUERY_SCHEMA, "kind")
+        if kind != "nn":
+            raise SchemaError(f"expected an 'nn' query payload, got kind {kind!r}")
+        samples = require(payload, QUERY_SCHEMA, "samples")
+        return cls(
+            issuer=UncertainObject.from_dict(require(payload, QUERY_SCHEMA, "issuer")),
+            threshold=float(require(payload, QUERY_SCHEMA, "threshold")),
+            samples=None if samples is None else int(samples),
+        )
+
+
+def query_from_dict(payload) -> Query:
+    """Decode any query payload, dispatching on its ``kind`` discriminator."""
+    payload = check_schema(payload, QUERY_SCHEMA)
+    kind = require(payload, QUERY_SCHEMA, "kind")
+    if kind == "range":
+        return RangeQuery.from_dict(payload)
+    if kind == "nn":
+        return NearestNeighborQuery.from_dict(payload)
+    raise SchemaError(f"unknown query kind {kind!r}; expected 'range' or 'nn'")
 
 
 @dataclass(frozen=True)
@@ -321,3 +395,38 @@ class Evaluation:
     def as_tuple(self) -> tuple[QueryResult, EvaluationStatistics]:
         """The legacy ``(result, statistics)`` shape of the old engine API."""
         return self.result, self.statistics
+
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of the full answer envelope.
+
+        Answers are shipped as ``[oid, probability]`` pairs in ranked order;
+        JSON preserves float values exactly, so a decoded envelope carries
+        bitwise-identical probabilities.
+        """
+        return tagged(
+            EVALUATION_SCHEMA,
+            {
+                "query": self.query.to_dict(),
+                "answers": [[a.oid, a.probability] for a in self.result.answers],
+                "statistics": self.statistics.to_dict(),
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "Evaluation":
+        """Decode a :meth:`to_dict` payload."""
+        payload = check_schema(payload, EVALUATION_SCHEMA)
+        return cls(
+            query=query_from_dict(require(payload, EVALUATION_SCHEMA, "query")),
+            result=QueryResult(
+                answers=[
+                    QueryAnswer(oid=int(oid), probability=float(probability))
+                    for oid, probability in require(payload, EVALUATION_SCHEMA, "answers")
+                ]
+            ),
+            statistics=EvaluationStatistics.from_dict(
+                require(payload, EVALUATION_SCHEMA, "statistics")
+            ),
+            elapsed_seconds=float(require(payload, EVALUATION_SCHEMA, "elapsed_seconds")),
+        )

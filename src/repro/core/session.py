@@ -26,6 +26,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.cache import ResultCache
 from repro.core.continuous import AnswerDelta, Subscription, SubscriptionRegistry
+from repro.core.errors import ConfigurationError, InvalidQueryError
 from repro.core.engine import (
     EngineConfig,
     ImpreciseQueryEngine,
@@ -61,7 +62,7 @@ class Session:
     ) -> None:
         if engine is not None:
             if point_db is not None or uncertain_db is not None or config is not None:
-                raise ValueError(
+                raise ConfigurationError(
                     "pass either a prebuilt engine or databases/config, not both"
                 )
             self._engine = engine
@@ -215,11 +216,21 @@ class Session:
 
         Monitor hit rates via :meth:`stats`.
         """
-        config = self._engine.config
         overrides: dict[str, Any] = {"cache": ResultCache(capacity=capacity)}
-        if config.draw_plan == "stream":
+        if self._engine.config.draw_plan == "stream":
             overrides["draw_plan"] = "query_keyed"
-        config = config.with_overrides(**overrides)
+        return self.with_config(**overrides)
+
+    def with_config(self, **overrides: Any) -> "Session":
+        """A new session sharing this session's databases under a tweaked config.
+
+        ``overrides`` are :class:`~repro.core.engine.EngineConfig` field
+        overrides (``draw_plan=...``, ``cache=...``, ...).  Both sessions see
+        each other's mutations — the databases are the same objects — but
+        each evaluates with its own configuration.  Parallel sessions keep
+        their worker count (the new engine spins up its own pool).
+        """
+        config = self._engine.config.with_overrides(**overrides)
         if isinstance(self._engine, ParallelEngine):
             engine: ImpreciseQueryEngine | ParallelEngine = ParallelEngine(
                 point_db=self._engine.point_db,
@@ -234,6 +245,64 @@ class Session:
                 config=config,
             )
         return Session(engine=engine)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe snapshot of the session's configuration and counters.
+
+        Wraps :meth:`stats` with the engine kind, worker count, the
+        :class:`~repro.core.engine.EngineConfig` fields and each configured
+        database's shape — the payload the serving front-end returns for a
+        ``stats`` request, so clients can introspect a live server.
+        """
+        config = self._engine.config
+        parallel = isinstance(self._engine, ParallelEngine)
+        databases: dict[str, Any] = {}
+        for name, database in (
+            ("points", self._engine.point_db),
+            ("uncertain", self._engine.uncertain_db),
+        ):
+            if database is None:
+                continue
+            entry: dict[str, Any] = {
+                "objects": len(database),
+                "index": database.index_kind
+                if isinstance(database, ShardedDatabase)
+                else database.kind,
+            }
+            if isinstance(database, ShardedDatabase):
+                entry["shards"] = database.k
+                entry["partitioner"] = database.partitioner
+            databases[name] = entry
+        stats = self.stats()
+        epochs = {
+            name: {str(sid): epoch for sid, epoch in value.items()}
+            if isinstance(value, dict)
+            else value
+            for name, value in stats.epochs.items()
+        }
+        return {
+            "engine": {
+                "kind": "parallel" if parallel else "serial",
+                "workers": self._engine.workers if parallel else 1,
+            },
+            "config": {
+                "probability_method": config.probability_method,
+                "monte_carlo_samples": config.monte_carlo_samples,
+                "rng_seed": config.rng_seed,
+                "use_p_expanded_query": config.use_p_expanded_query,
+                "use_pti_pruning": config.use_pti_pruning,
+                "ciuq_strategies": [s.value for s in config.ciuq_strategies],
+                "vectorized": config.vectorized,
+                "draw_plan": config.draw_plan,
+                "cache_capacity": config.cache.capacity if config.cache else None,
+            },
+            "databases": databases,
+            "stats": {
+                "cache": stats.cache,
+                "epochs": epochs,
+                "subscriptions": stats.subscriptions,
+            },
+        }
 
     def stats(self) -> "SessionStats":
         """A snapshot of the session's serving counters.
@@ -453,11 +522,11 @@ class RangeQueryBuilder:
     def build(self) -> RangeQuery:
         """Materialise the configured :class:`RangeQuery`."""
         if self.issuer is None:
-            raise ValueError(
+            raise InvalidQueryError(
                 "no issuer configured; call .issued_by(<UncertainObject>) first"
             )
         if self.target is None:
-            raise ValueError(
+            raise InvalidQueryError(
                 "the session holds both databases; "
                 'pick one with .targets("points") or .targets("uncertain")'
             )
@@ -472,7 +541,7 @@ class RangeQueryBuilder:
     def run_many(self, issuers: Iterable[UncertainObject]) -> list[Evaluation]:
         """Evaluate the same query shape once per issuer, through the batch path."""
         if self.target is None:
-            raise ValueError(
+            raise InvalidQueryError(
                 "the session holds both databases; "
                 'pick one with .targets("points") or .targets("uncertain")'
             )
@@ -507,7 +576,7 @@ class NearestNeighborQueryBuilder:
     def build(self) -> NearestNeighborQuery:
         """Materialise the configured :class:`NearestNeighborQuery`."""
         if self.issuer is None:
-            raise ValueError(
+            raise InvalidQueryError(
                 "no issuer configured; call .issued_by(<UncertainObject>) first"
             )
         return NearestNeighborQuery(

@@ -12,7 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.wire import check_schema, require, tagged
 from repro.index.iostats import IOStatistics
+
+#: Wire schema name of the statistics payload (see :mod:`repro.core.wire`).
+STATISTICS_SCHEMA = "repro.statistics"
 
 
 @dataclass
@@ -47,6 +51,55 @@ class EvaluationStatistics:
     def record_pruned(self, strategy: str, count: int = 1) -> None:
         """Attribute ``count`` pruned candidates to ``strategy``."""
         self.pruned[strategy] = self.pruned.get(strategy, 0) + count
+
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of the work counters."""
+        return tagged(
+            STATISTICS_SCHEMA,
+            {
+                "response_time": self.response_time,
+                "candidates_examined": self.candidates_examined,
+                "probability_computations": self.probability_computations,
+                "pruned": dict(self.pruned),
+                "monte_carlo_samples": self.monte_carlo_samples,
+                "results_returned": self.results_returned,
+                "io": [
+                    self.io.node_accesses,
+                    self.io.leaf_accesses,
+                    self.io.internal_accesses,
+                    self.io.entries_examined,
+                    self.io.objects_returned,
+                ],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "EvaluationStatistics":
+        """Decode a :meth:`to_dict` payload."""
+        payload = check_schema(payload, STATISTICS_SCHEMA)
+        node, leaf, internal, entries, objects = (
+            int(v) for v in require(payload, STATISTICS_SCHEMA, "io")
+        )
+        return cls(
+            response_time=float(require(payload, STATISTICS_SCHEMA, "response_time")),
+            candidates_examined=int(require(payload, STATISTICS_SCHEMA, "candidates_examined")),
+            probability_computations=int(
+                require(payload, STATISTICS_SCHEMA, "probability_computations")
+            ),
+            pruned={
+                str(k): int(v)
+                for k, v in require(payload, STATISTICS_SCHEMA, "pruned").items()
+            },
+            monte_carlo_samples=int(require(payload, STATISTICS_SCHEMA, "monte_carlo_samples")),
+            results_returned=int(require(payload, STATISTICS_SCHEMA, "results_returned")),
+            io=IOStatistics(
+                node_accesses=node,
+                leaf_accesses=leaf,
+                internal_accesses=internal,
+                entries_examined=entries,
+                objects_returned=objects,
+            ),
+        )
 
 
 @dataclass(frozen=True)

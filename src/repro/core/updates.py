@@ -33,8 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Literal
 
+from repro.core.errors import InvalidUpdateError, SchemaError, UnknownObjectError
+from repro.core.wire import check_schema, require, tagged
+
 UpdateAction = Literal["insert", "delete", "move"]
 UpdateTarget = Literal["points", "uncertain"]
+
+#: Wire schema names of the update payloads (see :mod:`repro.core.wire`).
+UPDATE_OP_SCHEMA = "repro.update_op"
+UPDATE_BATCH_SCHEMA = "repro.update_batch"
 
 
 def resolve_move_target(
@@ -49,15 +56,17 @@ def resolve_move_target(
     same shapes.
     """
     if pdf is not None and (x is not None or y is not None):
-        raise ValueError("pass either x= and y= (points) or pdf= (uncertain), not both")
+        raise InvalidUpdateError(
+            "pass either x= and y= (points) or pdf= (uncertain), not both"
+        )
     if pdf is not None:
         inferred: UpdateTarget = "uncertain"
     elif x is not None and y is not None:
         inferred = "points"
     else:
-        raise ValueError("a move takes either x= and y= (points) or pdf= (uncertain)")
+        raise InvalidUpdateError("a move takes either x= and y= (points) or pdf= (uncertain)")
     if target is not None and target != inferred:
-        raise ValueError(
+        raise InvalidUpdateError(
             f"target {target!r} contradicts the move arguments (which imply {inferred!r})"
         )
     return inferred
@@ -75,12 +84,12 @@ def pick_mutation_database(point_db: Any, uncertain_db: Any, target: str | None)
         elif uncertain_db is not None and point_db is None:
             target = "uncertain"
         else:
-            raise ValueError(
+            raise InvalidUpdateError(
                 "the engine holds both databases; "
                 "pass target='points' or target='uncertain'"
             )
     elif target not in ("points", "uncertain"):
-        raise ValueError(f"unknown target database: {target!r}")
+        raise InvalidUpdateError(f"unknown target database: {target!r}")
     database = point_db if target == "points" else uncertain_db
     if database is None:
         noun = "point-object" if target == "points" else "uncertain-object"
@@ -104,6 +113,65 @@ class UpdateOp:
     y: float | None = None
     pdf: Any = None
     target: UpdateTarget | None = None
+
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of this mutation."""
+        return tagged(
+            UPDATE_OP_SCHEMA,
+            {
+                "action": self.action,
+                "obj": None if self.obj is None else self.obj.to_dict(),
+                "oid": self.oid,
+                "x": self.x,
+                "y": self.y,
+                "pdf": None if self.pdf is None else self.pdf.to_dict(),
+                "target": self.target,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "UpdateOp":
+        """Decode a :meth:`to_dict` payload."""
+        from repro.uncertainty.pdf import pdf_from_dict
+
+        payload = check_schema(payload, UPDATE_OP_SCHEMA)
+        action = require(payload, UPDATE_OP_SCHEMA, "action")
+        if action not in ("insert", "delete", "move"):
+            raise SchemaError(f"unknown update action {action!r}")
+        obj = require(payload, UPDATE_OP_SCHEMA, "obj")
+        oid = require(payload, UPDATE_OP_SCHEMA, "oid")
+        x = require(payload, UPDATE_OP_SCHEMA, "x")
+        y = require(payload, UPDATE_OP_SCHEMA, "y")
+        pdf = require(payload, UPDATE_OP_SCHEMA, "pdf")
+        return cls(
+            action=action,
+            obj=None if obj is None else _object_from_dict(obj),
+            oid=None if oid is None else int(oid),
+            x=None if x is None else float(x),
+            y=None if y is None else float(y),
+            pdf=None if pdf is None else pdf_from_dict(pdf),
+            target=require(payload, UPDATE_OP_SCHEMA, "target"),
+        )
+
+
+def _object_from_dict(payload: Any) -> Any:
+    """Decode an insert payload: a point or uncertain object, by schema name."""
+    from repro.uncertainty.region import (
+        POINT_OBJECT_SCHEMA,
+        UNCERTAIN_OBJECT_SCHEMA,
+        PointObject,
+        UncertainObject,
+    )
+
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema == POINT_OBJECT_SCHEMA:
+        return PointObject.from_dict(payload)
+    if schema == UNCERTAIN_OBJECT_SCHEMA:
+        return UncertainObject.from_dict(payload)
+    raise SchemaError(
+        f"an insert payload must be a {POINT_OBJECT_SCHEMA!r} or "
+        f"{UNCERTAIN_OBJECT_SCHEMA!r} object, got schema {schema!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -220,6 +288,18 @@ class UpdateBatch:
     def __iter__(self) -> Iterator[UpdateOp]:
         return iter(self._ops)
 
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of the whole batch, in order."""
+        return tagged(UPDATE_BATCH_SCHEMA, {"ops": [op.to_dict() for op in self._ops]})
+
+    @classmethod
+    def from_dict(cls, payload) -> "UpdateBatch":
+        """Decode a :meth:`to_dict` payload, preserving application order."""
+        payload = check_schema(payload, UPDATE_BATCH_SCHEMA)
+        return cls(
+            [UpdateOp.from_dict(op) for op in require(payload, UPDATE_BATCH_SCHEMA, "ops")]
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         counts: dict[str, int] = {}
         for op in self._ops:
@@ -233,7 +313,7 @@ def _describe_mutation_target(engine: Any, op: UpdateOp) -> str:
     if op.action == "move":
         try:
             return resolve_move_target(op.x, op.y, op.pdf, op.target)
-        except ValueError:
+        except InvalidUpdateError:
             return op.target or "unresolved"
     if op.target is not None:
         return op.target
@@ -255,8 +335,9 @@ def apply_update_op(engine: Any, op: UpdateOp) -> None:
     translation from the declarative :class:`UpdateOp` to those calls.
 
     A ``delete`` or ``move`` naming an oid the target database does not
-    hold raises a descriptive :class:`ValueError` (naming the oid and the
-    database) instead of surfacing the index layer's bare ``KeyError``.
+    hold raises a descriptive :class:`~repro.core.errors.UnknownObjectError`
+    (naming the oid and the database) instead of surfacing the index layer's
+    bare ``KeyError``.
     """
     if op.action == "insert":
         engine.insert(op.obj)
@@ -264,7 +345,7 @@ def apply_update_op(engine: Any, op: UpdateOp) -> None:
         try:
             engine.delete(op.oid, target=op.target)
         except KeyError as error:
-            raise ValueError(
+            raise UnknownObjectError(
                 f"cannot delete oid {op.oid}: no such object in the "
                 f"{_describe_mutation_target(engine, op)!r} database"
             ) from error
@@ -272,9 +353,9 @@ def apply_update_op(engine: Any, op: UpdateOp) -> None:
         try:
             engine.move(op.oid, x=op.x, y=op.y, pdf=op.pdf, target=op.target)
         except KeyError as error:
-            raise ValueError(
+            raise UnknownObjectError(
                 f"cannot move oid {op.oid}: no such object in the "
                 f"{_describe_mutation_target(engine, op)!r} database"
             ) from error
     else:  # pragma: no cover - UpdateOp constrains the action literal
-        raise ValueError(f"unknown update action: {op.action!r}")
+        raise InvalidUpdateError(f"unknown update action: {op.action!r}")

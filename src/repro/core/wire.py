@@ -1,0 +1,57 @@
+"""Shared plumbing for the versioned wire schemas.
+
+Every ``to_dict`` in the repository tags its payload with the producing
+schema's name and version; every ``from_dict`` runs :func:`check_schema`
+first, so malformed payloads fail with a :class:`~repro.core.errors.SchemaError`
+naming what was expected, and payloads from a newer protocol revision fail
+with a :class:`~repro.core.errors.SchemaVersionError` instead of a confusing
+``KeyError`` deep inside a constructor.  JSON is the interchange format of
+record: Python's ``json`` round-trips floats through their shortest repr,
+which is exact, so a decoded query plans, prunes and draws bit-for-bit like
+the original — the property the serving layer's parity guarantees rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.errors import SchemaError, SchemaVersionError
+
+#: Version stamped into (and required from) every core wire payload.  Bump it
+#: when a schema changes shape incompatibly; decoders reject other versions.
+WIRE_VERSION = 1
+
+
+def tagged(schema: str, payload: dict) -> dict:
+    """Return ``payload`` with the schema name and version fields prepended."""
+    return {"schema": schema, "version": WIRE_VERSION, **payload}
+
+
+def check_schema(payload: Any, schema: str) -> Mapping:
+    """Validate a decoded wire payload's envelope and return it.
+
+    Checks that ``payload`` is a mapping, that it names the expected
+    ``schema``, and that its ``version`` is one this build decodes.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(
+            f"expected a {schema!r} payload (a mapping), got {type(payload).__name__!r}"
+        )
+    found = payload.get("schema")
+    if found != schema:
+        raise SchemaError(f"expected schema {schema!r}, got {found!r}")
+    version = payload.get("version")
+    if version != WIRE_VERSION:
+        raise SchemaVersionError(
+            f"cannot decode {schema!r} version {version!r}; "
+            f"this build speaks version {WIRE_VERSION}"
+        )
+    return payload
+
+
+def require(payload: Mapping, schema: str, field: str) -> Any:
+    """Fetch a required field, failing with a schema error naming it."""
+    try:
+        return payload[field]
+    except KeyError as error:
+        raise SchemaError(f"{schema!r} payload is missing field {field!r}") from error

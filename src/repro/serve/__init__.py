@@ -1,0 +1,47 @@
+"""Asyncio serving front-end: one session, many concurrent clients.
+
+* :mod:`repro.serve.server` — :class:`QueryServer`, the micro-batching
+  dispatch loop plus the JSON-lines TCP transport (``python -m repro.serve``).
+* :mod:`repro.serve.client` — :class:`ServeClient`, the pipelined async
+  client and its CLI (``python -m repro.serve.client``).
+* :mod:`repro.serve.schemas` — the versioned protocol envelopes and the
+  structured error model shared by both sides.
+"""
+
+from repro.serve.schemas import (
+    SERVE_SCHEMA,
+    decode_request,
+    decode_response,
+    error_from_dict,
+    error_response,
+    error_to_dict,
+    ok_response,
+    request_envelope,
+)
+from repro.serve.server import DEFAULT_MAX_PENDING, DEFAULT_WINDOW, QueryServer
+
+
+def __getattr__(name: str):
+    # Imported lazily so `python -m repro.serve.client` does not re-execute a
+    # module the package already loaded (runpy's double-import warning).
+    if name == "ServeClient":
+        from repro.serve.client import ServeClient
+
+        return ServeClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "QueryServer",
+    "ServeClient",
+    "SERVE_SCHEMA",
+    "DEFAULT_WINDOW",
+    "DEFAULT_MAX_PENDING",
+    "request_envelope",
+    "decode_request",
+    "ok_response",
+    "error_response",
+    "error_to_dict",
+    "error_from_dict",
+    "decode_response",
+]

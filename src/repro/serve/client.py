@@ -1,0 +1,220 @@
+"""Async JSON-lines client of the serving front-end, plus a small CLI.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.schemas` envelopes over
+one TCP connection.  Requests are pipelined: every call writes its line and
+parks on a future keyed by request id, a single reader task settles futures
+as response lines arrive (possibly out of submission order — the server
+answers as waves complete).  Server-side failures raise the *same* typed
+exception classes locally (:func:`repro.serve.schemas.error_from_dict`), so
+``except BackpressureError`` works identically against a remote server.
+
+CLI::
+
+    python -m repro.serve.client stats
+    python -m repro.serve.client query --issuer-x 5000 --issuer-y 5000 \\
+        --issuer-half 250 --half-width 500 --threshold 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Any
+
+from repro.core.errors import ReproError, SchemaError
+from repro.core.queries import Evaluation, Query, RangeQuery, RangeQuerySpec
+from repro.core.updates import UpdateBatch
+from repro.serve.schemas import decode_response, request_envelope
+from repro.geometry.rect import Rect
+from repro.uncertainty.region import UncertainObject
+
+
+class ServeClient:
+    """One pipelined JSON-lines connection to a :class:`QueryServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_responses(), name="repro-serve-client-reader"
+        )
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8707) -> "ServeClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def aclose(self) -> None:
+        """Close the connection; in-flight requests fail with ``ConnectionError``."""
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._fail_pending(ConnectionError("client closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------ #
+    # Request surface
+    # ------------------------------------------------------------------ #
+    async def query(self, query: Query) -> Evaluation:
+        """Evaluate a query remotely; returns the decoded answer envelope."""
+        return Evaluation.from_dict(await self._call("query", query.to_dict()))
+
+    async def update(self, batch: UpdateBatch) -> int:
+        """Apply an update batch remotely; returns the number of ops applied."""
+        result = await self._call("update", batch.to_dict())
+        return int(result["applied"])
+
+    async def stats(self) -> dict:
+        """The server's live configuration/counters snapshot."""
+        return await self._call("stats")
+
+    async def _call(self, op: str, payload: Any = None) -> Any:
+        self._next_id += 1
+        rid = self._next_id
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        data = json.dumps(request_envelope(op, rid, payload), separators=(",", ":"))
+        self._writer.write(data.encode() + b"\n")
+        await self._writer.drain()
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # Response pump
+    # ------------------------------------------------------------------ #
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(ConnectionError("server closed the connection"))
+                    return
+                self._settle(line)
+        except (ConnectionError, OSError) as error:
+            self._fail_pending(error)
+
+    def _settle(self, line: bytes) -> None:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return  # not a protocol line; ignore
+        rid = payload.get("id") if isinstance(payload, dict) else None
+        future = self._pending.pop(rid, None)
+        if future is None or future.done():
+            return
+        try:
+            future.set_result(decode_response(payload))
+        except ReproError as error:
+            future.set_exception(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+def _build_parser() -> argparse.ArgumentParser:
+    # The connection flags hang off a parent parser so they are accepted on
+    # either side of the subcommand (`--port 8707 stats` and `stats --port
+    # 8707` both work).  The parent's defaults are SUPPRESS — subparsers
+    # parse after the main parser and would otherwise overwrite a
+    # before-the-subcommand value with their default (parents *share*
+    # action objects, so per-parser defaults cannot differ; the real
+    # defaults are filled in post-parse by :func:`main`).
+    connection = argparse.ArgumentParser(add_help=False)
+    connection.add_argument("--host", default=argparse.SUPPRESS, help="default 127.0.0.1")
+    connection.add_argument("--port", type=int, default=argparse.SUPPRESS, help="default 8707")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="Query a running repro.serve server over JSON lines.",
+        parents=[connection],
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser(
+        "stats",
+        help="print the server's describe()/serving counters",
+        parents=[connection],
+    )
+    query = commands.add_parser(
+        "query", help="evaluate one range query", parents=[connection]
+    )
+    query.add_argument("--issuer-x", type=float, required=True)
+    query.add_argument("--issuer-y", type=float, required=True)
+    query.add_argument("--issuer-half", type=float, default=250.0)
+    query.add_argument("--half-width", type=float, default=500.0)
+    query.add_argument("--half-height", type=float, default=None)
+    query.add_argument("--threshold", type=float, default=0.0)
+    query.add_argument("--target", choices=("points", "uncertain"), default="points")
+    query.add_argument("--top", type=int, default=10, help="answers to print")
+    return parser
+
+
+def _query_from_args(args: argparse.Namespace) -> RangeQuery:
+    half = args.issuer_half
+    issuer = UncertainObject.uniform(
+        0,
+        Rect(
+            args.issuer_x - half, args.issuer_y - half,
+            args.issuer_x + half, args.issuer_y + half,
+        ),
+    )
+    spec = RangeQuerySpec(
+        args.half_width,
+        args.half_width if args.half_height is None else args.half_height,
+    )
+    return RangeQuery(
+        issuer=issuer, spec=spec, threshold=args.threshold, target=args.target
+    )
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    async with await ServeClient.connect(args.host, args.port) as client:
+        if args.command == "stats":
+            print(json.dumps(await client.stats(), indent=2, sort_keys=True))
+            return 0
+        evaluation = await client.query(_query_from_args(args))
+        print(
+            f"{evaluation.query.kind} answered in {evaluation.elapsed_ms:.2f} ms: "
+            f"{len(evaluation)} object(s)"
+        )
+        for answer in evaluation.top(args.top):
+            print(f"  oid {answer.oid:>6}  p={answer.probability:.4f}")
+        return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    args.host = getattr(args, "host", "127.0.0.1")
+    args.port = getattr(args, "port", 8707)
+    try:
+        return asyncio.run(_amain(args))
+    except ConnectionRefusedError:
+        print(f"connection refused: is a server listening on {args.host}:{args.port}?")
+        return 1
+    except (ReproError, SchemaError) as error:
+        print(f"error ({getattr(error, 'wire_code', 'error')}): {error}")
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,108 @@
+"""Protocol envelopes of the serving front-end.
+
+One request/response schema (``repro.serve``) wraps the core wire payloads
+of :mod:`repro.core.queries` / :mod:`repro.core.updates`: a request names an
+``op`` (``"query"`` / ``"update"`` / ``"stats"``), carries a client-chosen
+``id`` echoed back verbatim, and — for the first two ops — the operand's own
+versioned ``to_dict`` payload.  Responses are ``{"ok": true, "result": ...}``
+or ``{"ok": false, "error": ...}`` where the error model ships the raising
+exception's :attr:`~repro.core.errors.ReproError.wire_code`, so
+:func:`error_from_dict` rebuilds the *same* exception class on the client
+side and a remote ``BackpressureError`` is catchable exactly like a local
+one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.errors import (
+    BackpressureError,
+    ConfigurationError,
+    InvalidQueryError,
+    InvalidUpdateError,
+    ReproError,
+    SchemaError,
+    SchemaVersionError,
+    UnknownObjectError,
+)
+from repro.core.wire import check_schema, require, tagged
+
+#: Schema name of the serving protocol's request/response envelopes.
+SERVE_SCHEMA = "repro.serve"
+
+#: Operations a request may name.
+SERVE_OPS = ("query", "update", "stats")
+
+#: ``wire_code`` → exception class, the error model's decode table.
+_ERROR_CLASSES: dict[str, type[ReproError]] = {
+    cls.wire_code: cls
+    for cls in (
+        ReproError,
+        ConfigurationError,
+        InvalidQueryError,
+        InvalidUpdateError,
+        UnknownObjectError,
+        BackpressureError,
+        SchemaError,
+        SchemaVersionError,
+    )
+}
+
+
+# --------------------------------------------------------------------------- #
+# Requests
+# --------------------------------------------------------------------------- #
+def request_envelope(op: str, rid: Any, payload: Any = None) -> dict:
+    """Build a request envelope; ``rid`` is echoed back in the response."""
+    if op not in SERVE_OPS:
+        raise SchemaError(f"unknown serve op {op!r}; expected one of {SERVE_OPS}")
+    return tagged(SERVE_SCHEMA, {"op": op, "id": rid, "payload": payload})
+
+
+def decode_request(payload: Any) -> tuple[str, Any, Any]:
+    """Validate a request envelope; returns ``(op, rid, operand payload)``."""
+    payload = check_schema(payload, SERVE_SCHEMA)
+    op = require(payload, SERVE_SCHEMA, "op")
+    if op not in SERVE_OPS:
+        raise SchemaError(f"unknown serve op {op!r}; expected one of {SERVE_OPS}")
+    return op, payload.get("id"), payload.get("payload")
+
+
+# --------------------------------------------------------------------------- #
+# Responses
+# --------------------------------------------------------------------------- #
+def ok_response(rid: Any, result: Any) -> dict:
+    """A success envelope carrying the op's JSON-safe result."""
+    return tagged(SERVE_SCHEMA, {"id": rid, "ok": True, "result": result})
+
+
+def error_response(rid: Any, error: BaseException) -> dict:
+    """A failure envelope carrying the structured error model."""
+    return tagged(SERVE_SCHEMA, {"id": rid, "ok": False, "error": error_to_dict(error)})
+
+
+def error_to_dict(error: BaseException) -> dict:
+    """The error model: a stable code, the class name, and the message."""
+    code = getattr(error, "wire_code", None) or ReproError.wire_code
+    return {"code": code, "type": type(error).__name__, "message": str(error)}
+
+
+def error_from_dict(payload: Mapping) -> ReproError:
+    """Rebuild the typed exception a failure envelope describes.
+
+    Unknown codes (e.g. a server-side bug surfacing a builtin exception)
+    decode to the base :class:`~repro.core.errors.ReproError`.
+    """
+    code = payload.get("code")
+    message = payload.get("message", "")
+    cls = _ERROR_CLASSES.get(code, ReproError)
+    return cls(message)
+
+
+def decode_response(payload: Any) -> Any:
+    """Validate a response envelope; returns the result or raises the error."""
+    payload = check_schema(payload, SERVE_SCHEMA)
+    if require(payload, SERVE_SCHEMA, "ok"):
+        return require(payload, SERVE_SCHEMA, "result")
+    raise error_from_dict(require(payload, SERVE_SCHEMA, "error"))

@@ -39,6 +39,20 @@ from repro.geometry.circle import Circle
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
+# NOTE: the wire helpers (repro.core.wire / repro.core.errors) are imported
+# lazily inside the serialization methods: importing them at module level
+# would pull in repro.core.__init__, whose query model imports this module
+# right back (uncertainty.pdf is near the bottom of the package layering).
+
+#: Schema name of the pdf wire payloads (see :mod:`repro.core.wire`).
+PDF_SCHEMA = "repro.pdf"
+
+
+def _tagged(payload: dict) -> dict:
+    from repro.core.wire import tagged
+
+    return tagged(PDF_SCHEMA, payload)
+
 
 class UncertaintyPdf(abc.ABC):
     """Abstract base class for two-dimensional location-uncertainty pdfs."""
@@ -157,6 +171,28 @@ class UncertaintyPdf(abc.ABC):
         return bounds
 
     # ------------------------------------------------------------------ #
+    # Wire serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of this pdf.
+
+        Decode with :func:`pdf_from_dict`; the reconstructed pdf computes
+        probabilities bit-for-bit like the original (every shipped parameter
+        round-trips exactly through JSON, and every derived quantity is
+        recomputed by the same constructor arithmetic).  Third-party pdfs
+        that want to cross the wire override this and register a decoder via
+        :func:`register_pdf_codec`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a wire schema; override "
+            "to_dict() and register a decoder with register_pdf_codec()"
+        )
+
+    @staticmethod
+    def _rect_payload(region: Rect) -> list[float]:
+        return [region.xmin, region.ymin, region.xmax, region.ymax]
+
+    # ------------------------------------------------------------------ #
     # Convenience helpers shared by all implementations
     # ------------------------------------------------------------------ #
     def mean(self) -> Point:
@@ -262,6 +298,9 @@ class UniformPdf(UncertaintyPdf):
         out[:, :, 0] = region.xmin + (region.xmax - region.xmin) * u[0]
         out[:, :, 1] = region.ymin + (region.ymax - region.ymin) * u[1]
         return out
+
+    def to_dict(self) -> dict:
+        return _tagged({"type": "uniform", "region": self._rect_payload(self._region)})
 
 
 class TruncatedGaussianPdf(UncertaintyPdf):
@@ -446,6 +485,15 @@ class TruncatedGaussianPdf(UncertaintyPdf):
         np.clip(ys, self._region.ymin, self._region.ymax, out=out[:, :, 1])
         return out
 
+    def to_dict(self) -> dict:
+        return _tagged(
+            {
+                "type": "gaussian",
+                "region": self._rect_payload(self._region),
+                "sigma": [self._sigma_x, self._sigma_y],
+            },
+        )
+
 
 class HistogramPdf(UncertaintyPdf):
     """Piecewise-constant pdf over a regular grid of bins inside a rectangle.
@@ -470,6 +518,11 @@ class HistogramPdf(UncertaintyPdf):
         if total <= 0:
             raise ValueError("at least one bin weight must be positive")
         self._region = region
+        # The caller's (pre-normalisation) weights are what the wire schema
+        # ships: re-normalising the normalised grid would not be bitwise
+        # stable (its sum is only approximately 1), replaying the original
+        # weights through this constructor is.
+        self._weights = grid
         self._grid = grid / total
         self._ny, self._nx = grid.shape
         self._bin_w = region.width / self._nx
@@ -579,6 +632,15 @@ class HistogramPdf(UncertaintyPdf):
         ys = self._region.ymin + (iys + rng.uniform(0.0, 1.0, size=n)) * self._bin_h
         return np.column_stack([xs, ys])
 
+    def to_dict(self) -> dict:
+        return _tagged(
+            {
+                "type": "histogram",
+                "region": self._rect_payload(self._region),
+                "weights": self._weights.tolist(),
+            },
+        )
+
 
 class UniformCirclePdf(UncertaintyPdf):
     """Uniform distribution over a disc — the non-rectangular extension.
@@ -669,3 +731,89 @@ class UniformCirclePdf(UncertaintyPdf):
         xs = self._circle.center.x + radii * np.cos(angles)
         ys = self._circle.center.y + radii * np.sin(angles)
         return np.column_stack([xs, ys])
+
+    def to_dict(self) -> dict:
+        return _tagged(
+            {
+                "type": "circle",
+                "center": [self._circle.center.x, self._circle.center.y],
+                "radius": self._circle.radius,
+                "resolution": self._resolution,
+            },
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Wire decoding
+# --------------------------------------------------------------------------- #
+def _require(payload, field: str):
+    from repro.core.wire import require
+
+    return require(payload, PDF_SCHEMA, field)
+
+
+def _decode_region(payload) -> Rect:
+    xmin, ymin, xmax, ymax = (float(v) for v in payload)
+    return Rect(xmin, ymin, xmax, ymax)
+
+
+def _decode_uniform(payload) -> UniformPdf:
+    return UniformPdf(_decode_region(_require(payload, "region")))
+
+
+def _decode_gaussian(payload) -> TruncatedGaussianPdf:
+    sigma_x, sigma_y = (float(v) for v in _require(payload, "sigma"))
+    return TruncatedGaussianPdf(
+        _decode_region(_require(payload, "region")),
+        sigma_x=sigma_x,
+        sigma_y=sigma_y,
+    )
+
+
+def _decode_histogram(payload) -> HistogramPdf:
+    return HistogramPdf(
+        _decode_region(_require(payload, "region")),
+        _require(payload, "weights"),
+    )
+
+
+def _decode_circle(payload) -> UniformCirclePdf:
+    x, y = (float(v) for v in _require(payload, "center"))
+    return UniformCirclePdf(
+        Circle(Point(x, y), float(_require(payload, "radius"))),
+        resolution=int(_require(payload, "resolution")),
+    )
+
+
+#: ``type`` discriminator → decoder.  Third-party pdfs register here.
+_PDF_CODECS: dict[str, "object"] = {
+    "uniform": _decode_uniform,
+    "gaussian": _decode_gaussian,
+    "histogram": _decode_histogram,
+    "circle": _decode_circle,
+}
+
+
+def register_pdf_codec(type_name: str, decoder) -> None:
+    """Register a decoder for a third-party pdf's wire ``type``.
+
+    ``decoder`` takes the checked payload mapping and returns the pdf; the
+    class's :meth:`UncertaintyPdf.to_dict` must emit the same ``type``.
+    """
+    _PDF_CODECS[str(type_name)] = decoder
+
+
+def pdf_from_dict(payload) -> UncertaintyPdf:
+    """Decode a pdf from its :meth:`UncertaintyPdf.to_dict` payload."""
+    from repro.core.wire import check_schema
+
+    from repro.core.errors import SchemaError
+
+    payload = check_schema(payload, PDF_SCHEMA)
+    type_name = _require(payload, "type")
+    decoder = _PDF_CODECS.get(type_name)
+    if decoder is None:
+        raise SchemaError(
+            f"unknown pdf type {type_name!r}; known types: {sorted(_PDF_CODECS)}"
+        )
+    return decoder(payload)

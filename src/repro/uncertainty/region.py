@@ -18,7 +18,12 @@ from typing import Sequence
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.uncertainty.catalog import DEFAULT_CATALOG_LEVELS, UCatalog
-from repro.uncertainty.pdf import UncertaintyPdf, UniformPdf
+from repro.uncertainty.pdf import UncertaintyPdf, UniformPdf, pdf_from_dict
+
+#: Wire schema names (see :mod:`repro.core.wire`; imported lazily below —
+#: repro.core's query model imports this module).
+POINT_OBJECT_SCHEMA = "repro.point_object"
+UNCERTAIN_OBJECT_SCHEMA = "repro.uncertain_object"
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,6 +37,24 @@ class PointObject:
     def at(oid: int, x: float, y: float) -> "PointObject":
         """Convenience constructor from raw coordinates."""
         return PointObject(oid=oid, location=Point(x, y))
+
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of this object."""
+        from repro.core.wire import tagged
+
+        return tagged(POINT_OBJECT_SCHEMA, {"oid": self.oid, "x": self.x, "y": self.y})
+
+    @classmethod
+    def from_dict(cls, payload) -> "PointObject":
+        """Decode a :meth:`to_dict` payload (exact: coordinates round-trip bitwise)."""
+        from repro.core.wire import check_schema, require
+
+        payload = check_schema(payload, POINT_OBJECT_SCHEMA)
+        return cls.at(
+            int(require(payload, POINT_OBJECT_SCHEMA, "oid")),
+            float(require(payload, POINT_OBJECT_SCHEMA, "x")),
+            float(require(payload, POINT_OBJECT_SCHEMA, "y")),
+        )
 
     @property
     def x(self) -> float:
@@ -87,6 +110,39 @@ class UncertainObject:
             pdf=self.pdf,
             catalog=UCatalog.build(self.pdf, levels),
         )
+
+    def to_dict(self) -> dict:
+        """A JSON-safe, versioned description of this object.
+
+        The U-catalog is shipped as its probability *levels* only:
+        :meth:`UCatalog.build` is deterministic given the pdf, so the decoder
+        rebuilds identical p-bounds instead of serializing them.
+        """
+        from repro.core.wire import tagged
+
+        return tagged(
+            UNCERTAIN_OBJECT_SCHEMA,
+            {
+                "oid": self.oid,
+                "pdf": self.pdf.to_dict(),
+                "catalog_levels": list(self.catalog.levels) if self.catalog else None,
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, payload) -> "UncertainObject":
+        """Decode a :meth:`to_dict` payload, rebuilding any attached catalog."""
+        from repro.core.wire import check_schema, require
+
+        payload = check_schema(payload, UNCERTAIN_OBJECT_SCHEMA)
+        obj = cls(
+            oid=int(require(payload, UNCERTAIN_OBJECT_SCHEMA, "oid")),
+            pdf=pdf_from_dict(require(payload, UNCERTAIN_OBJECT_SCHEMA, "pdf")),
+        )
+        levels = require(payload, UNCERTAIN_OBJECT_SCHEMA, "catalog_levels")
+        if levels is not None:
+            obj = obj.with_catalog([float(level) for level in levels])
+        return obj
 
     def probability_in_rect(self, rect: Rect) -> float:
         """Probability that the object lies inside ``rect``."""

@@ -1,0 +1,126 @@
+"""Tests for the typed exception hierarchy and its builtin-base compatibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    BackpressureError,
+    ConfigurationError,
+    InvalidQueryError,
+    InvalidUpdateError,
+    ReproError,
+    SchemaError,
+    SchemaVersionError,
+    UnknownObjectError,
+)
+from repro.core.queries import NearestNeighborQuery, RangeQuery, RangeQuerySpec
+from repro.core.session import Session
+from repro.core.updates import UpdateBatch, resolve_move_target
+from repro.geometry.rect import Rect
+from repro.uncertainty.region import PointObject, UncertainObject
+
+
+def issuer() -> UncertainObject:
+    return UncertainObject.uniform(0, Rect(0.0, 0.0, 100.0, 100.0))
+
+
+class TestHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for cls in (
+            ConfigurationError,
+            InvalidQueryError,
+            InvalidUpdateError,
+            UnknownObjectError,
+            BackpressureError,
+            SchemaError,
+            SchemaVersionError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_builtin_bases_preserved(self):
+        # `except ValueError` handlers written against the old raises keep working.
+        for cls in (
+            ConfigurationError,
+            InvalidQueryError,
+            InvalidUpdateError,
+            UnknownObjectError,
+            SchemaError,
+            SchemaVersionError,
+        ):
+            assert issubclass(cls, ValueError)
+        assert issubclass(BackpressureError, RuntimeError)
+
+    def test_wire_codes_are_distinct(self):
+        codes = [
+            cls.wire_code
+            for cls in (
+                ReproError,
+                ConfigurationError,
+                InvalidQueryError,
+                InvalidUpdateError,
+                UnknownObjectError,
+                BackpressureError,
+                SchemaError,
+                SchemaVersionError,
+            )
+        ]
+        assert len(codes) == len(set(codes))
+
+
+class TestQueryRaises:
+    def test_bad_spec(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuerySpec(-1.0, 5.0)
+
+    def test_bad_threshold(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery.cipq(issuer(), RangeQuerySpec.square(10.0), 1.5)
+
+    def test_bad_samples(self):
+        with pytest.raises(InvalidQueryError):
+            NearestNeighborQuery(issuer=issuer(), samples=0)
+
+    def test_old_value_error_handlers_still_catch(self):
+        with pytest.raises(ValueError):
+            RangeQuerySpec(-1.0, 5.0)
+
+    def test_builder_without_issuer(self):
+        session = Session.from_objects(points=[PointObject.at(1, 5.0, 5.0)])
+        with pytest.raises(InvalidQueryError):
+            session.range(half_width=10.0).build()
+
+
+class TestUpdateRaises:
+    def test_contradictory_move(self):
+        with pytest.raises(InvalidUpdateError):
+            resolve_move_target(1.0, 2.0, object(), None)
+
+    def test_incomplete_move(self):
+        with pytest.raises(InvalidUpdateError):
+            UpdateBatch().move(1, x=3.0)
+
+    def test_unknown_oid_delete(self):
+        session = Session.from_objects(points=[PointObject.at(1, 5.0, 5.0)])
+        with pytest.raises(UnknownObjectError):
+            session.apply_updates(UpdateBatch().delete(999))
+
+    def test_unknown_oid_move(self):
+        session = Session.from_objects(points=[PointObject.at(1, 5.0, 5.0)])
+        with pytest.raises(UnknownObjectError):
+            session.apply_updates(UpdateBatch().move(999, x=1.0, y=2.0))
+
+    def test_unknown_object_is_a_value_error(self):
+        session = Session.from_objects(points=[PointObject.at(1, 5.0, 5.0)])
+        with pytest.raises(ValueError):
+            session.apply_updates(UpdateBatch().delete(999))
+
+
+class TestSessionRaises:
+    def test_engine_and_databases_mutually_exclusive(self):
+        from repro.core.engine import ImpreciseQueryEngine, PointDatabase
+
+        database = PointDatabase.build([PointObject.at(1, 5.0, 5.0)])
+        engine = ImpreciseQueryEngine(point_db=database)
+        with pytest.raises(ConfigurationError):
+            Session(engine=engine, point_db=database)

@@ -1,0 +1,294 @@
+"""Property tests: the wire schemas round-trip losslessly through JSON.
+
+Every ``to_dict`` payload, pushed through ``json.dumps``/``json.loads`` and
+decoded with the matching ``from_dict``, must re-encode to the *identical*
+payload — JSON round-trips floats through their shortest repr, which is
+exact, so lossless re-encoding implies the decoded object computes
+bit-for-bit like the original.  Hypothesis drives the shapes; a few direct
+tests pin the envelope validation (schema name, version, missing fields).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SchemaError, SchemaVersionError
+from repro.core.queries import (
+    Evaluation,
+    NearestNeighborQuery,
+    QueryAnswer,
+    QueryResult,
+    RangeQuery,
+    RangeQuerySpec,
+    query_from_dict,
+)
+from repro.core.statistics import EvaluationStatistics
+from repro.core.parallel import ParallelEvaluation, ShardTiming
+from repro.core.updates import UpdateBatch, UpdateOp
+from repro.core.wire import WIRE_VERSION, check_schema, tagged
+from repro.geometry.circle import Circle
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.iostats import IOStatistics
+from repro.uncertainty.pdf import (
+    HistogramPdf,
+    TruncatedGaussianPdf,
+    UniformCirclePdf,
+    UniformPdf,
+    pdf_from_dict,
+)
+from repro.uncertainty.region import PointObject, UncertainObject
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+coords = st.floats(min_value=0.0, max_value=9_000.0, allow_nan=False)
+extents = st.floats(min_value=1.0, max_value=900.0, allow_nan=False)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    xmin = draw(coords)
+    ymin = draw(coords)
+    return Rect(xmin, ymin, xmin + draw(extents), ymin + draw(extents))
+
+
+@st.composite
+def pdfs(draw):
+    region = draw(rects())
+    kind = draw(st.sampled_from(["uniform", "gaussian", "histogram", "circle"]))
+    if kind == "uniform":
+        return UniformPdf(region)
+    if kind == "gaussian":
+        return TruncatedGaussianPdf(
+            region,
+            sigma_x=draw(st.floats(min_value=0.1, max_value=500.0)),
+            sigma_y=draw(st.floats(min_value=0.1, max_value=500.0)),
+        )
+    if kind == "histogram":
+        rows = draw(st.integers(min_value=1, max_value=4))
+        cols = draw(st.integers(min_value=1, max_value=4))
+        weights = [
+            [draw(st.floats(min_value=0.01, max_value=10.0)) for _ in range(cols)]
+            for _ in range(rows)
+        ]
+        return HistogramPdf(region, weights)
+    return UniformCirclePdf(
+        Circle(
+            Point(region.center.x, region.center.y),
+            draw(st.floats(min_value=1.0, max_value=400.0)),
+        ),
+        resolution=draw(st.integers(min_value=8, max_value=64)),
+    )
+
+
+@st.composite
+def uncertain_objects(draw) -> UncertainObject:
+    obj = UncertainObject(oid=draw(st.integers(0, 10_000)), pdf=draw(pdfs()))
+    if draw(st.booleans()):
+        obj = obj.with_catalog([0.0, 0.3, 0.7])
+    return obj
+
+
+@st.composite
+def range_queries(draw) -> RangeQuery:
+    return RangeQuery(
+        issuer=draw(uncertain_objects()),
+        spec=RangeQuerySpec(draw(extents), draw(extents)),
+        threshold=draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False)),
+        target=draw(st.sampled_from(["points", "uncertain"])),
+    )
+
+
+def json_round_trip(payload: dict) -> dict:
+    return json.loads(json.dumps(payload))
+
+
+class TestPdfRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(pdfs())
+    def test_pdf_payload_is_lossless(self, pdf):
+        decoded = pdf_from_dict(json_round_trip(pdf.to_dict()))
+        assert type(decoded) is type(pdf)
+        assert decoded.to_dict() == pdf.to_dict()
+
+    @settings(max_examples=20, deadline=None)
+    @given(pdfs(), rects())
+    def test_decoded_pdf_computes_identically(self, pdf, probe):
+        decoded = pdf_from_dict(json_round_trip(pdf.to_dict()))
+        assert decoded.probability_in_rect(probe) == pdf.probability_in_rect(probe)
+
+
+class TestObjectRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), coords, coords)
+    def test_point_object(self, oid, x, y):
+        obj = PointObject.at(oid, x, y)
+        assert PointObject.from_dict(json_round_trip(obj.to_dict())) == obj
+
+    @settings(max_examples=40, deadline=None)
+    @given(uncertain_objects())
+    def test_uncertain_object(self, obj):
+        decoded = UncertainObject.from_dict(json_round_trip(obj.to_dict()))
+        assert decoded.to_dict() == obj.to_dict()
+        if obj.catalog is not None:
+            assert decoded.catalog is not None
+            # Catalog rebuilds are deterministic: identical p-bounds.
+            assert decoded.catalog.bounds == obj.catalog.bounds
+
+
+class TestQueryRoundTrips:
+    @settings(max_examples=40, deadline=None)
+    @given(range_queries())
+    def test_range_query(self, query):
+        decoded = query_from_dict(json_round_trip(query.to_dict()))
+        assert isinstance(decoded, RangeQuery)
+        assert decoded.to_dict() == query.to_dict()
+        assert decoded.kind == query.kind
+        assert decoded.spec == query.spec
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        uncertain_objects(),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.one_of(st.none(), st.integers(1, 5_000)),
+    )
+    def test_nn_query(self, issuer, threshold, samples):
+        query = NearestNeighborQuery(issuer=issuer, threshold=threshold, samples=samples)
+        decoded = query_from_dict(json_round_trip(query.to_dict()))
+        assert isinstance(decoded, NearestNeighborQuery)
+        assert decoded.to_dict() == query.to_dict()
+        assert decoded.samples == samples
+
+
+class TestUpdateRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=0, max_size=6), st.randoms())
+    def test_update_batch(self, oids, rnd):
+        batch = UpdateBatch()
+        for oid in oids:
+            choice = rnd.choice(["insert_point", "insert_uncertain", "delete", "move"])
+            if choice == "insert_point":
+                batch.insert(PointObject.at(oid, 1.0 + oid, 2.0 + oid))
+            elif choice == "insert_uncertain":
+                batch.insert(
+                    UncertainObject.uniform(oid, Rect(0.0, 0.0, 5.0 + oid, 5.0 + oid))
+                )
+            elif choice == "delete":
+                batch.delete(oid, target="points")
+            else:
+                batch.move(oid, x=float(oid), y=float(oid) + 1.0)
+        decoded = UpdateBatch.from_dict(json_round_trip(batch.to_dict()))
+        assert decoded.to_dict() == batch.to_dict()
+        assert len(decoded) == len(batch)
+
+    def test_update_op_fields(self):
+        op = UpdateOp(action="move", oid=5, x=1.5, y=2.5, target="points")
+        assert UpdateOp.from_dict(json_round_trip(op.to_dict())) == op
+
+
+class TestEnvelopeRoundTrips:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        range_queries(),
+        st.lists(
+            st.tuples(
+                st.integers(0, 1_000),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=8,
+            unique_by=lambda pair: pair[0],
+        ),
+        finite,
+    )
+    def test_evaluation(self, query, answer_rows, elapsed):
+        result = QueryResult(
+            answers=[QueryAnswer(oid=o, probability=p) for o, p in answer_rows]
+        )
+        statistics = EvaluationStatistics(
+            response_time=abs(elapsed),
+            candidates_examined=len(answer_rows),
+            probability_computations=3,
+            pruned={"p_bound": 2},
+            monte_carlo_samples=100,
+            results_returned=len(answer_rows),
+            io=IOStatistics(
+                node_accesses=5,
+                leaf_accesses=3,
+                internal_accesses=2,
+                entries_examined=40,
+                objects_returned=len(answer_rows),
+            ),
+        )
+        evaluation = Evaluation(
+            query=query, result=result, statistics=statistics, elapsed_seconds=abs(elapsed)
+        )
+        decoded = Evaluation.from_dict(json_round_trip(evaluation.to_dict()))
+        assert decoded.to_dict() == evaluation.to_dict()
+        assert decoded.probabilities() == evaluation.probabilities()
+
+    def test_parallel_evaluation_carries_shard_timings(self):
+        query = RangeQuery.ipq(
+            UncertainObject.uniform(0, Rect(0.0, 0.0, 10.0, 10.0)),
+            RangeQuerySpec.square(5.0),
+        )
+        evaluation = ParallelEvaluation(
+            query=query,
+            result=QueryResult(answers=[QueryAnswer(oid=1, probability=0.5)]),
+            statistics=EvaluationStatistics(),
+            elapsed_seconds=0.125,
+            shard_timings=(ShardTiming(0, 0.0625), ShardTiming(3, 0.03125)),
+        )
+        decoded = ParallelEvaluation.from_dict(json_round_trip(evaluation.to_dict()))
+        assert decoded.shard_timings == evaluation.shard_timings
+        assert decoded.to_dict() == evaluation.to_dict()
+
+
+class TestEnvelopeValidation:
+    def test_wrong_schema_name(self):
+        payload = tagged("repro.query", {"kind": "range"})
+        with pytest.raises(SchemaError):
+            check_schema(payload, "repro.update_op")
+
+    def test_future_version_rejected(self):
+        payload = tagged("repro.query", {"kind": "range"})
+        payload["version"] = WIRE_VERSION + 1
+        with pytest.raises(SchemaVersionError):
+            check_schema(payload, "repro.query")
+
+    def test_missing_field_named_in_error(self):
+        payload = tagged("repro.query", {"kind": "range"})
+        with pytest.raises(SchemaError, match="issuer"):
+            RangeQuery.from_dict(payload)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            check_schema(["not", "a", "mapping"], "repro.query")
+
+    def test_unknown_query_kind(self):
+        payload = tagged("repro.query", {"kind": "teleport"})
+        with pytest.raises(SchemaError):
+            query_from_dict(payload)
+
+    def test_unknown_pdf_type(self):
+        payload = tagged("repro.pdf", {"type": "martian"})
+        with pytest.raises(SchemaError):
+            pdf_from_dict(payload)
+
+    def test_live_evaluation_round_trips(self):
+        from repro.core.session import Session
+
+        session = Session.from_objects(
+            points=[PointObject.at(i, i * 3.0, i * 5.0) for i in range(40)]
+        )
+        query = RangeQuery.ipq(
+            UncertainObject.uniform(0, Rect(0.0, 0.0, 60.0, 60.0)),
+            RangeQuerySpec.square(30.0),
+        )
+        evaluation = session.evaluate(query)
+        decoded = Evaluation.from_dict(json_round_trip(evaluation.to_dict()))
+        assert decoded.to_dict() == evaluation.to_dict()
