@@ -19,6 +19,7 @@ scalar reference loop.
 """
 
 from __future__ import annotations
+from repro.core.errors import InvalidQueryError
 
 import time
 from functools import lru_cache
@@ -239,7 +240,7 @@ class BasicEvaluator:
         vectorized: bool = True,
     ) -> None:
         if issuer_samples <= 0:
-            raise ValueError("issuer_samples must be positive")
+            raise InvalidQueryError("issuer_samples must be positive")
         self._issuer_samples = issuer_samples
         self._use_expansion_filter = use_expansion_filter
         self._vectorized = vectorized

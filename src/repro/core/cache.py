@@ -34,6 +34,7 @@ across threads.
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError
 
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -136,11 +137,11 @@ class ResultCache:
 
     def __post_init__(self) -> None:
         if isinstance(self.capacity, bool) or not isinstance(self.capacity, int):
-            raise ValueError(
+            raise ConfigurationError(
                 f"cache capacity must be an integer, got {self.capacity!r}"
             )
         if self.capacity < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"cache capacity must be >= 1, got {self.capacity}"
             )
 

@@ -20,6 +20,7 @@ Array layouts follow :meth:`repro.geometry.rect.Rect.as_tuple`:
 """
 
 from __future__ import annotations
+from repro.core.errors import DatasetError
 
 from typing import Sequence
 
@@ -96,7 +97,7 @@ class ColumnarPoints:
         snapshot = object.__new__(cls)
         snapshot.objects = tuple(objects)
         if len(oids) != len(snapshot.objects) or len(xy) != len(snapshot.objects):
-            raise ValueError(
+            raise DatasetError(
                 "array row counts must match the object list "
                 f"({len(snapshot.objects)} objects, {len(oids)} oids, {len(xy)} rows)"
             )
@@ -162,12 +163,12 @@ class ColumnarUncertain:
         snapshot.objects = tuple(objects)
         n = len(snapshot.objects)
         if len(oids) != n or len(bounds) != n:
-            raise ValueError(
+            raise DatasetError(
                 "array row counts must match the object list "
                 f"({n} objects, {len(oids)} oids, {len(bounds)} bounds rows)"
             )
         if (catalog_levels is None) != (catalog_bounds is None):
-            raise ValueError(
+            raise DatasetError(
                 "catalog_levels and catalog_bounds must be given together"
             )
         for array in (oids, bounds, catalog_levels, catalog_bounds):
@@ -225,7 +226,7 @@ class ColumnarUncertain:
         for position, obj in enumerate(candidates):
             row = row_of.get(obj.oid)
             if row is None:
-                raise ValueError(
+                raise DatasetError(
                     f"object with oid {obj.oid} is not part of this columnar "
                     "snapshot; candidates must come from the database the "
                     "snapshot was built on"

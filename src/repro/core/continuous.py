@@ -45,6 +45,7 @@ reconstructs the maintained answer exactly (see :func:`replay_deltas`).
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError, EngineStateError, InvalidArgumentError, MissingItemError
 
 import itertools
 from dataclasses import dataclass
@@ -198,14 +199,14 @@ class SubscriptionRegistry:
         config: Any,
     ) -> None:
         if point_db is None and uncertain_db is None:
-            raise ValueError("a subscription registry needs at least one database")
+            raise ConfigurationError("a subscription registry needs at least one database")
         sharded = [
             isinstance(db, ShardedDatabase)
             for db in (point_db, uncertain_db)
             if db is not None
         ]
         if any(sharded) and not all(sharded):
-            raise ValueError(
+            raise ConfigurationError(
                 "cannot mix sharded and unsharded databases in one registry"
             )
         self._point_db = point_db
@@ -255,13 +256,13 @@ class SubscriptionRegistry:
         elif isinstance(query, RangeQuery):
             target = query.target
         else:
-            raise TypeError(
+            raise InvalidArgumentError(
                 "subscriptions take a RangeQuery or NearestNeighborQuery, "
                 f"got {type(query).__name__}"
             )
         if self._database(target) is None:
             noun = "point-object" if target == "points" else "uncertain-object"
-            raise RuntimeError(f"no {noun} database configured")
+            raise EngineStateError(f"no {noun} database configured")
         self.pump()
         window = relevance_window(query)
         subscription = Subscription(
@@ -286,7 +287,7 @@ class SubscriptionRegistry:
         )
         cancelled = self._subscriptions.pop(subscription_id, None)
         if cancelled is None:
-            raise KeyError(f"no active subscription with id {subscription_id}")
+            raise MissingItemError(f"no active subscription with id {subscription_id}")
         cancelled.active = False
         cancelled._pending = []
 

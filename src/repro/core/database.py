@@ -17,6 +17,12 @@ change, including direct mutation of ``db.objects`` (tracked by
 """
 
 from __future__ import annotations
+from repro.core.errors import (
+    ConfigurationError,
+    InvalidArgumentError,
+    InvalidUpdateError,
+    MissingItemError,
+)
 
 import itertools
 from dataclasses import dataclass, field
@@ -169,7 +175,7 @@ class _MutableDatabaseMixin(MutationObservable):
             self._positions_epoch = self._epoch
         position = self._positions.get(oid)
         if position is None:
-            raise KeyError(f"no object with oid {oid} in this database")
+            raise MissingItemError(f"no object with oid {oid} in this database")
         return position
 
     # The mutators patch the oid → position map in place (and re-stamp its
@@ -218,7 +224,7 @@ class _MutableDatabaseMixin(MutationObservable):
 
     def _check_new_oid(self, oid: int) -> None:
         if oid in self:
-            raise ValueError(
+            raise InvalidUpdateError(
                 f"an object with oid {oid} is already stored; "
                 "delete or move it instead of inserting a duplicate"
             )
@@ -252,7 +258,7 @@ class _MutableDatabaseMixin(MutationObservable):
             self._list_remove(oid)
         else:
             if len(self.objects) <= 1:
-                raise ValueError(
+                raise InvalidUpdateError(
                     f"index kind {self.kind!r} has no incremental delete and "
                     "cannot be rebuilt over an empty collection; the last object "
                     "of such a database cannot be deleted"
@@ -319,7 +325,7 @@ class PointDatabase(_MutableDatabaseMixin):
         materialised = list(objects)
         backend = get_index_backend(index_kind)
         if not backend.capabilities.supports_points:
-            raise ValueError(
+            raise ConfigurationError(
                 f"index kind {index_kind!r} only stores uncertain objects"
             )
         index = build_index(materialised, index_kind, bounds=bounds, **index_kwargs)
@@ -331,7 +337,7 @@ class PointDatabase(_MutableDatabaseMixin):
     def insert(self, obj: PointObject) -> PointObject:
         """Add one point object, keeping the index and snapshot in sync."""
         if not isinstance(obj, PointObject):
-            raise TypeError(f"expected a PointObject, got {type(obj).__name__}")
+            raise InvalidArgumentError(f"expected a PointObject, got {type(obj).__name__}")
         self._append_with_index(obj)
         self._emit_update(
             UpdateEvent(
@@ -425,7 +431,7 @@ class UncertainDatabase(_MutableDatabaseMixin):
         materialised = list(objects)
         backend = get_index_backend(index_kind)
         if not backend.capabilities.supports_uncertain:
-            raise ValueError(
+            raise ConfigurationError(
                 f"index kind {index_kind!r} cannot store uncertain objects"
             )
         if catalog_levels is not None:
@@ -464,7 +470,7 @@ class UncertainDatabase(_MutableDatabaseMixin):
         databases stay insertable.  Returns the stored object.
         """
         if not isinstance(obj, UncertainObject):
-            raise TypeError(f"expected an UncertainObject, got {type(obj).__name__}")
+            raise InvalidArgumentError(f"expected an UncertainObject, got {type(obj).__name__}")
         obj = self._with_catalog(obj, None)
         self._append_with_index(obj)
         self._emit_update(

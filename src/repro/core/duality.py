@@ -22,6 +22,7 @@ sampled expectation over the object) and a fully sampled Monte-Carlo path
 """
 
 from __future__ import annotations
+from repro.core.errors import InvalidArgumentError, InvalidQueryError
 
 import numpy as np
 
@@ -65,7 +66,7 @@ def ipq_probabilities(
     """
     locations = np.asarray(locations, dtype=float)
     if locations.ndim != 2 or locations.shape[1] != 2:
-        raise ValueError(f"locations must have shape (K, 2), got {locations.shape}")
+        raise InvalidQueryError(f"locations must have shape (K, 2), got {locations.shape}")
     dual_bounds = np.empty((locations.shape[0], 4), dtype=float)
     dual_bounds[:, 0] = locations[:, 0] - spec.half_width
     dual_bounds[:, 1] = locations[:, 1] - spec.half_height
@@ -89,7 +90,7 @@ def ipq_probability_monte_carlo(
     closed form (Section 6.2).
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     draws = issuer_pdf.sample(rng, samples)
     dx = np.abs(draws[:, 0] - location.x)
     dy = np.abs(draws[:, 1] - location.y)
@@ -113,7 +114,7 @@ def ipq_probabilities_monte_carlo(
     the same plan produces bitwise-identical probabilities.
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     locations = np.asarray(locations, dtype=float)
     k = locations.shape[0]
     draws = issuer_pdf.sample_batch(rng, samples, k)
@@ -164,7 +165,7 @@ def ipq_probabilities_monte_carlo_per_oid(
     is preserved by construction.
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     locations = np.asarray(locations, dtype=float)
     probabilities = np.empty(locations.shape[0], dtype=float)
     for i, oid in enumerate(oids):
@@ -194,7 +195,7 @@ def iuq_probabilities_monte_carlo_per_oid(
     bitwise-identical to single-shard evaluation.
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     probabilities = np.empty(len(targets), dtype=float)
     for i, target in enumerate(targets):
         rng = per_oid_rng(rng_seed, query_seq, target.oid)
@@ -257,7 +258,7 @@ def iuq_probability_exact_uniform(
     """
     target_pdf = target.pdf
     if not isinstance(target_pdf, UniformPdf):
-        raise TypeError("iuq_probability_exact_uniform requires a uniform target pdf")
+        raise InvalidArgumentError("iuq_probability_exact_uniform requires a uniform target pdf")
     issuer_region = issuer_pdf.region
     target_region = target_pdf.region
 
@@ -274,7 +275,7 @@ def iuq_probability_exact_uniform(
         * issuer_region.height
     )
     if denominator == 0.0:
-        raise ValueError("uniform regions must have positive area")
+        raise InvalidQueryError("uniform regions must have positive area")
     probability = (ix * iy) / denominator
     return min(1.0, max(0.0, probability))
 
@@ -330,7 +331,7 @@ def iuq_probabilities_exact_uniform(
     """
     bounds = np.asarray(bounds, dtype=float)
     if bounds.ndim != 2 or bounds.shape[1] != 4:
-        raise ValueError(f"bounds must have shape (K, 4), got {bounds.shape}")
+        raise InvalidQueryError(f"bounds must have shape (K, 4), got {bounds.shape}")
     issuer_region = issuer_pdf.region
     ix = _overlap_length_integrals(
         bounds[:, 0], bounds[:, 2], issuer_region.x_interval, spec.half_width
@@ -342,7 +343,7 @@ def iuq_probabilities_exact_uniform(
     heights = bounds[:, 3] - bounds[:, 1]
     denominator = widths * heights * issuer_region.width * issuer_region.height
     if np.any(denominator == 0.0):
-        raise ValueError("uniform regions must have positive area")
+        raise InvalidQueryError("uniform regions must have positive area")
     return np.clip((ix * iy) / denominator, 0.0, 1.0)
 
 
@@ -399,7 +400,7 @@ def iuq_probability_monte_carlo(
     paper's Monte-Carlo procedure for non-uniform pdfs (Section 6.2).
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     issuer_draws = issuer_pdf.sample(rng, samples)
     target_draws = target.pdf.sample(rng, samples)
     dx = np.abs(target_draws[:, 0] - issuer_draws[:, 0])
@@ -484,7 +485,7 @@ def iuq_probabilities_monte_carlo(
     over the same plan produces bitwise-identical probabilities.
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     issuer_draws, target_draws = monte_carlo_iuq_draws(
         issuer_pdf, targets, samples, rng, target_bounds=target_bounds
     )

@@ -29,6 +29,7 @@ through ``engine.evaluate(query)`` (single-dispatched on
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError, EngineStateError, InvalidArgumentError
 
 from dataclasses import dataclass, field, fields, replace
 from functools import singledispatchmethod
@@ -130,11 +131,11 @@ class EngineConfig:
 
     def __post_init__(self) -> None:
         if self.monte_carlo_samples < 1:
-            raise ValueError(
+            raise ConfigurationError(
                 f"monte_carlo_samples must be >= 1, got {self.monte_carlo_samples}"
             )
         if self.draw_plan not in _DRAW_PLANS:
-            raise ValueError(
+            raise ConfigurationError(
                 f"draw_plan must be one of {_DRAW_PLANS}, got {self.draw_plan!r}"
             )
         if (
@@ -142,18 +143,18 @@ class EngineConfig:
             or not isinstance(self.rng_seed, (int, np.integer))
             or self.rng_seed < 0
         ):
-            raise ValueError(
+            raise ConfigurationError(
                 f"rng_seed must be a non-negative integer, got {self.rng_seed!r}"
             )
         if self.cache is not None:
             if not isinstance(self.cache, ResultCache):
-                raise ValueError(
+                raise ConfigurationError(
                     f"cache must be a repro.core.cache.ResultCache or None, "
                     f"got {type(self.cache).__name__!r} (capacity must be a "
                     "positive integer — build one with ResultCache(capacity=...))"
                 )
             if self.draw_plan == "stream":
-                raise ValueError(
+                raise ConfigurationError(
                     "cache + draw_plan='stream' would break replay determinism: "
                     "the streaming plan ties Monte-Carlo draws to batch "
                     "composition, so an answer served from the cache would "
@@ -184,7 +185,7 @@ class EngineConfig:
         valid = {f.name for f in fields(self)}
         unknown = sorted(set(kwargs) - valid)
         if unknown:
-            raise ValueError(
+            raise ConfigurationError(
                 f"unknown EngineConfig field(s): {', '.join(unknown)}; "
                 f"valid fields are: {', '.join(sorted(valid))}"
             )
@@ -209,7 +210,7 @@ class ImpreciseQueryEngine:
         config: EngineConfig | None = None,
     ) -> None:
         if point_db is None and uncertain_db is None:
-            raise ValueError("the engine needs at least one database to query")
+            raise ConfigurationError("the engine needs at least one database to query")
         self._point_db = point_db
         self._uncertain_db = uncertain_db
         self._config = config if config is not None else EngineConfig()
@@ -259,7 +260,7 @@ class ImpreciseQueryEngine:
         paper query flavours via its target kind and threshold,
         :class:`NearestNeighborQuery` the nearest-neighbour extension.
         """
-        raise TypeError(
+        raise InvalidArgumentError(
             f"cannot evaluate {type(query).__name__!r}; expected a RangeQuery "
             "or a NearestNeighborQuery (legacy ImpreciseRangeQuery objects are "
             "no longer accepted — adapt them with RangeQuery.from_legacy(query, "
@@ -321,7 +322,7 @@ class ImpreciseQueryEngine:
         batch = [query for _, query in materialised]
         for position, query in enumerate(batch):
             if not isinstance(query, (RangeQuery, NearestNeighborQuery)):
-                raise TypeError(
+                raise InvalidArgumentError(
                     f"evaluate_many_at() only accepts RangeQuery and NearestNeighborQuery "
                     f"objects; item {position} is {type(query).__name__!r}"
                 )
@@ -333,12 +334,12 @@ class ImpreciseQueryEngine:
     # ------------------------------------------------------------------ #
     def _require_point_db(self) -> PointDatabase:
         if self._point_db is None:
-            raise RuntimeError("no point-object database configured")
+            raise EngineStateError("no point-object database configured")
         return self._point_db
 
     def _require_uncertain_db(self) -> UncertainDatabase:
         if self._uncertain_db is None:
-            raise RuntimeError("no uncertain-object database configured")
+            raise EngineStateError("no uncertain-object database configured")
         return self._uncertain_db
 
     def _mutation_db(self, target: str | None) -> PointDatabase | UncertainDatabase:
@@ -355,7 +356,7 @@ class ImpreciseQueryEngine:
             return self._require_point_db().insert(obj)
         if isinstance(obj, UncertainObject):
             return self._require_uncertain_db().insert(obj)
-        raise TypeError(
+        raise InvalidArgumentError(
             f"expected a PointObject or UncertainObject, got {type(obj).__name__}"
         )
 

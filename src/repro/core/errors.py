@@ -1,74 +1,48 @@
 """Typed exception hierarchy shared by the engines and the serving layer.
 
-Historically the repository raised bare ``ValueError``/``TypeError`` wherever a
-request was malformed, which worked for a single-process library but leaves a
-wire protocol with nothing to dispatch on: a server must map *kinds* of
-failure to structured error responses, and a client must rebuild the same
-kind on its side.  Every failure a request can provoke now derives from
-:class:`ReproError` and carries a stable machine-readable :attr:`~ReproError.wire_code`
-used by :mod:`repro.serve.schemas` as the error model's discriminator.
-
-Backwards compatibility: each subclass keeps the builtin its call sites used
-to raise as a *second* base (``InvalidQueryError`` is still a ``ValueError``,
-``BackpressureError`` is a ``RuntimeError``), so existing ``except ValueError``
-handlers and tests keep working unchanged.
+The hierarchy itself lives in :mod:`repro.errors` (the package root) so the
+low-level packages ``repro.core`` imports during its own initialisation —
+geometry, uncertainty, datasets, index — can raise the same types without
+re-entering a half-initialised ``repro.core``.  This module re-exports every
+class under the historical import path; both spellings name the *same*
+objects, so ``except repro.core.errors.SchemaError`` catches what
+``repro.errors.SchemaError`` raises and vice versa.
 """
 
 from __future__ import annotations
 
+from repro.errors import (
+    BackpressureError,
+    ConfigurationError,
+    DatasetError,
+    DistributionError,
+    EngineStateError,
+    GeometryError,
+    InvalidArgumentError,
+    InvalidQueryError,
+    InvalidUpdateError,
+    MissingItemError,
+    ReproError,
+    SchemaError,
+    SchemaVersionError,
+    SpatialIndexError,
+    UnknownObjectError,
+)
 
-class ReproError(Exception):
-    """Base class of every structured error raised by the reproduction.
-
-    ``wire_code`` is the stable identifier shipped inside error envelopes;
-    :func:`repro.serve.schemas.error_from_dict` maps it back to the matching
-    subclass on the client side.
-    """
-
-    wire_code: str = "error"
-
-
-class ConfigurationError(ReproError, ValueError):
-    """A session, engine or server was assembled from contradictory parts."""
-
-    wire_code = "configuration"
-
-
-class InvalidQueryError(ReproError, ValueError):
-    """A query (or query builder) was given out-of-domain parameters."""
-
-    wire_code = "invalid_query"
-
-
-class InvalidUpdateError(ReproError, ValueError):
-    """An update operation was malformed (contradictory or missing fields)."""
-
-    wire_code = "invalid_update"
-
-
-class UnknownObjectError(ReproError, ValueError):
-    """A delete/move named an oid the target database does not hold."""
-
-    wire_code = "unknown_object"
-
-
-class BackpressureError(ReproError, RuntimeError):
-    """The serving front-end's request queue is past its high-water mark.
-
-    Raised *immediately* on submission (the request is never queued), so a
-    client can back off and retry; the dispatch loop is unaffected.
-    """
-
-    wire_code = "backpressure"
-
-
-class SchemaError(ReproError, ValueError):
-    """A wire payload is not a valid instance of the expected schema."""
-
-    wire_code = "schema"
-
-
-class SchemaVersionError(SchemaError):
-    """A wire payload carries a schema version this build cannot decode."""
-
-    wire_code = "schema_version"
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InvalidQueryError",
+    "InvalidUpdateError",
+    "UnknownObjectError",
+    "BackpressureError",
+    "SchemaError",
+    "SchemaVersionError",
+    "GeometryError",
+    "DistributionError",
+    "DatasetError",
+    "SpatialIndexError",
+    "MissingItemError",
+    "InvalidArgumentError",
+    "EngineStateError",
+]

@@ -14,6 +14,7 @@ and any point object outside it has qualification probability below ``p``
 """
 
 from __future__ import annotations
+from repro.core.errors import InvalidQueryError
 
 from repro.geometry.rect import Rect
 from repro.core.queries import RangeQuerySpec
@@ -29,7 +30,7 @@ def minkowski_expanded_query(issuer_region: Rect, spec: RangeQuerySpec) -> Rect:
     half-width on the left/right and half-height on the top/bottom.
     """
     if issuer_region.is_empty:
-        raise ValueError("issuer uncertainty region must be non-empty")
+        raise InvalidQueryError("issuer uncertainty region must be non-empty")
     return issuer_region.expand(spec.half_width, spec.half_height)
 
 
@@ -43,7 +44,7 @@ def p_expanded_query(issuer_pdf: UncertaintyPdf, spec: RangeQuerySpec, p: float)
     (meaning *no* object can reach the threshold).
     """
     if not 0.0 <= p <= 1.0:
-        raise ValueError(f"p must lie in [0, 1], got {p}")
+        raise InvalidQueryError(f"p must lie in [0, 1], got {p}")
     bound = compute_pbound(issuer_pdf, p)
     return Rect(
         bound.left - spec.half_width,
@@ -65,13 +66,13 @@ def p_expanded_query_from_catalog(
     level actually used.
     """
     if not 0.0 <= p <= 1.0:
-        raise ValueError(f"p must lie in [0, 1], got {p}")
+        raise InvalidQueryError(f"p must lie in [0, 1], got {p}")
     level = catalog.largest_level_at_most(p)
     if level is None:
         # Rounding *up* would produce a smaller window and could wrongly prune
         # qualifying objects, so there is no safe answer without the level-0
         # bound; callers must fall back to the Minkowski sum in that case.
-        raise ValueError(
+        raise InvalidQueryError(
             f"no stored catalog level is <= {p}; use the Minkowski sum instead "
             "(or store level 0 in the U-catalog)"
         )

@@ -15,6 +15,7 @@ exceeds the smallest maximum distance of some other object can never win.
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError, InvalidQueryError
 
 from dataclasses import dataclass
 
@@ -44,7 +45,7 @@ def nn_query_draws(
     to a candidate object, so the object id is absent from the seed).
     """
     if samples <= 0:
-        raise ValueError(f"samples must be positive, got {samples}")
+        raise InvalidQueryError(f"samples must be positive, got {samples}")
     rng = np.random.default_rng(np.random.SeedSequence((int(rng_seed), int(query_seq))))
     return issuer_pdf.sample(rng, samples)
 
@@ -69,9 +70,9 @@ class ImpreciseNearestNeighborEngine:
         rng_seed: int = 11,
     ) -> None:
         if not objects:
-            raise ValueError("the nearest-neighbour engine needs at least one object")
+            raise ConfigurationError("the nearest-neighbour engine needs at least one object")
         if samples <= 0:
-            raise ValueError("samples must be positive")
+            raise InvalidQueryError("samples must be positive")
         self._objects = list(objects)
         self._index = index if index is not None else RTree.bulk_load(self._objects)
         self._samples = samples
@@ -94,7 +95,7 @@ class ImpreciseNearestNeighborEngine:
         generator draws ``samples`` positions as before.
         """
         if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {threshold}")
         started = time.perf_counter()
         stats = EvaluationStatistics()
         before = self._index.stats.snapshot()

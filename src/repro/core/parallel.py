@@ -67,6 +67,7 @@ release them and unlink the shared-memory blocks.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import multiprocessing
 import os
@@ -80,6 +81,7 @@ import numpy as np
 
 from repro.core.cache import copy_statistics, fill_allowed
 from repro.core.engine import EngineConfig
+from repro.core.errors import ConfigurationError, EngineStateError, InvalidArgumentError
 from repro.core.expansion import minkowski_expanded_query
 from repro.core.nearest import nn_query_draws
 from repro.core.pipeline import DEFAULT_NN_SAMPLES, QueryPipeline, partition_workload
@@ -380,9 +382,9 @@ def _worker_run(task: _ShardTask) -> _ShardResult:
     """
     config = _WORKER_CONFIG
     if config is None:
-        raise RuntimeError("worker used before its pool initializer ran")
+        raise EngineStateError("worker used before its pool initializer ran")
     if task.config_digest != _config_digest(config):
-        raise RuntimeError(
+        raise EngineStateError(
             "task configuration does not match this worker's configuration"
         )
     pipeline = _worker_attach(task.kind, task.sid, task.block_name)
@@ -462,13 +464,13 @@ class ParallelEngine:
         workers: int | None = None,
     ) -> None:
         if point_db is None and uncertain_db is None:
-            raise ValueError("the engine needs at least one sharded database to query")
+            raise ConfigurationError("the engine needs at least one sharded database to query")
         if point_db is not None and point_db.kind != "points":
-            raise ValueError("point_db must be a ShardedDatabase of kind 'points'")
+            raise ConfigurationError("point_db must be a ShardedDatabase of kind 'points'")
         if uncertain_db is not None and uncertain_db.kind != "uncertain":
-            raise ValueError("uncertain_db must be a ShardedDatabase of kind 'uncertain'")
+            raise ConfigurationError("uncertain_db must be a ShardedDatabase of kind 'uncertain'")
         if workers is not None and workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self._point_db = point_db
         self._uncertain_db = uncertain_db
         config = config if config is not None else EngineConfig()
@@ -726,7 +728,7 @@ class ParallelEngine:
             return self._require("points").insert(obj)
         if isinstance(obj, UncertainObject):
             return self._require("uncertain").insert(obj)
-        raise TypeError(
+        raise InvalidArgumentError(
             f"expected a PointObject or UncertainObject, got {type(obj).__name__}"
         )
 
@@ -768,7 +770,7 @@ class ParallelEngine:
         database = self._point_db if kind == "points" else self._uncertain_db
         if database is None:
             noun = "point-object" if kind == "points" else "uncertain-object"
-            raise RuntimeError(f"no {noun} database configured")
+            raise EngineStateError(f"no {noun} database configured")
         return database
 
     def _route(self, query: Query) -> list[Shard]:
@@ -930,10 +932,11 @@ class ParallelEngine:
             # block each one published before re-raising.
             for block, future in pending:
                 store.release(block)
-                try:
+                # ``future.result()`` re-raises whatever the task died with,
+                # and a sibling that never published has no block to unlink —
+                # either way the drain must keep going.
+                with contextlib.suppress(Exception):
                     read_arrays(future.result().block_name)
-                except Exception:
-                    pass
             raise
         return results
 

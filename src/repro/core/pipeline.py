@@ -39,6 +39,7 @@ position in the workload.
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError, EngineStateError, InvalidArgumentError
 
 import time
 from collections import Counter
@@ -109,7 +110,7 @@ def partition_workload(
     materialised = list(items)
     for position, item in enumerate(materialised):
         if not isinstance(item, (RangeQuery, NearestNeighborQuery, UpdateBatch)):
-            raise TypeError(
+            raise InvalidArgumentError(
                 f"evaluate_many() only accepts RangeQuery, NearestNeighborQuery "
                 f"and UpdateBatch objects; item {position} is {type(item).__name__!r}"
             )
@@ -149,7 +150,7 @@ class QueryPipeline:
         cache=_CONFIG_CACHE,
     ) -> None:
         if point_db is None and uncertain_db is None:
-            raise ValueError("the pipeline needs at least one database to query")
+            raise ConfigurationError("the pipeline needs at least one database to query")
         self._point_db = point_db
         self._uncertain_db = uncertain_db
         self._config = config
@@ -183,12 +184,12 @@ class QueryPipeline:
 
     def _require_point_db(self) -> PointDatabase:
         if self._point_db is None:
-            raise RuntimeError("no point-object database configured")
+            raise EngineStateError("no point-object database configured")
         return self._point_db
 
     def _require_uncertain_db(self) -> UncertainDatabase:
         if self._uncertain_db is None:
-            raise RuntimeError("no uncertain-object database configured")
+            raise EngineStateError("no uncertain-object database configured")
         return self._uncertain_db
 
     def _use_monte_carlo(self, issuer: UncertainObject) -> bool:

@@ -28,6 +28,7 @@ key before deciding whether to execute at all).  The stage runner in
 """
 
 from __future__ import annotations
+from repro.core.errors import InvalidArgumentError
 
 import hashlib
 from dataclasses import dataclass
@@ -239,7 +240,7 @@ class PlanToken:
                 samples=resolved_nn_samples(query),
             )
         if not isinstance(query, RangeQuery):
-            raise TypeError(
+            raise InvalidArgumentError(
                 f"cannot tokenise {type(query).__name__!r}; expected a "
                 "RangeQuery or a NearestNeighborQuery"
             )
@@ -317,7 +318,7 @@ def plan_query(
             cache_key=query_cache_key(query),
         )
     if not isinstance(query, RangeQuery):
-        raise TypeError(
+        raise InvalidArgumentError(
             f"cannot plan {type(query).__name__!r}; expected a RangeQuery "
             "or a NearestNeighborQuery"
         )

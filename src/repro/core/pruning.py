@@ -25,6 +25,7 @@ exact qualification probability.
 """
 
 from __future__ import annotations
+from repro.core.errors import InvalidQueryError
 
 import enum
 from dataclasses import dataclass
@@ -91,7 +92,7 @@ class CIPQPruner:
         use_p_expanded_query: bool = True,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {threshold}")
         self._spec = spec
         self._threshold = threshold
         self._minkowski = minkowski_expanded_query(issuer.region, spec)
@@ -151,7 +152,7 @@ class CIUQPruner:
         use_catalog: bool = True,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {threshold}")
         self._issuer = issuer
         self._spec = spec
         self._threshold = threshold

@@ -13,6 +13,7 @@ are pure functions of the reported probabilities.
 """
 
 from __future__ import annotations
+from repro.core.errors import InvalidQueryError
 
 import math
 
@@ -84,7 +85,7 @@ def f_score(result: QueryResult, reference: QueryResult, *, beta: float = 1.0) -
     trade-off point.
     """
     if beta <= 0:
-        raise ValueError("beta must be positive")
+        raise InvalidQueryError("beta must be positive")
     precision = expected_precision(result)
     recall = expected_recall(result, reference)
     if precision == 0.0 and recall == 0.0:
@@ -109,7 +110,7 @@ def threshold_sweep(
     rows: list[tuple[float, float, float, float]] = []
     for threshold in thresholds:
         if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+            raise InvalidQueryError(f"threshold must lie in [0, 1], got {threshold}")
         filtered = reference.above_threshold(threshold)
         rows.append(
             (

@@ -38,6 +38,7 @@ only that shard's snapshot block is republished for the worker pool.
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError, InvalidUpdateError, MissingItemError
 
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
@@ -134,7 +135,7 @@ class ShardedDatabase(MutationObservable):
 
     def __post_init__(self) -> None:
         if self.hot_threshold is not None and self.hot_threshold < 2:
-            raise ValueError(
+            raise ConfigurationError(
                 f"hot_threshold must be >= 2 (a re-split needs two members), "
                 f"got {self.hot_threshold}"
             )
@@ -147,9 +148,9 @@ class ShardedDatabase(MutationObservable):
         objects: list, k: int, partitioner: PartitionMethod, bounds: Rect | None
     ) -> list[list]:
         if k < 1:
-            raise ValueError(f"shard count must be >= 1, got {k}")
+            raise ConfigurationError(f"shard count must be >= 1, got {k}")
         if not objects:
-            raise ValueError("cannot shard an empty collection")
+            raise ConfigurationError("cannot shard an empty collection")
         if bounds is None and partitioner == "grid":
             bounds = Rect.bounding([extract_mbr(obj) for obj in objects])
         assignments = partition_assignments(
@@ -164,7 +165,7 @@ class ShardedDatabase(MutationObservable):
     def _check_shardable(index_kind: str) -> None:
         backend = get_index_backend(index_kind)
         if not backend.capabilities.supports_shard_build:
-            raise ValueError(
+            raise ConfigurationError(
                 f"index kind {index_kind!r} cannot be built per shard "
                 "(its registry capabilities declare supports_shard_build=False)"
             )
@@ -347,7 +348,7 @@ class ShardedDatabase(MutationObservable):
         """
         shard = self.shards[sid]
         if shard.database is None:
-            raise ValueError(f"shard {sid} is empty and has no pipeline")
+            raise ConfigurationError(f"shard {sid} is empty and has no pipeline")
         key = (sid, id(config))
         cached = self._pipelines.get(key)
         if cached is not None:
@@ -423,7 +424,7 @@ class ShardedDatabase(MutationObservable):
         for point shards (nearest-neighbour queries run over point objects).
         """
         if self.kind != "points":
-            raise ValueError("nearest-neighbour routing requires a point-object database")
+            raise ConfigurationError("nearest-neighbour routing requires a point-object database")
         candidates = self.non_empty_shards()
         if not candidates:
             return []
@@ -479,7 +480,7 @@ class ShardedDatabase(MutationObservable):
         """The shard currently storing the object with the given oid."""
         sid = self._shard_map().get(oid)
         if sid is None:
-            raise KeyError(f"no object with oid {oid} in this sharded database")
+            raise MissingItemError(f"no object with oid {oid} in this sharded database")
         return self.shards[sid]
 
     def _route_insert(self, mbr: Rect) -> Shard:
@@ -569,7 +570,7 @@ class ShardedDatabase(MutationObservable):
         (uncertain objects may gain a U-catalog on the way in).
         """
         if obj.oid in self._shard_map():
-            raise ValueError(
+            raise InvalidUpdateError(
                 f"an object with oid {obj.oid} is already stored; "
                 "delete or move it instead of inserting a duplicate"
             )
@@ -632,10 +633,10 @@ class ShardedDatabase(MutationObservable):
         """
         if self.kind == "points":
             if x is None or y is None or pdf is not None:
-                raise ValueError("moving a point object takes x= and y= (no pdf)")
+                raise InvalidUpdateError("moving a point object takes x= and y= (no pdf)")
         else:
             if pdf is None or x is not None or y is not None:
-                raise ValueError("moving an uncertain object takes pdf= (no x/y)")
+                raise InvalidUpdateError("moving an uncertain object takes pdf= (no x/y)")
         shard = self.owner_of(oid)
         if self.kind == "points":
             new_mbr = Rect.from_point(Point(float(x), float(y)))

@@ -38,6 +38,7 @@ never bulk data.
 """
 
 from __future__ import annotations
+from repro.core.errors import EngineStateError
 
 import copy
 import os
@@ -210,7 +211,7 @@ class SnapshotStore:
         wholesale (re-splits), the epoch on every in-place mutation.
         """
         if self._closed:
-            raise RuntimeError("cannot publish through a closed SnapshotStore")
+            raise EngineStateError("cannot publish through a closed SnapshotStore")
         key = (kind, sid)
         state = (database.uid, database.epoch)
         block = self._current.get(key)
@@ -309,13 +310,15 @@ class SnapshotStore:
 
     @staticmethod
     def _unlink(block: SnapshotBlock) -> None:
+        # Both calls are idempotent-cleanup: a double close or an unlink of
+        # an already-removed name surfaces as an OSError subclass only.
         try:
             block.shm.close()
-        except Exception:
+        except OSError:
             pass
         try:
             block.shm.unlink()
-        except Exception:
+        except (OSError, FileNotFoundError):
             pass
 
     def close(self) -> None:

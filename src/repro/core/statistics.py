@@ -9,6 +9,7 @@ index node accesses) so that experiments can compare methods on both axes.
 """
 
 from __future__ import annotations
+from repro.core.errors import DatasetError
 
 from dataclasses import dataclass, field
 
@@ -183,7 +184,7 @@ class AggregatedStatistics:
 def aggregate_statistics(stats_list: list[EvaluationStatistics]) -> AggregatedStatistics:
     """Average a batch of per-query statistics (as the paper does over 500 runs)."""
     if not stats_list:
-        raise ValueError("cannot aggregate an empty list of statistics")
+        raise DatasetError("cannot aggregate an empty list of statistics")
     n = len(stats_list)
     return AggregatedStatistics(
         queries=n,

@@ -33,7 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Literal
 
-from repro.core.errors import InvalidUpdateError, SchemaError, UnknownObjectError
+from repro.core.errors import (
+    EngineStateError,
+    InvalidUpdateError,
+    SchemaError,
+    UnknownObjectError,
+)
 from repro.core.wire import check_schema, require, tagged
 
 UpdateAction = Literal["insert", "delete", "move"]
@@ -93,7 +98,7 @@ def pick_mutation_database(point_db: Any, uncertain_db: Any, target: str | None)
     database = point_db if target == "points" else uncertain_db
     if database is None:
         noun = "point-object" if target == "points" else "uncertain-object"
-        raise RuntimeError(f"no {noun} database configured")
+        raise EngineStateError(f"no {noun} database configured")
     return database
 
 

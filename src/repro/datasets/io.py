@@ -11,6 +11,7 @@ Lines starting with ``#`` are comments.
 """
 
 from __future__ import annotations
+from repro.errors import DatasetError, InvalidArgumentError
 
 from pathlib import Path
 from typing import Iterable
@@ -40,7 +41,7 @@ def load_point_objects(path: str | Path) -> list[PointObject]:
                 continue
             parts = line.split()
             if len(parts) != 3:
-                raise ValueError(f"{source}:{line_number}: expected 'oid x y', got {line!r}")
+                raise DatasetError(f"{source}:{line_number}: expected 'oid x y', got {line!r}")
             oid, x, y = int(parts[0]), float(parts[1]), float(parts[2])
             objects.append(PointObject.at(oid, x, y))
     return objects
@@ -57,7 +58,7 @@ def save_uncertain_objects(objects: Iterable[UncertainObject], path: str | Path)
         handle.write("# oid xmin ymin xmax ymax\n")
         for obj in objects:
             if not isinstance(obj.pdf, UniformPdf):
-                raise TypeError(
+                raise InvalidArgumentError(
                     f"object {obj.oid}: only uniform pdfs can be saved in this format"
                 )
             region = obj.region
@@ -79,7 +80,7 @@ def load_uncertain_objects(
                 continue
             parts = line.split()
             if len(parts) != 5:
-                raise ValueError(
+                raise DatasetError(
                     f"{source}:{line_number}: expected 'oid xmin ymin xmax ymax', got {line!r}"
                 )
             oid = int(parts[0])

@@ -20,6 +20,7 @@ original collection exactly.
 """
 
 from __future__ import annotations
+from repro.errors import DatasetError
 
 from typing import Literal, Sequence
 
@@ -62,9 +63,9 @@ def grid_assignments(centers: np.ndarray, k: int, bounds: Rect) -> np.ndarray:
     clamp into the nearest edge cell, so every object receives a shard.
     """
     if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+        raise DatasetError(f"k must be >= 1, got {k}")
     if bounds.is_empty:
-        raise ValueError("grid partitioning needs a non-empty bounding rectangle")
+        raise DatasetError("grid partitioning needs a non-empty bounding rectangle")
     rows, cols = _grid_shape(k)
     width = bounds.width or 1.0
     height = bounds.height or 1.0
@@ -83,7 +84,7 @@ def median_assignments(centers: np.ndarray, k: int) -> np.ndarray:
     left-to-right.
     """
     if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
+        raise DatasetError(f"k must be >= 1, got {k}")
     assignments = np.zeros(centers.shape[0], dtype=np.int64)
 
     def split(indices: np.ndarray, parts: int, first_sid: int) -> None:
@@ -117,12 +118,12 @@ def partition_assignments(
     computed from the centres themselves.
     """
     if method not in PARTITION_METHODS:
-        raise ValueError(
+        raise DatasetError(
             f"unknown partition method {method!r}; expected one of {PARTITION_METHODS}"
         )
     centers = np.asarray(centers, dtype=float)
     if centers.ndim != 2 or centers.shape[1] != 2:
-        raise ValueError(f"centers must have shape (N, 2), got {centers.shape}")
+        raise DatasetError(f"centers must have shape (N, 2), got {centers.shape}")
     if centers.shape[0] == 0:
         return np.empty(0, dtype=np.int64)
     if method == "median":

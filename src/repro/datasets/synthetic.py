@@ -12,6 +12,7 @@ All generators are deterministic given a seed.
 """
 
 from __future__ import annotations
+from repro.errors import DatasetError
 
 import numpy as np
 
@@ -63,7 +64,7 @@ def _clustered_coordinates(
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
     if not 0.0 <= background_fraction <= 1.0:
-        raise ValueError("background_fraction must lie in [0, 1]")
+        raise DatasetError("background_fraction must lie in [0, 1]")
     centers = _corridor_cluster_centers(n_clusters, bounds, rng)
     n_background = int(round(n * background_fraction))
     n_clustered = n - n_background
@@ -83,7 +84,7 @@ def _clustered_coordinates(
 def uniform_points(n: int, bounds: Rect, *, seed: int = 0) -> list[PointObject]:
     """``n`` point objects scattered uniformly over ``bounds``."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise DatasetError("n must be non-negative")
     rng = np.random.default_rng(seed)
     xs = rng.uniform(bounds.xmin, bounds.xmax, size=n)
     ys = rng.uniform(bounds.ymin, bounds.ymax, size=n)
@@ -101,7 +102,7 @@ def clustered_points(
 ) -> list[PointObject]:
     """``n`` point objects with a road-corridor cluster skew over ``bounds``."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise DatasetError("n must be non-negative")
     rng = np.random.default_rng(seed)
     if cluster_sigma is None:
         cluster_sigma = min(bounds.width, bounds.height) / 40.0
@@ -125,7 +126,7 @@ def _rectangles_from_centers(
 ) -> list[Rect]:
     lo, hi = size_range
     if lo <= 0 or hi < lo:
-        raise ValueError("size_range must be (lo, hi) with 0 < lo <= hi")
+        raise DatasetError("size_range must be (lo, hi) with 0 < lo <= hi")
     half_ws = rng.uniform(lo, hi, size=len(xs)) / 2.0
     half_hs = rng.uniform(lo, hi, size=len(xs)) / 2.0
     rects = []
@@ -149,7 +150,7 @@ def uniform_rectangles(
 ) -> list[UncertainObject]:
     """``n`` uncertain objects with uniform pdfs over uniformly placed rectangles."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise DatasetError("n must be non-negative")
     rng = np.random.default_rng(seed)
     xs = rng.uniform(bounds.xmin, bounds.xmax, size=n)
     ys = rng.uniform(bounds.ymin, bounds.ymax, size=n)
@@ -171,7 +172,7 @@ def clustered_rectangles(
 ) -> list[UncertainObject]:
     """``n`` uncertain objects (uniform pdfs) with a clustered placement skew."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise DatasetError("n must be non-negative")
     rng = np.random.default_rng(seed)
     if cluster_sigma is None:
         cluster_sigma = min(bounds.width, bounds.height) / 40.0

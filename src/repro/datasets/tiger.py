@@ -14,6 +14,7 @@ samples while the full-size datasets remain available.
 """
 
 from __future__ import annotations
+from repro.errors import DatasetError
 
 from repro.geometry.rect import Rect
 from repro.datasets.synthetic import clustered_points, clustered_rectangles
@@ -41,7 +42,7 @@ def california_points(
     distribution is unaffected.
     """
     if scale <= 0:
-        raise ValueError("scale must be positive")
+        raise DatasetError("scale must be positive")
     n = max(1, int(round(CALIFORNIA_SIZE * scale)))
     return clustered_points(
         n,
@@ -62,7 +63,7 @@ def long_beach_uncertain_objects(
     matches the "small MBR" character of the original street-segment data.
     """
     if scale <= 0:
-        raise ValueError("scale must be positive")
+        raise DatasetError("scale must be positive")
     n = max(1, int(round(LONG_BEACH_SIZE * scale)))
     return clustered_rectangles(
         n,

@@ -8,6 +8,7 @@ procedure and is deterministic for a given seed.
 """
 
 from __future__ import annotations
+from repro.errors import DatasetError
 
 from dataclasses import dataclass
 from typing import Iterator, Literal, Sequence
@@ -45,13 +46,13 @@ class QueryWorkload:
 
     def __post_init__(self) -> None:
         if self.issuer_half_size <= 0:
-            raise ValueError("issuer_half_size must be positive")
+            raise DatasetError("issuer_half_size must be positive")
         if self.range_half_size < 0:
-            raise ValueError("range_half_size must be non-negative")
+            raise DatasetError("range_half_size must be non-negative")
         if not 0.0 <= self.threshold <= 1.0:
-            raise ValueError("threshold must lie in [0, 1]")
+            raise DatasetError("threshold must lie in [0, 1]")
         if self.issuer_pdf not in ("uniform", "gaussian"):
-            raise ValueError(f"unknown issuer pdf kind: {self.issuer_pdf!r}")
+            raise DatasetError(f"unknown issuer pdf kind: {self.issuer_pdf!r}")
 
     @property
     def spec(self) -> RangeQuerySpec:
@@ -78,7 +79,7 @@ class QueryWorkload:
     def issuers(self, count: int) -> Iterator[UncertainObject]:
         """Yield ``count`` issuers with centres uniform over the data space."""
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise DatasetError("count must be positive")
         rng = np.random.default_rng(self.seed)
         # Keep the whole uncertainty region inside the data space so that
         # issuer pdfs never have to be clipped.
@@ -124,11 +125,11 @@ class UpdateWorkload:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.move_fraction <= 1.0:
-            raise ValueError("move_fraction must lie in [0, 1]")
+            raise DatasetError("move_fraction must lie in [0, 1]")
         if not 0.0 <= self.insert_fraction <= 1.0:
-            raise ValueError("insert_fraction must lie in [0, 1]")
+            raise DatasetError("insert_fraction must lie in [0, 1]")
         if self.move_fraction + self.insert_fraction > 1.0:
-            raise ValueError("move_fraction + insert_fraction must not exceed 1")
+            raise DatasetError("move_fraction + insert_fraction must not exceed 1")
 
     def point_updates(self, initial_oids: Sequence[int], count: int):
         """An :class:`UpdateBatch` of ``count`` mutations over point objects.
@@ -140,10 +141,10 @@ class UpdateWorkload:
         from repro.uncertainty.region import PointObject
 
         if count <= 0:
-            raise ValueError("count must be positive")
+            raise DatasetError("count must be positive")
         live = list(initial_oids)
         if not live:
-            raise ValueError("the update stream needs at least one live oid")
+            raise DatasetError("the update stream needs at least one live oid")
         rng = np.random.default_rng(self.seed)
         next_oid = max(live) + 1
         batch = UpdateBatch()

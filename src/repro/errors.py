@@ -1,0 +1,162 @@
+"""Typed exception hierarchy shared by every layer of the reproduction.
+
+Historically the repository raised bare ``ValueError``/``TypeError``/
+``KeyError`` wherever a request was malformed, which worked for a
+single-process library but leaves a wire protocol with nothing to dispatch
+on: a server must map *kinds* of failure to structured error responses, and
+a client must rebuild the same kind on its side.  Every failure the
+reproduction can provoke now derives from :class:`ReproError` and carries a
+stable machine-readable :attr:`~ReproError.wire_code` used by
+:mod:`repro.serve.schemas` as the error model's discriminator.
+
+Backwards compatibility: each subclass keeps the builtin its call sites used
+to raise as a *second* base (``InvalidQueryError`` is still a ``ValueError``,
+``BackpressureError`` a ``RuntimeError``, ``MissingItemError`` a
+``KeyError``), so existing ``except ValueError`` handlers and tests keep
+working unchanged.
+
+This module lives at the package root (not under :mod:`repro.core`) because
+the low-level packages — :mod:`repro.geometry`, :mod:`repro.uncertainty`,
+:mod:`repro.datasets`, :mod:`repro.index` — raise these types too, and they
+are imported *by* ``repro.core`` during its package initialisation; an
+import of ``repro.core.errors`` from inside them would re-enter the
+half-initialised ``repro.core`` package.  :mod:`repro.core.errors` re-exports
+everything here, so the historical import path keeps working.  The module
+itself imports nothing, so it is always safe to import from anywhere.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by the reproduction.
+
+    ``wire_code`` is the stable identifier shipped inside error envelopes;
+    :func:`repro.serve.schemas.error_from_dict` maps it back to the matching
+    subclass on the client side.
+    """
+
+    wire_code: str = "error"
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A session, engine or server was assembled from contradictory parts."""
+
+    wire_code = "configuration"
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query (or query builder) was given out-of-domain parameters."""
+
+    wire_code = "invalid_query"
+
+
+class InvalidUpdateError(ReproError, ValueError):
+    """An update operation was malformed (contradictory or missing fields)."""
+
+    wire_code = "invalid_update"
+
+
+class UnknownObjectError(ReproError, ValueError):
+    """A delete/move named an oid the target database does not hold."""
+
+    wire_code = "unknown_object"
+
+
+class BackpressureError(ReproError, RuntimeError):
+    """The serving front-end's request queue is past its high-water mark.
+
+    Raised *immediately* on submission (the request is never queued), so a
+    client can back off and retry; the dispatch loop is unaffected.
+    """
+
+    wire_code = "backpressure"
+
+
+class SchemaError(ReproError, ValueError):
+    """A wire payload is not a valid instance of the expected schema."""
+
+    wire_code = "schema"
+
+
+class SchemaVersionError(SchemaError):
+    """A wire payload carries a schema version this build cannot decode."""
+
+    wire_code = "schema_version"
+
+
+class GeometryError(ReproError, ValueError):
+    """A geometric primitive was given out-of-domain parameters.
+
+    Negative half-extents, operations on empty rectangles/intervals,
+    negative radii — anything :mod:`repro.geometry` rejects.
+    """
+
+    wire_code = "geometry"
+
+
+class DistributionError(ReproError, ValueError):
+    """An uncertainty pdf, U-catalog or sampler was given invalid parameters."""
+
+    wire_code = "distribution"
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset, workload or data payload is malformed or inconsistent."""
+
+    wire_code = "dataset"
+
+
+class SpatialIndexError(ReproError, ValueError):
+    """A spatial index was built or probed with invalid parameters."""
+
+    wire_code = "index"
+
+
+class MissingItemError(ReproError, KeyError):
+    """A keyed lookup (oid, catalog level, stored item) found nothing.
+
+    Keeps ``KeyError`` as a base so historical ``except KeyError`` handlers
+    survive; ``__str__`` is restored to the plain-message form because
+    ``KeyError`` would otherwise ``repr()`` the message into quotes.
+    """
+
+    wire_code = "missing_item"
+
+    __str__ = BaseException.__str__
+
+
+class InvalidArgumentError(ReproError, TypeError):
+    """An argument has the wrong type or an unsupported shape."""
+
+    wire_code = "invalid_argument"
+
+
+class EngineStateError(ReproError, RuntimeError):
+    """An operation is invalid in the object's current state.
+
+    Publishing through a closed snapshot store, bulk-loading a non-empty
+    tree, mutating through an engine with no matching database — the
+    request could be valid, the receiver cannot honour it right now.
+    """
+
+    wire_code = "engine_state"
+
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InvalidQueryError",
+    "InvalidUpdateError",
+    "UnknownObjectError",
+    "BackpressureError",
+    "SchemaError",
+    "SchemaVersionError",
+    "GeometryError",
+    "DistributionError",
+    "DatasetError",
+    "SpatialIndexError",
+    "MissingItemError",
+    "InvalidArgumentError",
+    "EngineStateError",
+]

@@ -8,6 +8,7 @@ small enough that the whole figure suite runs in minutes on a laptop.  Use
 """
 
 from __future__ import annotations
+from repro.core.errors import ConfigurationError
 
 from dataclasses import dataclass, field, replace
 from typing import Sequence
@@ -96,17 +97,17 @@ class ExperimentConfig:
 
     def __post_init__(self) -> None:
         if self.dataset_scale <= 0:
-            raise ValueError("dataset_scale must be positive")
+            raise ConfigurationError("dataset_scale must be positive")
         if self.queries_per_point <= 0:
-            raise ValueError("queries_per_point must be positive")
+            raise ConfigurationError("queries_per_point must be positive")
         if self.shards < 0:
-            raise ValueError("shards must be >= 0 (0 disables sharding)")
+            raise ConfigurationError("shards must be >= 0 (0 disables sharding)")
         if self.shard_workers < 1:
-            raise ValueError("shard_workers must be >= 1")
+            raise ConfigurationError("shard_workers must be >= 1")
         if self.shard_hot_threshold < 0:
-            raise ValueError("shard_hot_threshold must be >= 0 (0 disables re-splits)")
+            raise ConfigurationError("shard_hot_threshold must be >= 0 (0 disables re-splits)")
         if self.cache_capacity < 0:
-            raise ValueError("cache_capacity must be >= 0 (0 disables result caching)")
+            raise ConfigurationError("cache_capacity must be >= 0 (0 disables result caching)")
 
     @staticmethod
     def quick() -> "ExperimentConfig":

@@ -1,6 +1,7 @@
 """Generic machinery for running query batches and collecting figure data."""
 
 from __future__ import annotations
+from repro.core.errors import DatasetError, MissingItemError
 
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
@@ -152,7 +153,7 @@ class FigureResult:
         for point in self.series.get(series_name, []):
             if point.x == x:
                 return point
-        raise KeyError(f"series {series_name!r} has no point at x={x}")
+        raise MissingItemError(f"series {series_name!r} has no point at x={x}")
 
     def response_times(self, series_name: str) -> list[float]:
         """Response times (ms) of one series, ordered by x."""
@@ -176,7 +177,7 @@ class FigureResult:
             if bottom > 0:
                 ratios.append(top / bottom)
         if not ratios:
-            raise ValueError("the two series share no x values")
+            raise DatasetError("the two series share no x values")
         return sum(ratios) / len(ratios)
 
 

@@ -8,6 +8,7 @@ conservative rectangular bounds.
 """
 
 from __future__ import annotations
+from repro.errors import GeometryError
 
 import math
 from dataclasses import dataclass
@@ -25,7 +26,7 @@ class Circle:
 
     def __post_init__(self) -> None:
         if self.radius < 0:
-            raise ValueError(f"radius must be non-negative, got {self.radius}")
+            raise GeometryError(f"radius must be non-negative, got {self.radius}")
 
     @property
     def area(self) -> float:

@@ -6,6 +6,7 @@ smallest building block of the geometry substrate.
 """
 
 from __future__ import annotations
+from repro.errors import GeometryError
 
 from dataclasses import dataclass
 
@@ -34,7 +35,7 @@ class Interval:
     def from_center(center: float, half_extent: float) -> "Interval":
         """Build the interval ``[center - half_extent, center + half_extent]``."""
         if half_extent < 0:
-            raise ValueError(f"half_extent must be non-negative, got {half_extent}")
+            raise GeometryError(f"half_extent must be non-negative, got {half_extent}")
         return Interval(center - half_extent, center + half_extent)
 
     # ------------------------------------------------------------------ #
@@ -122,13 +123,13 @@ class Interval:
     def clamp(self, value: float) -> float:
         """Project ``value`` onto the interval."""
         if self.is_empty:
-            raise ValueError("cannot clamp onto an empty interval")
+            raise GeometryError("cannot clamp onto an empty interval")
         return min(max(value, self.low), self.high)
 
     def distance_to(self, value: float) -> float:
         """Distance from ``value`` to the closest point of the interval."""
         if self.is_empty:
-            raise ValueError("distance to an empty interval is undefined")
+            raise GeometryError("distance to an empty interval is undefined")
         if value < self.low:
             return self.low - value
         if value > self.high:

@@ -12,6 +12,7 @@ polygon sum is provided for the non-rectangular extension.
 """
 
 from __future__ import annotations
+from repro.errors import GeometryError
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -34,7 +35,7 @@ def expand_query_region(uncertainty_region: Rect, half_width: float, half_height
     right and ``h`` on the top and bottom.
     """
     if half_width < 0 or half_height < 0:
-        raise ValueError("query half-extents must be non-negative")
+        raise GeometryError("query half-extents must be non-negative")
     return uncertainty_region.expand(half_width, half_height)
 
 

@@ -7,6 +7,7 @@ product of two :class:`~repro.geometry.interval.Interval` objects.
 """
 
 from __future__ import annotations
+from repro.errors import GeometryError
 
 from dataclasses import dataclass
 from typing import Iterator
@@ -52,7 +53,7 @@ class Rect:
         and half-height ``h`` centred at the query issuer's position.
         """
         if half_width < 0 or half_height < 0:
-            raise ValueError("half extents must be non-negative")
+            raise GeometryError("half extents must be non-negative")
         return Rect(
             center.x - half_width,
             center.y - half_height,
@@ -246,7 +247,7 @@ class Rect:
     def min_distance_to_point(self, point: Point) -> float:
         """Euclidean distance from ``point`` to the closest point of the rectangle."""
         if self.is_empty:
-            raise ValueError("distance to an empty rectangle is undefined")
+            raise GeometryError("distance to an empty rectangle is undefined")
         dx = self.x_interval.distance_to(point.x)
         dy = self.y_interval.distance_to(point.y)
         return (dx * dx + dy * dy) ** 0.5
@@ -254,7 +255,7 @@ class Rect:
     def min_distance_to_rect(self, other: "Rect") -> float:
         """Minimum Euclidean distance between two rectangles (0 when overlapping)."""
         if self.is_empty or other.is_empty:
-            raise ValueError("distance to an empty rectangle is undefined")
+            raise GeometryError("distance to an empty rectangle is undefined")
         dx = 0.0
         if other.xmax < self.xmin:
             dx = self.xmin - other.xmax
@@ -270,7 +271,7 @@ class Rect:
     def max_distance_to_point(self, point: Point) -> float:
         """Euclidean distance from ``point`` to the farthest point of the rectangle."""
         if self.is_empty:
-            raise ValueError("distance to an empty rectangle is undefined")
+            raise GeometryError("distance to an empty rectangle is undefined")
         dx = max(abs(point.x - self.xmin), abs(point.x - self.xmax))
         dy = max(abs(point.y - self.ymin), abs(point.y - self.ymax))
         return (dx * dx + dy * dy) ** 0.5

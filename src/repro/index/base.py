@@ -1,6 +1,7 @@
 """Common interface implemented by every spatial index in the package."""
 
 from __future__ import annotations
+from repro.errors import InvalidArgumentError
 
 from typing import Any, Iterable, Protocol, runtime_checkable
 
@@ -82,7 +83,7 @@ def extract_mbr(item: Any) -> Rect:
         return mbr
     if isinstance(item, tuple) and len(item) == 4:
         return Rect(*item)
-    raise TypeError(f"cannot derive an MBR from {item!r}")
+    raise InvalidArgumentError(f"cannot derive an MBR from {item!r}")
 
 
 def bulk_pairs(items: Iterable[Any]) -> list[tuple[Rect, Any]]:

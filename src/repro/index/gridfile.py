@@ -10,6 +10,7 @@ apples-to-apples.
 """
 
 from __future__ import annotations
+from repro.errors import MissingItemError, SpatialIndexError
 
 import math
 from typing import Any, Iterable
@@ -31,9 +32,9 @@ class GridFile:
 
     def __init__(self, bounds: Rect, cells_per_axis: int = 64) -> None:
         if bounds.is_empty or bounds.area == 0.0:
-            raise ValueError("grid bounds must have positive area")
+            raise SpatialIndexError("grid bounds must have positive area")
         if cells_per_axis <= 0:
-            raise ValueError("cells_per_axis must be positive")
+            raise SpatialIndexError("cells_per_axis must be positive")
         self._n = cells_per_axis
         self._stats = IOStatistics()
         #: Master copy of every stored ``(mbr, item)`` pair, in insertion
@@ -102,7 +103,7 @@ class GridFile:
         reachable by any query window that overlaps it.
         """
         if mbr.is_empty:
-            raise ValueError("cannot index an empty rectangle")
+            raise SpatialIndexError("cannot index an empty rectangle")
         if not self._bounds.contains_rect(mbr):
             self._entries.append((mbr, item))
             self._set_bounds(self._bounds.union_bounds(mbr))
@@ -117,7 +118,7 @@ class GridFile:
                 del self._entries[position]
                 break
         else:
-            raise KeyError(f"item with MBR {mbr.as_tuple()} is not stored in this grid")
+            raise MissingItemError(f"item with MBR {mbr.as_tuple()} is not stored in this grid")
         ix_lo, ix_hi, iy_lo, iy_hi = self._cell_range(mbr)
         for iy in range(iy_lo, iy_hi + 1):
             for ix in range(ix_lo, ix_hi + 1):
@@ -141,7 +142,7 @@ class GridFile:
         """Build a grid file over items exposing an ``mbr`` attribute."""
         materialised = list(items)
         if not materialised:
-            raise ValueError("cannot index an empty collection")
+            raise SpatialIndexError("cannot index an empty collection")
         grid = cls(bounds, cells_per_axis=cells_per_axis)
         for item in materialised:
             grid.insert(extract_mbr(item), item)

@@ -7,6 +7,7 @@ modelled as sequential page reads of ``page_size / entry_size`` entries each.
 """
 
 from __future__ import annotations
+from repro.errors import MissingItemError, SpatialIndexError
 
 import math
 from typing import Any, Iterable
@@ -41,7 +42,7 @@ class LinearScanIndex:
     def insert(self, mbr: Rect, item: Any) -> None:
         """Append one item to the scan list."""
         if mbr.is_empty:
-            raise ValueError("cannot index an empty rectangle")
+            raise SpatialIndexError("cannot index an empty rectangle")
         self._entries.append((mbr, item))
 
     def delete(self, mbr: Rect, item: Any) -> None:
@@ -50,7 +51,7 @@ class LinearScanIndex:
             if stored_mbr == mbr and items_match(stored, item):
                 del self._entries[position]
                 return
-        raise KeyError(f"item with MBR {mbr.as_tuple()} is not stored in this index")
+        raise MissingItemError(f"item with MBR {mbr.as_tuple()} is not stored in this index")
 
     def update(
         self, old_mbr: Rect, new_mbr: Rect, item: Any, *, replacement: Any = None
@@ -64,7 +65,7 @@ class LinearScanIndex:
         """Build a scan list from items exposing an ``mbr`` attribute."""
         materialised = list(items)
         if not materialised:
-            raise ValueError("cannot index an empty collection")
+            raise SpatialIndexError("cannot index an empty collection")
         index = cls(**kwargs)
         for item in materialised:
             index.insert(extract_mbr(item), item)

@@ -13,6 +13,7 @@ the query region, so by Lemma 4 its qualification probability cannot exceed
 """
 
 from __future__ import annotations
+from repro.errors import InvalidArgumentError, SpatialIndexError
 
 from typing import Iterable
 
@@ -39,11 +40,11 @@ class ProbabilityThresholdIndex(RTree):
     # ------------------------------------------------------------------ #
     def _require_catalog(self, item: UncertainObject) -> None:
         if not isinstance(item, UncertainObject):
-            raise TypeError(
+            raise InvalidArgumentError(
                 f"PTI stores UncertainObject instances, got {type(item).__name__}"
             )
         if item.catalog is None:
-            raise ValueError(
+            raise SpatialIndexError(
                 f"object {item.oid} has no U-catalog; build it with "
                 "UncertainObject.with_catalog() before indexing"
             )
@@ -51,7 +52,7 @@ class ProbabilityThresholdIndex(RTree):
         if self._levels is None:
             self._levels = levels
         elif levels != self._levels:
-            raise ValueError(
+            raise SpatialIndexError(
                 "all objects in a PTI must share the same catalog levels; "
                 f"expected {self._levels}, got {levels}"
             )
@@ -80,7 +81,7 @@ class ProbabilityThresholdIndex(RTree):
         """Build a packed PTI from uncertain objects carrying U-catalogs."""
         materialised = list(items)
         if not materialised:
-            raise ValueError("cannot index an empty collection")
+            raise SpatialIndexError("cannot index an empty collection")
         tree = cls(
             max_entries=kwargs.pop("max_entries", None),
             min_entries=kwargs.pop("min_entries", None),
@@ -152,7 +153,7 @@ class ProbabilityThresholdIndex(RTree):
         a plain R-tree window query.
         """
         if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must lie in [0, 1], got {threshold}")
+            raise SpatialIndexError(f"threshold must lie in [0, 1], got {threshold}")
         level = self.pruning_level_for(threshold)
         if level is None and p_expanded_query is None:
             return self.range_search(expanded_query)

@@ -20,6 +20,7 @@ when :mod:`repro.index` is imported.
 """
 
 from __future__ import annotations
+from repro.errors import SpatialIndexError
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -91,9 +92,9 @@ def register_index(
     raises unless ``replace=True``.
     """
     if not name or not isinstance(name, str):
-        raise ValueError(f"index backend name must be a non-empty string, got {name!r}")
+        raise SpatialIndexError(f"index backend name must be a non-empty string, got {name!r}")
     if name in _REGISTRY and not replace:
-        raise ValueError(
+        raise SpatialIndexError(
             f"index backend {name!r} is already registered; pass replace=True to override"
         )
     backend = IndexBackend(
@@ -121,7 +122,7 @@ def get_index_backend(name: str) -> IndexBackend:
         return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY)) or "<none>"
-        raise ValueError(
+        raise SpatialIndexError(
             f"unknown index kind: {name!r} (registered backends: {known})"
         ) from None
 
@@ -142,7 +143,7 @@ def build_index(
     backend = get_index_backend(kind)
     materialised = items if isinstance(items, Sequence) else list(items)
     if not materialised:
-        raise ValueError("cannot index an empty collection")
+        raise SpatialIndexError("cannot index an empty collection")
     if backend.capabilities.requires_bounds:
         if bounds is None:
             bounds = Rect.bounding([extract_mbr(item) for item in materialised])

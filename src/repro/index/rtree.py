@@ -16,6 +16,7 @@ Two construction paths are offered:
 """
 
 from __future__ import annotations
+from repro.errors import EngineStateError, MissingItemError, SpatialIndexError
 
 import heapq
 import math
@@ -90,16 +91,16 @@ class RTree:
         if max_entries is None:
             max_entries = max(4, page_size // entry_size)
         if max_entries < 2:
-            raise ValueError("max_entries must be at least 2")
+            raise SpatialIndexError("max_entries must be at least 2")
         if min_entries is None:
             min_entries = max(2, (max_entries * 2) // 5)
         if not 1 <= min_entries <= max_entries // 2:
-            raise ValueError(
+            raise SpatialIndexError(
                 f"min_entries must lie in [1, max_entries // 2]; "
                 f"got min={min_entries}, max={max_entries}"
             )
         if split_algorithm not in ("quadratic", "linear"):
-            raise ValueError(
+            raise SpatialIndexError(
                 f"split_algorithm must be 'quadratic' or 'linear', got {split_algorithm!r}"
             )
         self._max_entries = max_entries
@@ -181,7 +182,7 @@ class RTree:
     def insert(self, mbr: Rect, item: Any) -> None:
         """Insert ``item`` with bounding rectangle ``mbr``."""
         if mbr.is_empty:
-            raise ValueError("cannot index an empty rectangle")
+            raise SpatialIndexError("cannot index an empty rectangle")
         entry = _Entry(mbr=mbr, item=item)
         self._insert_entry(entry, target_leaf=True)
         self._size += 1
@@ -248,7 +249,7 @@ class RTree:
             if entry.child is child:
                 entry.mbr = child.mbr()
                 return
-        raise RuntimeError("child node not found in parent during adjustment")
+        raise EngineStateError("child node not found in parent during adjustment")
 
     def _grow_root(self, old_root: _Node, sibling: _Node) -> None:
         new_root = _Node(is_leaf=False)
@@ -391,10 +392,10 @@ class RTree:
         matches ``(mbr, item)``.
         """
         if mbr.is_empty:
-            raise KeyError("cannot locate an item under an empty rectangle")
+            raise MissingItemError("cannot locate an item under an empty rectangle")
         found = self._find_leaf(self._root, [], mbr, item)
         if found is None:
-            raise KeyError(f"item with MBR {mbr.as_tuple()} is not stored in this tree")
+            raise MissingItemError(f"item with MBR {mbr.as_tuple()} is not stored in this tree")
         path, entry_index = found
         leaf = path[-1]
         del leaf.entries[entry_index]
@@ -492,7 +493,7 @@ class RTree:
         """Build a packed R-tree from items exposing an ``mbr`` attribute."""
         pairs = bulk_pairs(items)
         if not pairs:
-            raise ValueError("cannot index an empty collection")
+            raise SpatialIndexError("cannot index an empty collection")
         tree = cls(
             max_entries=max_entries,
             min_entries=min_entries,
@@ -504,7 +505,7 @@ class RTree:
 
     def _bulk_load_pairs(self, pairs: list[tuple[Rect, Any]]) -> None:
         if self._size:
-            raise RuntimeError("bulk loading requires an empty tree")
+            raise EngineStateError("bulk loading requires an empty tree")
         if not pairs:
             return
         leaf_entries = [_Entry(mbr=mbr, item=item) for mbr, item in pairs]
@@ -604,7 +605,7 @@ class RTree:
         the range-query experiments of the paper.
         """
         if k <= 0:
-            raise ValueError(f"k must be positive, got {k}")
+            raise SpatialIndexError(f"k must be positive, got {k}")
         if self._size == 0:
             return []
         counter = 0

@@ -16,16 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping
 
-from repro.core.errors import (
-    BackpressureError,
-    ConfigurationError,
-    InvalidQueryError,
-    InvalidUpdateError,
-    ReproError,
-    SchemaError,
-    SchemaVersionError,
-    UnknownObjectError,
-)
+from repro.core.errors import ReproError, SchemaError
 from repro.core.wire import check_schema, require, tagged
 
 #: Schema name of the serving protocol's request/response envelopes.
@@ -34,20 +25,27 @@ SERVE_SCHEMA = "repro.serve"
 #: Operations a request may name.
 SERVE_OPS = ("query", "update", "stats")
 
+
+def _error_classes() -> dict[str, type[ReproError]]:
+    """``wire_code`` → exception class, derived from the live hierarchy.
+
+    Walking ``__subclasses__`` instead of hardcoding a list means a class
+    added to :mod:`repro.errors` round-trips over the wire without anyone
+    remembering to extend this table.  Later definitions win on a duplicate
+    code, but duplicates are a bug — the lint tool's wire-completeness rule
+    cross-checks this table against the hierarchy at import time.
+    """
+    table: dict[str, type[ReproError]] = {ReproError.wire_code: ReproError}
+    stack = list(ReproError.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        table[cls.wire_code] = cls
+        stack.extend(cls.__subclasses__())
+    return table
+
+
 #: ``wire_code`` → exception class, the error model's decode table.
-_ERROR_CLASSES: dict[str, type[ReproError]] = {
-    cls.wire_code: cls
-    for cls in (
-        ReproError,
-        ConfigurationError,
-        InvalidQueryError,
-        InvalidUpdateError,
-        UnknownObjectError,
-        BackpressureError,
-        SchemaError,
-        SchemaVersionError,
-    )
-}
+_ERROR_CLASSES: dict[str, type[ReproError]] = _error_classes()
 
 
 # --------------------------------------------------------------------------- #

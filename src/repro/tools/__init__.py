@@ -1,0 +1,1 @@
+"""Developer tooling shipped with the reproduction (not part of the library API)."""

@@ -1,0 +1,29 @@
+"""``repro.tools.lint`` — AST-based invariant analyzer for this codebase.
+
+Run as ``python -m repro.tools.lint [paths]``.  Every rule guards an
+invariant a past PR shipped a real bug against; see
+:mod:`repro.tools.lint.rules` for the catalogue and the README's
+"Static analysis & development checks" section for the prose version.
+"""
+
+from repro.tools.lint.engine import (
+    Diagnostic,
+    Module,
+    Rule,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    run_cross_checks,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Module",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "run_cross_checks",
+]

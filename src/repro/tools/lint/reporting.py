@@ -1,0 +1,35 @@
+"""Diagnostic rendering for the lint CLI: text for humans, JSON for CI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.tools.lint.engine import Diagnostic, Rule
+
+
+def format_text(diagnostics: list[Diagnostic]) -> str:
+    """One ``path:line: ID [severity] message`` line per diagnostic."""
+    lines = [
+        f"{d.path}:{d.line}: {d.rule} [{d.severity}] {d.message}"
+        for d in diagnostics
+    ]
+    if diagnostics:
+        lines.append(f"{len(diagnostics)} diagnostic(s)")
+    return "\n".join(lines)
+
+
+def format_json(diagnostics: list[Diagnostic]) -> str:
+    payload = {
+        "count": len(diagnostics),
+        "diagnostics": [d.to_dict() for d in diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_rule_listing(rules: list[Rule]) -> str:
+    """The ``--list-rules`` table."""
+    lines = [
+        f"{rule.rule_id}  [{rule.severity:7s}]  {rule.description}"
+        for rule in rules
+    ]
+    return "\n".join(lines)

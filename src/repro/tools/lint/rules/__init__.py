@@ -1,0 +1,28 @@
+"""Rule modules of the invariant analyzer — importing this package registers all rules.
+
+| id     | module          | invariant                                             |
+|--------|-----------------|-------------------------------------------------------|
+| RPL001 | caching         | derived-state memos must be epoch-guarded             |
+| RPL002 | randomness      | core sampling flows through seeded generators         |
+| RPL003 | shm             | shared-memory handles must be released or escape      |
+| RPL004 | raises          | raises in ``repro/`` use the typed error hierarchy    |
+| RPL005 | wire            | every ``to_dict`` has a decode path and a schema tag  |
+| RPL006 | replay          | no wall-clock/pid calls in worker-replayed pipelines  |
+| RPL007 | observability   | observable-database mutators emit ``UpdateEvent``     |
+| RPL008 | exceptions      | no silently-swallowed broad excepts                   |
+| RPL009 | statistics      | merged ``EvaluationStatistics`` are copied, not aliased |
+
+``RPL000`` is the engine itself (unused suppressions, parse failures).
+"""
+
+from repro.tools.lint.rules import (  # noqa: F401  (import = register)
+    caching,
+    exceptions,
+    observability,
+    raises,
+    randomness,
+    replay,
+    shm,
+    statistics,
+    wire,
+)

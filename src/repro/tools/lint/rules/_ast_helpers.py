@@ -1,0 +1,72 @@
+"""Small AST conveniences shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every (async) function definition anywhere under ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def classes(tree: ast.AST) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            yield node
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_attribute(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.attr``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def referenced_names(node: ast.AST) -> set[str]:
+    """All Name ids and Attribute attrs appearing under ``node``."""
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+    return names
+
+
+def is_docstring_or_pass(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, ast.Pass):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+def only_raises(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the function body is just docstring/pass/raise statements."""
+    return all(
+        is_docstring_or_pass(stmt) or isinstance(stmt, ast.Raise)
+        for stmt in func.body
+    )
+
+
+def first_argument(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    args = func.args.posonlyargs + func.args.args
+    return args[0].arg if args else None

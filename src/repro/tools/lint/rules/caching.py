@@ -1,0 +1,138 @@
+"""RPL001 — derived-state memos must be epoch-guarded.
+
+PR 4 shipped the motivating bug: ``PointDatabase`` memoized its columnar
+snapshot once and kept serving it after inserts/moves, because nothing tied
+the cached value to the database's mutation epoch.  The repaired idiom pairs
+every memo attribute with an ``*_epoch`` stamp::
+
+    if self._columnar is None or self._columnar_epoch != self._epoch:
+        self._columnar = ColumnarPoints(self.objects)
+        self._columnar_epoch = self._epoch
+
+This rule finds the *lazy-memo* shape — ``if self._x is None: self._x = …``
+on an attribute whose name marks it as derived data (columnar / positions /
+snapshot / cache / memo / sampler) — and requires the guarding function to
+reference an epoch somewhere.  It also flags ``functools.lru_cache`` /
+``functools.cache`` on *methods*: a per-instance cache keyed by ``self``
+both leaks instances and ignores epochs (module-level functions over
+immutable arguments, like the issuer-grid discretisation, are fine).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+from repro.tools.lint.rules._ast_helpers import (
+    first_argument,
+    functions,
+    referenced_names,
+    self_attribute,
+)
+
+#: Attribute-name fragments that mark a memo as *derived data* (as opposed
+#: to a lazily-created resource such as a pool or socket, which has no
+#: epoch to key on).
+_DERIVED_FRAGMENTS = ("columnar", "position", "snapshot", "cache", "memo", "sampler")
+
+_CACHE_DECORATORS = {"lru_cache", "cache", "cached_property"}
+
+
+def _is_derived_attr(name: str) -> bool:
+    lowered = name.lower()
+    return any(fragment in lowered for fragment in _DERIVED_FRAGMENTS)
+
+
+def _memo_guard_attrs(test: ast.expr) -> set[str]:
+    """Attrs ``X`` for which ``test`` contains ``self.X is None``."""
+    attrs: set[str] = set()
+    for node in ast.walk(test):
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, ast.Is) for op in node.ops
+        ):
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(item, ast.Constant) and item.value is None
+                for item in operands
+            ):
+                for item in operands:
+                    attr = self_attribute(item)
+                    if attr is not None:
+                        attrs.add(attr)
+    return attrs
+
+
+def _decorator_cache_name(decorator: ast.expr) -> str | None:
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    if isinstance(target, ast.Attribute):
+        name = target.attr
+    elif isinstance(target, ast.Name):
+        name = target.id
+    else:
+        return None
+    return name if name in _CACHE_DECORATORS else None
+
+
+@register
+class EpochGuardedCaches(Rule):
+    rule_id = "RPL001"
+    severity = "error"
+    description = (
+        "instance memos of derived data (columnar/positions/snapshot/…) must "
+        "be invalidated by an epoch check; lru_cache on methods is forbidden"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        # Methods are functions lexically inside a class body.
+        method_names: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        method_names.add(id(stmt))
+
+        for func in functions(module.tree):
+            for decorator in func.decorator_list:
+                cache_name = _decorator_cache_name(decorator)
+                if cache_name is None:
+                    continue
+                is_method = id(func) in method_names and first_argument(func) in (
+                    "self",
+                    "cls",
+                )
+                if cache_name == "cached_property" or is_method:
+                    yield (
+                        decorator.lineno,
+                        f"@{cache_name} on method {func.name!r}: per-instance "
+                        "caches ignore the mutation epoch and pin instances "
+                        "alive; memoize with an explicit epoch-keyed attribute",
+                    )
+
+            names = referenced_names(func)
+            has_epoch = any("epoch" in name.lower() for name in names)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.If):
+                    continue
+                guarded = _memo_guard_attrs(node.test)
+                if not guarded:
+                    continue
+                filled = {
+                    attr
+                    for stmt in ast.walk(node)
+                    if isinstance(stmt, ast.Assign)
+                    for target in stmt.targets
+                    if (attr := self_attribute(target)) is not None
+                }
+                for attr in sorted(guarded & filled):
+                    if _is_derived_attr(attr) and not has_epoch:
+                        yield (
+                            node.lineno,
+                            f"memo of derived state 'self.{attr}' has no epoch "
+                            "guard: pair it with an '*_epoch' stamp checked in "
+                            "the same condition, or it will serve stale data "
+                            "after mutations (the PR 4 columnar-cache bug)",
+                        )

@@ -1,0 +1,75 @@
+"""RPL008 — no silently-swallowed broad excepts.
+
+``except Exception: pass`` converts every future bug in the guarded block —
+typos, wrong attributes, violated invariants — into silence.  The shm lease
+bookkeeping shipped exactly this shape and hid a double-release for a full
+PR cycle.
+
+Flagged: an ``except`` handler whose type is ``Exception`` /
+``BaseException`` / omitted (bare) and whose body does nothing (``pass`` /
+``...`` / a lone docstring).  Narrow the exception (``except OSError:``)
+or, when discarding any failure is genuinely the contract, say so with
+``contextlib.suppress(Exception)`` — an explicit, greppable marker.
+
+Exempt: handlers inside ``__del__``.  Finalizers run during interpreter
+teardown where *importing* contextlib or raising can itself fail; a bare
+swallow is the only safe shape there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+from repro.tools.lint.rules._ast_helpers import is_docstring_or_pass
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    node = handler.type
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    return isinstance(node, ast.Name) and node.id in _BROAD
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    return all(is_docstring_or_pass(stmt) for stmt in handler.body)
+
+
+@register
+class NoSilentBroadExcept(Rule):
+    rule_id = "RPL008"
+    severity = "error"
+    description = (
+        "no `except Exception: pass` — narrow the type or use "
+        "contextlib.suppress; __del__ finalizers are exempt"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/") or module.in_package("tests/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        exempt: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == "__del__":
+                for child in ast.walk(node):
+                    exempt.add(id(child))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or id(node) in exempt:
+                continue
+            if _is_broad(node) and _swallows(node):
+                label = (
+                    "bare except"
+                    if node.type is None
+                    else f"except {ast.unparse(node.type)}"
+                )
+                yield (
+                    node.lineno,
+                    f"{label} with an empty body swallows every failure: "
+                    "narrow the exception type, or make the intent explicit "
+                    "with contextlib.suppress(...)",
+                )

@@ -1,0 +1,81 @@
+"""RPL007 — mutators on observable databases must emit ``UpdateEvent``.
+
+Continuous queries (PR 6) subscribe to databases through the
+:class:`~repro.core.updates.MutationObservable` hook and *only* re-evaluate
+when an ``UpdateEvent`` arrives.  A mutator that changes live data without
+calling ``self._emit_update(...)`` silently desynchronizes every standing
+subscription — the data moves, the subscribers' answers don't.
+
+The rule finds classes that are observable (``MutationObservable`` in
+their bases, directly or through another observable class defined earlier
+in the same module) and requires each public mutator method — ``insert`` /
+``delete`` / ``move`` — to either reference ``_emit_update`` or delegate to
+another mutator (e.g. a convenience wrapper looping over ``self.insert``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+from repro.tools.lint.rules._ast_helpers import only_raises, referenced_names
+
+#: The public mutator surface the observability contract covers.
+MUTATORS = ("insert", "delete", "move")
+
+#: Class names that seed observability (the mixin itself, plus its name
+#: under attribute access like ``updates.MutationObservable``).
+_OBSERVABLE_SEED = "MutationObservable"
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names: list[str] = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+@register
+class ObservableMutators(Rule):
+    rule_id = "RPL007"
+    severity = "error"
+    description = (
+        "insert/delete/move on a MutationObservable class must emit an "
+        "UpdateEvent (or delegate to a mutator that does)"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        # Observability propagates through locally-defined base classes;
+        # classes appear in definition order, so one forward pass suffices
+        # for the straight-line hierarchies this codebase uses.
+        observable = {_OBSERVABLE_SEED}
+        for cls in [n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)]:
+            bases = _base_names(cls)
+            if not observable.intersection(bases):
+                continue
+            if cls.name == _OBSERVABLE_SEED:
+                continue
+            observable.add(cls.name)
+            for stmt in cls.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name not in MUTATORS or only_raises(stmt):
+                    continue
+                names = referenced_names(stmt)
+                if "_emit_update" in names:
+                    continue
+                if any(mutator in names for mutator in MUTATORS if mutator != stmt.name):
+                    continue  # delegates to another mutator
+                yield (
+                    stmt.lineno,
+                    f"{cls.name}.{stmt.name} mutates an observable database "
+                    "without _emit_update(...): standing subscriptions will "
+                    "silently serve stale answers",
+                )

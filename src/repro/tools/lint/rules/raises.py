@@ -1,0 +1,97 @@
+"""RPL004 — raises in ``repro/`` use the typed error hierarchy.
+
+PR 8 left the tree raising a mix of bare ``ValueError``/``KeyError``/
+``RuntimeError`` and typed ``ReproError`` subclasses.  Bare builtins give
+the serving layer nothing to dispatch on — every one crosses the wire as
+the anonymous base ``error`` code instead of a structured, client-catchable
+class.  Every raise in library code must therefore use a type from
+:mod:`repro.errors` (each of which *keeps* the historical builtin as a
+second base, so existing ``except ValueError`` call sites still work).
+
+Allowed: bare re-raise (``raise``), ``NotImplementedError`` (abstract
+surface), ``StopIteration``/``StopAsyncIteration`` (protocol), assertion
+machinery, OS-level errors (``OSError`` and subclasses, ``TimeoutError``)
+which genuinely originate outside the library's domain model, and
+``AttributeError`` raised from ``__getattr__``/``__getattribute__`` — the
+attribute protocol *requires* that exact type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+
+#: (exception, enclosing function) pairs the language protocol mandates.
+_PROTOCOL_RAISES = {
+    "AttributeError": {"__getattr__", "__getattribute__", "__delattr__"},
+    "KeyError": {"__missing__"},
+    "IndexError": {"__getitem__"},
+}
+
+#: Builtin exception names whose direct raise marks an untyped domain error.
+_FORBIDDEN = {
+    "Exception",
+    "BaseException",
+    "ValueError",
+    "TypeError",
+    "KeyError",
+    "IndexError",
+    "LookupError",
+    "RuntimeError",
+    "AttributeError",
+    "ArithmeticError",
+    "ZeroDivisionError",
+    "OverflowError",
+}
+
+#: The replacement each builtin maps to, for the diagnostic message.
+_SUGGESTION = {
+    "ValueError": "a ValueError-based ReproError (InvalidQueryError, "
+    "ConfigurationError, DatasetError, …)",
+    "TypeError": "InvalidArgumentError",
+    "KeyError": "MissingItemError",
+    "IndexError": "MissingItemError",
+    "LookupError": "MissingItemError",
+    "RuntimeError": "EngineStateError (or BackpressureError)",
+}
+
+
+@register
+class TypedRaises(Rule):
+    rule_id = "RPL004"
+    severity = "error"
+    description = (
+        "library code must raise repro.errors types, never bare builtin "
+        "exceptions (they cross the wire untyped)"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        # Map each raise to its innermost enclosing function name, to honour
+        # the attribute/item-protocol exemptions.
+        enclosing: dict[int, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if isinstance(child, ast.Raise):
+                        enclosing[id(child)] = node.name
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            if not (isinstance(target, ast.Name) and target.id in _FORBIDDEN):
+                continue
+            protocol_funcs = _PROTOCOL_RAISES.get(target.id, set())
+            if enclosing.get(id(node)) in protocol_funcs:
+                continue
+            hint = _SUGGESTION.get(target.id, "a matching repro.errors class")
+            yield (
+                node.lineno,
+                f"raise of bare {target.id}: use {hint} so the failure "
+                "carries a wire_code the serving layer can dispatch on",
+            )

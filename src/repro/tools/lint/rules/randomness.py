@@ -1,0 +1,90 @@
+"""RPL002 — all sampling in ``repro/core`` flows through seeded generators.
+
+The engines promise *bitwise parity*: the same query against the same data
+yields the same Monte-Carlo draws in serial, parallel and replayed runs,
+because every draw is derived from a draw-plan token (seed, query sequence,
+oid) via ``np.random.default_rng(SeedSequence(...))``.  One call into the
+stdlib ``random`` module or numpy's legacy global state (``np.random.seed``,
+``np.random.rand``, …) silently breaks that contract — the draw depends on
+interpreter-global mutable state no plan token controls.
+
+Flagged inside ``repro/core/``:
+
+* ``import random`` / ``from random import …`` (stdlib global RNG),
+* calls through numpy's legacy global namespace (``np.random.<fn>(…)`` for
+  anything but the generator constructors), and
+* ``default_rng()`` with *no* seed argument — an OS-entropy generator no
+  replay can reproduce.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+
+#: Constructors of the explicit-seed Generator API, allowed through the
+#: ``np.random`` namespace.
+_GENERATOR_API = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "SFC64"}
+
+
+@register
+class SeededRandomness(Rule):
+    rule_id = "RPL002"
+    severity = "error"
+    description = (
+        "core/ must not touch global RNG state (stdlib random, legacy "
+        "np.random.*) or create unseeded generators"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/core/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield (
+                            node.lineno,
+                            "stdlib 'random' uses interpreter-global state; "
+                            "derive draws from the draw-plan via "
+                            "np.random.default_rng(SeedSequence(...))",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield (
+                        node.lineno,
+                        "stdlib 'random' uses interpreter-global state; "
+                        "derive draws from the draw-plan via "
+                        "np.random.default_rng(SeedSequence(...))",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(node)
+
+    def _check_call(self, call: ast.Call) -> Iterator[tuple[int, str]]:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        # Match <numpy-ish>.random.<name>(...) — the legacy global API.
+        base = func.value
+        if (
+            isinstance(base, ast.Attribute)
+            and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in ("np", "numpy")
+        ):
+            if func.attr not in _GENERATOR_API:
+                yield (
+                    call.lineno,
+                    f"np.random.{func.attr}() drives numpy's legacy global "
+                    "RNG; use a Generator built from a draw-plan seed",
+                )
+                return
+        if func.attr == "default_rng" and not call.args and not call.keywords:
+            yield (
+                call.lineno,
+                "default_rng() with no seed draws OS entropy and cannot be "
+                "replayed; pass a seed or SeedSequence from the draw-plan",
+            )

@@ -1,0 +1,130 @@
+"""RPL003 — shared-memory handles must be released or escape the function.
+
+PR 7's worker pool leaked ``SharedMemory`` segments whenever an exception
+skipped the cleanup path; leaked blocks survive the process and exhaust
+``/dev/shm``.  The repaired modules route every block through an owner
+(``SnapshotStore`` leases, one-shot ``publish_arrays``/``read_arrays``)
+that guarantees a ``close``/``unlink``.
+
+This rule checks the *acquisition* sites: a ``SharedMemory(...)`` handle
+bound to a local variable must, within the same function, either
+
+* be explicitly released (``.close()`` or ``.unlink()`` on the variable), or
+* escape to an owner — returned/yielded, stored on ``self``/a container,
+  or passed to another call that assumes ownership.
+
+A ``SharedMemory(...)`` call whose handle is dropped on the floor (bare
+expression statement) is always a leak and always flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+from repro.tools.lint.rules._ast_helpers import functions
+
+
+def _is_shared_memory_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+    return name == "SharedMemory"
+
+
+class _HandleUse(ast.NodeVisitor):
+    """Classifies how a bound handle variable is used after acquisition."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.released = False
+        self.escaped = False
+
+    def _is_handle(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == self.name
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and self._is_handle(func.value)
+            and func.attr in ("close", "unlink")
+        ):
+            self.released = True
+        # Passing the handle (or an expression containing it) to any other
+        # call transfers ownership to the callee.
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if any(self._is_handle(sub) for sub in ast.walk(arg)):
+                self.escaped = True
+        self.generic_visit(node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None and any(
+            self._is_handle(sub) for sub in ast.walk(node.value)
+        ):
+            self.escaped = True
+        self.generic_visit(node)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        if node.value is not None and any(
+            self._is_handle(sub) for sub in ast.walk(node.value)
+        ):
+            self.escaped = True
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Storing the handle anywhere but a plain local (attribute,
+        # subscript, tuple element) hands it to a longer-lived owner.
+        if any(self._is_handle(sub) for sub in ast.walk(node.value)):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    self.escaped = True
+        self.generic_visit(node)
+
+
+@register
+class SharedMemoryLifecycle(Rule):
+    rule_id = "RPL003"
+    severity = "error"
+    description = (
+        "a SharedMemory handle must be closed/unlinked or handed to an "
+        "owner on every path; discarding one leaks /dev/shm blocks"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        for func in functions(module.tree):
+            yield from self._check_function(func)
+
+    def _check_function(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Expr) and _is_shared_memory_call(node.value):
+                yield (
+                    node.lineno,
+                    "SharedMemory handle discarded immediately: the block "
+                    "can never be closed or unlinked",
+                )
+            if not isinstance(node, ast.Assign):
+                continue
+            if not _is_shared_memory_call(node.value):
+                continue
+            if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+                continue  # attribute/container targets escape by definition
+            handle = node.targets[0].id
+            use = _HandleUse(handle)
+            use.visit(func)
+            if not (use.released or use.escaped):
+                yield (
+                    node.lineno,
+                    f"SharedMemory handle {handle!r} is never closed, "
+                    "unlinked, returned, or handed to an owner — a leaked "
+                    "/dev/shm block on every call",
+                )

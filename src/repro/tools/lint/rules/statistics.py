@@ -1,0 +1,132 @@
+"""RPL009 — merged ``EvaluationStatistics`` are copied, never aliased.
+
+PR 7's parallel merge bound a worker's statistics object directly
+(``stats = payload.statistics``) and then accumulated siblings into it —
+mutating the payload in place, so re-merging or inspecting the shard
+results afterwards saw corrupted counters.  The fix is
+``copy_statistics(payload.statistics)``: mutate a private copy.
+
+The rule flags, per function and in statement order:
+
+* any attribute/subscript store through a local that was bound from a pure
+  attribute chain ending in ``.statistics`` (an alias of someone else's
+  counters), and
+* direct stores through such a chain (``evaluation.statistics.x = …``).
+
+Re-binding the local through a call (``stats = copy_statistics(…)``)
+clears the taint — a call result is a fresh object, not an alias.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import Module, Rule, register
+
+
+def _is_statistics_chain(node: ast.expr) -> bool:
+    """True for a pure Name/Attribute chain whose final attr is ``statistics``."""
+    if not (isinstance(node, ast.Attribute) and node.attr == "statistics"):
+        return False
+    inner = node.value
+    while isinstance(inner, ast.Attribute):
+        inner = inner.value
+    return isinstance(inner, ast.Name)
+
+
+def _chain_through_statistics(node: ast.expr) -> bool:
+    """True when ``node`` is ``<…>.statistics.<attr…>`` (store through the chain)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+        if isinstance(node, ast.Attribute) and node.attr == "statistics":
+            return True
+    return False
+
+
+class _AliasScan:
+    """Statement-ordered scan of one function for aliased-stats mutations."""
+
+    def __init__(self) -> None:
+        self.aliases: set[str] = set()
+        self.findings: list[tuple[int, str]] = []
+
+    def scan(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._store(target, stmt.lineno)
+            self._bind(stmt.targets, stmt.value)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            self._store(stmt.target, stmt.lineno)
+            if stmt.value is not None:
+                self._bind([stmt.target], stmt.value)
+        # Recurse into nested blocks in source order.
+        for field in ("body", "orelse", "finalbody", "handlers"):
+            children = getattr(stmt, field, None)
+            if children:
+                for child in children:
+                    if isinstance(child, ast.ExceptHandler):
+                        self.scan(child.body)
+                    elif isinstance(child, ast.stmt):
+                        self._statement(child)
+
+    def _bind(self, targets: list[ast.expr], value: ast.expr) -> None:
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if _is_statistics_chain(value):
+                self.aliases.add(target.id)
+            else:
+                self.aliases.discard(target.id)
+
+    def _store(self, target: ast.expr, lineno: int) -> None:
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            root = node
+            while isinstance(root.value, ast.Attribute):
+                root = root.value
+            if isinstance(root.value, ast.Name) and root.value.id in self.aliases:
+                self.findings.append(
+                    (
+                        lineno,
+                        f"mutation through {root.value.id!r}, an alias of "
+                        "another object's statistics: copy first with "
+                        "copy_statistics(...) (the PR 7 merge-aliasing bug)",
+                    )
+                )
+                return
+            if isinstance(target, ast.Attribute) and _chain_through_statistics(target):
+                self.findings.append(
+                    (
+                        lineno,
+                        "direct store through a '.statistics' chain mutates "
+                        "the owner's counters in place: bind a copy with "
+                        "copy_statistics(...) and mutate that",
+                    )
+                )
+
+
+@register
+class NoStatsAliasing(Rule):
+    rule_id = "RPL009"
+    severity = "error"
+    description = (
+        "never mutate statistics reached through another object — "
+        "copy_statistics(...) first"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        return module.in_package("repro/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan = _AliasScan()
+                scan.scan(node.body)
+                yield from scan.findings

@@ -1,0 +1,212 @@
+"""RPL005 — wire-schema completeness: every encoder has a decoder and a tag.
+
+A class that ships ``to_dict`` payloads is a wire contract.  The contract
+is complete only when
+
+1. the payload is *versioned* — built through ``tagged(...)`` / a
+   ``*_SCHEMA`` constant (or by delegating to another ``to_dict``), so a
+   reader can reject payloads from an incompatible build, and
+2. something can *decode* it — a ``from_dict`` on the same class, or (for
+   the pdf plugin surface) a codec registered for the payload's ``"type"``
+   discriminator in the module's codec table.
+
+An encoder without a decoder is how one-way payloads sneak into snapshots
+and wire traffic, discovered only when somebody finally tries to read one.
+
+Beyond the per-file AST check, this module registers *import-time
+cross-checks* run by ``lint_paths``: the live ``wire_code`` → class table
+in :mod:`repro.serve.schemas` must cover every :class:`repro.errors.ReproError`
+subclass bijectively, and the pdf codec registry must hold callables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.lint.engine import (
+    Diagnostic,
+    Module,
+    Rule,
+    register,
+    register_cross_check,
+)
+from repro.tools.lint.rules._ast_helpers import classes, only_raises, referenced_names
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if stmt.name == name:
+                return stmt
+    return None
+
+
+def _has_schema_tag(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True when the body versions its payload (or delegates to one that does)."""
+    for name in referenced_names(func):
+        if (
+            "tagged" in name.lower()
+            or name.endswith("_SCHEMA")
+            or name == "SCHEMA_VERSION"
+        ):
+            return True
+        # super().to_dict() / other.to_dict() delegation inherits the tag.
+        if name == "to_dict":
+            return True
+    return False
+
+
+def _type_discriminators(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """String literals bound to a ``"type"`` key in dicts built by ``func``."""
+    literals: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Dict):
+            continue
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                literals.add(value.value)
+    return literals
+
+
+def _registered_codec_keys(tree: ast.Module) -> set[str]:
+    """``"type"`` keys the module registers a decoder for.
+
+    Covers both the literal registry dict (``_PDF_CODECS = {"uniform": …}``)
+    and explicit ``register_pdf_codec("name", …)`` calls.
+    """
+    keys: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            raw_targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            targets = [t.id for t in raw_targets if isinstance(t, ast.Name)]
+            if any("CODEC" in name.upper() for name in targets) and isinstance(
+                node.value, ast.Dict
+            ):
+                for key in node.value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.add(key.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name and "register" in name and "codec" in name:
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    if isinstance(node.args[0].value, str):
+                        keys.add(node.args[0].value)
+    return keys
+
+
+@register
+class WireCompleteness(Rule):
+    rule_id = "RPL005"
+    severity = "error"
+    description = (
+        "a class with to_dict needs a from_dict or a registered codec for "
+        "its 'type' discriminator, and its payload must carry a schema tag"
+    )
+
+    def applies_to(self, module: Module) -> bool:
+        # Dev tooling (this analyzer included) emits one-way JSON for CI
+        # consumption — not a wire contract anything decodes.
+        return module.in_package("repro/") and not module.in_package("repro/tools/")
+
+    def check(self, module: Module) -> Iterator[tuple[int, str]]:
+        codec_keys = _registered_codec_keys(module.tree)
+        for cls in classes(module.tree):
+            to_dict = _method(cls, "to_dict")
+            if to_dict is None or only_raises(to_dict):
+                continue  # no encoder, or abstract must-override stub
+            if not _has_schema_tag(to_dict):
+                yield (
+                    to_dict.lineno,
+                    f"{cls.name}.to_dict builds an unversioned payload: wrap "
+                    "it with tagged(<SCHEMA>, ...) so decoders can reject "
+                    "payloads from incompatible builds",
+                )
+            if _method(cls, "from_dict") is not None:
+                continue
+            discriminators = _type_discriminators(to_dict)
+            if discriminators and discriminators <= codec_keys:
+                continue  # decodable via the module's codec registry
+            yield (
+                cls.lineno,
+                f"{cls.name} defines to_dict but no decode path: add a "
+                "from_dict classmethod, or register a codec for its 'type' "
+                "discriminator — one-way payloads fail at read time",
+            )
+
+
+@register_cross_check
+def _check_error_wire_codes() -> list[Diagnostic]:
+    """Every ReproError subclass must round-trip through the serve decode table."""
+    from repro.errors import ReproError
+    from repro.serve.schemas import _ERROR_CLASSES
+
+    diagnostics: list[Diagnostic] = []
+    stack: list[type[ReproError]] = [ReproError]
+    seen: dict[str, type[ReproError]] = {}
+    while stack:
+        cls = stack.pop()
+        stack.extend(cls.__subclasses__())
+        code = cls.wire_code
+        if code in seen and seen[code] is not cls:
+            diagnostics.append(
+                Diagnostic(
+                    "RPL005",
+                    "error",
+                    "repro/errors.py",
+                    1,
+                    f"duplicate wire_code {code!r}: {seen[code].__name__} and "
+                    f"{cls.__name__} cannot both decode from it",
+                )
+            )
+        seen[code] = cls
+        if _ERROR_CLASSES.get(code) is None:
+            diagnostics.append(
+                Diagnostic(
+                    "RPL005",
+                    "error",
+                    "repro/serve/schemas.py",
+                    1,
+                    f"error class {cls.__name__} (wire_code {code!r}) is "
+                    "missing from the serve decode table",
+                )
+            )
+    return diagnostics
+
+
+@register_cross_check
+def _check_pdf_codecs() -> list[Diagnostic]:
+    """The pdf codec registry must exist, be non-empty, and hold callables."""
+    from repro.uncertainty.pdf import _PDF_CODECS
+
+    diagnostics: list[Diagnostic] = []
+    if not _PDF_CODECS:
+        diagnostics.append(
+            Diagnostic(
+                "RPL005",
+                "error",
+                "repro/uncertainty/pdf.py",
+                1,
+                "the pdf codec registry is empty: no pdf payload can decode",
+            )
+        )
+    for key, decoder in _PDF_CODECS.items():
+        if not callable(decoder):
+            diagnostics.append(
+                Diagnostic(
+                    "RPL005",
+                    "error",
+                    "repro/uncertainty/pdf.py",
+                    1,
+                    f"pdf codec {key!r} is not callable",
+                )
+            )
+    return diagnostics

@@ -17,6 +17,7 @@ clamped by the p-bound computation, so the effective catalog resolution is
 """
 
 from __future__ import annotations
+from repro.errors import DistributionError, MissingItemError
 
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
@@ -43,16 +44,16 @@ class UCatalog:
 
     def __post_init__(self) -> None:
         if len(self.levels) != len(self.bounds):
-            raise ValueError("levels and bounds must have the same length")
+            raise DistributionError("levels and bounds must have the same length")
         if not self.levels:
-            raise ValueError("a U-catalog needs at least one level")
+            raise DistributionError("a U-catalog needs at least one level")
         if list(self.levels) != sorted(self.levels):
-            raise ValueError("catalog levels must be sorted in increasing order")
+            raise DistributionError("catalog levels must be sorted in increasing order")
         if len(set(self.levels)) != len(self.levels):
-            raise ValueError("catalog levels must be distinct")
+            raise DistributionError("catalog levels must be distinct")
         for level in self.levels:
             if not 0.0 <= level <= 1.0:
-                raise ValueError(f"catalog level {level} outside [0, 1]")
+                raise DistributionError(f"catalog level {level} outside [0, 1]")
         # Pre-computed lookup structures: catalog lookups sit on the hot path
         # of index-level and object-level pruning, so avoid linear scans and
         # repeated Rect construction there.
@@ -99,14 +100,14 @@ class UCatalog:
         try:
             return self._bound_by_level[level]  # type: ignore[attr-defined]
         except KeyError as exc:
-            raise KeyError(f"level {level} not stored in catalog") from exc
+            raise MissingItemError(f"level {level} not stored in catalog") from exc
 
     def rect_at(self, level: float) -> "Rect":
         """Return the pre-built bound rectangle for an exact level."""
         try:
             return self._rect_by_level[level]  # type: ignore[attr-defined]
         except KeyError as exc:
-            raise KeyError(f"level {level} not stored in catalog") from exc
+            raise MissingItemError(f"level {level} not stored in catalog") from exc
 
     def level_rects(self) -> "tuple[tuple[float, Rect], ...]":
         """All ``(level, bound rectangle)`` pairs in increasing level order.

@@ -15,6 +15,7 @@ pre-computed at a handful of probability levels and stored in a
 """
 
 from __future__ import annotations
+from repro.errors import DistributionError
 
 from dataclasses import dataclass
 
@@ -61,7 +62,7 @@ def compute_pbound(pdf: UncertaintyPdf, p: float) -> PBound:
     rounded down by the U-catalog lookup, which keeps pruning conservative).
     """
     if not 0.0 <= p <= 1.0:
-        raise ValueError(f"p must lie in [0, 1], got {p}")
+        raise DistributionError(f"p must lie in [0, 1], got {p}")
     p_eff = min(p, 0.5)
     left = pdf.marginal_quantile_x(p_eff)
     right = pdf.marginal_quantile_x(1.0 - p_eff)

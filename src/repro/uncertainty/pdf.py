@@ -27,6 +27,7 @@ work), so batched calls against them run at scalar speed.
 """
 
 from __future__ import annotations
+from repro.errors import DistributionError
 
 import abc
 import math
@@ -167,7 +168,7 @@ class UncertaintyPdf(abc.ABC):
         """Validate and coerce an ``(M, 4)`` rectangle-bounds array."""
         bounds = np.asarray(bounds, dtype=float)
         if bounds.ndim != 2 or bounds.shape[1] != 4:
-            raise ValueError(f"bounds must have shape (M, 4), got {bounds.shape}")
+            raise DistributionError(f"bounds must have shape (M, 4), got {bounds.shape}")
         return bounds
 
     # ------------------------------------------------------------------ #
@@ -205,7 +206,7 @@ class UncertaintyPdf(abc.ABC):
 
     def _validate_probability(self, p: float) -> float:
         if not 0.0 <= p <= 1.0:
-            raise ValueError(f"probability must lie in [0, 1], got {p}")
+            raise DistributionError(f"probability must lie in [0, 1], got {p}")
         return p
 
 
@@ -220,9 +221,9 @@ class UniformPdf(UncertaintyPdf):
 
     def __init__(self, region: Rect) -> None:
         if region.is_empty:
-            raise ValueError("uncertainty region must be non-empty")
+            raise DistributionError("uncertainty region must be non-empty")
         if region.area == 0.0:
-            raise ValueError(
+            raise DistributionError(
                 "uniform pdf requires a region of positive area; "
                 "use PointObject for degenerate locations"
             )
@@ -327,14 +328,14 @@ class TruncatedGaussianPdf(UncertaintyPdf):
         sigma_y: float | None = None,
     ) -> None:
         if region.is_empty or region.area == 0.0:
-            raise ValueError("uncertainty region must have positive area")
+            raise DistributionError("uncertainty region must have positive area")
         self._region = region
         self._mu_x = region.center.x
         self._mu_y = region.center.y
         self._sigma_x = sigma_x if sigma_x is not None else max(region.width / 6.0, 1e-12)
         self._sigma_y = sigma_y if sigma_y is not None else max(region.height / 6.0, 1e-12)
         if self._sigma_x <= 0 or self._sigma_y <= 0:
-            raise ValueError("standard deviations must be positive")
+            raise DistributionError("standard deviations must be positive")
 
         # Per-axis truncation masses (the Gaussian mass that falls inside the
         # region); used to renormalise CDFs so that the pdf integrates to one
@@ -348,7 +349,7 @@ class TruncatedGaussianPdf(UncertaintyPdf):
         self._x_mass = self._x_hi_cdf - self._x_lo_cdf
         self._y_mass = self._y_hi_cdf - self._y_lo_cdf
         if self._x_mass <= 0 or self._y_mass <= 0:
-            raise ValueError("truncation region carries no Gaussian mass")
+            raise DistributionError("truncation region carries no Gaussian mass")
 
     @property
     def region(self) -> Rect:
@@ -508,15 +509,15 @@ class HistogramPdf(UncertaintyPdf):
 
     def __init__(self, region: Rect, weights: Sequence[Sequence[float]]) -> None:
         if region.is_empty or region.area == 0.0:
-            raise ValueError("uncertainty region must have positive area")
+            raise DistributionError("uncertainty region must have positive area")
         grid = np.asarray(weights, dtype=float)
         if grid.ndim != 2 or grid.size == 0:
-            raise ValueError("weights must be a non-empty 2-D array (rows = y bins)")
+            raise DistributionError("weights must be a non-empty 2-D array (rows = y bins)")
         if np.any(grid < 0):
-            raise ValueError("bin weights must be non-negative")
+            raise DistributionError("bin weights must be non-negative")
         total = float(grid.sum())
         if total <= 0:
-            raise ValueError("at least one bin weight must be positive")
+            raise DistributionError("at least one bin weight must be positive")
         self._region = region
         # The caller's (pre-normalisation) weights are what the wire schema
         # ships: re-normalising the normalised grid would not be bitwise
@@ -655,7 +656,7 @@ class UniformCirclePdf(UncertaintyPdf):
 
     def __init__(self, circle: Circle, *, resolution: int = 256) -> None:
         if circle.radius <= 0:
-            raise ValueError("circle radius must be positive")
+            raise DistributionError("circle radius must be positive")
         self._circle = circle
         self._resolution = resolution
         self._region = circle.bounding_rect()

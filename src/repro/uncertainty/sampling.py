@@ -8,6 +8,7 @@ so the evaluators stay small.
 """
 
 from __future__ import annotations
+from repro.errors import DistributionError
 
 from typing import Callable
 
@@ -32,7 +33,7 @@ def sample_array(pdf: UncertaintyPdf, n: int, rng: np.random.Generator) -> np.nd
     materialisation (and the per-draw ``Point`` allocations) entirely.
     """
     if n <= 0:
-        raise ValueError(f"sample count must be positive, got {n}")
+        raise DistributionError(f"sample count must be positive, got {n}")
     return pdf.sample(rng, n)
 
 
@@ -58,7 +59,7 @@ def monte_carlo_rect_probability(
     and in tests as an independent check of the closed-form implementations.
     """
     if n <= 0:
-        raise ValueError(f"sample count must be positive, got {n}")
+        raise DistributionError(f"sample count must be positive, got {n}")
     if rect.is_empty:
         return 0.0
     draws = pdf.sample(rng, n)
@@ -91,12 +92,12 @@ def monte_carlo_expectation(
     identical in both modes (one :meth:`~UncertaintyPdf.sample` call).
     """
     if n <= 0:
-        raise ValueError(f"sample count must be positive, got {n}")
+        raise DistributionError(f"sample count must be positive, got {n}")
     draws = pdf.sample(rng, n)
     if vectorized:
         values = np.asarray(func(draws[:, 0], draws[:, 1]), dtype=float)
         if values.shape != (n,):
-            raise ValueError(
+            raise DistributionError(
                 f"vectorized func must return shape ({n},), got {values.shape}"
             )
         return float(values.sum()) / n
@@ -113,7 +114,7 @@ def grid_rect_probability(pdf: UncertaintyPdf, rect: Rect, resolution: int = 64)
     Useful when reproducibility matters more than speed (e.g. golden tests).
     """
     if resolution <= 0:
-        raise ValueError(f"resolution must be positive, got {resolution}")
+        raise DistributionError(f"resolution must be positive, got {resolution}")
     clipped = rect.intersect(pdf.region)
     if clipped.is_empty or clipped.area == 0.0:
         return 0.0
@@ -140,7 +141,7 @@ def grid_expectation(
     the density vanishes contribute nothing.
     """
     if resolution <= 0:
-        raise ValueError(f"resolution must be positive, got {resolution}")
+        raise DistributionError(f"resolution must be positive, got {resolution}")
     region = pdf.region
     xs = np.linspace(region.xmin, region.xmax, resolution + 1)
     ys = np.linspace(region.ymin, region.ymax, resolution + 1)

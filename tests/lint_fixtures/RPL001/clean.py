@@ -1,0 +1,23 @@
+# lint-fixture-path: repro/core/example.py
+"""Epoch-guarded memo and a module-level (immutable-argument) lru_cache."""
+
+from functools import lru_cache
+
+
+class Database:
+    def columnar(self):
+        if self._columnar is None or self._columnar_epoch != self._epoch:
+            self._columnar = build_columnar(self.objects)
+            self._columnar_epoch = self._epoch
+        return self._columnar
+
+    def pool(self):
+        # Lazy *resource* init (no derived-data name): not a memo of data.
+        if self._pool is None:
+            self._pool = make_pool()
+        return self._pool
+
+
+@lru_cache(maxsize=16)
+def issuer_grid(pdf, samples):
+    return discretize(pdf, samples)

@@ -1,0 +1,15 @@
+# lint-fixture-path: repro/core/example.py
+"""Derived-state memo with no epoch guard, plus an lru_cache'd method."""
+
+from functools import lru_cache
+
+
+class Database:
+    def columnar(self):
+        if self._columnar is None:
+            self._columnar = build_columnar(self.objects)
+        return self._columnar
+
+    @lru_cache(maxsize=8)
+    def snapshot(self, level):
+        return build_snapshot(self.objects, level)

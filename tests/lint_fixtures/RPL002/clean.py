@@ -1,0 +1,15 @@
+# lint-fixture-path: repro/core/example.py
+"""All draws derive from draw-plan seeds via the Generator API."""
+
+import numpy as np
+
+
+def per_oid_rng(rng_seed, query_seq, oid):
+    return np.random.default_rng(
+        np.random.SeedSequence((int(rng_seed), int(query_seq), int(oid)))
+    )
+
+
+def jitter(values, rng_seed):
+    rng = np.random.default_rng(rng_seed)
+    return values + rng.random(len(values))

@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/core/example.py
+"""Global RNG state and an unseeded generator in core/."""
+
+import random
+
+import numpy as np
+
+
+def jitter(values):
+    np.random.seed(7)
+    noise = np.random.rand(len(values))
+    rng = np.random.default_rng()
+    return values + noise + rng.random() + random.random()

@@ -1,0 +1,26 @@
+# lint-fixture-path: repro/core/example.py
+"""Every handle is released on the spot or handed to an owner."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(payload):
+    block = SharedMemory(create=True, size=len(payload))
+    try:
+        block.buf[: len(payload)] = payload
+        return block.name
+    finally:
+        block.close()
+
+
+def open_for_store(store, name):
+    block = SharedMemory(name=name)
+    store.adopt(block)
+
+
+def read_once(name):
+    block = SharedMemory(name=name)
+    data = bytes(block.buf)
+    block.close()
+    block.unlink()
+    return data

@@ -1,0 +1,13 @@
+# lint-fixture-path: repro/core/example.py
+"""SharedMemory handles that can never be released."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def publish(payload):
+    block = SharedMemory(create=True, size=len(payload))
+    block.buf[: len(payload)] = payload
+
+
+def touch(name):
+    SharedMemory(name=name)

@@ -1,0 +1,30 @@
+# lint-fixture-path: repro/core/example.py
+"""Typed raises, protocol exemptions, and allowed builtins."""
+
+from repro.errors import EngineStateError, InvalidQueryError, MissingItemError
+
+
+def half_width(value):
+    if value < 0:
+        raise InvalidQueryError(f"half_width must be non-negative, got {value}")
+    return value
+
+
+def lookup(table, oid):
+    if oid not in table:
+        raise MissingItemError(f"unknown oid {oid}")
+    return table[oid]
+
+
+def require_open(engine):
+    if engine.closed:
+        raise EngineStateError("engine is closed")
+
+
+def __getattr__(name):
+    raise AttributeError(f"module has no attribute {name!r}")
+
+
+class Abstract:
+    def to_dict(self):
+        raise NotImplementedError("subclasses define the wire schema")

@@ -1,0 +1,19 @@
+# lint-fixture-path: repro/core/example.py
+"""Bare builtin raises that cross the wire untyped."""
+
+
+def half_width(value):
+    if value < 0:
+        raise ValueError(f"half_width must be non-negative, got {value}")
+    return value
+
+
+def lookup(table, oid):
+    if oid not in table:
+        raise KeyError(oid)
+    return table[oid]
+
+
+def require_open(engine):
+    if engine.closed:
+        raise RuntimeError("engine is closed")

@@ -1,0 +1,46 @@
+# lint-fixture-path: repro/core/example.py
+"""Complete wire contracts: tagged payloads with decode paths."""
+
+from repro.core.wire import check_schema, require, tagged
+
+ANSWER_SCHEMA = "repro.example.answer"
+
+
+class Answer:
+    def __init__(self, oid, score):
+        self.oid = oid
+        self.score = score
+
+    def to_dict(self):
+        return tagged(ANSWER_SCHEMA, {"oid": self.oid, "score": self.score})
+
+    @classmethod
+    def from_dict(cls, payload):
+        payload = check_schema(payload, ANSWER_SCHEMA)
+        return cls(require(payload, ANSWER_SCHEMA, "oid"), payload.get("score"))
+
+
+class PluginPdf:
+    """Decoded through the module codec registry, keyed by 'type'."""
+
+    def to_dict(self):
+        return _tagged({"type": "plugin", "params": []})
+
+
+def _decode_plugin(payload):
+    return PluginPdf()
+
+
+_PDF_CODECS = {"plugin": _decode_plugin}
+
+
+class DerivedAnswer(Answer):
+    def to_dict(self):
+        payload = super().to_dict()
+        payload["extra"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload):
+        base = Answer.from_dict(payload)
+        return cls(base.oid, base.score)

@@ -1,0 +1,11 @@
+# lint-fixture-path: repro/core/example.py
+"""An encoder with no version tag and no decode path."""
+
+
+class OneWayPayload:
+    def __init__(self, oid, score):
+        self.oid = oid
+        self.score = score
+
+    def to_dict(self):
+        return {"oid": self.oid, "score": self.score}

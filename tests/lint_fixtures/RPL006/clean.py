@@ -1,0 +1,11 @@
+# lint-fixture-path: repro/core/pipeline.py
+"""Only perf_counter (statistics channel) and caller-threaded values."""
+
+import time
+
+
+def evaluate(query, run_stamp):
+    started = time.perf_counter()
+    result = compute(query, run_stamp)
+    elapsed = time.perf_counter() - started
+    return result, elapsed

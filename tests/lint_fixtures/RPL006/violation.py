@@ -1,0 +1,15 @@
+# lint-fixture-path: repro/core/pipeline.py
+"""Ambient-state reads inside replay-executed pipeline code."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def evaluate(query):
+    started = time.time()
+    token = uuid.uuid4()
+    stamp = datetime.now()
+    worker = os.getpid()
+    return started, token, stamp, worker

@@ -1,0 +1,29 @@
+# lint-fixture-path: repro/core/example.py
+"""Mutators that emit, delegate, or are inherited-observable."""
+
+from repro.core.updates import MutationObservable, UpdateEvent
+
+
+class Database(MutationObservable):
+    def insert(self, obj):
+        self.objects.append(obj)
+        self._emit_update(UpdateEvent(action="insert", obj=obj))
+        return obj
+
+    def delete(self, oid):
+        obj = self.objects.pop(oid)
+        self._emit_update(UpdateEvent(action="delete", obj=obj))
+        return obj
+
+
+class BulkDatabase(Database):
+    def move(self, oid, x, y):
+        # Delegation: the mutator it calls emits.
+        self.delete(oid)
+        return self.insert((oid, x, y))
+
+
+class PlainBuffer:
+    # Not observable: no emission contract applies.
+    def insert(self, obj):
+        self.items.append(obj)

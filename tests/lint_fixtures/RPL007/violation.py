@@ -1,0 +1,10 @@
+# lint-fixture-path: repro/core/example.py
+"""An observable database whose mutator forgets to emit."""
+
+from repro.core.updates import MutationObservable
+
+
+class SilentDatabase(MutationObservable):
+    def insert(self, obj):
+        self.objects.append(obj)
+        return obj

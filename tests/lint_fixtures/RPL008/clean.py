@@ -1,0 +1,31 @@
+# lint-fixture-path: repro/core/example.py
+"""Narrow types, explicit suppress, handlers with bodies, __del__ exemption."""
+
+import contextlib
+import logging
+
+
+def release(block):
+    try:
+        block.close()
+    except OSError:
+        pass
+    with contextlib.suppress(Exception):
+        block.unlink()
+
+
+def probe(path):
+    try:
+        return path.stat()
+    except Exception as error:
+        logging.getLogger(__name__).warning("probe failed: %s", error)
+        return None
+
+
+class Engine:
+    def __del__(self):
+        # Finalizers may swallow broadly: teardown must never raise.
+        try:
+            self.close()
+        except Exception:
+            pass

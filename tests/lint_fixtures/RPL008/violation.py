@@ -1,0 +1,20 @@
+# lint-fixture-path: repro/core/example.py
+"""Broad excepts that silently swallow every failure."""
+
+
+def release(block):
+    try:
+        block.close()
+    except Exception:
+        pass
+    try:
+        block.unlink()
+    except BaseException:
+        ...
+
+
+def probe(path):
+    try:
+        return path.stat()
+    except:  # noqa: E722
+        pass

@@ -1,0 +1,23 @@
+# lint-fixture-path: repro/core/example.py
+"""Counters are copied before accumulation; reads never mutate."""
+
+from repro.core.cache import copy_statistics
+
+
+def merge(evaluations):
+    merged = copy_statistics(evaluations[0].statistics)
+    for evaluation in evaluations[1:]:
+        merged.candidates_examined += evaluation.statistics.candidates_examined
+        merged.pruned["expansion"] += 1
+    return merged
+
+
+def rebound_alias_is_fine(evaluation):
+    stats = evaluation.statistics
+    stats = copy_statistics(stats)
+    stats.results_returned += 1
+    return stats
+
+
+def read_only(evaluation):
+    return evaluation.statistics.response_time

@@ -1,0 +1,14 @@
+# lint-fixture-path: repro/core/example.py
+"""Mutating statistics reached through another object."""
+
+
+def merge(evaluations):
+    merged = evaluations[0].statistics
+    for evaluation in evaluations[1:]:
+        merged.candidates_examined += evaluation.statistics.candidates_examined
+        merged.pruned["expansion"] += 1
+    return merged
+
+
+def stamp(evaluation, elapsed):
+    evaluation.statistics.response_time = elapsed

@@ -1,0 +1,223 @@
+"""Tests of the ``repro.tools.lint`` invariant analyzer.
+
+Every rule is exercised through a pair of on-disk fixtures
+(``tests/lint_fixtures/<RULE>/violation.py`` and ``clean.py``); each fixture
+claims its logical location with a first-line ``# lint-fixture-path:``
+marker so path-scoped rules apply.  The real tree is also linted in full —
+the analyzer landing green with zero suppressions *is* the regression
+guard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import (
+    Diagnostic,
+    all_rules,
+    get_rule,
+    lint_paths,
+    lint_source,
+    run_cross_checks,
+)
+from repro.tools.lint.__main__ import main
+from repro.tools.lint.engine import (
+    ENGINE_RULE_ID,
+    iter_python_files,
+    logical_relpath,
+    parse_suppressions,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+RULE_IDS = sorted(rule.rule_id for rule in all_rules())
+
+
+def lint_fixture(rule_id: str, kind: str) -> list[Diagnostic]:
+    source = (FIXTURES / rule_id / f"{kind}.py").read_text(encoding="utf-8")
+    return lint_source(source, f"fixture/{rule_id}/{kind}.py", [get_rule(rule_id)])
+
+
+# --------------------------------------------------------------------------- #
+# Registry shape
+# --------------------------------------------------------------------------- #
+def test_at_least_eight_rules_registered():
+    assert len(RULE_IDS) >= 8
+    assert all(rule_id.startswith("RPL") for rule_id in RULE_IDS)
+    assert len(set(RULE_IDS)) == len(RULE_IDS)
+
+
+def test_every_rule_has_description_and_severity():
+    for rule in all_rules():
+        assert rule.description
+        assert rule.severity in ("error", "warning")
+
+
+def test_every_rule_has_fixture_pair():
+    for rule_id in RULE_IDS:
+        assert (FIXTURES / rule_id / "violation.py").is_file(), rule_id
+        assert (FIXTURES / rule_id / "clean.py").is_file(), rule_id
+
+
+# --------------------------------------------------------------------------- #
+# Per-rule fixtures
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_violating_fixture_is_flagged(rule_id):
+    diagnostics = lint_fixture(rule_id, "violation")
+    assert diagnostics, f"{rule_id} violation fixture produced no diagnostics"
+    assert {d.rule for d in diagnostics} == {rule_id}
+    for diag in diagnostics:
+        assert diag.line >= 1
+        assert diag.message
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_fixture_is_silent(rule_id):
+    diagnostics = lint_fixture(rule_id, "clean")
+    assert diagnostics == [], [d.message for d in diagnostics]
+
+
+# --------------------------------------------------------------------------- #
+# Suppressions
+# --------------------------------------------------------------------------- #
+def test_suppression_silences_matching_diagnostic():
+    source = (
+        "# lint-fixture-path: repro/core/example.py\n"
+        "def bad(v):\n"
+        '    raise ValueError(v)  # repro-lint: disable=RPL004\n'
+    )
+    assert lint_source(source, "x.py", [get_rule("RPL004")]) == []
+
+
+def test_unused_suppression_is_reported():
+    source = (
+        "# lint-fixture-path: repro/core/example.py\n"
+        "x = 1  # repro-lint: disable=RPL004\n"
+    )
+    diagnostics = lint_source(source, "x.py", [get_rule("RPL004")])
+    assert [d.rule for d in diagnostics] == [ENGINE_RULE_ID]
+    assert "unused suppression" in diagnostics[0].message
+    assert diagnostics[0].line == 2
+
+
+def test_suppression_only_covers_named_rule():
+    source = (
+        "# lint-fixture-path: repro/core/example.py\n"
+        "def bad(v):\n"
+        '    raise ValueError(v)  # repro-lint: disable=RPL008\n'
+    )
+    diagnostics = lint_source(source, "x.py", [get_rule("RPL004")])
+    rules = sorted(d.rule for d in diagnostics)
+    # The violation survives AND the mismatched suppression is dead.
+    assert rules == [ENGINE_RULE_ID, "RPL004"]
+
+
+def test_suppression_marker_in_docstring_is_not_a_suppression():
+    source = '"""Docs show the syntax: # repro-lint: disable=RPL004."""\n'
+    assert parse_suppressions(source) == {}
+
+
+def test_suppression_parses_multiple_ids():
+    table = parse_suppressions("x = 1  # repro-lint: disable=RPL001, RPL009\n")
+    assert table == {1: {"RPL001", "RPL009"}}
+
+
+def test_syntax_error_reports_engine_diagnostic():
+    diagnostics = lint_source("def broken(:\n", "x.py")
+    assert [d.rule for d in diagnostics] == [ENGINE_RULE_ID]
+    assert "could not parse" in diagnostics[0].message
+
+
+# --------------------------------------------------------------------------- #
+# The real tree is the regression fixture
+# --------------------------------------------------------------------------- #
+def test_source_tree_is_clean():
+    diagnostics = lint_paths([REPO_ROOT / "src"], cross_checks=False)
+    assert diagnostics == [], [
+        f"{d.path}:{d.line}: {d.rule} {d.message}" for d in diagnostics
+    ]
+
+
+def test_cross_checks_pass_on_live_registries():
+    assert run_cross_checks() == []
+
+
+def test_zero_baseline_suppressions_in_src():
+    offenders = [
+        str(file)
+        for file in iter_python_files([REPO_ROOT / "src"])
+        if parse_suppressions(file.read_text(encoding="utf-8"))
+    ]
+    assert offenders == []
+
+
+def test_walker_skips_fixture_directories():
+    files = list(iter_python_files([REPO_ROOT / "tests"]))
+    assert files, "walker found no test files"
+    assert all("lint_fixtures" not in file.parts for file in files)
+
+
+def test_logical_relpath_strips_src_prefix():
+    assert logical_relpath(Path("src/repro/core/engine.py")) == "repro/core/engine.py"
+    assert logical_relpath(Path("tests/test_engine.py")) == "tests/test_engine.py"
+    assert (
+        logical_relpath(Path("/abs/repo/src/repro/errors.py")) == "repro/errors.py"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# CLI contract
+# --------------------------------------------------------------------------- #
+def test_cli_exit_zero_on_clean_path(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("VALUE = 1\n", encoding="utf-8")
+    assert main([str(clean), "--no-cross-checks"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_exit_one_with_text_diagnostics(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "# lint-fixture-path: repro/core/example.py\n"
+        "def f(v):\n"
+        "    raise ValueError(v)\n",
+        encoding="utf-8",
+    )
+    assert main([str(bad), "--no-cross-checks"]) == 1
+    out = capsys.readouterr().out
+    assert "RPL004" in out
+    assert "1 diagnostic(s)" in out
+
+
+def test_cli_json_output_is_machine_readable(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "# lint-fixture-path: repro/core/example.py\n"
+        "def f(v):\n"
+        "    raise ValueError(v)\n",
+        encoding="utf-8",
+    )
+    assert main([str(bad), "--format", "json", "--no-cross-checks"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    (diag,) = payload["diagnostics"]
+    assert diag["rule"] == "RPL004"
+    assert diag["severity"] == "error"
+    assert diag["line"] == 3
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
