@@ -1,0 +1,188 @@
+"""Benchmark: distributed shard daemons vs the shared-memory pool.
+
+Runs a sampled (Monte-Carlo, paper-250-draw) C-IPQ workload — the
+issuer/range shape of ``bench_sharded.py`` at the paper's ``Qp = 0.4``
+probability threshold — through three executors over identical data:
+
+* ``single`` — one :class:`ImpreciseQueryEngine` over one database;
+* ``shm_pool`` — :class:`ParallelEngine` over K spatial shards fanned out
+  to W shared-memory worker processes (the PR 8 executor);
+* ``distributed`` — :class:`~repro.rpc.engine.RemoteEngine` scattering
+  plan-token batches over K spawned ``shardd`` daemons on loopback TCP,
+  pipelined, answers returned as raw columnar frames.
+
+All three return bitwise-identical results (asserted before anything is
+timed).  ``distributed_vs_pool`` — the headline — is the sampled
+throughput ratio of ``distributed`` over ``shm_pool``.  On a multi-core
+machine both contenders parallelise and the ratio isolates the transport
+(TCP frames vs shared-memory pipes); on a single-core container the cpu
+clamp folds ``shm_pool`` back to in-process execution while the daemons
+still pay real RPC per batch, so the ratio sits below 1.0 by construction
+— the report marks this ``"mode": "routing_only"`` and records
+``cpu_count`` so the regression guard can judge accordingly.
+
+``rpc_bytes_per_query`` — bytes crossing the sockets per query, measured
+from the pool's own accounting — is the machine-independent number: the
+protocol ships a few hundred bytes of plan tokens out and packed answer
+arrays back, and ``check_regression.py`` holds it under a 2 KiB ceiling
+on every runner.  Most of those bytes are the answers themselves (16 B
+per qualifying oid — ``answer_payload_bytes_per_query`` reports that
+share), so the workload is thresholded the way a serving deployment
+would threshold it; an unthresholded IPQ returning every candidate grows
+the payload with result cardinality, which is data, not protocol
+overhead.
+
+Results go to ``BENCH_rpc.json``.  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_rpc.py
+
+Environment knobs: ``REPRO_BENCH_SCALE`` (dataset scale, default 0.25),
+``REPRO_BENCH_QUERIES`` (batch size, default 150), ``REPRO_BENCH_REPEATS``
+(timing repetitions, default 2), ``REPRO_BENCH_SHARDS`` (default 4, also
+the daemon count) and ``REPRO_BENCH_WORKERS`` (pool contender, default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase
+from repro.core.parallel import ParallelEngine
+from repro.core.queries import RangeQuery
+from repro.core.sharding import ShardedDatabase
+from repro.datasets.tiger import california_points
+from repro.datasets.workload import QueryWorkload
+from repro.rpc.engine import RemoteEngine
+from repro.rpc.launcher import LocalShardCluster
+from repro.rpc.pool import RemoteShardPool
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_rpc.json"
+
+
+THRESHOLD = 0.4
+
+
+def _build_queries(count: int) -> list[RangeQuery]:
+    workload = QueryWorkload(issuer_half_size=250.0, range_half_size=300.0, seed=4711)
+    spec = workload.spec
+    return [
+        RangeQuery(issuer=issuer, spec=spec, threshold=THRESHOLD)
+        for issuer in workload.issuers(count)
+    ]
+
+
+def _time_interleaved(runs: dict[str, object], repeats: int) -> dict[str, float]:
+    best = {name: float("inf") for name in runs}
+    for _ in range(repeats):
+        for name, run in runs.items():
+            started = time.perf_counter()
+            run()
+            best[name] = min(best[name], time.perf_counter() - started)
+    return best
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+    queries = int(os.environ.get("REPRO_BENCH_QUERIES", "150"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
+    shards = int(os.environ.get("REPRO_BENCH_SHARDS", "4"))
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+    objects = california_points(scale=scale)
+    workload = _build_queries(queries)
+    sharded_db = ShardedDatabase.build_points(objects, shards)
+    config = EngineConfig(
+        draw_plan="per_oid", probability_method="monte_carlo", monte_carlo_samples=250
+    )
+
+    single = ImpreciseQueryEngine(point_db=PointDatabase.build(objects), config=config)
+    pooled = ParallelEngine(point_db=sharded_db, config=config, workers=workers)
+    cluster = LocalShardCluster.spawn(shards)
+    rpc_pool = RemoteShardPool(cluster.addrs)
+    remote = RemoteEngine(
+        point_db=sharded_db,
+        config=config,
+        pool=rpc_pool,
+        cluster=cluster,
+        owns_pool=True,
+    )
+    try:
+        # Spin-up, apart from query time: the pool publishes snapshots to
+        # workers; the daemons receive full shard snapshots over TCP.  A
+        # serving deployment pays both once, before taking traffic.
+        started = time.perf_counter()
+        pooled.warm()
+        pool_spinup_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        remote.warm()
+        daemon_spinup_seconds = time.perf_counter() - started
+
+        # Correctness gate: all three executors must agree, bitwise.
+        reference = single.evaluate_many(workload)
+        for contender in (pooled, remote):
+            evaluations = contender.evaluate_many(workload)
+            for expected, got in zip(reference, evaluations):
+                assert expected.probabilities() == got.probabilities(), (
+                    "distributed executor diverged from the single-shard engine"
+                )
+
+        rpc_pool.reset_query_accounting()
+        accounted = remote.evaluate_many(workload)
+        rpc_bytes_per_query = (
+            rpc_pool.query_bytes_sent + rpc_pool.query_bytes_received
+        ) / len(workload)
+        answers_per_query = sum(
+            len(evaluation.probabilities()) for evaluation in accounted
+        ) / len(workload)
+
+        timings = _time_interleaved(
+            {
+                "single": lambda: single.evaluate_many(workload),
+                "shm_pool": lambda: pooled.evaluate_many(workload),
+                "distributed": lambda: remote.evaluate_many(workload),
+            },
+            repeats,
+        )
+    finally:
+        remote.close()  # owns the pool and the cluster
+        pooled.close()
+
+    cpu_count = os.cpu_count() or 1
+    report = {
+        "benchmark": "rpc",
+        "dataset_scale": scale,
+        "objects": len(objects),
+        "threshold": THRESHOLD,
+        "queries": queries,
+        "repeats": repeats,
+        "shards": shards,
+        "workers": workers,
+        "workers_effective": pooled.workers,
+        "cpu_count": cpu_count,
+        # On one core there is nothing to parallelise over: the pool folds
+        # back to in-process execution and the daemons only demonstrate
+        # routing + transport, so ratios below 1.0 are expected.
+        "mode": "parallel" if cpu_count > 1 else "routing_only",
+        "pool_spinup_seconds": pool_spinup_seconds,
+        "daemon_spinup_seconds": daemon_spinup_seconds,
+        "rpc_bytes_per_query": rpc_bytes_per_query,
+        # oid (int64) + probability (float64) per qualifying answer: the
+        # share of the wire that is result data rather than protocol.
+        "answer_payload_bytes_per_query": answers_per_query * 16.0,
+        "answers_per_query": answers_per_query,
+    } | {
+        name: {"seconds": seconds, "queries_per_second": queries / seconds}
+        for name, seconds in timings.items()
+    } | {
+        "distributed_vs_single": timings["single"] / timings["distributed"],
+        "distributed_vs_pool": timings["shm_pool"] / timings["distributed"],
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

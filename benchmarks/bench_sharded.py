@@ -51,7 +51,7 @@ import time
 from pathlib import Path
 
 from repro.core.engine import EngineConfig, ImpreciseQueryEngine, PointDatabase
-from repro.core.parallel import ParallelEngine
+from repro.core.parallel import FORCE_WORKERS_ENV, ParallelEngine
 from repro.core.queries import RangeQuery
 from repro.core.sharding import ShardedDatabase
 from repro.datasets.tiger import california_points
@@ -89,8 +89,29 @@ def _measure_ipc(
     envelope protocol on the same routed batches — full query objects
     shipped out, pickled ``_RangePartial``/``_NNPartial`` envelopes shipped
     back — without paying for a second pool.
+
+    On machines with fewer cores than requested workers, the cpu clamp
+    turns ``pooled`` into the in-process path and no bytes would cross any
+    pipe — but the *protocol* cost is machine-independent, so the
+    measurement runs on a dedicated, clamp-exempt pool instead (the
+    regression guard's byte ceiling must keep holding on 1-core runners).
     """
     queries = len(workload)
+    if pooled.workers < pooled.requested_workers:
+        os.environ[FORCE_WORKERS_ENV] = "1"
+        try:
+            forced = ParallelEngine(
+                point_db=pooled.point_db,
+                uncertain_db=pooled.uncertain_db,
+                config=pooled.config,
+                workers=pooled.requested_workers,
+            )
+        finally:
+            del os.environ[FORCE_WORKERS_ENV]
+        try:
+            return _measure_ipc(forced, serial, workload)
+        finally:
+            forced.close()
     pooled.reset_ipc_accounting()
     pooled.ipc_accounting = True
     try:
@@ -118,7 +139,9 @@ def _measure_ipc(
         # (never serialized, never piped) — reported for scale.
         "result_shm_bytes_per_query": pooled.result_shm_bytes / queries,
         "pickled_envelope_bytes_per_query": envelope_bytes / queries,
-        "ipc_reduction": envelope_bytes / shm_bytes if shm_bytes else float("inf"),
+        # None (not Infinity — the report must stay strict JSON) if somehow
+        # no bytes crossed the pipes.
+        "ipc_reduction": envelope_bytes / shm_bytes if shm_bytes else None,
     }
 
 
@@ -169,6 +192,9 @@ def _measure_flavour(
         "routing_speedup": timings["single"] / timings["sharded_serial"],
         "workload_speedup": timings["single"] / timings["sharded_workers"],
         "pool_spinup_seconds": pool_spinup_seconds,
+        # Post-clamp worker count: 1 on machines without the cores to pool
+        # over, where "sharded_workers" is really the in-process path.
+        "workers_effective": pooled.workers,
     } | ipc
 
 
@@ -210,6 +236,7 @@ def main() -> None:
         "repeats": repeats,
         "shards": shards,
         "workers": workers,
+        "workers_effective": sampled["workers_effective"],
         "cpu_count": os.cpu_count(),
         "closed_form": closed_form,
         "sampled": sampled,

@@ -34,6 +34,16 @@ timings on the same machine*, so it transfers across hardware:
   under concurrent closed-loop clients.  A drop means the coalescing
   window stopped amortising per-wave costs (or the dispatch loop grew
   per-request overhead).
+* ``BENCH_rpc.json`` / ``distributed_vs_pool`` — RPC shard daemons over
+  the shared-memory pool on the sampled C-IPQ workload.  CPU-aware like
+  the sharded guard: on one core the pool folds back to in-process
+  execution while the daemons still pay real socket round-trips, so the
+  recorded ratio sits below 1.0 and gets the single-core slack.  The same
+  file's ``rpc_bytes_per_query`` is held under both the committed
+  baseline (+tolerance) and a hard 2 KiB ceiling — byte-exact on any
+  machine, so a slide back towards object serialization on the query
+  path (the thing the raw-frame protocol exists to prevent) fails CI even
+  where the timing ratio is meaningless.
 
 The benchmark scripts overwrite the committed files in place, so baselines
 default to the checked-in versions (``git show HEAD:<file>``); pass
@@ -65,6 +75,7 @@ FRESH_CACHE_PATH = REPO_ROOT / "BENCH_cache.json"
 FRESH_SHARDED_PATH = REPO_ROOT / "BENCH_sharded.json"
 FRESH_CONTINUOUS_PATH = REPO_ROOT / "BENCH_continuous.json"
 FRESH_SERVING_PATH = REPO_ROOT / "BENCH_serving.json"
+FRESH_RPC_PATH = REPO_ROOT / "BENCH_rpc.json"
 DEFAULT_TOLERANCE = 0.30
 #: Extra slack granted to the sharded guard on single-core machines, where
 #: the parallel path cannot win (there is nothing to parallelise over) and
@@ -79,6 +90,14 @@ SINGLE_CORE_SLACK = 0.20
 #: the zero-copy win even on single-core runners where ``workload_speedup``
 #: is meaningless.
 IPC_BYTES_CEILING = 2048.0
+#: Hard ceiling on ``rpc_bytes_per_query`` from ``BENCH_rpc.json``.  The
+#: framed binary protocol ships ~450 B of plan tokens per query out and
+#: packed answer arrays (16 B per qualifying oid) back — ~1.5 KiB on the
+#: benchmark's thresholded workload.  2 KiB is what the protocol can
+#: legitimately reach before something is serializing objects again;
+#: unlike the timing ratios it binds on every machine, including 1-core
+#: runners, and is enforced even against a drifted committed baseline.
+RPC_BYTES_CEILING = 2048.0
 
 
 def load_baseline(path: str | None, name: str = "BENCH_api_batch.json") -> dict | None:
@@ -202,6 +221,44 @@ def compare_sharded(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def compare_rpc(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass) for the distributed-shard metrics.
+
+    ``distributed_vs_pool`` gets the same cpu-aware treatment as the
+    sharded guard (single-core runs measure transport overhead, not
+    parallel speedup); ``rpc_bytes_per_query`` must stay under both the
+    committed baseline plus tolerance and the absolute
+    :data:`RPC_BYTES_CEILING` — whichever is *lower* binds.
+    """
+    failures: list[str] = []
+    cpu_count = int(fresh.get("cpu_count") or 0)
+    effective = tolerance + SINGLE_CORE_SLACK if cpu_count == 1 else tolerance
+    fresh_value = float(fresh["distributed_vs_pool"])
+    baseline_value = float(baseline["distributed_vs_pool"])
+    floor = baseline_value * (1.0 - effective)
+    if fresh_value < floor:
+        failures.append(
+            f"distributed_vs_pool regressed: {fresh_value:.3f} < {floor:.3f} "
+            f"(baseline {baseline_value:.3f}, tolerance {effective:.0%}, "
+            f"cpu_count {cpu_count})"
+        )
+    rpc_fresh = float(fresh["rpc_bytes_per_query"])
+    rpc_baseline = baseline.get("rpc_bytes_per_query")
+    ceiling = RPC_BYTES_CEILING
+    origin = "absolute ceiling"
+    if rpc_baseline is not None:
+        relative = float(rpc_baseline) * (1.0 + tolerance)
+        if relative < ceiling:
+            ceiling = relative
+            origin = f"baseline {float(rpc_baseline):.0f} B, tolerance {tolerance:.0%}"
+    if rpc_fresh > ceiling:
+        failures.append(
+            f"rpc_bytes_per_query regressed: {rpc_fresh:.0f} B > "
+            f"{ceiling:.0f} B ({origin})"
+        )
+    return failures
+
+
 def compare_continuous(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     """Regression messages (empty = pass) for the continuous-query metric."""
     failures: list[str] = []
@@ -283,6 +340,16 @@ def main(argv: list[str] | None = None) -> int:
         "--serving-baseline",
         default=None,
         help="serving baseline file (default: HEAD's committed copy)",
+    )
+    parser.add_argument(
+        "--rpc-fresh",
+        default=str(FRESH_RPC_PATH),
+        help="freshly produced distributed-shard result file",
+    )
+    parser.add_argument(
+        "--rpc-baseline",
+        default=None,
+        help="distributed-shard baseline file (default: HEAD's committed copy)",
     )
     parser.add_argument(
         "--tolerance",
@@ -380,6 +447,22 @@ def main(argv: list[str] | None = None) -> int:
             f"serving_batch_speedup {serving_fresh['serving_batch_speedup']:.3f} "
             f"(baseline {serving_baseline['serving_batch_speedup']:.3f})"
         )
+
+    rpc_fresh_path = Path(args.rpc_fresh)
+    rpc_baseline = load_baseline(args.rpc_baseline, "BENCH_rpc.json")
+    if not rpc_fresh_path.exists():
+        print("rpc guard skipped: no fresh BENCH_rpc.json")
+    elif rpc_baseline is None:
+        print("rpc guard skipped: no committed BENCH_rpc.json baseline")
+    else:
+        rpc_fresh = json.loads(rpc_fresh_path.read_text())
+        failures.extend(compare_rpc(rpc_fresh, rpc_baseline, args.tolerance))
+        summaries.append(
+            f"distributed_vs_pool {rpc_fresh['distributed_vs_pool']:.3f} "
+            f"(baseline {rpc_baseline['distributed_vs_pool']:.3f}, "
+            f"mode {rpc_fresh.get('mode', '?')})"
+        )
+        summaries.append(f"rpc {float(rpc_fresh['rpc_bytes_per_query']):.0f} B/query")
 
     if failures:
         for failure in failures:

@@ -202,6 +202,10 @@ class ImpreciseQueryEngine:
     "the pipeline plus a sequence counter and a mutation surface".
     """
 
+    #: Reported by :meth:`Session.describe` so clients can tell which
+    #: executor answers their queries.
+    engine_kind = "serial"
+
     def __init__(
         self,
         *,

@@ -114,6 +114,15 @@ from repro.uncertainty.region import PointObject, UncertainObject
 #: ``forkserver``).  Unset, the engine picks ``fork`` where available.
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
 
+#: Environment knob (any non-empty value) disabling the cpu-count clamp on
+#: the worker count.  The clamp exists because pooling *costs* on an
+#: oversubscribed host — task serialization plus context switches with no
+#: spare core to run on, a measured ~3x slowdown on single-core containers —
+#: so ``workers=4`` on one core silently degrades to serial shard execution.
+#: Tests that assert real pool behaviour (distinct worker pids, published
+#: snapshot blocks) set this to opt back into oversubscription.
+FORCE_WORKERS_ENV = "REPRO_PARALLEL_FORCE_WORKERS"
+
 
 @dataclass(frozen=True)
 class ShardTiming:
@@ -373,27 +382,28 @@ def _worker_attach(kind: str, sid: int, name: str) -> QueryPipeline:
     return _WORKER_PIPELINES[key]
 
 
-def _worker_run(task: _ShardTask) -> _ShardResult:
-    """Run one shard task inside a pool worker.
+def execute_token_items(
+    pipeline: QueryPipeline,
+    config: EngineConfig,
+    range_items: Iterable[tuple[int, int, PlanToken]],
+    nn_items: Iterable[tuple[int, int, PlanToken]],
+) -> list[_AnswerPack]:
+    """Run routed plan tokens through one shard pipeline, packing the answers.
 
-    Rebuilds queries from their plan tokens, runs them through the very same
-    staged pipeline the serial engine uses (over the zero-copy snapshot) and
-    packs the answers into flat arrays for the trip back.
+    The single shard-side execution routine: both the shared-memory pool
+    worker (:func:`_worker_run`) and the RPC shard daemon
+    (:mod:`repro.rpc.shardd`) call it, so the two transports cannot drift in
+    how queries are rebuilt from tokens, how draws are keyed, or how the
+    partial answers are packed.  Items are ``(position, query_seq, token)``
+    triples; the result preserves range-before-nn pack order.
     """
-    config = _WORKER_CONFIG
-    if config is None:
-        raise EngineStateError("worker used before its pool initializer ran")
-    if task.config_digest != _config_digest(config):
-        raise EngineStateError(
-            "task configuration does not match this worker's configuration"
-        )
-    pipeline = _worker_attach(task.kind, task.sid, task.block_name)
     answers: list[_AnswerPack] = []
-    if task.range_items:
-        batch = [token.to_query() for _, _, token in task.range_items]
-        seqs = [int(seq) for _, seq, _ in task.range_items]
+    range_items = list(range_items)
+    if range_items:
+        batch = [token.to_query() for _, _, token in range_items]
+        seqs = [int(seq) for _, seq, _ in range_items]
         evaluations = pipeline.run_batch(batch, seqs)
-        for (position, _, _), evaluation in zip(task.range_items, evaluations):
+        for (position, _, _), evaluation in zip(range_items, evaluations):
             rows = evaluation.result.answers
             answers.append(
                 _AnswerPack(
@@ -411,7 +421,7 @@ def _worker_run(task: _ShardTask) -> _ShardResult:
                     elapsed_seconds=evaluation.elapsed_seconds,
                 )
             )
-    for position, seq, token in task.nn_items:
+    for position, seq, token in nn_items:
         query = token.to_query()
         samples = token.samples if token.samples is not None else DEFAULT_NN_SAMPLES
         draw_token = resolve_draw_token(config, query, seq)
@@ -428,6 +438,25 @@ def _worker_run(task: _ShardTask) -> _ShardResult:
                 elapsed_seconds=stats.response_time,
             )
         )
+    return answers
+
+
+def _worker_run(task: _ShardTask) -> _ShardResult:
+    """Run one shard task inside a pool worker.
+
+    Rebuilds queries from their plan tokens, runs them through the very same
+    staged pipeline the serial engine uses (over the zero-copy snapshot) and
+    packs the answers into flat arrays for the trip back.
+    """
+    config = _WORKER_CONFIG
+    if config is None:
+        raise EngineStateError("worker used before its pool initializer ran")
+    if task.config_digest != _config_digest(config):
+        raise EngineStateError(
+            "task configuration does not match this worker's configuration"
+        )
+    pipeline = _worker_attach(task.kind, task.sid, task.block_name)
+    answers = execute_token_items(pipeline, config, task.range_items, task.nn_items)
     arrays, pruned_names = _pack_answers(answers)
     return _ShardResult(
         sid=task.sid,
@@ -454,6 +483,8 @@ class ParallelEngine:
     batches serially in-process; ``workers > 1`` fans them out over a
     persistent pool of worker processes fed through shared memory.
     """
+
+    engine_kind = "parallel"
 
     def __init__(
         self,
@@ -483,7 +514,16 @@ class ParallelEngine:
         self._config = config
         self._config_fingerprint = config.fingerprint()
         self._config_digest = _config_digest(config)
-        self._workers = 1 if workers is None else int(workers)
+        requested = 1 if workers is None else int(workers)
+        self._requested_workers = requested
+        # Clamp to the machine: pooling on an oversubscribed core is strictly
+        # slower than serial shard execution (there is nothing to run the
+        # extra processes on, and the task traffic still costs), so excess
+        # workers fall back to the in-process path.
+        if os.environ.get(FORCE_WORKERS_ENV):
+            self._workers = requested
+        else:
+            self._workers = min(requested, os.cpu_count() or 1)
         self._query_seq = 0
         self._pool: ProcessPoolExecutor | None = None
         self._store = SnapshotStore()
@@ -516,8 +556,31 @@ class ParallelEngine:
 
     @property
     def workers(self) -> int:
-        """Configured worker-process count (1 = serial in-process)."""
+        """Effective worker-process count (1 = serial in-process).
+
+        May sit below :attr:`requested_workers` on machines with fewer cores
+        than requested workers (see :data:`FORCE_WORKERS_ENV`).
+        """
         return self._workers
+
+    @property
+    def requested_workers(self) -> int:
+        """The worker count the caller asked for, before the cpu clamp."""
+        return self._requested_workers
+
+    def reconfigured(self, config: EngineConfig) -> "ParallelEngine":
+        """A fresh engine of the same class, databases shared, new config.
+
+        The polymorphic hook :meth:`Session.with_config` uses so a subclass
+        (e.g. the RPC :class:`~repro.rpc.engine.RemoteEngine`) is not
+        silently downgraded to a local pool when its session is re-tuned.
+        """
+        return type(self)(
+            point_db=self._point_db,
+            uncertain_db=self._uncertain_db,
+            config=config,
+            workers=self._requested_workers,
+        )
 
     @property
     def snapshot_store(self) -> SnapshotStore:

@@ -154,6 +154,26 @@ class Session:
         after which ``psq{pid}-…`` entries in ``/dev/shm`` can be removed by
         hand.
         """
+        sharded_points, sharded_uncertain, config = self._reshard(
+            k, partitioner=partitioner, hot_threshold=hot_threshold
+        )
+        engine = ParallelEngine(
+            point_db=sharded_points,
+            uncertain_db=sharded_uncertain,
+            config=config,
+            workers=workers,
+        )
+        return Session(engine=engine)
+
+    def _reshard(
+        self, k: int, *, partitioner: str, hot_threshold: int | None
+    ) -> tuple[ShardedDatabase | None, ShardedDatabase | None, EngineConfig]:
+        """Partition this session's data into ``k`` shards per database.
+
+        Shared by :meth:`sharded` and :meth:`distributed`.  Also resolves
+        the engine configuration: the streaming draw plan is replaced with
+        the position-independent per-oid plan sharded execution requires.
+        """
         point_db = self._engine.point_db
         uncertain_db = self._engine.uncertain_db
         sharded_points = None
@@ -190,12 +210,71 @@ class Session:
         config = self._engine.config
         if config.draw_plan == "stream":
             config = config.with_overrides(draw_plan="per_oid")
-        engine = ParallelEngine(
-            point_db=sharded_points,
-            uncertain_db=sharded_uncertain,
-            config=config,
-            workers=workers,
+        return sharded_points, sharded_uncertain, config
+
+    def distributed(
+        self,
+        k: int | None = None,
+        *,
+        addrs: Sequence[tuple[str, int]] | None = None,
+        partitioner: str = "grid",
+    ) -> "Session":
+        """A new session scattering this session's data over shard daemons.
+
+        The databases are partitioned exactly like :meth:`sharded` and each
+        shard's snapshot is shipped to one ``shardd`` worker process
+        (:mod:`repro.rpc.shardd`).  Queries run through a
+        :class:`~repro.rpc.engine.RemoteEngine`: routed plan-token batches
+        scatter over persistent pipelined connections, the packed answer
+        arrays gather back, and the merge is the parallel engine's —
+        answers are bitwise-identical to the serial per-oid engine.
+
+        ``addrs`` connects to already-running daemons (``(host, port)``
+        pairs, one per shard, in shard-id order; ``k`` defaults to their
+        count).  Without ``addrs``, ``k`` local daemons are spawned and
+        owned by the returned session's engine — ``session.engine.close()``
+        shuts them down along with the connections.
+
+        Mutations through the returned session apply locally and mirror to
+        the one owning daemon, whose reply epoch keeps the engine's
+        epoch-vector cache keys coherent without broadcast invalidation.
+        """
+        from repro.rpc.engine import RemoteEngine
+        from repro.rpc.pool import RemoteShardPool
+
+        if addrs is not None:
+            if k is None:
+                k = len(addrs)
+            elif k != len(addrs):
+                raise ConfigurationError(
+                    f"k={k} does not match the {len(addrs)} daemon addresses"
+                )
+        elif k is None:
+            raise ConfigurationError(
+                "distributed() needs a shard count k or an explicit addrs list"
+            )
+        sharded_points, sharded_uncertain, config = self._reshard(
+            k, partitioner=partitioner, hot_threshold=None
         )
+        cluster = None
+        if addrs is None:
+            from repro.rpc.launcher import LocalShardCluster
+
+            cluster = LocalShardCluster.spawn(k)
+            addrs = cluster.addrs
+        try:
+            engine = RemoteEngine(
+                point_db=sharded_points,
+                uncertain_db=sharded_uncertain,
+                config=config,
+                pool=RemoteShardPool(addrs),
+                cluster=cluster,
+                owns_pool=True,
+            )
+        except BaseException:
+            if cluster is not None:
+                cluster.close()
+            raise
         return Session(engine=engine)
 
     def cached(self, capacity: int = 1024) -> "Session":
@@ -232,11 +311,10 @@ class Session:
         """
         config = self._engine.config.with_overrides(**overrides)
         if isinstance(self._engine, ParallelEngine):
-            engine: ImpreciseQueryEngine | ParallelEngine = ParallelEngine(
-                point_db=self._engine.point_db,
-                uncertain_db=self._engine.uncertain_db,
-                config=config,
-                workers=self._engine.workers,
+            # Polymorphic: a RemoteEngine reconfigures over the same daemons
+            # instead of silently downgrading to a local pool.
+            engine: ImpreciseQueryEngine | ParallelEngine = (
+                self._engine.reconfigured(config)
             )
         else:
             engine = ImpreciseQueryEngine(
@@ -280,11 +358,14 @@ class Session:
             else value
             for name, value in stats.epochs.items()
         }
+        engine_entry: dict[str, Any] = {
+            "kind": self._engine.engine_kind,
+            "workers": self._engine.workers if parallel else 1,
+        }
+        if self._engine.engine_kind == "distributed":
+            engine_entry["daemons"] = len(self._engine.pool.addrs)
         return {
-            "engine": {
-                "kind": "parallel" if parallel else "serial",
-                "workers": self._engine.workers if parallel else 1,
-            },
+            "engine": engine_entry,
             "config": {
                 "probability_method": config.probability_method,
                 "monte_carlo_samples": config.monte_carlo_samples,

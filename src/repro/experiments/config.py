@@ -82,6 +82,11 @@ class ExperimentConfig:
     shards: int = 0
     #: Worker processes for sharded execution (1 = serial in-process).
     shard_workers: int = 1
+    #: Run sharded execution over spawned RPC shard daemons instead of the
+    #: in-process pool (only meaningful with ``shards > 0``).  Harness code
+    #: then builds sessions via ``session.distributed(shards)`` — one local
+    #: ``shardd`` process per shard; results are identical either way.
+    shard_remote: bool = False
     #: Re-split a shard in place once live inserts push it past this many
     #: members (``0`` disables hot-shard re-splitting; only meaningful for
     #: update-workload studies on sharded sessions).
@@ -106,6 +111,10 @@ class ExperimentConfig:
             raise ConfigurationError("shard_workers must be >= 1")
         if self.shard_hot_threshold < 0:
             raise ConfigurationError("shard_hot_threshold must be >= 0 (0 disables re-splits)")
+        if self.shard_remote and self.shard_hot_threshold > 0:
+            raise ConfigurationError(
+                "hot-shard re-splitting is not supported over remote shard daemons"
+            )
         if self.cache_capacity < 0:
             raise ConfigurationError("cache_capacity must be >= 0 (0 disables result caching)")
 
@@ -161,6 +170,8 @@ class ExperimentConfig:
         """
         if self.shards <= 0:
             return session
+        if self.shard_remote:
+            return session.distributed(self.shards)
         return session.sharded(
             self.shards,
             workers=self.shard_workers,

@@ -1,0 +1,105 @@
+"""Spawn a local fleet of shard daemons for tests, benchmarks and demos.
+
+:class:`LocalShardCluster` starts one ``shardd`` process per shard with the
+``spawn`` multiprocessing context (no forked locks or event loops; the same
+start method CI exercises) on ephemeral loopback ports, and reports the
+bound addresses back over a pipe.  The cluster owns the processes: closing
+it terminates them.  Real deployments run ``python -m repro.rpc.shardd`` on
+each machine instead and hand the addresses to
+:meth:`repro.core.session.Session.distributed` directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+from multiprocessing.connection import Connection
+
+from repro.core.errors import EngineStateError
+
+_SPAWN_TIMEOUT_SECONDS = 60.0
+
+
+def _shardd_process(bind_host: str, conn: Connection) -> None:
+    """Process target: serve one daemon, reporting its bound port first."""
+    # Imports happen here, inside the spawned interpreter, so the parent's
+    # module state never leaks in — only the (host, pipe) pair is pickled.
+    from repro.rpc.shardd import ShardHost, serve
+
+    async def run() -> None:
+        host = ShardHost()
+        server = await serve(host, bind_host, 0)
+        conn.send(server.sockets[0].getsockname()[1])
+        conn.close()
+        async with server:
+            await host.shutdown_requested.wait()
+
+    asyncio.run(run())
+
+
+class LocalShardCluster:
+    """A fleet of locally spawned shard daemons on ephemeral loopback ports."""
+
+    def __init__(
+        self,
+        processes: list[multiprocessing.process.BaseProcess],
+        addrs: list[tuple[str, int]],
+    ) -> None:
+        self._processes = processes
+        self._addrs = addrs
+
+    @classmethod
+    def spawn(cls, count: int, *, host: str = "127.0.0.1") -> "LocalShardCluster":
+        """Start ``count`` daemons and wait for all of them to bind."""
+        context = multiprocessing.get_context("spawn")
+        processes = []
+        pipes = []
+        # Start every process before reading any port: spawned interpreters
+        # pay their import cost concurrently instead of one after another.
+        for _ in range(count):
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shardd_process, args=(host, child_conn), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            processes.append(process)
+            pipes.append(parent_conn)
+        addrs = []
+        try:
+            for process, pipe in zip(processes, pipes):
+                if not pipe.poll(_SPAWN_TIMEOUT_SECONDS):
+                    raise EngineStateError(
+                        "shardd worker did not report a port within "
+                        f"{_SPAWN_TIMEOUT_SECONDS:.0f}s "
+                        f"(pid={process.pid}, alive={process.is_alive()})"
+                    )
+                addrs.append((host, int(pipe.recv())))
+        except BaseException:
+            for process in processes:
+                process.terminate()
+            raise
+        finally:
+            for pipe in pipes:
+                pipe.close()
+        return cls(processes, addrs)
+
+    @property
+    def addrs(self) -> list[tuple[str, int]]:
+        """The ``(host, port)`` address of every daemon, in shard order."""
+        return list(self._addrs)
+
+    def close(self) -> None:
+        """Terminate every daemon process and reap it."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=10.0)
+        self._processes = []
+
+    def __enter__(self) -> "LocalShardCluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

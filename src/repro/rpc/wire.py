@@ -1,0 +1,241 @@
+"""Wire codecs of the shard RPC protocol.
+
+Every RPC message is one binary frame (:mod:`repro.serve.framing`): a JSON
+header tagged with :data:`RPC_SCHEMA` plus zero or more raw numpy arrays.
+The hot path — ``query`` requests and their ``answers`` replies — carries
+plan tokens as JSON and the packed answer arrays
+(:func:`repro.core.parallel._pack_answers` layout: ``oid:int64[]``,
+``value:float64[]`` and the ``StatsPack`` counter rows) as raw array bytes;
+nothing on it is pickled.
+
+The codecs here are module-level functions, not methods: :class:`PlanToken`
+and :class:`~repro.core.engine.EngineConfig` are in-process types first and
+wire payloads only for this transport, so their dict forms live with the
+protocol that defines them.
+
+Request headers (all built by the ``*_header`` helpers):
+
+========== ==========================================================
+``load``       ship one shard's objects + engine config to a daemon
+``configure``  register an additional config digest with a loaded shard
+``query``      routed plan-token batches against one loaded shard
+``update``     one-shard mutation ops; the reply returns the new epoch
+``shutdown``   stop the daemon's server after replying
+========== ==========================================================
+
+Error replies carry ``{"op": "error", "error": error_to_dict(...)}`` and
+re-raise client-side as the *same* typed exception classes, exactly like
+the serving front-end's envelopes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.engine import EngineConfig
+from repro.core.errors import SchemaError
+from repro.core.plan import PlanToken
+from repro.core.pruning import PruningStrategy
+from repro.core.wire import check_schema, require, tagged
+from repro.uncertainty.pdf import pdf_from_dict
+from repro.uncertainty.region import (
+    POINT_OBJECT_SCHEMA,
+    UNCERTAIN_OBJECT_SCHEMA,
+    PointObject,
+    UncertainObject,
+)
+
+RPC_SCHEMA = "repro.rpc"
+PLAN_TOKEN_SCHEMA = "repro.plan_token"
+ENGINE_CONFIG_SCHEMA = "repro.engine_config"
+
+
+# --------------------------------------------------------------------------- #
+# Plan tokens
+# --------------------------------------------------------------------------- #
+def token_to_dict(token: PlanToken) -> dict:
+    """A JSON-safe, versioned form of one plan token (pdf via its codec)."""
+    return tagged(
+        PLAN_TOKEN_SCHEMA,
+        {
+            "kind": token.kind,
+            "issuer_oid": token.issuer_oid,
+            "issuer_pdf": token.issuer_pdf.to_dict(),
+            "issuer_catalog_levels": (
+                list(token.issuer_catalog_levels)
+                if token.issuer_catalog_levels is not None
+                else None
+            ),
+            "threshold": token.threshold,
+            "half_width": token.half_width,
+            "half_height": token.half_height,
+            "target": token.target,
+            "samples": token.samples,
+        },
+    )
+
+
+def token_from_dict(payload: Any) -> PlanToken:
+    """Decode a :func:`token_to_dict` payload (bitwise: floats round-trip)."""
+    payload = check_schema(payload, PLAN_TOKEN_SCHEMA)
+    kind = require(payload, PLAN_TOKEN_SCHEMA, "kind")
+    if kind not in ("range", "nn"):
+        raise SchemaError(f"unknown plan-token kind {kind!r}")
+    levels = require(payload, PLAN_TOKEN_SCHEMA, "issuer_catalog_levels")
+    half_width = require(payload, PLAN_TOKEN_SCHEMA, "half_width")
+    half_height = require(payload, PLAN_TOKEN_SCHEMA, "half_height")
+    samples = require(payload, PLAN_TOKEN_SCHEMA, "samples")
+    return PlanToken(
+        kind=kind,
+        issuer_oid=int(require(payload, PLAN_TOKEN_SCHEMA, "issuer_oid")),
+        issuer_pdf=pdf_from_dict(require(payload, PLAN_TOKEN_SCHEMA, "issuer_pdf")),
+        issuer_catalog_levels=(
+            tuple(float(level) for level in levels) if levels is not None else None
+        ),
+        threshold=float(require(payload, PLAN_TOKEN_SCHEMA, "threshold")),
+        half_width=None if half_width is None else float(half_width),
+        half_height=None if half_height is None else float(half_height),
+        target=require(payload, PLAN_TOKEN_SCHEMA, "target"),
+        samples=None if samples is None else int(samples),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Engine configuration
+# --------------------------------------------------------------------------- #
+def config_to_dict(config: EngineConfig) -> dict:
+    """Every fingerprint field of a configuration, JSON-safe.
+
+    The ``cache`` field never crosses the wire (shards compute partial
+    answers; caching happens in the parent), and the fingerprint excludes
+    it, so the decoded configuration's digest equals the parent's even when
+    the parent caches.
+    """
+    return tagged(
+        ENGINE_CONFIG_SCHEMA,
+        {
+            "probability_method": config.probability_method,
+            "monte_carlo_samples": config.monte_carlo_samples,
+            "rng_seed": int(config.rng_seed),
+            "use_p_expanded_query": config.use_p_expanded_query,
+            "use_pti_pruning": config.use_pti_pruning,
+            "ciuq_strategies": [strategy.value for strategy in config.ciuq_strategies],
+            "vectorized": config.vectorized,
+            "draw_plan": config.draw_plan,
+        },
+    )
+
+
+def config_from_dict(payload: Any) -> EngineConfig:
+    """Decode a :func:`config_to_dict` payload (``cache`` is always ``None``)."""
+    payload = check_schema(payload, ENGINE_CONFIG_SCHEMA)
+    return EngineConfig(
+        probability_method=require(payload, ENGINE_CONFIG_SCHEMA, "probability_method"),
+        monte_carlo_samples=int(
+            require(payload, ENGINE_CONFIG_SCHEMA, "monte_carlo_samples")
+        ),
+        rng_seed=int(require(payload, ENGINE_CONFIG_SCHEMA, "rng_seed")),
+        use_p_expanded_query=bool(
+            require(payload, ENGINE_CONFIG_SCHEMA, "use_p_expanded_query")
+        ),
+        use_pti_pruning=bool(require(payload, ENGINE_CONFIG_SCHEMA, "use_pti_pruning")),
+        ciuq_strategies=tuple(
+            PruningStrategy(value)
+            for value in require(payload, ENGINE_CONFIG_SCHEMA, "ciuq_strategies")
+        ),
+        vectorized=bool(require(payload, ENGINE_CONFIG_SCHEMA, "vectorized")),
+        draw_plan=require(payload, ENGINE_CONFIG_SCHEMA, "draw_plan"),
+        cache=None,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Objects
+# --------------------------------------------------------------------------- #
+def object_from_dict(payload: Any) -> PointObject | UncertainObject:
+    """Decode a point or uncertain object payload, dispatching on its schema."""
+    schema = payload.get("schema") if isinstance(payload, Mapping) else None
+    if schema == POINT_OBJECT_SCHEMA:
+        return PointObject.from_dict(payload)
+    if schema == UNCERTAIN_OBJECT_SCHEMA:
+        return UncertainObject.from_dict(payload)
+    raise SchemaError(
+        f"expected a {POINT_OBJECT_SCHEMA!r} or {UNCERTAIN_OBJECT_SCHEMA!r} "
+        f"object, got schema {schema!r}"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Request / reply headers
+# --------------------------------------------------------------------------- #
+def header(op: str, **fields: Any) -> dict:
+    """One tagged RPC header."""
+    return tagged(RPC_SCHEMA, {"op": op, **fields})
+
+
+def check_header(payload: Any) -> tuple[str, Mapping]:
+    """Validate one RPC header and return ``(op, header)``."""
+    payload = check_schema(payload, RPC_SCHEMA)
+    return str(require(payload, RPC_SCHEMA, "op")), payload
+
+
+def load_header(
+    kind: str,
+    sid: int,
+    index_kind: str,
+    catalog_levels: tuple[float, ...] | None,
+    config: EngineConfig,
+    objects: list,
+) -> dict:
+    """A ``load`` request: one shard's full object set plus the engine config."""
+    return header(
+        "load",
+        kind=kind,
+        sid=int(sid),
+        index_kind=index_kind,
+        catalog_levels=list(catalog_levels) if catalog_levels is not None else None,
+        config=config_to_dict(config),
+        objects=[obj.to_dict() for obj in objects],
+    )
+
+
+def configure_header(kind: str, sid: int, config: EngineConfig) -> dict:
+    """A ``configure`` request: register another config with a loaded shard."""
+    return header("configure", kind=kind, sid=int(sid), config=config_to_dict(config))
+
+
+def query_header(
+    kind: str,
+    sid: int,
+    config_digest: str,
+    range_items: list[tuple[int, int, PlanToken]],
+    nn_items: list[tuple[int, int, PlanToken]],
+) -> dict:
+    """A ``query`` request: routed plan-token batches for one shard."""
+    return header(
+        "query",
+        kind=kind,
+        sid=int(sid),
+        config_digest=config_digest,
+        range_items=[
+            [int(position), int(seq), token_to_dict(token)]
+            for position, seq, token in range_items
+        ],
+        nn_items=[
+            [int(position), int(seq), token_to_dict(token)]
+            for position, seq, token in nn_items
+        ],
+    )
+
+
+def decode_items(raw: Any) -> list[tuple[int, int, PlanToken]]:
+    """Decode one ``query`` header's item list back into routed triples."""
+    return [
+        (int(position), int(seq), token_from_dict(token))
+        for position, seq, token in raw
+    ]
+
+
+def update_header(kind: str, sid: int, ops: list) -> dict:
+    """An ``update`` request: ordered mutation ops for one owning shard."""
+    return header("update", kind=kind, sid=int(sid), ops=[op.to_dict() for op in ops])

@@ -25,6 +25,7 @@ from typing import Any
 from repro.core.errors import ReproError, SchemaError
 from repro.core.queries import Evaluation, Query, RangeQuery, RangeQuerySpec
 from repro.core.updates import UpdateBatch
+from repro.serve.framing import MAX_LINE_BYTES, encode_json_line, read_line
 from repro.serve.schemas import decode_response, request_envelope
 from repro.geometry.rect import Rect
 from repro.uncertainty.region import UncertainObject
@@ -45,7 +46,7 @@ class ServeClient:
     @classmethod
     async def connect(cls, host: str = "127.0.0.1", port: int = 8707) -> "ServeClient":
         """Open a connection to a running server."""
-        reader, writer = await asyncio.open_connection(host, port)
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
         return cls(reader, writer)
 
     async def aclose(self) -> None:
@@ -89,8 +90,7 @@ class ServeClient:
         rid = self._next_id
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[rid] = future
-        data = json.dumps(request_envelope(op, rid, payload), separators=(",", ":"))
-        self._writer.write(data.encode() + b"\n")
+        self._writer.write(encode_json_line(request_envelope(op, rid, payload)))
         await self._writer.drain()
         return await future
 
@@ -100,12 +100,12 @@ class ServeClient:
     async def _read_responses(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
+                line = await read_line(self._reader)
+                if line is None:
                     self._fail_pending(ConnectionError("server closed the connection"))
                     return
                 self._settle(line)
-        except (ConnectionError, OSError) as error:
+        except (ConnectionError, OSError, SchemaError) as error:
             self._fail_pending(error)
 
     def _settle(self, line: bytes) -> None:

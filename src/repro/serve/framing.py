@@ -1,0 +1,222 @@
+"""Shared transport framing for :mod:`repro.serve` and :mod:`repro.rpc`.
+
+Two wire disciplines live here:
+
+* **JSON lines** — one compact JSON document per ``\\n``-terminated line,
+  used by the serving front-end's TCP transport.  :func:`read_line` replaces
+  the unbounded ``StreamReader.readline()`` with a guarded read that raises
+  a typed :class:`~repro.errors.SchemaError` once a line exceeds
+  :data:`MAX_LINE_BYTES` (a peer streaming garbage can otherwise balloon the
+  reader buffer or kill the connection with a bare ``ValueError``).
+
+* **Length-prefixed binary frames** — the RPC hot path.  A frame body is a
+  4-byte big-endian header length, a compact-JSON header, then the raw bytes
+  of zero or more C-contiguous numpy arrays, concatenated in header order.
+  The full frame is the body behind an 8-byte big-endian length prefix.  The
+  header's reserved ``"_arrays"`` key carries ``{name, dtype, shape,
+  nbytes}`` per array so :func:`decode_frame` can rebuild views with
+  ``np.frombuffer`` — query answers (``oid:int64[]``/``value:float64[]``
+  and the packed statistics arrays) cross the wire without pickling.
+
+Both ends of every transport share these functions, so the size guards and
+the byte layout cannot drift between client and server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+#: Ceiling on one JSON line.  Request/response envelopes are small; 4 MiB
+#: accommodates bulk update batches while stopping runaway buffers.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Ceiling on one binary frame body.  A shard-load frame ships a full shard
+#: of object payloads; answer frames are a few KiB.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_FRAME_PREFIX = struct.Struct(">Q")
+_HEADER_PREFIX = struct.Struct(">I")
+
+
+# --------------------------------------------------------------------------- #
+# JSON lines
+# --------------------------------------------------------------------------- #
+def encode_json_line(payload: Any) -> bytes:
+    """One compact JSON document, newline-terminated, size-guarded."""
+    line = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise SchemaError(
+            f"encoded JSON line is {len(line)} bytes; the transport ceiling "
+            f"is {MAX_LINE_BYTES}"
+        )
+    return line
+
+
+async def read_line(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_LINE_BYTES
+) -> bytes | None:
+    """One newline-terminated line, or ``None`` on clean EOF.
+
+    Raises :class:`SchemaError` when the peer sends more than ``max_bytes``
+    without a newline (the stream is unrecoverable past that point — callers
+    should answer with a schema error and close the connection).
+    """
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        line = error.partial  # final line without a trailing newline
+    except asyncio.LimitOverrunError as error:
+        raise SchemaError(
+            f"line exceeds the {max_bytes}-byte transport ceiling"
+        ) from error
+    if len(line) > max_bytes:
+        raise SchemaError(
+            f"line is {len(line)} bytes; the transport ceiling is {max_bytes}"
+        )
+    return line
+
+
+# --------------------------------------------------------------------------- #
+# Length-prefixed binary frames
+# --------------------------------------------------------------------------- #
+def encode_frame(header: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """One framed message: length prefix + JSON header + raw array bytes."""
+    if "_arrays" in header:
+        raise SchemaError("frame header key '_arrays' is reserved")
+    specs = []
+    blobs = []
+    for name, array in arrays.items():
+        contiguous = np.ascontiguousarray(array)
+        specs.append(
+            {
+                "name": name,
+                "dtype": str(contiguous.dtype),
+                "shape": list(contiguous.shape),
+                "nbytes": contiguous.nbytes,
+            }
+        )
+        blobs.append(contiguous.tobytes())
+    header_bytes = json.dumps(
+        header | {"_arrays": specs}, separators=(",", ":")
+    ).encode()
+    body = b"".join(
+        [_HEADER_PREFIX.pack(len(header_bytes)), header_bytes, *blobs]
+    )
+    if len(body) > MAX_FRAME_BYTES:
+        raise SchemaError(
+            f"encoded frame is {len(body)} bytes; the transport ceiling is "
+            f"{MAX_FRAME_BYTES}"
+        )
+    return _FRAME_PREFIX.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_frame` (arrays are read-only buffer views)."""
+    if len(body) < _HEADER_PREFIX.size:
+        raise SchemaError("frame body is shorter than its header prefix")
+    (header_length,) = _HEADER_PREFIX.unpack_from(body)
+    offset = _HEADER_PREFIX.size + header_length
+    if offset > len(body):
+        raise SchemaError("frame header length exceeds the frame body")
+    try:
+        header = json.loads(body[_HEADER_PREFIX.size : offset])
+    except json.JSONDecodeError as error:
+        raise SchemaError(f"frame header is not JSON: {error}") from error
+    if not isinstance(header, dict):
+        raise SchemaError("frame header must be a JSON object")
+    specs = header.pop("_arrays", [])
+    arrays: dict[str, np.ndarray] = {}
+    for spec in specs:
+        nbytes = int(spec["nbytes"])
+        if offset + nbytes > len(body):
+            raise SchemaError(
+                f"frame array {spec['name']!r} overruns the frame body"
+            )
+        flat = np.frombuffer(
+            body[offset : offset + nbytes], dtype=np.dtype(spec["dtype"])
+        )
+        arrays[str(spec["name"])] = flat.reshape([int(n) for n in spec["shape"]])
+        offset += nbytes
+    if offset != len(body):
+        raise SchemaError("frame body has trailing bytes beyond its arrays")
+    return header, arrays
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict, dict[str, np.ndarray]] | None:
+    """One framed message, or ``None`` on clean EOF between frames."""
+    try:
+        prefix = await reader.readexactly(_FRAME_PREFIX.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise SchemaError("connection closed inside a frame prefix") from error
+    (length,) = _FRAME_PREFIX.unpack(prefix)
+    if length > max_bytes:
+        raise SchemaError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte ceiling"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise SchemaError("connection closed inside a frame body") from error
+    return decode_frame(body)
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """``count`` bytes off a blocking socket; ``None`` on immediate EOF."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise SchemaError("connection closed inside a frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_sized_frame_from_socket(
+    sock: socket.socket, *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict, dict[str, np.ndarray], int] | None:
+    """Blocking-socket twin of :func:`read_frame`, plus the wire byte count.
+
+    The third element is the frame's full on-the-wire size (prefix + body)
+    so callers can account transport bytes exactly.
+    """
+    prefix = _recv_exactly(sock, _FRAME_PREFIX.size)
+    if prefix is None:
+        return None
+    (length,) = _FRAME_PREFIX.unpack(prefix)
+    if length > max_bytes:
+        raise SchemaError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte ceiling"
+        )
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise SchemaError("connection closed between frame prefix and body")
+    header, arrays = decode_frame(body)
+    return header, arrays, _FRAME_PREFIX.size + length
+
+
+def read_frame_from_socket(
+    sock: socket.socket, *, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict, dict[str, np.ndarray]] | None:
+    """:func:`read_sized_frame_from_socket` without the byte count."""
+    sized = read_sized_frame_from_socket(sock, max_bytes=max_bytes)
+    if sized is None:
+        return None
+    return sized[0], sized[1]

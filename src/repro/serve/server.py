@@ -47,6 +47,7 @@ from repro.core.errors import ConfigurationError, SchemaError
 from repro.core.queries import Evaluation, Query, query_from_dict
 from repro.core.session import Session
 from repro.core.updates import UpdateBatch
+from repro.serve.framing import MAX_LINE_BYTES, encode_json_line, read_line
 from repro.serve.schemas import decode_request, error_response, ok_response
 
 #: Default coalescing window, seconds.  Long enough to collect a burst of
@@ -285,7 +286,9 @@ class QueryServer:
     async def serve(self, host: str = "127.0.0.1", port: int = 8707) -> asyncio.Server:
         """Start the dispatch loop and listen for JSON-lines connections."""
         self.start()
-        return await asyncio.start_server(self._handle_connection, host, port)
+        return await asyncio.start_server(
+            self._handle_connection, host, port, limit=MAX_LINE_BYTES
+        )
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -294,8 +297,16 @@ class QueryServer:
         tasks: set[asyncio.Task] = set()
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    line = await read_line(reader)
+                except SchemaError as error:
+                    # An over-long line leaves the stream unframeable: tell
+                    # the client why, then hang up.
+                    await self._write_response(
+                        error_response(None, error), writer, write_lock
+                    )
+                    break
+                if line is None:
                     break
                 if not line.strip():
                     continue
@@ -324,7 +335,13 @@ class QueryServer:
             response = error_response(None, SchemaError(f"request is not JSON: {error}"))
         else:
             response = await self.handle_request(payload)
-        data = json.dumps(response, separators=(",", ":")).encode() + b"\n"
+        await self._write_response(response, writer, write_lock)
+
+    @staticmethod
+    async def _write_response(
+        response: dict, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        data = encode_json_line(response)
         async with write_lock:
             try:
                 writer.write(data)

@@ -11,6 +11,7 @@
 | RPL007 | observability   | observable-database mutators emit ``UpdateEvent``     |
 | RPL008 | exceptions      | no silently-swallowed broad excepts                   |
 | RPL009 | statistics      | merged ``EvaluationStatistics`` are copied, not aliased |
+| RPL010 | rpc             | no pickle on the RPC shard-protocol hot path          |
 
 ``RPL000`` is the engine itself (unused suppressions, parse failures).
 """
@@ -22,6 +23,7 @@ from repro.tools.lint.rules import (  # noqa: F401  (import = register)
     raises,
     randomness,
     replay,
+    rpc,
     shm,
     statistics,
     wire,

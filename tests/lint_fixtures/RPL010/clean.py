@@ -1,0 +1,18 @@
+# lint-fixture-path: repro/rpc/wire.py
+"""The sanctioned wire path: JSON headers plus raw numpy array frames."""
+
+import json
+import struct
+
+import numpy as np
+
+_PREFIX = struct.Struct(">I")
+
+
+def encode_header(header):
+    payload = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return _PREFIX.pack(len(payload)) + payload
+
+
+def encode_arrays(arrays):
+    return b"".join(np.ascontiguousarray(a).tobytes() for a in arrays)

@@ -1,0 +1,19 @@
+# lint-fixture-path: repro/rpc/wire.py
+"""Pickle sneaking into the RPC package, at every scope the rule covers."""
+
+import pickle
+from marshal import dumps as _marshal_dumps
+
+
+def encode_header(header):
+    return pickle.dumps(header)
+
+
+def decode_frame(payload):
+    import dill
+
+    return dill.loads(payload)
+
+
+def lazy_encode(obj):
+    return _marshal_dumps(obj)

@@ -10,6 +10,8 @@ partitioners, in serial and in worker-pool mode.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.engine import (
@@ -139,8 +141,35 @@ class TestShardedParity:
             assert got.probabilities() == expected.probabilities()
 
 
+@pytest.fixture
+def force_pool(monkeypatch):
+    """Opt out of the cpu-count worker clamp: these tests assert real pool
+    behaviour (worker processes, published snapshot blocks) and must not
+    silently degrade to the serial path on single-core machines."""
+    monkeypatch.setenv("REPRO_PARALLEL_FORCE_WORKERS", "1")
+
+
+class TestWorkerClamp:
+    def test_workers_clamped_to_cpu_count(self, small_points, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_FORCE_WORKERS", raising=False)
+        engine = ParallelEngine(
+            point_db=ShardedDatabase.build_points(small_points, 4), workers=64
+        )
+        assert engine.requested_workers == 64
+        assert engine.workers == min(64, os.cpu_count() or 1)
+
+    def test_force_env_disables_the_clamp(self, small_points, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE_WORKERS", "1")
+        engine = ParallelEngine(
+            point_db=ShardedDatabase.build_points(small_points, 4), workers=64
+        )
+        assert engine.workers == 64
+
+
 class TestWorkerPool:
-    def test_pooled_execution_matches_serial(self, small_points, small_uncertain):
+    def test_pooled_execution_matches_serial(
+        self, small_points, small_uncertain, force_pool
+    ):
         workload = (
             _queries(5, target="points", seed=71)
             + _queries(5, target="uncertain", threshold=0.3, seed=72)
@@ -220,7 +249,7 @@ class TestShardedSession:
 
 
 class TestLifecycle:
-    def test_close_unlinks_every_shared_memory_block(self, small_points):
+    def test_close_unlinks_every_shared_memory_block(self, small_points, force_pool):
         from multiprocessing import shared_memory
 
         engine = ParallelEngine(
@@ -234,7 +263,7 @@ class TestLifecycle:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
 
-    def test_dropped_engine_releases_blocks_on_gc(self, small_points):
+    def test_dropped_engine_releases_blocks_on_gc(self, small_points, force_pool):
         import gc
         from multiprocessing import shared_memory
 

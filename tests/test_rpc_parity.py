@@ -1,0 +1,164 @@
+"""Distributed parity suite: ``RemoteEngine`` must equal the serial engine.
+
+Acceptance criteria of the RPC shard-service change: for all four paper
+query kinds (IPQ, C-IPQ, IUQ, C-IUQ) plus the nearest-neighbour extension,
+``RemoteEngine.evaluate_many`` over K ∈ {2, 4} shards — each shard hosted
+by a live spawned ``shardd`` process — returns answer sets and
+probabilities bitwise-identical to the single-shard vectorized engine on
+the per-oid draw plan, including after interleaved
+:class:`~repro.core.updates.UpdateBatch` mutations, with the scatter hot
+path averaging under the 2 KiB/query transport budget.
+
+One four-daemon cluster is spawned per module (the launcher uses the
+``spawn`` start method, matching the CI smoke environment); K = 2 engines
+simply use the first two addresses.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.core.engine import (
+    EngineConfig,
+    ImpreciseQueryEngine,
+    PointDatabase,
+    UncertainDatabase,
+)
+from repro.core.errors import ConfigurationError, EngineStateError
+from repro.core.sharding import ShardedDatabase
+from repro.rpc.engine import RemoteEngine
+from repro.rpc.launcher import LocalShardCluster
+from repro.rpc.pool import RemoteShardPool
+
+from tests.test_updates_parity import (
+    _all_kind_workload,
+    _assert_identical,
+    _mutation_batch,
+    _queries,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = LocalShardCluster.spawn(4)
+    yield cluster
+    cluster.close()
+
+
+def _single_engine(small_points, small_uncertain, **overrides):
+    config = EngineConfig(draw_plan="per_oid").with_overrides(**overrides)
+    return ImpreciseQueryEngine(
+        point_db=PointDatabase.build(small_points),
+        uncertain_db=UncertainDatabase.build(small_uncertain),
+        config=config,
+    )
+
+
+@contextlib.contextmanager
+def _remote_engine(cluster, small_points, small_uncertain, k, **overrides):
+    config = EngineConfig(draw_plan="per_oid").with_overrides(**overrides)
+    pool = RemoteShardPool(cluster.addrs[:k])
+    try:
+        engine = RemoteEngine(
+            point_db=ShardedDatabase.build_points(small_points, k),
+            uncertain_db=ShardedDatabase.build_uncertain(
+                small_uncertain, k, catalog_levels=None
+            ),
+            config=config,
+            pool=pool,
+            owns_pool=False,  # the module fixture owns the daemons
+        )
+        yield engine
+        engine.close()
+    finally:
+        pool.close()
+
+
+class TestDistributedParity:
+    """K ∈ {2, 4} × every query kind over live shard daemons."""
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_all_query_kinds(self, cluster, small_points, small_uncertain, k):
+        single = _single_engine(small_points, small_uncertain)
+        workload = _all_kind_workload()
+        with _remote_engine(cluster, small_points, small_uncertain, k) as remote:
+            _assert_identical(
+                single.evaluate_many(workload), remote.evaluate_many(workload)
+            )
+
+    def test_monte_carlo_probabilities_bitwise_identical(
+        self, cluster, small_points, small_uncertain
+    ):
+        overrides = {"probability_method": "monte_carlo", "monte_carlo_samples": 60}
+        single = _single_engine(small_points, small_uncertain, **overrides)
+        workload = _queries(3, target="points", threshold=0.2, seed=5) + _queries(
+            3, target="uncertain", threshold=0.2, seed=6
+        )
+        reference = single.evaluate_many(workload)
+        assert sum(e.statistics.monte_carlo_samples for e in reference) > 0
+        with _remote_engine(
+            cluster, small_points, small_uncertain, 2, **overrides
+        ) as remote:
+            _assert_identical(reference, remote.evaluate_many(workload))
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_interleaved_update_batch_stays_exact(
+        self, cluster, small_points, small_uncertain, k
+    ):
+        """Queries → UpdateBatch → queries: one stream, both engines."""
+        workload = (
+            _queries(2, target="points", seed=71)
+            + [_mutation_batch()]
+            + _queries(2, target="uncertain", threshold=0.4, seed=72)
+            + _queries(2, nn_every=1, seed=73)
+        )
+        single = _single_engine(small_points, small_uncertain)
+        with _remote_engine(cluster, small_points, small_uncertain, k) as remote:
+            _assert_identical(
+                single.evaluate_many(workload), remote.evaluate_many(workload)
+            )
+
+    def test_rpc_bytes_per_query_stay_under_budget(
+        self, cluster, small_points, small_uncertain
+    ):
+        """The scatter hot path must average ≤ 2 KiB per query on the wire."""
+        workload = _all_kind_workload()
+        with _remote_engine(cluster, small_points, small_uncertain, 2) as remote:
+            remote.pool.reset_query_accounting()
+            remote.evaluate_many(workload)
+            per_query = (
+                remote.pool.query_bytes_sent + remote.pool.query_bytes_received
+            ) / len(workload)
+        assert per_query <= 2048.0, f"{per_query:.0f} bytes/query"
+
+
+class TestDistributedSurface:
+    def test_unknown_config_digest_raises_typed_error(self, cluster, small_points):
+        """A daemon-side failure re-raises client-side as the same class."""
+        with RemoteShardPool(cluster.addrs[:1]) as pool:
+            with pytest.raises(EngineStateError):
+                pool.scatter([("points", 0, [], [])], "0badd1ge5700d00d")
+
+    def test_shard_count_must_fit_the_address_list(
+        self, cluster, small_points, small_uncertain
+    ):
+        with RemoteShardPool(cluster.addrs[:2]) as pool:
+            with pytest.raises(ConfigurationError):
+                RemoteEngine(
+                    point_db=ShardedDatabase.build_points(small_points, 4),
+                    pool=pool,
+                    owns_pool=False,
+                )
+
+    def test_hot_threshold_rejected(self, cluster, small_points):
+        with RemoteShardPool(cluster.addrs[:2]) as pool:
+            with pytest.raises(ConfigurationError):
+                RemoteEngine(
+                    point_db=ShardedDatabase.build_points(
+                        small_points, 2, hot_threshold=64
+                    ),
+                    pool=pool,
+                    owns_pool=False,
+                )

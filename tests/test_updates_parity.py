@@ -138,7 +138,10 @@ class TestMutateThenQueryParity:
         # Exact dict equality: bitwise-identical floats, not approximations.
         _assert_identical(reference, evaluations)
 
-    def test_pooled_execution_matches_rebuild(self, small_points, small_uncertain):
+    def test_pooled_execution_matches_rebuild(
+        self, small_points, small_uncertain, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE_WORKERS", "1")
         workload = _all_kind_workload()
         with _parallel_engine(small_points, small_uncertain, 4, workers=2) as pooled:
             # Force the pool up *before* mutating, so the test also covers
@@ -213,8 +216,10 @@ class TestWorkerPoolSurvivesUpdates:
     """An interleaved UpdateBatch must not respawn the pool, yet stay exact."""
 
     def test_stable_worker_pids_across_interleaved_update(
-        self, small_points, small_uncertain
+        self, small_points, small_uncertain, monkeypatch
     ):
+        # Opt out of the cpu clamp: this test asserts real worker processes.
+        monkeypatch.setenv("REPRO_PARALLEL_FORCE_WORKERS", "1")
         head = _queries(3, target="points", threshold=0.2, seed=61)
         tail = _queries(3, target="uncertain", threshold=0.3, seed=62) + _queries(
             2, nn_every=1, seed=63
